@@ -1,0 +1,518 @@
+//! TPC-C transaction logic over [`PartitionedDb`], shared by all baseline
+//! engines. Executes the *real* data operations (so consistency conditions
+//! hold for baselines too) and reports operation counts plus the set of
+//! partitions touched — the inputs to each engine's cost model.
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use tell_sql::row::{encode_key, key_prefix_successor};
+use tell_sql::Value;
+use tell_tpcc::gen::TpccTable;
+use tell_tpcc::mix::TxnRequest;
+use tell_tpcc::schema::col;
+use tell_tpcc::txns::CustomerSelector;
+
+use crate::partstore::PartitionedDb;
+
+/// What a transaction did, for the engines' cost models.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Row reads (point or per scanned row).
+    pub reads: u32,
+    /// Row writes (updates, inserts, deletes).
+    pub writes: u32,
+    /// Partitions the transaction touched.
+    pub partitions: Vec<usize>,
+    /// False for the spec's 1 % intentional new-order rollback.
+    pub committed: bool,
+}
+
+impl ExecStats {
+    fn touch(&mut self, pid: usize) {
+        if !self.partitions.contains(&pid) {
+            self.partitions.push(pid);
+        }
+    }
+
+    /// Total row operations.
+    pub fn ops(&self) -> u32 {
+        self.reads + self.writes
+    }
+
+    /// Single-partition transaction?
+    pub fn single_partition(&self) -> bool {
+        self.partitions.len() <= 1
+    }
+}
+
+fn ik(parts: &[i64]) -> Bytes {
+    encode_key(&parts.iter().map(|v| Value::Int(*v)).collect::<Vec<_>>())
+}
+
+/// Execute one request. Mutates the store like a committed transaction
+/// would (rolled-back new-orders mutate nothing).
+pub fn run(db: &mut PartitionedDb, req: &TxnRequest, now: i64) -> ExecStats {
+    match req {
+        TxnRequest::NewOrder(p) => new_order(db, p, now),
+        TxnRequest::Payment(p) => payment(db, p, now),
+        TxnRequest::Delivery(p) => delivery(db, p, now),
+        TxnRequest::OrderStatus(p) => order_status(db, p),
+        TxnRequest::StockLevel(p) => stock_level(db, p),
+    }
+}
+
+fn new_order(db: &mut PartitionedDb, p: &tell_tpcc::txns::NewOrderParams, now: i64) -> ExecStats {
+    let mut s = ExecStats { committed: true, ..Default::default() };
+    let home = db.partition_of(p.w_id);
+    s.touch(home);
+    for line in &p.items {
+        s.touch(db.partition_of(line.supply_w_id));
+    }
+
+    // Reads happen regardless of the outcome (the user error is discovered
+    // on the last item).
+    let w_row = db.get(home, TpccTable::Warehouse, &ik(&[p.w_id])).expect("warehouse");
+    let w_tax = w_row[col::wh::TAX].as_f64().unwrap();
+    s.reads += 1;
+    let d_key = ik(&[p.w_id, p.d_id]);
+    let d_row = db.get(home, TpccTable::District, &d_key).expect("district");
+    let d_tax = d_row[col::dist::TAX].as_f64().unwrap();
+    let o_id = d_row[col::dist::NEXT_O_ID].as_i64().unwrap();
+    s.reads += 2; // district + customer
+    let _ = db
+        .get(home, TpccTable::Customer, &ik(&[p.w_id, p.d_id, p.c_id]))
+        .expect("customer");
+    let _ = (w_tax, d_tax);
+
+    if p.rollback {
+        // Item reads up to the unused id, then rollback: no writes.
+        s.reads += p.items.len() as u32;
+        s.committed = false;
+        return s;
+    }
+
+    // District next-o-id increment.
+    db.get_mut(home, TpccTable::District, &d_key).unwrap()[col::dist::NEXT_O_ID] =
+        Value::Int(o_id + 1);
+    s.writes += 1;
+
+    let all_local = p.items.iter().all(|i| i.supply_w_id == p.w_id);
+    db.put(
+        home,
+        TpccTable::Orders,
+        ik(&[p.w_id, p.d_id, o_id]),
+        vec![
+            Value::Int(p.w_id),
+            Value::Int(p.d_id),
+            Value::Int(o_id),
+            Value::Int(p.c_id),
+            Value::Int(now),
+            Value::Null,
+            Value::Int(p.items.len() as i64),
+            Value::Int(all_local as i64),
+        ],
+    );
+    db.put(
+        home,
+        TpccTable::NewOrder,
+        ik(&[p.w_id, p.d_id, o_id]),
+        vec![Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)],
+    );
+    s.writes += 2;
+
+    for (n, line) in p.items.iter().enumerate() {
+        let i_row = db.get(home, TpccTable::Item, &ik(&[line.i_id])).expect("item");
+        let price = i_row[col::item::PRICE].as_f64().unwrap();
+        s.reads += 1;
+        let spid = db.partition_of(line.supply_w_id);
+        let s_key = ik(&[line.supply_w_id, line.i_id]);
+        {
+            let s_row = db.get_mut(spid, TpccTable::Stock, &s_key).expect("stock");
+            let q = s_row[col::stock::QUANTITY].as_i64().unwrap();
+            s_row[col::stock::QUANTITY] = Value::Int(if q >= line.quantity + 10 {
+                q - line.quantity
+            } else {
+                q - line.quantity + 91
+            });
+            s_row[col::stock::YTD] =
+                Value::Int(s_row[col::stock::YTD].as_i64().unwrap() + line.quantity);
+            s_row[col::stock::ORDER_CNT] =
+                Value::Int(s_row[col::stock::ORDER_CNT].as_i64().unwrap() + 1);
+            if line.supply_w_id != p.w_id {
+                s_row[col::stock::REMOTE_CNT] =
+                    Value::Int(s_row[col::stock::REMOTE_CNT].as_i64().unwrap() + 1);
+            }
+        }
+        s.reads += 1;
+        s.writes += 1;
+        db.put(
+            home,
+            TpccTable::OrderLine,
+            ik(&[p.w_id, p.d_id, o_id, n as i64 + 1]),
+            vec![
+                Value::Int(p.w_id),
+                Value::Int(p.d_id),
+                Value::Int(o_id),
+                Value::Int(n as i64 + 1),
+                Value::Int(line.i_id),
+                Value::Int(line.supply_w_id),
+                Value::Null,
+                Value::Int(line.quantity),
+                Value::Double(line.quantity as f64 * price),
+                Value::Text(String::new()),
+            ],
+        );
+        s.writes += 1;
+    }
+    s
+}
+
+fn find_customer(
+    db: &PartitionedDb,
+    pid: usize,
+    w: i64,
+    d: i64,
+    sel: &CustomerSelector,
+    s: &mut ExecStats,
+) -> Bytes {
+    match sel {
+        CustomerSelector::ById(c) => {
+            s.reads += 1;
+            ik(&[w, d, *c])
+        }
+        CustomerSelector::ByLastName(last) => {
+            let lo = ik(&[w, d]);
+            let hi = key_prefix_successor(&[Value::Int(w), Value::Int(d)]);
+            let mut matches: Vec<(Bytes, Vec<Value>)> = db
+                .range(pid, TpccTable::Customer, &lo, Some(&hi), usize::MAX)
+                .into_iter()
+                .filter(|(_, r)| r[col::cust::LAST].as_str() == Some(last))
+                .collect();
+            // An index would touch only the matches (plus one probe).
+            s.reads += matches.len() as u32 + 1;
+            matches.sort_by(|a, b| a.1[col::cust::FIRST].total_cmp(&b.1[col::cust::FIRST]));
+            let pos = (matches.len() + 1) / 2 - 1;
+            matches.swap_remove(pos).0
+        }
+    }
+}
+
+fn payment(db: &mut PartitionedDb, p: &tell_tpcc::txns::PaymentParams, now: i64) -> ExecStats {
+    let mut s = ExecStats { committed: true, ..Default::default() };
+    let home = db.partition_of(p.w_id);
+    let cust_pid = db.partition_of(p.c_w_id);
+    s.touch(home);
+    s.touch(cust_pid);
+
+    {
+        let w = db.get_mut(home, TpccTable::Warehouse, &ik(&[p.w_id])).expect("warehouse");
+        w[col::wh::YTD] = Value::Double(w[col::wh::YTD].as_f64().unwrap() + p.amount);
+    }
+    {
+        let d = db
+            .get_mut(home, TpccTable::District, &ik(&[p.w_id, p.d_id]))
+            .expect("district");
+        d[col::dist::YTD] = Value::Double(d[col::dist::YTD].as_f64().unwrap() + p.amount);
+    }
+    s.reads += 2;
+    s.writes += 2;
+
+    let c_key = find_customer(db, cust_pid, p.c_w_id, p.c_d_id, &p.customer, &mut s);
+    let c_id = {
+        let c = db.get_mut(cust_pid, TpccTable::Customer, &c_key).expect("customer");
+        c[col::cust::BALANCE] = Value::Double(c[col::cust::BALANCE].as_f64().unwrap() - p.amount);
+        c[col::cust::YTD_PAYMENT] =
+            Value::Double(c[col::cust::YTD_PAYMENT].as_f64().unwrap() + p.amount);
+        c[col::cust::PAYMENT_CNT] = Value::Int(c[col::cust::PAYMENT_CNT].as_i64().unwrap() + 1);
+        c[col::cust::ID].as_i64().unwrap()
+    };
+    s.writes += 1;
+
+    db.put(
+        home,
+        TpccTable::History,
+        ik(&[p.h_uid]),
+        vec![
+            Value::Int(p.h_uid),
+            Value::Int(c_id),
+            Value::Int(p.c_d_id),
+            Value::Int(p.c_w_id),
+            Value::Int(p.d_id),
+            Value::Int(p.w_id),
+            Value::Int(now),
+            Value::Double(p.amount),
+            Value::Text("payment".into()),
+        ],
+    );
+    s.writes += 1;
+    s
+}
+
+fn delivery(db: &mut PartitionedDb, p: &tell_tpcc::txns::DeliveryParams, now: i64) -> ExecStats {
+    let mut s = ExecStats { committed: true, ..Default::default() };
+    let home = db.partition_of(p.w_id);
+    s.touch(home);
+    for d in 1..=p.districts {
+        let lo = ik(&[p.w_id, d]);
+        let hi = key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d)]);
+        let oldest = db.range(home, TpccTable::NewOrder, &lo, Some(&hi), 1);
+        s.reads += 1;
+        let Some((no_key, no_row)) = oldest.into_iter().next() else { continue };
+        let o_id = no_row[col::no::O_ID].as_i64().unwrap();
+        db.remove(home, TpccTable::NewOrder, &no_key);
+        s.writes += 1;
+
+        let o_key = ik(&[p.w_id, d, o_id]);
+        let c_id = {
+            let o = db.get_mut(home, TpccTable::Orders, &o_key).expect("order");
+            o[col::ord::CARRIER_ID] = Value::Int(p.carrier_id);
+            o[col::ord::C_ID].as_i64().unwrap()
+        };
+        s.reads += 1;
+        s.writes += 1;
+
+        let ol_lo = ik(&[p.w_id, d, o_id]);
+        let ol_hi =
+            key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)]);
+        let line_keys: Vec<Bytes> = db
+            .range(home, TpccTable::OrderLine, &ol_lo, Some(&ol_hi), usize::MAX)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let mut amount = 0.0;
+        for k in line_keys {
+            let ol = db.get_mut(home, TpccTable::OrderLine, &k).unwrap();
+            amount += ol[col::ol::AMOUNT].as_f64().unwrap();
+            ol[col::ol::DELIVERY_D] = Value::Int(now);
+            s.reads += 1;
+            s.writes += 1;
+        }
+        {
+            let c = db
+                .get_mut(home, TpccTable::Customer, &ik(&[p.w_id, d, c_id]))
+                .expect("customer");
+            c[col::cust::BALANCE] = Value::Double(c[col::cust::BALANCE].as_f64().unwrap() + amount);
+            c[col::cust::DELIVERY_CNT] =
+                Value::Int(c[col::cust::DELIVERY_CNT].as_i64().unwrap() + 1);
+        }
+        s.reads += 1;
+        s.writes += 1;
+    }
+    s
+}
+
+fn order_status(db: &mut PartitionedDb, p: &tell_tpcc::txns::OrderStatusParams) -> ExecStats {
+    let mut s = ExecStats { committed: true, ..Default::default() };
+    let home = db.partition_of(p.w_id);
+    s.touch(home);
+    let c_key = find_customer(db, home, p.w_id, p.d_id, &p.customer, &mut s);
+    let c_id = db.get(home, TpccTable::Customer, &c_key).expect("customer")[col::cust::ID]
+        .as_i64()
+        .unwrap();
+    s.reads += 1;
+    // Latest order of the customer (an index scan in a real engine).
+    let lo = ik(&[p.w_id, p.d_id]);
+    let hi = key_prefix_successor(&[Value::Int(p.w_id), Value::Int(p.d_id)]);
+    let last_o = db
+        .range(home, TpccTable::Orders, &lo, Some(&hi), usize::MAX)
+        .into_iter()
+        .filter(|(_, r)| r[col::ord::C_ID].as_i64() == Some(c_id))
+        .map(|(_, r)| r[col::ord::ID].as_i64().unwrap())
+        .max();
+    s.reads += 2;
+    if let Some(o_id) = last_o {
+        let ol_lo = ik(&[p.w_id, p.d_id, o_id]);
+        let ol_hi =
+            key_prefix_successor(&[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)]);
+        let lines = db.range(home, TpccTable::OrderLine, &ol_lo, Some(&ol_hi), usize::MAX);
+        s.reads += lines.len() as u32;
+    }
+    s
+}
+
+fn stock_level(db: &mut PartitionedDb, p: &tell_tpcc::txns::StockLevelParams) -> ExecStats {
+    let mut s = ExecStats { committed: true, ..Default::default() };
+    let home = db.partition_of(p.w_id);
+    s.touch(home);
+    let d = db
+        .get(home, TpccTable::District, &ik(&[p.w_id, p.d_id]))
+        .expect("district");
+    let next_o = d[col::dist::NEXT_O_ID].as_i64().unwrap();
+    s.reads += 1;
+    let lo = ik(&[p.w_id, p.d_id, (next_o - 20).max(1)]);
+    let hi = ik(&[p.w_id, p.d_id, next_o]);
+    let lines = db.range(home, TpccTable::OrderLine, &lo, Some(&hi), usize::MAX);
+    s.reads += lines.len() as u32;
+    let items: BTreeSet<i64> = lines
+        .iter()
+        .map(|(_, r)| r[col::ol::I_ID].as_i64().unwrap())
+        .collect();
+    for i in items {
+        if let Some(st) = db.get(home, TpccTable::Stock, &ik(&[p.w_id, i])) {
+            let _ = st[col::stock::QUANTITY].as_i64().unwrap() < p.threshold;
+        }
+        s.reads += 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tell_tpcc::gen::ScaleParams;
+    use tell_tpcc::txns::{NewOrderParams, OrderItem, PaymentParams};
+
+    fn db() -> PartitionedDb {
+        PartitionedDb::load(2, 2, ScaleParams::tiny(), 42)
+    }
+
+    #[test]
+    fn new_order_touches_supply_partitions() {
+        let mut d = db();
+        let local = new_order(
+            &mut d,
+            &NewOrderParams {
+                w_id: 1,
+                d_id: 1,
+                c_id: 1,
+                items: vec![OrderItem { i_id: 1, supply_w_id: 1, quantity: 1 }],
+                rollback: false,
+            },
+            0,
+        );
+        assert!(local.single_partition());
+        assert!(local.committed);
+        assert!(local.writes >= 5);
+        let remote = new_order(
+            &mut d,
+            &NewOrderParams {
+                w_id: 1,
+                d_id: 1,
+                c_id: 1,
+                items: vec![OrderItem { i_id: 1, supply_w_id: 2, quantity: 1 }],
+                rollback: false,
+            },
+            0,
+        );
+        assert_eq!(remote.partitions.len(), 2);
+    }
+
+    #[test]
+    fn rollback_mutates_nothing() {
+        let mut d = db();
+        let before = d.count(TpccTable::Orders);
+        let s = new_order(
+            &mut d,
+            &NewOrderParams {
+                w_id: 1,
+                d_id: 1,
+                c_id: 1,
+                items: vec![OrderItem {
+                    i_id: tell_tpcc::txns::unused_item_id(),
+                    supply_w_id: 1,
+                    quantity: 1,
+                }],
+                rollback: true,
+            },
+            0,
+        );
+        assert!(!s.committed);
+        assert_eq!(s.writes, 0);
+        assert_eq!(d.count(TpccTable::Orders), before);
+    }
+
+    #[test]
+    fn payment_remote_is_multi_partition() {
+        let mut d = db();
+        let local = payment(
+            &mut d,
+            &PaymentParams {
+                w_id: 1,
+                d_id: 1,
+                c_w_id: 1,
+                c_d_id: 1,
+                customer: CustomerSelector::ById(1),
+                amount: 10.0,
+                h_uid: 1,
+            },
+            0,
+        );
+        assert!(local.single_partition());
+        let remote = payment(
+            &mut d,
+            &PaymentParams {
+                w_id: 1,
+                d_id: 1,
+                c_w_id: 2,
+                c_d_id: 1,
+                customer: CustomerSelector::ById(1),
+                amount: 10.0,
+                h_uid: 2,
+            },
+            0,
+        );
+        assert_eq!(remote.partitions.len(), 2);
+    }
+
+    #[test]
+    fn new_order_advances_district_counter() {
+        let mut d = db();
+        let key = ik(&[1, 1]);
+        let before = d.get(0, TpccTable::District, &key).unwrap()[col::dist::NEXT_O_ID]
+            .as_i64()
+            .unwrap();
+        new_order(
+            &mut d,
+            &NewOrderParams {
+                w_id: 1,
+                d_id: 1,
+                c_id: 2,
+                items: vec![OrderItem { i_id: 3, supply_w_id: 1, quantity: 2 }],
+                rollback: false,
+            },
+            0,
+        );
+        let after = d.get(0, TpccTable::District, &key).unwrap()[col::dist::NEXT_O_ID]
+            .as_i64()
+            .unwrap();
+        assert_eq!(after, before + 1);
+        // Order + line exist.
+        assert!(d.get(0, TpccTable::Orders, &ik(&[1, 1, before])).is_some());
+        assert!(d.get(0, TpccTable::OrderLine, &ik(&[1, 1, before, 1])).is_some());
+    }
+
+    #[test]
+    fn delivery_consumes_neworders() {
+        let mut d = db();
+        let pending = d.count(TpccTable::NewOrder);
+        let s = delivery(
+            &mut d,
+            &tell_tpcc::txns::DeliveryParams { w_id: 1, carrier_id: 3, districts: 2 },
+            9,
+        );
+        assert!(s.committed);
+        assert_eq!(d.count(TpccTable::NewOrder), pending - 2);
+    }
+
+    #[test]
+    fn read_only_transactions_write_nothing() {
+        let mut d = db();
+        let os = order_status(
+            &mut d,
+            &tell_tpcc::txns::OrderStatusParams {
+                w_id: 1,
+                d_id: 1,
+                customer: CustomerSelector::ById(1),
+            },
+        );
+        assert_eq!(os.writes, 0);
+        assert!(os.reads > 0);
+        let sl = stock_level(
+            &mut d,
+            &tell_tpcc::txns::StockLevelParams { w_id: 1, d_id: 1, threshold: 15 },
+        );
+        assert_eq!(sl.writes, 0);
+        assert!(sl.reads > 1);
+    }
+}

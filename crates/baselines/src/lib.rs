@@ -1,0 +1,38 @@
+//! `tell-baselines` — the comparison systems of §6.4 and §6.5.
+//!
+//! Three from-scratch partitioned/shared-data engines that execute the
+//! *real* TPC-C data operations on real in-memory tables, with timing
+//! modelled on serial resources in virtual time (see `DESIGN.md` §1):
+//!
+//! * [`voltdb::VoltDb`] — an H-Store-style engine: tables partitioned by
+//!   warehouse, one single-threaded executor per partition, **no
+//!   concurrency control** for single-partition transactions, cluster-wide
+//!   blocking coordination for multi-partition ones, optional K-factor
+//!   synchronous replication.
+//! * [`ndb::MySqlCluster`] — a MySQL-Cluster-like engine: SQL nodes
+//!   federate per-operation requests to data nodes over TCP, synchronous
+//!   replication, two-phase commit for distributed writes; single-partition
+//!   transactions are *not* blocked by distributed ones.
+//! * [`fdb::FoundationDb`] — a shared-data engine with **centralized**
+//!   commit validation: a sequencer hands out read versions, a resolver
+//!   validates write sets, the SQL layer issues per-row requests over TCP.
+//!   It scales with nodes but pays for every design decision Tell avoids —
+//!   the paper's "if not done right, shared-data systems show very poor
+//!   performance".
+//!
+//! All three share [`partstore::PartitionedDb`] (partitioned row storage
+//! loaded from the same `tell-tpcc` population generator), the TPC-C
+//! executor [`exec`], and the closed-loop terminal simulator [`sim`].
+
+pub mod exec;
+pub mod fdb;
+pub mod ndb;
+pub mod partstore;
+pub mod sim;
+pub mod voltdb;
+
+pub use fdb::{FdbConfig, FoundationDb};
+pub use ndb::{MySqlCluster, NdbConfig};
+pub use partstore::PartitionedDb;
+pub use sim::{run_sim, ExecResult, SimConfig, SimEngine, SimReport};
+pub use voltdb::{VoltDb, VoltDbConfig};

@@ -1,0 +1,185 @@
+//! Partitioned row storage for the baseline engines.
+//!
+//! Data is horizontally partitioned by warehouse — "most tables reference
+//! the warehouse id that is the obvious partitioning key" (§6.4) — and the
+//! read-only ITEM table is fully replicated to every partition, exactly the
+//! sharding the paper applies to VoltDB and MySQL Cluster.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use tell_sql::row::encode_key;
+use tell_sql::Value;
+use tell_tpcc::gen::{generate_population, ScaleParams, TpccTable};
+
+/// One partition's tables.
+#[derive(Default)]
+struct Partition {
+    tables: HashMap<TpccTable, BTreeMap<Bytes, Vec<Value>>>,
+}
+
+/// Partitioned in-memory TPC-C storage.
+pub struct PartitionedDb {
+    partitions: Vec<Partition>,
+    warehouses: i64,
+}
+
+/// Primary-key bytes of a row of `table`.
+pub fn pk_of(table: TpccTable, row: &[Value]) -> Bytes {
+    let cols = table.pk_columns();
+    let vals: Vec<Value> = cols.iter().map(|c| row[*c].clone()).collect();
+    encode_key(&vals)
+}
+
+impl PartitionedDb {
+    /// Empty store with `partitions` partitions over `warehouses`
+    /// warehouses (warehouse `w` lives in partition `(w-1) % partitions`).
+    pub fn new(partitions: usize, warehouses: i64) -> Self {
+        assert!(partitions > 0);
+        PartitionedDb {
+            partitions: (0..partitions).map(|_| Partition::default()).collect(),
+            warehouses,
+        }
+    }
+
+    /// Load the standard population (same generator and seed behaviour as
+    /// the Tell loader, so all engines run over identical data).
+    pub fn load(partitions: usize, warehouses: i64, scale: ScaleParams, seed: u64) -> Self {
+        let mut db = PartitionedDb::new(partitions, warehouses);
+        generate_population(warehouses, scale, seed, |table, row| {
+            let key = pk_of(table, &row);
+            if table == TpccTable::Item {
+                // Replicated read-only table.
+                for p in &mut db.partitions {
+                    p.tables.entry(table).or_default().insert(key.clone(), row.clone());
+                }
+            } else {
+                let w = row[0].as_i64().expect("warehouse id leads every sharded pk");
+                let pid = db.partition_of(w);
+                db.partitions[pid]
+                    .tables
+                    .entry(table)
+                    .or_default()
+                    .insert(key, row);
+            }
+        });
+        db
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Warehouses in the dataset.
+    pub fn warehouses(&self) -> i64 {
+        self.warehouses
+    }
+
+    /// The partition hosting warehouse `w`.
+    #[inline]
+    pub fn partition_of(&self, w: i64) -> usize {
+        ((w - 1).max(0) as usize) % self.partitions.len()
+    }
+
+    /// Read a row.
+    pub fn get(&self, pid: usize, table: TpccTable, key: &Bytes) -> Option<&Vec<Value>> {
+        self.partitions[pid].tables.get(&table)?.get(key)
+    }
+
+    /// Read a row mutably.
+    pub fn get_mut(&mut self, pid: usize, table: TpccTable, key: &Bytes) -> Option<&mut Vec<Value>> {
+        self.partitions[pid].tables.get_mut(&table)?.get_mut(key)
+    }
+
+    /// Insert (or replace) a row.
+    pub fn put(&mut self, pid: usize, table: TpccTable, key: Bytes, row: Vec<Value>) {
+        self.partitions[pid].tables.entry(table).or_default().insert(key, row);
+    }
+
+    /// Remove a row.
+    pub fn remove(&mut self, pid: usize, table: TpccTable, key: &Bytes) -> bool {
+        self.partitions[pid]
+            .tables
+            .get_mut(&table)
+            .map(|t| t.remove(key).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Ordered range scan `lo <= key < hi` within one partition.
+    pub fn range(
+        &self,
+        pid: usize,
+        table: TpccTable,
+        lo: &Bytes,
+        hi: Option<&Bytes>,
+        limit: usize,
+    ) -> Vec<(Bytes, Vec<Value>)> {
+        let Some(t) = self.partitions[pid].tables.get(&table) else { return Vec::new() };
+        let iter: Box<dyn Iterator<Item = (&Bytes, &Vec<Value>)>> = match hi {
+            Some(h) => Box::new(t.range(lo.clone()..h.clone())),
+            None => Box::new(t.range(lo.clone()..)),
+        };
+        iter.take(limit).map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Row count of a table across all partitions (tests; item counts once
+    /// per replica).
+    pub fn count(&self, table: TpccTable) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.tables.get(&table).map(|t| t.len()).unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_partitions_by_warehouse() {
+        let scale = ScaleParams::tiny();
+        let db = PartitionedDb::load(2, 4, scale, 42);
+        // Warehouses 1,3 → partition 0; 2,4 → partition 1.
+        assert_eq!(db.partition_of(1), 0);
+        assert_eq!(db.partition_of(2), 1);
+        assert_eq!(db.partition_of(3), 0);
+        // Every partition has the replicated item table.
+        assert_eq!(db.count(TpccTable::Item), 2 * scale.items as usize);
+        // Warehouse rows land in their partitions.
+        let w1 = pk_of(TpccTable::Warehouse, &[Value::Int(1)]);
+        assert!(db.get(0, TpccTable::Warehouse, &w1).is_some());
+        assert!(db.get(1, TpccTable::Warehouse, &w1).is_none());
+        assert_eq!(db.count(TpccTable::Warehouse), 4);
+        assert_eq!(db.count(TpccTable::Stock), (4 * scale.items) as usize);
+    }
+
+    #[test]
+    fn mutation_roundtrip() {
+        let mut db = PartitionedDb::new(2, 2);
+        let key = Bytes::from_static(b"k");
+        db.put(0, TpccTable::Warehouse, key.clone(), vec![Value::Int(1)]);
+        assert_eq!(db.get(0, TpccTable::Warehouse, &key).unwrap()[0], Value::Int(1));
+        db.get_mut(0, TpccTable::Warehouse, &key).unwrap()[0] = Value::Int(2);
+        assert_eq!(db.get(0, TpccTable::Warehouse, &key).unwrap()[0], Value::Int(2));
+        assert!(db.remove(0, TpccTable::Warehouse, &key));
+        assert!(!db.remove(0, TpccTable::Warehouse, &key));
+    }
+
+    #[test]
+    fn range_scans_are_ordered_and_bounded() {
+        let mut db = PartitionedDb::new(1, 1);
+        for i in 0..20i64 {
+            let key = encode_key(&[Value::Int(1), Value::Int(i)]);
+            db.put(0, TpccTable::NewOrder, key, vec![Value::Int(1), Value::Int(i)]);
+        }
+        let lo = encode_key(&[Value::Int(1), Value::Int(5)]);
+        let hi = encode_key(&[Value::Int(1), Value::Int(10)]);
+        let rows = db.range(0, TpccTable::NewOrder, &lo, Some(&hi), 100);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        let limited = db.range(0, TpccTable::NewOrder, &lo, None, 3);
+        assert_eq!(limited.len(), 3);
+    }
+}

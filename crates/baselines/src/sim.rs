@@ -1,0 +1,169 @@
+//! Closed-loop terminal simulation in virtual time.
+//!
+//! Terminals "continuously send requests" (§6.2, wait times removed): each
+//! terminal issues its next transaction the moment the previous one
+//! completes. The engines advance partition/service resource clocks; the
+//! simulator advances terminals in completion order, so queueing delays
+//! emerge naturally (this is what produces VoltDB's enormous
+//! multi-partition latencies in Table 4).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tell_common::Histogram;
+use tell_tpcc::gen::ScaleParams;
+use tell_tpcc::mix::{Mix, ParamGen, TxnRequest, TxnType};
+
+/// Outcome of one transaction execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecResult {
+    /// Virtual time at which the client sees the response.
+    pub completion_us: f64,
+    /// False for intentional rollbacks.
+    pub committed: bool,
+}
+
+/// A baseline engine: executes one transaction arriving at a given virtual
+/// time and reports when it completes.
+pub trait SimEngine {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+    /// Execute `req`, which the client submitted at `arrival_us`.
+    fn execute(&mut self, req: &TxnRequest, arrival_us: f64) -> ExecResult;
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub warehouses: i64,
+    pub scale: ScaleParams,
+    pub mix: Mix,
+    /// Closed-loop client count ("the number of terminal threads is
+    /// selected so that the peak throughput of the SUT is reached").
+    pub terminals: usize,
+    /// Total transactions to issue.
+    pub total_txns: usize,
+    pub seed: u64,
+}
+
+/// Aggregate results.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    pub engine: &'static str,
+    pub committed: u64,
+    pub new_order_commits: u64,
+    pub user_rollbacks: u64,
+    /// Latency of committed transactions (virtual µs).
+    pub latency: Histogram,
+    /// Virtual time at which the last transaction completed.
+    pub horizon_us: f64,
+    /// New-order commits per virtual minute.
+    pub tpmc: f64,
+    /// Committed transactions per virtual second.
+    pub tps: f64,
+}
+
+#[derive(PartialEq)]
+struct Event(f64, usize);
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Run the closed loop until `total_txns` transactions have been issued.
+pub fn run_sim(engine: &mut dyn SimEngine, cfg: &SimConfig) -> SimReport {
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut gens: Vec<(StdRng, ParamGen, i64)> = (0..cfg.terminals)
+        .map(|t| {
+            let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 104_729));
+            let gen = ParamGen::new(cfg.warehouses, cfg.scale, cfg.mix.clone(), t as u64);
+            let home_w = (t as i64 % cfg.warehouses) + 1;
+            heap.push(Reverse(Event(0.0, t)));
+            (rng, gen, home_w)
+        })
+        .collect();
+
+    let mut report = SimReport {
+        engine: engine.name(),
+        committed: 0,
+        new_order_commits: 0,
+        user_rollbacks: 0,
+        latency: Histogram::new(),
+        horizon_us: 0.0,
+        tpmc: 0.0,
+        tps: 0.0,
+    };
+
+    let mut issued = 0usize;
+    while issued < cfg.total_txns {
+        let Reverse(Event(arrival, term)) = heap.pop().expect("terminals never exhaust");
+        let (rng, gen, home_w) = &mut gens[term];
+        let req = gen.generate(rng, *home_w);
+        let ty = req.txn_type();
+        let result = engine.execute(&req, arrival);
+        debug_assert!(result.completion_us >= arrival);
+        issued += 1;
+        if result.committed {
+            report.committed += 1;
+            if ty == TxnType::NewOrder {
+                report.new_order_commits += 1;
+            }
+            report.latency.record(result.completion_us - arrival);
+        } else {
+            report.user_rollbacks += 1;
+        }
+        report.horizon_us = report.horizon_us.max(result.completion_us);
+        heap.push(Reverse(Event(result.completion_us, term)));
+    }
+
+    if report.horizon_us > 0.0 {
+        report.tpmc = report.new_order_commits as f64 / (report.horizon_us / 60e6);
+        report.tps = report.committed as f64 / (report.horizon_us / 1e6);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial engine with constant 1 ms latency.
+    struct Constant;
+    impl SimEngine for Constant {
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+        fn execute(&mut self, _req: &TxnRequest, arrival_us: f64) -> ExecResult {
+            ExecResult { completion_us: arrival_us + 1000.0, committed: true }
+        }
+    }
+
+    #[test]
+    fn closed_loop_throughput_matches_littles_law() {
+        let cfg = SimConfig {
+            warehouses: 2,
+            scale: ScaleParams::tiny(),
+            mix: Mix::standard(),
+            terminals: 10,
+            total_txns: 1000,
+            seed: 1,
+        };
+        let report = run_sim(&mut Constant, &cfg);
+        // 10 terminals, 1ms each => 10k tps.
+        assert!((report.tps - 10_000.0).abs() / 10_000.0 < 0.05, "tps = {}", report.tps);
+        assert!((report.latency.mean() - 1000.0).abs() < 1.0);
+        assert_eq!(report.committed, 1000);
+        // ~45% of the standard mix are new-orders.
+        let no_frac = report.new_order_commits as f64 / report.committed as f64;
+        assert!((no_frac - 0.45).abs() < 0.06, "new-order fraction {no_frac}");
+    }
+}

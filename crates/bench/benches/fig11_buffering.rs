@@ -1,0 +1,75 @@
+//! Figure 11: buffering strategies (write-intensive mix, RF1, 7 SNs).
+//!
+//! Paper: the plain transaction buffer (TB) wins; the shared record buffer
+//! (SB) loses slightly (hit ratio a meagre 1.42 %); version-set
+//! synchronization (SBVS, cache units 10/1000) achieves much better hit
+//! ratios (37.37 % for SBVS1000) but the per-update stamp maintenance
+//! costs more than the hits save: "with fast RDMA the overhead of
+//! buffering data does not pay off".
+
+use tell_bench::*;
+use tell_core::{BufferConfig, TellConfig};
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Figure 11 — buffering strategies (write-intensive, RF1)",
+        "TB > SB > SBVS10/SBVS1000; SB hit ratio ≈1.4%, SBVS1000 ≈37%",
+    );
+    let env = BenchEnv::from_env();
+    let strategies = [
+        BufferConfig::TransactionOnly,
+        BufferConfig::Shared { capacity: 4096 },
+        BufferConfig::SharedVersionSync { capacity: 4096, cache_unit: 10 },
+        BufferConfig::SharedVersionSync { capacity: 4096, cache_unit: 1000 },
+    ];
+    table_header(&["strategy", "PNs", "TpmC", "Tps", "buffer hit ratio", "mean latency"]);
+    let mut at_4pn = Vec::new();
+    let mut hit_ratios = Vec::new();
+    for strategy in &strategies {
+        for pns in [1usize, 2, 4] {
+            let config = TellConfig {
+                storage_nodes: 7,
+                replication_factor: 1,
+                buffer: strategy.clone(),
+                ..TellConfig::default()
+            };
+            let engine = setup_tell(config, &env).expect("setup");
+            let report = run_tell(&engine, &env, Mix::standard(), pns).expect("run");
+            table_row(&[
+                strategy.label(),
+                pns.to_string(),
+                fmt_k(report.tpmc),
+                fmt_k(report.tps),
+                fmt_pct(report.buffer_hit_ratio),
+                fmt_ms(report.latency.mean()),
+            ]);
+            if pns == 4 {
+                at_4pn.push(report.tpmc);
+                hit_ratios.push(report.buffer_hit_ratio);
+            }
+        }
+    }
+    // Shapes: TB on top; SBVS's better hit ratio does not save it.
+    assert!(
+        at_4pn[0] >= at_4pn[1] * 0.98,
+        "TB must not lose to SB: {at_4pn:?}"
+    );
+    assert!(
+        at_4pn[0] > at_4pn[2] && at_4pn[0] > at_4pn[3],
+        "TB must beat both SBVS variants: {at_4pn:?}"
+    );
+    assert!(
+        hit_ratios[3] > hit_ratios[1],
+        "SBVS1000 must hit more often than SB: {hit_ratios:?}"
+    );
+    println!(
+        "\nshape ok: TB {} ≥ SB {} > SBVS10 {} / SBVS1000 {}; hit ratios SB {} vs SBVS1000 {}",
+        fmt_k(at_4pn[0]),
+        fmt_k(at_4pn[1]),
+        fmt_k(at_4pn[2]),
+        fmt_k(at_4pn[3]),
+        fmt_pct(hit_ratios[1]),
+        fmt_pct(hit_ratios[3])
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 5: processing scale-out, write-intensive (standard) mix.
+//!
+//! Paper: with RF1 throughput grows from 143k TpmC (1 PN) to 958k (8 PNs),
+//! sub-linearly because the abort rate rises (2.91 % → 14.72 %); RF3 peaks
+//! 63.2 % below RF1 because synchronous replication slows every write.
+
+use tell_bench::*;
+use tell_core::BufferConfig;
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Figure 5 — scale-out processing (write-intensive)",
+        "RF1: 143k→958k TpmC over 1→8 PNs; abort rate 2.9%→14.7%; RF3 peak ≈ −63% vs RF1",
+    );
+    let env = BenchEnv::from_env();
+    table_header(&["RF", "PNs", "TpmC", "Tps", "abort rate", "mean latency"]);
+    let mut series: Vec<(usize, Vec<f64>)> = Vec::new();
+    for rf in [1usize, 2, 3] {
+        let mut points = Vec::new();
+        for pns in [1usize, 2, 4, 8] {
+            let engine = setup_tell(tell_config(rf, BufferConfig::TransactionOnly), &env)
+                .expect("setup");
+            let report = run_tell(&engine, &env, Mix::standard(), pns).expect("run");
+            let mut cells = vec![format!("RF{rf}"), pns.to_string()];
+            cells.extend(report_cells(&report));
+            table_row(&cells);
+            points.push(report.tpmc);
+        }
+        series.push((rf, points));
+    }
+
+    // Shape checks (who wins, roughly by what factor).
+    let rf1 = &series[0].1;
+    let rf3 = &series[2].1;
+    assert!(rf1[3] > rf1[0] * 3.0, "RF1 must scale with PNs: {rf1:?}");
+    assert!(
+        rf3[3] < rf1[3] * 0.75,
+        "synchronous replication must cost throughput: RF3 {} vs RF1 {}",
+        rf3[3],
+        rf1[3]
+    );
+    println!("\nshape ok: RF1 scales {:.1}x over 1→8 PNs; RF3 peak at {:.0}% of RF1",
+        rf1[3] / rf1[0],
+        rf3[3] / rf1[3] * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! Figure 8: throughput vs total CPU cores, TPC-C standard mix, RF3.
+//!
+//! Paper: Tell scales to 374,894 TpmC at 78 cores; MySQL Cluster stays
+//! flat around 83,524; VoltDB *decreases* with size to 23,183 (multi-
+//! partition transactions fence the cluster); FoundationDB scales but is
+//! more than a factor 30 below Tell.
+
+use tell_bench::*;
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Figure 8 — throughput (TPC-C standard, RF3)",
+        "Tell ≫ MySQL Cluster > VoltDB; FDB lowest but scaling; Tell/MySQL ≈ 4.5×, Tell/VoltDB ≈ 16×, Tell/FDB ≈ 30× at the largest size",
+    );
+    let env = comparison_env();
+    table_header(&["size (≈cores)", "system", "TpmC", "mean latency"]);
+    let mut tell_curve = Vec::new();
+    let mut volt_curve = Vec::new();
+    let mut ndb_curve = Vec::new();
+    let mut fdb_curve = Vec::new();
+    for size in cluster_sizes() {
+        let label = format!("{} ({})", size.label, size.cores);
+        let tell = tell_at_size(&env, &size, Mix::standard(), 3);
+        table_row(&[label.clone(), "Tell".into(), fmt_k(tell.tpmc), fmt_ms(tell.latency.mean())]);
+        tell_curve.push(tell.tpmc);
+        let ndb = ndb_at_size(&env, &size, Mix::standard(), 2);
+        table_row(&[label.clone(), ndb.engine.into(), fmt_k(ndb.tpmc), fmt_ms(ndb.latency.mean())]);
+        ndb_curve.push(ndb.tpmc);
+        let volt = voltdb_at_size(&env, &size, Mix::standard(), 3);
+        table_row(&[label.clone(), volt.engine.into(), fmt_k(volt.tpmc), fmt_ms(volt.latency.mean())]);
+        volt_curve.push(volt.tpmc);
+        let fdb = fdb_at_size(&env, &size, Mix::standard());
+        table_row(&[label, fdb.engine.into(), fmt_k(fdb.tpmc), fmt_ms(fdb.latency.mean())]);
+        fdb_curve.push(fdb.tpmc);
+    }
+
+    // Shape assertions.
+    let last = tell_curve.len() - 1;
+    assert!(tell_curve[last] > tell_curve[0] * 3.0, "Tell must scale: {tell_curve:?}");
+    assert!(
+        tell_curve[last] > ndb_curve[last] * 2.0,
+        "Tell must beat MySQL Cluster clearly: {} vs {}",
+        tell_curve[last],
+        ndb_curve[last]
+    );
+    assert!(
+        ndb_curve[last] < ndb_curve[0] * 1.6,
+        "MySQL Cluster must stay flat: {ndb_curve:?}"
+    );
+    assert!(
+        volt_curve[last] < volt_curve[0] * 1.2,
+        "VoltDB must not scale on the standard mix: {volt_curve:?}"
+    );
+    assert!(
+        ndb_curve[last] > volt_curve[last],
+        "MySQL Cluster beats VoltDB on the standard mix"
+    );
+    assert!(
+        fdb_curve[last] > fdb_curve[0] * 1.5,
+        "FDB-like scales with nodes: {fdb_curve:?}"
+    );
+    assert!(
+        tell_curve[last] / fdb_curve[last] > 8.0,
+        "Tell must dwarf the FDB-like engine: {}x",
+        tell_curve[last] / fdb_curve[last]
+    );
+    println!(
+        "\nshape ok: at L, Tell/MySQL = {:.1}x, Tell/VoltDB = {:.1}x, Tell/FDB = {:.1}x",
+        tell_curve[last] / ndb_curve[last],
+        tell_curve[last] / volt_curve[last],
+        tell_curve[last] / fdb_curve[last]
+    );
+}

@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks for the core data structures and primitives:
+//! LL/SC operations, snapshot descriptors, record codec + GC, the
+//! distributed B+tree, the row codec, and buffer lookups.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tell_commitmgr::SnapshotDescriptor;
+use tell_common::{BitSet, IndexId, TxnId};
+use tell_core::VersionedRecord;
+use tell_index::{BTreeConfig, DistributedBTree};
+use tell_sql::row::{decode_row, encode_key, encode_row};
+use tell_sql::{Column, DataType, TableSchema, Value};
+use tell_store::{StoreClient, StoreCluster, StoreConfig};
+
+fn bench_llsc(c: &mut Criterion) {
+    let cluster = StoreCluster::new(StoreConfig::new(2));
+    let client = StoreClient::unmetered(cluster);
+    let key = Bytes::from_static(b"hot");
+    client.insert(&key, Bytes::from_static(b"payload")).unwrap();
+    c.bench_function("store/llsc_read_modify_write", |b| {
+        b.iter(|| {
+            let (token, _) = client.get(&key).unwrap().unwrap();
+            client
+                .store_conditional(&key, token, Bytes::from_static(b"payload"))
+                .unwrap()
+        })
+    });
+    c.bench_function("store/get", |b| b.iter(|| client.get(black_box(&key)).unwrap()));
+    let counter = tell_store::keys::counter("bench");
+    c.bench_function("store/increment", |b| b.iter(|| client.increment(&counter, 64).unwrap()));
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut bits = BitSet::new();
+    for i in (0..10_000).step_by(3) {
+        bits.set(i);
+    }
+    let snap = SnapshotDescriptor::new(1_000_000, bits);
+    c.bench_function("snapshot/contains", |b| {
+        b.iter(|| {
+            black_box(snap.contains(black_box(1_004_999)))
+                ^ black_box(snap.contains(black_box(999)))
+        })
+    });
+    let versions: Vec<u64> = (999_990..1_000_010).collect();
+    c.bench_function("snapshot/max_visible", |b| {
+        b.iter(|| snap.max_visible(black_box(versions.iter().copied())))
+    });
+    c.bench_function("snapshot/encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(snap.encoded_len());
+            snap.encode_into(&mut out);
+            out
+        })
+    });
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut rec = VersionedRecord::with_initial(TxnId(0), Bytes::from(vec![1u8; 128]));
+    for t in 1..16u64 {
+        rec.add_version(TxnId(t * 5), Some(Bytes::from(vec![t as u8; 128])));
+    }
+    let encoded = rec.encode();
+    c.bench_function("record/encode_16_versions", |b| b.iter(|| black_box(&rec).encode()));
+    c.bench_function("record/decode_16_versions", |b| {
+        b.iter(|| VersionedRecord::decode(black_box(&encoded)).unwrap())
+    });
+    c.bench_function("record/gc", |b| {
+        b.iter(|| {
+            let mut r = rec.clone();
+            r.gc(black_box(40));
+            r
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let cluster = StoreCluster::new(StoreConfig::new(2));
+    let tree = DistributedBTree::create(
+        StoreClient::unmetered(Arc::clone(&cluster)),
+        IndexId(1),
+        BTreeConfig::default(),
+    )
+    .unwrap();
+    for i in 0..10_000u64 {
+        tree.insert(Bytes::copy_from_slice(&i.to_be_bytes()), i).unwrap();
+    }
+    let probe = Bytes::copy_from_slice(&4242u64.to_be_bytes());
+    c.bench_function("btree/lookup_10k", |b| b.iter(|| tree.lookup(black_box(&probe)).unwrap()));
+    let mut next = 10_000u64;
+    c.bench_function("btree/insert", |b| {
+        b.iter(|| {
+            next += 1;
+            tree.insert(Bytes::copy_from_slice(&next.to_be_bytes()), next).unwrap()
+        })
+    });
+    c.bench_function("btree/range_100", |b| {
+        b.iter(|| {
+            tree.range(
+                black_box(&Bytes::copy_from_slice(&1000u64.to_be_bytes())),
+                None,
+                100,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_row_codec(c: &mut Criterion) {
+    let schema = TableSchema {
+        name: "bench".into(),
+        columns: vec![
+            Column { name: "a".into(), dtype: DataType::Int, nullable: false },
+            Column { name: "b".into(), dtype: DataType::Double, nullable: false },
+            Column { name: "c".into(), dtype: DataType::Text, nullable: true },
+            Column { name: "d".into(), dtype: DataType::Int, nullable: false },
+        ],
+        primary_key: vec![0],
+        secondary: vec![],
+    };
+    let row = vec![
+        Value::Int(42),
+        Value::Double(3.25),
+        Value::Text("some moderately sized text value".into()),
+        Value::Int(7),
+    ];
+    let encoded = encode_row(&schema, &row).unwrap();
+    c.bench_function("row/encode", |b| b.iter(|| encode_row(&schema, black_box(&row)).unwrap()));
+    c.bench_function("row/decode", |b| b.iter(|| decode_row(&schema, black_box(&encoded)).unwrap()));
+    c.bench_function("row/encode_key", |b| {
+        b.iter(|| encode_key(black_box(&[Value::Int(1), Value::Int(2), Value::Text("k".into())])))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_llsc,
+    bench_snapshot,
+    bench_record,
+    bench_btree,
+    bench_row_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 2: the write- and read-intensive TPC-C workload mixes, with the
+//! *measured* write ratio of storage operations (paper: 35.84 % and
+//! 4.89 %).
+
+use tell_bench::*;
+use tell_core::BufferConfig;
+use tell_tpcc::mix::{Mix, TxnType};
+
+fn main() {
+    section(
+        "Table 2 — workload mixes",
+        "standard mix write ratio 35.84% (TpmC metric); read-intensive 4.89% (Tps metric)",
+    );
+    let env = BenchEnv { txns_per_worker: 300, ..BenchEnv::from_env() };
+    table_header(&[
+        "Mix",
+        "write ratio (measured)",
+        "metric",
+        "new-order",
+        "payment",
+        "delivery",
+        "order-status",
+        "stock-level",
+    ]);
+    for (mix, metric) in [(Mix::standard(), "TpmC"), (Mix::read_intensive(), "Tps")] {
+        let engine = setup_tell(tell_config(1, BufferConfig::TransactionOnly), &env).expect("setup");
+        let report = run_tell(&engine, &env, mix.clone(), 2).expect("run");
+        let traffic = engine.database().traffic();
+        let mut cells = vec![
+            mix.name.to_string(),
+            fmt_pct(traffic.write_ratio()),
+            metric.to_string(),
+        ];
+        for (i, _) in TxnType::ALL.iter().enumerate() {
+            cells.push(format!("{}%", mix.weights[i]));
+        }
+        table_row(&cells);
+        let measured = report.per_type;
+        let total: u64 = measured.iter().sum();
+        eprintln!(
+            "  measured mix: {:?} of {} committed",
+            measured
+                .iter()
+                .map(|c| format!("{:.0}%", *c as f64 / total as f64 * 100.0))
+                .collect::<Vec<_>>(),
+            total
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 4: TPC-C transaction response times (mean ± σ) on the small and
+//! large configurations, standard and shardable workloads.
+//!
+//! Paper (ms): standard small/large — Tell 14±27 / 23±41, MySQL 34±42 /
+//! 88±40, VoltDB 706±1877 / 4625±1875, FDB 149±186 / 163±138; shardable —
+//! VoltDB collapses to 62±77 / 243±59. The *ordering* and the VoltDB
+//! standard-vs-shardable collapse are the shapes to reproduce.
+
+use tell_bench::*;
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Table 4 — transaction response times (mean ± σ)",
+        "Tell fastest; VoltDB's standard-mix latency is catastrophic but collapses on the shardable mix",
+    );
+    let env = comparison_env();
+    let sizes = cluster_sizes();
+    let small = &sizes[0];
+    let large = &sizes[2];
+
+    table_header(&["workload", "system", "small (ms)", "large (ms)"]);
+    let fmt = |mean_us: f64, std_us: f64| format!("{:.2} ± {:.2}", mean_us / 1e3, std_us / 1e3);
+
+    let mut volt_standard_small = 0.0;
+    let mut volt_shardable_small = 0.0;
+    let mut tell_standard_small = 0.0;
+    let mut fdb_standard_small = 0.0;
+
+    for (wl, mix) in [("standard", Mix::standard()), ("shardable", Mix::shardable())] {
+        let tell_s = tell_at_size(&env, small, mix.clone(), 3);
+        let tell_l = tell_at_size(&env, large, mix.clone(), 3);
+        table_row(&[
+            wl.into(),
+            "Tell".into(),
+            fmt(tell_s.latency.mean(), tell_s.latency.stddev()),
+            fmt(tell_l.latency.mean(), tell_l.latency.stddev()),
+        ]);
+        if wl == "standard" {
+            tell_standard_small = tell_s.latency.mean();
+        }
+
+        let ndb_s = ndb_at_size(&env, small, mix.clone(), 2);
+        let ndb_l = ndb_at_size(&env, large, mix.clone(), 2);
+        table_row(&[
+            wl.into(),
+            "MySQL-Cluster-like".into(),
+            fmt(ndb_s.latency.mean(), ndb_s.latency.stddev()),
+            fmt(ndb_l.latency.mean(), ndb_l.latency.stddev()),
+        ]);
+
+        let volt_s = voltdb_at_size(&env, small, mix.clone(), 3);
+        let volt_l = voltdb_at_size(&env, large, mix.clone(), 3);
+        table_row(&[
+            wl.into(),
+            "VoltDB-like".into(),
+            fmt(volt_s.latency.mean(), volt_s.latency.stddev()),
+            fmt(volt_l.latency.mean(), volt_l.latency.stddev()),
+        ]);
+        if wl == "standard" {
+            volt_standard_small = volt_s.latency.mean();
+        } else {
+            volt_shardable_small = volt_s.latency.mean();
+        }
+
+        if wl == "standard" {
+            let fdb_s = fdb_at_size(&env, small, mix.clone());
+            let fdb_l = fdb_at_size(&env, large, mix.clone());
+            table_row(&[
+                wl.into(),
+                "FoundationDB-like".into(),
+                fmt(fdb_s.latency.mean(), fdb_s.latency.stddev()),
+                fmt(fdb_l.latency.mean(), fdb_l.latency.stddev()),
+            ]);
+            fdb_standard_small = fdb_s.latency.mean();
+        }
+    }
+
+    assert!(
+        tell_standard_small < fdb_standard_small && tell_standard_small < volt_standard_small,
+        "Tell must have the lowest latency"
+    );
+    assert!(
+        volt_standard_small > volt_shardable_small * 3.0,
+        "VoltDB latency must collapse on the shardable mix: {volt_standard_small} vs {volt_shardable_small}"
+    );
+    println!(
+        "\nshape ok: Tell {:.1}ms < others; VoltDB standard/shardable latency ratio {:.1}x (paper ≈ 11x)",
+        tell_standard_small / 1e3,
+        volt_standard_small / volt_shardable_small
+    );
+}

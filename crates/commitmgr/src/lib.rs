@@ -1,0 +1,25 @@
+//! `tell-commitmgr` — the commit manager (§4.2 of the paper).
+//!
+//! The commit manager is the only piece of shared transaction state in
+//! Tell's otherwise fully decentralized design, and it is deliberately
+//! *lightweight*: it hands out transaction ids, snapshot descriptors and
+//! the lowest active version number, and records commit/abort outcomes. It
+//! performs **no** commit validation — conflict detection happens in the
+//! storage layer through LL/SC (§4.1), which is why the commit manager never
+//! becomes a bottleneck (Table 3).
+//!
+//! * [`snapshot::SnapshotDescriptor`] — `base` version + bitset `N` of newly
+//!   committed tids, exactly the paper's structure.
+//! * [`manager::CommitManager`] — `start` / `set_committed` / `set_aborted`,
+//!   tid-range allocation through the store's atomic counter (LL/SC), and
+//!   periodic state synchronization through the store.
+//! * [`cluster::CmCluster`] — several commit managers operating in parallel
+//!   with snapshot synchronization and fail-over (§4.4.3).
+
+pub mod cluster;
+pub mod manager;
+pub mod snapshot;
+
+pub use cluster::CmCluster;
+pub use manager::{CmConfig, CommitManager, TxnStart};
+pub use snapshot::SnapshotDescriptor;

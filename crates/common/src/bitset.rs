@@ -1,0 +1,320 @@
+//! A growable bitset.
+//!
+//! The commit manager's snapshot descriptor (§4.2) stores the set `N` of
+//! newly-committed transaction ids above the base version as a bitset: "each
+//! consecutive bit in N represents the next higher tid and if set indicates a
+//! committed transaction". This type is that bitset. It also serializes to a
+//! compact little-endian byte layout because snapshot descriptors travel
+//! through the shared store when multiple commit managers synchronize.
+
+const WORD_BITS: usize = 64;
+
+/// Growable bitset backed by `u64` words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of set bits, maintained incrementally.
+    ones: usize,
+}
+
+impl BitSet {
+    /// Empty bitset.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new(), ones: 0 }
+    }
+
+    /// Empty bitset with room for `bits` bits before reallocating.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitSet { words: Vec::with_capacity(bits.div_ceil(WORD_BITS)), ones: 0 }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// True if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Capacity in bits currently backed by storage.
+    #[inline]
+    pub fn bit_capacity(&self) -> usize {
+        self.words.len() * WORD_BITS
+    }
+
+    /// Test bit `i`. Bits beyond the backing storage read as unset.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        match self.words.get(i / WORD_BITS) {
+            Some(w) => (w >> (i % WORD_BITS)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Set bit `i`, growing as needed. Returns whether the bit was newly set.
+    pub fn set(&mut self, i: usize) -> bool {
+        let word = i / WORD_BITS;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (i % WORD_BITS);
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        if newly {
+            self.ones += 1;
+        }
+        newly
+    }
+
+    /// Clear bit `i`. Returns whether the bit was previously set.
+    pub fn clear(&mut self, i: usize) -> bool {
+        let word = i / WORD_BITS;
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (i % WORD_BITS);
+        let was = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        if was {
+            self.ones -= 1;
+        }
+        was
+    }
+
+    /// Remove every bit and release storage.
+    pub fn reset(&mut self) {
+        self.words.clear();
+        self.ones = 0;
+    }
+
+    /// Index of the lowest *unset* bit (the "next hole"). Used by the commit
+    /// manager to advance the base version past a dense committed prefix.
+    pub fn first_zero(&self) -> usize {
+        for (wi, w) in self.words.iter().enumerate() {
+            if *w != u64::MAX {
+                return wi * WORD_BITS + w.trailing_ones() as usize;
+            }
+        }
+        self.words.len() * WORD_BITS
+    }
+
+    /// Index of the highest set bit, if any.
+    pub fn last_one(&self) -> Option<usize> {
+        for (wi, w) in self.words.iter().enumerate().rev() {
+            if *w != 0 {
+                return Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Shift the whole set right by `n` bits (dropping the lowest `n`). Used
+    /// when the snapshot base advances: bits representing tids at or below the
+    /// new base are discarded.
+    pub fn shift_down(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let word_shift = n / WORD_BITS;
+        let bit_shift = n % WORD_BITS;
+        if word_shift >= self.words.len() {
+            self.reset();
+            return;
+        }
+        self.words.drain(..word_shift);
+        if bit_shift > 0 {
+            let len = self.words.len();
+            for i in 0..len {
+                let hi = if i + 1 < len { self.words[i + 1] } else { 0 };
+                self.words[i] = (self.words[i] >> bit_shift) | (hi << (WORD_BITS - bit_shift));
+            }
+        }
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+        self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Union with another bitset.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+        self.ones = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Iterate over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + bit)
+                }
+            })
+        })
+    }
+
+    /// Serialized size in bytes (word count prefix + words).
+    pub fn encoded_len(&self) -> usize {
+        4 + self.words.len() * 8
+    }
+
+    /// Append the little-endian encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Decode from the front of `buf`, returning the bitset and bytes consumed.
+    pub fn decode_from(buf: &[u8]) -> Option<(BitSet, usize)> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
+        let need = 4 + n * 8;
+        if buf.len() < need {
+            return None;
+        }
+        let mut words = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 4 + i * 8;
+            words.push(u64::from_le_bytes(buf[off..off + 8].try_into().ok()?));
+        }
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        Some((BitSet { words, ones }, need))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new();
+        assert!(!b.get(100));
+        assert!(b.set(100));
+        assert!(!b.set(100));
+        assert!(b.get(100));
+        assert_eq!(b.count_ones(), 1);
+        assert!(b.clear(100));
+        assert!(!b.clear(100));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn first_zero_scans_past_dense_prefix() {
+        let mut b = BitSet::new();
+        for i in 0..130 {
+            b.set(i);
+        }
+        assert_eq!(b.first_zero(), 130);
+        b.clear(64);
+        assert_eq!(b.first_zero(), 64);
+        assert_eq!(BitSet::new().first_zero(), 0);
+    }
+
+    #[test]
+    fn last_one() {
+        let mut b = BitSet::new();
+        assert_eq!(b.last_one(), None);
+        b.set(0);
+        b.set(200);
+        assert_eq!(b.last_one(), Some(200));
+        b.clear(200);
+        assert_eq!(b.last_one(), Some(0));
+    }
+
+    #[test]
+    fn shift_down_drops_low_bits() {
+        let mut b = BitSet::new();
+        b.set(3);
+        b.set(70);
+        b.set(130);
+        b.shift_down(70);
+        assert!(b.get(0)); // old 70
+        assert!(b.get(60)); // old 130
+        assert!(!b.get(3));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn shift_down_entire_set() {
+        let mut b = BitSet::new();
+        b.set(5);
+        b.shift_down(1000);
+        assert!(b.is_empty());
+        assert_eq!(b.bit_capacity(), 0);
+    }
+
+    #[test]
+    fn shift_down_word_aligned() {
+        let mut b = BitSet::new();
+        b.set(64);
+        b.set(65);
+        b.shift_down(64);
+        assert!(b.get(0));
+        assert!(b.get(1));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::new();
+        a.set(1);
+        let mut b = BitSet::new();
+        b.set(1);
+        b.set(100);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(100));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_is_sorted() {
+        let mut b = BitSet::new();
+        for i in [5usize, 1, 64, 63, 200] {
+            b.set(i);
+        }
+        let v: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(v, vec![1, 5, 63, 64, 200]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut b = BitSet::new();
+        b.set(0);
+        b.set(77);
+        b.set(1000);
+        let mut buf = Vec::new();
+        b.encode_into(&mut buf);
+        assert_eq!(buf.len(), b.encoded_len());
+        let (d, used) = BitSet::decode_from(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut b = BitSet::new();
+        b.set(9);
+        let mut buf = Vec::new();
+        b.encode_into(&mut buf);
+        assert!(BitSet::decode_from(&buf[..buf.len() - 1]).is_none());
+        assert!(BitSet::decode_from(&[1, 2]).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulated (virtual-time) clocks.
+//!
+//! The benchmark methodology (DESIGN.md §1) measures throughput and latency
+//! in *simulated microseconds*: every worker thread owns a [`SimClock`] and
+//! the storage/network layers charge operation costs against it. This is what
+//! lets a 12-server InfiniBand testbed be reproduced on a single machine —
+//! latency budgets are preserved even though wall-clock time is not.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A per-worker virtual clock measured in microseconds.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying clock
+/// (shared within one worker thread; `SimClock` is deliberately `!Send` so it
+/// cannot be accidentally shared across threads — cross-thread aggregation
+/// goes through [`SimClock::now_us`] snapshots).
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    micros: Rc<Cell<f64>>,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time in microseconds.
+    #[inline]
+    pub fn now_us(&self) -> f64 {
+        self.micros.get()
+    }
+
+    /// Advance the clock by `us` microseconds.
+    #[inline]
+    pub fn advance(&self, us: f64) {
+        debug_assert!(us >= 0.0, "clocks only move forward");
+        self.micros.set(self.micros.get() + us);
+    }
+
+    /// Move the clock to `us` if that is later than the current time.
+    /// Used when a worker waits on a resource that frees up at a known time.
+    #[inline]
+    pub fn advance_to(&self, us: f64) {
+        if us > self.micros.get() {
+            self.micros.set(us);
+        }
+    }
+
+    /// Reset to time zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.micros.set(0.0);
+    }
+}
+
+/// A thread-safe monotonically-advancing virtual timestamp, used by shared
+/// services (e.g. the centralized validator in the FoundationDB-like
+/// baseline) to model a serial resource: each request occupies the resource
+/// for `service_us` and observes the queueing delay caused by earlier
+/// requests.
+#[derive(Debug, Default)]
+pub struct SharedBusyClock {
+    /// Time (in nanoseconds, as integer for atomic math) at which the
+    /// resource becomes free.
+    free_at_ns: AtomicU64,
+}
+
+impl SharedBusyClock {
+    /// Resource free at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SharedBusyClock::default())
+    }
+
+    /// Occupy the resource for `service_us` starting no earlier than
+    /// `arrival_us`. Returns the virtual time at which the request completes.
+    pub fn occupy(&self, arrival_us: f64, service_us: f64) -> f64 {
+        let arrival_ns = (arrival_us * 1000.0) as u64;
+        let service_ns = (service_us * 1000.0) as u64;
+        let mut cur = self.free_at_ns.load(Ordering::Relaxed);
+        loop {
+            let start = cur.max(arrival_ns);
+            let done = start + service_ns;
+            match self.free_at_ns.compare_exchange_weak(
+                cur,
+                done,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return done as f64 / 1000.0,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Time at which the resource is next free, in microseconds.
+    pub fn free_at_us(&self) -> f64 {
+        self.free_at_ns.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_us(), 0.0);
+        c.advance(5.5);
+        c.advance(1.0);
+        assert!((c.now_us() - 6.5).abs() < 1e-9);
+        c.advance_to(4.0); // in the past: no-op
+        assert!((c.now_us() - 6.5).abs() < 1e-9);
+        c.advance_to(10.0);
+        assert_eq!(c.now_us(), 10.0);
+        c.reset();
+        assert_eq!(c.now_us(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(3.0);
+        assert_eq!(b.now_us(), 3.0);
+    }
+
+    #[test]
+    fn busy_clock_serializes_requests() {
+        let c = SharedBusyClock::new();
+        // Two requests arriving at t=0 with 10us service: second finishes at 20.
+        let d1 = c.occupy(0.0, 10.0);
+        let d2 = c.occupy(0.0, 10.0);
+        assert_eq!(d1, 10.0);
+        assert_eq!(d2, 20.0);
+        // A late arrival does not travel back in time.
+        let d3 = c.occupy(100.0, 5.0);
+        assert_eq!(d3, 105.0);
+        assert_eq!(c.free_at_us(), 105.0);
+    }
+
+    #[test]
+    fn busy_clock_is_thread_safe() {
+        let c = SharedBusyClock::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    c.occupy(0.0, 1.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 400 serialized 1us requests => free at 400us exactly.
+        assert_eq!(c.free_at_us(), 400.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Hand-rolled little-endian binary codec helpers.
+//!
+//! Every persistent format in the workspace — versioned records, B+tree
+//! nodes, transaction-log entries, commit-manager state — is encoded with
+//! these helpers. Using one tiny codec instead of a serialization framework
+//! keeps wire sizes predictable (they feed the network cost model) and the
+//! workspace dependency-free.
+
+use crate::error::{Error, Result};
+
+/// Cursor-style reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap `buf` with the cursor at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::corrupt(format!(
+                "truncated input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a single byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed (u32) byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| Error::corrupt("invalid utf-8 string"))
+    }
+
+    /// Read a raw fixed-size slice without a length prefix.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+/// Append-only writer mirror of [`Reader`].
+pub trait Writer {
+    /// Append raw bytes.
+    fn put_raw(&mut self, b: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_raw(&[v]);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.put_raw(&v.to_le_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_raw(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_raw(&v.to_le_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.put_raw(&v.to_le_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.put_raw(&v.to_le_bytes());
+    }
+    /// Append a u32-length-prefixed byte slice.
+    fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.put_raw(b);
+    }
+    /// Append a u32-length-prefixed UTF-8 string.
+    fn put_string(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+impl Writer for Vec<u8> {
+    fn put_raw(&mut self, b: &[u8]) {
+        self.extend_from_slice(b);
+    }
+}
+
+/// Big-endian order-preserving encodings, used for store keys that must sort
+/// correctly as raw bytes (B+tree separator keys, range scans).
+pub mod orderpreserving {
+    /// Encode a `u64` so that byte-wise ordering equals numeric ordering.
+    pub fn encode_u64(v: u64) -> [u8; 8] {
+        v.to_be_bytes()
+    }
+
+    /// Inverse of [`encode_u64`].
+    pub fn decode_u64(b: &[u8]) -> Option<u64> {
+        Some(u64::from_be_bytes(b.get(..8)?.try_into().ok()?))
+    }
+
+    /// Encode an `i64` order-preservingly by flipping the sign bit.
+    pub fn encode_i64(v: i64) -> [u8; 8] {
+        ((v as u64) ^ (1u64 << 63)).to_be_bytes()
+    }
+
+    /// Inverse of [`encode_i64`].
+    pub fn decode_i64(b: &[u8]) -> Option<i64> {
+        let u = u64::from_be_bytes(b.get(..8)?.try_into().ok()?);
+        Some((u ^ (1u64 << 63)) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16(65535);
+        buf.put_u32(1 << 30);
+        buf.put_u64(u64::MAX - 1);
+        buf.put_i64(-42);
+        buf.put_f64(3.5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 1 << 30);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 3.5);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_bytes_and_strings() {
+        let mut buf = Vec::new();
+        buf.put_bytes(b"hello");
+        buf.put_string("w\u{00f6}rld");
+        buf.put_bytes(b"");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.string().unwrap(), "w\u{00f6}rld");
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        buf.put_u64(1);
+        let mut r = Reader::new(&buf[..4]);
+        assert!(r.u64().is_err());
+        let mut r2 = Reader::new(&[3, 0, 0, 0, b'a']);
+        assert!(r2.bytes().is_err()); // claims 3 bytes, only 1 present
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut buf = Vec::new();
+        buf.put_bytes(&[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.string(), Err(crate::Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn order_preserving_u64() {
+        let mut prev = orderpreserving::encode_u64(0).to_vec();
+        for v in [1u64, 2, 255, 256, 1 << 20, u64::MAX] {
+            let cur = orderpreserving::encode_u64(v).to_vec();
+            assert!(cur > prev, "encoding must preserve order for {v}");
+            assert_eq!(orderpreserving::decode_u64(&cur), Some(v));
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn order_preserving_i64() {
+        let values = [i64::MIN, -5, -1, 0, 1, 5, i64::MAX];
+        let encoded: Vec<_> = values.iter().map(|v| orderpreserving::encode_i64(*v)).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for (v, e) in values.iter().zip(encoded.iter()) {
+            assert_eq!(orderpreserving::decode_i64(e), Some(*v));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Workspace-wide error type.
+//!
+//! Kept dependency-free: a plain enum with hand-written `Display`. Variants
+//! are coarse on purpose — callers in the transaction layer mostly need to
+//! distinguish *conflict* (retryable under optimistic concurrency control)
+//! from everything else.
+
+use std::fmt;
+
+/// Convenience alias used by every crate in the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the storage, transaction and query layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A store-conditional failed because the cell changed since load-link,
+    /// or a transactional write-write conflict was detected at commit.
+    Conflict,
+    /// The transaction was aborted; carries the reason.
+    Aborted(String),
+    /// Key / record / table / index not found.
+    NotFound,
+    /// The storage system (or a required partition) is unavailable.
+    Unavailable(String),
+    /// A storage node ran out of its configured memory capacity.
+    CapacityExceeded { node: u32, capacity: usize },
+    /// Malformed on-wire or on-store bytes.
+    Corrupt(String),
+    /// Caller misuse: operating on a finished transaction, duplicate table
+    /// name, mismatched schema, etc.
+    InvalidOperation(String),
+    /// SQL lexing/parsing error with position information.
+    Parse { message: String, position: usize },
+    /// Planner/executor error (unknown column, type mismatch, ...).
+    Query(String),
+    /// A feature intentionally outside the reproduction scope.
+    Unsupported(String),
+}
+
+impl Error {
+    /// True when retrying the transaction may succeed (optimistic CC loser).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Conflict | Error::Aborted(_))
+    }
+
+    /// Shorthand for an [`Error::InvalidOperation`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidOperation(msg.into())
+    }
+
+    /// Shorthand for an [`Error::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Conflict => write!(f, "write-write conflict"),
+            Error::Aborted(r) => write!(f, "transaction aborted: {r}"),
+            Error::NotFound => write!(f, "not found"),
+            Error::Unavailable(w) => write!(f, "storage unavailable: {w}"),
+            Error::CapacityExceeded { node, capacity } => {
+                write!(f, "storage node sn:{node} exceeded capacity of {capacity} bytes")
+            }
+            Error::Corrupt(w) => write!(f, "corrupt data: {w}"),
+            Error::InvalidOperation(w) => write!(f, "invalid operation: {w}"),
+            Error::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            Error::Query(w) => write!(f, "query error: {w}"),
+            Error::Unsupported(w) => write!(f, "unsupported: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_is_retryable() {
+        assert!(Error::Conflict.is_retryable());
+        assert!(Error::Aborted("x".into()).is_retryable());
+        assert!(!Error::NotFound.is_retryable());
+        assert!(!Error::corrupt("bad").is_retryable());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Error::CapacityExceeded { node: 2, capacity: 1024 };
+        assert_eq!(e.to_string(), "storage node sn:2 exceeded capacity of 1024 bytes");
+        let p = Error::Parse { message: "unexpected ')'".into(), position: 12 };
+        assert!(p.to_string().contains("byte 12"));
+    }
+}

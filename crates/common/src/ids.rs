@@ -1,0 +1,122 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Transaction ids double as version numbers (§4.2 of the paper: "tids and
+//! version numbers are synonyms"), which is why [`TxnId`] exposes ordering
+//! and arithmetic helpers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw numeric value.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// System-wide unique transaction id. Monotonically incremented; also the
+    /// version number a transaction stamps on the data items it writes.
+    TxnId,
+    u64,
+    "tid:"
+);
+id_type!(
+    /// Record id: the key of a record in the shared store. Monotonically
+    /// incremented per table (§5.1).
+    Rid,
+    u64,
+    "rid:"
+);
+id_type!(
+    /// Table identifier assigned by the catalog.
+    TableId,
+    u32,
+    "tbl:"
+);
+id_type!(
+    /// Index identifier assigned by the catalog.
+    IndexId,
+    u32,
+    "idx:"
+);
+id_type!(
+    /// Processing-node identifier.
+    PnId,
+    u32,
+    "pn:"
+);
+id_type!(
+    /// Storage-node identifier.
+    SnId,
+    u32,
+    "sn:"
+);
+id_type!(
+    /// Commit-manager identifier.
+    CmId,
+    u32,
+    "cm:"
+);
+id_type!(
+    /// Partition of the store's key space.
+    PartitionId,
+    u32,
+    "part:"
+);
+
+impl TxnId {
+    /// The sentinel "no transaction"/bootstrap version. Version 0 is used for
+    /// data loaded outside any transaction (initial population).
+    pub const BOOTSTRAP: TxnId = TxnId(0);
+
+    /// Next transaction id.
+    #[inline]
+    pub fn next(self) -> TxnId {
+        TxnId(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(TxnId(7).to_string(), "tid:7");
+        assert_eq!(Rid(1).to_string(), "rid:1");
+        assert_eq!(SnId(3).to_string(), "sn:3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(TxnId(1) < TxnId(2));
+        assert_eq!(TxnId(5).next(), TxnId(6));
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let t: TxnId = 42u64.into();
+        assert_eq!(t.raw(), 42);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared primitives for the `tell-rs` workspace.
+//!
+//! This crate deliberately contains nothing database-specific: identifiers,
+//! error types, a growable bitset (used by snapshot descriptors), binary
+//! codec helpers (all wire and record formats in the workspace are
+//! hand-rolled little-endian), latency statistics, and the simulated clock
+//! that underpins the virtual-time benchmark methodology described in
+//! `DESIGN.md`.
+
+pub mod bitset;
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod stats;
+
+pub use bitset::BitSet;
+pub use clock::SimClock;
+pub use error::{Error, Result};
+pub use ids::{CmId, IndexId, PartitionId, PnId, Rid, SnId, TableId, TxnId};
+pub use stats::Histogram;

@@ -1,0 +1,240 @@
+//! Latency statistics: histograms with mean / standard deviation / tail
+//! percentiles, matching the metrics the paper reports (Table 4 mean ± σ,
+//! Table 5 TP99 / TP999).
+
+/// Log-bucketed latency histogram over non-negative `f64` samples
+/// (microseconds by convention).
+///
+/// Buckets grow geometrically (~2 % relative width), so percentile estimates
+/// are accurate to a couple of percent across nine orders of magnitude while
+/// the histogram stays a fixed ~12 KiB. Mean and variance are tracked exactly
+/// (Welford), not from buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Growth factor per bucket: 2^(1/32) ≈ 1.0219.
+const BUCKETS: usize = 1500;
+const GROWTH_LOG2_INV: f64 = 32.0;
+
+fn bucket_of(v: f64) -> usize {
+    if v < 1.0 {
+        return 0;
+    }
+    let b = (v.log2() * GROWTH_LOG2_INV) as usize + 1;
+    b.min(BUCKETS - 1)
+}
+
+fn bucket_upper(b: usize) -> f64 {
+    if b == 0 {
+        1.0
+    } else {
+        (b as f64 / GROWTH_LOG2_INV).exp2()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v >= 0.0 && v.is_finite(), "latency samples must be finite and >= 0");
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Exact population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`), e.g. `0.99` for TP99.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        if self.count == 0 {
+            self.mean = other.mean;
+            self.m2 = other.m2;
+        } else {
+            self.mean += delta * n2 / total;
+            self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.stddev(), 0.0);
+        assert_eq!(h.percentile(0.99), 0.0);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_stddev_are_exact() {
+        let mut h = Histogram::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            h.record(v);
+        }
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+        assert!((h.stddev() - 2.0).abs() < 1e-9);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 9.0);
+    }
+
+    #[test]
+    fn percentiles_are_close() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        let p999 = h.percentile(0.999);
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.05, "p50={p50}");
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.05, "p99={p99}");
+        assert!((p999 - 9990.0).abs() / 9990.0 < 0.05, "p999={p999}");
+    }
+
+    #[test]
+    fn percentile_bounded_by_observed_range() {
+        let mut h = Histogram::new();
+        h.record(100.0);
+        assert_eq!(h.percentile(0.999), 100.0);
+        assert_eq!(h.percentile(0.0001), 100.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..1000 {
+            let v = (i * 13 % 997) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-6);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-6);
+        assert_eq!(a.percentile(0.9), all.percentile(0.9));
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(5.0);
+        b.record(15.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_values_saturate_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(1e300);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1e300);
+        // percentile clamps to observed max
+        assert_eq!(h.percentile(0.99), 1e300);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the foundational data structures.
+
+use proptest::prelude::*;
+use tell_common::codec::{orderpreserving, Reader, Writer};
+use tell_common::{BitSet, Histogram};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The bitset agrees with a reference `HashSet` model under arbitrary
+    /// operation sequences.
+    #[test]
+    fn bitset_matches_set_model(ops in prop::collection::vec((0usize..512, prop::bool::ANY), 0..200)) {
+        let mut bits = BitSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (i, set) in ops {
+            if set {
+                prop_assert_eq!(bits.set(i), model.insert(i));
+            } else {
+                prop_assert_eq!(bits.clear(i), model.remove(&i));
+            }
+        }
+        prop_assert_eq!(bits.count_ones(), model.len());
+        for i in 0..512 {
+            prop_assert_eq!(bits.get(i), model.contains(&i));
+        }
+        let ones: Vec<usize> = bits.iter_ones().collect();
+        let expected: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(ones, expected);
+        // first_zero / last_one agree with the model.
+        let first_zero = (0..).find(|i| !model.contains(i)).unwrap();
+        prop_assert_eq!(bits.first_zero(), first_zero);
+        prop_assert_eq!(bits.last_one(), model.iter().next_back().copied());
+    }
+
+    /// shift_down(k) is equivalent to subtracting k from every member and
+    /// dropping the negatives.
+    #[test]
+    fn bitset_shift_down_matches_model(
+        members in prop::collection::btree_set(0usize..400, 0..60),
+        shift in 0usize..500,
+    ) {
+        let mut bits = BitSet::new();
+        for &m in &members {
+            bits.set(m);
+        }
+        bits.shift_down(shift);
+        let expected: Vec<usize> =
+            members.iter().filter(|m| **m >= shift).map(|m| m - shift).collect();
+        let got: Vec<usize> = bits.iter_ones().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Encoding roundtrips exactly.
+    #[test]
+    fn bitset_encode_roundtrip(members in prop::collection::btree_set(0usize..1000, 0..100)) {
+        let mut bits = BitSet::new();
+        for &m in &members {
+            bits.set(m);
+        }
+        let mut buf = Vec::new();
+        bits.encode_into(&mut buf);
+        let (decoded, used) = BitSet::decode_from(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, bits);
+    }
+
+    /// The codec reader returns exactly what the writer wrote, in order.
+    #[test]
+    fn codec_roundtrip(
+        a in any::<u64>(),
+        b in any::<i64>(),
+        c in any::<u16>(),
+        s in ".{0,64}",
+        raw in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = Vec::new();
+        buf.put_u64(a);
+        buf.put_i64(b);
+        buf.put_u16(c);
+        buf.put_string(&s);
+        buf.put_bytes(&raw);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u64().unwrap(), a);
+        prop_assert_eq!(r.i64().unwrap(), b);
+        prop_assert_eq!(r.u16().unwrap(), c);
+        prop_assert_eq!(r.string().unwrap(), s);
+        prop_assert_eq!(r.bytes().unwrap(), &raw[..]);
+        prop_assert!(r.is_exhausted());
+    }
+
+    /// Truncating an encoded buffer anywhere never panics — it errors.
+    #[test]
+    fn codec_truncation_is_safe(
+        s in ".{0,32}",
+        cut in 0usize..100,
+    ) {
+        let mut buf = Vec::new();
+        buf.put_u64(42);
+        buf.put_string(&s);
+        let cut = cut.min(buf.len());
+        let mut r = Reader::new(&buf[..cut]);
+        // Either both reads succeed (cut == len) or one errors; no panic.
+        let _ = r.u64().and_then(|_| r.string());
+    }
+
+    /// Order-preserving integer encodings preserve order.
+    #[test]
+    fn order_preserving_encodings(a in any::<i64>(), b in any::<i64>()) {
+        let ea = orderpreserving::encode_i64(a);
+        let eb = orderpreserving::encode_i64(b);
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+        prop_assert_eq!(orderpreserving::decode_i64(&ea), Some(a));
+        let ua = orderpreserving::encode_u64(a as u64);
+        prop_assert_eq!(orderpreserving::decode_u64(&ua), Some(a as u64));
+    }
+
+    /// Histogram mean/stddev match a direct computation; percentiles are
+    /// within bucket tolerance; merging equals recording the concatenation.
+    #[test]
+    fn histogram_statistics(samples in prop::collection::vec(0.0f64..1e6, 1..300)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((h.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((h.stddev() - var.sqrt()).abs() <= 1e-6 * (1.0 + var.sqrt()));
+        // p100 upper bound == max; percentile within ~3% of exact.
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact_p90 = sorted[((0.9 * n).ceil() as usize - 1).min(sorted.len() - 1)];
+        let approx = h.percentile(0.9);
+        prop_assert!(approx <= h.max() && approx >= h.min());
+        if exact_p90 > 1.0 {
+            prop_assert!((approx / exact_p90 - 1.0).abs() < 0.05, "approx {} exact {}", approx, exact_p90);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_concat(
+        a in prop::collection::vec(0.0f64..1e4, 0..100),
+        b in prop::collection::vec(0.0f64..1e4, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &x in &a { ha.record(x); hc.record(x); }
+        for &x in &b { hb.record(x); hc.record(x); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert!((ha.mean() - hc.mean()).abs() < 1e-6);
+        prop_assert!((ha.stddev() - hc.stddev()).abs() < 1e-6);
+        prop_assert_eq!(ha.percentile(0.5), hc.percentile(0.5));
+    }
+}

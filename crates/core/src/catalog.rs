@@ -1,0 +1,322 @@
+//! The catalog: table and index metadata, persisted in the shared store.
+//!
+//! The schema cell lives in the store like everything else (Fig 3 shows
+//! "Schema" inside the distributed storage system), so every processing
+//! node sees the same tables. Creation is synchronized with LL/SC on the
+//! catalog cell — two PNs racing to create a table resolve like any other
+//! write-write conflict.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use tell_common::codec::{Reader, Writer};
+use tell_common::{Error, IndexId, Result, TableId};
+use tell_store::{keys, StoreClient};
+
+/// Extracts the indexed key bytes from an (opaque-to-core) row image.
+/// Returns `None` when the row has no value for the indexed attribute.
+/// Registered by the layer that defines the row format (SQL or a workload
+/// like TPC-C).
+pub type KeyExtractor = Arc<dyn Fn(&[u8]) -> Option<Bytes> + Send + Sync>;
+
+/// An index on a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Catalog-assigned id; also identifies the B+tree in the store.
+    pub id: IndexId,
+    /// Index name, unique per table.
+    pub name: String,
+    /// Unique index? (Primary-key indexes are unique.)
+    pub unique: bool,
+}
+
+/// A table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableDef {
+    /// Catalog-assigned id; part of every record key.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Indexes; by convention the first one is the primary-key index.
+    pub indexes: Vec<IndexDef>,
+}
+
+impl TableDef {
+    /// The primary-key index.
+    pub fn primary_index(&self) -> &IndexDef {
+        &self.indexes[0]
+    }
+
+    /// Find an index by name.
+    pub fn index(&self, name: &str) -> Option<&IndexDef> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+}
+
+const CATALOG_KEY: &str = "catalog";
+const TABLE_ID_COUNTER: &str = "tbl/next";
+const INDEX_ID_COUNTER: &str = "idx/next";
+
+fn encode_catalog(tables: &[Arc<TableDef>]) -> Bytes {
+    let mut out = Vec::new();
+    out.put_u32(tables.len() as u32);
+    for t in tables {
+        out.put_u32(t.id.raw());
+        out.put_string(&t.name);
+        out.put_u32(t.indexes.len() as u32);
+        for i in &t.indexes {
+            out.put_u32(i.id.raw());
+            out.put_string(&i.name);
+            out.put_u8(if i.unique { 1 } else { 0 });
+        }
+    }
+    Bytes::from(out)
+}
+
+fn decode_catalog(buf: &[u8]) -> Result<Vec<Arc<TableDef>>> {
+    let mut r = Reader::new(buf);
+    let n = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = TableId(r.u32()?);
+        let name = r.string()?;
+        let ni = r.u32()? as usize;
+        let mut indexes = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            indexes.push(IndexDef { id: IndexId(r.u32()?), name: r.string()?, unique: r.u8()? == 1 });
+        }
+        tables.push(Arc::new(TableDef { id, name, indexes }));
+    }
+    Ok(tables)
+}
+
+/// Shared, store-backed table metadata.
+pub struct Catalog {
+    by_name: RwLock<HashMap<String, Arc<TableDef>>>,
+    by_id: RwLock<HashMap<TableId, Arc<TableDef>>>,
+}
+
+impl Catalog {
+    /// Empty, not-yet-loaded catalog.
+    pub fn new() -> Self {
+        Catalog { by_name: RwLock::new(HashMap::new()), by_id: RwLock::new(HashMap::new()) }
+    }
+
+    /// (Re)load the catalog from the store.
+    pub fn load(&self, client: &StoreClient) -> Result<()> {
+        let tables = match client.get(&keys::meta(CATALOG_KEY))? {
+            Some((_, raw)) => decode_catalog(&raw)?,
+            None => Vec::new(),
+        };
+        let mut by_name = self.by_name.write();
+        let mut by_id = self.by_id.write();
+        by_name.clear();
+        by_id.clear();
+        for t in tables {
+            by_name.insert(t.name.clone(), Arc::clone(&t));
+            by_id.insert(t.id, t);
+        }
+        Ok(())
+    }
+
+    /// Create a table with the given indexes (`(name, unique)`; the first
+    /// entry is the primary-key index). Returns the new definition.
+    pub fn create_table(
+        &self,
+        client: &StoreClient,
+        name: &str,
+        indexes: &[(&str, bool)],
+    ) -> Result<Arc<TableDef>> {
+        if indexes.is_empty() {
+            return Err(Error::invalid("a table needs at least a primary-key index"));
+        }
+        loop {
+            let (token, mut tables) = match client.get(&keys::meta(CATALOG_KEY))? {
+                Some((t, raw)) => (Some(t), decode_catalog(&raw)?),
+                None => (None, Vec::new()),
+            };
+            if tables.iter().any(|t| t.name == name) {
+                return Err(Error::invalid(format!("table '{name}' already exists")));
+            }
+            let table_id = TableId(client.increment(&keys::counter(TABLE_ID_COUNTER), 1)? as u32);
+            let mut defs = Vec::with_capacity(indexes.len());
+            for (iname, unique) in indexes {
+                let id = IndexId(client.increment(&keys::counter(INDEX_ID_COUNTER), 1)? as u32);
+                defs.push(IndexDef { id, name: (*iname).to_string(), unique: *unique });
+            }
+            let def = Arc::new(TableDef { id: table_id, name: name.to_string(), indexes: defs });
+            tables.push(Arc::clone(&def));
+            let encoded = encode_catalog(&tables);
+            let key = keys::meta(CATALOG_KEY);
+            let write = match token {
+                Some(t) => client.store_conditional(&key, t, encoded),
+                None => client.insert(&key, encoded),
+            };
+            match write {
+                Ok(_) => {
+                    self.by_name.write().insert(name.to_string(), Arc::clone(&def));
+                    self.by_id.write().insert(table_id, Arc::clone(&def));
+                    return Ok(def);
+                }
+                Err(Error::Conflict) => continue, // another PN changed the catalog
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Add an index to an existing table (`CREATE INDEX`). The caller is
+    /// responsible for creating the B+tree and backfilling it (see
+    /// `Database::add_index`). Returns the updated definition.
+    pub fn add_index(
+        &self,
+        client: &StoreClient,
+        table: &str,
+        index_name: &str,
+        unique: bool,
+    ) -> Result<(Arc<TableDef>, IndexId)> {
+        loop {
+            let (token, mut tables) = match client.get(&keys::meta(CATALOG_KEY))? {
+                Some((t, raw)) => (t, decode_catalog(&raw)?),
+                None => return Err(Error::NotFound),
+            };
+            let pos = tables
+                .iter()
+                .position(|t| t.name == table)
+                .ok_or(Error::NotFound)?;
+            if tables[pos].index(index_name).is_some() {
+                return Err(Error::invalid(format!(
+                    "index '{index_name}' already exists on '{table}'"
+                )));
+            }
+            let id = IndexId(client.increment(&keys::counter(INDEX_ID_COUNTER), 1)? as u32);
+            let mut updated = (*tables[pos]).clone();
+            updated
+                .indexes
+                .push(IndexDef { id, name: index_name.to_string(), unique });
+            let updated = Arc::new(updated);
+            tables[pos] = Arc::clone(&updated);
+            match client.store_conditional(&keys::meta(CATALOG_KEY), token, encode_catalog(&tables)) {
+                Ok(_) => {
+                    self.by_name.write().insert(updated.name.clone(), Arc::clone(&updated));
+                    self.by_id.write().insert(updated.id, Arc::clone(&updated));
+                    return Ok((updated, id));
+                }
+                Err(Error::Conflict) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Look up by name (after a miss, re-loads once — another PN may have
+    /// created the table).
+    pub fn table(&self, client: &StoreClient, name: &str) -> Result<Arc<TableDef>> {
+        if let Some(t) = self.by_name.read().get(name) {
+            return Ok(Arc::clone(t));
+        }
+        self.load(client)?;
+        self.by_name
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(Error::NotFound)
+    }
+
+    /// Look up by id.
+    pub fn table_by_id(&self, client: &StoreClient, id: TableId) -> Result<Arc<TableDef>> {
+        if let Some(t) = self.by_id.read().get(&id) {
+            return Ok(Arc::clone(t));
+        }
+        self.load(client)?;
+        self.by_id.read().get(&id).cloned().ok_or(Error::NotFound)
+    }
+
+    /// Every known table.
+    pub fn tables(&self) -> Vec<Arc<TableDef>> {
+        self.by_name.read().values().cloned().collect()
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tell_store::{StoreCluster, StoreConfig};
+
+    fn client() -> StoreClient {
+        StoreClient::unmetered(StoreCluster::new(StoreConfig::new(2)))
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let c = client();
+        let cat = Catalog::new();
+        let t = cat
+            .create_table(&c, "customer", &[("pk", true), ("by_last_name", false)])
+            .unwrap();
+        assert_eq!(t.name, "customer");
+        assert_eq!(t.indexes.len(), 2);
+        assert!(t.primary_index().unique);
+        assert_eq!(t.index("by_last_name").unwrap().unique, false);
+        assert!(t.index("nope").is_none());
+        let got = cat.table(&c, "customer").unwrap();
+        assert_eq!(got.id, t.id);
+        assert_eq!(cat.table_by_id(&c, t.id).unwrap().name, "customer");
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let c = client();
+        let cat = Catalog::new();
+        cat.create_table(&c, "t", &[("pk", true)]).unwrap();
+        assert!(matches!(
+            cat.create_table(&c, "t", &[("pk", true)]),
+            Err(Error::InvalidOperation(_))
+        ));
+    }
+
+    #[test]
+    fn table_needs_primary_index() {
+        let c = client();
+        let cat = Catalog::new();
+        assert!(cat.create_table(&c, "bad", &[]).is_err());
+    }
+
+    #[test]
+    fn second_catalog_instance_sees_tables() {
+        let cluster = StoreCluster::new(StoreConfig::new(2));
+        let c1 = StoreClient::unmetered(Arc::clone(&cluster));
+        let cat1 = Catalog::new();
+        let t = cat1.create_table(&c1, "orders", &[("pk", true)]).unwrap();
+        // A different PN with its own catalog view.
+        let c2 = StoreClient::unmetered(cluster);
+        let cat2 = Catalog::new();
+        let got = cat2.table(&c2, "orders").unwrap();
+        assert_eq!(got.id, t.id);
+        assert_eq!(cat2.table(&c2, "missing").unwrap_err(), Error::NotFound);
+    }
+
+    #[test]
+    fn ids_are_distinct_across_tables_and_indexes() {
+        let c = client();
+        let cat = Catalog::new();
+        let a = cat.create_table(&c, "a", &[("pk", true), ("i2", false)]).unwrap();
+        let b = cat.create_table(&c, "b", &[("pk", true)]).unwrap();
+        assert_ne!(a.id, b.id);
+        let mut idx_ids: Vec<u32> = a
+            .indexes
+            .iter()
+            .chain(b.indexes.iter())
+            .map(|i| i.id.raw())
+            .collect();
+        idx_ids.sort_unstable();
+        idx_ids.dedup();
+        assert_eq!(idx_ids.len(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! `tell-core` — **Tell**, the paper's primary contribution.
+//!
+//! A distributed relational database built on the shared-data architecture
+//! (§2): autonomous processing nodes over a shared record store, with
+//! transaction management decoupled from storage. This crate implements:
+//!
+//! * **Distributed snapshot isolation** (§4.1): optimistic MVCC where
+//!   conflict detection is a single LL/SC operation per updated record;
+//! * the **transaction life-cycle** (§4.3): begin → running (updates
+//!   buffered on the PN) → try-commit (log entry, then batched conditional
+//!   application) → commit (index maintenance, commit flag, CM
+//!   notification) or abort (roll back applied updates);
+//! * **record-granularity multi-version storage** (§5.1): one key-value
+//!   pair per record holding *all* its versions, so a read is one request
+//!   and an update is one atomic conditional write;
+//! * **version-unaware indexing** with read-time verification (§5.3.2);
+//! * **garbage collection** of versions and index entries driven by the
+//!   lowest active version number (§5.4), eager and lazy;
+//! * the three **buffering strategies** of §5.5 (transaction buffer, shared
+//!   record buffer, shared buffer with version-set synchronization);
+//! * **recovery** from processing-node failures via the transaction log
+//!   (§4.4.1), on top of the store's replica fail-over and the commit
+//!   manager's recoverable state.
+
+pub mod buffer;
+pub mod catalog;
+pub mod database;
+pub mod gc;
+pub mod metrics;
+pub mod pn;
+pub mod record;
+pub mod recovery;
+pub mod txlog;
+pub mod txn;
+
+pub use buffer::{BufferConfig, BufferStats};
+pub use catalog::{Catalog, IndexDef, KeyExtractor, TableDef};
+pub use database::{Database, TellConfig};
+pub use metrics::PnMetrics;
+pub use pn::ProcessingNode;
+pub use record::VersionedRecord;
+pub use txn::{Transaction, TxnOutcome};

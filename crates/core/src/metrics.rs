@@ -1,0 +1,122 @@
+//! Per-processing-node transaction metrics.
+
+use parking_lot::Mutex;
+use tell_common::Histogram;
+
+/// Counters and latency distribution for one processing node (worker).
+/// Benchmark drivers merge these across workers.
+#[derive(Default)]
+pub struct PnMetrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    committed: u64,
+    aborted: u64,
+    conflicts: u64,
+    latency: Histogram,
+}
+
+impl PnMetrics {
+    /// Fresh metrics.
+    pub fn new() -> Self {
+        PnMetrics::default()
+    }
+
+    /// Record a commit with its virtual latency.
+    pub fn record_commit(&self, latency_us: f64) {
+        let mut m = self.inner.lock();
+        m.committed += 1;
+        m.latency.record(latency_us);
+    }
+
+    /// Record an abort. `conflict` distinguishes optimistic-CC losers from
+    /// manual aborts.
+    pub fn record_abort(&self, latency_us: f64, conflict: bool) {
+        let mut m = self.inner.lock();
+        m.aborted += 1;
+        if conflict {
+            m.conflicts += 1;
+        }
+        m.latency.record(latency_us);
+    }
+
+    /// Committed transaction count.
+    pub fn committed(&self) -> u64 {
+        self.inner.lock().committed
+    }
+
+    /// Aborted transaction count.
+    pub fn aborted(&self) -> u64 {
+        self.inner.lock().aborted
+    }
+
+    /// Write-write conflict aborts.
+    pub fn conflicts(&self) -> u64 {
+        self.inner.lock().conflicts
+    }
+
+    /// Abort rate over all finished transactions.
+    pub fn abort_rate(&self) -> f64 {
+        let m = self.inner.lock();
+        let total = m.committed + m.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            m.aborted as f64 / total as f64
+        }
+    }
+
+    /// Snapshot of the latency histogram.
+    pub fn latency(&self) -> Histogram {
+        self.inner.lock().latency.clone()
+    }
+
+    /// Merge another node's metrics into this one.
+    pub fn merge(&self, other: &PnMetrics) {
+        let other = other.inner.lock();
+        let mut m = self.inner.lock();
+        m.committed += other.committed;
+        m.aborted += other.aborted;
+        m.conflicts += other.conflicts;
+        m.latency.merge(&other.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let m = PnMetrics::new();
+        m.record_commit(100.0);
+        m.record_commit(200.0);
+        m.record_abort(50.0, true);
+        m.record_abort(60.0, false);
+        assert_eq!(m.committed(), 2);
+        assert_eq!(m.aborted(), 2);
+        assert_eq!(m.conflicts(), 1);
+        assert!((m.abort_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(m.latency().count(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = PnMetrics::new();
+        let b = PnMetrics::new();
+        a.record_commit(10.0);
+        b.record_commit(20.0);
+        b.record_abort(5.0, true);
+        a.merge(&b);
+        assert_eq!(a.committed(), 2);
+        assert_eq!(a.aborted(), 1);
+        assert_eq!(a.latency().count(), 3);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(PnMetrics::new().abort_rate(), 0.0);
+    }
+}

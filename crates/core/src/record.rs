@@ -1,0 +1,306 @@
+//! Multi-version records (§5.1).
+//!
+//! "Every relational record (or row) is stored as one key-value pair. ...
+//! The value field contains a serialized set of all the versions of the
+//! record." A single read therefore retrieves every version, and a single
+//! atomic conditional write applies an update *and* detects conflicts.
+
+use bytes::Bytes;
+use tell_common::codec::{Reader, Writer};
+use tell_common::{Error, Result, TxnId};
+use tell_commitmgr::SnapshotDescriptor;
+
+/// One version of a record: the writing transaction's id (= version number)
+/// and the payload; `None` payload is a deletion tombstone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Version {
+    /// Version number = tid of the writer.
+    pub version: u64,
+    /// Row bytes, or `None` for a tombstone.
+    pub payload: Option<Bytes>,
+}
+
+/// All stored versions of one record, newest last.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VersionedRecord {
+    versions: Vec<Version>,
+}
+
+impl VersionedRecord {
+    /// A record born with one version.
+    pub fn with_initial(version: TxnId, payload: Bytes) -> Self {
+        VersionedRecord {
+            versions: vec![Version { version: version.raw(), payload: Some(payload) }],
+        }
+    }
+
+    /// No versions at all (only transiently meaningful).
+    pub fn empty() -> Self {
+        VersionedRecord::default()
+    }
+
+    /// Number of stored versions.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// All version numbers, ascending.
+    pub fn version_numbers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.versions.iter().map(|v| v.version)
+    }
+
+    /// The versions themselves (ascending by version number).
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    /// Does a version with this number exist?
+    pub fn has_version(&self, version: u64) -> bool {
+        self.versions.iter().any(|v| v.version == version)
+    }
+
+    /// The newest version visible in `snapshot`, following the paper's
+    /// `v := max(V ∩ V')` rule. Returns `None` if nothing is visible;
+    /// returns `Some(Version{payload: None, ..})` when the visible version
+    /// is a tombstone (record deleted as of this snapshot).
+    pub fn visible(&self, snapshot: &SnapshotDescriptor) -> Option<&Version> {
+        self.versions
+            .iter()
+            .filter(|v| snapshot.contains(v.version))
+            .max_by_key(|v| v.version)
+    }
+
+    /// Convenience: the visible payload (deleted/missing → `None`).
+    pub fn visible_payload(&self, snapshot: &SnapshotDescriptor) -> Option<&Bytes> {
+        self.visible(snapshot).and_then(|v| v.payload.as_ref())
+    }
+
+    /// Append a version written by `tid`. Versions are appended in commit
+    /// order per record (the writer holds the LL/SC link), so `tid` is
+    /// normally larger than every stored version; out-of-order tids are
+    /// inserted sorted to keep invariants under commit-manager races.
+    pub fn add_version(&mut self, tid: TxnId, payload: Option<Bytes>) {
+        let v = Version { version: tid.raw(), payload };
+        match self.versions.binary_search_by_key(&v.version, |x| x.version) {
+            Ok(i) => self.versions[i] = v, // idempotent re-apply
+            Err(i) => self.versions.insert(i, v),
+        }
+    }
+
+    /// Remove the version written by `tid` (rollback / recovery). Returns
+    /// whether it was present.
+    pub fn remove_version(&mut self, tid: TxnId) -> bool {
+        match self.versions.binary_search_by_key(&tid.raw(), |x| x.version) {
+            Ok(i) => {
+                self.versions.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Garbage-collect versions per §5.4: with `C := { x ∈ V | x <= lav }`
+    /// and `G := { x ∈ C | x != max(C) }`, every version in `G` is removed
+    /// (the newest globally-visible version always survives). Returns the
+    /// number of versions dropped.
+    pub fn gc(&mut self, lav: u64) -> usize {
+        let max_c = self
+            .versions
+            .iter()
+            .map(|v| v.version)
+            .filter(|v| *v <= lav)
+            .max();
+        let Some(max_c) = max_c else { return 0 };
+        let before = self.versions.len();
+        self.versions.retain(|v| v.version > lav || v.version == max_c);
+        before - self.versions.len()
+    }
+
+    /// After GC, a record whose only remaining content is a tombstone that
+    /// every transaction can see will never produce a visible row again; the
+    /// whole key-value pair can be deleted from the store.
+    pub fn is_fully_dead(&self, lav: u64) -> bool {
+        match self.versions.last() {
+            Some(last) => last.payload.is_none() && last.version <= lav && self.versions.len() == 1,
+            None => true,
+        }
+    }
+
+    /// Serialized size.
+    pub fn encoded_len(&self) -> usize {
+        4 + self
+            .versions
+            .iter()
+            .map(|v| 9 + v.payload.as_ref().map(|p| 4 + p.len()).unwrap_or(0))
+            .sum::<usize>()
+    }
+
+    /// Encode to store bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.put_u32(self.versions.len() as u32);
+        for v in &self.versions {
+            out.put_u64(v.version);
+            match &v.payload {
+                Some(p) => {
+                    out.put_u8(1);
+                    out.put_bytes(p);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Decode store bytes.
+    pub fn decode(buf: &[u8]) -> Result<VersionedRecord> {
+        let mut r = Reader::new(buf);
+        let n = r.u32()? as usize;
+        let mut versions = Vec::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let version = r.u64()?;
+            if let Some(p) = prev {
+                if version <= p {
+                    return Err(Error::corrupt("record versions out of order"));
+                }
+            }
+            prev = Some(version);
+            let payload = if r.u8()? == 1 {
+                Some(Bytes::copy_from_slice(r.bytes()?))
+            } else {
+                None
+            };
+            versions.push(Version { version, payload });
+        }
+        if !r.is_exhausted() {
+            return Err(Error::corrupt("trailing bytes in record"));
+        }
+        Ok(VersionedRecord { versions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tell_common::BitSet;
+
+    fn snap(base: u64, newly: &[u64]) -> SnapshotDescriptor {
+        let mut bits = BitSet::new();
+        for &v in newly {
+            bits.set((v - base - 1) as usize);
+        }
+        SnapshotDescriptor::new(base, bits)
+    }
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn visibility_follows_snapshot() {
+        let mut r = VersionedRecord::with_initial(TxnId(0), payload("v0"));
+        r.add_version(TxnId(5), Some(payload("v5")));
+        r.add_version(TxnId(9), Some(payload("v9")));
+        assert_eq!(r.visible_payload(&snap(0, &[])).unwrap().as_ref(), b"v0");
+        assert_eq!(r.visible_payload(&snap(5, &[])).unwrap().as_ref(), b"v5");
+        assert_eq!(r.visible_payload(&snap(5, &[9])).unwrap().as_ref(), b"v9");
+        assert_eq!(r.visible_payload(&snap(100, &[])).unwrap().as_ref(), b"v9");
+    }
+
+    #[test]
+    fn tombstone_hides_payload() {
+        let mut r = VersionedRecord::with_initial(TxnId(0), payload("live"));
+        r.add_version(TxnId(3), None);
+        let s = snap(10, &[]);
+        assert!(r.visible(&s).is_some(), "tombstone itself is visible");
+        assert!(r.visible_payload(&s).is_none(), "...but yields no row");
+        // Older snapshot still sees the live row.
+        assert_eq!(r.visible_payload(&snap(0, &[])).unwrap().as_ref(), b"live");
+    }
+
+    #[test]
+    fn nothing_visible_to_too_old_snapshot() {
+        let r = VersionedRecord::with_initial(TxnId(8), payload("new"));
+        assert!(r.visible(&snap(3, &[])).is_none());
+    }
+
+    #[test]
+    fn remove_version_is_rollback() {
+        let mut r = VersionedRecord::with_initial(TxnId(0), payload("v0"));
+        r.add_version(TxnId(7), Some(payload("v7")));
+        assert!(r.remove_version(TxnId(7)));
+        assert!(!r.remove_version(TxnId(7)));
+        assert_eq!(r.visible_payload(&snap(100, &[])).unwrap().as_ref(), b"v0");
+    }
+
+    #[test]
+    fn gc_keeps_newest_globally_visible_version() {
+        let mut r = VersionedRecord::with_initial(TxnId(0), payload("v0"));
+        for t in [3u64, 5, 8, 12] {
+            r.add_version(TxnId(t), Some(payload(&format!("v{t}"))));
+        }
+        // lav = 8: versions 0, 3, 5 are dead; 8 survives as max(C); 12 is live.
+        let dropped = r.gc(8);
+        assert_eq!(dropped, 3);
+        let versions: Vec<u64> = r.version_numbers().collect();
+        assert_eq!(versions, vec![8, 12]);
+        // GC is idempotent.
+        assert_eq!(r.gc(8), 0);
+    }
+
+    #[test]
+    fn gc_with_no_collectable_versions() {
+        let mut r = VersionedRecord::with_initial(TxnId(10), payload("x"));
+        assert_eq!(r.gc(5), 0, "no version at or below the lav");
+        assert_eq!(r.version_count(), 1);
+    }
+
+    #[test]
+    fn gc_never_leaves_record_empty() {
+        let mut r = VersionedRecord::with_initial(TxnId(1), payload("only"));
+        assert_eq!(r.gc(100), 0, "max(C) is preserved");
+        assert_eq!(r.version_count(), 1);
+    }
+
+    #[test]
+    fn fully_dead_detection() {
+        let mut r = VersionedRecord::with_initial(TxnId(1), payload("x"));
+        assert!(!r.is_fully_dead(100));
+        r.add_version(TxnId(5), None);
+        r.gc(100);
+        assert!(r.is_fully_dead(100), "lone globally-visible tombstone");
+        assert!(!r.is_fully_dead(4), "tombstone not yet visible to all");
+        assert!(VersionedRecord::empty().is_fully_dead(0));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut r = VersionedRecord::with_initial(TxnId(0), payload("a"));
+        r.add_version(TxnId(2), None);
+        r.add_version(TxnId(9), Some(payload("b")));
+        let bytes = r.encode();
+        assert_eq!(bytes.len(), r.encoded_len());
+        assert_eq!(VersionedRecord::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_rejects_unordered_versions() {
+        let mut out = Vec::new();
+        out.put_u32(2);
+        out.put_u64(9);
+        out.put_u8(0);
+        out.put_u64(3); // out of order
+        out.put_u8(0);
+        assert!(VersionedRecord::decode(&out).is_err());
+    }
+
+    #[test]
+    fn idempotent_reapply_of_same_tid() {
+        let mut r = VersionedRecord::with_initial(TxnId(0), payload("v0"));
+        r.add_version(TxnId(4), Some(payload("first")));
+        r.add_version(TxnId(4), Some(payload("second")));
+        assert_eq!(r.version_count(), 2);
+        assert_eq!(r.visible_payload(&snap(10, &[])).unwrap().as_ref(), b"second");
+    }
+}

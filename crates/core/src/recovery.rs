@@ -1,0 +1,134 @@
+//! Recovery from processing-node failures (§4.4.1).
+//!
+//! PNs are crash-stop: when one fails, every transaction it was running
+//! must be rolled back — in particular committing transactions with
+//! partially applied updates. The recovery process scans the transaction
+//! log backwards from the highest tid down to the lowest active version
+//! number (the lav acts as a rolling checkpoint), and reverts the write set
+//! of every uncommitted entry belonging to the failed node.
+
+use tell_common::{Error, PnId, Result, Rid, TableId, TxnId};
+use tell_store::{keys, StoreClient};
+
+use crate::database::Database;
+use crate::record::VersionedRecord;
+use crate::txlog;
+
+/// What a recovery run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Uncommitted transactions of the failed node that were rolled back.
+    pub rolled_back: usize,
+    /// Committed transactions of the failed node found in the log (left
+    /// untouched — their effects are durable).
+    pub already_committed: usize,
+    /// Record versions reverted.
+    pub versions_reverted: usize,
+}
+
+/// Remove the version written by `tid` from the record `rid`, retrying the
+/// conditional write until it sticks. Used both by commit-failure rollback
+/// and by the recovery process ("the version with number tid is removed
+/// from the records").
+pub fn revert_record_version(
+    client: &StoreClient,
+    table: TableId,
+    rid: Rid,
+    tid: TxnId,
+) -> Result<()> {
+    let key = keys::record(table, rid);
+    loop {
+        let Some((token, raw)) = client.get(&key)? else {
+            return Ok(()); // record gone entirely — nothing to revert
+        };
+        let mut rec = VersionedRecord::decode(&raw)?;
+        if !rec.remove_version(tid) {
+            return Ok(()); // already reverted
+        }
+        let outcome = if rec.version_count() == 0 {
+            // The record existed only because of this transaction (an
+            // insert): remove the whole key-value pair.
+            client.delete_conditional(&key, token).map(|_| ())
+        } else {
+            client.store_conditional(&key, token, rec.encode()).map(|_| ())
+        };
+        match outcome {
+            Ok(()) => return Ok(()),
+            Err(Error::Conflict) => continue, // racing writer; reload
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Roll back every in-flight transaction of a failed processing node.
+/// "The management node ensures that only one recovery process is running
+/// at a time" — callers serialize invocations; the operation itself is
+/// idempotent (re-reverting is a no-op).
+pub fn recover_failed_pn(db: &Database, failed: PnId) -> Result<RecoveryReport> {
+    let client = db.admin_client();
+    let lav = db.commit_managers().current_lav();
+    let mut report = RecoveryReport::default();
+    let mut to_rollback = Vec::new();
+    txlog::scan_backwards(&client, lav, |entry| {
+        if entry.pn == failed {
+            if entry.committed {
+                report.already_committed += 1;
+            } else {
+                to_rollback.push(entry);
+            }
+        }
+        true
+    })?;
+    for entry in to_rollback {
+        for (table, rid) in &entry.write_set {
+            revert_record_version(&client, *table, *rid, entry.tid)?;
+            report.versions_reverted += 1;
+        }
+        // Resolve the transaction on every commit manager so the global
+        // base (and thus the lav) can advance past it.
+        db.commit_managers().force_resolve(entry.tid, false);
+        report.rolled_back += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tell_store::{StoreCluster, StoreConfig};
+
+    #[test]
+    fn revert_removes_version() {
+        let client = StoreClient::unmetered(StoreCluster::new(StoreConfig::new(1)));
+        let table = TableId(1);
+        let rid = Rid(1);
+        let mut rec = VersionedRecord::with_initial(TxnId(0), Bytes::from_static(b"base"));
+        rec.add_version(TxnId(9), Some(Bytes::from_static(b"dirty")));
+        client.insert(&keys::record(table, rid), rec.encode()).unwrap();
+        revert_record_version(&client, table, rid, TxnId(9)).unwrap();
+        let (_, raw) = client.get(&keys::record(table, rid)).unwrap().unwrap();
+        let after = VersionedRecord::decode(&raw).unwrap();
+        assert!(!after.has_version(9));
+        assert!(after.has_version(0));
+        // Idempotent.
+        revert_record_version(&client, table, rid, TxnId(9)).unwrap();
+    }
+
+    #[test]
+    fn revert_deletes_insert_only_record() {
+        let client = StoreClient::unmetered(StoreCluster::new(StoreConfig::new(1)));
+        let table = TableId(1);
+        let rid = Rid(2);
+        let rec = VersionedRecord::with_initial(TxnId(7), Bytes::from_static(b"fresh"));
+        client.insert(&keys::record(table, rid), rec.encode()).unwrap();
+        revert_record_version(&client, table, rid, TxnId(7)).unwrap();
+        assert!(client.get(&keys::record(table, rid)).unwrap().is_none());
+    }
+
+    #[test]
+    fn revert_missing_record_is_ok() {
+        let client = StoreClient::unmetered(StoreCluster::new(StoreConfig::new(1)));
+        revert_record_version(&client, TableId(1), Rid(404), TxnId(1)).unwrap();
+    }
+}

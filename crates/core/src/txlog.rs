@@ -1,0 +1,223 @@
+//! The transaction log (§4.4.1).
+//!
+//! "Before applying updates, a transaction must append a new entry to the
+//! log. Every entry is identified by the tid and consists of the PN id, a
+//! timestamp, the write set, and a flag to mark the transaction committed."
+//! The log is an ordered map in the storage system; recovery iterates it
+//! backwards from the highest tid down to the lowest active version number.
+
+use bytes::Bytes;
+use tell_common::codec::{Reader, Writer};
+use tell_common::{PnId, Result, Rid, TableId, TxnId};
+use tell_commitmgr::manager::LOG_FLAG_COMMITTED;
+use tell_store::{keys, StoreClient};
+
+/// One transaction-log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The transaction this entry belongs to.
+    pub tid: TxnId,
+    /// The processing node that ran it.
+    pub pn: PnId,
+    /// Virtual timestamp (µs) at which the entry was written.
+    pub timestamp_us: u64,
+    /// Ids of the records the transaction updates.
+    pub write_set: Vec<(TableId, Rid)>,
+    /// Set once all updates were applied and index maintenance is done.
+    pub committed: bool,
+}
+
+impl LogEntry {
+    /// Encode. The first byte is the flags byte shared with the commit
+    /// manager's recovery scan ([`LOG_FLAG_COMMITTED`]).
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(1 + 4 + 8 + 4 + self.write_set.len() * 12);
+        out.put_u8(if self.committed { LOG_FLAG_COMMITTED } else { 0 });
+        out.put_u32(self.pn.raw());
+        out.put_u64(self.timestamp_us);
+        out.put_u32(self.write_set.len() as u32);
+        for (table, rid) in &self.write_set {
+            out.put_u32(table.raw());
+            out.put_u64(rid.raw());
+        }
+        Bytes::from(out)
+    }
+
+    /// Decode an entry stored under the log key of `tid`.
+    pub fn decode(tid: TxnId, buf: &[u8]) -> Result<LogEntry> {
+        let mut r = Reader::new(buf);
+        let flags = r.u8()?;
+        let pn = PnId(r.u32()?);
+        let timestamp_us = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut write_set = Vec::with_capacity(n);
+        for _ in 0..n {
+            write_set.push((TableId(r.u32()?), Rid(r.u64()?)));
+        }
+        Ok(LogEntry {
+            tid,
+            pn,
+            timestamp_us,
+            write_set,
+            committed: flags & LOG_FLAG_COMMITTED != 0,
+        })
+    }
+}
+
+/// Append a (not-yet-committed) entry. Must happen before any update is
+/// applied to the store.
+pub fn append(client: &StoreClient, entry: &LogEntry) -> Result<()> {
+    debug_assert!(!entry.committed, "entries are appended uncommitted");
+    client.insert(&keys::txn_log(entry.tid), entry.encode())?;
+    Ok(())
+}
+
+/// Flip the committed flag of `entry` (rewrites the full entry; the log
+/// entry has a single writer, so an unconditional put is safe).
+pub fn mark_committed(client: &StoreClient, entry: &mut LogEntry) -> Result<()> {
+    entry.committed = true;
+    client.put(&keys::txn_log(entry.tid), entry.encode())?;
+    Ok(())
+}
+
+/// Read one entry.
+pub fn read(client: &StoreClient, tid: TxnId) -> Result<Option<LogEntry>> {
+    match client.get(&keys::txn_log(tid))? {
+        Some((_, raw)) => Ok(Some(LogEntry::decode(tid, &raw)?)),
+        None => Ok(None),
+    }
+}
+
+/// Iterate the log backwards (highest tid first), stopping when `f` returns
+/// `false` or tid falls at or below `floor`.
+pub fn scan_backwards(
+    client: &StoreClient,
+    floor: u64,
+    mut f: impl FnMut(LogEntry) -> bool,
+) -> Result<()> {
+    let prefix = keys::txn_log_prefix();
+    let end = keys::prefix_end(&prefix);
+    let rows = client.scan_range_rev(&prefix, end.as_deref(), usize::MAX)?;
+    for (key, _, value) in rows {
+        let Some(tid) = keys::parse_txn_log(&key) else { continue };
+        if tid.raw() <= floor {
+            break;
+        }
+        if !f(LogEntry::decode(tid, &value)?) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Delete log entries with `tid <= floor` (the lav acts as a rolling
+/// checkpoint; anything below it can never be needed by recovery again).
+/// Returns the number of entries removed.
+pub fn truncate(client: &StoreClient, floor: u64) -> Result<usize> {
+    let prefix = keys::txn_log_prefix();
+    let rows = client.scan_prefix(&prefix, usize::MAX)?;
+    let mut removed = 0;
+    for (key, _, value) in rows {
+        let Some(tid) = keys::parse_txn_log(&key) else { continue };
+        if tid.raw() > floor {
+            break;
+        }
+        // Only completed transactions may be dropped; an uncommitted entry
+        // at or below the floor would indicate a recovery bug.
+        let entry = LogEntry::decode(tid, &value)?;
+        if entry.committed {
+            client.delete(&key)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tell_store::{StoreCluster, StoreConfig};
+
+    fn client() -> StoreClient {
+        StoreClient::unmetered(StoreCluster::new(StoreConfig::new(2)))
+    }
+
+    fn entry(tid: u64) -> LogEntry {
+        LogEntry {
+            tid: TxnId(tid),
+            pn: PnId(3),
+            timestamp_us: 42,
+            write_set: vec![(TableId(1), Rid(10)), (TableId(2), Rid(20))],
+            committed: false,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = entry(9);
+        let decoded = LogEntry::decode(TxnId(9), &e.encode()).unwrap();
+        assert_eq!(decoded, e);
+        let mut committed = e.clone();
+        committed.committed = true;
+        let d2 = LogEntry::decode(TxnId(9), &committed.encode()).unwrap();
+        assert!(d2.committed);
+    }
+
+    #[test]
+    fn append_then_mark_committed() {
+        let c = client();
+        let mut e = entry(5);
+        append(&c, &e).unwrap();
+        assert!(!read(&c, TxnId(5)).unwrap().unwrap().committed);
+        mark_committed(&c, &mut e).unwrap();
+        assert!(read(&c, TxnId(5)).unwrap().unwrap().committed);
+        assert!(read(&c, TxnId(6)).unwrap().is_none());
+    }
+
+    #[test]
+    fn backwards_scan_stops_at_floor() {
+        let c = client();
+        for tid in 1..=10u64 {
+            append(&c, &entry(tid)).unwrap();
+        }
+        let mut seen = Vec::new();
+        scan_backwards(&c, 4, |e| {
+            seen.push(e.tid.raw());
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, vec![10, 9, 8, 7, 6, 5]);
+    }
+
+    #[test]
+    fn backwards_scan_early_exit() {
+        let c = client();
+        for tid in 1..=10u64 {
+            append(&c, &entry(tid)).unwrap();
+        }
+        let mut seen = 0;
+        scan_backwards(&c, 0, |_| {
+            seen += 1;
+            seen < 3
+        })
+        .unwrap();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn truncate_drops_only_committed_below_floor() {
+        let c = client();
+        for tid in 1..=6u64 {
+            let mut e = entry(tid);
+            append(&c, &e).unwrap();
+            if tid != 3 {
+                mark_committed(&c, &mut e).unwrap();
+            }
+        }
+        let removed = truncate(&c, 4).unwrap();
+        assert_eq!(removed, 3); // tids 1, 2, 4 (3 is uncommitted, 5-6 above floor)
+        assert!(read(&c, TxnId(3)).unwrap().is_some());
+        assert!(read(&c, TxnId(5)).unwrap().is_some());
+        assert!(read(&c, TxnId(1)).unwrap().is_none());
+    }
+}

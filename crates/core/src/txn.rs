@@ -1,0 +1,684 @@
+//! Transactions: distributed snapshot isolation (§4) and data access (§5).
+//!
+//! The life-cycle follows §4.3 exactly:
+//!
+//! 1. **Begin** — the commit manager supplies tid, snapshot and lav.
+//! 2. **Running** — reads fetch the record (all versions in one request,
+//!    §5.1), extract the snapshot-visible version and cache it in the
+//!    transaction buffer; updates are buffered on the PN.
+//! 3. **Try-Commit** — a log entry with the write-set is appended to the
+//!    transaction log, then every buffered update is applied with one
+//!    conditional write per record (batched into a single exchange). A
+//!    failed store-conditional *is* the write-write conflict check.
+//! 4. **Commit** — indexes are altered to reflect the updates, the commit
+//!    flag is set in the log, the commit manager is notified. **Abort** —
+//!    applied updates are rolled back, then the commit manager is notified.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use tell_common::{Error, Result, Rid, TableId, TxnId};
+use tell_commitmgr::manager::CommitManager;
+use tell_commitmgr::SnapshotDescriptor;
+use tell_store::cell::Token;
+use tell_store::{keys, Expect, WriteOp};
+
+use crate::buffer::BufferConfig;
+use crate::catalog::TableDef;
+use crate::pn::ProcessingNode;
+use crate::record::VersionedRecord;
+use crate::txlog::{self, LogEntry};
+
+/// PN-side CPU cost charged per data operation, in virtual µs. Together
+/// with the network profile this fixes the CPU-vs-network balance that the
+/// InfiniBand/Ethernet experiment (Fig 10) depends on.
+const CPU_OP_US: f64 = 3.0;
+
+/// How a transaction ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// All updates applied and visible.
+    Committed,
+    /// No effect on the database.
+    Aborted,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum IntentKind {
+    Insert,
+    Update,
+    Delete,
+}
+
+struct Intent {
+    kind: IntentKind,
+    /// Row image after the transaction (`None` = delete tombstone).
+    new_row: Option<Bytes>,
+    /// Snapshot-visible row image before the transaction (`None` for
+    /// inserts). Drives index maintenance: only key *changes* touch trees.
+    old_row: Option<Bytes>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Running,
+    Committed,
+    Aborted,
+}
+
+/// An open transaction on one processing node.
+pub struct Transaction<'p> {
+    pn: &'p ProcessingNode,
+    tid: TxnId,
+    snapshot: SnapshotDescriptor,
+    lav: u64,
+    cm: Arc<CommitManager>,
+    state: State,
+    start_us: f64,
+    /// Transaction buffer (§5.5.1): every record read once is reused for
+    /// the transaction's lifetime. `None` records known missing.
+    reads: HashMap<(TableId, Rid), Option<(Token, VersionedRecord)>>,
+    /// Buffered updates, applied at commit (§4.1: "Updates are buffered and
+    /// applied to the shared store during commit").
+    writes: BTreeMap<(TableId, Rid), Intent>,
+    /// Table definitions touched by writes (for index maintenance).
+    tables: HashMap<TableId, Arc<TableDef>>,
+}
+
+impl<'p> Transaction<'p> {
+    pub(crate) fn new(
+        pn: &'p ProcessingNode,
+        start: tell_commitmgr::TxnStart,
+        cm: Arc<CommitManager>,
+    ) -> Self {
+        Transaction {
+            pn,
+            tid: start.tid,
+            snapshot: start.snapshot,
+            lav: start.lav,
+            cm,
+            state: State::Running,
+            start_us: pn.clock().now_us(),
+            reads: HashMap::new(),
+            writes: BTreeMap::new(),
+            tables: HashMap::new(),
+        }
+    }
+
+    /// This transaction's id (= the version number it writes).
+    pub fn tid(&self) -> TxnId {
+        self.tid
+    }
+
+    /// The worker running this transaction (table lookups, metrics).
+    pub fn processing_node(&self) -> &ProcessingNode {
+        self.pn
+    }
+
+    /// The snapshot the transaction reads with.
+    pub fn snapshot(&self) -> &SnapshotDescriptor {
+        &self.snapshot
+    }
+
+    /// Lowest active version number received at begin (GC horizon).
+    pub fn lav(&self) -> u64 {
+        self.lav
+    }
+
+    /// Is the transaction still running?
+    pub fn is_running(&self) -> bool {
+        self.state == State::Running
+    }
+
+    fn ensure_running(&self) -> Result<()> {
+        match self.state {
+            State::Running => Ok(()),
+            State::Committed => Err(Error::invalid("transaction already committed")),
+            State::Aborted => Err(Error::invalid("transaction already aborted")),
+        }
+    }
+
+    fn note_table(&mut self, table: &Arc<TableDef>) {
+        self.tables.entry(table.id).or_insert_with(|| Arc::clone(table));
+    }
+
+    // -----------------------------------------------------------------
+    // Reads
+    // -----------------------------------------------------------------
+
+    /// Read the snapshot-visible row of `rid`, observing the transaction's
+    /// own buffered writes first.
+    pub fn get(&mut self, table: &Arc<TableDef>, rid: Rid) -> Result<Option<Bytes>> {
+        self.ensure_running()?;
+        self.pn.meter().charge_cpu(CPU_OP_US);
+        if let Some(intent) = self.writes.get(&(table.id, rid)) {
+            return Ok(intent.new_row.clone());
+        }
+        let rec = self.read_record(table.id, rid)?;
+        Ok(rec.and_then(|(_, r)| r.visible_payload(&self.snapshot).cloned()))
+    }
+
+    /// Load the full versioned record through the transaction buffer and
+    /// the PN's buffering strategy.
+    fn read_record(&mut self, table: TableId, rid: Rid) -> Result<Option<(Token, VersionedRecord)>> {
+        if let Some(cached) = self.reads.get(&(table, rid)) {
+            return Ok(cached.clone());
+        }
+        let got = self.pn.group().buffer().read_record(
+            self.pn.client(),
+            table,
+            rid,
+            &self.snapshot,
+            &self.pn.group().v_max(),
+        )?;
+        self.reads.insert((table, rid), got.clone());
+        Ok(got)
+    }
+
+    /// Batched record load (§5.1 batching: one exchange for many records).
+    /// Only the transaction-buffer strategy batches; the shared buffers
+    /// resolve records one by one against their validity metadata.
+    fn multi_read_records(
+        &mut self,
+        table: TableId,
+        rids: &[u64],
+    ) -> Result<Vec<Option<(Token, VersionedRecord)>>> {
+        if matches!(self.pn.group().buffer().config(), BufferConfig::TransactionOnly)
+            && self.pn.database().config().batching
+        {
+            let missing: Vec<u64> = rids
+                .iter()
+                .copied()
+                .filter(|r| !self.reads.contains_key(&(table, Rid(*r))))
+                .collect();
+            if !missing.is_empty() {
+                let keys: Vec<_> = missing.iter().map(|r| keys::record(table, Rid(*r))).collect();
+                let fetched = self.pn.client().multi_get(&keys)?;
+                for (rid, cell) in missing.into_iter().zip(fetched) {
+                    let decoded = match cell {
+                        Some((token, raw)) => Some((token, VersionedRecord::decode(&raw)?)),
+                        None => None,
+                    };
+                    self.reads.insert((table, Rid(rid)), decoded);
+                }
+            }
+            Ok(rids
+                .iter()
+                .map(|r| self.reads.get(&(table, Rid(*r))).cloned().flatten())
+                .collect())
+        } else {
+            rids.iter().map(|r| self.read_record(table, Rid(*r))).collect()
+        }
+    }
+
+    /// Look up records by an indexed key. Because indexes are
+    /// version-unaware (§5.3.2), hits are verified against the visible
+    /// version; stale entries found along the way are garbage-collected
+    /// (§5.4: "Index GC is performed during read operations").
+    pub fn index_lookup(
+        &mut self,
+        table: &Arc<TableDef>,
+        index: tell_common::IndexId,
+        key: &Bytes,
+    ) -> Result<Vec<(Rid, Bytes)>> {
+        self.ensure_running()?;
+        self.pn.meter().charge_cpu(CPU_OP_US);
+        let tree = self.pn.tree(index)?;
+        let ex = self
+            .pn
+            .database()
+            .extractor(index)
+            .ok_or_else(|| Error::invalid(format!("no extractor registered for index {index}")))?;
+        let rids = tree.lookup(key)?;
+        let records = self.multi_read_records(table.id, &rids)?;
+        let mut out: Vec<(Rid, Bytes)> = Vec::new();
+        for (rid, rec) in rids.iter().zip(records) {
+            if self.writes.contains_key(&(table.id, Rid(*rid))) {
+                continue; // own write supersedes; merged below
+            }
+            match rec {
+                Some((_, record)) => match record.visible_payload(&self.snapshot) {
+                    Some(row) if ex(row).as_ref() == Some(key) => {
+                        out.push((Rid(*rid), row.clone()));
+                    }
+                    _ => {
+                        // False positive. If *no* stored version still
+                        // carries this key, the entry is dead: remove it.
+                        let alive = record.versions().iter().any(|v| {
+                            v.payload.as_deref().and_then(|p| ex(p)).as_ref() == Some(key)
+                        });
+                        if !alive {
+                            let _ = tree.remove(key, *rid);
+                        }
+                    }
+                },
+                None => {
+                    // Record fully gone: dead entry.
+                    let _ = tree.remove(key, *rid);
+                }
+            }
+        }
+        // Merge the transaction's own writes.
+        for ((t, rid), intent) in &self.writes {
+            if *t != table.id {
+                continue;
+            }
+            if let Some(row) = &intent.new_row {
+                if ex(row).as_ref() == Some(key) {
+                    out.push((*rid, row.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(rid, _)| *rid);
+        out.dedup_by_key(|(rid, _)| *rid);
+        Ok(out)
+    }
+
+    /// Range scan over an index: entries with `start <= key < end`,
+    /// verified and merged with own writes, ordered by `(key, rid)`.
+    pub fn index_range(
+        &mut self,
+        table: &Arc<TableDef>,
+        index: tell_common::IndexId,
+        start: &Bytes,
+        end: Option<&Bytes>,
+        limit: usize,
+    ) -> Result<Vec<(Bytes, Rid, Bytes)>> {
+        self.ensure_running()?;
+        self.pn.meter().charge_cpu(CPU_OP_US);
+        let tree = self.pn.tree(index)?;
+        let ex = self
+            .pn
+            .database()
+            .extractor(index)
+            .ok_or_else(|| Error::invalid(format!("no extractor registered for index {index}")))?;
+        let entries = tree.range(start, end, limit.saturating_mul(2).max(limit))?;
+        let rids: Vec<u64> = entries.iter().map(|(_, r)| *r).collect();
+        let records = self.multi_read_records(table.id, &rids)?;
+        let mut out: Vec<(Bytes, Rid, Bytes)> = Vec::new();
+        for ((ekey, rid), rec) in entries.iter().zip(records) {
+            if self.writes.contains_key(&(table.id, Rid(*rid))) {
+                continue;
+            }
+            if let Some((_, record)) = rec {
+                if let Some(row) = record.visible_payload(&self.snapshot) {
+                    if ex(row).as_ref() == Some(ekey) {
+                        out.push((ekey.clone(), Rid(*rid), row.clone()));
+                    }
+                }
+            }
+        }
+        for ((t, rid), intent) in &self.writes {
+            if *t != table.id {
+                continue;
+            }
+            if let Some(row) = &intent.new_row {
+                if let Some(k) = ex(row) {
+                    let in_range = k.as_ref() >= start.as_ref()
+                        && end.map(|e| k.as_ref() < e.as_ref()).unwrap_or(true);
+                    if in_range {
+                        out.push((k, *rid, row.clone()));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        out.truncate(limit);
+        Ok(out)
+    }
+
+    /// Full-table scan of visible rows ("data is shipped to the query",
+    /// §2.1). Expensive by design; OLAP-style access.
+    pub fn scan_table(&mut self, table: &Arc<TableDef>, limit: usize) -> Result<Vec<(Rid, Bytes)>> {
+        self.ensure_running()?;
+        let prefix = keys::record_prefix(table.id);
+        let rows = self.pn.client().scan_prefix(&prefix, usize::MAX)?;
+        self.pn.meter().charge_cpu(rows.len() as f64 * 0.2);
+        self.collect_scan(table, rows, limit, |_| true)
+    }
+
+    /// Table scan with the predicate pushed down into the storage layer
+    /// (§5.2): storage-side filtering, only matches cross the network.
+    pub fn scan_table_pushdown(
+        &mut self,
+        table: &Arc<TableDef>,
+        limit: usize,
+        pred: impl Fn(&[u8]) -> bool,
+    ) -> Result<Vec<(Rid, Bytes)>> {
+        self.ensure_running()?;
+        let prefix = keys::record_prefix(table.id);
+        let snapshot = self.snapshot.clone();
+        let rows = self.pn.client().scan_prefix_pushdown(&prefix, usize::MAX, |_, raw| {
+            match VersionedRecord::decode(raw) {
+                Ok(rec) => rec.visible_payload(&snapshot).map(|p| pred(p)).unwrap_or(false),
+                Err(_) => false,
+            }
+        })?;
+        self.collect_scan(table, rows, limit, &pred)
+    }
+
+    fn collect_scan(
+        &mut self,
+        table: &Arc<TableDef>,
+        rows: Vec<(Bytes, Token, Bytes)>,
+        limit: usize,
+        pred: impl Fn(&[u8]) -> bool,
+    ) -> Result<Vec<(Rid, Bytes)>> {
+        let mut out = Vec::new();
+        for (key, _, raw) in rows {
+            let Some((_, rid)) = keys::parse_record(&key) else { continue };
+            if self.writes.contains_key(&(table.id, rid)) {
+                continue;
+            }
+            let rec = VersionedRecord::decode(&raw)?;
+            if let Some(row) = rec.visible_payload(&self.snapshot) {
+                if pred(row) {
+                    out.push((rid, row.clone()));
+                }
+            }
+        }
+        for ((t, rid), intent) in &self.writes {
+            if *t != table.id {
+                continue;
+            }
+            if let Some(row) = &intent.new_row {
+                if pred(row) {
+                    out.push((*rid, row.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(rid, _)| *rid);
+        out.truncate(limit);
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Writes (buffered until commit)
+    // -----------------------------------------------------------------
+
+    /// Insert a new row; allocates and returns its record id. Unique
+    /// indexes are checked against the snapshot (SI gives no phantom
+    /// protection, so two concurrent inserts of the same key can both
+    /// pass — exactly the write-skew-family anomaly §4.1 acknowledges).
+    pub fn insert(&mut self, table: &Arc<TableDef>, row: Bytes) -> Result<Rid> {
+        self.ensure_running()?;
+        self.pn.meter().charge_cpu(CPU_OP_US);
+        for idx in &table.indexes {
+            if !idx.unique {
+                continue;
+            }
+            if let Some(ex) = self.pn.database().extractor(idx.id) {
+                if let Some(key) = ex(&row) {
+                    if !self.index_lookup(table, idx.id, &key)?.is_empty() {
+                        return Err(Error::invalid(format!(
+                            "duplicate key on unique index '{}'",
+                            idx.name
+                        )));
+                    }
+                }
+            }
+        }
+        let rid = Rid(self.pn.alloc_rid(table.id)?);
+        self.note_table(table);
+        self.writes
+            .insert((table.id, rid), Intent { kind: IntentKind::Insert, new_row: Some(row), old_row: None });
+        Ok(rid)
+    }
+
+    /// Replace the row of `rid`. The record is read first (§5.1); repeated
+    /// updates modify the buffered version in place.
+    pub fn update(&mut self, table: &Arc<TableDef>, rid: Rid, new_row: Bytes) -> Result<()> {
+        self.ensure_running()?;
+        self.pn.meter().charge_cpu(CPU_OP_US);
+        if let Some(intent) = self.writes.get_mut(&(table.id, rid)) {
+            if intent.kind == IntentKind::Delete {
+                return Err(Error::invalid("cannot update a row deleted in this transaction"));
+            }
+            intent.new_row = Some(new_row);
+            return Ok(());
+        }
+        let rec = self.read_record(table.id, rid)?;
+        self.check_no_foreign_versions(&rec)?;
+        let old = rec
+            .as_ref()
+            .and_then(|(_, r)| r.visible_payload(&self.snapshot).cloned())
+            .ok_or(Error::NotFound)?;
+        self.note_table(table);
+        self.writes.insert(
+            (table.id, rid),
+            Intent { kind: IntentKind::Update, new_row: Some(new_row), old_row: Some(old) },
+        );
+        Ok(())
+    }
+
+    /// First conflict scenario of §4.1: "T2 writes the changed item to the
+    /// shared store before it is read by T1. In that case, T1 will notice
+    /// the conflict (as the item has a newer version)." A record we intend
+    /// to write must not carry
+    ///
+    /// * any version outside our snapshot — written by a transaction that
+    ///   committed (or is committing) after we started; first-committer-
+    ///   wins says we lose — nor
+    /// * any version **numbered above our own tid**. Tids are handed out in
+    ///   ranges (§4.2), so a transaction can begin *after* a higher-
+    ///   numbered one committed; writing below an existing version would
+    ///   corrupt the `v := max(V ∩ V')` read rule (version order must equal
+    ///   commit order per record). This is precisely the "higher abort
+    ///   rate" cost of continuous tid ranges the paper concedes.
+    fn check_no_foreign_versions(
+        &self,
+        rec: &Option<(Token, VersionedRecord)>,
+    ) -> Result<()> {
+        if let Some((_, record)) = rec {
+            if record
+                .version_numbers()
+                .any(|v| v >= self.tid.raw() || !self.snapshot.contains(v))
+            {
+                return Err(Error::Conflict);
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the row of `rid` (writes a tombstone version at commit).
+    pub fn delete(&mut self, table: &Arc<TableDef>, rid: Rid) -> Result<()> {
+        self.ensure_running()?;
+        self.pn.meter().charge_cpu(CPU_OP_US);
+        if let Some(intent) = self.writes.get(&(table.id, rid)) {
+            if intent.kind == IntentKind::Insert {
+                // Deleting an own insert: the row never existed.
+                self.writes.remove(&(table.id, rid));
+                return Ok(());
+            }
+            if intent.kind == IntentKind::Delete {
+                return Err(Error::NotFound);
+            }
+        }
+        let rec = self.read_record(table.id, rid)?;
+        self.check_no_foreign_versions(&rec)?;
+        let old = rec
+            .as_ref()
+            .and_then(|(_, r)| r.visible_payload(&self.snapshot).cloned())
+            .ok_or(Error::NotFound)?;
+        self.note_table(table);
+        self.writes.insert(
+            (table.id, rid),
+            Intent { kind: IntentKind::Delete, new_row: None, old_row: Some(old) },
+        );
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Completion
+    // -----------------------------------------------------------------
+
+    /// Try-commit then commit (§4.3). On a write-write conflict every
+    /// applied update is rolled back and `Err(Conflict)` is returned.
+    pub fn commit(&mut self) -> Result<()> {
+        self.ensure_running()?;
+        if self.writes.is_empty() {
+            self.state = State::Committed;
+            self.cm.set_committed(self.tid, self.pn.meter())?;
+            self.pn
+                .metrics()
+                .record_commit(self.pn.clock().now_us() - self.start_us);
+            return Ok(());
+        }
+        self.pn.meter().charge_cpu(self.writes.len() as f64 * CPU_OP_US);
+
+        // Try-Commit: log entry first (required for recovery, §4.4.1).
+        let mut entry = LogEntry {
+            tid: self.tid,
+            pn: self.pn.id(),
+            timestamp_us: self.pn.clock().now_us() as u64,
+            write_set: self.writes.keys().copied().collect(),
+            committed: false,
+        };
+        txlog::append(self.pn.client(), &entry)?;
+
+        // Apply every buffered update with one conditional write per
+        // record, batched into a single exchange.
+        let mut ops = Vec::with_capacity(self.writes.len());
+        let mut applied_records: Vec<((TableId, Rid), VersionedRecord)> =
+            Vec::with_capacity(self.writes.len());
+        for ((table, rid), intent) in &self.writes {
+            let key = keys::record(*table, *rid);
+            match intent.kind {
+                IntentKind::Insert => {
+                    let rec = VersionedRecord::with_initial(
+                        self.tid,
+                        intent.new_row.clone().expect("insert carries a row"),
+                    );
+                    ops.push(WriteOp::put(key, Expect::Absent, rec.encode()));
+                    applied_records.push(((*table, *rid), rec));
+                }
+                IntentKind::Update | IntentKind::Delete => {
+                    let (token, record) = self
+                        .reads
+                        .get(&(*table, *rid))
+                        .cloned()
+                        .flatten()
+                        .ok_or_else(|| Error::invalid("write intent without prior read"))?;
+                    let mut rec = record;
+                    rec.add_version(self.tid, intent.new_row.clone());
+                    rec.gc(self.lav); // eager GC is part of the update (§5.4)
+                    ops.push(WriteOp::put(key, Expect::Token(token), rec.encode()));
+                    applied_records.push(((*table, *rid), rec));
+                }
+            }
+        }
+        let results = if self.pn.database().config().batching {
+            self.pn.client().multi_write(ops)?
+        } else {
+            // Ablation mode: one exchange per update.
+            ops.into_iter()
+                .map(|op| {
+                    let client = self.pn.client();
+                    match op.value {
+                        Some(v) => match op.expect {
+                            tell_store::Expect::Absent => client.insert(&op.key, v).map(Some),
+                            tell_store::Expect::Token(t) => {
+                                client.store_conditional(&op.key, t, v).map(Some)
+                            }
+                            tell_store::Expect::Any => client.put(&op.key, v).map(Some),
+                        },
+                        None => client.delete(&op.key).map(|_| None),
+                    }
+                })
+                .collect()
+        };
+        let conflicted = results.iter().any(|r| r.is_err());
+        if conflicted {
+            // Abort: revert the updates that did apply.
+            for (i, result) in results.iter().enumerate() {
+                if result.is_ok() {
+                    let ((table, rid), _) = &applied_records[i];
+                    self.revert_applied(*table, *rid)?;
+                }
+            }
+            self.state = State::Aborted;
+            self.cm.set_aborted(self.tid, self.pn.meter())?;
+            self.pn
+                .metrics()
+                .record_abort(self.pn.clock().now_us() - self.start_us, true);
+            return Err(Error::Conflict);
+        }
+
+        // Commit: index maintenance. Only key changes touch trees; stale
+        // entries are removed lazily by index GC (§5.3.2).
+        for ((table_id, rid), intent) in &self.writes {
+            let table = self.tables.get(table_id).expect("table noted at write time");
+            for idx in &table.indexes {
+                let Some(ex) = self.pn.database().extractor(idx.id) else { continue };
+                let old_key = intent.old_row.as_deref().and_then(|r| ex(r));
+                let new_key = intent.new_row.as_deref().and_then(|r| ex(r));
+                if let Some(nk) = new_key {
+                    if old_key.as_ref() != Some(&nk) {
+                        self.pn.tree(idx.id)?.insert(nk, rid.raw())?;
+                    }
+                }
+            }
+        }
+
+        txlog::mark_committed(self.pn.client(), &mut entry)?;
+        self.cm.set_committed(self.tid, self.pn.meter())?;
+
+        // Write-through to the PN buffer with the fresh tokens.
+        let v_max = self.pn.group().v_max();
+        for (((table, rid), rec), result) in applied_records.iter().zip(results.iter()) {
+            if let Ok(Some(token)) = result {
+                if rec.version_count() > 0 {
+                    self.pn.group().buffer().write_through(
+                        self.pn.client(),
+                        *table,
+                        *rid,
+                        *token,
+                        rec,
+                        self.tid,
+                        &v_max,
+                    )?;
+                }
+            }
+        }
+
+        self.state = State::Committed;
+        self.pn
+            .metrics()
+            .record_commit(self.pn.clock().now_us() - self.start_us);
+        Ok(())
+    }
+
+    /// Manual abort: nothing was applied yet (§4.3 4b: "In this case, no
+    /// updates have been applied as we skipped the Try-Commit state").
+    pub fn abort(&mut self) -> Result<()> {
+        self.ensure_running()?;
+        self.state = State::Aborted;
+        self.cm.set_aborted(self.tid, self.pn.meter())?;
+        self.pn
+            .metrics()
+            .record_abort(self.pn.clock().now_us() - self.start_us, false);
+        Ok(())
+    }
+
+    /// Remove this transaction's version from an applied record
+    /// (commit-failure rollback; the same primitive recovery uses).
+    fn revert_applied(&self, table: TableId, rid: Rid) -> Result<()> {
+        crate::recovery::revert_record_version(self.pn.client(), table, rid, self.tid)
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if self.state == State::Running {
+            // Crash-stop semantics for forgotten transactions: report the
+            // abort so the commit manager's base can advance. No updates
+            // were applied (that only happens inside commit()).
+            self.state = State::Aborted;
+            let _ = self.cm.set_aborted(self.tid, self.pn.meter());
+            self.pn
+                .metrics()
+                .record_abort(self.pn.clock().now_us() - self.start_us, false);
+        }
+    }
+}

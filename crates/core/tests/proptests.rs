@@ -1,0 +1,174 @@
+//! Property tests for the transaction layer's data structures and for
+//! serializability-adjacent invariants of snapshot isolation itself.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::sync::Arc;
+use tell_common::{BitSet, TxnId};
+use tell_commitmgr::SnapshotDescriptor;
+use tell_core::database::IndexSpec;
+use tell_core::{Database, TellConfig, VersionedRecord};
+
+fn snapshot_strategy() -> impl Strategy<Value = SnapshotDescriptor> {
+    (0u64..100, prop::collection::btree_set(1u64..64, 0..16)).prop_map(|(base, newly)| {
+        let mut bits = BitSet::new();
+        for n in newly {
+            bits.set(n as usize - 1);
+        }
+        SnapshotDescriptor::new(base, bits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A versioned record roundtrips through its store encoding for any
+    /// set of versions/tombstones, and `visible` always returns the highest
+    /// version inside the snapshot.
+    #[test]
+    fn record_roundtrip_and_visibility(
+        versions in prop::collection::btree_map(0u64..200, prop::option::of(prop::collection::vec(any::<u8>(), 0..16)), 1..12),
+        snapshot in snapshot_strategy(),
+    ) {
+        let mut rec = VersionedRecord::empty();
+        for (v, payload) in &versions {
+            rec.add_version(TxnId(*v), payload.clone().map(Bytes::from));
+        }
+        let decoded = VersionedRecord::decode(&rec.encode()).unwrap();
+        prop_assert_eq!(&decoded, &rec);
+
+        let expected = versions
+            .iter()
+            .filter(|(v, _)| snapshot.contains(**v))
+            .max_by_key(|(v, _)| **v);
+        match (rec.visible(&snapshot), expected) {
+            (Some(got), Some((v, payload))) => {
+                prop_assert_eq!(got.version, *v);
+                prop_assert_eq!(
+                    got.payload.as_ref().map(|b| b.to_vec()),
+                    payload.clone()
+                );
+            }
+            (None, None) => {}
+            (got, expected) => prop_assert!(false, "got {:?} expected {:?}", got, expected),
+        }
+    }
+
+    /// GC never removes a version visible to any snapshot at or above the
+    /// lav, and is idempotent.
+    #[test]
+    fn gc_preserves_visibility_at_or_above_lav(
+        versions in prop::collection::btree_set(0u64..100, 1..12),
+        lav in 0u64..120,
+    ) {
+        let mut rec = VersionedRecord::empty();
+        for v in &versions {
+            rec.add_version(TxnId(*v), Some(Bytes::from(v.to_be_bytes().to_vec())));
+        }
+        let mut gced = rec.clone();
+        gced.gc(lav);
+        // For every base >= lav, the visible version is unchanged.
+        for base in lav..130 {
+            let snap = SnapshotDescriptor::new(base, BitSet::new());
+            prop_assert_eq!(
+                rec.visible(&snap).map(|v| v.version),
+                gced.visible(&snap).map(|v| v.version),
+                "base {}", base
+            );
+        }
+        let once = gced.clone();
+        gced.gc(lav);
+        prop_assert_eq!(gced, once, "gc is idempotent");
+    }
+
+    /// Snapshot subset relation is a partial order consistent with
+    /// membership: a ⊆ b implies every version visible in a is visible in b.
+    #[test]
+    fn snapshot_subset_soundness(a in snapshot_strategy(), b in snapshot_strategy()) {
+        if a.is_subset_of(&b) {
+            for v in 0..200u64 {
+                if a.contains(v) {
+                    prop_assert!(b.contains(v), "v={} in a but not b", v);
+                }
+            }
+        }
+        // Reflexivity.
+        prop_assert!(a.is_subset_of(&a));
+        // with_added only grows the set.
+        let grown = a.with_added(TxnId(150));
+        prop_assert!(a.is_subset_of(&grown));
+        prop_assert!(grown.contains(150));
+    }
+}
+
+/// Randomized concurrent increment workloads preserve the sum invariant
+/// under snapshot isolation regardless of the thread/key schedule.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn concurrent_increments_never_lose_updates(
+        schedule in prop::collection::vec((0u8..3, 0u8..4), 8..40),
+        seed in any::<u64>(),
+    ) {
+        let _ = seed;
+        let db = Database::create(TellConfig::default());
+        let table = db
+            .create_table(
+                "counters",
+                vec![IndexSpec::new("pk", true, |r: &[u8]| r.get(8..16).map(Bytes::copy_from_slice))],
+            )
+            .unwrap();
+        let encode = |v: u64, id: u64| -> Bytes {
+            let mut b = v.to_be_bytes().to_vec();
+            b.extend_from_slice(&id.to_be_bytes());
+            Bytes::from(b)
+        };
+        let rids = db
+            .bulk_load(&table, (0..4u64).map(|i| encode(0, i)).collect())
+            .unwrap();
+
+        // Partition the schedule among 3 threads, each incrementing its
+        // assigned keys.
+        let mut per_thread: Vec<Vec<u8>> = vec![Vec::new(); 3];
+        for (t, k) in &schedule {
+            per_thread[*t as usize].push(*k);
+        }
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|keys| {
+                let db = Arc::clone(&db);
+                let table = Arc::clone(&table);
+                let rids = rids.clone();
+                std::thread::spawn(move || {
+                    let pn = db.processing_node();
+                    for k in keys {
+                        let rid = rids[k as usize];
+                        pn.run(10_000, |txn| {
+                            let row = txn.get(&table, rid)?.unwrap();
+                            let v = u64::from_be_bytes(row[..8].try_into().unwrap());
+                            let id = u64::from_be_bytes(row[8..16].try_into().unwrap());
+                            let mut b = (v + 1).to_be_bytes().to_vec();
+                            b.extend_from_slice(&id.to_be_bytes());
+                            txn.update(&table, rid, Bytes::from(b))
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let pn = db.processing_node();
+        let mut txn = pn.begin().unwrap();
+        let mut total = 0u64;
+        for rid in &rids {
+            let row = txn.get(&table, *rid).unwrap().unwrap();
+            total += u64::from_be_bytes(row[..8].try_into().unwrap());
+        }
+        txn.commit().unwrap();
+        prop_assert_eq!(total as usize, schedule.len());
+    }
+}

@@ -1,0 +1,141 @@
+//! PN-side caching of inner index nodes (§5.3.1).
+//!
+//! "All index nodes with exception of the leaf level are cached. The
+//! leaf-level nodes are always retrieved from the storage system." The cache
+//! holds decoded inner nodes keyed by node id, together with the store token
+//! observed when they were fetched, so a cached node can be used as the
+//! load-link of a later store-conditional.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use tell_store::cell::Token;
+
+use crate::node::NodeData;
+
+/// Hit/miss counters (exposed so benchmarks can show cache effectiveness).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub invalidations: AtomicU64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// Inner-node cache of one processing node.
+#[derive(Default)]
+pub struct NodeCache {
+    nodes: Mutex<HashMap<u64, (Token, NodeData)>>,
+    stats: CacheStats,
+}
+
+impl NodeCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        NodeCache::default()
+    }
+
+    /// Look up a cached inner node.
+    pub fn get(&self, id: u64) -> Option<(Token, NodeData)> {
+        let got = self.nodes.lock().get(&id).cloned();
+        match &got {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Install or refresh an inner node. Leaves must never be cached; the
+    /// caller enforces that, this method just stores what it is given.
+    pub fn put(&self, id: u64, token: Token, node: NodeData) {
+        debug_assert!(!node.is_leaf, "leaf nodes are always fetched fresh (§5.3.1)");
+        self.nodes.lock().insert(id, (token, node));
+    }
+
+    /// Drop one node (stale path refresh).
+    pub fn invalidate(&self, id: u64) {
+        if self.nodes.lock().remove(&id).is_some() {
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let mut map = self.nodes.lock();
+        let n = map.len() as u64;
+        map.clear();
+        self.stats.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of cached nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.lock().is_empty()
+    }
+
+    /// Counter access.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::min_key;
+
+    fn inner() -> NodeData {
+        NodeData { is_leaf: false, low: min_key(), high: None, right: None, entries: vec![(min_key(), 1)] }
+    }
+
+    #[test]
+    fn put_get_invalidate() {
+        let c = NodeCache::new();
+        assert!(c.get(1).is_none());
+        c.put(1, 10, inner());
+        let (tok, node) = c.get(1).unwrap();
+        assert_eq!(tok, 10);
+        assert!(!node.is_leaf);
+        c.invalidate(1);
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let c = NodeCache::new();
+        c.get(5);
+        c.put(5, 1, inner());
+        c.get(5);
+        c.get(5);
+        assert_eq!(c.stats().hits.load(Ordering::Relaxed), 2);
+        assert_eq!(c.stats().misses.load(Ordering::Relaxed), 1);
+        assert!((c.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_counts_invalidations() {
+        let c = NodeCache::new();
+        c.put(1, 1, inner());
+        c.put(2, 1, inner());
+        c.clear();
+        assert_eq!(c.stats().invalidations.load(Ordering::Relaxed), 2);
+    }
+}

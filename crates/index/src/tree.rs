@@ -1,0 +1,760 @@
+//! The distributed latch-free B+tree.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tell_common::{Error, IndexId, Result};
+use tell_store::cell::Token;
+use tell_store::{keys, StoreClient};
+
+use crate::cache::NodeCache;
+use crate::node::{cmp_entry, min_key, EntryKey, NodeData};
+
+/// Tree tuning knobs.
+#[derive(Clone, Debug)]
+pub struct BTreeConfig {
+    /// Maximum entries per node before it splits.
+    pub max_entries: usize,
+    /// Upper bound on optimistic retries before reporting contention. The
+    /// algorithm is latch-free (some operation always makes progress); this
+    /// bound only turns a livelocked *test* into an error instead of a hang.
+    pub max_retries: usize,
+}
+
+impl Default for BTreeConfig {
+    fn default() -> Self {
+        BTreeConfig { max_entries: 64, max_retries: 10_000 }
+    }
+}
+
+struct Descent {
+    leaf_id: u64,
+    leaf_token: Token,
+    leaf: NodeData,
+    /// Ancestor node ids, root first.
+    path: Vec<u64>,
+}
+
+/// A handle to one distributed B+tree for one processing node.
+///
+/// The tree's nodes live in the shared store; any number of handles (on any
+/// number of PNs) can operate concurrently. Each handle carries the PN-local
+/// inner-node cache.
+pub struct DistributedBTree {
+    index_id: IndexId,
+    client: StoreClient,
+    cache: Arc<NodeCache>,
+    config: BTreeConfig,
+    root_hint: Mutex<Option<u64>>,
+}
+
+impl DistributedBTree {
+    /// Create a brand-new tree in the store (an empty root leaf).
+    pub fn create(client: StoreClient, index_id: IndexId, config: BTreeConfig) -> Result<Self> {
+        let tree = DistributedBTree {
+            index_id,
+            client,
+            cache: Arc::new(NodeCache::new()),
+            config,
+            root_hint: Mutex::new(None),
+        };
+        let root_id = tree.alloc_node_id()?;
+        tree.client
+            .insert(&tree.node_key(root_id), NodeData::empty_root_leaf().encode())?;
+        tree.client
+            .insert(&tree.root_ptr_key(), Bytes::copy_from_slice(&root_id.to_le_bytes()))?;
+        *tree.root_hint.lock() = Some(root_id);
+        Ok(tree)
+    }
+
+    /// Open an existing tree (a second handle, e.g. on another PN).
+    pub fn open(client: StoreClient, index_id: IndexId, config: BTreeConfig) -> Result<Self> {
+        let tree = DistributedBTree {
+            index_id,
+            client,
+            cache: Arc::new(NodeCache::new()),
+            config,
+            root_hint: Mutex::new(None),
+        };
+        tree.read_root()?; // fail fast if the tree does not exist
+        Ok(tree)
+    }
+
+    /// The PN-local cache (for stats and explicit invalidation).
+    pub fn cache(&self) -> &Arc<NodeCache> {
+        &self.cache
+    }
+
+    /// This tree's index id.
+    pub fn index_id(&self) -> IndexId {
+        self.index_id
+    }
+
+    fn node_key(&self, node_id: u64) -> Bytes {
+        keys::index_node(self.index_id, node_id)
+    }
+
+    fn root_ptr_key(&self) -> Bytes {
+        keys::meta(&format!("idx/{}/root", self.index_id.raw()))
+    }
+
+    fn alloc_node_id(&self) -> Result<u64> {
+        self.client
+            .increment(&keys::counter(&format!("idx/{}/next", self.index_id.raw())), 1)
+    }
+
+    fn read_root(&self) -> Result<(Token, u64)> {
+        let (token, raw) = self
+            .client
+            .get(&self.root_ptr_key())?
+            .ok_or_else(|| Error::corrupt("index root pointer missing"))?;
+        let id = u64::from_le_bytes(
+            raw.as_ref().try_into().map_err(|_| Error::corrupt("bad root pointer"))?,
+        );
+        *self.root_hint.lock() = Some(id);
+        Ok((token, id))
+    }
+
+    fn root_id(&self) -> Result<u64> {
+        if let Some(id) = *self.root_hint.lock() {
+            return Ok(id);
+        }
+        Ok(self.read_root()?.1)
+    }
+
+    fn fetch(&self, node_id: u64) -> Result<(Token, NodeData)> {
+        let (token, raw) = self.client.get(&self.node_key(node_id))?.ok_or_else(|| {
+            Error::corrupt(format!("index node {node_id} missing"))
+        })?;
+        Ok((token, NodeData::decode(&raw)?))
+    }
+
+    /// Fetch, preferring the cache. Freshly fetched inner nodes are cached;
+    /// leaves never are (§5.3.1).
+    fn fetch_cached(&self, node_id: u64) -> Result<(Token, NodeData)> {
+        if let Some(hit) = self.cache.get(node_id) {
+            return Ok(hit);
+        }
+        let (token, node) = self.fetch(node_id)?;
+        if !node.is_leaf {
+            self.cache.put(node_id, token, node.clone());
+        }
+        Ok((token, node))
+    }
+
+    fn descend(&self, k: &EntryKey, use_cache: bool) -> Result<Descent> {
+        let mut node_id = self.root_id()?;
+        let mut path = Vec::new();
+        let mut hops = 0usize;
+        for _ in 0..self.config.max_retries {
+            let (token, node) = if use_cache {
+                self.fetch_cached(node_id)?
+            } else {
+                self.fetch(node_id)?
+            };
+            if node.beyond_high(k) {
+                // B-link right hop: the node split since our routing info was
+                // read. If a *cached* inner node sent us here, it is stale.
+                let right = node
+                    .right
+                    .ok_or_else(|| Error::corrupt("high fence without right sibling"))?;
+                node_id = right;
+                hops += 1;
+                continue;
+            }
+            if node.is_leaf {
+                if hops > 0 && use_cache {
+                    // §5.3.1: "the parent nodes are recursively updated to
+                    // keep the cache consistent". Dropping them re-fetches
+                    // the latest versions on the next descent.
+                    for id in &path {
+                        self.cache.invalidate(*id);
+                    }
+                    let _ = self.read_root();
+                }
+                return Ok(Descent { leaf_id: node_id, leaf_token: token, leaf: node, path });
+            }
+            path.push(node_id);
+            node_id = node.route(k);
+        }
+        Err(Error::Unavailable("index descend retry limit exceeded".into()))
+    }
+
+    /// Insert `(key, rid)`. Returns `false` if the exact entry already
+    /// existed.
+    pub fn insert(&self, key: Bytes, rid: u64) -> Result<bool> {
+        let k: EntryKey = (key, rid);
+        for _ in 0..self.config.max_retries {
+            let d = self.descend(&k, true)?;
+            let mut leaf = d.leaf;
+            match leaf.search(&k) {
+                Ok(_) => return Ok(false),
+                Err(pos) => leaf.entries.insert(pos, (k.clone(), rid)),
+            }
+            if leaf.entries.len() <= self.config.max_entries {
+                match self.client.store_conditional(
+                    &self.node_key(d.leaf_id),
+                    d.leaf_token,
+                    leaf.encode(),
+                ) {
+                    Ok(_) => return Ok(true),
+                    Err(Error::Conflict) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            // Overflow: B-link split. Install the new right sibling first
+            // (unreachable until the SC below publishes it), then swing the
+            // split node, then tell the parent.
+            let new_id = self.alloc_node_id()?;
+            let (sep, right) = leaf.split(new_id);
+            self.client.insert(&self.node_key(new_id), right.encode())?;
+            match self.client.store_conditional(
+                &self.node_key(d.leaf_id),
+                d.leaf_token,
+                leaf.encode(),
+            ) {
+                Ok(_) => {
+                    self.add_separator(&d.path, d.leaf_id, sep, new_id)?;
+                    return Ok(true);
+                }
+                Err(Error::Conflict) => {
+                    // Lost the race: remove the orphan and retry.
+                    let _ = self.client.delete(&self.node_key(new_id));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::Unavailable("index insert retry limit exceeded".into()))
+    }
+
+    /// Remove `(key, rid)`. Returns `false` if it was not present.
+    pub fn remove(&self, key: &Bytes, rid: u64) -> Result<bool> {
+        let k: EntryKey = (key.clone(), rid);
+        for _ in 0..self.config.max_retries {
+            // Deletions always verify against a fresh leaf.
+            let d = self.descend(&k, true)?;
+            let mut leaf = d.leaf;
+            let pos = match leaf.search(&k) {
+                Ok(p) => p,
+                Err(_) => return Ok(false),
+            };
+            leaf.entries.remove(pos);
+            match self.client.store_conditional(
+                &self.node_key(d.leaf_id),
+                d.leaf_token,
+                leaf.encode(),
+            ) {
+                Ok(_) => return Ok(true),
+                Err(Error::Conflict) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::Unavailable("index remove retry limit exceeded".into()))
+    }
+
+    /// All rids indexed under exactly `key`, in rid order.
+    pub fn lookup(&self, key: &Bytes) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        self.walk((key.clone(), 0), |entry| {
+            if entry.0 == *key {
+                out.push(entry.1);
+                true
+            } else {
+                false
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Entries with `start <= key < end` (end `None` = unbounded), up to
+    /// `limit`.
+    pub fn range(
+        &self,
+        start: &Bytes,
+        end: Option<&Bytes>,
+        limit: usize,
+    ) -> Result<Vec<(Bytes, u64)>> {
+        let mut out = Vec::new();
+        self.walk((start.clone(), 0), |entry| {
+            if let Some(e) = end {
+                if entry.0.as_ref() >= e.as_ref() {
+                    return false;
+                }
+            }
+            out.push((entry.0.clone(), entry.1));
+            out.len() < limit
+        })?;
+        Ok(out)
+    }
+
+    /// Total number of entries (test/diagnostic helper; full leaf walk).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0usize;
+        self.walk(min_key(), |_| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Walk leaf entries in order starting at `from`, calling `f` per entry
+    /// until it returns `false` or the tree is exhausted.
+    fn walk(&self, from: EntryKey, mut f: impl FnMut(&EntryKey) -> bool) -> Result<()> {
+        let d = self.descend(&from, true)?;
+        let mut node = d.leaf;
+        loop {
+            for (ek, _) in &node.entries {
+                if cmp_entry(ek, &from) == std::cmp::Ordering::Less {
+                    continue;
+                }
+                if !f(ek) {
+                    return Ok(());
+                }
+            }
+            match node.right {
+                Some(r) => node = self.fetch(r)?.1,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    fn add_separator(
+        &self,
+        ancestors: &[u64],
+        split_node: u64,
+        sep: EntryKey,
+        new_child: u64,
+    ) -> Result<()> {
+        match ancestors.split_last() {
+            Some((&parent, rest)) => self.insert_into_inner(parent, rest, sep, new_child),
+            None => self.grow_root_or_find_parent(split_node, sep, new_child),
+        }
+    }
+
+    fn insert_into_inner(
+        &self,
+        mut parent_id: u64,
+        ancestors: &[u64],
+        sep: EntryKey,
+        child: u64,
+    ) -> Result<()> {
+        for _ in 0..self.config.max_retries {
+            let (token, mut node) = self.fetch(parent_id)?; // always fresh for writes
+            if node.beyond_high(&sep) {
+                parent_id = node
+                    .right
+                    .ok_or_else(|| Error::corrupt("inner high fence without right sibling"))?;
+                continue;
+            }
+            if node.is_leaf {
+                return Err(Error::corrupt("separator insert reached a leaf"));
+            }
+            match node.search(&sep) {
+                Ok(_) => return Ok(()), // idempotent
+                Err(pos) => node.entries.insert(pos, (sep.clone(), child)),
+            }
+            if node.entries.len() <= self.config.max_entries {
+                match self.client.store_conditional(
+                    &self.node_key(parent_id),
+                    token,
+                    node.encode(),
+                ) {
+                    Ok(t) => {
+                        self.cache.put(parent_id, t, node);
+                        return Ok(());
+                    }
+                    Err(Error::Conflict) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            // Parent overflows: split it too (recursing toward the root).
+            let new_pid = self.alloc_node_id()?;
+            let (psep, pright) = node.split(new_pid);
+            self.client.insert(&self.node_key(new_pid), pright.encode())?;
+            match self.client.store_conditional(&self.node_key(parent_id), token, node.encode()) {
+                Ok(t) => {
+                    self.cache.put(parent_id, t, node);
+                    self.cache.invalidate(new_pid);
+                    self.add_separator(ancestors, parent_id, psep, new_pid)?;
+                    return Ok(());
+                }
+                Err(Error::Conflict) => {
+                    let _ = self.client.delete(&self.node_key(new_pid));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::Unavailable("separator insert retry limit exceeded".into()))
+    }
+
+    fn grow_root_or_find_parent(&self, split_node: u64, sep: EntryKey, new_child: u64) -> Result<()> {
+        for _ in 0..self.config.max_retries {
+            let (root_token, root_id) = self.read_root()?;
+            if root_id == split_node {
+                // We split the root: grow the tree by one level.
+                let new_root_id = self.alloc_node_id()?;
+                let new_root = NodeData {
+                    is_leaf: false,
+                    low: min_key(),
+                    high: None,
+                    right: None,
+                    entries: vec![(min_key(), split_node), (sep.clone(), new_child)],
+                };
+                self.client.insert(&self.node_key(new_root_id), new_root.encode())?;
+                match self.client.store_conditional(
+                    &self.root_ptr_key(),
+                    root_token,
+                    Bytes::copy_from_slice(&new_root_id.to_le_bytes()),
+                ) {
+                    Ok(_) => {
+                        *self.root_hint.lock() = Some(new_root_id);
+                        return Ok(());
+                    }
+                    Err(Error::Conflict) => {
+                        let _ = self.client.delete(&self.node_key(new_root_id));
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Someone grew the tree first: our split node now has a parent.
+            if let Some(parent) = self.find_parent(root_id, split_node, &sep)? {
+                return self.insert_into_inner(parent, &[], sep, new_child);
+            }
+            // Racing structure change; retry from the (re-read) root.
+        }
+        Err(Error::Unavailable("root grow retry limit exceeded".into()))
+    }
+
+    /// Locate the inner node whose child pointer routes `sep` to
+    /// `split_node`.
+    fn find_parent(&self, root_id: u64, split_node: u64, sep: &EntryKey) -> Result<Option<u64>> {
+        let mut node_id = root_id;
+        for _ in 0..self.config.max_retries {
+            let (_, node) = self.fetch(node_id)?;
+            if node.beyond_high(sep) {
+                node_id = match node.right {
+                    Some(r) => r,
+                    None => return Ok(None),
+                };
+                continue;
+            }
+            if node.is_leaf {
+                return Ok(None);
+            }
+            let child = node.route(sep);
+            if child == split_node {
+                return Ok(Some(node_id));
+            }
+            node_id = child;
+        }
+        Ok(None)
+    }
+
+    /// Structural invariant check used by tests: walks the whole tree and
+    /// verifies fence chaining, entry ordering and fence containment.
+    pub fn check_invariants(&self) -> Result<usize> {
+        // Find the leftmost leaf by descending on the minimum key.
+        let d = self.descend(&min_key(), false)?;
+        let mut node = d.leaf;
+        let mut count = 0usize;
+        let mut prev: Option<EntryKey> = None;
+        loop {
+            for w in node.entries.windows(2) {
+                if cmp_entry(&w[0].0, &w[1].0) != std::cmp::Ordering::Less {
+                    return Err(Error::corrupt("leaf entries out of order"));
+                }
+            }
+            for (ek, _) in &node.entries {
+                if !node.covers(ek) {
+                    return Err(Error::corrupt("entry outside node fences"));
+                }
+                if let Some(p) = &prev {
+                    if cmp_entry(p, ek) != std::cmp::Ordering::Less {
+                        return Err(Error::corrupt("entries out of order across leaves"));
+                    }
+                }
+                prev = Some(ek.clone());
+                count += 1;
+            }
+            match (node.high.clone(), node.right) {
+                (Some(h), Some(r)) => {
+                    let (_, next) = self.fetch(r)?;
+                    if next.low != h {
+                        return Err(Error::corrupt("fence chain broken between siblings"));
+                    }
+                    node = next;
+                }
+                (None, None) => return Ok(count),
+                _ => return Err(Error::corrupt("high fence and right pointer disagree")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tell_store::{StoreCluster, StoreConfig};
+
+    fn small_tree() -> DistributedBTree {
+        let cluster = StoreCluster::new(StoreConfig::new(2));
+        let client = StoreClient::unmetered(cluster);
+        DistributedBTree::create(
+            client,
+            IndexId(1),
+            BTreeConfig { max_entries: 4, max_retries: 10_000 },
+        )
+        .unwrap()
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let t = small_tree();
+        assert!(t.insert(b("apple"), 1).unwrap());
+        assert!(t.insert(b("banana"), 2).unwrap());
+        assert!(!t.insert(b("apple"), 1).unwrap(), "duplicate entry rejected");
+        assert_eq!(t.lookup(&b("apple")).unwrap(), vec![1]);
+        assert_eq!(t.lookup(&b("cherry")).unwrap(), Vec::<u64>::new());
+        assert!(t.remove(&b("apple"), 1).unwrap());
+        assert!(!t.remove(&b("apple"), 1).unwrap());
+        assert_eq!(t.lookup(&b("apple")).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn duplicate_keys_collect_all_rids() {
+        let t = small_tree();
+        for rid in [5u64, 1, 9, 3] {
+            assert!(t.insert(b("dup"), rid).unwrap());
+        }
+        assert_eq!(t.lookup(&b("dup")).unwrap(), vec![1, 3, 5, 9]);
+        t.remove(&b("dup"), 3).unwrap();
+        assert_eq!(t.lookup(&b("dup")).unwrap(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn splits_cascade_and_order_is_kept() {
+        let t = small_tree();
+        let n = 500;
+        for i in 0..n {
+            assert!(t.insert(b(&format!("key{:05}", (i * 7919) % n)), i as u64).unwrap());
+        }
+        assert_eq!(t.check_invariants().unwrap(), n);
+        assert_eq!(t.len().unwrap(), n);
+        // Every key is findable.
+        for i in 0..n {
+            let key = b(&format!("key{:05}", i));
+            assert_eq!(t.lookup(&key).unwrap().len(), 1, "missing {i}");
+        }
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_bounded() {
+        let t = small_tree();
+        for i in 0..100 {
+            t.insert(b(&format!("r{:03}", i)), i as u64).unwrap();
+        }
+        let rows = t.range(&b("r010"), Some(&b("r020")), 1000).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].0, b("r010"));
+        assert_eq!(rows[9].0, b("r019"));
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        // Limit applies.
+        let limited = t.range(&b("r000"), None, 5).unwrap();
+        assert_eq!(limited.len(), 5);
+    }
+
+    #[test]
+    fn second_handle_sees_writes() {
+        let cluster = StoreCluster::new(StoreConfig::new(2));
+        let t1 = DistributedBTree::create(
+            StoreClient::unmetered(Arc::clone(&cluster)),
+            IndexId(9),
+            BTreeConfig { max_entries: 4, max_retries: 10_000 },
+        )
+        .unwrap();
+        for i in 0..50 {
+            t1.insert(b(&format!("x{:03}", i)), i).unwrap();
+        }
+        let t2 = DistributedBTree::open(
+            StoreClient::unmetered(cluster),
+            IndexId(9),
+            BTreeConfig { max_entries: 4, max_retries: 10_000 },
+        )
+        .unwrap();
+        assert_eq!(t2.len().unwrap(), 50);
+        assert_eq!(t2.lookup(&b("x025")).unwrap(), vec![25]);
+    }
+
+    #[test]
+    fn stale_cache_is_corrected_not_wrong() {
+        let cluster = StoreCluster::new(StoreConfig::new(2));
+        let cfg = BTreeConfig { max_entries: 4, max_retries: 10_000 };
+        let t1 = DistributedBTree::create(
+            StoreClient::unmetered(Arc::clone(&cluster)),
+            IndexId(3),
+            cfg.clone(),
+        )
+        .unwrap();
+        // Warm a second handle's cache with the small tree.
+        let t2 =
+            DistributedBTree::open(StoreClient::unmetered(Arc::clone(&cluster)), IndexId(3), cfg)
+                .unwrap();
+        for i in 0..10 {
+            t1.insert(b(&format!("w{:04}", i)), i).unwrap();
+        }
+        t2.lookup(&b("w0005")).unwrap();
+        // t1 grows the tree massively: t2's cached inner nodes are now stale.
+        for i in 10..400 {
+            t1.insert(b(&format!("w{:04}", i)), i).unwrap();
+        }
+        // t2 must still find everything through right-hops + path refresh.
+        for i in (0..400).step_by(37) {
+            assert_eq!(t2.lookup(&b(&format!("w{:04}", i))).unwrap(), vec![i as u64], "key {i}");
+        }
+        assert_eq!(t2.check_invariants().unwrap(), 400);
+    }
+
+    #[test]
+    fn concurrent_inserts_lose_nothing() {
+        let cluster = StoreCluster::new(StoreConfig::new(4));
+        let cfg = BTreeConfig { max_entries: 8, max_retries: 100_000 };
+        let t = Arc::new(
+            DistributedBTree::create(
+                StoreClient::unmetered(Arc::clone(&cluster)),
+                IndexId(5),
+                cfg.clone(),
+            )
+            .unwrap(),
+        );
+        let threads = 4;
+        let per = 150;
+        let mut handles = Vec::new();
+        for th in 0..threads {
+            let cluster = Arc::clone(&cluster);
+            let cfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = DistributedBTree::open(StoreClient::unmetered(cluster), IndexId(5), cfg)
+                    .unwrap();
+                for i in 0..per {
+                    let key = format!("c{:03}-{:03}", i, th);
+                    t.insert(Bytes::from(key), (th * per + i) as u64).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.check_invariants().unwrap(), threads * per);
+        for th in 0..threads {
+            for i in 0..per {
+                let key = b(&format!("c{:03}-{:03}", i, th));
+                assert_eq!(t.lookup(&key).unwrap(), vec![(th * per + i) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_removes() {
+        let cluster = StoreCluster::new(StoreConfig::new(2));
+        let cfg = BTreeConfig { max_entries: 8, max_retries: 100_000 };
+        let t = Arc::new(
+            DistributedBTree::create(
+                StoreClient::unmetered(Arc::clone(&cluster)),
+                IndexId(6),
+                cfg.clone(),
+            )
+            .unwrap(),
+        );
+        for i in 0..200u64 {
+            t.insert(b(&format!("d{:03}", i)), i).unwrap();
+        }
+        let remover = {
+            let cluster = Arc::clone(&cluster);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let t = DistributedBTree::open(StoreClient::unmetered(cluster), IndexId(6), cfg)
+                    .unwrap();
+                for i in (0..200u64).step_by(2) {
+                    assert!(t.remove(&b(&format!("d{:03}", i)), i).unwrap());
+                }
+            })
+        };
+        let inserter = {
+            let cluster = Arc::clone(&cluster);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let t = DistributedBTree::open(StoreClient::unmetered(cluster), IndexId(6), cfg)
+                    .unwrap();
+                for i in 200..300u64 {
+                    assert!(t.insert(b(&format!("d{:03}", i)), i).unwrap());
+                }
+            })
+        };
+        remover.join().unwrap();
+        inserter.join().unwrap();
+        // 200 - 100 removed + 100 added
+        assert_eq!(t.check_invariants().unwrap(), 200);
+        assert!(t.lookup(&b("d000")).unwrap().is_empty());
+        assert_eq!(t.lookup(&b("d299")).unwrap(), vec![299]);
+    }
+
+    #[test]
+    fn cache_reduces_store_reads() {
+        use tell_common::SimClock;
+        use tell_netsim::{NetMeter, NetworkProfile, TrafficStats};
+        let cluster = StoreCluster::new(StoreConfig::new(2));
+        let clock = SimClock::new();
+        let stats = TrafficStats::new();
+        let meter = NetMeter::new(NetworkProfile::infiniband(), clock.clone(), Arc::clone(&stats));
+        let t = DistributedBTree::create(
+            StoreClient::new(Arc::clone(&cluster), meter),
+            IndexId(8),
+            BTreeConfig { max_entries: 8, max_retries: 10_000 },
+        )
+        .unwrap();
+        for i in 0..300 {
+            t.insert(b(&format!("h{:04}", i)), i).unwrap();
+        }
+        let before = stats.request_count();
+        for i in 0..300 {
+            t.lookup(&b(&format!("h{:04}", i))).unwrap();
+        }
+        let with_cache = stats.request_count() - before;
+        assert!(t.cache().stats().hit_ratio() > 0.5);
+        // Cold path: a fresh handle with cache disabled conceptually — use
+        // uncached descends by clearing the cache every lookup.
+        let before = stats.request_count();
+        for i in 0..300 {
+            t.cache().clear();
+            t.lookup(&b(&format!("h{:04}", i))).unwrap();
+        }
+        let without_cache = stats.request_count() - before;
+        assert!(
+            with_cache * 2 <= without_cache,
+            "caching inner nodes must save requests: {with_cache} vs {without_cache}"
+        );
+    }
+
+    #[test]
+    fn empty_tree_operations() {
+        let t = small_tree();
+        assert!(t.is_empty().unwrap());
+        assert_eq!(t.lookup(&b("nope")).unwrap(), Vec::<u64>::new());
+        assert_eq!(t.range(&b(""), None, 10).unwrap(), Vec::new());
+        assert!(!t.remove(&b("nope"), 0).unwrap());
+        assert_eq!(t.check_invariants().unwrap(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Model-based property tests: the distributed latch-free B+tree must
+//! behave exactly like a sorted set of `(key, rid)` pairs under arbitrary
+//! insert/remove/lookup/range sequences, for any node fan-out.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use tell_common::IndexId;
+use tell_index::{BTreeConfig, DistributedBTree};
+use tell_store::{StoreClient, StoreCluster, StoreConfig};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>, u8),
+    Remove(Vec<u8>, u8),
+    Lookup(Vec<u8>),
+    Range(Vec<u8>, Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet + short keys => plenty of duplicates and adjacency.
+    prop::collection::vec(0u8..4, 0..4)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), any::<u8>()).prop_map(|(k, r)| Op::Insert(k, r)),
+        (key_strategy(), any::<u8>()).prop_map(|(k, r)| Op::Remove(k, r)),
+        key_strategy().prop_map(Op::Lookup),
+        (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Range(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_matches_sorted_set_model(
+        ops in prop::collection::vec(op_strategy(), 0..150),
+        fanout in 3usize..12,
+    ) {
+        let cluster = StoreCluster::new(StoreConfig::new(2));
+        let tree = DistributedBTree::create(
+            StoreClient::unmetered(Arc::clone(&cluster)),
+            IndexId(1),
+            BTreeConfig { max_entries: fanout, max_retries: 10_000 },
+        )
+        .unwrap();
+        let mut model: BTreeSet<(Vec<u8>, u64)> = BTreeSet::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, r) => {
+                    let fresh = tree.insert(Bytes::from(k.clone()), r as u64).unwrap();
+                    prop_assert_eq!(fresh, model.insert((k, r as u64)));
+                }
+                Op::Remove(k, r) => {
+                    let removed = tree.remove(&Bytes::from(k.clone()), r as u64).unwrap();
+                    prop_assert_eq!(removed, model.remove(&(k, r as u64)));
+                }
+                Op::Lookup(k) => {
+                    let got = tree.lookup(&Bytes::from(k.clone())).unwrap();
+                    let expected: Vec<u64> = model
+                        .iter()
+                        .filter(|(mk, _)| *mk == k)
+                        .map(|(_, r)| *r)
+                        .collect();
+                    prop_assert_eq!(got, expected);
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got = tree
+                        .range(&Bytes::from(lo.clone()), Some(&Bytes::from(hi.clone())), usize::MAX)
+                        .unwrap();
+                    let expected: Vec<(Bytes, u64)> = model
+                        .iter()
+                        .filter(|(mk, _)| *mk >= lo && *mk < hi)
+                        .map(|(mk, r)| (Bytes::from(mk.clone()), *r))
+                        .collect();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        // Structural invariants hold and the count matches.
+        prop_assert_eq!(tree.check_invariants().unwrap(), model.len());
+        prop_assert_eq!(tree.len().unwrap(), model.len());
+    }
+}

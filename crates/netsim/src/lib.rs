@@ -1,0 +1,23 @@
+//! Virtual-time network model.
+//!
+//! The paper's scalability results hinge on network latency budgets: a
+//! transaction's running time is dominated by `#round-trips × RTT` plus CPU
+//! work, and the InfiniBand-vs-Ethernet experiment (Fig 10) is entirely a
+//! latency experiment. This crate models that budget in *simulated
+//! microseconds*:
+//!
+//! * [`NetworkProfile`] describes a fabric (RTT, bandwidth, per-op CPU).
+//! * [`NetMeter`] charges request costs against a worker's
+//!   [`tell_common::SimClock`] and keeps traffic counters, so benchmark
+//!   harnesses can report bandwidth utilisation like §6.6 does.
+//! * [`resources`] models serial resources (partition executors, a
+//!   centralized sequencer) for the baseline engines, in the same virtual
+//!   time base.
+
+pub mod meter;
+pub mod profile;
+pub mod resources;
+
+pub use meter::{NetMeter, TrafficStats};
+pub use profile::NetworkProfile;
+pub use resources::ResourcePool;

@@ -1,0 +1,144 @@
+//! Network fabric profiles.
+
+/// Cost parameters of a cluster fabric, in microseconds and bytes.
+///
+/// A storage request of `n` bytes payload costs
+/// `rtt_us + n / bandwidth_bytes_per_us + server_op_us` on the caller's
+/// clock; synchronous replication adds `replica_rtt_us` per replica per
+/// written object (the master forwards each object to its backups before
+/// acknowledging).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name used in benchmark output.
+    pub name: &'static str,
+    /// Round-trip latency between a processing node and a storage node.
+    pub rtt_us: f64,
+    /// Usable bandwidth per link.
+    pub bandwidth_bytes_per_us: f64,
+    /// Server-side cost to serve one operation (hash-table lookup etc.).
+    pub server_op_us: f64,
+    /// Extra latency for the master to reach its replicas (same fabric, so
+    /// usually equal to `rtt_us`).
+    pub replica_rtt_us: f64,
+}
+
+impl NetworkProfile {
+    /// 40 Gbit QDR InfiniBand with RDMA (§6.1): a few microseconds per
+    /// round trip, OS network stack bypassed.
+    pub fn infiniband() -> Self {
+        NetworkProfile {
+            name: "InfiniBand",
+            rtt_us: 7.0,
+            // 40 Gbit/s ~ 5 GB/s; leave headroom for protocol overhead.
+            bandwidth_bytes_per_us: 4000.0,
+            server_op_us: 1.0,
+            // The master->backup write path is a regular RPC, not the RDMA
+            // fast path, and is paid per replicated object (RamCloud's
+            // synchronous backup, §4.4.2).
+            replica_rtt_us: 20.0,
+        }
+    }
+
+    /// 10 Gbit Ethernet through the kernel TCP stack (Fig 10): roughly an
+    /// order of magnitude higher RTT than RDMA.
+    pub fn ethernet_10g() -> Self {
+        NetworkProfile {
+            name: "10GbE",
+            rtt_us: 75.0,
+            bandwidth_bytes_per_us: 1000.0,
+            server_op_us: 2.0,
+            replica_rtt_us: 110.0,
+        }
+    }
+
+    /// Generic datacenter TCP fabric used by the FoundationDB-like baseline,
+    /// which does not exploit RDMA.
+    pub fn tcp_datacenter() -> Self {
+        NetworkProfile {
+            name: "TCP-DC",
+            rtt_us: 120.0,
+            bandwidth_bytes_per_us: 1000.0,
+            server_op_us: 2.0,
+            replica_rtt_us: 120.0,
+        }
+    }
+
+    /// Cross-datacenter WAN (documented as out of scope in §2.3; available
+    /// so tests can demonstrate *why* it is out of scope).
+    pub fn wan() -> Self {
+        NetworkProfile {
+            name: "WAN",
+            rtt_us: 50_000.0,
+            bandwidth_bytes_per_us: 125.0,
+            server_op_us: 2.0,
+            replica_rtt_us: 50_000.0,
+        }
+    }
+
+    /// Zero-cost profile for unit tests that do not care about timing.
+    pub fn zero() -> Self {
+        NetworkProfile {
+            name: "zero",
+            rtt_us: 0.0,
+            bandwidth_bytes_per_us: f64::INFINITY,
+            server_op_us: 0.0,
+            replica_rtt_us: 0.0,
+        }
+    }
+
+    /// Cost of one request/response exchange carrying `bytes` bytes total.
+    #[inline]
+    pub fn request_cost_us(&self, bytes: usize) -> f64 {
+        self.rtt_us + bytes as f64 / self.bandwidth_bytes_per_us + self.server_op_us
+    }
+
+    /// Additional cost when the request must be synchronously replicated.
+    #[inline]
+    pub fn replication_cost_us(&self, replicas: usize, bytes: usize) -> f64 {
+        if replicas == 0 {
+            0.0
+        } else {
+            // The master forwards the object to each backup before acking;
+            // the measured RF2/RF3 penalty in Fig 5 matches a per-replica
+            // cost, not a parallel single round trip.
+            replicas as f64
+                * (self.replica_rtt_us + bytes as f64 / self.bandwidth_bytes_per_us)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infiniband_is_much_faster_than_ethernet() {
+        let ib = NetworkProfile::infiniband();
+        let eth = NetworkProfile::ethernet_10g();
+        assert!(eth.request_cost_us(128) / ib.request_cost_us(128) > 5.0);
+    }
+
+    #[test]
+    fn replication_cost_scales_with_replica_count() {
+        let ib = NetworkProfile::infiniband();
+        let one = ib.replication_cost_us(1, 1000);
+        let two = ib.replication_cost_us(2, 1000);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+        assert_eq!(ib.replication_cost_us(0, 1000), 0.0);
+    }
+
+    #[test]
+    fn zero_profile_costs_nothing() {
+        let z = NetworkProfile::zero();
+        assert_eq!(z.request_cost_us(1 << 20), 0.0);
+        assert_eq!(z.replication_cost_us(3, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn large_payloads_are_bandwidth_bound() {
+        let ib = NetworkProfile::infiniband();
+        let small = ib.request_cost_us(100);
+        let large = ib.request_cost_us(10_000_000);
+        assert!(large > small * 10.0);
+    }
+}

@@ -1,0 +1,629 @@
+//! Iterator-model execution of resolved statements over a
+//! [`tell_core::Transaction`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tell_common::{Error, Result, Rid};
+use tell_core::catalog::TableDef;
+use tell_core::Transaction;
+
+use crate::engine::{QueryResult, SqlEngine};
+use crate::expr::{AggFunc, BinOp, Expr};
+use crate::parser::{Projection, SelectStmt, Statement, TableRef};
+use crate::plan::{plan_access, Access};
+use crate::row::{decode_row, encode_row};
+use crate::schema::TableSchema;
+use crate::types::Value;
+
+/// One table in the current name scope.
+struct ScopeEntry {
+    name: String,
+    schema: Arc<TableSchema>,
+    offset: usize,
+}
+
+struct Scope {
+    entries: Vec<ScopeEntry>,
+    width: usize,
+}
+
+impl Scope {
+    fn new() -> Self {
+        Scope { entries: Vec::new(), width: 0 }
+    }
+
+    fn push(&mut self, name: &str, schema: Arc<TableSchema>) {
+        let offset = self.width;
+        self.width += schema.arity();
+        self.entries.push(ScopeEntry { name: name.to_string(), schema, offset });
+    }
+
+    /// Resolve `qualifier.column` to an absolute index.
+    fn resolve(&self, qualifier: Option<&str>, column: &str) -> Result<usize> {
+        let mut found = None;
+        for e in &self.entries {
+            if let Some(q) = qualifier {
+                if q != e.name {
+                    continue;
+                }
+            }
+            if let Some(i) = e.schema.column_index(column) {
+                if found.is_some() {
+                    return Err(Error::Query(format!("ambiguous column '{column}'")));
+                }
+                found = Some(e.offset + i);
+            }
+        }
+        found.ok_or_else(|| {
+            Err::<usize, Error>(Error::Query(format!(
+                "unknown column '{}{column}'",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            )))
+            .unwrap_err()
+        })
+    }
+
+    /// Resolve every column reference in an expression.
+    fn resolve_expr(&self, e: &Expr) -> Result<Expr> {
+        e.map(&|node| match node {
+            Expr::Column(q, n) => Ok(Expr::ColumnIdx(self.resolve(q.as_deref(), &n)?)),
+            other => Ok(other),
+        })
+    }
+
+    /// All column names, for `SELECT *`.
+    fn all_columns(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.width);
+        for e in &self.entries {
+            for c in &e.schema.columns {
+                out.push(c.name.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Execute a DML/query statement inside `txn`. DDL is handled by the
+/// engine, not here.
+pub fn execute(engine: &SqlEngine, txn: &mut Transaction<'_>, stmt: &Statement) -> Result<QueryResult> {
+    match stmt {
+        Statement::Insert { table, columns, rows } => insert(engine, txn, table, columns, rows),
+        Statement::Select(sel) => select(engine, txn, sel),
+        Statement::Update { table, sets, where_clause } => {
+            update(engine, txn, table, sets, where_clause.as_ref())
+        }
+        Statement::Delete { table, where_clause } => {
+            delete(engine, txn, table, where_clause.as_ref())
+        }
+        Statement::CreateTable { .. } | Statement::CreateIndex { .. } => Err(Error::invalid(
+            "DDL must run outside a transaction (use SqlSession::execute)",
+        )),
+    }
+}
+
+/// Fetch the base rows of a table according to the chosen access path.
+fn fetch_rows(
+    engine: &SqlEngine,
+    txn: &mut Transaction<'_>,
+    schema: &Arc<TableSchema>,
+    table: &Arc<TableDef>,
+    base_name: &str,
+    where_clause: Option<&Expr>,
+) -> Result<Vec<(Rid, Vec<Value>)>> {
+    let access = plan_access(schema, base_name, where_clause);
+    let raw: Vec<(Rid, bytes::Bytes)> = match &access {
+        Access::FullScan => txn.scan_table(table, usize::MAX)?,
+        Access::IndexEq { index, key } => {
+            let idx = table
+                .index(index)
+                .ok_or_else(|| Error::Query(format!("planner chose missing index '{index}'")))?;
+            txn.index_lookup(table, idx.id, key)?
+        }
+        Access::IndexRange { index, lo, hi } => {
+            let idx = table
+                .index(index)
+                .ok_or_else(|| Error::Query(format!("planner chose missing index '{index}'")))?;
+            txn.index_range(table, idx.id, lo, hi.as_ref(), usize::MAX)?
+                .into_iter()
+                .map(|(_, rid, row)| (rid, row))
+                .collect()
+        }
+    };
+    let _ = engine;
+    raw.into_iter()
+        .map(|(rid, bytes)| Ok((rid, decode_row(schema, &bytes)?)))
+        .collect()
+}
+
+fn insert(
+    engine: &SqlEngine,
+    txn: &mut Transaction<'_>,
+    table: &str,
+    columns: &Option<Vec<String>>,
+    rows: &[Vec<Expr>],
+) -> Result<QueryResult> {
+    let schema = engine.schema(table)?;
+    let def = txn.processing_node().table(table)?;
+    let mut affected = 0u64;
+    for row_exprs in rows {
+        let values: Vec<Value> =
+            row_exprs.iter().map(|e| e.eval(&[])).collect::<Result<_>>()?;
+        let full = match columns {
+            None => values,
+            Some(cols) => {
+                if cols.len() != values.len() {
+                    return Err(Error::Query("column/value count mismatch".into()));
+                }
+                let mut full = vec![Value::Null; schema.arity()];
+                for (c, v) in cols.iter().zip(values) {
+                    let i = schema
+                        .column_index(c)
+                        .ok_or_else(|| Error::Query(format!("unknown column '{c}'")))?;
+                    full[i] = v;
+                }
+                full
+            }
+        };
+        let validated = schema.validate(full)?;
+        txn.insert(&def, encode_row(&schema, &validated)?)?;
+        affected += 1;
+    }
+    Ok(QueryResult::affected(affected))
+}
+
+fn update(
+    engine: &SqlEngine,
+    txn: &mut Transaction<'_>,
+    table: &str,
+    sets: &[(String, Expr)],
+    where_clause: Option<&Expr>,
+) -> Result<QueryResult> {
+    let schema = engine.schema(table)?;
+    let def = txn.processing_node().table(table)?;
+    let mut scope = Scope::new();
+    scope.push(table, Arc::clone(&schema));
+    let filter = where_clause.map(|w| scope.resolve_expr(w)).transpose()?;
+    let resolved_sets: Vec<(usize, Expr)> = sets
+        .iter()
+        .map(|(c, e)| {
+            let i = schema
+                .column_index(c)
+                .ok_or_else(|| Error::Query(format!("unknown column '{c}'")))?;
+            Ok((i, scope.resolve_expr(e)?))
+        })
+        .collect::<Result<_>>()?;
+    let rows = fetch_rows(engine, txn, &schema, &def, table, where_clause)?;
+    let mut affected = 0u64;
+    for (rid, row) in rows {
+        if let Some(f) = &filter {
+            if !f.eval(&row)?.is_true() {
+                continue;
+            }
+        }
+        let mut new_row = row.clone();
+        for (i, e) in &resolved_sets {
+            new_row[*i] = e.eval(&row)?;
+        }
+        let validated = schema.validate(new_row)?;
+        txn.update(&def, rid, encode_row(&schema, &validated)?)?;
+        affected += 1;
+    }
+    Ok(QueryResult::affected(affected))
+}
+
+fn delete(
+    engine: &SqlEngine,
+    txn: &mut Transaction<'_>,
+    table: &str,
+    where_clause: Option<&Expr>,
+) -> Result<QueryResult> {
+    let schema = engine.schema(table)?;
+    let def = txn.processing_node().table(table)?;
+    let mut scope = Scope::new();
+    scope.push(table, Arc::clone(&schema));
+    let filter = where_clause.map(|w| scope.resolve_expr(w)).transpose()?;
+    let rows = fetch_rows(engine, txn, &schema, &def, table, where_clause)?;
+    let mut affected = 0u64;
+    for (rid, row) in rows {
+        if let Some(f) = &filter {
+            if !f.eval(&row)?.is_true() {
+                continue;
+            }
+        }
+        txn.delete(&def, rid)?;
+        affected += 1;
+    }
+    Ok(QueryResult::affected(affected))
+}
+
+fn select(engine: &SqlEngine, txn: &mut Transaction<'_>, sel: &SelectStmt) -> Result<QueryResult> {
+    // Build the scope: FROM table, then each JOIN table.
+    let base_schema = engine.schema(&sel.from.name)?;
+    let base_def = txn.processing_node().table(&sel.from.name)?;
+    let mut scope = Scope::new();
+    scope.push(sel.from.effective_name(), Arc::clone(&base_schema));
+
+    // Base rows: index-assisted only when there are no joins (join
+    // predicates confuse single-table constraint extraction conservatively).
+    let where_for_plan = if sel.joins.is_empty() { sel.where_clause.as_ref() } else { None };
+    let mut rows: Vec<Vec<Value>> = fetch_rows(
+        engine,
+        txn,
+        &base_schema,
+        &base_def,
+        sel.from.effective_name(),
+        where_for_plan,
+    )?
+    .into_iter()
+    .map(|(_, r)| r)
+    .collect();
+
+    // Joins (hash join on equi-conditions, nested loop otherwise).
+    for (tref, on) in &sel.joins {
+        rows = join(engine, txn, &mut scope, rows, tref, on)?;
+    }
+
+    // Residual filter.
+    if let Some(w) = &sel.where_clause {
+        let filter = scope.resolve_expr(w)?;
+        let mut kept = Vec::with_capacity(rows.len());
+        for r in rows {
+            if filter.eval(&r)?.is_true() {
+                kept.push(r);
+            }
+        }
+        rows = kept;
+    }
+
+    // Projection setup.
+    let (proj_exprs, column_names): (Vec<Expr>, Vec<String>) = match &sel.projection {
+        Projection::Star => {
+            let names = scope.all_columns();
+            ((0..scope.width).map(Expr::ColumnIdx).collect(), names)
+        }
+        Projection::Exprs(list) => {
+            let mut exprs = Vec::with_capacity(list.len());
+            let mut names = Vec::with_capacity(list.len());
+            for (e, alias) in list {
+                exprs.push(scope.resolve_expr(e)?);
+                names.push(alias.clone().unwrap_or_else(|| display_name(e)));
+            }
+            (exprs, names)
+        }
+    };
+
+    let grouped = !sel.group_by.is_empty() || proj_exprs.iter().any(|e| e.has_aggregate());
+    let mut output: Vec<Vec<Value>>;
+    if grouped {
+        let group_exprs: Vec<Expr> =
+            sel.group_by.iter().map(|e| scope.resolve_expr(e)).collect::<Result<_>>()?;
+        let order_exprs: Vec<(Expr, bool)> = sel
+            .order_by
+            .iter()
+            .map(|(e, d)| Ok((resolve_order_expr(&scope, &column_names, e)?, *d)))
+            .collect::<Result<_>>()?;
+        output = aggregate(&rows, &group_exprs, &proj_exprs, &order_exprs)?;
+    } else {
+        // Sort on the pre-projection scope rows so ORDER BY can reference
+        // non-projected columns; aliases referencing projections also work.
+        if !sel.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<(Value, bool)>, Vec<Value>)> = Vec::with_capacity(rows.len());
+            for r in rows {
+                let mut keys = Vec::with_capacity(sel.order_by.len());
+                for (e, desc) in &sel.order_by {
+                    let resolved = match resolve_alias(&column_names, &proj_exprs, e) {
+                        Some(pe) => pe.clone(),
+                        None => scope.resolve_expr(e)?,
+                    };
+                    keys.push((resolved.eval(&r)?, *desc));
+                }
+                keyed.push((keys, r));
+            }
+            keyed.sort_by(|a, b| compare_keys(&a.0, &b.0));
+            rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+        output = Vec::with_capacity(rows.len());
+        for r in &rows {
+            output.push(proj_exprs.iter().map(|e| e.eval(r)).collect::<Result<_>>()?);
+        }
+    }
+
+    if let Some(n) = sel.limit {
+        output.truncate(n);
+    }
+    Ok(QueryResult { columns: column_names, rows: output, affected: 0 })
+}
+
+/// ORDER BY expression in a grouped query: alias → the projection's
+/// expression; otherwise resolve against the scope (must then be a group
+/// column or aggregate).
+fn resolve_order_expr(scope: &Scope, names: &[String], e: &Expr) -> Result<Expr> {
+    if let Expr::Column(None, n) = e {
+        if let Some(i) = names.iter().position(|c| c == n) {
+            // Marker: refer to output column i via a special index beyond
+            // the group row — handled in aggregate() by evaluating the
+            // projection first. Encode as the projection expression itself.
+            return Ok(Expr::Aggregate(AggFunc::Count, Some(Box::new(Expr::ColumnIdx(usize::MAX - i)))));
+        }
+    }
+    scope.resolve_expr(e)
+}
+
+fn resolve_alias<'a>(names: &[String], proj: &'a [Expr], e: &Expr) -> Option<&'a Expr> {
+    if let Expr::Column(None, n) = e {
+        if let Some(i) = names.iter().position(|c| c == n) {
+            return proj.get(i);
+        }
+    }
+    None
+}
+
+fn compare_keys(a: &[(Value, bool)], b: &[(Value, bool)]) -> std::cmp::Ordering {
+    for ((va, desc), (vb, _)) in a.iter().zip(b.iter()) {
+        let o = va.total_cmp(vb);
+        let o = if *desc { o.reverse() } else { o };
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn display_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(_, n) => n.clone(),
+        Expr::Aggregate(f, arg) => {
+            let fname = match f {
+                AggFunc::Count => "count",
+                AggFunc::Sum => "sum",
+                AggFunc::Avg => "avg",
+                AggFunc::Min => "min",
+                AggFunc::Max => "max",
+            };
+            match arg {
+                None => format!("{fname}(*)"),
+                Some(a) => format!("{fname}({})", display_name(a)),
+            }
+        }
+        _ => "expr".into(),
+    }
+}
+
+/// Hash/nested-loop join `left` (the accumulated scope rows) with `tref`.
+fn join(
+    engine: &SqlEngine,
+    txn: &mut Transaction<'_>,
+    scope: &mut Scope,
+    left: Vec<Vec<Value>>,
+    tref: &TableRef,
+    on: &Expr,
+) -> Result<Vec<Vec<Value>>> {
+    let right_schema = engine.schema(&tref.name)?;
+    let right_def = txn.processing_node().table(&tref.name)?;
+    let right_rows: Vec<Vec<Value>> = txn
+        .scan_table(&right_def, usize::MAX)?
+        .into_iter()
+        .map(|(_, b)| decode_row(&right_schema, &b))
+        .collect::<Result<_>>()?;
+    let left_width = scope.width;
+    scope.push(tref.effective_name(), Arc::clone(&right_schema));
+    let on_resolved = scope.resolve_expr(on)?;
+
+    // Try to extract equi-join columns: conjuncts `ColumnIdx(i) = ColumnIdx(j)`
+    // with i on the left side and j on the right.
+    let mut pairs = Vec::new();
+    let mut cj = Vec::new();
+    split_conjuncts(&on_resolved, &mut cj);
+    let mut all_equi = true;
+    for c in &cj {
+        match c {
+            Expr::Binary(BinOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+                (Expr::ColumnIdx(a), Expr::ColumnIdx(b)) if *a < left_width && *b >= left_width => {
+                    pairs.push((*a, *b - left_width));
+                }
+                (Expr::ColumnIdx(b), Expr::ColumnIdx(a)) if *a < left_width && *b >= left_width => {
+                    pairs.push((*a, *b - left_width));
+                }
+                _ => all_equi = false,
+            },
+            _ => all_equi = false,
+        }
+    }
+
+    let mut out = Vec::new();
+    if all_equi && !pairs.is_empty() {
+        // Hash join: build on the right side.
+        let mut table: HashMap<Vec<String>, Vec<&Vec<Value>>> = HashMap::new();
+        for r in &right_rows {
+            let key: Vec<String> = pairs.iter().map(|(_, j)| format!("{:?}", r[*j])).collect();
+            table.entry(key).or_default().push(r);
+        }
+        for l in &left {
+            let key: Vec<String> = pairs.iter().map(|(i, _)| format!("{:?}", l[*i])).collect();
+            if let Some(matches) = table.get(&key) {
+                for r in matches {
+                    let mut combined = l.clone();
+                    combined.extend_from_slice(r);
+                    // Re-check the full ON expression (covers NULL semantics
+                    // and any extra conjuncts).
+                    if on_resolved.eval(&combined)?.is_true() {
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+    } else {
+        for l in &left {
+            for r in &right_rows {
+                let mut combined = l.clone();
+                combined.extend_from_slice(r);
+                if on_resolved.eval(&combined)?.is_true() {
+                    out.push(combined);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary(BinOp::And, l, r) => {
+            split_conjuncts(l, out);
+            split_conjuncts(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// GROUP BY + aggregate evaluation.
+fn aggregate(
+    rows: &[Vec<Value>],
+    group_exprs: &[Expr],
+    proj_exprs: &[Expr],
+    order_exprs: &[(Expr, bool)],
+) -> Result<Vec<Vec<Value>>> {
+    // Group rows.
+    let mut groups: Vec<(Vec<Value>, Vec<&Vec<Value>>)> = Vec::new();
+    let mut lookup: HashMap<Vec<String>, usize> = HashMap::new();
+    for r in rows {
+        let key_vals: Vec<Value> =
+            group_exprs.iter().map(|e| e.eval(r)).collect::<Result<_>>()?;
+        let key: Vec<String> = key_vals.iter().map(|v| format!("{v:?}")).collect();
+        match lookup.get(&key) {
+            Some(&i) => groups[i].1.push(r),
+            None => {
+                lookup.insert(key, groups.len());
+                groups.push((key_vals, vec![r]));
+            }
+        }
+    }
+    // A grand aggregate over an empty input still yields one group.
+    if groups.is_empty() && group_exprs.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let mut output = Vec::with_capacity(groups.len());
+    let mut order_keys: Vec<Vec<(Value, bool)>> = Vec::with_capacity(groups.len());
+    for (_, members) in &groups {
+        let row: Vec<Value> = proj_exprs
+            .iter()
+            .map(|e| eval_with_aggregates(e, members))
+            .collect::<Result<_>>()?;
+        let mut keys = Vec::with_capacity(order_exprs.len());
+        for (e, desc) in order_exprs {
+            // Output-column back-references were encoded with usize::MAX - i.
+            let v = if let Expr::Aggregate(AggFunc::Count, Some(inner)) = e {
+                if let Expr::ColumnIdx(i) = inner.as_ref() {
+                    if *i > usize::MAX / 2 {
+                        row[usize::MAX - *i].clone()
+                    } else {
+                        eval_with_aggregates(e, members)?
+                    }
+                } else {
+                    eval_with_aggregates(e, members)?
+                }
+            } else {
+                eval_with_aggregates(e, members)?
+            };
+            keys.push((v, *desc));
+        }
+        output.push(row);
+        order_keys.push(keys);
+    }
+    if !order_exprs.is_empty() {
+        let mut zipped: Vec<(Vec<(Value, bool)>, Vec<Value>)> =
+            order_keys.into_iter().zip(output).collect();
+        zipped.sort_by(|a, b| compare_keys(&a.0, &b.0));
+        output = zipped.into_iter().map(|(_, r)| r).collect();
+    }
+    Ok(output)
+}
+
+/// Evaluate an expression over a group by substituting aggregate nodes
+/// with their computed values.
+fn eval_with_aggregates(e: &Expr, members: &[&Vec<Value>]) -> Result<Value> {
+    let substituted = e.map(&|node| match node {
+        Expr::Aggregate(func, arg) => {
+            let v = compute_aggregate(func, arg.as_deref(), members)?;
+            Ok(Expr::Literal(v))
+        }
+        other => Ok(other),
+    })?;
+    // Non-aggregate parts reference group columns: every member agrees, so
+    // evaluate on the first (or an empty row for empty grand aggregates).
+    static EMPTY: &[Value] = &[];
+    let row: &[Value] = members.first().map(|r| r.as_slice()).unwrap_or(EMPTY);
+    substituted.eval(row)
+}
+
+fn compute_aggregate(func: AggFunc, arg: Option<&Expr>, members: &[&Vec<Value>]) -> Result<Value> {
+    match func {
+        AggFunc::Count => match arg {
+            None => Ok(Value::Int(members.len() as i64)),
+            Some(e) => {
+                let mut n = 0i64;
+                for m in members {
+                    if !e.eval(m)?.is_null() {
+                        n += 1;
+                    }
+                }
+                Ok(Value::Int(n))
+            }
+        },
+        AggFunc::Sum | AggFunc::Avg => {
+            let e = arg.ok_or_else(|| Error::Query(format!("{func:?} needs an argument")))?;
+            let mut sum = 0.0;
+            let mut n = 0i64;
+            let mut all_int = true;
+            for m in members {
+                let v = e.eval(m)?;
+                if v.is_null() {
+                    continue;
+                }
+                if !matches!(v, Value::Int(_)) {
+                    all_int = false;
+                }
+                sum += v
+                    .as_f64()
+                    .ok_or_else(|| Error::Query(format!("cannot aggregate {v}")))?;
+                n += 1;
+            }
+            if n == 0 {
+                return Ok(Value::Null);
+            }
+            Ok(match func {
+                AggFunc::Sum if all_int => Value::Int(sum as i64),
+                AggFunc::Sum => Value::Double(sum),
+                _ => Value::Double(sum / n as f64),
+            })
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let e = arg.ok_or_else(|| Error::Query(format!("{func:?} needs an argument")))?;
+            let mut best: Option<Value> = None;
+            for m in members {
+                let v = e.eval(m)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take_new = match v.sql_cmp(&b) {
+                            Some(std::cmp::Ordering::Less) => func == AggFunc::Min,
+                            Some(std::cmp::Ordering::Greater) => func == AggFunc::Max,
+                            _ => false,
+                        };
+                        if take_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Expression AST and evaluation.
+
+use std::fmt;
+
+use tell_common::{Error, Result};
+
+use crate::types::Value;
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// An expression. Column references start as names
+/// (`Expr::Column`) and are resolved to positional `Expr::ColumnIdx`
+/// references by the planner.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// Unresolved column reference: optional qualifier + name.
+    Column(Option<String>, String),
+    /// Resolved reference into the executor's combined row.
+    ColumnIdx(usize),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    IsNull(Box<Expr>, /*negated=*/ bool),
+    /// `expr BETWEEN a AND b` (inclusive).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `expr IN (v1, v2, ...)`.
+    InList(Box<Expr>, Vec<Expr>),
+    /// Aggregate call; `None` argument is `COUNT(*)`. Only valid in
+    /// projections of grouped queries.
+    Aggregate(AggFunc, Option<Box<Expr>>),
+}
+
+impl Expr {
+    /// Evaluate against a resolved row. Aggregates must have been replaced
+    /// by the executor before evaluation.
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::ColumnIdx(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Error::Query(format!("column index {i} out of range"))),
+            Expr::Column(q, n) => Err(Error::Query(format!(
+                "unresolved column reference '{}{}'",
+                q.as_deref().map(|s| format!("{s}.")).unwrap_or_default(),
+                n
+            ))),
+            Expr::Binary(op, l, r) => eval_binary(*op, l.eval(row)?, r.eval(row)?),
+            Expr::Not(e) => match e.eval(row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                v => Err(Error::Query(format!("NOT applied to non-boolean {v}"))),
+            },
+            Expr::Neg(e) => match e.eval(row)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Double(d) => Ok(Value::Double(-d)),
+                Value::Null => Ok(Value::Null),
+                v => Err(Error::Query(format!("cannot negate {v}"))),
+            },
+            Expr::IsNull(e, negated) => {
+                let is_null = e.eval(row)?.is_null();
+                Ok(Value::Bool(is_null != *negated))
+            }
+            Expr::Between(e, lo, hi) => {
+                let v = e.eval(row)?;
+                let lo = lo.eval(row)?;
+                let hi = hi.eval(row)?;
+                match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                    (Some(a), Some(b)) => Ok(Value::Bool(a != std::cmp::Ordering::Less
+                        && b != std::cmp::Ordering::Greater)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::InList(e, list) => {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                for item in list {
+                    let i = item.eval(row)?;
+                    if v.sql_cmp(&i) == Some(std::cmp::Ordering::Equal) {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Aggregate(..) => {
+                Err(Error::Query("aggregate outside GROUP BY context".into()))
+            }
+        }
+    }
+
+    /// Recursively visit sub-expressions.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e, _) => e.walk(f),
+            Expr::Between(a, b, c) => {
+                a.walk(f);
+                b.walk(f);
+                c.walk(f);
+            }
+            Expr::InList(e, list) => {
+                e.walk(f);
+                for i in list {
+                    i.walk(f);
+                }
+            }
+            Expr::Aggregate(_, Some(e)) => e.walk(f),
+            _ => {}
+        }
+    }
+
+    /// Does the expression contain an aggregate call?
+    pub fn has_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Aggregate(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Map every node bottom-up (used by the planner to resolve columns).
+    pub fn map(&self, f: &impl Fn(Expr) -> Result<Expr>) -> Result<Expr> {
+        let mapped = match self {
+            Expr::Binary(op, l, r) => {
+                Expr::Binary(*op, Box::new(l.map(f)?), Box::new(r.map(f)?))
+            }
+            Expr::Not(e) => Expr::Not(Box::new(e.map(f)?)),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.map(f)?)),
+            Expr::IsNull(e, n) => Expr::IsNull(Box::new(e.map(f)?), *n),
+            Expr::Between(a, b, c) => Expr::Between(
+                Box::new(a.map(f)?),
+                Box::new(b.map(f)?),
+                Box::new(c.map(f)?),
+            ),
+            Expr::InList(e, list) => Expr::InList(
+                Box::new(e.map(f)?),
+                list.iter().map(|i| i.map(f)).collect::<Result<_>>()?,
+            ),
+            Expr::Aggregate(func, arg) => Expr::Aggregate(
+                *func,
+                match arg {
+                    Some(e) => Some(Box::new(e.map(f)?)),
+                    None => None,
+                },
+            ),
+            other => other.clone(),
+        };
+        f(mapped)
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::And => Ok(match (&l, &r) {
+            (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Bool(a), Value::Bool(b)) => Value::Bool(*a && *b),
+            _ => return Err(Error::Query("AND on non-boolean".into())),
+        }),
+        BinOp::Or => Ok(match (&l, &r) {
+            (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Bool(a), Value::Bool(b)) => Value::Bool(*a || *b),
+            _ => return Err(Error::Query("OR on non-boolean".into())),
+        }),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let cmp = l.sql_cmp(&r);
+            Ok(match cmp {
+                None => Value::Null,
+                Some(o) => Value::Bool(match op {
+                    BinOp::Eq => o == Ordering::Equal,
+                    BinOp::Ne => o != Ordering::Equal,
+                    BinOp::Lt => o == Ordering::Less,
+                    BinOp::Le => o != Ordering::Greater,
+                    BinOp::Gt => o == Ordering::Greater,
+                    BinOp::Ge => o != Ordering::Less,
+                    _ => unreachable!(),
+                }),
+            })
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                return Ok(match op {
+                    BinOp::Add => Value::Int(a.wrapping_add(*b)),
+                    BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+                    BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            return Err(Error::Query("division by zero".into()));
+                        }
+                        Value::Int(a / b)
+                    }
+                    _ => unreachable!(),
+                });
+            }
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| Error::Query(format!("arithmetic on {l}")))?,
+                r.as_f64().ok_or_else(|| Error::Query(format!("arithmetic on {r}")))?,
+            );
+            Ok(Value::Double(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(Error::Query("division by zero".into()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(bin(BinOp::Add, lit(2i64), lit(3i64)).eval(&[]).unwrap(), Value::Int(5));
+        assert_eq!(bin(BinOp::Mul, lit(2i64), lit(2.5)).eval(&[]).unwrap(), Value::Double(5.0));
+        assert_eq!(bin(BinOp::Div, lit(7i64), lit(2i64)).eval(&[]).unwrap(), Value::Int(3));
+        assert!(bin(BinOp::Div, lit(1i64), lit(0i64)).eval(&[]).is_err());
+        assert_eq!(bin(BinOp::Add, lit(1i64), Expr::Literal(Value::Null)).eval(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let t = bin(BinOp::Lt, lit(1i64), lit(2i64));
+        let f = bin(BinOp::Eq, lit("a"), lit("b"));
+        assert_eq!(t.eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(f.eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(bin(BinOp::And, t.clone(), f.clone()).eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(bin(BinOp::Or, t.clone(), f.clone()).eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(Expr::Not(Box::new(t)).eval(&[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let null = Expr::Literal(Value::Null);
+        let tru = lit(true);
+        let fal = lit(false);
+        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+        assert_eq!(bin(BinOp::And, null.clone(), fal).eval(&[]).unwrap(), Value::Bool(false));
+        assert_eq!(bin(BinOp::Or, null.clone(), tru.clone()).eval(&[]).unwrap(), Value::Bool(true));
+        assert_eq!(bin(BinOp::And, null.clone(), tru).eval(&[]).unwrap(), Value::Null);
+        assert_eq!(bin(BinOp::Eq, null.clone(), lit(1i64)).eval(&[]).unwrap(), Value::Null);
+        assert_eq!(Expr::IsNull(Box::new(null), false).eval(&[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_and_in() {
+        let between = Expr::Between(Box::new(lit(5i64)), Box::new(lit(1i64)), Box::new(lit(10i64)));
+        assert_eq!(between.eval(&[]).unwrap(), Value::Bool(true));
+        let inlist = Expr::InList(Box::new(lit("b")), vec![lit("a"), lit("b")]);
+        assert_eq!(inlist.eval(&[]).unwrap(), Value::Bool(true));
+        let notin = Expr::InList(Box::new(lit("z")), vec![lit("a"), lit("b")]);
+        assert_eq!(notin.eval(&[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn column_resolution_required() {
+        let unresolved = Expr::Column(None, "x".into());
+        assert!(unresolved.eval(&[Value::Int(1)]).is_err());
+        let resolved = Expr::ColumnIdx(0);
+        assert_eq!(resolved.eval(&[Value::Int(1)]).unwrap(), Value::Int(1));
+        assert!(Expr::ColumnIdx(5).eval(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = bin(
+            BinOp::Add,
+            Expr::Aggregate(AggFunc::Sum, Some(Box::new(Expr::ColumnIdx(0)))),
+            lit(1i64),
+        );
+        assert!(agg.has_aggregate());
+        assert!(!lit(1i64).has_aggregate());
+    }
+}

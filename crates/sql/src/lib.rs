@@ -1,0 +1,33 @@
+//! `tell-sql` — the SQL front-end of Tell.
+//!
+//! "Tell provides a SQL interface and enables complex queries on relational
+//! data. The query processor parses incoming queries and uses the iterator
+//! model to access records" (§5). This crate implements that layer from
+//! scratch:
+//!
+//! * a typed value system and a binary row codec with **order-preserving
+//!   index-key encoding** (so B+tree range scans follow SQL ordering),
+//! * a hand-written lexer and recursive-descent parser covering
+//!   `CREATE TABLE` / `CREATE INDEX` / `INSERT` / `SELECT` (projection,
+//!   `WHERE`, inner `JOIN`, `GROUP BY` with aggregates, `ORDER BY`,
+//!   `LIMIT`) / `UPDATE` / `DELETE`,
+//! * a planner that picks index point-lookups and range scans over full
+//!   table scans based on the `WHERE` clause, and
+//! * executors in the iterator-model style running on top of
+//!   [`tell_core::Transaction`] — "data is shipped to the query" (§2.1).
+
+pub mod engine;
+pub mod exec;
+pub mod expr;
+pub mod parser;
+pub mod plan;
+pub mod row;
+pub mod schema;
+pub mod token;
+pub mod types;
+
+pub use engine::{QueryResult, SqlEngine, SqlSession, SqlTxn};
+pub use expr::Expr;
+pub use parser::{parse, Statement};
+pub use schema::{Column, TableSchema};
+pub use types::{DataType, Value};

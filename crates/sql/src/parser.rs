@@ -1,0 +1,763 @@
+//! Recursive-descent SQL parser.
+
+use tell_common::{Error, Result};
+
+use crate::expr::{AggFunc, BinOp, Expr};
+use crate::token::{tokenize, Token};
+use crate::types::{DataType, Value};
+
+/// A table reference with optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name queries refer to this table by.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// SELECT projection list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    Star,
+    Exprs(Vec<(Expr, Option<String>)>),
+}
+
+/// A parsed SELECT.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    pub projection: Projection,
+    pub from: TableRef,
+    pub joins: Vec<(TableRef, Expr)>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub order_by: Vec<(Expr, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// Any parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType, bool)>,
+        primary_key: Vec<String>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Select(SelectStmt),
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+}
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.accept_sym(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].0
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(Error::Parse { message: msg.into(), position: self.position() })
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn accept_sym(&mut self, s: &str) -> bool {
+        if self.peek().is_sym(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.accept_sym(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{s}', found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Word(w) if !is_reserved(&w) => {
+                self.bump();
+                Ok(w)
+            }
+            t => self.err(format!("expected identifier, found {t:?}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek().is_kw("CREATE") {
+            self.bump();
+            if self.accept_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.accept_kw("INDEX") {
+                return self.create_index();
+            }
+            return self.err("expected TABLE or INDEX after CREATE");
+        }
+        if self.accept_kw("INSERT") {
+            return self.insert();
+        }
+        if self.peek().is_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.accept_kw("UPDATE") {
+            return self.update();
+        }
+        if self.accept_kw("DELETE") {
+            return self.delete();
+        }
+        self.err(format!("expected a statement, found {:?}", self.peek()))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.identifier()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        let mut primary_key: Vec<String> = Vec::new();
+        loop {
+            if self.accept_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                self.expect_sym("(")?;
+                loop {
+                    primary_key.push(self.identifier()?);
+                    if !self.accept_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            } else {
+                let cname = self.identifier()?;
+                let dtype = self.data_type()?;
+                let mut nullable = true;
+                loop {
+                    if self.accept_kw("NOT") {
+                        self.expect_kw("NULL")?;
+                        nullable = false;
+                    } else if self.accept_kw("PRIMARY") {
+                        self.expect_kw("KEY")?;
+                        primary_key.push(cname.clone());
+                        nullable = false;
+                    } else {
+                        break;
+                    }
+                }
+                columns.push((cname, dtype, nullable));
+            }
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        if primary_key.is_empty() {
+            return self.err("table needs a PRIMARY KEY");
+        }
+        Ok(Statement::CreateTable { name, columns, primary_key })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let word = match self.bump() {
+            Token::Word(w) => w.to_ascii_uppercase(),
+            t => return self.err(format!("expected a type, found {t:?}")),
+        };
+        let dtype = match word.as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => DataType::Int,
+            "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => DataType::Double,
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => DataType::Text,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            other => return self.err(format!("unknown type '{other}'")),
+        };
+        // Optional length/precision arguments: VARCHAR(16), DECIMAL(12,2).
+        if self.accept_sym("(") {
+            loop {
+                match self.bump() {
+                    Token::Int(_) => {}
+                    t => return self.err(format!("expected type argument, found {t:?}")),
+                }
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        Ok(dtype)
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.identifier()?;
+        self.expect_kw("ON")?;
+        let table = self.identifier()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.identifier()?);
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Statement::CreateIndex { name, table, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.identifier()?;
+        let columns = if self.accept_sym("(") {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.identifier()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, rows })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.identifier()?;
+        let alias = if self.accept_kw("AS") {
+            Some(self.identifier()?)
+        } else if matches!(self.peek(), Token::Word(w) if !is_reserved(w)) {
+            Some(self.identifier()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let projection = if self.accept_sym("*") {
+            Projection::Star
+        } else {
+            let mut exprs = Vec::new();
+            loop {
+                let e = self.expr()?;
+                let alias = if self.accept_kw("AS") {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                exprs.push((e, alias));
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            Projection::Exprs(exprs)
+        };
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = if self.accept_kw("INNER") {
+                true
+            } else {
+                false
+            };
+            if !self.peek().is_kw("JOIN") {
+                if inner {
+                    return self.err("expected JOIN after INNER");
+                }
+                break;
+            }
+            self.bump();
+            let t = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let on = self.expr()?;
+            joins.push((t, on));
+        }
+        let where_clause = if self.accept_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.accept_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.accept_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.accept_kw("DESC") {
+                    true
+                } else {
+                    self.accept_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_kw("LIMIT") {
+            match self.bump() {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                t => return self.err(format!("expected LIMIT count, found {t:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { projection, from, joins, where_clause, group_by, order_by, limit })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.identifier()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_sym("=")?;
+            sets.push((col, self.expr()?));
+            if !self.accept_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.accept_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, sets, where_clause })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("FROM")?;
+        let table = self.identifier()?;
+        let where_clause = if self.accept_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, where_clause })
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.accept_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        if self.accept_kw("IS") {
+            let negated = self.accept_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(left), negated));
+        }
+        if self.accept_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between(Box::new(left), Box::new(lo), Box::new(hi)));
+        }
+        if self.accept_kw("IN") {
+            self.expect_sym("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Expr::InList(Box::new(left), list));
+        }
+        for (sym, op) in [
+            ("=", BinOp::Eq),
+            ("<>", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.accept_sym(sym) {
+                let right = self.additive()?;
+                return Ok(Expr::Binary(op, Box::new(left), Box::new(right)));
+            }
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            if self.accept_sym("+") {
+                let right = self.multiplicative()?;
+                left = Expr::Binary(BinOp::Add, Box::new(left), Box::new(right));
+            } else if self.accept_sym("-") {
+                let right = self.multiplicative()?;
+                left = Expr::Binary(BinOp::Sub, Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            if self.accept_sym("*") {
+                let right = self.unary()?;
+                left = Expr::Binary(BinOp::Mul, Box::new(left), Box::new(right));
+            } else if self.accept_sym("/") {
+                let right = self.unary()?;
+                left = Expr::Binary(BinOp::Div, Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.accept_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.accept_sym("+") {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Token::Double(d) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Double(d)))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Token::Sym("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Token::Word(w) => {
+                let upper = w.to_ascii_uppercase();
+                match upper.as_str() {
+                    "NULL" => {
+                        self.bump();
+                        Ok(Expr::Literal(Value::Null))
+                    }
+                    "TRUE" => {
+                        self.bump();
+                        Ok(Expr::Literal(Value::Bool(true)))
+                    }
+                    "FALSE" => {
+                        self.bump();
+                        Ok(Expr::Literal(Value::Bool(false)))
+                    }
+                    "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
+                        self.bump();
+                        self.expect_sym("(")?;
+                        let func = match upper.as_str() {
+                            "COUNT" => AggFunc::Count,
+                            "SUM" => AggFunc::Sum,
+                            "AVG" => AggFunc::Avg,
+                            "MIN" => AggFunc::Min,
+                            _ => AggFunc::Max,
+                        };
+                        let arg = if self.accept_sym("*") {
+                            if func != AggFunc::Count {
+                                return self.err("only COUNT accepts *");
+                            }
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect_sym(")")?;
+                        Ok(Expr::Aggregate(func, arg))
+                    }
+                    _ if is_reserved(&w) => {
+                        self.err(format!("unexpected keyword '{w}' in expression"))
+                    }
+                    _ => {
+                        self.bump();
+                        if self.accept_sym(".") {
+                            let col = self.identifier()?;
+                            Ok(Expr::Column(Some(w), col))
+                        } else {
+                            Ok(Expr::Column(None, w))
+                        }
+                    }
+                }
+            }
+            t => self.err(format!("unexpected token {t:?} in expression")),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "INSERT", "INTO", "VALUES",
+        "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "ON", "JOIN", "INNER", "AND",
+        "OR", "NOT", "AS", "PRIMARY", "KEY", "BETWEEN", "IN", "IS", "DESC", "ASC", "HAVING",
+    ];
+    RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_with_pk() {
+        let s = parse(
+            "CREATE TABLE item (id INT PRIMARY KEY, name VARCHAR(24) NOT NULL, price DECIMAL(5,2))",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns, primary_key } => {
+                assert_eq!(name, "item");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[0], ("id".into(), DataType::Int, false));
+                assert_eq!(columns[1], ("name".into(), DataType::Text, false));
+                assert_eq!(columns[2], ("price".into(), DataType::Double, true));
+                assert_eq!(primary_key, vec!["id"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table_composite_pk() {
+        let s = parse("CREATE TABLE t (a INT, b INT, c TEXT, PRIMARY KEY (a, b))").unwrap();
+        match s {
+            Statement::CreateTable { primary_key, .. } => assert_eq!(primary_key, vec!["a", "b"]),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("CREATE TABLE t (a INT)").is_err(), "PK required");
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Statement::Insert { table, columns, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_full_clause_set() {
+        let s = parse(
+            "SELECT g, COUNT(*) AS n, SUM(v) FROM t WHERE v > 10 AND g IN (1,2) \
+             GROUP BY g ORDER BY n DESC, g LIMIT 5;",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(sel.projection, Projection::Exprs(ref e) if e.len() == 3));
+                assert_eq!(sel.group_by.len(), 1);
+                assert_eq!(sel.order_by.len(), 2);
+                assert!(sel.order_by[0].1, "DESC");
+                assert!(!sel.order_by[1].1);
+                assert_eq!(sel.limit, Some(5));
+                assert!(sel.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_join_and_aliases() {
+        let s = parse(
+            "SELECT o.id, c.name FROM orders o JOIN customer AS c ON o.cust_id = c.id WHERE c.name = 'bob'",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.from.name, "orders");
+                assert_eq!(sel.from.alias.as_deref(), Some("o"));
+                assert_eq!(sel.joins.len(), 1);
+                assert_eq!(sel.joins[0].0.effective_name(), "c");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let s = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 7").unwrap();
+        match s {
+            Statement::Update { sets, where_clause, .. } => {
+                assert_eq!(sets.len(), 2);
+                assert!(where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let d = parse("DELETE FROM t WHERE a BETWEEN 1 AND 3").unwrap();
+        assert!(matches!(d, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                // OR at the top: (a=1) OR ((b=2) AND (c=3))
+                match sel.where_clause.unwrap() {
+                    Expr::Binary(BinOp::Or, _, rhs) => {
+                        assert!(matches!(*rhs, Expr::Binary(BinOp::And, _, _)));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse("SELECT 1 + 2 * 3 FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => match sel.projection {
+                Projection::Exprs(e) => {
+                    assert_eq!(e[0].0.eval(&[]).unwrap(), Value::Int(7));
+                }
+                _ => panic!(),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("INSERT t VALUES (1)").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("CREATE INDEX i ON t").is_err());
+        assert!(parse("SELECT * FROM t extra garbage ,").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Access-path selection.
+//!
+//! Tell's query processor retrieves the records required to execute a
+//! query ("data is shipped to the query", §2.1). The planner's job is to
+//! retrieve as few as possible: it inspects the conjunctive `WHERE` clause
+//! and picks, in order of preference,
+//!
+//! 1. an **exact index lookup** when equality literals cover every column
+//!    of some index (primary key first),
+//! 2. an **index prefix/range scan** when equality literals cover a prefix
+//!    of an index and/or the next column is range-constrained,
+//! 3. a **full table scan** otherwise.
+//!
+//! The full `WHERE` clause is always re-applied as a residual filter, so
+//! access-path bounds may be approximate-but-covering.
+
+use bytes::Bytes;
+
+use crate::expr::{BinOp, Expr};
+use crate::row::{encode_key, key_prefix_successor};
+use crate::schema::TableSchema;
+use crate::types::Value;
+
+/// How to fetch the base table's rows.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Access {
+    /// Scan every record of the table.
+    FullScan,
+    /// Exact lookup on the named index with a fully-encoded key.
+    IndexEq { index: String, key: Bytes },
+    /// Range scan `[lo, hi)` on the named index.
+    IndexRange { index: String, lo: Bytes, hi: Option<Bytes> },
+}
+
+/// An equality or range constraint on one column, extracted from WHERE.
+#[derive(Clone, Debug)]
+struct Constraint {
+    column: usize,
+    op: BinOp,
+    value: Value,
+}
+
+/// Split a WHERE clause into top-level conjuncts.
+fn conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary(BinOp::And, l, r) => {
+            conjuncts(l, out);
+            conjuncts(r, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Extract `column <op> literal` constraints (either operand order) that
+/// reference the base table (qualifier `base` or none).
+fn constraints(schema: &TableSchema, base: &str, where_clause: &Expr) -> Vec<Constraint> {
+    let mut cj = Vec::new();
+    conjuncts(where_clause, &mut cj);
+    let mut out = Vec::new();
+    let col_of = |e: &Expr| -> Option<usize> {
+        match e {
+            Expr::Column(q, n) if q.as_deref().map(|q| q == base).unwrap_or(true) => {
+                schema.column_index(n)
+            }
+            _ => None,
+        }
+    };
+    let lit_of = |e: &Expr| -> Option<Value> {
+        match e {
+            Expr::Literal(v) if !v.is_null() => Some(v.clone()),
+            Expr::Neg(inner) => match inner.as_ref() {
+                Expr::Literal(Value::Int(i)) => Some(Value::Int(-i)),
+                Expr::Literal(Value::Double(d)) => Some(Value::Double(-d)),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    for c in cj {
+        match &c {
+            Expr::Binary(op, l, r)
+                if matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) =>
+            {
+                if let (Some(col), Some(v)) = (col_of(l), lit_of(r)) {
+                    out.push(Constraint { column: col, op: *op, value: v });
+                } else if let (Some(col), Some(v)) = (col_of(r), lit_of(l)) {
+                    // Flip the operator: `5 < a` is `a > 5`.
+                    let flipped = match op {
+                        BinOp::Lt => BinOp::Gt,
+                        BinOp::Le => BinOp::Ge,
+                        BinOp::Gt => BinOp::Lt,
+                        BinOp::Ge => BinOp::Le,
+                        other => *other,
+                    };
+                    out.push(Constraint { column: col, op: flipped, value: v });
+                }
+            }
+            Expr::Between(e, lo, hi) => {
+                if let (Some(col), Some(l), Some(h)) = (col_of(e), lit_of(lo), lit_of(hi)) {
+                    out.push(Constraint { column: col, op: BinOp::Ge, value: l });
+                    out.push(Constraint { column: col, op: BinOp::Le, value: h });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Every index of the table as `(name, column indices)`; pk first.
+fn indexes(schema: &TableSchema) -> Vec<(String, Vec<usize>)> {
+    let mut out = vec![("pk".to_string(), schema.primary_key.clone())];
+    out.extend(schema.secondary.iter().cloned());
+    out
+}
+
+/// Pick the access path for `schema` given an optional WHERE clause.
+/// `base` is the effective (aliased) name of the FROM table.
+pub fn plan_access(schema: &TableSchema, base: &str, where_clause: Option<&Expr>) -> Access {
+    let Some(w) = where_clause else { return Access::FullScan };
+    let cons = constraints(schema, base, w);
+    if cons.is_empty() {
+        return Access::FullScan;
+    }
+    let eq_of = |col: usize| -> Option<&Value> {
+        cons.iter()
+            .find(|c| c.column == col && c.op == BinOp::Eq)
+            .map(|c| &c.value)
+    };
+
+    // 1. Full equality cover (pk first).
+    for (name, cols) in indexes(schema) {
+        let values: Option<Vec<Value>> = cols.iter().map(|c| eq_of(*c).cloned()).collect();
+        if let Some(values) = values {
+            return Access::IndexEq { index: name, key: encode_key(&values) };
+        }
+    }
+
+    // 2. Equality prefix (+ optional range on the next column).
+    let mut best: Option<(Access, usize)> = None; // (plan, matched columns)
+    for (name, cols) in indexes(schema) {
+        let mut prefix = Vec::new();
+        for c in &cols {
+            match eq_of(*c) {
+                Some(v) => prefix.push(v.clone()),
+                None => break,
+            }
+        }
+        let next_col = cols.get(prefix.len()).copied();
+        let mut lo_val: Option<Value> = None;
+        let mut hi_val: Option<(Value, bool)> = None; // (value, inclusive)
+        if let Some(nc) = next_col {
+            for c in cons.iter().filter(|c| c.column == nc) {
+                match c.op {
+                    BinOp::Gt | BinOp::Ge => lo_val = Some(c.value.clone()),
+                    BinOp::Lt => hi_val = Some((c.value.clone(), false)),
+                    BinOp::Le => hi_val = Some((c.value.clone(), true)),
+                    _ => {}
+                }
+            }
+        }
+        let matched = prefix.len() + usize::from(lo_val.is_some() || hi_val.is_some());
+        if matched == 0 {
+            continue;
+        }
+        let lo = match &lo_val {
+            Some(v) => {
+                let mut vals = prefix.clone();
+                vals.push(v.clone());
+                encode_key(&vals)
+            }
+            None => encode_key(&prefix),
+        };
+        let hi = match &hi_val {
+            Some((v, inclusive)) => {
+                let mut vals = prefix.clone();
+                vals.push(v.clone());
+                Some(if *inclusive { key_prefix_successor(&vals) } else { encode_key(&vals) })
+            }
+            None if !prefix.is_empty() => Some(key_prefix_successor(&prefix)),
+            None => None,
+        };
+        let plan = Access::IndexRange { index: name, lo, hi };
+        if best.as_ref().map(|(_, m)| matched > *m).unwrap_or(true) {
+            best = Some((plan, matched));
+        }
+    }
+    best.map(|(p, _)| p).unwrap_or(Access::FullScan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, Statement};
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                Column { name: "w".into(), dtype: DataType::Int, nullable: false },
+                Column { name: "d".into(), dtype: DataType::Int, nullable: false },
+                Column { name: "name".into(), dtype: DataType::Text, nullable: true },
+            ],
+            primary_key: vec![0, 1],
+            secondary: vec![("by_name".into(), vec![2])],
+        }
+    }
+
+    fn where_of(sql: &str) -> Expr {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s.where_clause.unwrap(),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pk_equality_becomes_exact_lookup() {
+        let w = where_of("SELECT * FROM t WHERE w = 1 AND d = 2");
+        let access = plan_access(&schema(), "t", Some(&w));
+        assert_eq!(
+            access,
+            Access::IndexEq { index: "pk".into(), key: encode_key(&[Value::Int(1), Value::Int(2)]) }
+        );
+    }
+
+    #[test]
+    fn secondary_equality_lookup() {
+        let w = where_of("SELECT * FROM t WHERE name = 'x'");
+        let access = plan_access(&schema(), "t", Some(&w));
+        assert_eq!(
+            access,
+            Access::IndexEq { index: "by_name".into(), key: encode_key(&[Value::Text("x".into())]) }
+        );
+    }
+
+    #[test]
+    fn pk_prefix_becomes_range() {
+        let w = where_of("SELECT * FROM t WHERE w = 5");
+        match plan_access(&schema(), "t", Some(&w)) {
+            Access::IndexRange { index, lo, hi } => {
+                assert_eq!(index, "pk");
+                assert_eq!(lo, encode_key(&[Value::Int(5)]));
+                assert_eq!(hi.unwrap(), key_prefix_successor(&[Value::Int(5)]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_on_leading_column() {
+        let w = where_of("SELECT * FROM t WHERE w >= 3 AND w < 7");
+        match plan_access(&schema(), "t", Some(&w)) {
+            Access::IndexRange { index, lo, hi } => {
+                assert_eq!(index, "pk");
+                assert_eq!(lo, encode_key(&[Value::Int(3)]));
+                assert_eq!(hi.unwrap(), encode_key(&[Value::Int(7)]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_becomes_range() {
+        let w = where_of("SELECT * FROM t WHERE w BETWEEN 3 AND 7");
+        match plan_access(&schema(), "t", Some(&w)) {
+            Access::IndexRange { lo, hi, .. } => {
+                assert_eq!(lo, encode_key(&[Value::Int(3)]));
+                assert_eq!(hi.unwrap(), key_prefix_successor(&[Value::Int(7)]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_literal_order() {
+        let w = where_of("SELECT * FROM t WHERE 1 = w AND 2 = d");
+        assert!(matches!(plan_access(&schema(), "t", Some(&w)), Access::IndexEq { .. }));
+        let w2 = where_of("SELECT * FROM t WHERE 3 < w");
+        match plan_access(&schema(), "t", Some(&w2)) {
+            Access::IndexRange { lo, .. } => assert_eq!(lo, encode_key(&[Value::Int(3)])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unindexed_predicates_full_scan() {
+        assert_eq!(plan_access(&schema(), "t", None), Access::FullScan);
+        let w = where_of("SELECT * FROM t WHERE name <> 'x'");
+        assert_eq!(plan_access(&schema(), "t", Some(&w)), Access::FullScan);
+        // Qualifier mismatch: constraint belongs to another table.
+        let w2 = where_of("SELECT * FROM t WHERE other.w = 1");
+        assert_eq!(plan_access(&schema(), "t", Some(&w2)), Access::FullScan);
+    }
+
+    #[test]
+    fn negative_literals() {
+        let w = where_of("SELECT * FROM t WHERE w = -5 AND d = -1");
+        assert!(matches!(plan_access(&schema(), "t", Some(&w)), Access::IndexEq { .. }));
+    }
+}

@@ -1,0 +1,232 @@
+//! Row codec and order-preserving index-key encoding.
+//!
+//! Rows are the opaque byte payloads `tell-core` stores inside versioned
+//! records. Index keys must sort as raw bytes in the distributed B+tree
+//! exactly the way SQL orders the column values, so every component uses an
+//! order-preserving encoding.
+
+use bytes::Bytes;
+use tell_common::codec::{orderpreserving, Reader, Writer};
+use tell_common::{Error, Result};
+
+use crate::schema::TableSchema;
+use crate::types::Value;
+
+/// Encode a row per its schema.
+pub fn encode_row(schema: &TableSchema, row: &[Value]) -> Result<Bytes> {
+    debug_assert_eq!(row.len(), schema.arity());
+    let mut out = Vec::with_capacity(16 * row.len());
+    for value in row {
+        match value {
+            Value::Null => out.put_u8(0),
+            Value::Int(i) => {
+                out.put_u8(1);
+                out.put_i64(*i);
+            }
+            Value::Double(d) => {
+                out.put_u8(2);
+                out.put_f64(*d);
+            }
+            Value::Text(s) => {
+                out.put_u8(3);
+                out.put_string(s);
+            }
+            Value::Bool(b) => {
+                out.put_u8(4);
+                out.put_u8(*b as u8);
+            }
+        }
+    }
+    Ok(Bytes::from(out))
+}
+
+/// Decode a row; the schema fixes the arity (types are self-describing so
+/// schema evolution could reuse old rows).
+pub fn decode_row(schema: &TableSchema, buf: &[u8]) -> Result<Vec<Value>> {
+    let mut r = Reader::new(buf);
+    let mut row = Vec::with_capacity(schema.arity());
+    for _ in 0..schema.arity() {
+        row.push(decode_value(&mut r)?);
+    }
+    if !r.is_exhausted() {
+        return Err(Error::corrupt("trailing bytes in row"));
+    }
+    Ok(row)
+}
+
+fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(r.i64()?),
+        2 => Value::Double(r.f64()?),
+        3 => Value::Text(r.string()?),
+        4 => Value::Bool(r.u8()? == 1),
+        x => return Err(Error::corrupt(format!("unknown value tag {x}"))),
+    })
+}
+
+/// Append the order-preserving encoding of one key component.
+///
+/// * NULL sorts before everything (tag 0 vs 1).
+/// * Ints use the sign-flipped big-endian transform.
+/// * Doubles use the IEEE-754 total-order transform.
+/// * Text is terminated with `0x00 0x01`, embedded zero bytes escaped as
+///   `0x00 0xff`, so prefixes sort correctly in composite keys.
+pub fn encode_key_component(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&orderpreserving::encode_i64(*i));
+        }
+        Value::Double(d) => {
+            out.push(1);
+            let bits = d.to_bits();
+            let flipped = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+            out.extend_from_slice(&flipped.to_be_bytes());
+        }
+        Value::Text(s) => {
+            out.push(1);
+            for b in s.as_bytes() {
+                if *b == 0 {
+                    out.extend_from_slice(&[0x00, 0xff]);
+                } else {
+                    out.push(*b);
+                }
+            }
+            out.extend_from_slice(&[0x00, 0x01]);
+        }
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+    }
+}
+
+/// Composite key over several values.
+pub fn encode_key(values: &[Value]) -> Bytes {
+    let mut out = Vec::with_capacity(values.len() * 10);
+    for v in values {
+        encode_key_component(v, &mut out);
+    }
+    Bytes::from(out)
+}
+
+/// Extract the index key of `cols` from an encoded row. Returns `None` on
+/// decode failure (treated as "no key" — the row cannot be indexed).
+pub fn extract_key(schema: &TableSchema, cols: &[usize], row_bytes: &[u8]) -> Option<Bytes> {
+    let row = decode_row(schema, row_bytes).ok()?;
+    let values: Vec<Value> = cols.iter().map(|i| row.get(*i).cloned()).collect::<Option<_>>()?;
+    Some(encode_key(&values))
+}
+
+/// Smallest key strictly greater than every composite key starting with
+/// `values` (exclusive upper bound for index prefix scans).
+pub fn key_prefix_successor(values: &[Value]) -> Bytes {
+    let mut out = encode_key(values).to_vec();
+    out.push(0xff);
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                Column { name: "a".into(), dtype: DataType::Int, nullable: false },
+                Column { name: "b".into(), dtype: DataType::Double, nullable: true },
+                Column { name: "c".into(), dtype: DataType::Text, nullable: true },
+                Column { name: "d".into(), dtype: DataType::Bool, nullable: false },
+            ],
+            primary_key: vec![0],
+            secondary: vec![],
+        }
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let s = schema();
+        let row = vec![
+            Value::Int(-5),
+            Value::Null,
+            Value::Text("h\u{00e9}llo\0world".into()),
+            Value::Bool(true),
+        ];
+        let bytes = encode_row(&s, &row).unwrap();
+        assert_eq!(decode_row(&s, &bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::Double(2.0), Value::Text("x".into()), Value::Bool(false)];
+        let mut bytes = encode_row(&s, &row).unwrap().to_vec();
+        bytes.push(7);
+        assert!(decode_row(&s, &bytes).is_err());
+    }
+
+    #[test]
+    fn int_keys_sort_numerically() {
+        let vals = [-100i64, -1, 0, 1, 100, i64::MAX];
+        let keys: Vec<Bytes> = vals.iter().map(|i| encode_key(&[Value::Int(*i)])).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn double_keys_sort_numerically() {
+        let vals = [-1e9, -1.5, -0.0, 0.5, 2.0, 1e9];
+        let keys: Vec<Bytes> = vals.iter().map(|d| encode_key(&[Value::Double(*d)])).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn text_keys_with_embedded_zero_sort_correctly() {
+        let a = encode_key(&[Value::Text("ab".into())]);
+        let b = encode_key(&[Value::Text("ab\0".into())]);
+        let c = encode_key(&[Value::Text("abc".into())]);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn composite_keys_sort_component_wise() {
+        let k = |a: &str, b: i64| encode_key(&[Value::Text(a.into()), Value::Int(b)]);
+        assert!(k("a", 9) < k("b", 0), "first component dominates");
+        assert!(k("a", 1) < k("a", 2), "second breaks ties");
+        // A shorter text prefix sorts before its extensions regardless of
+        // the following component.
+        assert!(k("a", i64::MAX) < k("aa", i64::MIN));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(encode_key(&[Value::Null]) < encode_key(&[Value::Int(i64::MIN)]));
+        assert!(encode_key(&[Value::Null]) < encode_key(&[Value::Text(String::new())]));
+    }
+
+    #[test]
+    fn extract_key_pulls_columns() {
+        let s = schema();
+        let row = vec![Value::Int(7), Value::Double(1.0), Value::Text("x".into()), Value::Bool(true)];
+        let bytes = encode_row(&s, &row).unwrap();
+        let key = extract_key(&s, &[0], &bytes).unwrap();
+        assert_eq!(key, encode_key(&[Value::Int(7)]));
+        let composite = extract_key(&s, &[2, 0], &bytes).unwrap();
+        assert_eq!(composite, encode_key(&[Value::Text("x".into()), Value::Int(7)]));
+        assert!(extract_key(&s, &[0], b"garbage").is_none());
+    }
+
+    #[test]
+    fn prefix_successor_bounds_prefix_scans() {
+        let start = encode_key(&[Value::Int(5)]);
+        let end = key_prefix_successor(&[Value::Int(5)]);
+        let with_more = encode_key(&[Value::Int(5), Value::Int(999)]);
+        let next = encode_key(&[Value::Int(6)]);
+        assert!(start < with_more && with_more < end);
+        assert!(end <= next);
+    }
+}

@@ -1,0 +1,172 @@
+//! Table schemas: column definitions, persisted next to the core catalog.
+
+use tell_common::codec::{Reader, Writer};
+use tell_common::{Error, Result};
+
+use crate::types::{DataType, Value};
+
+/// One column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+/// A table's columns plus key/index definitions (by column indices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Primary-key column indices.
+    pub primary_key: Vec<usize>,
+    /// Secondary indexes: `(index_name, column indices)`.
+    pub secondary: Vec<(String, Vec<usize>)>,
+}
+
+impl TableSchema {
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column count.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Validate a row against the schema, coercing ints into double columns.
+    pub fn validate(&self, row: Vec<Value>) -> Result<Vec<Value>> {
+        if row.len() != self.columns.len() {
+            return Err(Error::Query(format!(
+                "table '{}' has {} columns, got {} values",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        row.into_iter()
+            .zip(self.columns.iter())
+            .map(|(v, c)| {
+                if v.is_null() && !c.nullable {
+                    return Err(Error::Query(format!("column '{}' is NOT NULL", c.name)));
+                }
+                v.coerce(c.dtype)
+                    .map_err(|_| Error::Query(format!("type mismatch for column '{}'", c.name)))
+            })
+            .collect()
+    }
+
+    /// Serialize for the store.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_string(&self.name);
+        out.put_u32(self.columns.len() as u32);
+        for c in &self.columns {
+            out.put_string(&c.name);
+            out.put_u8(match c.dtype {
+                DataType::Int => 0,
+                DataType::Double => 1,
+                DataType::Text => 2,
+                DataType::Bool => 3,
+            });
+            out.put_u8(c.nullable as u8);
+        }
+        out.put_u32(self.primary_key.len() as u32);
+        for i in &self.primary_key {
+            out.put_u32(*i as u32);
+        }
+        out.put_u32(self.secondary.len() as u32);
+        for (name, cols) in &self.secondary {
+            out.put_string(name);
+            out.put_u32(cols.len() as u32);
+            for i in cols {
+                out.put_u32(*i as u32);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`TableSchema::encode`].
+    pub fn decode(buf: &[u8]) -> Result<TableSchema> {
+        let mut r = Reader::new(buf);
+        let name = r.string()?;
+        let ncols = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let cname = r.string()?;
+            let dtype = match r.u8()? {
+                0 => DataType::Int,
+                1 => DataType::Double,
+                2 => DataType::Text,
+                3 => DataType::Bool,
+                x => return Err(Error::corrupt(format!("unknown data type tag {x}"))),
+            };
+            let nullable = r.u8()? == 1;
+            columns.push(Column { name: cname, dtype, nullable });
+        }
+        let npk = r.u32()? as usize;
+        let mut primary_key = Vec::with_capacity(npk);
+        for _ in 0..npk {
+            primary_key.push(r.u32()? as usize);
+        }
+        let nsec = r.u32()? as usize;
+        let mut secondary = Vec::with_capacity(nsec);
+        for _ in 0..nsec {
+            let iname = r.string()?;
+            let nc = r.u32()? as usize;
+            let mut cols = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                cols.push(r.u32()? as usize);
+            }
+            secondary.push((iname, cols));
+        }
+        Ok(TableSchema { name, columns, primary_key, secondary })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                Column { name: "id".into(), dtype: DataType::Int, nullable: false },
+                Column { name: "price".into(), dtype: DataType::Double, nullable: false },
+                Column { name: "note".into(), dtype: DataType::Text, nullable: true },
+            ],
+            primary_key: vec![0],
+            secondary: vec![("by_note".into(), vec![2])],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = schema();
+        assert_eq!(TableSchema::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn validate_coerces_and_checks_nulls() {
+        let s = schema();
+        let row = s
+            .validate(vec![Value::Int(1), Value::Int(2), Value::Null])
+            .unwrap();
+        assert_eq!(row[1], Value::Double(2.0));
+        assert!(s.validate(vec![Value::Null, Value::Double(1.0), Value::Null]).is_err());
+        assert!(s.validate(vec![Value::Int(1), Value::Double(1.0)]).is_err());
+        assert!(s
+            .validate(vec![Value::Text("x".into()), Value::Double(1.0), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("price"), Some(1));
+        assert_eq!(s.column_index("absent"), None);
+        assert_eq!(s.arity(), 3);
+    }
+}

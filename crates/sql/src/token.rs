@@ -1,0 +1,231 @@
+//! SQL lexer.
+
+use tell_common::{Error, Result};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier, upper-cased for keywords (`word` keeps the
+    /// original spelling for identifiers).
+    Word(String),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    /// Punctuation / operator: `( ) , . ; * = <> < <= > >= + - /`.
+    Sym(&'static str),
+    Eof,
+}
+
+impl Token {
+    /// Is this the keyword `kw` (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// Is this the symbol `s`?
+    pub fn is_sym(&self, s: &str) -> bool {
+        matches!(self, Token::Sym(t) if *t == s)
+    }
+}
+
+/// Tokenize a SQL string. Produces positions for error messages.
+pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(Error::Parse {
+                                message: "unterminated string literal".into(),
+                                position: start,
+                            })
+                        }
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // consume one UTF-8 char
+                            let ch_len = utf8_len(b[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push((Token::Str(s), start));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let tok = if is_float {
+                    Token::Double(text.parse().map_err(|_| Error::Parse {
+                        message: format!("bad number '{text}'"),
+                        position: start,
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| Error::Parse {
+                        message: format!("bad number '{text}'"),
+                        position: start,
+                    })?)
+                };
+                out.push((tok, start));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push((Token::Word(input[start..i].to_string()), start));
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Sym("<="), i));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push((Token::Sym("<>"), i));
+                    i += 2;
+                } else {
+                    out.push((Token::Sym("<"), i));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Sym(">="), i));
+                    i += 2;
+                } else {
+                    out.push((Token::Sym(">"), i));
+                    i += 1;
+                }
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push((Token::Sym("<>"), i));
+                i += 2;
+            }
+            b'(' | b')' | b',' | b'.' | b';' | b'*' | b'=' | b'+' | b'-' | b'/' => {
+                let s = match c {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'.' => ".",
+                    b';' => ";",
+                    b'*' => "*",
+                    b'=' => "=",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'/' => "/",
+                    _ => unreachable!(),
+                };
+                out.push((Token::Sym(s), i));
+                i += 1;
+            }
+            _ => {
+                return Err(Error::Parse {
+                    message: format!("unexpected character '{}'", input[i..].chars().next().unwrap()),
+                    position: i,
+                })
+            }
+        }
+    }
+    out.push((Token::Eof, input.len()));
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn words_numbers_strings() {
+        let t = toks("SELECT a1, 'it''s', 3.5, -7 FROM t_x");
+        assert_eq!(t[0], Token::Word("SELECT".into()));
+        assert_eq!(t[1], Token::Word("a1".into()));
+        assert_eq!(t[3], Token::Str("it's".into()));
+        assert_eq!(t[5], Token::Double(3.5));
+        assert_eq!(t[7], Token::Sym("-"));
+        assert_eq!(t[8], Token::Int(7));
+        assert_eq!(t[10], Token::Word("t_x".into()));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        let t = toks("a <= b <> c >= d != e");
+        assert!(t[1].is_sym("<="));
+        assert!(t[3].is_sym("<>"));
+        assert!(t[5].is_sym(">="));
+        assert!(t[7].is_sym("<>"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("SELECT 1 -- the answer\n, 2");
+        assert_eq!(t, vec![Token::Word("SELECT".into()), Token::Int(1), Token::Sym(","), Token::Int(2), Token::Eof]);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match tokenize("SELECT 'oops") {
+            Err(Error::Parse { position, .. }) => assert_eq!(position, 7),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let t = toks("select");
+        assert!(t[0].is_kw("SELECT"));
+        assert!(t[0].is_kw("select"));
+        assert!(!t[0].is_kw("FROM"));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let t = toks("'h\u{00e9}llo \u{4e16}\u{754c}'");
+        assert_eq!(t[0], Token::Str("h\u{00e9}llo \u{4e16}\u{754c}".into()));
+    }
+}

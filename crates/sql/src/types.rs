@@ -1,0 +1,214 @@
+//! SQL value system.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use tell_common::{Error, Result};
+
+/// Column data types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer (`INT` / `BIGINT`).
+    Int,
+    /// 64-bit float (`DOUBLE` / `DECIMAL` — monetary TPC-C columns use
+    /// this; precision is sufficient for the reproduction).
+    Double,
+    /// UTF-8 string (`TEXT` / `VARCHAR(n)`, length unenforced).
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Text => write!(f, "TEXT"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Double(f64),
+    Text(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's type, if not null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness for WHERE clauses (NULL and non-bool are falsy).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Numeric view (int promoted to double).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Does the value fit the column type (NULL fits everything here;
+    /// nullability is checked separately)? Ints coerce into double columns.
+    pub fn conforms_to(&self, t: DataType) -> bool {
+        match (self, t) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Int) => true,
+            (Value::Int(_), DataType::Double) => true,
+            (Value::Double(_), DataType::Double) => true,
+            (Value::Text(_), DataType::Text) => true,
+            (Value::Bool(_), DataType::Bool) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce into the column type (int → double when needed).
+    pub fn coerce(self, t: DataType) -> Result<Value> {
+        match (&self, t) {
+            (Value::Int(i), DataType::Double) => Ok(Value::Double(*i as f64)),
+            _ if self.conforms_to(t) => Ok(self),
+            _ => Err(Error::Query(format!("cannot store {self} in a {t} column"))),
+        }
+    }
+
+    /// SQL comparison. NULL compares as unknown (`None`). Ints and doubles
+    /// compare numerically; other cross-type comparisons are errors caught
+    /// at plan time, here they yield `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Total ordering for ORDER BY / GROUP BY (NULLs first, then by type).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            _ => self.sql_cmp(other).unwrap_or_else(|| {
+                format!("{self:?}").cmp(&format!("{other:?}"))
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Text("a".into()).sql_cmp(&Value::Text("b".into())), Some(Ordering::Less));
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Text("a".into()).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_puts_nulls_first() {
+        let mut v = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v, vec![Value::Null, Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn coercion() {
+        assert_eq!(Value::Int(3).coerce(DataType::Double).unwrap(), Value::Double(3.0));
+        assert_eq!(Value::Null.coerce(DataType::Int).unwrap(), Value::Null);
+        assert!(Value::Text("x".into()).coerce(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Bool(false).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(!Value::Int(1).is_true());
+    }
+}

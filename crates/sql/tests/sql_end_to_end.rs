@@ -1,0 +1,273 @@
+//! End-to-end SQL tests: DDL, DML, queries, transactions, plans — all
+//! running through the full stack (parser → planner → executors →
+//! Tell transactions → shared store).
+
+use std::sync::Arc;
+
+use tell_core::{Database, TellConfig};
+use tell_sql::{QueryResult, SqlEngine, SqlSession, Value};
+
+fn session() -> SqlSession {
+    let db = Database::create(TellConfig::default());
+    let engine = SqlEngine::new(db);
+    engine.session()
+}
+
+fn setup_inventory(s: &SqlSession) {
+    s.execute(
+        "CREATE TABLE item (id INT PRIMARY KEY, name VARCHAR(24) NOT NULL, \
+         price DECIMAL(5,2) NOT NULL, category TEXT)",
+    )
+    .unwrap();
+    s.execute("CREATE INDEX by_category ON item (category)").unwrap();
+    s.execute(
+        "INSERT INTO item (id, name, price, category) VALUES \
+         (1, 'bolt', 0.10, 'hardware'), \
+         (2, 'nut', 0.05, 'hardware'), \
+         (3, 'sprocket', 2.50, 'gears'), \
+         (4, 'cog', 3.75, 'gears'), \
+         (5, 'manual', 15.00, NULL)",
+    )
+    .unwrap();
+}
+
+fn ints(r: &QueryResult, col: usize) -> Vec<i64> {
+    r.rows.iter().map(|row| row[col].as_i64().unwrap()).collect()
+}
+
+#[test]
+fn create_insert_select_roundtrip() {
+    let s = session();
+    setup_inventory(&s);
+    let r = s.execute("SELECT id, name FROM item WHERE id = 3").unwrap();
+    assert_eq!(r.columns, vec!["id", "name"]);
+    assert_eq!(r.rows, vec![vec![Value::Int(3), Value::Text("sprocket".into())]]);
+}
+
+#[test]
+fn select_star_and_order_by() {
+    let s = session();
+    setup_inventory(&s);
+    let r = s.execute("SELECT * FROM item ORDER BY price DESC LIMIT 2").unwrap();
+    assert_eq!(r.columns, vec!["id", "name", "price", "category"]);
+    assert_eq!(ints(&r, 0), vec![5, 4]);
+    let asc = s.execute("SELECT id FROM item ORDER BY price").unwrap();
+    assert_eq!(ints(&asc, 0), vec![2, 1, 3, 4, 5]);
+}
+
+#[test]
+fn where_with_expressions() {
+    let s = session();
+    setup_inventory(&s);
+    let r = s
+        .execute("SELECT id FROM item WHERE price * 2 >= 5.0 AND category IS NOT NULL ORDER BY id")
+        .unwrap();
+    assert_eq!(ints(&r, 0), vec![3, 4]);
+    let n = s.execute("SELECT id FROM item WHERE category IS NULL").unwrap();
+    assert_eq!(ints(&n, 0), vec![5]);
+    let between = s.execute("SELECT id FROM item WHERE id BETWEEN 2 AND 4 ORDER BY id").unwrap();
+    assert_eq!(ints(&between, 0), vec![2, 3, 4]);
+    let inlist = s.execute("SELECT id FROM item WHERE name IN ('bolt', 'cog') ORDER BY id").unwrap();
+    assert_eq!(ints(&inlist, 0), vec![1, 4]);
+}
+
+#[test]
+fn aggregates_and_group_by() {
+    let s = session();
+    setup_inventory(&s);
+    let r = s
+        .execute(
+            "SELECT category, COUNT(*) AS n, SUM(price) AS total, MIN(price), MAX(price) \
+             FROM item WHERE category IS NOT NULL GROUP BY category ORDER BY category",
+        )
+        .unwrap();
+    assert_eq!(r.columns[0], "category");
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Text("gears".into()));
+    assert_eq!(r.rows[0][1], Value::Int(2));
+    assert_eq!(r.rows[0][2], Value::Double(6.25));
+    assert_eq!(r.rows[1][0], Value::Text("hardware".into()));
+    assert_eq!(r.rows[1][3], Value::Double(0.05));
+    assert_eq!(r.rows[1][4], Value::Double(0.10));
+}
+
+#[test]
+fn grand_aggregate_without_group_by() {
+    let s = session();
+    setup_inventory(&s);
+    let r = s.execute("SELECT COUNT(*), AVG(price) FROM item").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(5));
+    let avg = r.rows[0][1].as_f64().unwrap();
+    assert!((avg - 4.28).abs() < 1e-9);
+    // Empty input: COUNT is 0, AVG is NULL.
+    let empty = s.execute("SELECT COUNT(*), AVG(price) FROM item WHERE id > 100").unwrap();
+    assert_eq!(empty.rows[0][0], Value::Int(0));
+    assert_eq!(empty.rows[0][1], Value::Null);
+}
+
+#[test]
+fn update_and_delete() {
+    let s = session();
+    setup_inventory(&s);
+    let u = s.execute("UPDATE item SET price = price * 2 WHERE category = 'hardware'").unwrap();
+    assert_eq!(u.affected, 2);
+    let r = s.execute("SELECT price FROM item WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(0.20));
+    let d = s.execute("DELETE FROM item WHERE price > 10").unwrap();
+    assert_eq!(d.affected, 1);
+    let left = s.execute("SELECT COUNT(*) FROM item").unwrap();
+    assert_eq!(left.scalar(), Some(&Value::Int(4)));
+}
+
+#[test]
+fn secondary_index_is_used_and_correct() {
+    let s = session();
+    setup_inventory(&s);
+    let r = s.execute("SELECT id FROM item WHERE category = 'gears' ORDER BY id").unwrap();
+    assert_eq!(ints(&r, 0), vec![3, 4]);
+    // Move an item across categories; the index must follow.
+    s.execute("UPDATE item SET category = 'gears' WHERE id = 1").unwrap();
+    let r2 = s.execute("SELECT id FROM item WHERE category = 'gears' ORDER BY id").unwrap();
+    assert_eq!(ints(&r2, 0), vec![1, 3, 4]);
+    let r3 = s.execute("SELECT id FROM item WHERE category = 'hardware'").unwrap();
+    assert_eq!(ints(&r3, 0), vec![2]);
+}
+
+#[test]
+fn joins() {
+    let s = session();
+    s.execute("CREATE TABLE customer (id INT PRIMARY KEY, name TEXT NOT NULL)").unwrap();
+    s.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, cust_id INT NOT NULL, amount DOUBLE NOT NULL)",
+    )
+    .unwrap();
+    s.execute("INSERT INTO customer VALUES (1, 'ada'), (2, 'bob'), (3, 'eve')").unwrap();
+    s.execute(
+        "INSERT INTO orders VALUES (10, 1, 5.0), (11, 1, 7.5), (12, 2, 1.0)",
+    )
+    .unwrap();
+    let r = s
+        .execute(
+            "SELECT c.name, SUM(o.amount) AS total FROM orders o \
+             JOIN customer c ON o.cust_id = c.id GROUP BY c.name ORDER BY total DESC",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Text("ada".into()));
+    assert_eq!(r.rows[0][1], Value::Double(12.5));
+    assert_eq!(r.rows[1][0], Value::Text("bob".into()));
+    // eve has no orders: inner join drops her.
+    let names = s
+        .execute("SELECT c.name FROM customer c JOIN orders o ON c.id = o.cust_id GROUP BY c.name")
+        .unwrap();
+    assert_eq!(names.rows.len(), 2);
+}
+
+#[test]
+fn multi_statement_transaction_commits_atomically() {
+    let s = session();
+    s.execute("CREATE TABLE account (id INT PRIMARY KEY, balance DOUBLE NOT NULL)").unwrap();
+    s.execute("INSERT INTO account VALUES (1, 100.0), (2, 50.0)").unwrap();
+    // A transfer in one transaction.
+    s.transaction(|tx| {
+        tx.execute("UPDATE account SET balance = balance - 30 WHERE id = 1")?;
+        tx.execute("UPDATE account SET balance = balance + 30 WHERE id = 2")?;
+        Ok(())
+    })
+    .unwrap();
+    let r = s.execute("SELECT balance FROM account ORDER BY id").unwrap();
+    assert_eq!(r.rows[0][0], Value::Double(70.0));
+    assert_eq!(r.rows[1][0], Value::Double(80.0));
+    // A failing closure aborts everything.
+    let result: Result<(), _> = s.transaction(|tx| {
+        tx.execute("UPDATE account SET balance = 0 WHERE id = 1")?;
+        Err(tell_common::Error::invalid("changed my mind"))
+    });
+    assert!(result.is_err());
+    let r2 = s.execute("SELECT balance FROM account WHERE id = 1").unwrap();
+    assert_eq!(r2.rows[0][0], Value::Double(70.0), "aborted update invisible");
+}
+
+#[test]
+fn unique_pk_violation_surfaces_as_error() {
+    let s = session();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+    s.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+    assert!(s.execute("INSERT INTO t VALUES (1, 'b')").is_err());
+    let r = s.execute("SELECT v FROM t WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Text("a".into()));
+}
+
+#[test]
+fn two_sessions_share_data_and_schemas() {
+    let db = Database::create(TellConfig::default());
+    let engine = SqlEngine::new(Arc::clone(&db));
+    let s1 = engine.session();
+    s1.execute("CREATE TABLE shared (id INT PRIMARY KEY, v INT NOT NULL)").unwrap();
+    s1.execute("INSERT INTO shared VALUES (1, 10)").unwrap();
+    // A separate engine instance over the same database (another "PN
+    // process"): schema is loaded from the store.
+    let engine2 = SqlEngine::new(db);
+    let s2 = engine2.session();
+    let r = s2.execute("SELECT v FROM shared WHERE id = 1").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(10)));
+    s2.execute("UPDATE shared SET v = 11 WHERE id = 1").unwrap();
+    let r2 = s1.execute("SELECT v FROM shared WHERE id = 1").unwrap();
+    assert_eq!(r2.scalar(), Some(&Value::Int(11)));
+}
+
+#[test]
+fn snapshot_isolation_through_sql() {
+    let s = session();
+    s.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT NOT NULL)").unwrap();
+    s.execute("INSERT INTO kv VALUES (1, 100)").unwrap();
+    // Writers race on the same row; every increment must survive.
+    let engine = Arc::clone(s.engine());
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let s = engine.session();
+            for _ in 0..10 {
+                s.execute("UPDATE kv SET v = v + 1 WHERE k = 1").unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let r = s.execute("SELECT v FROM kv WHERE k = 1").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(130)));
+}
+
+#[test]
+fn composite_primary_key() {
+    let s = session();
+    s.execute(
+        "CREATE TABLE wd (w INT, d INT, ytd DOUBLE NOT NULL, PRIMARY KEY (w, d))",
+    )
+    .unwrap();
+    for w in 1..=3 {
+        for d in 1..=4 {
+            s.execute(&format!("INSERT INTO wd VALUES ({w}, {d}, 0.0)")).unwrap();
+        }
+    }
+    let one = s.execute("SELECT ytd FROM wd WHERE w = 2 AND d = 3").unwrap();
+    assert_eq!(one.rows.len(), 1);
+    let prefix = s.execute("SELECT d FROM wd WHERE w = 2 ORDER BY d").unwrap();
+    assert_eq!(ints(&prefix, 0), vec![1, 2, 3, 4]);
+    let range = s.execute("SELECT w, d FROM wd WHERE w >= 2 AND w <= 2 AND d > 2 ORDER BY d").unwrap();
+    assert_eq!(ints(&range, 1), vec![3, 4]);
+}
+
+#[test]
+fn error_paths() {
+    let s = session();
+    assert!(s.execute("SELECT * FROM missing").is_err());
+    s.execute("CREATE TABLE e (id INT PRIMARY KEY, v INT)").unwrap();
+    assert!(s.execute("SELECT nope FROM e").is_err());
+    assert!(s.execute("INSERT INTO e VALUES (1)").is_err(), "arity mismatch");
+    assert!(s.execute("INSERT INTO e VALUES ('x', 1)").is_err(), "type mismatch");
+    assert!(s.execute("CREATE TABLE e (id INT PRIMARY KEY)").is_err(), "duplicate table");
+    assert!(s.execute("SELECT id FROM e WHERE v = ").is_err(), "parse error");
+}

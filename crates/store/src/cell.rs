@@ -1,0 +1,29 @@
+//! Storage cells: a value plus its store token.
+
+use bytes::Bytes;
+
+/// Opaque version token of a cell. Tokens are allocated from a
+/// partition-monotonic counter: every successful write (including a
+/// re-insert after a delete) observes a strictly larger token, which is what
+/// makes the store's conditional writes true LL/SC rather than value-based
+/// compare-and-swap — a rewrite of identical bytes still changes the token,
+/// so the ABA problem of §4.1 cannot occur.
+pub type Token = u64;
+
+/// One key's stored state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Store token at which this value was written.
+    pub token: Token,
+    /// The value bytes. `Bytes` is cheaply cloneable (refcounted), so reads
+    /// never copy payloads.
+    pub value: Bytes,
+}
+
+impl Cell {
+    /// Approximate memory footprint charged against a node's capacity.
+    pub fn footprint(key_len: usize, value_len: usize) -> usize {
+        // key + value + fixed per-entry overhead (map node, token).
+        key_len + value_len + 64
+    }
+}

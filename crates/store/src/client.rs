@@ -1,0 +1,452 @@
+//! The PN-side storage client.
+//!
+//! Every processing node (and every worker thread inside one) holds its own
+//! `StoreClient`. The client is where network time is spent: each call
+//! charges the worker's virtual clock through a [`NetMeter`]. Batched calls
+//! ([`StoreClient::multi_get`], [`StoreClient::multi_write`]) charge a
+//! *single* exchange — this implements the paper's claim that "batching
+//! enables transactions to access multiple records with a single request"
+//! (§5.1).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use tell_common::Result;
+use tell_netsim::NetMeter;
+
+use crate::cell::Token;
+use crate::cluster::{Expect as ClusterExpect, Mutation, StoreCluster};
+use crate::keys::{prefix_end, Key};
+
+pub use crate::cluster::Expect;
+
+/// Fixed protocol overhead charged per operation in a request.
+const OP_OVERHEAD: usize = 32;
+/// Size of a bare acknowledgement.
+const ACK_BYTES: usize = 16;
+/// Server-side CPU per row touched by a sequential scan, in µs. Much
+/// cheaper than a point operation: scans stream through the ordered map.
+const SCAN_ROW_CPU_US: f64 = 0.05;
+
+/// One operation inside a batched write.
+#[derive(Clone, Debug)]
+pub struct WriteOp {
+    /// Target key.
+    pub key: Key,
+    /// Precondition.
+    pub expect: Expect,
+    /// `Some(bytes)` to put, `None` to delete.
+    pub value: Option<Bytes>,
+}
+
+impl WriteOp {
+    /// Conditional put.
+    pub fn put(key: Key, expect: Expect, value: Bytes) -> Self {
+        WriteOp { key, expect, value: Some(value) }
+    }
+
+    /// Conditional delete.
+    pub fn delete(key: Key, expect: Expect) -> Self {
+        WriteOp { key, expect, value: None }
+    }
+
+    fn payload_len(&self) -> usize {
+        self.key.len() + self.value.as_ref().map(|v| v.len()).unwrap_or(0) + OP_OVERHEAD
+    }
+}
+
+/// Handle to the storage cluster for one worker.
+#[derive(Clone)]
+pub struct StoreClient {
+    cluster: Arc<StoreCluster>,
+    meter: NetMeter,
+}
+
+impl StoreClient {
+    /// New client charging `meter`.
+    pub fn new(cluster: Arc<StoreCluster>, meter: NetMeter) -> Self {
+        StoreClient { cluster, meter }
+    }
+
+    /// Client with free (zero-cost) metering, for tests.
+    pub fn unmetered(cluster: Arc<StoreCluster>) -> Self {
+        StoreClient { cluster, meter: NetMeter::free() }
+    }
+
+    /// The cluster this client talks to.
+    pub fn cluster(&self) -> &Arc<StoreCluster> {
+        &self.cluster
+    }
+
+    /// The meter charging this worker's clock.
+    pub fn meter(&self) -> &NetMeter {
+        &self.meter
+    }
+
+    /// Load-link: read `key`, returning its token and value. The token is
+    /// the link for a later [`StoreClient::store_conditional`].
+    pub fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>> {
+        self.meter.stats().note_reads(1);
+        let res = self.cluster.srv_read(key)?;
+        let inn = res.as_ref().map(|(_, v)| v.len()).unwrap_or(0) + ACK_BYTES;
+        self.meter.charge_request(key.len() + OP_OVERHEAD, inn, 1);
+        Ok(res)
+    }
+
+    /// Batched load-link of several keys: **one** network exchange.
+    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<(Token, Bytes)>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.meter.stats().note_reads(keys.len() as u64);
+        let mut out = Vec::with_capacity(keys.len());
+        let mut in_bytes = ACK_BYTES;
+        let mut out_bytes = 0;
+        for key in keys {
+            out_bytes += key.len() + OP_OVERHEAD;
+            let res = self.cluster.srv_read(key)?;
+            in_bytes += res.as_ref().map(|(_, v)| v.len()).unwrap_or(0) + 8;
+            out.push(res);
+        }
+        self.meter.charge_request(out_bytes, in_bytes, keys.len());
+        Ok(out)
+    }
+
+    /// Unconditional upsert. Returns the new token.
+    pub fn put(&self, key: &Key, value: Bytes) -> Result<Token> {
+        self.write_one(key, Expect::Any, Some(value))
+            .map(|t| t.expect("put returns a token"))
+    }
+
+    /// Insert; fails with `Conflict` if the key exists.
+    pub fn insert(&self, key: &Key, value: Bytes) -> Result<Token> {
+        self.write_one(key, Expect::Absent, Some(value))
+            .map(|t| t.expect("insert returns a token"))
+    }
+
+    /// Store-conditional: write `value` only if the cell still carries
+    /// `token` from our load-link. This is the paper's conflict-detection
+    /// primitive (§4.1).
+    pub fn store_conditional(&self, key: &Key, token: Token, value: Bytes) -> Result<Token> {
+        self.write_one(key, Expect::Token(token), Some(value))
+            .map(|t| t.expect("sc returns a token"))
+    }
+
+    /// Conditional delete.
+    pub fn delete_conditional(&self, key: &Key, token: Token) -> Result<()> {
+        self.write_one(key, Expect::Token(token), None).map(|_| ())
+    }
+
+    /// Unconditional delete (no-op when missing).
+    pub fn delete(&self, key: &Key) -> Result<()> {
+        self.write_one(key, Expect::Any, None).map(|_| ())
+    }
+
+    fn write_one(&self, key: &Key, expect: Expect, value: Option<Bytes>) -> Result<Option<Token>> {
+        let payload =
+            key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + OP_OVERHEAD;
+        let mutation = match value {
+            Some(v) => Mutation::Put(v),
+            None => Mutation::Delete,
+        };
+        // Charge the exchange whether or not it conflicts: a failed SC costs
+        // a round trip too.
+        self.meter.stats().note_writes(1);
+        self.meter.charge_request(payload, ACK_BYTES, 1);
+        let (token, replicas) = match self.cluster.srv_write(key, to_cluster(expect), mutation) {
+            Ok(ok) => ok,
+            Err(e) => return Err(e),
+        };
+        if replicas > 0 {
+            self.meter.charge_replication(replicas, payload);
+        }
+        Ok(token)
+    }
+
+    /// Batched conditional writes: one exchange, independent per-op results
+    /// (the batch is a network optimisation, not an atomic unit — commit
+    /// atomicity lives in the transaction layer above, §4.3).
+    pub fn multi_write(&self, ops: Vec<WriteOp>) -> Result<Vec<Result<Option<Token>>>> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let out_bytes: usize = ops.iter().map(|o| o.payload_len()).sum();
+        self.meter.stats().note_writes(ops.len() as u64);
+        self.meter.charge_request(out_bytes, ACK_BYTES + 8 * ops.len(), ops.len());
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            let payload = op.payload_len();
+            let mutation = match op.value {
+                Some(v) => Mutation::Put(v),
+                None => Mutation::Delete,
+            };
+            match self.cluster.srv_write(&op.key, to_cluster(op.expect), mutation) {
+                Ok((token, replicas)) => {
+                    if replicas > 0 {
+                        // Synchronous replication is per written object: the
+                        // batch amortizes the client round trip, but every
+                        // object still travels master -> backups before the
+                        // ack (the dominant RF3 cost, Fig 5).
+                        self.meter.charge_replication(replicas, payload);
+                    }
+                    results.push(Ok(token));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Atomic fetch-and-add, used to allocate tid/rid ranges (§4.2 "PNs can
+    /// increment the counter by a high value to acquire a range").
+    pub fn increment(&self, key: &Key, delta: u64) -> Result<u64> {
+        self.meter.stats().note_writes(1);
+        self.meter.charge_request(key.len() + 8 + OP_OVERHEAD, ACK_BYTES + 8, 1);
+        self.cluster.srv_increment(key, delta)
+    }
+
+    /// Ordered scan of `[start, end)`, at most `limit` entries.
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        self.scan(start, end, limit, false)
+    }
+
+    /// Reverse-ordered scan (largest key first) of `[start, end)`. Used by
+    /// recovery to iterate the transaction log backwards (§4.4.1).
+    pub fn scan_range_rev(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        self.scan(start, end, limit, true)
+    }
+
+    /// Scan every key starting with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Key, Token, Bytes)>> {
+        let end = prefix_end(prefix);
+        self.scan(prefix, end.as_deref(), limit, false)
+    }
+
+    /// Scan with a **pushed-down filter** (§5.2 of the paper: "executing
+    /// simple operations such as selection or projection in the SN would
+    /// enable to reduce the size of the result set and lower the amount of
+    /// data sent over the network"). The storage nodes evaluate `filter`
+    /// server-side: every scanned row costs server CPU, but only matching
+    /// rows cross the network.
+    pub fn scan_prefix_pushdown(
+        &self,
+        prefix: &[u8],
+        limit: usize,
+        filter: impl Fn(&Key, &Bytes) -> bool,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        let end = prefix_end(prefix);
+        let (rows, masters) = self.cluster.srv_scan(prefix, end.as_deref(), usize::MAX, false)?;
+        let scanned = rows.len();
+        let mut out: Vec<(Key, Token, Bytes)> = rows
+            .into_iter()
+            .filter(|(k, _, v)| filter(k, v))
+            .collect();
+        out.truncate(limit);
+        let in_bytes: usize =
+            out.iter().map(|(k, _, v)| k.len() + v.len() + 16).sum::<usize>() + ACK_BYTES;
+        self.meter
+            .charge_request((prefix.len() + OP_OVERHEAD) * masters.max(1), in_bytes, 1);
+        self.meter.charge_cpu(scanned as f64 * SCAN_ROW_CPU_US);
+        Ok(out)
+    }
+
+    fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        reverse: bool,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        let (rows, masters) = self.cluster.srv_scan(start, end, limit, reverse)?;
+        let in_bytes: usize =
+            rows.iter().map(|(k, _, v)| k.len() + v.len() + 16).sum::<usize>() + ACK_BYTES;
+        // Scatter-gather: the fan-out requests run in parallel; charge one
+        // round trip plus the whole payload crossing our link.
+        self.meter
+            .charge_request((start.len() + OP_OVERHEAD) * masters.max(1), in_bytes, 1);
+        self.meter.charge_cpu(rows.len() as f64 * SCAN_ROW_CPU_US);
+        Ok(rows)
+    }
+}
+
+fn to_cluster(e: Expect) -> ClusterExpect {
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::StoreConfig;
+    use tell_common::{Error, SimClock};
+    use tell_netsim::{NetworkProfile, TrafficStats};
+
+    fn client() -> StoreClient {
+        StoreClient::unmetered(StoreCluster::new(StoreConfig::new(2)))
+    }
+
+    fn metered(rf: usize) -> (StoreClient, SimClock) {
+        let clock = SimClock::new();
+        let meter = NetMeter::new(NetworkProfile::infiniband(), clock.clone(), TrafficStats::new());
+        let cluster = StoreCluster::new(StoreConfig::new(3).replication(rf));
+        (StoreClient::new(cluster, meter), clock)
+    }
+
+    fn k(s: &str) -> Key {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn llsc_happy_path() {
+        let c = client();
+        let t0 = c.insert(&k("a"), Bytes::from_static(b"v1")).unwrap();
+        let (t, v) = c.get(&k("a")).unwrap().unwrap();
+        assert_eq!(t, t0);
+        assert_eq!(v.as_ref(), b"v1");
+        let t2 = c.store_conditional(&k("a"), t, Bytes::from_static(b"v2")).unwrap();
+        assert!(t2 > t);
+        assert_eq!(c.store_conditional(&k("a"), t, Bytes::from_static(b"v3")).unwrap_err(), Error::Conflict);
+    }
+
+    #[test]
+    fn multi_get_preserves_order_and_misses() {
+        let c = client();
+        c.insert(&k("a"), Bytes::from_static(b"1")).unwrap();
+        c.insert(&k("c"), Bytes::from_static(b"3")).unwrap();
+        let res = c.multi_get(&[k("a"), k("b"), k("c")]).unwrap();
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].as_ref().unwrap().1.as_ref(), b"1");
+        assert!(res[1].is_none());
+        assert_eq!(res[2].as_ref().unwrap().1.as_ref(), b"3");
+    }
+
+    #[test]
+    fn multi_write_results_are_independent() {
+        let c = client();
+        c.insert(&k("a"), Bytes::from_static(b"1")).unwrap();
+        let (ta, _) = c.get(&k("a")).unwrap().unwrap();
+        let results = c
+            .multi_write(vec![
+                WriteOp::put(k("a"), Expect::Token(ta), Bytes::from_static(b"2")),
+                WriteOp::put(k("a"), Expect::Token(ta), Bytes::from_static(b"3")), // stale now
+                WriteOp::put(k("b"), Expect::Absent, Bytes::from_static(b"new")),
+            ])
+            .unwrap();
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().unwrap_err(), &Error::Conflict);
+        assert!(results[2].is_ok());
+        assert_eq!(c.get(&k("a")).unwrap().unwrap().1.as_ref(), b"2");
+    }
+
+    #[test]
+    fn batching_saves_virtual_time() {
+        let (c, clock) = metered(1);
+        let keys: Vec<Key> = (0..20).map(|i| k(&format!("key{i}"))).collect();
+        for key in &keys {
+            c.insert(key, Bytes::from_static(b"v")).unwrap();
+        }
+        clock.reset();
+        c.multi_get(&keys).unwrap();
+        let batched = clock.now_us();
+        clock.reset();
+        for key in &keys {
+            c.get(key).unwrap();
+        }
+        let single = clock.now_us();
+        assert!(batched * 3.0 < single, "batched={batched} single={single}");
+    }
+
+    #[test]
+    fn replication_costs_time_on_writes_not_reads() {
+        let (c1, clock1) = metered(1);
+        let (c3, clock3) = metered(3);
+        c1.insert(&k("x"), Bytes::from(vec![0u8; 200])).unwrap();
+        c3.insert(&k("x"), Bytes::from(vec![0u8; 200])).unwrap();
+        assert!(clock3.now_us() > clock1.now_us(), "RF3 writes are slower");
+        clock1.reset();
+        clock3.reset();
+        c1.get(&k("x")).unwrap();
+        c3.get(&k("x")).unwrap();
+        // Reads go to the master only (§6.3.1): equal cost.
+        assert!((clock1.now_us() - clock3.now_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn increment_allocates_ranges() {
+        let c = client();
+        let key = crate::keys::counter("tids");
+        let hi = c.increment(&key, 256).unwrap();
+        assert_eq!(hi, 256);
+        let hi2 = c.increment(&key, 256).unwrap();
+        assert_eq!(hi2, 512);
+    }
+
+    #[test]
+    fn prefix_scan_returns_only_prefix() {
+        let c = client();
+        c.insert(&k("p/a"), Bytes::from_static(b"1")).unwrap();
+        c.insert(&k("p/b"), Bytes::from_static(b"2")).unwrap();
+        c.insert(&k("q/a"), Bytes::from_static(b"3")).unwrap();
+        let rows = c.scan_prefix(b"p/", 100).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|(key, _, _)| key.starts_with(b"p/")));
+    }
+
+    #[test]
+    fn pushdown_scan_saves_bandwidth_not_server_work() {
+        let (c, clock) = metered(1);
+        for i in 0..100u32 {
+            let key = Bytes::from(format!("t/{i:03}"));
+            c.insert(&key, Bytes::from(vec![i as u8; 500])).unwrap();
+        }
+        clock.reset();
+        let all = c.scan_prefix(b"t/", usize::MAX).unwrap();
+        let full_cost = clock.now_us();
+        assert_eq!(all.len(), 100);
+        clock.reset();
+        let filtered = c
+            .scan_prefix_pushdown(b"t/", usize::MAX, |_, v| v[0] % 50 == 0)
+            .unwrap();
+        let pushdown_cost = clock.now_us();
+        assert_eq!(filtered.len(), 2);
+        assert!(
+            pushdown_cost < full_cost * 0.6,
+            "pushdown must be cheaper: {pushdown_cost} vs {full_cost}"
+        );
+    }
+
+    #[test]
+    fn concurrent_store_conditional_has_single_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cluster = StoreCluster::new(StoreConfig::new(4));
+        let c0 = StoreClient::unmetered(Arc::clone(&cluster));
+        c0.insert(&k("hot"), Bytes::from_static(b"0")).unwrap();
+        let (token, _) = c0.get(&k("hot")).unwrap().unwrap();
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let cluster = Arc::clone(&cluster);
+            let wins = Arc::clone(&wins);
+            handles.push(std::thread::spawn(move || {
+                let c = StoreClient::unmetered(cluster);
+                let val = Bytes::from(format!("w{i}"));
+                if c.store_conditional(&k("hot"), token, val).is_ok() {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), 1, "exactly one SC wins per link");
+    }
+}

@@ -1,0 +1,702 @@
+//! The storage cluster: logical partitions, replication, fail-over.
+//!
+//! The cluster is the *server side* of the store. It is a self-contained
+//! system (§2.1 "the storage layer is autonomous"): it manages data
+//! distribution and replication transparently; processing nodes only talk to
+//! it through [`crate::client::StoreClient`], which adds network cost
+//! metering.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use tell_common::{Error, PartitionId, Result, SnId};
+use tell_netsim::NetworkProfile;
+
+use crate::cell::{Cell, Token};
+use crate::keys::Key;
+use crate::node::{CopyStore, StorageNode};
+
+/// Precondition of a conditional write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expect {
+    /// The key must not exist (insert).
+    Absent,
+    /// The key must exist with exactly this token (LL/SC store-conditional).
+    Token(Token),
+    /// No precondition (unconditional upsert; used for loading and for
+    /// single-writer state like commit-manager snapshots).
+    Any,
+}
+
+/// The mutation of a write operation.
+#[derive(Clone, Debug)]
+pub enum Mutation {
+    /// Store these bytes.
+    Put(Bytes),
+    /// Remove the key.
+    Delete,
+}
+
+/// One logical partition of the key space with its replica copies.
+struct LogicalPartition {
+    /// Monotonic token source for this partition. Shared by all copies so a
+    /// fail-over never reuses a token.
+    next_token: AtomicU64,
+    /// Hosting nodes; the first *alive* entry is the master.
+    assignment: RwLock<Vec<SnId>>,
+    /// Physical copies, indexed by node id.
+    copies: RwLock<Vec<(SnId, Arc<CopyStore>)>>,
+}
+
+impl LogicalPartition {
+    fn copy_of(&self, node: SnId) -> Option<Arc<CopyStore>> {
+        self.copies
+            .read()
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map(|(_, c)| Arc::clone(c))
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Number of storage nodes.
+    pub nodes: usize,
+    /// Replication factor: number of copies of every partition (1 = no
+    /// redundancy). Matches the paper's RF1/RF2/RF3 configurations.
+    pub replication_factor: usize,
+    /// Logical partitions. More partitions = finer write-lock granularity.
+    pub partitions: usize,
+    /// Optional per-node memory capacity in bytes (drives Fig 7).
+    pub node_capacity_bytes: Option<usize>,
+    /// Fabric connecting PNs and SNs.
+    pub profile: NetworkProfile,
+}
+
+impl StoreConfig {
+    /// Reasonable defaults for `nodes` storage nodes.
+    pub fn new(nodes: usize) -> Self {
+        StoreConfig {
+            nodes,
+            replication_factor: 1,
+            partitions: (nodes * 8).max(8),
+            node_capacity_bytes: None,
+            profile: NetworkProfile::infiniband(),
+        }
+    }
+
+    /// Set the replication factor.
+    pub fn replication(mut self, rf: usize) -> Self {
+        self.replication_factor = rf;
+        self
+    }
+
+    /// Set per-node capacity.
+    pub fn capacity(mut self, bytes: usize) -> Self {
+        self.node_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the network profile.
+    pub fn profile(mut self, profile: NetworkProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+}
+
+/// The distributed record store.
+pub struct StoreCluster {
+    nodes: Vec<Arc<StorageNode>>,
+    partitions: Vec<LogicalPartition>,
+    profile: NetworkProfile,
+    replication_factor: usize,
+}
+
+impl StoreCluster {
+    /// Build a cluster per `config`. Partition `p` is hosted on nodes
+    /// `p % n, (p+1) % n, ...` (RF entries), mirroring RamCloud's
+    /// master/backup placement.
+    pub fn new(config: StoreConfig) -> Arc<Self> {
+        assert!(config.nodes > 0, "need at least one storage node");
+        assert!(
+            config.replication_factor >= 1 && config.replication_factor <= config.nodes,
+            "replication factor must be between 1 and the node count"
+        );
+        let nodes: Vec<Arc<StorageNode>> = (0..config.nodes)
+            .map(|i| Arc::new(StorageNode::new(SnId(i as u32), config.node_capacity_bytes)))
+            .collect();
+        let partitions = (0..config.partitions)
+            .map(|p| {
+                let hosts: Vec<SnId> = (0..config.replication_factor)
+                    .map(|r| SnId(((p + r) % config.nodes) as u32))
+                    .collect();
+                let copies = hosts
+                    .iter()
+                    .map(|&id| (id, Arc::new(CopyStore::new())))
+                    .collect();
+                LogicalPartition {
+                    next_token: AtomicU64::new(1),
+                    assignment: RwLock::new(hosts),
+                    copies: RwLock::new(copies),
+                }
+            })
+            .collect();
+        Arc::new(StoreCluster {
+            nodes,
+            partitions,
+            profile: config.profile,
+            replication_factor: config.replication_factor,
+        })
+    }
+
+    /// The fabric profile the cluster was built with.
+    pub fn network_profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// Configured replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.replication_factor
+    }
+
+    /// All storage nodes.
+    pub fn nodes(&self) -> &[Arc<StorageNode>] {
+        &self.nodes
+    }
+
+    /// Number of logical partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total bytes stored across all alive nodes.
+    pub fn total_used_bytes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_alive()).map(|n| n.used_bytes()).sum()
+    }
+
+    #[inline]
+    fn partition_id(&self, key: &[u8]) -> usize {
+        // FNV-1a; cheap, uniform enough for routing.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % self.partitions.len() as u64) as usize
+    }
+
+    /// Partition a key routes to (exposed for placement-aware tests).
+    pub fn route(&self, key: &[u8]) -> PartitionId {
+        PartitionId(self.partition_id(key) as u32)
+    }
+
+    fn node(&self, id: SnId) -> &Arc<StorageNode> {
+        &self.nodes[id.raw() as usize]
+    }
+
+    /// Master (first alive host) and alive replica count of a partition.
+    fn master_of(&self, pid: usize) -> Result<(SnId, usize)> {
+        let part = &self.partitions[pid];
+        let assignment = part.assignment.read();
+        let mut master = None;
+        let mut alive = 0usize;
+        for &host in assignment.iter() {
+            if self.node(host).is_alive() {
+                alive += 1;
+                if master.is_none() {
+                    master = Some(host);
+                }
+            }
+        }
+        match master {
+            Some(m) => Ok((m, alive - 1)),
+            None => Err(Error::Unavailable(format!(
+                "no alive replica for partition {pid}"
+            ))),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Server-side operations (no metering; the client layer charges).
+    // ---------------------------------------------------------------
+
+    /// Read a key from the partition master. Returns `(token, value)`.
+    pub fn srv_read(&self, key: &[u8]) -> Result<Option<(Token, Bytes)>> {
+        let pid = self.partition_id(key);
+        let (master, _) = self.master_of(pid)?;
+        let copy = self.partitions[pid]
+            .copy_of(master)
+            .ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
+        let map = copy.map.read();
+        Ok(map.get(key).map(|c| (c.token, c.value.clone())))
+    }
+
+    /// Apply a conditional write. Returns the new token for puts, `None`
+    /// for deletes. The write is applied to the master and *synchronously*
+    /// to every alive replica while the master's write lock is held, so
+    /// copies are always byte-identical (in-memory storage requires
+    /// synchronous replication, §2.3). Also returns the number of replicas
+    /// written, so the caller can charge replication cost.
+    pub fn srv_write(
+        &self,
+        key: &Key,
+        expect: Expect,
+        mutation: Mutation,
+    ) -> Result<(Option<Token>, usize)> {
+        let pid = self.partition_id(key);
+        let (master, replicas) = self.master_of(pid)?;
+        let part = &self.partitions[pid];
+        let master_copy = part
+            .copy_of(master)
+            .ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
+
+        let mut map = master_copy.map.write();
+        let existing = map.get(key.as_ref());
+        match (expect, existing) {
+            (Expect::Absent, Some(_)) => return Err(Error::Conflict),
+            (Expect::Token(_), None) => return Err(Error::Conflict),
+            (Expect::Token(t), Some(c)) if c.token != t => return Err(Error::Conflict),
+            _ => {}
+        }
+
+        let old_footprint = existing
+            .map(|c| Cell::footprint(key.len(), c.value.len()) as isize)
+            .unwrap_or(0);
+
+        match mutation {
+            Mutation::Put(value) => {
+                let new_footprint = Cell::footprint(key.len(), value.len()) as isize;
+                let delta = new_footprint - old_footprint;
+                // Capacity check against every hosting alive node before the
+                // write becomes visible anywhere.
+                if delta > 0 {
+                    let assignment = part.assignment.read();
+                    for &host in assignment.iter() {
+                        let n = self.node(host);
+                        if n.is_alive() && n.would_exceed(delta as usize) {
+                            return Err(Error::CapacityExceeded {
+                                node: host.raw(),
+                                capacity: n.capacity_bytes().unwrap_or(0),
+                            });
+                        }
+                    }
+                }
+                let token = part.next_token.fetch_add(1, Ordering::Relaxed);
+                let cell = Cell { token, value };
+                map.insert(key.clone(), cell.clone());
+                self.node(master).account(delta);
+                // Replicas: same cell, while still holding the master lock.
+                self.replicate(part, master, key, Some(cell), delta);
+                Ok((Some(token), replicas))
+            }
+            Mutation::Delete => {
+                if existing.is_none() {
+                    // Deleting a missing key unconditionally is a no-op.
+                    return if expect == Expect::Any {
+                        Ok((None, 0))
+                    } else {
+                        Err(Error::Conflict)
+                    };
+                }
+                map.remove(key.as_ref());
+                self.node(master).account(-old_footprint);
+                self.replicate(part, master, key, None, -old_footprint);
+                Ok((None, replicas))
+            }
+        }
+    }
+
+    fn replicate(
+        &self,
+        part: &LogicalPartition,
+        master: SnId,
+        key: &Key,
+        cell: Option<Cell>,
+        delta: isize,
+    ) {
+        let copies = part.copies.read();
+        for (host, copy) in copies.iter() {
+            if *host == master || !self.node(*host).is_alive() {
+                continue;
+            }
+            let mut m = copy.map.write();
+            match &cell {
+                Some(c) => {
+                    m.insert(key.clone(), c.clone());
+                }
+                None => {
+                    m.remove(key.as_ref());
+                }
+            }
+            self.node(*host).account(delta);
+        }
+    }
+
+    /// Atomic fetch-and-add on a counter cell (u64, little-endian). Missing
+    /// counters start at zero. Returns the post-increment value.
+    pub fn srv_increment(&self, key: &Key, delta: u64) -> Result<u64> {
+        let pid = self.partition_id(key);
+        let (master, _) = self.master_of(pid)?;
+        let part = &self.partitions[pid];
+        let master_copy = part
+            .copy_of(master)
+            .ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
+        let mut map = master_copy.map.write();
+        let current = match map.get(key.as_ref()) {
+            Some(c) => {
+                let bytes: [u8; 8] = c.value.as_ref().try_into().map_err(|_| {
+                    Error::corrupt("counter cell is not 8 bytes")
+                })?;
+                u64::from_le_bytes(bytes)
+            }
+            None => 0,
+        };
+        let new = current
+            .checked_add(delta)
+            .ok_or_else(|| Error::invalid("counter overflow"))?;
+        let token = part.next_token.fetch_add(1, Ordering::Relaxed);
+        let cell = Cell { token, value: Bytes::copy_from_slice(&new.to_le_bytes()) };
+        let delta_fp = if map.contains_key(key.as_ref()) {
+            0
+        } else {
+            Cell::footprint(key.len(), 8) as isize
+        };
+        map.insert(key.clone(), cell.clone());
+        self.node(master).account(delta_fp);
+        self.replicate(part, master, key, Some(cell), delta_fp);
+        Ok(new)
+    }
+
+    /// Ordered scan of `[start, end)` across all partitions (scatter-gather
+    /// from every master, merged). Returns at most `limit` entries in
+    /// ascending key order, plus the number of distinct master nodes
+    /// contacted (for cost accounting).
+    pub fn srv_scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        reverse: bool,
+    ) -> Result<(Vec<(Key, Token, Bytes)>, usize)> {
+        let mut out: Vec<(Key, Token, Bytes)> = Vec::new();
+        let mut masters = std::collections::HashSet::new();
+        for pid in 0..self.partitions.len() {
+            let (master, _) = self.master_of(pid)?;
+            masters.insert(master);
+            let copy = self.partitions[pid]
+                .copy_of(master)
+                .ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
+            let map = copy.map.read();
+            let range: Box<dyn Iterator<Item = (&Bytes, &Cell)>> = match end {
+                Some(e) => Box::new(map.range::<[u8], _>((
+                    std::ops::Bound::Included(start),
+                    std::ops::Bound::Excluded(e),
+                ))),
+                None => Box::new(map.range::<[u8], _>((
+                    std::ops::Bound::Included(start),
+                    std::ops::Bound::Unbounded,
+                ))),
+            };
+            for (k, c) in range {
+                out.push((k.clone(), c.token, c.value.clone()));
+            }
+        }
+        if reverse {
+            out.sort_by(|a, b| b.0.cmp(&a.0));
+        } else {
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        out.truncate(limit);
+        Ok((out, masters.len()))
+    }
+
+    // ---------------------------------------------------------------
+    // Failure handling.
+    // ---------------------------------------------------------------
+
+    /// Crash-stop a node. Partitions it mastered fail over to their first
+    /// alive replica; with RF1 those partitions become unavailable.
+    pub fn kill_node(&self, id: SnId) {
+        self.node(id).kill();
+    }
+
+    /// Revive a failed node, re-syncing every copy it hosts from the current
+    /// partition master so it is consistent before serving again.
+    pub fn revive_node(&self, id: SnId) {
+        let node = self.node(id);
+        let mut total = 0usize;
+        for part in &self.partitions {
+            let Some(copy) = part.copy_of(id) else { continue };
+            // Find the current master copy to sync from.
+            let assignment = part.assignment.read();
+            let master = assignment
+                .iter()
+                .find(|h| **h != id && self.node(**h).is_alive())
+                .copied();
+            if let Some(m) = master {
+                if let Some(src) = part.copy_of(m) {
+                    let snapshot: BTreeMap<Bytes, Cell> = src.map.read().clone();
+                    *copy.map.write() = snapshot;
+                }
+            }
+            total += copy.footprint();
+        }
+        node.reset_accounting(total);
+        node.revive();
+    }
+
+    /// Re-establish the replication factor after failures by placing new
+    /// copies of under-replicated partitions on alive nodes ("the system
+    /// re-organizes itself and restores the replication level", §4.4.2).
+    /// Returns the number of copies created.
+    pub fn restore_replication(&self) -> usize {
+        let mut created = 0;
+        for part in &self.partitions {
+            let mut copies = part.copies.write();
+            let alive: Vec<SnId> = copies
+                .iter()
+                .map(|(h, _)| *h)
+                .filter(|h| self.node(*h).is_alive())
+                .collect();
+            if alive.len() >= self.replication_factor || alive.is_empty() {
+                continue;
+            }
+            let have: std::collections::HashSet<SnId> = copies.iter().map(|(h, _)| *h).collect();
+            let candidates: Vec<SnId> = self
+                .nodes
+                .iter()
+                .filter(|n| n.is_alive() && !have.contains(&n.id))
+                .map(|n| n.id)
+                .collect();
+            let master = alive[0];
+            let src = copies
+                .iter()
+                .find(|(h, _)| *h == master)
+                .map(|(_, c)| Arc::clone(c))
+                .expect("master copy exists");
+            for target in candidates.into_iter().take(self.replication_factor - alive.len()) {
+                let snapshot: BTreeMap<Bytes, Cell> = src.map.read().clone();
+                let fp: usize = snapshot
+                    .iter()
+                    .map(|(k, c)| Cell::footprint(k.len(), c.value.len()))
+                    .sum();
+                let new_copy = Arc::new(CopyStore::new());
+                *new_copy.map.write() = snapshot;
+                copies.push((target, new_copy));
+                part.assignment.write().push(target);
+                self.node(target).account(fp as isize);
+                created += 1;
+            }
+        }
+        created
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(nodes: usize, rf: usize) -> Arc<StoreCluster> {
+        StoreCluster::new(StoreConfig::new(nodes).replication(rf))
+    }
+
+    fn k(s: &str) -> Key {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+    fn v(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn write_then_read() {
+        let c = cluster(3, 1);
+        let (t, _) = c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("1"))).unwrap();
+        let (token, val) = c.srv_read(b"a").unwrap().unwrap();
+        assert_eq!(Some(token), t);
+        assert_eq!(val, v("1"));
+        assert_eq!(c.srv_read(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn insert_twice_conflicts() {
+        let c = cluster(1, 1);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("1"))).unwrap();
+        let err = c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("2"))).unwrap_err();
+        assert_eq!(err, Error::Conflict);
+    }
+
+    #[test]
+    fn store_conditional_detects_intervening_write() {
+        let c = cluster(1, 1);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("1"))).unwrap();
+        let (t1, _) = c.srv_read(b"a").unwrap().unwrap();
+        // Another writer sneaks in.
+        c.srv_write(&k("a"), Expect::Token(t1), Mutation::Put(v("2"))).unwrap();
+        // First writer's SC must now fail.
+        let err = c.srv_write(&k("a"), Expect::Token(t1), Mutation::Put(v("3"))).unwrap_err();
+        assert_eq!(err, Error::Conflict);
+    }
+
+    #[test]
+    fn llsc_solves_aba() {
+        // Delete + re-insert of the *same value* must still fail an SC that
+        // load-linked before the delete (§4.1: LL/SC is stronger than CAS).
+        let c = cluster(1, 1);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("same"))).unwrap();
+        let (t1, val1) = c.srv_read(b"a").unwrap().unwrap();
+        c.srv_write(&k("a"), Expect::Token(t1), Mutation::Delete).unwrap();
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("same"))).unwrap();
+        let (t2, val2) = c.srv_read(b"a").unwrap().unwrap();
+        assert_eq!(val1, val2, "value is byte-identical (the ABA scenario)");
+        assert_ne!(t1, t2, "but the token moved");
+        let err = c.srv_write(&k("a"), Expect::Token(t1), Mutation::Put(v("x"))).unwrap_err();
+        assert_eq!(err, Error::Conflict);
+    }
+
+    #[test]
+    fn conditional_delete() {
+        let c = cluster(1, 1);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("1"))).unwrap();
+        let (t, _) = c.srv_read(b"a").unwrap().unwrap();
+        assert_eq!(
+            c.srv_write(&k("a"), Expect::Token(t + 99), Mutation::Delete).unwrap_err(),
+            Error::Conflict
+        );
+        c.srv_write(&k("a"), Expect::Token(t), Mutation::Delete).unwrap();
+        assert_eq!(c.srv_read(b"a").unwrap(), None);
+        // Unconditional delete of a missing key is a no-op.
+        let (none, _) = c.srv_write(&k("a"), Expect::Any, Mutation::Delete).unwrap();
+        assert_eq!(none, None);
+        // Conditional delete of a missing key conflicts.
+        assert_eq!(
+            c.srv_write(&k("a"), Expect::Token(t), Mutation::Delete).unwrap_err(),
+            Error::Conflict
+        );
+    }
+
+    #[test]
+    fn increment_is_sequential() {
+        let c = cluster(2, 1);
+        let key = crate::keys::counter("tid");
+        assert_eq!(c.srv_increment(&key, 5).unwrap(), 5);
+        assert_eq!(c.srv_increment(&key, 256).unwrap(), 261);
+        let (_, raw) = c.srv_read(&key).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(raw.as_ref().try_into().unwrap()), 261);
+    }
+
+    #[test]
+    fn scan_is_ordered_across_partitions() {
+        let c = cluster(4, 1);
+        for i in 0..50u32 {
+            let key = Bytes::from(format!("scan/{i:04}"));
+            c.srv_write(&key, Expect::Absent, Mutation::Put(v("x"))).unwrap();
+        }
+        let (rows, masters) = c.srv_scan(b"scan/", Some(b"scan0"), 1000, false).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(masters >= 1);
+        // Reverse scan with limit.
+        let (rev, _) = c.srv_scan(b"scan/", Some(b"scan0"), 10, true).unwrap();
+        assert_eq!(rev.len(), 10);
+        assert!(rev.windows(2).all(|w| w[0].0 > w[1].0));
+        assert_eq!(rev[0].0, Bytes::from("scan/0049"));
+    }
+
+    #[test]
+    fn failover_to_replica_preserves_data() {
+        let c = cluster(3, 2);
+        for i in 0..100u32 {
+            let key = Bytes::from(format!("k{i}"));
+            c.srv_write(&key, Expect::Absent, Mutation::Put(v("d"))).unwrap();
+        }
+        c.kill_node(SnId(0));
+        // Every key must still be readable (RF2 tolerates one failure).
+        for i in 0..100u32 {
+            let key = format!("k{i}");
+            assert!(c.srv_read(key.as_bytes()).unwrap().is_some(), "lost {key}");
+        }
+        // And writable: tokens keep increasing after failover.
+        let (t, _) = c.srv_read(b"k1").unwrap().unwrap();
+        c.srv_write(&k("k1"), Expect::Token(t), Mutation::Put(v("new"))).unwrap();
+    }
+
+    #[test]
+    fn rf1_failure_makes_some_partitions_unavailable() {
+        let c = cluster(2, 1);
+        for i in 0..64u32 {
+            let key = Bytes::from(format!("k{i}"));
+            c.srv_write(&key, Expect::Absent, Mutation::Put(v("d"))).unwrap();
+        }
+        c.kill_node(SnId(0));
+        let mut unavailable = 0;
+        for i in 0..64u32 {
+            if c.srv_read(format!("k{i}").as_bytes()).is_err() {
+                unavailable += 1;
+            }
+        }
+        assert!(unavailable > 0, "RF1 cannot survive a node failure");
+    }
+
+    #[test]
+    fn revive_resyncs_stale_copies() {
+        let c = cluster(2, 2);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("1"))).unwrap();
+        c.kill_node(SnId(0));
+        // Update while node 0 is down: its copy goes stale.
+        let (t, _) = c.srv_read(b"a").unwrap().unwrap();
+        c.srv_write(&k("a"), Expect::Token(t), Mutation::Put(v("2"))).unwrap();
+        c.revive_node(SnId(0));
+        c.kill_node(SnId(1));
+        // Node 0 is master again and must serve the *new* value.
+        let (_, val) = c.srv_read(b"a").unwrap().unwrap();
+        assert_eq!(val, v("2"));
+    }
+
+    #[test]
+    fn restore_replication_creates_new_copies() {
+        let c = cluster(3, 2);
+        for i in 0..30u32 {
+            let key = Bytes::from(format!("k{i}"));
+            c.srv_write(&key, Expect::Absent, Mutation::Put(v("d"))).unwrap();
+        }
+        c.kill_node(SnId(0));
+        let created = c.restore_replication();
+        assert!(created > 0);
+        // Now even a second failure must not lose data.
+        c.kill_node(SnId(1));
+        for i in 0..30u32 {
+            let key = format!("k{i}");
+            assert!(c.srv_read(key.as_bytes()).unwrap().is_some(), "lost {key}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let c = StoreCluster::new(StoreConfig::new(1).capacity(4096));
+        let big = Bytes::from(vec![0u8; 2000]);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(big.clone())).unwrap();
+        let err = c.srv_write(&k("b"), Expect::Absent, Mutation::Put(Bytes::from(vec![0u8; 3000])));
+        assert!(matches!(err, Err(Error::CapacityExceeded { .. })));
+        // Overwriting in place (same size) still fits.
+        let (t, _) = c.srv_read(b"a").unwrap().unwrap();
+        c.srv_write(&k("a"), Expect::Token(t), Mutation::Put(big)).unwrap();
+        // Deleting frees space.
+        c.srv_write(&k("a"), Expect::Any, Mutation::Delete).unwrap();
+        c.srv_write(&k("b"), Expect::Absent, Mutation::Put(Bytes::from(vec![0u8; 3000]))).unwrap();
+    }
+
+    #[test]
+    fn replication_keeps_copies_identical() {
+        let c = cluster(3, 3);
+        c.srv_write(&k("x"), Expect::Absent, Mutation::Put(v("1"))).unwrap();
+        let (t0, v0) = c.srv_read(b"x").unwrap().unwrap();
+        // Kill the master twice; every surviving replica must agree.
+        c.kill_node(SnId(c.route(b"x").raw() as u32 % 3));
+        let (t1, v1) = c.srv_read(b"x").unwrap().unwrap();
+        assert_eq!((t0, v0), (t1, v1));
+    }
+}

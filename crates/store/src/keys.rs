@@ -1,0 +1,203 @@
+//! Key construction.
+//!
+//! The store's key space is flat bytes; the layers above carve it into
+//! keyspaces with a one-byte tag so unrelated subsystems can never collide
+//! and prefix scans stay cheap. All multi-byte components are big-endian so
+//! byte order equals numeric order (transaction-log scans walk tids in
+//! order; record scans walk rids in order).
+
+use bytes::Bytes;
+use tell_common::{IndexId, Rid, TableId, TxnId};
+
+/// Store keys are plain byte strings.
+pub type Key = Bytes;
+
+/// One-byte keyspace tags.
+pub mod tag {
+    /// Catalog / schema metadata.
+    pub const META: u8 = 0;
+    /// Atomic counters (tid ranges, rid allocation).
+    pub const COUNTER: u8 = 1;
+    /// Data records (one KV pair per record, all versions inside).
+    pub const RECORD: u8 = 2;
+    /// B+tree index nodes.
+    pub const INDEX: u8 = 3;
+    /// Transaction log entries (§4.4.1).
+    pub const TXNLOG: u8 = 4;
+    /// Commit-manager published state (§4.2).
+    pub const CMSTATE: u8 = 5;
+    /// Version-number-set entries of the SBVS buffering strategy (§5.5.3).
+    pub const VERSIONSET: u8 = 6;
+}
+
+/// Key of the record `rid` of table `table`.
+pub fn record(table: TableId, rid: Rid) -> Key {
+    let mut k = Vec::with_capacity(13);
+    k.push(tag::RECORD);
+    k.extend_from_slice(&table.raw().to_be_bytes());
+    k.extend_from_slice(&rid.raw().to_be_bytes());
+    Bytes::from(k)
+}
+
+/// Prefix covering every record of `table` (for full-table scans).
+pub fn record_prefix(table: TableId) -> Key {
+    let mut k = Vec::with_capacity(5);
+    k.push(tag::RECORD);
+    k.extend_from_slice(&table.raw().to_be_bytes());
+    Bytes::from(k)
+}
+
+/// Parse a record key back into `(table, rid)`.
+pub fn parse_record(key: &[u8]) -> Option<(TableId, Rid)> {
+    if key.len() != 13 || key[0] != tag::RECORD {
+        return None;
+    }
+    let table = u32::from_be_bytes(key[1..5].try_into().ok()?);
+    let rid = u64::from_be_bytes(key[5..13].try_into().ok()?);
+    Some((TableId(table), Rid(rid)))
+}
+
+/// Key of B+tree node `node_id` of index `index`.
+pub fn index_node(index: IndexId, node_id: u64) -> Key {
+    let mut k = Vec::with_capacity(13);
+    k.push(tag::INDEX);
+    k.extend_from_slice(&index.raw().to_be_bytes());
+    k.extend_from_slice(&node_id.to_be_bytes());
+    Bytes::from(k)
+}
+
+/// Key of the transaction-log entry of `tid`.
+pub fn txn_log(tid: TxnId) -> Key {
+    let mut k = Vec::with_capacity(9);
+    k.push(tag::TXNLOG);
+    k.extend_from_slice(&tid.raw().to_be_bytes());
+    Bytes::from(k)
+}
+
+/// Prefix covering the whole transaction log.
+pub fn txn_log_prefix() -> Key {
+    Bytes::from(vec![tag::TXNLOG])
+}
+
+/// Parse a transaction-log key back into its tid.
+pub fn parse_txn_log(key: &[u8]) -> Option<TxnId> {
+    if key.len() != 9 || key[0] != tag::TXNLOG {
+        return None;
+    }
+    Some(TxnId(u64::from_be_bytes(key[1..9].try_into().ok()?)))
+}
+
+/// Key of a named atomic counter.
+pub fn counter(name: &str) -> Key {
+    let mut k = Vec::with_capacity(1 + name.len());
+    k.push(tag::COUNTER);
+    k.extend_from_slice(name.as_bytes());
+    Bytes::from(k)
+}
+
+/// Key under which commit manager `cm` publishes its state.
+pub fn cm_state(cm: u32) -> Key {
+    let mut k = Vec::with_capacity(5);
+    k.push(tag::CMSTATE);
+    k.extend_from_slice(&cm.to_be_bytes());
+    Bytes::from(k)
+}
+
+/// Prefix covering all commit-manager state entries.
+pub fn cm_state_prefix() -> Key {
+    Bytes::from(vec![tag::CMSTATE])
+}
+
+/// Key of a catalog metadata entry.
+pub fn meta(name: &str) -> Key {
+    let mut k = Vec::with_capacity(1 + name.len());
+    k.push(tag::META);
+    k.extend_from_slice(name.as_bytes());
+    Bytes::from(k)
+}
+
+/// Key of the shared version-number-set entry of cache unit `unit` of
+/// `table` (SBVS buffering, §5.5.3).
+pub fn version_set(table: TableId, unit: u64) -> Key {
+    let mut k = Vec::with_capacity(13);
+    k.push(tag::VERSIONSET);
+    k.extend_from_slice(&table.raw().to_be_bytes());
+    k.extend_from_slice(&unit.to_be_bytes());
+    Bytes::from(k)
+}
+
+/// Smallest key strictly greater than every key starting with `prefix`
+/// (exclusive upper bound for prefix scans). `None` if the prefix is all
+/// `0xff` and unbounded.
+pub fn prefix_end(prefix: &[u8]) -> Option<Key> {
+    let mut end = prefix.to_vec();
+    while let Some(last) = end.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(Bytes::from(end));
+        }
+        end.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keys_sort_by_rid() {
+        let a = record(TableId(1), Rid(1));
+        let b = record(TableId(1), Rid(2));
+        let c = record(TableId(1), Rid(256));
+        assert!(a < b && b < c);
+        assert!(a.starts_with(&record_prefix(TableId(1))));
+    }
+
+    #[test]
+    fn record_key_roundtrip() {
+        let k = record(TableId(7), Rid(u64::MAX - 3));
+        assert_eq!(parse_record(&k), Some((TableId(7), Rid(u64::MAX - 3))));
+        assert_eq!(parse_record(b"nope"), None);
+    }
+
+    #[test]
+    fn txn_log_keys_sort_by_tid() {
+        let a = txn_log(TxnId(5));
+        let b = txn_log(TxnId(500));
+        assert!(a < b);
+        assert_eq!(parse_txn_log(&a), Some(TxnId(5)));
+        assert!(a.starts_with(&txn_log_prefix()));
+    }
+
+    #[test]
+    fn keyspaces_do_not_collide() {
+        let keys = [
+            record(TableId(0), Rid(0)),
+            index_node(IndexId(0), 0),
+            txn_log(TxnId(0)),
+            counter(""),
+            cm_state(0),
+            meta(""),
+            version_set(TableId(0), 0),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b);
+                    assert_ne!(a[0], b[0], "distinct keyspace tags");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_end_is_tight() {
+        let p = record_prefix(TableId(3));
+        let end = prefix_end(&p).unwrap();
+        assert!(record(TableId(3), Rid(u64::MAX)) < end);
+        assert!(record_prefix(TableId(4)) >= end);
+        assert_eq!(prefix_end(&[0xff, 0xff]), None);
+        assert_eq!(prefix_end(&[0x01, 0xff]).unwrap().as_ref(), &[0x02]);
+    }
+}

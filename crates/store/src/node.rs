@@ -1,0 +1,147 @@
+//! Storage nodes and partition copies.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use tell_common::SnId;
+
+use crate::cell::Cell;
+
+/// A storage node: liveness flag plus memory accounting. The actual data
+/// lives in the partition copies assigned to the node (see
+/// [`crate::cluster::StoreCluster`]); a node failure makes every copy it
+/// hosts unreachable at once, which is exactly the failure granularity the
+/// paper's fail-over story needs (§4.4.2).
+#[derive(Debug)]
+pub struct StorageNode {
+    /// Node identifier.
+    pub id: SnId,
+    alive: AtomicBool,
+    used_bytes: AtomicUsize,
+    capacity_bytes: Option<usize>,
+}
+
+impl StorageNode {
+    /// A live node with an optional memory capacity.
+    pub fn new(id: SnId, capacity_bytes: Option<usize>) -> Self {
+        StorageNode {
+            id,
+            alive: AtomicBool::new(true),
+            used_bytes: AtomicUsize::new(0),
+            capacity_bytes,
+        }
+    }
+
+    /// Is the node reachable?
+    #[inline]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Mark the node failed (crash-stop).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Bring the node back (its data must be re-synced by the cluster).
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Bytes currently accounted to this node.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Configured capacity, if any.
+    pub fn capacity_bytes(&self) -> Option<usize> {
+        self.capacity_bytes
+    }
+
+    /// Would storing `additional` more bytes exceed capacity?
+    pub fn would_exceed(&self, additional: usize) -> bool {
+        match self.capacity_bytes {
+            Some(cap) => self.used_bytes.load(Ordering::Relaxed) + additional > cap,
+            None => false,
+        }
+    }
+
+    /// Account `delta` bytes (positive = grow).
+    pub fn account(&self, delta: isize) {
+        if delta >= 0 {
+            self.used_bytes.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.used_bytes.fetch_sub((-delta) as usize, Ordering::Relaxed);
+        }
+    }
+
+    /// Reset accounting (used when a revived node is re-synced).
+    pub fn reset_accounting(&self, bytes: usize) {
+        self.used_bytes.store(bytes, Ordering::Relaxed);
+    }
+}
+
+/// One physical copy of a partition's data on some node.
+#[derive(Debug, Default)]
+pub struct CopyStore {
+    /// Ordered map so prefix/range scans are cheap.
+    pub map: RwLock<BTreeMap<Bytes, Cell>>,
+}
+
+impl CopyStore {
+    /// Empty copy.
+    pub fn new() -> Self {
+        CopyStore::default()
+    }
+
+    /// Sum of entry footprints, used to rebuild accounting after re-sync.
+    pub fn footprint(&self) -> usize {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, c)| Cell::footprint(k.len(), c.value.len()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liveness_toggles() {
+        let n = StorageNode::new(SnId(1), None);
+        assert!(n.is_alive());
+        n.kill();
+        assert!(!n.is_alive());
+        n.revive();
+        assert!(n.is_alive());
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let n = StorageNode::new(SnId(0), Some(1000));
+        assert!(!n.would_exceed(1000));
+        assert!(n.would_exceed(1001));
+        n.account(600);
+        assert_eq!(n.used_bytes(), 600);
+        assert!(n.would_exceed(500));
+        n.account(-100);
+        assert_eq!(n.used_bytes(), 500);
+        assert!(!n.would_exceed(500));
+        let unlimited = StorageNode::new(SnId(1), None);
+        assert!(!unlimited.would_exceed(usize::MAX / 2));
+    }
+
+    #[test]
+    fn copy_footprint_counts_entries() {
+        let c = CopyStore::new();
+        assert_eq!(c.footprint(), 0);
+        c.map
+            .write()
+            .insert(Bytes::from_static(b"key"), Cell { token: 1, value: Bytes::from_static(b"value") });
+        assert_eq!(c.footprint(), Cell::footprint(3, 5));
+    }
+}

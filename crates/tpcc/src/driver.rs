@@ -1,0 +1,272 @@
+//! The terminal driver (§6.2: "we have removed wait times so that
+//! terminals continuously send requests to the PNs").
+//!
+//! Workers model the paper's processing-node threads: each logical PN is a
+//! [`tell_core::pn::PnGroup`] (shared record buffer, shared `V_max`) with
+//! `workers_per_pn` worker threads. Throughput and latency are measured in
+//! virtual time (see DESIGN.md): `TpmC = Σ_w (new-order commits of worker w
+//! / virtual minutes of worker w)`.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tell_common::{Error, Histogram, Result};
+use tell_core::Transaction;
+use tell_sql::SqlEngine;
+
+use crate::gen::ScaleParams;
+use crate::mix::{Mix, ParamGen, TxnRequest, TxnType};
+use crate::schema::TpccTables;
+use crate::txns::{self, USER_ROLLBACK};
+
+/// Benchmark run parameters.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    pub warehouses: i64,
+    pub scale: ScaleParams,
+    pub mix: Mix,
+    /// Logical processing nodes (the x-axis of Figs 5/6/10/11).
+    pub pn_count: usize,
+    /// Worker threads per logical PN ("a thread processes a transaction at
+    /// a time", §6.1).
+    pub workers_per_pn: usize,
+    /// Transactions issued per worker (measurement length).
+    pub txns_per_worker: usize,
+    /// Retry budget per transaction before giving up.
+    pub max_retries: usize,
+    pub seed: u64,
+}
+
+impl TpccConfig {
+    /// A small smoke-test configuration.
+    pub fn smoke(warehouses: i64) -> TpccConfig {
+        TpccConfig {
+            warehouses,
+            scale: ScaleParams::tiny(),
+            mix: Mix::standard(),
+            pn_count: 1,
+            workers_per_pn: 2,
+            txns_per_worker: 50,
+            max_retries: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated results of a run.
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// Committed transactions (all types, excluding user rollbacks).
+    pub committed: u64,
+    /// Committed new-order transactions.
+    pub new_order_commits: u64,
+    /// Write-write conflict aborts (attempts that lost optimistic CC).
+    pub conflict_aborts: u64,
+    /// Intentional rollbacks (clause 2.4.1.4), not counted as failures.
+    pub user_rollbacks: u64,
+    /// Transactions that exhausted their retry budget.
+    pub given_up: u64,
+    /// Per-type commit counts, in [`TxnType::ALL`] order.
+    pub per_type: [u64; 5],
+    /// Latency of successful transactions, virtual µs.
+    pub latency: Histogram,
+    /// Mean virtual duration per worker, seconds.
+    pub virtual_seconds: f64,
+    /// New-order transactions per virtual minute (the TPC-C metric).
+    pub tpmc: f64,
+    /// All committed transactions per virtual second.
+    pub tps: f64,
+    /// PN record-buffer hit ratio (Fig 11's cache effectiveness).
+    pub buffer_hit_ratio: f64,
+}
+
+impl DriverReport {
+    /// Abort rate: conflicted attempts over all attempts, as the paper
+    /// reports ("the overall transaction abort rate").
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.conflict_aborts + self.user_rollbacks;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.conflict_aborts as f64 / attempts as f64
+        }
+    }
+}
+
+struct WorkerResult {
+    committed: u64,
+    new_order_commits: u64,
+    conflict_aborts: u64,
+    user_rollbacks: u64,
+    given_up: u64,
+    per_type: [u64; 5],
+    latency: Histogram,
+    virtual_us: f64,
+}
+
+fn run_request(
+    txn: &mut Transaction<'_>,
+    tables: &TpccTables,
+    req: &TxnRequest,
+    now: i64,
+) -> Result<()> {
+    match req {
+        TxnRequest::NewOrder(p) => txns::new_order(txn, tables, p, now).map(|_| ()),
+        TxnRequest::Payment(p) => txns::payment(txn, tables, p, now),
+        TxnRequest::Delivery(p) => txns::delivery(txn, tables, p, now).map(|_| ()),
+        TxnRequest::OrderStatus(p) => txns::order_status(txn, tables, p).map(|_| ()),
+        TxnRequest::StockLevel(p) => txns::stock_level(txn, tables, p).map(|_| ()),
+    }
+}
+
+fn worker_loop(
+    engine: Arc<SqlEngine>,
+    group: Arc<tell_core::pn::PnGroup>,
+    config: TpccConfig,
+    worker_index: u64,
+) -> Result<WorkerResult> {
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node_in_group(&group);
+    let tables = TpccTables::resolve(&engine, &pn)?;
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker_index * 7919));
+    // History-row ids must be unique per worker *and* per run (several
+    // runs may share one database, e.g. the elasticity example).
+    let namespace = (worker_index << 40) ^ config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut gen =
+        ParamGen::with_namespace(config.warehouses, config.scale, config.mix.clone(), namespace);
+    let home_w = (worker_index as i64 % config.warehouses) + 1;
+
+    let mut res = WorkerResult {
+        committed: 0,
+        new_order_commits: 0,
+        conflict_aborts: 0,
+        user_rollbacks: 0,
+        given_up: 0,
+        per_type: [0; 5],
+        latency: Histogram::new(),
+        virtual_us: 0.0,
+    };
+
+    for i in 0..config.txns_per_worker {
+        let req = gen.generate(&mut rng, home_w);
+        let ty = req.txn_type();
+        let now = i as i64;
+        let start_us = pn.clock().now_us();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let mut txn = pn.begin()?;
+            let outcome = run_request(&mut txn, &tables, &req, now);
+            let done = match outcome {
+                Ok(()) => match txn.commit() {
+                    Ok(()) => {
+                        res.committed += 1;
+                        if ty == TxnType::NewOrder {
+                            res.new_order_commits += 1;
+                        }
+                        let idx = TxnType::ALL.iter().position(|t| *t == ty).unwrap();
+                        res.per_type[idx] += 1;
+                        res.latency.record(pn.clock().now_us() - start_us);
+                        true
+                    }
+                    Err(Error::Conflict) => {
+                        res.conflict_aborts += 1;
+                        false
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(Error::Aborted(msg)) if msg == USER_ROLLBACK => {
+                    txn.abort()?;
+                    res.user_rollbacks += 1;
+                    true
+                }
+                Err(e) if e.is_retryable() => {
+                    if txn.is_running() {
+                        txn.abort()?;
+                    }
+                    res.conflict_aborts += 1;
+                    false
+                }
+                Err(e) => return Err(e),
+            };
+            if done {
+                break;
+            }
+            if attempts > config.max_retries {
+                res.given_up += 1;
+                break;
+            }
+            // Give competing commits a chance to finish (see
+            // `ProcessingNode::run`): reduces OCC starvation when workers
+            // outnumber cores.
+            std::thread::yield_now();
+        }
+    }
+    res.virtual_us = pn.clock().now_us();
+    Ok(res)
+}
+
+/// Run the benchmark. Tables must be created and loaded beforehand
+/// ([`crate::schema::create_tpcc_tables`], [`crate::gen::load`]).
+pub fn run_tpcc(engine: &Arc<SqlEngine>, config: &TpccConfig) -> Result<DriverReport> {
+    let mut handles = Vec::new();
+    let mut groups = Vec::new();
+    let mut worker_index = 0u64;
+    for _ in 0..config.pn_count {
+        let group = engine.database().pn_group();
+        groups.push(Arc::clone(&group));
+        for _ in 0..config.workers_per_pn {
+            let engine = Arc::clone(engine);
+            let group = Arc::clone(&group);
+            let config = config.clone();
+            let idx = worker_index;
+            worker_index += 1;
+            handles.push(std::thread::spawn(move || worker_loop(engine, group, config, idx)));
+        }
+    }
+    let mut report = DriverReport {
+        committed: 0,
+        new_order_commits: 0,
+        conflict_aborts: 0,
+        user_rollbacks: 0,
+        given_up: 0,
+        per_type: [0; 5],
+        latency: Histogram::new(),
+        virtual_seconds: 0.0,
+        tpmc: 0.0,
+        tps: 0.0,
+        buffer_hit_ratio: 0.0,
+    };
+    let mut total_virtual_us = 0.0;
+    let workers = handles.len();
+    for h in handles {
+        let r = h.join().map_err(|_| Error::invalid("worker thread panicked"))??;
+        report.committed += r.committed;
+        report.new_order_commits += r.new_order_commits;
+        report.conflict_aborts += r.conflict_aborts;
+        report.user_rollbacks += r.user_rollbacks;
+        report.given_up += r.given_up;
+        for i in 0..5 {
+            report.per_type[i] += r.per_type[i];
+        }
+        report.latency.merge(&r.latency);
+        total_virtual_us += r.virtual_us;
+        if r.virtual_us > 0.0 {
+            report.tpmc += r.new_order_commits as f64 / (r.virtual_us / 60e6);
+            report.tps += r.committed as f64 / (r.virtual_us / 1e6);
+        }
+    }
+    report.virtual_seconds = total_virtual_us / workers.max(1) as f64 / 1e6;
+    let (hits, misses) = groups.iter().fold((0u64, 0u64), |(h, m), g| {
+        let s = g.buffer().stats();
+        (
+            h + s.hits.load(std::sync::atomic::Ordering::Relaxed),
+            m + s.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    });
+    if hits + misses > 0 {
+        report.buffer_hit_ratio = hits as f64 / (hits + misses) as f64;
+    }
+    Ok(report)
+}

@@ -1,0 +1,461 @@
+//! TPC-C population generation and the spec's random-input rules
+//! (rev 5.11 §2.1.6, §4.3.2/3).
+//!
+//! Population is generated once by [`generate_population`] as typed rows
+//! and consumed by a sink, so both Tell ([`load`]) and the partitioned
+//! baseline engines (`tell-baselines`) load byte-identical datasets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tell_common::Result;
+use tell_sql::row::encode_row;
+use tell_sql::{SqlEngine, Value};
+
+use crate::schema::TpccTables;
+
+/// NURand C constants fixed at load time (clause 2.1.6.1; we keep the
+/// run-time C equal to the load-time C, which satisfies the delta rule).
+pub const C_LAST: i64 = 123;
+pub const C_ID: i64 = 97;
+pub const C_OL_I_ID: i64 = 2741;
+
+/// The nine TPC-C tables, as an engine-independent identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TpccTable {
+    Warehouse,
+    District,
+    Customer,
+    History,
+    NewOrder,
+    Orders,
+    OrderLine,
+    Item,
+    Stock,
+}
+
+impl TpccTable {
+    /// All tables.
+    pub const ALL: [TpccTable; 9] = [
+        TpccTable::Warehouse,
+        TpccTable::District,
+        TpccTable::Customer,
+        TpccTable::History,
+        TpccTable::NewOrder,
+        TpccTable::Orders,
+        TpccTable::OrderLine,
+        TpccTable::Item,
+        TpccTable::Stock,
+    ];
+
+    /// SQL-layer table name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TpccTable::Warehouse => "warehouse",
+            TpccTable::District => "district",
+            TpccTable::Customer => "customer",
+            TpccTable::History => "history",
+            TpccTable::NewOrder => "neworder",
+            TpccTable::Orders => "orders",
+            TpccTable::OrderLine => "orderline",
+            TpccTable::Item => "item",
+            TpccTable::Stock => "stock",
+        }
+    }
+
+    /// Primary-key column positions (matches the SQL DDL).
+    pub fn pk_columns(&self) -> &'static [usize] {
+        match self {
+            TpccTable::Warehouse => &[0],
+            TpccTable::District => &[0, 1],
+            TpccTable::Customer => &[0, 1, 2],
+            TpccTable::History => &[0],
+            TpccTable::NewOrder => &[0, 1, 2],
+            TpccTable::Orders => &[0, 1, 2],
+            TpccTable::OrderLine => &[0, 1, 2, 3],
+            TpccTable::Item => &[0],
+            TpccTable::Stock => &[0, 1],
+        }
+    }
+}
+
+/// Non-uniform random, clause 2.1.6.
+pub fn nurand(rng: &mut StdRng, a: i64, c: i64, x: i64, y: i64) -> i64 {
+    (((rng.random_range(0..=a) | rng.random_range(x..=y)) + c) % (y - x + 1)) + x
+}
+
+/// The 10 syllables of clause 4.3.2.3.
+const LAST_SYLLABLES: [&str; 10] =
+    ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+
+/// Customer last name from a number in `[0, 999]`.
+pub fn last_name(num: i64) -> String {
+    let n = num.clamp(0, 999) as usize;
+    format!(
+        "{}{}{}",
+        LAST_SYLLABLES[n / 100],
+        LAST_SYLLABLES[(n / 10) % 10],
+        LAST_SYLLABLES[n % 10]
+    )
+}
+
+/// Random last-name number for transactions: NURand(255, 0, 999).
+pub fn rand_last_name(rng: &mut StdRng) -> String {
+    last_name(nurand(rng, 255, C_LAST, 0, 999))
+}
+
+/// Random customer id: NURand(1023, 1, customers).
+pub fn rand_c_id(rng: &mut StdRng, customers: i64) -> i64 {
+    nurand(rng, 1023, C_ID, 1, customers)
+}
+
+/// Random item id: NURand(8191, 1, items).
+pub fn rand_i_id(rng: &mut StdRng, items: i64) -> i64 {
+    nurand(rng, 8191, C_OL_I_ID, 1, items)
+}
+
+/// a-string: random alphanumerics of length in `[lo, hi]`.
+pub fn a_string(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let len = rng.random_range(lo..=hi);
+    (0..len).map(|_| CHARS[rng.random_range(0..CHARS.len())] as char).collect()
+}
+
+/// n-string: random digits.
+pub fn n_string(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = rng.random_range(lo..=hi);
+    (0..len).map(|_| char::from(b'0' + rng.random_range(0..10u8))).collect()
+}
+
+/// Scaled-down population parameters. The spec's full scale
+/// ([`ScaleParams::spec`]) is 100 k items / 10 districts / 3 k customers
+/// per district; scaled runs keep the proportions so contention behaviour
+/// is preserved while fitting a single machine.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleParams {
+    pub items: i64,
+    pub districts_per_warehouse: i64,
+    pub customers_per_district: i64,
+    /// Initial orders per district (spec: one per customer, the last third
+    /// still undelivered in NEW-ORDER).
+    pub initial_orders_per_district: i64,
+}
+
+impl ScaleParams {
+    /// Full TPC-C rev 5.11 cardinalities.
+    pub fn spec() -> Self {
+        ScaleParams {
+            items: 100_000,
+            districts_per_warehouse: 10,
+            customers_per_district: 3_000,
+            initial_orders_per_district: 3_000,
+        }
+    }
+
+    /// A small population for tests and single-machine benchmarks.
+    pub fn tiny() -> Self {
+        ScaleParams {
+            items: 100,
+            districts_per_warehouse: 2,
+            customers_per_district: 10,
+            initial_orders_per_district: 10,
+        }
+    }
+
+    /// Benchmark default: big enough for realistic access patterns, small
+    /// enough to load in seconds.
+    pub fn small() -> Self {
+        ScaleParams {
+            items: 1_000,
+            districts_per_warehouse: 10,
+            customers_per_district: 60,
+            initial_orders_per_district: 60,
+        }
+    }
+}
+
+/// Generate the full population as typed rows, feeding each to `sink`.
+/// Deterministic for a given `seed`.
+pub fn generate_population(
+    warehouses: i64,
+    scale: ScaleParams,
+    seed: u64,
+    mut sink: impl FnMut(TpccTable, Vec<Value>),
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for i in 1..=scale.items {
+        let original = rng.random_range(0..10) == 0;
+        let mut data = a_string(&mut rng, 26, 50);
+        if original {
+            data.insert_str(data.len() / 2, "ORIGINAL");
+        }
+        sink(
+            TpccTable::Item,
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(1..=10_000)),
+                Value::Text(a_string(&mut rng, 14, 24)),
+                Value::Double(rng.random_range(100..=10_000) as f64 / 100.0),
+                Value::Text(data),
+            ],
+        );
+    }
+
+    for w in 1..=warehouses {
+        sink(
+            TpccTable::Warehouse,
+            vec![
+                Value::Int(w),
+                Value::Text(a_string(&mut rng, 6, 10)),
+                Value::Text(a_string(&mut rng, 10, 20)),
+                Value::Text(a_string(&mut rng, 10, 20)),
+                Value::Text(a_string(&mut rng, 10, 20)),
+                Value::Text(a_string(&mut rng, 2, 2)),
+                Value::Text(format!("{}11111", n_string(&mut rng, 4, 4))),
+                Value::Double(rng.random_range(0..=2000) as f64 / 10_000.0),
+                // Consistency condition 1 (w_ytd = Σ d_ytd) must hold at
+                // load time even for scaled-down district counts.
+                Value::Double(30_000.0 * scale.districts_per_warehouse as f64),
+            ],
+        );
+        for i in 1..=scale.items {
+            sink(
+                TpccTable::Stock,
+                vec![
+                    Value::Int(w),
+                    Value::Int(i),
+                    Value::Int(rng.random_range(10..=100)),
+                    Value::Text(a_string(&mut rng, 24, 24)),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Text(a_string(&mut rng, 26, 50)),
+                ],
+            );
+        }
+        for d in 1..=scale.districts_per_warehouse {
+            sink(
+                TpccTable::District,
+                vec![
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Text(a_string(&mut rng, 6, 10)),
+                    Value::Text(a_string(&mut rng, 10, 20)),
+                    Value::Text(a_string(&mut rng, 10, 20)),
+                    Value::Text(a_string(&mut rng, 10, 20)),
+                    Value::Text(a_string(&mut rng, 2, 2)),
+                    Value::Text(format!("{}11111", n_string(&mut rng, 4, 4))),
+                    Value::Double(rng.random_range(0..=2000) as f64 / 10_000.0),
+                    Value::Double(30_000.0),
+                    Value::Int(scale.initial_orders_per_district + 1),
+                ],
+            );
+            for c in 1..=scale.customers_per_district {
+                let lname = if c <= 1000 { last_name(c - 1) } else { rand_last_name(&mut rng) };
+                let credit = if rng.random_range(0..10) == 0 { "BC" } else { "GC" };
+                sink(
+                    TpccTable::Customer,
+                    vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(c),
+                        Value::Text(a_string(&mut rng, 8, 16)),
+                        Value::Text("OE".into()),
+                        Value::Text(lname),
+                        Value::Text(a_string(&mut rng, 10, 20)),
+                        Value::Text(a_string(&mut rng, 10, 20)),
+                        Value::Text(a_string(&mut rng, 10, 20)),
+                        Value::Text(a_string(&mut rng, 2, 2)),
+                        Value::Text(format!("{}11111", n_string(&mut rng, 4, 4))),
+                        Value::Text(n_string(&mut rng, 16, 16)),
+                        Value::Int(0),
+                        Value::Text(credit.into()),
+                        Value::Double(50_000.0),
+                        Value::Double(rng.random_range(0..=5000) as f64 / 10_000.0),
+                        Value::Double(-10.0),
+                        Value::Double(10.0),
+                        Value::Int(1),
+                        Value::Int(0),
+                        Value::Text(a_string(&mut rng, 50, 100)),
+                    ],
+                );
+            }
+            // ORDERS + ORDERLINE + NEWORDER (the last ~third undelivered).
+            let undelivered_from =
+                scale.initial_orders_per_district - scale.initial_orders_per_district / 3 + 1;
+            // Customers are permuted over orders (clause 4.3.3.1).
+            let mut cust: Vec<i64> = (1..=scale.customers_per_district).collect();
+            for i in (1..cust.len()).rev() {
+                cust.swap(i, rng.random_range(0..=i));
+            }
+            for o in 1..=scale.initial_orders_per_district {
+                let c_id = cust[(o as usize - 1) % cust.len()];
+                let ol_cnt = rng.random_range(5..=15).min(scale.items);
+                let delivered = o < undelivered_from;
+                sink(
+                    TpccTable::Orders,
+                    vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(o),
+                        Value::Int(c_id),
+                        Value::Int(0),
+                        if delivered {
+                            Value::Int(rng.random_range(1..=10))
+                        } else {
+                            Value::Null
+                        },
+                        Value::Int(ol_cnt),
+                        Value::Int(1),
+                    ],
+                );
+                for n in 1..=ol_cnt {
+                    sink(
+                        TpccTable::OrderLine,
+                        vec![
+                            Value::Int(w),
+                            Value::Int(d),
+                            Value::Int(o),
+                            Value::Int(n),
+                            Value::Int(rng.random_range(1..=scale.items)),
+                            Value::Int(w),
+                            if delivered { Value::Int(0) } else { Value::Null },
+                            Value::Int(5),
+                            if delivered {
+                                Value::Double(0.0)
+                            } else {
+                                Value::Double(rng.random_range(1..=999_999) as f64 / 100.0)
+                            },
+                            Value::Text(a_string(&mut rng, 24, 24)),
+                        ],
+                    );
+                }
+                if !delivered {
+                    sink(
+                        TpccTable::NewOrder,
+                        vec![Value::Int(w), Value::Int(d), Value::Int(o)],
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Load `warehouses` warehouses into a Tell database. Returns the number of
+/// rows loaded. Population happens outside transactions (version 0), as an
+/// initial load would.
+pub fn load(engine: &Arc<SqlEngine>, warehouses: i64, scale: ScaleParams, seed: u64) -> Result<usize> {
+    let db = engine.database();
+    let mut buffers: HashMap<TpccTable, Vec<bytes::Bytes>> = HashMap::new();
+    let mut schemas = HashMap::new();
+    for t in TpccTable::ALL {
+        schemas.insert(t, engine.schema(t.name())?);
+    }
+    let mut encode_err = None;
+    generate_population(warehouses, scale, seed, |table, row| {
+        if encode_err.is_some() {
+            return;
+        }
+        match encode_row(&schemas[&table], &row) {
+            Ok(bytes) => buffers.entry(table).or_default().push(bytes),
+            Err(e) => encode_err = Some(e),
+        }
+    });
+    if let Some(e) = encode_err {
+        return Err(e);
+    }
+    let mut rows_loaded = 0;
+    for t in TpccTable::ALL {
+        let Some(rows) = buffers.remove(&t) else { continue };
+        rows_loaded += rows.len();
+        let def = db.catalog().table(&db.admin_client(), t.name())?;
+        db.bulk_load(&def, rows)?;
+    }
+    Ok(rows_loaded)
+}
+
+/// The handle bundle used by benchmark workers.
+pub fn resolve(engine: &SqlEngine, pn: &tell_core::ProcessingNode) -> Result<TpccTables> {
+    TpccTables::resolve(engine, pn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1023, C_ID, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = nurand(&mut rng, 8191, C_OL_I_ID, 1, 100_000);
+            buckets[((v - 1) * 10 / 100_000) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap() as f64;
+        let min = *buckets.iter().min().unwrap() as f64;
+        assert!(max / min > 1.05, "distribution should be skewed: {buckets:?}");
+    }
+
+    #[test]
+    fn last_names_match_spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn strings_have_requested_lengths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = a_string(&mut rng, 8, 16);
+            assert!((8..=16).contains(&s.len()));
+            let n = n_string(&mut rng, 4, 4);
+            assert_eq!(n.len(), 4);
+            assert!(n.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let collect = || {
+            let mut rows = Vec::new();
+            generate_population(1, ScaleParams::tiny(), 7, |t, r| rows.push((t, r)));
+            rows
+        };
+        let a = collect();
+        let b = collect();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_produces_expected_cardinalities() {
+        let scale = ScaleParams::tiny();
+        let mut counts: HashMap<TpccTable, usize> = HashMap::new();
+        generate_population(2, scale, 7, |t, _| *counts.entry(t).or_default() += 1);
+        assert_eq!(counts[&TpccTable::Warehouse], 2);
+        assert_eq!(counts[&TpccTable::Item], scale.items as usize);
+        assert_eq!(counts[&TpccTable::Stock], (2 * scale.items) as usize);
+        assert_eq!(
+            counts[&TpccTable::Customer],
+            (2 * scale.districts_per_warehouse * scale.customers_per_district) as usize
+        );
+        assert_eq!(
+            counts[&TpccTable::NewOrder],
+            (2 * scale.districts_per_warehouse * (scale.initial_orders_per_district / 3)) as usize
+        );
+        assert!(!counts.contains_key(&TpccTable::History), "history starts empty here");
+    }
+}

@@ -1,0 +1,28 @@
+//! `tell-tpcc` — the TPC-C benchmark (§6.2 of the paper).
+//!
+//! "The TPC-C is an OLTP database benchmark that models the activity of a
+//! wholesale supplier." This crate implements the full nine-table schema,
+//! a spec-faithful population generator (NURand, C-load last names), all
+//! five transactions, and the paper's three workload mixes:
+//!
+//! * the **standard (write-intensive)** mix — 45 % new-order, 43 % payment,
+//!   4 % delivery, 4 % order-status, 4 % stock-level (35.84 % writes),
+//! * the **read-intensive** mix of Table 2 — 9 % new-order, 84 %
+//!   order-status, 7 % stock-level (4.89 % writes),
+//! * the **shardable** variant of §6.4 — remote new-order and payment
+//!   transactions replaced with single-warehouse equivalents.
+//!
+//! The terminal driver runs workers without wait times ("terminals
+//! continuously send requests") and reports TpmC / Tps in *virtual time*
+//! (see `DESIGN.md` §1 on the simulation methodology).
+
+pub mod driver;
+pub mod gen;
+pub mod mix;
+pub mod schema;
+pub mod txns;
+
+pub use driver::{run_tpcc, DriverReport, TpccConfig};
+pub use gen::ScaleParams;
+pub use mix::{Mix, TxnType};
+pub use schema::{create_tpcc_tables, TpccTables};

@@ -1,0 +1,349 @@
+//! Workload mixes (Table 2 of the paper) and transaction input generation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::gen::{rand_c_id, rand_i_id, rand_last_name, ScaleParams};
+use crate::txns::{
+    CustomerSelector, DeliveryParams, NewOrderParams, OrderItem, OrderStatusParams,
+    PaymentParams, StockLevelParams,
+};
+
+/// The five TPC-C transaction types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnType {
+    NewOrder,
+    Payment,
+    Delivery,
+    OrderStatus,
+    StockLevel,
+}
+
+impl TxnType {
+    /// All types, in Table 2 order.
+    pub const ALL: [TxnType; 5] = [
+        TxnType::NewOrder,
+        TxnType::Payment,
+        TxnType::Delivery,
+        TxnType::OrderStatus,
+        TxnType::StockLevel,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TxnType::NewOrder => "new-order",
+            TxnType::Payment => "payment",
+            TxnType::Delivery => "delivery",
+            TxnType::OrderStatus => "order-status",
+            TxnType::StockLevel => "stock-level",
+        }
+    }
+}
+
+/// A workload mix: per-type percentages plus the remote-access knobs that
+/// distinguish the standard and the *shardable* workloads (§6.4).
+#[derive(Clone, Debug)]
+pub struct Mix {
+    pub name: &'static str,
+    /// Percentages for [new-order, payment, delivery, order-status,
+    /// stock-level]; must sum to 100.
+    pub weights: [u32; 5],
+    /// Percent of order lines supplied by a remote warehouse
+    /// (clause 2.4.1.5.2: 1 %).
+    pub remote_item_pct: u32,
+    /// Percent of payments for a customer of a remote warehouse
+    /// (clause 2.5.1.2: 15 %).
+    pub remote_payment_pct: u32,
+    /// Percent of new-orders that roll back on an unused item
+    /// (clause 2.4.1.4: 1 %).
+    pub rollback_pct: u32,
+}
+
+impl Mix {
+    /// The standard, write-intensive TPC-C mix (write ratio 35.84 %).
+    pub fn standard() -> Mix {
+        Mix {
+            name: "standard (write-intensive)",
+            weights: [45, 43, 4, 4, 4],
+            remote_item_pct: 1,
+            remote_payment_pct: 15,
+            rollback_pct: 1,
+        }
+    }
+
+    /// The paper's read-intensive mix (Table 2): 9 % new-order, 84 %
+    /// order-status, 7 % stock-level; write ratio 4.89 %.
+    pub fn read_intensive() -> Mix {
+        Mix {
+            name: "read-intensive",
+            weights: [9, 0, 0, 84, 7],
+            remote_item_pct: 1,
+            remote_payment_pct: 15,
+            rollback_pct: 1,
+        }
+    }
+
+    /// "TPC-C shardable" (§6.4): the standard mix with every cross-
+    /// warehouse access replaced by a local one.
+    pub fn shardable() -> Mix {
+        Mix {
+            name: "shardable",
+            weights: [45, 43, 4, 4, 4],
+            remote_item_pct: 0,
+            remote_payment_pct: 0,
+            rollback_pct: 1,
+        }
+    }
+
+    /// Sample a transaction type.
+    pub fn sample(&self, rng: &mut StdRng) -> TxnType {
+        debug_assert_eq!(self.weights.iter().sum::<u32>(), 100);
+        let mut x = rng.random_range(0..100u32);
+        for (ty, w) in TxnType::ALL.iter().zip(self.weights.iter()) {
+            if x < *w {
+                return *ty;
+            }
+            x -= w;
+        }
+        TxnType::StockLevel
+    }
+
+    /// Expected fraction of cross-warehouse *transactions* in this mix
+    /// (the paper quotes ≈11.25 % for the standard mix: remote payments
+    /// plus new-orders with ≥1 remote line).
+    pub fn cross_partition_fraction(&self) -> f64 {
+        let p_remote_payment = self.weights[1] as f64 / 100.0 * self.remote_payment_pct as f64 / 100.0;
+        // ~10 lines per order, each remote with p = remote_item_pct %.
+        let p_line = self.remote_item_pct as f64 / 100.0;
+        let p_no_remote_order = (1.0 - p_line).powi(10);
+        let p_remote_no = self.weights[0] as f64 / 100.0 * (1.0 - p_no_remote_order);
+        p_remote_payment + p_remote_no
+    }
+}
+
+/// One generated transaction request.
+#[derive(Clone, Debug)]
+pub enum TxnRequest {
+    NewOrder(NewOrderParams),
+    Payment(PaymentParams),
+    Delivery(DeliveryParams),
+    OrderStatus(OrderStatusParams),
+    StockLevel(StockLevelParams),
+}
+
+impl TxnRequest {
+    /// Request type.
+    pub fn txn_type(&self) -> TxnType {
+        match self {
+            TxnRequest::NewOrder(_) => TxnType::NewOrder,
+            TxnRequest::Payment(_) => TxnType::Payment,
+            TxnRequest::Delivery(_) => TxnType::Delivery,
+            TxnRequest::OrderStatus(_) => TxnType::OrderStatus,
+            TxnRequest::StockLevel(_) => TxnType::StockLevel,
+        }
+    }
+}
+
+/// Generates spec-conforming transaction inputs for one terminal.
+pub struct ParamGen {
+    pub warehouses: i64,
+    pub scale: ScaleParams,
+    pub mix: Mix,
+    /// Monotonic history-row id source (unique per worker).
+    h_uid_next: i64,
+}
+
+impl ParamGen {
+    /// `worker_index` seeds the unique history-id namespace.
+    pub fn new(warehouses: i64, scale: ScaleParams, mix: Mix, worker_index: u64) -> Self {
+        ParamGen::with_namespace(warehouses, scale, mix, worker_index << 40)
+    }
+
+    /// Like [`ParamGen::new`] with an explicit history-id namespace, so
+    /// several runs against the same database never collide (the driver
+    /// mixes the run seed in).
+    pub fn with_namespace(warehouses: i64, scale: ScaleParams, mix: Mix, namespace: u64) -> Self {
+        ParamGen {
+            warehouses,
+            scale,
+            mix,
+            h_uid_next: (namespace & (i64::MAX as u64)) as i64 + 1,
+        }
+    }
+
+    fn other_warehouse(&self, rng: &mut StdRng, home: i64) -> i64 {
+        if self.warehouses <= 1 {
+            return home;
+        }
+        loop {
+            let w = rng.random_range(1..=self.warehouses);
+            if w != home {
+                return w;
+            }
+        }
+    }
+
+    fn customer_selector(&self, rng: &mut StdRng) -> CustomerSelector {
+        if rng.random_range(0..100) < 60 {
+            CustomerSelector::ById(rand_c_id(rng, self.scale.customers_per_district))
+        } else {
+            // Restrict the name space to loaded names when the population
+            // is scaled below 1000 customers per district.
+            let cap = (self.scale.customers_per_district - 1).min(999);
+            let n = crate::gen::nurand(rng, 255, crate::gen::C_LAST, 0, cap.max(0));
+            let _ = rand_last_name; // spec helper kept for full-scale runs
+            CustomerSelector::ByLastName(crate::gen::last_name(n))
+        }
+    }
+
+    /// Generate the next request for a terminal homed at `home_w`.
+    pub fn generate(&mut self, rng: &mut StdRng, home_w: i64) -> TxnRequest {
+        let districts = self.scale.districts_per_warehouse;
+        match self.mix.sample(rng) {
+            TxnType::NewOrder => {
+                let d_id = rng.random_range(1..=districts);
+                let c_id = rand_c_id(rng, self.scale.customers_per_district);
+                let ol_cnt = rng.random_range(5..=15).min(self.scale.items);
+                let rollback = rng.random_range(0..100) < self.mix.rollback_pct;
+                let mut items = Vec::with_capacity(ol_cnt as usize);
+                for n in 0..ol_cnt {
+                    let remote = rng.random_range(0..100) < self.mix.remote_item_pct;
+                    let supply =
+                        if remote { self.other_warehouse(rng, home_w) } else { home_w };
+                    let i_id = if rollback && n == ol_cnt - 1 {
+                        crate::txns::unused_item_id()
+                    } else {
+                        rand_i_id(rng, self.scale.items)
+                    };
+                    items.push(OrderItem { i_id, supply_w_id: supply, quantity: rng.random_range(1..=10) });
+                }
+                TxnRequest::NewOrder(NewOrderParams { w_id: home_w, d_id, c_id, items, rollback })
+            }
+            TxnType::Payment => {
+                let d_id = rng.random_range(1..=districts);
+                let remote = rng.random_range(0..100) < self.mix.remote_payment_pct;
+                let (c_w, c_d) = if remote {
+                    (self.other_warehouse(rng, home_w), rng.random_range(1..=districts))
+                } else {
+                    (home_w, d_id)
+                };
+                let h_uid = self.h_uid_next;
+                self.h_uid_next += 1;
+                TxnRequest::Payment(PaymentParams {
+                    w_id: home_w,
+                    d_id,
+                    c_w_id: c_w,
+                    c_d_id: c_d,
+                    customer: self.customer_selector(rng),
+                    amount: rng.random_range(100..=500_000) as f64 / 100.0,
+                    h_uid,
+                })
+            }
+            TxnType::Delivery => TxnRequest::Delivery(DeliveryParams {
+                w_id: home_w,
+                carrier_id: rng.random_range(1..=10),
+                districts,
+            }),
+            TxnType::OrderStatus => TxnRequest::OrderStatus(OrderStatusParams {
+                w_id: home_w,
+                d_id: rng.random_range(1..=districts),
+                customer: self.customer_selector(rng),
+            }),
+            TxnType::StockLevel => TxnRequest::StockLevel(StockLevelParams {
+                w_id: home_w,
+                d_id: rng.random_range(1..=districts),
+                threshold: rng.random_range(10..=20),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixes_sum_to_100() {
+        for m in [Mix::standard(), Mix::read_intensive(), Mix::shardable()] {
+            assert_eq!(m.weights.iter().sum::<u32>(), 100, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mix = Mix::standard();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            let ty = mix.sample(&mut rng);
+            let idx = TxnType::ALL.iter().position(|t| *t == ty).unwrap();
+            counts[idx] += 1;
+        }
+        for (c, w) in counts.iter().zip(mix.weights.iter()) {
+            let observed = *c as f64 / n as f64 * 100.0;
+            assert!((observed - *w as f64).abs() < 1.0, "{observed} vs {w}");
+        }
+    }
+
+    #[test]
+    fn standard_mix_cross_partition_fraction_matches_paper() {
+        // §6.4: "the ratio of cross-partition transactions is about 11.25%".
+        let f = Mix::standard().cross_partition_fraction();
+        assert!((f - 0.1125).abs() < 0.02, "fraction = {f}");
+        assert_eq!(Mix::shardable().cross_partition_fraction(), 0.0);
+    }
+
+    #[test]
+    fn shardable_mix_generates_no_remote_accesses() {
+        let mut g = ParamGen::new(8, ScaleParams::tiny(), Mix::shardable(), 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            match g.generate(&mut rng, 3) {
+                TxnRequest::NewOrder(p) => {
+                    assert!(p.items.iter().all(|i| i.supply_w_id == 3));
+                }
+                TxnRequest::Payment(p) => {
+                    assert_eq!(p.c_w_id, 3);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn standard_mix_generates_some_remote_accesses() {
+        let mut g = ParamGen::new(8, ScaleParams::tiny(), Mix::standard(), 0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut remote_payment = 0;
+        let mut payments = 0;
+        for _ in 0..5000 {
+            if let TxnRequest::Payment(p) = g.generate(&mut rng, 3) {
+                payments += 1;
+                if p.c_w_id != 3 {
+                    remote_payment += 1;
+                }
+            }
+        }
+        let pct = remote_payment as f64 / payments as f64 * 100.0;
+        assert!((pct - 15.0).abs() < 3.0, "remote payment pct = {pct}");
+    }
+
+    #[test]
+    fn h_uids_are_worker_unique() {
+        let mut a = ParamGen::new(2, ScaleParams::tiny(), Mix::standard(), 1);
+        let mut b = ParamGen::new(2, ScaleParams::tiny(), Mix::standard(), 2);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut uids = std::collections::HashSet::new();
+        for _ in 0..500 {
+            if let TxnRequest::Payment(p) = a.generate(&mut rng, 1) {
+                assert!(uids.insert(p.h_uid));
+            }
+            if let TxnRequest::Payment(p) = b.generate(&mut rng, 1) {
+                assert!(uids.insert(p.h_uid));
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The nine TPC-C tables, their indexes, and typed access helpers.
+//!
+//! Tables are created through the SQL layer so their schemas persist in the
+//! store and SQL queries can run over the benchmark data (the
+//! mixed-workload scenario of §5.2). The transactions themselves access
+//! records through `tell-core` directly — like the paper's PN, which
+//! executes TPC-C as native code over the record store.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use tell_common::{Error, IndexId, Result, Rid};
+use tell_core::catalog::TableDef;
+use tell_core::{ProcessingNode, Transaction};
+use tell_sql::row::{decode_row, encode_key, encode_row};
+use tell_sql::{SqlEngine, TableSchema, Value};
+
+/// DDL for every TPC-C table (TPC-C rev 5.11 column sets, types mapped to
+/// the SQL layer's type system).
+pub const TPCC_DDL: &[&str] = &[
+    "CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name VARCHAR(10), w_street_1 VARCHAR(20), \
+     w_street_2 VARCHAR(20), w_city VARCHAR(20), w_state CHAR(2), w_zip CHAR(9), \
+     w_tax DECIMAL(4,4) NOT NULL, w_ytd DECIMAL(12,2) NOT NULL)",
+    "CREATE TABLE district (d_w_id INT, d_id INT, d_name VARCHAR(10), d_street_1 VARCHAR(20), \
+     d_street_2 VARCHAR(20), d_city VARCHAR(20), d_state CHAR(2), d_zip CHAR(9), \
+     d_tax DECIMAL(4,4) NOT NULL, d_ytd DECIMAL(12,2) NOT NULL, d_next_o_id INT NOT NULL, \
+     PRIMARY KEY (d_w_id, d_id))",
+    "CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, c_first VARCHAR(16), \
+     c_middle CHAR(2), c_last VARCHAR(16) NOT NULL, c_street_1 VARCHAR(20), c_street_2 VARCHAR(20), \
+     c_city VARCHAR(20), c_state CHAR(2), c_zip CHAR(9), c_phone CHAR(16), c_since INT, \
+     c_credit CHAR(2) NOT NULL, c_credit_lim DECIMAL(12,2), c_discount DECIMAL(4,4) NOT NULL, \
+     c_balance DECIMAL(12,2) NOT NULL, c_ytd_payment DECIMAL(12,2) NOT NULL, \
+     c_payment_cnt INT NOT NULL, c_delivery_cnt INT NOT NULL, c_data VARCHAR(500), \
+     PRIMARY KEY (c_w_id, c_d_id, c_id))",
+    "CREATE TABLE history (h_uid INT PRIMARY KEY, h_c_id INT, h_c_d_id INT, h_c_w_id INT, \
+     h_d_id INT, h_w_id INT, h_date INT, h_amount DECIMAL(6,2), h_data VARCHAR(24))",
+    "CREATE TABLE neworder (no_w_id INT, no_d_id INT, no_o_id INT, \
+     PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+    "CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT NOT NULL, \
+     o_entry_d INT, o_carrier_id INT, o_ol_cnt INT NOT NULL, o_all_local INT NOT NULL, \
+     PRIMARY KEY (o_w_id, o_d_id, o_id))",
+    "CREATE TABLE orderline (ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT, \
+     ol_i_id INT NOT NULL, ol_supply_w_id INT, ol_delivery_d INT, ol_quantity INT, \
+     ol_amount DECIMAL(6,2), ol_dist_info CHAR(24), \
+     PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+    "CREATE TABLE item (i_id INT PRIMARY KEY, i_im_id INT, i_name VARCHAR(24) NOT NULL, \
+     i_price DECIMAL(5,2) NOT NULL, i_data VARCHAR(50))",
+    "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT NOT NULL, s_dist_01 CHAR(24), \
+     s_ytd INT NOT NULL, s_order_cnt INT NOT NULL, s_remote_cnt INT NOT NULL, s_data VARCHAR(50), \
+     PRIMARY KEY (s_w_id, s_i_id))",
+];
+
+/// Secondary indexes the transactions need.
+pub const TPCC_INDEXES: &[&str] = &[
+    // Payment / order-status look customers up by last name (60/40 rule).
+    "CREATE INDEX cust_by_name ON customer (c_w_id, c_d_id, c_last)",
+    // Order-status needs the customer's most recent order.
+    "CREATE INDEX orders_by_cust ON orders (o_w_id, o_d_id, o_c_id, o_id)",
+];
+
+/// Column positions, named after the spec's column names.
+pub mod col {
+    pub mod wh {
+        pub const ID: usize = 0;
+        pub const TAX: usize = 7;
+        pub const YTD: usize = 8;
+    }
+    pub mod dist {
+        pub const W_ID: usize = 0;
+        pub const ID: usize = 1;
+        pub const TAX: usize = 8;
+        pub const YTD: usize = 9;
+        pub const NEXT_O_ID: usize = 10;
+    }
+    pub mod cust {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const ID: usize = 2;
+        pub const FIRST: usize = 3;
+        pub const MIDDLE: usize = 4;
+        pub const LAST: usize = 5;
+        pub const CREDIT: usize = 13;
+        pub const DISCOUNT: usize = 15;
+        pub const BALANCE: usize = 16;
+        pub const YTD_PAYMENT: usize = 17;
+        pub const PAYMENT_CNT: usize = 18;
+        pub const DELIVERY_CNT: usize = 19;
+        pub const DATA: usize = 20;
+    }
+    pub mod ord {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const ID: usize = 2;
+        pub const C_ID: usize = 3;
+        pub const ENTRY_D: usize = 4;
+        pub const CARRIER_ID: usize = 5;
+        pub const OL_CNT: usize = 6;
+        pub const ALL_LOCAL: usize = 7;
+    }
+    pub mod ol {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const O_ID: usize = 2;
+        pub const NUMBER: usize = 3;
+        pub const I_ID: usize = 4;
+        pub const SUPPLY_W_ID: usize = 5;
+        pub const DELIVERY_D: usize = 6;
+        pub const QUANTITY: usize = 7;
+        pub const AMOUNT: usize = 8;
+    }
+    pub mod item {
+        pub const ID: usize = 0;
+        pub const NAME: usize = 2;
+        pub const PRICE: usize = 3;
+        pub const DATA: usize = 4;
+    }
+    pub mod stock {
+        pub const W_ID: usize = 0;
+        pub const I_ID: usize = 1;
+        pub const QUANTITY: usize = 2;
+        pub const DIST: usize = 3;
+        pub const YTD: usize = 4;
+        pub const ORDER_CNT: usize = 5;
+        pub const REMOTE_CNT: usize = 6;
+        pub const DATA: usize = 7;
+    }
+    pub mod no {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const O_ID: usize = 2;
+    }
+}
+
+/// Create every table and index. Idempotence: calling twice errors (the
+/// database already has the tables).
+pub fn create_tpcc_tables(engine: &Arc<SqlEngine>) -> Result<()> {
+    let session = engine.session();
+    for ddl in TPCC_DDL {
+        session.execute(ddl)?;
+    }
+    for ddl in TPCC_INDEXES {
+        session.execute(ddl)?;
+    }
+    Ok(())
+}
+
+/// One table's resolved handles.
+#[derive(Clone)]
+pub struct TableHandle {
+    pub def: Arc<TableDef>,
+    pub schema: Arc<TableSchema>,
+    pub pk: IndexId,
+}
+
+impl TableHandle {
+    /// Secondary index id by name.
+    pub fn index(&self, name: &str) -> Result<IndexId> {
+        self.def
+            .index(name)
+            .map(|i| i.id)
+            .ok_or_else(|| Error::invalid(format!("missing index '{name}'")))
+    }
+}
+
+/// All nine tables, resolved once per worker.
+#[derive(Clone)]
+pub struct TpccTables {
+    pub warehouse: TableHandle,
+    pub district: TableHandle,
+    pub customer: TableHandle,
+    pub history: TableHandle,
+    pub neworder: TableHandle,
+    pub orders: TableHandle,
+    pub orderline: TableHandle,
+    pub item: TableHandle,
+    pub stock: TableHandle,
+}
+
+impl TpccTables {
+    /// Resolve the handles through a worker's catalog view.
+    pub fn resolve(engine: &SqlEngine, pn: &ProcessingNode) -> Result<TpccTables> {
+        let handle = |name: &str| -> Result<TableHandle> {
+            let def = pn.table(name)?;
+            let schema = engine.schema(name)?;
+            let pk = def.primary_index().id;
+            Ok(TableHandle { def, schema, pk })
+        };
+        Ok(TpccTables {
+            warehouse: handle("warehouse")?,
+            district: handle("district")?,
+            customer: handle("customer")?,
+            history: handle("history")?,
+            neworder: handle("neworder")?,
+            orders: handle("orders")?,
+            orderline: handle("orderline")?,
+            item: handle("item")?,
+            stock: handle("stock")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed row access helpers used by the transaction implementations.
+// ---------------------------------------------------------------------
+
+/// Encode a pk key from integer components.
+pub fn int_key(parts: &[i64]) -> Bytes {
+    let values: Vec<Value> = parts.iter().map(|v| Value::Int(*v)).collect();
+    encode_key(&values)
+}
+
+/// Point lookup by primary key; returns `(rid, decoded row)`.
+pub fn get_by_pk(
+    txn: &mut Transaction<'_>,
+    t: &TableHandle,
+    key: &Bytes,
+) -> Result<Option<(Rid, Vec<Value>)>> {
+    let hits = txn.index_lookup(&t.def, t.pk, key)?;
+    match hits.into_iter().next() {
+        Some((rid, raw)) => Ok(Some((rid, decode_row(&t.schema, &raw)?))),
+        None => Ok(None),
+    }
+}
+
+/// Point lookup that must succeed.
+pub fn require_by_pk(
+    txn: &mut Transaction<'_>,
+    t: &TableHandle,
+    key: &Bytes,
+) -> Result<(Rid, Vec<Value>)> {
+    get_by_pk(txn, t, key)?.ok_or(Error::NotFound)
+}
+
+/// Write back an updated row.
+pub fn update_row(
+    txn: &mut Transaction<'_>,
+    t: &TableHandle,
+    rid: Rid,
+    row: &[Value],
+) -> Result<()> {
+    txn.update(&t.def, rid, encode_row(&t.schema, row)?)
+}
+
+/// Insert a new row.
+pub fn insert_row(txn: &mut Transaction<'_>, t: &TableHandle, row: &[Value]) -> Result<Rid> {
+    txn.insert(&t.def, encode_row(&t.schema, row)?)
+}
+
+/// Index range scan decoded into rows: `lo <= key < hi`.
+pub fn range_rows(
+    txn: &mut Transaction<'_>,
+    t: &TableHandle,
+    index: IndexId,
+    lo: &Bytes,
+    hi: Option<&Bytes>,
+    limit: usize,
+) -> Result<Vec<(Rid, Vec<Value>)>> {
+    txn.index_range(&t.def, index, lo, hi, limit)?
+        .into_iter()
+        .map(|(_, rid, raw)| Ok((rid, decode_row(&t.schema, &raw)?)))
+        .collect()
+}
+
+/// Helpers to pull typed fields out of decoded rows.
+pub trait RowExt {
+    fn int(&self, i: usize) -> i64;
+    fn f(&self, i: usize) -> f64;
+    fn text(&self, i: usize) -> &str;
+}
+
+impl RowExt for Vec<Value> {
+    fn int(&self, i: usize) -> i64 {
+        self[i].as_i64().unwrap_or(0)
+    }
+    fn f(&self, i: usize) -> f64 {
+        self[i].as_f64().unwrap_or(0.0)
+    }
+    fn text(&self, i: usize) -> &str {
+        self[i].as_str().unwrap_or("")
+    }
+}

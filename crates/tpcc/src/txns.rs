@@ -1,0 +1,375 @@
+//! The five TPC-C transactions, implemented against `tell-core`'s
+//! transaction API the way the paper's PN executes them: native code over
+//! the shared record store, using primary-key lookups, secondary-index
+//! scans and buffered writes.
+
+use bytes::Bytes;
+use tell_common::{Error, Result};
+use tell_core::Transaction;
+use tell_sql::row::{encode_key, key_prefix_successor};
+use tell_sql::Value;
+
+use crate::schema::{
+    col, get_by_pk, insert_row, int_key, range_rows, require_by_pk, update_row, RowExt,
+    TpccTables,
+};
+
+/// Marker message for the spec's 1 % intentional new-order rollback
+/// (clause 2.4.1.4: an unused item number forces a rollback). The driver
+/// treats these as completed-but-not-counted, not as conflicts.
+pub const USER_ROLLBACK: &str = "tpcc user rollback (unused item id)";
+
+/// How a transaction picks its customer (clause 2.5.2.2: 60 % by id, 40 %
+/// by last name, taking the middle row ordered by first name).
+#[derive(Clone, Debug)]
+pub enum CustomerSelector {
+    ById(i64),
+    ByLastName(String),
+}
+
+/// One line of a new order.
+#[derive(Clone, Debug)]
+pub struct OrderItem {
+    pub i_id: i64,
+    pub supply_w_id: i64,
+    pub quantity: i64,
+}
+
+/// New-order inputs.
+#[derive(Clone, Debug)]
+pub struct NewOrderParams {
+    pub w_id: i64,
+    pub d_id: i64,
+    pub c_id: i64,
+    pub items: Vec<OrderItem>,
+    /// Simulated user error: the last item id is unused.
+    pub rollback: bool,
+}
+
+/// New-order result (used by consistency tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NewOrderOutput {
+    pub o_id: i64,
+    pub total_amount: f64,
+}
+
+/// The new-order transaction (clause 2.4).
+pub fn new_order(
+    txn: &mut Transaction<'_>,
+    t: &TpccTables,
+    p: &NewOrderParams,
+    now: i64,
+) -> Result<NewOrderOutput> {
+    let (_, w_row) = require_by_pk(txn, &t.warehouse, &int_key(&[p.w_id]))?;
+    let w_tax = w_row.f(col::wh::TAX);
+
+    let (d_rid, mut d_row) = require_by_pk(txn, &t.district, &int_key(&[p.w_id, p.d_id]))?;
+    let d_tax = d_row.f(col::dist::TAX);
+    let o_id = d_row.int(col::dist::NEXT_O_ID);
+    d_row[col::dist::NEXT_O_ID] = Value::Int(o_id + 1);
+    update_row(txn, &t.district, d_rid, &d_row)?;
+
+    let (_, c_row) = require_by_pk(txn, &t.customer, &int_key(&[p.w_id, p.d_id, p.c_id]))?;
+    let c_discount = c_row.f(col::cust::DISCOUNT);
+
+    let all_local = p.items.iter().all(|i| i.supply_w_id == p.w_id);
+    insert_row(
+        txn,
+        &t.orders,
+        &[
+            Value::Int(p.w_id),
+            Value::Int(p.d_id),
+            Value::Int(o_id),
+            Value::Int(p.c_id),
+            Value::Int(now),
+            Value::Null,
+            Value::Int(p.items.len() as i64),
+            Value::Int(all_local as i64),
+        ],
+    )?;
+    insert_row(
+        txn,
+        &t.neworder,
+        &[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)],
+    )?;
+
+    let mut total = 0.0;
+    for (n, line) in p.items.iter().enumerate() {
+        let item = get_by_pk(txn, &t.item, &int_key(&[line.i_id]))?;
+        let Some((_, i_row)) = item else {
+            // Unused item id: the spec's simulated user error. The whole
+            // transaction rolls back (nothing was applied yet — writes are
+            // buffered until commit).
+            debug_assert!(p.rollback && n == p.items.len() - 1);
+            return Err(Error::Aborted(USER_ROLLBACK.into()));
+        };
+        let i_price = i_row.f(col::item::PRICE);
+
+        let (s_rid, mut s_row) =
+            require_by_pk(txn, &t.stock, &int_key(&[line.supply_w_id, line.i_id]))?;
+        let s_qty = s_row.int(col::stock::QUANTITY);
+        let new_qty = if s_qty >= line.quantity + 10 {
+            s_qty - line.quantity
+        } else {
+            s_qty - line.quantity + 91
+        };
+        s_row[col::stock::QUANTITY] = Value::Int(new_qty);
+        s_row[col::stock::YTD] = Value::Int(s_row.int(col::stock::YTD) + line.quantity);
+        s_row[col::stock::ORDER_CNT] = Value::Int(s_row.int(col::stock::ORDER_CNT) + 1);
+        if line.supply_w_id != p.w_id {
+            s_row[col::stock::REMOTE_CNT] = Value::Int(s_row.int(col::stock::REMOTE_CNT) + 1);
+        }
+        update_row(txn, &t.stock, s_rid, &s_row)?;
+
+        let amount = line.quantity as f64 * i_price;
+        total += amount;
+        insert_row(
+            txn,
+            &t.orderline,
+            &[
+                Value::Int(p.w_id),
+                Value::Int(p.d_id),
+                Value::Int(o_id),
+                Value::Int(n as i64 + 1),
+                Value::Int(line.i_id),
+                Value::Int(line.supply_w_id),
+                Value::Null,
+                Value::Int(line.quantity),
+                Value::Double(amount),
+                Value::Text(s_row.text(col::stock::DIST).to_string()),
+            ],
+        )?;
+    }
+    let total_amount = total * (1.0 - c_discount) * (1.0 + w_tax + d_tax);
+    Ok(NewOrderOutput { o_id, total_amount })
+}
+
+/// Payment inputs.
+#[derive(Clone, Debug)]
+pub struct PaymentParams {
+    pub w_id: i64,
+    pub d_id: i64,
+    /// Customer's home warehouse/district (15 % remote in the standard mix).
+    pub c_w_id: i64,
+    pub c_d_id: i64,
+    pub customer: CustomerSelector,
+    pub amount: f64,
+    /// Unique id for the history row (generated by the driver).
+    pub h_uid: i64,
+}
+
+/// Find a customer per the 60/40 id/last-name rule. Returns `(rid, row)`.
+pub fn select_customer(
+    txn: &mut Transaction<'_>,
+    t: &TpccTables,
+    w: i64,
+    d: i64,
+    sel: &CustomerSelector,
+) -> Result<(tell_common::Rid, Vec<Value>)> {
+    match sel {
+        CustomerSelector::ById(c) => require_by_pk(txn, &t.customer, &int_key(&[w, d, *c])),
+        CustomerSelector::ByLastName(last) => {
+            let idx = t.customer.index("cust_by_name")?;
+            let key = encode_key(&[Value::Int(w), Value::Int(d), Value::Text(last.clone())]);
+            let mut matches: Vec<(tell_common::Rid, Vec<Value>)> = txn
+                .index_lookup(&t.customer.def, idx, &key)?
+                .into_iter()
+                .map(|(rid, raw)| {
+                    Ok((rid, tell_sql::row::decode_row(&t.customer.schema, &raw)?))
+                })
+                .collect::<Result<_>>()?;
+            if matches.is_empty() {
+                return Err(Error::NotFound);
+            }
+            // Clause 2.5.2.2: order by C_FIRST, take ceil(n/2) (1-based).
+            matches.sort_by(|a, b| a.1[col::cust::FIRST].total_cmp(&b.1[col::cust::FIRST]));
+            let pos = (matches.len() + 1) / 2 - 1;
+            Ok(matches.swap_remove(pos))
+        }
+    }
+}
+
+/// The payment transaction (clause 2.5).
+pub fn payment(txn: &mut Transaction<'_>, t: &TpccTables, p: &PaymentParams, now: i64) -> Result<()> {
+    let (w_rid, mut w_row) = require_by_pk(txn, &t.warehouse, &int_key(&[p.w_id]))?;
+    w_row[col::wh::YTD] = Value::Double(w_row.f(col::wh::YTD) + p.amount);
+    update_row(txn, &t.warehouse, w_rid, &w_row)?;
+
+    let (d_rid, mut d_row) = require_by_pk(txn, &t.district, &int_key(&[p.w_id, p.d_id]))?;
+    d_row[col::dist::YTD] = Value::Double(d_row.f(col::dist::YTD) + p.amount);
+    update_row(txn, &t.district, d_rid, &d_row)?;
+
+    let (c_rid, mut c_row) = select_customer(txn, t, p.c_w_id, p.c_d_id, &p.customer)?;
+    let c_id = c_row.int(col::cust::ID);
+    c_row[col::cust::BALANCE] = Value::Double(c_row.f(col::cust::BALANCE) - p.amount);
+    c_row[col::cust::YTD_PAYMENT] = Value::Double(c_row.f(col::cust::YTD_PAYMENT) + p.amount);
+    c_row[col::cust::PAYMENT_CNT] = Value::Int(c_row.int(col::cust::PAYMENT_CNT) + 1);
+    if c_row.text(col::cust::CREDIT) == "BC" {
+        let mut data = format!(
+            "{} {} {} {} {} {:.2}|{}",
+            c_id,
+            p.c_d_id,
+            p.c_w_id,
+            p.d_id,
+            p.w_id,
+            p.amount,
+            c_row.text(col::cust::DATA)
+        );
+        data.truncate(500);
+        c_row[col::cust::DATA] = Value::Text(data);
+    }
+    update_row(txn, &t.customer, c_rid, &c_row)?;
+
+    insert_row(
+        txn,
+        &t.history,
+        &[
+            Value::Int(p.h_uid),
+            Value::Int(c_id),
+            Value::Int(p.c_d_id),
+            Value::Int(p.c_w_id),
+            Value::Int(p.d_id),
+            Value::Int(p.w_id),
+            Value::Int(now),
+            Value::Double(p.amount),
+            Value::Text("payment".into()),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Delivery inputs.
+#[derive(Clone, Debug)]
+pub struct DeliveryParams {
+    pub w_id: i64,
+    pub carrier_id: i64,
+    pub districts: i64,
+}
+
+/// The delivery transaction (clause 2.7): deliver the oldest undelivered
+/// order of every district. Returns the number of orders delivered.
+pub fn delivery(txn: &mut Transaction<'_>, t: &TpccTables, p: &DeliveryParams, now: i64) -> Result<usize> {
+    let mut delivered = 0;
+    for d in 1..=p.districts {
+        let lo = int_key(&[p.w_id, d]);
+        let hi = key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d)]);
+        let oldest = range_rows(txn, &t.neworder, t.neworder.pk, &lo, Some(&hi), 1)?;
+        let Some((no_rid, no_row)) = oldest.into_iter().next() else { continue };
+        let o_id = no_row.int(col::no::O_ID);
+        txn.delete(&t.neworder.def, no_rid)?;
+
+        let (o_rid, mut o_row) = require_by_pk(txn, &t.orders, &int_key(&[p.w_id, d, o_id]))?;
+        let c_id = o_row.int(col::ord::C_ID);
+        o_row[col::ord::CARRIER_ID] = Value::Int(p.carrier_id);
+        update_row(txn, &t.orders, o_rid, &o_row)?;
+
+        let ol_lo = int_key(&[p.w_id, d, o_id]);
+        let ol_hi =
+            key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)]);
+        let lines = range_rows(txn, &t.orderline, t.orderline.pk, &ol_lo, Some(&ol_hi), usize::MAX)?;
+        let mut amount_sum = 0.0;
+        for (ol_rid, mut ol_row) in lines {
+            amount_sum += ol_row.f(col::ol::AMOUNT);
+            ol_row[col::ol::DELIVERY_D] = Value::Int(now);
+            update_row(txn, &t.orderline, ol_rid, &ol_row)?;
+        }
+
+        let (c_rid, mut c_row) = require_by_pk(txn, &t.customer, &int_key(&[p.w_id, d, c_id]))?;
+        c_row[col::cust::BALANCE] = Value::Double(c_row.f(col::cust::BALANCE) + amount_sum);
+        c_row[col::cust::DELIVERY_CNT] = Value::Int(c_row.int(col::cust::DELIVERY_CNT) + 1);
+        update_row(txn, &t.customer, c_rid, &c_row)?;
+        delivered += 1;
+    }
+    Ok(delivered)
+}
+
+/// Order-status inputs.
+#[derive(Clone, Debug)]
+pub struct OrderStatusParams {
+    pub w_id: i64,
+    pub d_id: i64,
+    pub customer: CustomerSelector,
+}
+
+/// Order-status output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderStatusOutput {
+    pub c_id: i64,
+    pub c_balance: f64,
+    pub o_id: Option<i64>,
+    pub line_count: usize,
+}
+
+/// The order-status transaction (clause 2.6, read-only).
+pub fn order_status(
+    txn: &mut Transaction<'_>,
+    t: &TpccTables,
+    p: &OrderStatusParams,
+) -> Result<OrderStatusOutput> {
+    let (_, c_row) = select_customer(txn, t, p.w_id, p.d_id, &p.customer)?;
+    let c_id = c_row.int(col::cust::ID);
+    let c_balance = c_row.f(col::cust::BALANCE);
+
+    // Most recent order of this customer via the (w, d, c, o) index.
+    let idx = t.orders.index("orders_by_cust")?;
+    let lo = int_key(&[p.w_id, p.d_id, c_id]);
+    let hi = key_prefix_successor(&[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(c_id)]);
+    let orders = txn.index_range(&t.orders.def, idx, &lo, Some(&hi), usize::MAX)?;
+    let Some((_, _, last_raw)) = orders.last() else {
+        return Ok(OrderStatusOutput { c_id, c_balance, o_id: None, line_count: 0 });
+    };
+    let o_row = tell_sql::row::decode_row(&t.orders.schema, last_raw)?;
+    let o_id = o_row.int(col::ord::ID);
+
+    let ol_lo = int_key(&[p.w_id, p.d_id, o_id]);
+    let ol_hi =
+        key_prefix_successor(&[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)]);
+    let lines = range_rows(txn, &t.orderline, t.orderline.pk, &ol_lo, Some(&ol_hi), usize::MAX)?;
+    Ok(OrderStatusOutput { c_id, c_balance, o_id: Some(o_id), line_count: lines.len() })
+}
+
+/// Stock-level inputs.
+#[derive(Clone, Debug)]
+pub struct StockLevelParams {
+    pub w_id: i64,
+    pub d_id: i64,
+    pub threshold: i64,
+}
+
+/// The stock-level transaction (clause 2.8, read-only): distinct items of
+/// the district's last 20 orders with stock below the threshold.
+pub fn stock_level(
+    txn: &mut Transaction<'_>,
+    t: &TpccTables,
+    p: &StockLevelParams,
+) -> Result<usize> {
+    let (_, d_row) = require_by_pk(txn, &t.district, &int_key(&[p.w_id, p.d_id]))?;
+    let next_o = d_row.int(col::dist::NEXT_O_ID);
+    let from_o = (next_o - 20).max(1);
+
+    let lo = int_key(&[p.w_id, p.d_id, from_o]);
+    let hi = int_key(&[p.w_id, p.d_id, next_o]);
+    let lines = range_rows(txn, &t.orderline, t.orderline.pk, &lo, Some(&hi), usize::MAX)?;
+    let mut item_ids: Vec<i64> = lines.iter().map(|(_, r)| r.int(col::ol::I_ID)).collect();
+    item_ids.sort_unstable();
+    item_ids.dedup();
+
+    let mut low = 0usize;
+    for i_id in item_ids {
+        let (_, s_row) = require_by_pk(txn, &t.stock, &int_key(&[p.w_id, i_id]))?;
+        if s_row.int(col::stock::QUANTITY) < p.threshold {
+            low += 1;
+        }
+    }
+    Ok(low)
+}
+
+/// An unused item id for rollback simulation.
+pub fn unused_item_id() -> i64 {
+    i64::MAX / 2
+}
+
+/// Extra: bytes key helper re-exported for drivers needing raw pk keys.
+pub fn pk_key(parts: &[i64]) -> Bytes {
+    int_key(parts)
+}

@@ -1,0 +1,440 @@
+//! End-to-end TPC-C tests: population cardinalities, transaction
+//! correctness, TPC-C consistency conditions, and a full driver run.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tell_core::{Database, TellConfig};
+use tell_sql::{SqlEngine, Value};
+use tell_tpcc::driver::{run_tpcc, TpccConfig};
+use tell_tpcc::gen::{load, ScaleParams};
+use tell_tpcc::mix::Mix;
+use tell_tpcc::schema::{create_tpcc_tables, TpccTables};
+use tell_tpcc::txns::{
+    self, CustomerSelector, DeliveryParams, NewOrderParams, OrderItem, OrderStatusParams,
+    PaymentParams, StockLevelParams,
+};
+
+fn setup(warehouses: i64, scale: ScaleParams) -> Arc<SqlEngine> {
+    let db = Database::create(TellConfig::default());
+    let engine = SqlEngine::new(db);
+    create_tpcc_tables(&engine).unwrap();
+    load(&engine, warehouses, scale, 1234).unwrap();
+    engine
+}
+
+fn scalar_i64(engine: &Arc<SqlEngine>, sql: &str) -> i64 {
+    let s = engine.session();
+    let r = s.execute(sql).unwrap();
+    r.scalar().unwrap().as_i64().unwrap()
+}
+
+fn scalar_f64(engine: &Arc<SqlEngine>, sql: &str) -> f64 {
+    let s = engine.session();
+    let r = s.execute(sql).unwrap();
+    r.scalar().unwrap().as_f64().unwrap()
+}
+
+#[test]
+fn population_has_spec_cardinalities() {
+    let scale = ScaleParams::tiny();
+    let engine = setup(2, scale);
+    assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM warehouse"), 2);
+    assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM item"), scale.items);
+    assert_eq!(
+        scalar_i64(&engine, "SELECT COUNT(*) FROM district"),
+        2 * scale.districts_per_warehouse
+    );
+    assert_eq!(
+        scalar_i64(&engine, "SELECT COUNT(*) FROM customer"),
+        2 * scale.districts_per_warehouse * scale.customers_per_district
+    );
+    assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM stock"), 2 * scale.items);
+    assert_eq!(
+        scalar_i64(&engine, "SELECT COUNT(*) FROM orders"),
+        2 * scale.districts_per_warehouse * scale.initial_orders_per_district
+    );
+    // A third of initial orders are undelivered.
+    let expected_no = 2 * scale.districts_per_warehouse * (scale.initial_orders_per_district / 3);
+    assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM neworder"), expected_no);
+    // Consistency condition 1-like: d_next_o_id is max(o_id) + 1.
+    let max_o = scalar_i64(&engine, "SELECT MAX(o_id) FROM orders WHERE o_w_id = 1 AND o_d_id = 1");
+    let next_o =
+        scalar_i64(&engine, "SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = 1");
+    assert_eq!(next_o, max_o + 1);
+}
+
+#[test]
+fn new_order_inserts_and_updates() {
+    let engine = setup(1, ScaleParams::tiny());
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node();
+    let tables = TpccTables::resolve(&engine, &pn).unwrap();
+    let orders_before = scalar_i64(&engine, "SELECT COUNT(*) FROM orders");
+
+    let out = pn
+        .run(20, |txn| {
+            txns::new_order(
+                txn,
+                &tables,
+                &NewOrderParams {
+                    w_id: 1,
+                    d_id: 1,
+                    c_id: 3,
+                    items: vec![
+                        OrderItem { i_id: 5, supply_w_id: 1, quantity: 3 },
+                        OrderItem { i_id: 9, supply_w_id: 1, quantity: 1 },
+                    ],
+                    rollback: false,
+                },
+                0,
+            )
+        })
+        .unwrap();
+    assert!(out.total_amount > 0.0);
+    assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM orders"), orders_before + 1);
+    let ol = scalar_i64(
+        &engine,
+        &format!(
+            "SELECT COUNT(*) FROM orderline WHERE ol_w_id = 1 AND ol_d_id = 1 AND ol_o_id = {}",
+            out.o_id
+        ),
+    );
+    assert_eq!(ol, 2);
+    // Stock updated.
+    let s_cnt = scalar_i64(&engine, "SELECT s_order_cnt FROM stock WHERE s_w_id = 1 AND s_i_id = 5");
+    assert_eq!(s_cnt, 1);
+    // The new order is pending in NEW-ORDER.
+    let pending = scalar_i64(
+        &engine,
+        &format!("SELECT COUNT(*) FROM neworder WHERE no_o_id = {}", out.o_id),
+    );
+    assert_eq!(pending, 1);
+}
+
+#[test]
+fn new_order_rollback_leaves_no_trace() {
+    let engine = setup(1, ScaleParams::tiny());
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node();
+    let tables = TpccTables::resolve(&engine, &pn).unwrap();
+    let orders_before = scalar_i64(&engine, "SELECT COUNT(*) FROM orders");
+    let next_before = scalar_i64(&engine, "SELECT d_next_o_id FROM district WHERE d_w_id=1 AND d_id=1");
+
+    let mut txn = pn.begin().unwrap();
+    let err = txns::new_order(
+        &mut txn,
+        &tables,
+        &NewOrderParams {
+            w_id: 1,
+            d_id: 1,
+            c_id: 1,
+            items: vec![
+                OrderItem { i_id: 2, supply_w_id: 1, quantity: 1 },
+                OrderItem { i_id: txns::unused_item_id(), supply_w_id: 1, quantity: 1 },
+            ],
+            rollback: true,
+        },
+        0,
+    )
+    .unwrap_err();
+    assert!(matches!(err, tell_common::Error::Aborted(_)));
+    txn.abort().unwrap();
+
+    assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM orders"), orders_before);
+    assert_eq!(
+        scalar_i64(&engine, "SELECT d_next_o_id FROM district WHERE d_w_id=1 AND d_id=1"),
+        next_before,
+        "buffered d_next_o_id increment rolled back"
+    );
+}
+
+#[test]
+fn payment_updates_ytd_chain_and_history() {
+    let engine = setup(1, ScaleParams::tiny());
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node();
+    let tables = TpccTables::resolve(&engine, &pn).unwrap();
+    let w_ytd = scalar_f64(&engine, "SELECT w_ytd FROM warehouse WHERE w_id = 1");
+    pn.run(20, |txn| {
+        txns::payment(
+            txn,
+            &tables,
+            &PaymentParams {
+                w_id: 1,
+                d_id: 2,
+                c_w_id: 1,
+                c_d_id: 2,
+                customer: CustomerSelector::ById(4),
+                amount: 123.45,
+                h_uid: 991,
+            },
+            0,
+        )
+    })
+    .unwrap();
+    assert!((scalar_f64(&engine, "SELECT w_ytd FROM warehouse WHERE w_id = 1") - w_ytd - 123.45).abs() < 1e-6);
+    assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM history WHERE h_uid = 991"), 1);
+    let bal = scalar_f64(
+        &engine,
+        "SELECT c_balance FROM customer WHERE c_w_id = 1 AND c_d_id = 2 AND c_id = 4",
+    );
+    assert!((bal - (-10.0 - 123.45)).abs() < 1e-6);
+}
+
+#[test]
+fn payment_by_last_name_picks_middle_by_first_name() {
+    let engine = setup(1, ScaleParams::tiny());
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node();
+    let tables = TpccTables::resolve(&engine, &pn).unwrap();
+    // Customers 1..=10 have last names BARBAR{syllable}; customer 1 has
+    // last_name(0) = BARBARBAR.
+    let mut txn = pn.begin().unwrap();
+    let (_, row) =
+        txns::select_customer(&mut txn, &tables, 1, 1, &CustomerSelector::ByLastName("BARBARBAR".into()))
+            .unwrap();
+    assert_eq!(row[2], Value::Int(1));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn delivery_clears_neworder_and_pays_customer() {
+    let scale = ScaleParams::tiny();
+    let engine = setup(1, scale);
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node();
+    let tables = TpccTables::resolve(&engine, &pn).unwrap();
+    let pending_before = scalar_i64(&engine, "SELECT COUNT(*) FROM neworder");
+    assert!(pending_before > 0);
+    let delivered = pn
+        .run(50, |txn| {
+            txns::delivery(
+                txn,
+                &tables,
+                // Carrier 77 is outside the loader's 1..=10 range, so the
+                // count below isolates this delivery's orders.
+                &DeliveryParams { w_id: 1, carrier_id: 77, districts: scale.districts_per_warehouse },
+                7,
+            )
+        })
+        .unwrap();
+    assert_eq!(delivered as i64, scale.districts_per_warehouse);
+    assert_eq!(
+        scalar_i64(&engine, "SELECT COUNT(*) FROM neworder"),
+        pending_before - scale.districts_per_warehouse
+    );
+    // Delivered orders got a carrier.
+    let with_carrier =
+        scalar_i64(&engine, "SELECT COUNT(*) FROM orders WHERE o_carrier_id = 77");
+    assert_eq!(with_carrier as i64, scale.districts_per_warehouse);
+}
+
+#[test]
+fn order_status_reports_last_order() {
+    let engine = setup(1, ScaleParams::tiny());
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node();
+    let tables = TpccTables::resolve(&engine, &pn).unwrap();
+    // Place a new order for customer 2 so it is definitely the latest.
+    let out = pn
+        .run(20, |txn| {
+            txns::new_order(
+                txn,
+                &tables,
+                &NewOrderParams {
+                    w_id: 1,
+                    d_id: 1,
+                    c_id: 2,
+                    items: vec![OrderItem { i_id: 1, supply_w_id: 1, quantity: 2 }],
+                    rollback: false,
+                },
+                0,
+            )
+        })
+        .unwrap();
+    let status = pn
+        .run(20, |txn| {
+            txns::order_status(
+                txn,
+                &tables,
+                &OrderStatusParams { w_id: 1, d_id: 1, customer: CustomerSelector::ById(2) },
+            )
+        })
+        .unwrap();
+    assert_eq!(status.c_id, 2);
+    assert_eq!(status.o_id, Some(out.o_id));
+    assert_eq!(status.line_count, 1);
+}
+
+#[test]
+fn stock_level_counts_low_stock() {
+    let engine = setup(1, ScaleParams::tiny());
+    let db = Arc::clone(engine.database());
+    let pn = db.processing_node();
+    let tables = TpccTables::resolve(&engine, &pn).unwrap();
+    let low_all = pn
+        .run(20, |txn| {
+            txns::stock_level(txn, &tables, &StockLevelParams { w_id: 1, d_id: 1, threshold: 101 })
+        })
+        .unwrap();
+    let low_none = pn
+        .run(20, |txn| {
+            txns::stock_level(txn, &tables, &StockLevelParams { w_id: 1, d_id: 1, threshold: 0 })
+        })
+        .unwrap();
+    assert!(low_all > 0, "every stocked item is below 101");
+    assert_eq!(low_none, 0);
+}
+
+#[test]
+fn driver_run_satisfies_consistency_conditions() {
+    let scale = ScaleParams::tiny();
+    let engine = setup(2, scale);
+    let config = TpccConfig {
+        warehouses: 2,
+        scale,
+        mix: Mix::standard(),
+        pn_count: 2,
+        workers_per_pn: 2,
+        txns_per_worker: 40,
+        max_retries: 100,
+        seed: 99,
+    };
+    let report = run_tpcc(&engine, &config).unwrap();
+    assert!(report.committed > 0);
+    assert!(report.new_order_commits > 0);
+    // Optimistic CC under heavy single-machine contention can starve an
+    // occasional transaction; it must stay rare.
+    assert!(
+        report.given_up <= 1 + report.committed / 20,
+        "too many starved transactions: {} of {}",
+        report.given_up,
+        report.committed
+    );
+    assert!(report.tpmc > 0.0);
+    assert!(report.latency.count() > 0);
+
+    // TPC-C consistency condition 2: for every district,
+    // d_next_o_id - 1 = max(o_id).
+    let s = engine.session();
+    for w in 1..=2 {
+        for d in 1..=scale.districts_per_warehouse {
+            let next = scalar_i64(
+                &engine,
+                &format!("SELECT d_next_o_id FROM district WHERE d_w_id={w} AND d_id={d}"),
+            );
+            let max_o = scalar_i64(
+                &engine,
+                &format!("SELECT MAX(o_id) FROM orders WHERE o_w_id={w} AND o_d_id={d}"),
+            );
+            assert_eq!(next, max_o + 1, "w={w} d={d}");
+        }
+    }
+    // Consistency condition 1: w_ytd = sum(d_ytd).
+    for w in 1..=2 {
+        let w_ytd = scalar_f64(&engine, &format!("SELECT w_ytd FROM warehouse WHERE w_id={w}"));
+        let d_sum = scalar_f64(&engine, &format!("SELECT SUM(d_ytd) FROM district WHERE d_w_id={w}"));
+        assert!((w_ytd - d_sum).abs() < 1e-3, "w={w}: {w_ytd} vs {d_sum}");
+    }
+    // Every order has its order lines: o_ol_cnt = count(orderline).
+    let r = s
+        .execute(
+            "SELECT o_ol_cnt, COUNT(*) FROM orders o JOIN orderline l \
+             ON o.o_w_id = l.ol_w_id AND o.o_d_id = l.ol_d_id AND o.o_id = l.ol_o_id \
+             WHERE o.o_w_id = 1 AND o.o_d_id = 1 GROUP BY o.o_id, o.o_ol_cnt",
+        )
+        .unwrap();
+    for row in &r.rows {
+        assert_eq!(row[0], row[1], "ol_cnt matches actual lines");
+    }
+}
+
+#[test]
+fn read_intensive_mix_runs() {
+    let scale = ScaleParams::tiny();
+    let engine = setup(1, scale);
+    let config = TpccConfig {
+        warehouses: 1,
+        scale,
+        mix: Mix::read_intensive(),
+        pn_count: 1,
+        workers_per_pn: 2,
+        txns_per_worker: 30,
+        max_retries: 100,
+        seed: 5,
+    };
+    let report = run_tpcc(&engine, &config).unwrap();
+    assert!(report.committed > 0);
+    // Mostly order-status commits.
+    assert!(report.per_type[3] > report.per_type[0]);
+    assert_eq!(report.per_type[1], 0, "no payments in the read mix");
+}
+
+#[test]
+fn shardable_mix_touches_only_home_warehouse_stock() {
+    let scale = ScaleParams::tiny();
+    let engine = setup(2, scale);
+    let before_remote =
+        scalar_i64(&engine, "SELECT SUM(s_remote_cnt) FROM stock");
+    let config = TpccConfig {
+        warehouses: 2,
+        scale,
+        mix: Mix::shardable(),
+        pn_count: 1,
+        workers_per_pn: 2,
+        txns_per_worker: 40,
+        max_retries: 100,
+        seed: 17,
+    };
+    run_tpcc(&engine, &config).unwrap();
+    let after_remote = scalar_i64(&engine, "SELECT SUM(s_remote_cnt) FROM stock");
+    assert_eq!(before_remote, after_remote, "shardable mix makes no remote stock updates");
+}
+
+#[test]
+fn concurrent_new_orders_never_reuse_order_ids() {
+    let scale = ScaleParams::tiny();
+    let engine = setup(1, scale);
+    let mut handles = Vec::new();
+    for t in 0..3 {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let db = Arc::clone(engine.database());
+            let pn = db.processing_node();
+            let tables = TpccTables::resolve(&engine, &pn).unwrap();
+            let mut rng = StdRng::seed_from_u64(t);
+            let _ = &mut rng;
+            let mut ids = Vec::new();
+            for i in 0..15 {
+                let out = pn
+                    .run(5000, |txn| {
+                        txns::new_order(
+                            txn,
+                            &tables,
+                            &NewOrderParams {
+                                w_id: 1,
+                                d_id: (t as i64 % 2) + 1,
+                                c_id: (i % 10) + 1,
+                                items: vec![OrderItem { i_id: 1 + (i % 50), supply_w_id: 1, quantity: 1 }],
+                                rollback: false,
+                            },
+                            i,
+                        )
+                    })
+                    .unwrap();
+                ids.push(((t as i64 % 2) + 1, out.o_id));
+            }
+            ids
+        }));
+    }
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "d_next_o_id under SI yields unique order ids");
+}

@@ -1,0 +1,112 @@
+//! Concurrent banking under distributed snapshot isolation: many workers
+//! transfer money between accounts from separate processing nodes; the
+//! total balance is invariant, lost updates are impossible, and conflicts
+//! are resolved by the storage layer's LL/SC conflict detection (§4.1).
+//!
+//! ```sh
+//! cargo run --release --example banking
+//! ```
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use tell::common::Rid;
+use tell::core::database::IndexSpec;
+use tell::core::{Database, TellConfig};
+
+const ACCOUNTS: u64 = 16;
+const WORKERS: usize = 4;
+const TRANSFERS_PER_WORKER: usize = 200;
+const INITIAL: i64 = 1_000;
+
+fn encode(balance: i64, id: u64) -> Bytes {
+    let mut b = balance.to_be_bytes().to_vec();
+    b.extend_from_slice(&id.to_be_bytes());
+    Bytes::from(b)
+}
+
+fn balance_of(row: &[u8]) -> i64 {
+    i64::from_be_bytes(row[..8].try_into().unwrap())
+}
+
+fn main() -> tell::common::Result<()> {
+    let db = Database::create(TellConfig { storage_nodes: 3, ..TellConfig::default() });
+    // Using the core API directly (the SQL layer sits on top of this).
+    let table = db.create_table(
+        "accounts",
+        vec![IndexSpec::new("pk", true, |row: &[u8]| {
+            row.get(8..16).map(Bytes::copy_from_slice)
+        })],
+    )?;
+    let rids: Vec<Rid> =
+        db.bulk_load(&table, (0..ACCOUNTS).map(|i| encode(INITIAL, i)).collect())?;
+
+    println!(
+        "loaded {ACCOUNTS} accounts with {INITIAL} each (total {})",
+        ACCOUNTS as i64 * INITIAL
+    );
+
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let db = Arc::clone(&db);
+        let table = Arc::clone(&table);
+        let rids = rids.clone();
+        handles.push(std::thread::spawn(move || {
+            // Each worker is its own processing node (own virtual clock,
+            // own storage client) — all sharing the same data.
+            let pn = db.processing_node();
+            let mut conflicts_seen = 0u64;
+            for i in 0..TRANSFERS_PER_WORKER {
+                let from = rids[(w * 7 + i * 3) % rids.len()];
+                let to = rids[(w * 11 + i * 5 + 1) % rids.len()];
+                if from == to {
+                    continue;
+                }
+                let amount = ((i % 50) + 1) as i64;
+                pn.run(10_000, |txn| {
+                    let from_row = txn.get(&table, from)?.expect("account exists");
+                    let to_row = txn.get(&table, to)?.expect("account exists");
+                    let from_balance = balance_of(&from_row);
+                    if from_balance < amount {
+                        return Ok(()); // insufficient funds: no-op
+                    }
+                    let from_id = u64::from_be_bytes(from_row[8..16].try_into().unwrap());
+                    let to_id = u64::from_be_bytes(to_row[8..16].try_into().unwrap());
+                    txn.update(&table, from, encode(from_balance - amount, from_id))?;
+                    txn.update(&table, to, encode(balance_of(&to_row) + amount, to_id))?;
+                    Ok(())
+                })
+                .expect("transfer eventually commits");
+                conflicts_seen = pn.metrics().conflicts();
+            }
+            (pn.metrics().committed(), conflicts_seen, pn.clock().now_us())
+        }));
+    }
+
+    let mut committed = 0;
+    let mut conflicts = 0;
+    let mut virtual_us: f64 = 0.0;
+    for h in handles {
+        let (c, x, t) = h.join().expect("worker");
+        committed += c;
+        conflicts += x;
+        virtual_us = virtual_us.max(t);
+    }
+
+    // Verify the invariant from a fresh processing node.
+    let pn = db.processing_node();
+    let mut txn = pn.begin()?;
+    let total: i64 = txn
+        .scan_table(&table, usize::MAX)?
+        .iter()
+        .map(|(_, row)| balance_of(row))
+        .sum();
+    txn.commit()?;
+
+    println!("committed {committed} transactions, {conflicts} write-write conflicts retried");
+    println!("total balance after the storm: {total} (must equal {})", ACCOUNTS as i64 * INITIAL);
+    println!("longest worker virtual time: {:.1} ms", virtual_us / 1e3);
+    assert_eq!(total, ACCOUNTS as i64 * INITIAL, "snapshot isolation preserved the invariant");
+    println!("invariant holds — no lost updates under concurrent multi-node access");
+    Ok(())
+}

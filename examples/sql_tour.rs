@@ -1,0 +1,93 @@
+//! A tour of the SQL layer: DDL, constraints, joins, aggregates, ordering,
+//! expression evaluation, and how the planner picks access paths over the
+//! distributed latch-free B+trees.
+//!
+//! ```sh
+//! cargo run --release --example sql_tour
+//! ```
+
+use tell::core::{Database, TellConfig};
+use tell::sql::{SqlEngine, Value};
+
+fn show(title: &str, r: &tell::sql::QueryResult) {
+    println!("-- {title}");
+    if !r.columns.is_empty() {
+        println!("   {}", r.columns.join(" | "));
+    }
+    for row in &r.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("   {}", cells.join(" | "));
+    }
+    if r.affected > 0 {
+        println!("   ({} rows affected)", r.affected);
+    }
+    println!();
+}
+
+fn main() -> tell::common::Result<()> {
+    let db = Database::create(TellConfig::default());
+    let engine = SqlEngine::new(db);
+    let s = engine.session();
+
+    s.execute(
+        "CREATE TABLE warehouse_stock (w_id INT, sku INT, qty INT NOT NULL, \
+         unit_price DECIMAL(8,2) NOT NULL, PRIMARY KEY (w_id, sku))",
+    )?;
+    s.execute("CREATE TABLE sku (sku INT PRIMARY KEY, name TEXT NOT NULL, category TEXT)")?;
+    s.execute("CREATE INDEX sku_by_category ON sku (category)")?;
+
+    s.execute(
+        "INSERT INTO sku VALUES (1,'bolt','fasteners'), (2,'nut','fasteners'), \
+         (3,'gear','drive'), (4,'belt','drive'), (5,'manual',NULL)",
+    )?;
+    for w in 1..=3 {
+        for sku in 1..=5 {
+            s.execute(&format!(
+                "INSERT INTO warehouse_stock VALUES ({w}, {sku}, {}, {})",
+                (w * sku * 7) % 40,
+                (sku as f64) * 1.25
+            ))?;
+        }
+    }
+
+    show("composite-pk point lookup (IndexEq on pk)", &s.execute(
+        "SELECT qty FROM warehouse_stock WHERE w_id = 2 AND sku = 3",
+    )?);
+
+    show("pk prefix scan (IndexRange on pk, w_id = 2)", &s.execute(
+        "SELECT sku, qty FROM warehouse_stock WHERE w_id = 2 ORDER BY sku",
+    )?);
+
+    show("secondary index (sku_by_category)", &s.execute(
+        "SELECT name FROM sku WHERE category = 'drive' ORDER BY name",
+    )?);
+
+    show("join + aggregate + having-like filter via WHERE", &s.execute(
+        "SELECT k.category, COUNT(*) AS positions, SUM(ws.qty) AS units \
+         FROM warehouse_stock ws JOIN sku k ON ws.sku = k.sku \
+         WHERE k.category IS NOT NULL \
+         GROUP BY k.category ORDER BY units DESC",
+    )?);
+
+    show("expressions and BETWEEN", &s.execute(
+        "SELECT sku, qty * unit_price AS stock_value FROM warehouse_stock \
+         WHERE w_id = 1 AND qty BETWEEN 5 AND 35 ORDER BY stock_value DESC LIMIT 3",
+    )?);
+
+    show("update with expression", &s.execute(
+        "UPDATE warehouse_stock SET qty = qty + 10 WHERE qty < 10",
+    )?);
+
+    show("three-valued logic: NULL category is neither eq nor neq", &s.execute(
+        "SELECT COUNT(*) FROM sku WHERE category = 'x' OR category <> 'x'",
+    )?);
+
+    // Constraint violation surfaces as an error; data is untouched.
+    let dup = s.execute("INSERT INTO sku VALUES (1, 'dup', 'x')");
+    println!("-- duplicate pk rejected: {}", dup.unwrap_err());
+    let n = s.execute("SELECT COUNT(*) FROM sku")?;
+    assert_eq!(n.scalar(), Some(&Value::Int(5)));
+    println!("   sku count still {}", n.scalar().unwrap());
+
+    Ok(())
+}

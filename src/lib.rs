@@ -1,0 +1,15 @@
+//! `tell` — facade crate for the tell-rs workspace.
+//!
+//! Re-exports the public API of every subsystem so applications (and the
+//! runnable examples under `examples/`) can depend on a single crate. See
+//! `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use tell_baselines as baselines;
+pub use tell_commitmgr as commitmgr;
+pub use tell_common as common;
+pub use tell_core as core;
+pub use tell_index as index;
+pub use tell_netsim as netsim;
+pub use tell_sql as sql;
+pub use tell_store as store;
+pub use tell_tpcc as tpcc;

@@ -1,0 +1,206 @@
+//! Cross-crate integration tests: the full shared-data stack — storage,
+//! commit managers, indexes, transactions, SQL, TPC-C and the baselines —
+//! exercised together through the `tell` facade.
+
+use std::sync::Arc;
+
+use tell::baselines::{run_sim, SimConfig, VoltDb, VoltDbConfig};
+use tell::common::SnId;
+use tell::core::gc::run_gc;
+use tell::core::{Database, TellConfig};
+use tell::sql::{SqlEngine, Value};
+use tell::tpcc::driver::{run_tpcc, TpccConfig};
+use tell::tpcc::gen::{load, ScaleParams};
+use tell::tpcc::mix::Mix;
+use tell::tpcc::schema::create_tpcc_tables;
+
+/// The headline scenario: load TPC-C, run a mixed OLTP workload from
+/// several logical PNs, survive a storage-node failure mid-flight, garbage
+/// collect, and verify consistency through SQL.
+#[test]
+fn tpcc_oltp_with_failure_and_gc_stays_consistent() {
+    let db = Database::create(TellConfig {
+        storage_nodes: 3,
+        replication_factor: 2,
+        commit_managers: 2,
+        ..TellConfig::default()
+    });
+    let engine = SqlEngine::new(Arc::clone(&db));
+    create_tpcc_tables(&engine).unwrap();
+    load(&engine, 2, ScaleParams::tiny(), 11).unwrap();
+
+    // Phase 1: OLTP.
+    let r1 = run_tpcc(
+        &engine,
+        &TpccConfig {
+            warehouses: 2,
+            scale: ScaleParams::tiny(),
+            mix: Mix::standard(),
+            pn_count: 2,
+            workers_per_pn: 2,
+            txns_per_worker: 40,
+            max_retries: 500,
+            seed: 21,
+        },
+    )
+    .unwrap();
+    assert!(r1.committed > 100);
+
+    // Phase 2: kill a storage node (RF2 tolerates it) and keep going.
+    db.store().kill_node(SnId(1));
+    let r2 = run_tpcc(
+        &engine,
+        &TpccConfig {
+            warehouses: 2,
+            scale: ScaleParams::tiny(),
+            mix: Mix::standard(),
+            pn_count: 1,
+            workers_per_pn: 2,
+            txns_per_worker: 30,
+            max_retries: 500,
+            seed: 22,
+        },
+    )
+    .unwrap();
+    assert!(r2.committed > 50, "workload survives the SN failure");
+    db.store().restore_replication();
+
+    // Phase 3: garbage collection sweeps the version chains and the log.
+    let gc = run_gc(&db).unwrap();
+    assert!(gc.records_scanned > 0);
+    assert!(gc.versions_removed > 0, "hot district/warehouse rows accumulated versions");
+
+    // Phase 4: TPC-C consistency conditions via SQL.
+    let s = engine.session();
+    for w in 1..=2 {
+        let w_ytd = s
+            .execute(&format!("SELECT w_ytd FROM warehouse WHERE w_id = {w}"))
+            .unwrap();
+        let d_sum = s
+            .execute(&format!("SELECT SUM(d_ytd) FROM district WHERE d_w_id = {w}"))
+            .unwrap();
+        let w_ytd = w_ytd.scalar().unwrap().as_f64().unwrap();
+        let d_sum = d_sum.scalar().unwrap().as_f64().unwrap();
+        assert!((w_ytd - d_sum).abs() < 1e-3, "w_ytd {w_ytd} != Σd_ytd {d_sum}");
+        for d in 1..=ScaleParams::tiny().districts_per_warehouse {
+            let next = s
+                .execute(&format!(
+                    "SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"
+                ))
+                .unwrap();
+            let max_o = s
+                .execute(&format!(
+                    "SELECT MAX(o_id) FROM orders WHERE o_w_id = {w} AND o_d_id = {d}"
+                ))
+                .unwrap();
+            assert_eq!(
+                next.scalar().unwrap().as_i64().unwrap(),
+                max_o.scalar().unwrap().as_i64().unwrap() + 1
+            );
+        }
+    }
+}
+
+/// SQL and the core API interoperate on the same tables within one
+/// transaction.
+#[test]
+fn sql_and_core_share_transactions() {
+    let db = Database::create(TellConfig::default());
+    let engine = SqlEngine::new(db);
+    let s = engine.session();
+    s.execute("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT NOT NULL)").unwrap();
+    s.execute("INSERT INTO kv VALUES (1, 'one'), (2, 'two')").unwrap();
+
+    let result = s
+        .transaction(|tx| {
+            tx.execute("UPDATE kv SET v = 'uno' WHERE k = 1")?;
+            // Drop to the core transaction mid-flight: the SQL update is
+            // visible to it (same snapshot + write buffer).
+            let raw = tx.raw();
+            let table = raw.processing_node().table("kv")?;
+            let rows = raw.scan_table(&table, usize::MAX)?;
+            Ok(rows.len())
+        })
+        .unwrap();
+    assert_eq!(result, 2);
+    let r = s.execute("SELECT v FROM kv WHERE k = 1").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Text("uno".into())));
+}
+
+/// The baselines run the same generated workload over the same generated
+/// population and keep TPC-C invariants too (their executor mutates real
+/// tables).
+#[test]
+fn baseline_engines_preserve_invariants() {
+    let scale = ScaleParams::tiny();
+    let mut engine = VoltDb::load(VoltDbConfig::new(2, 0), 8, scale, 33);
+    let report = run_sim(
+        &mut engine,
+        &SimConfig {
+            warehouses: 8,
+            scale,
+            mix: Mix::standard(),
+            terminals: 8,
+            total_txns: 1500,
+            seed: 33,
+        },
+    );
+    assert!(report.committed > 1000);
+    assert!(report.tpmc > 0.0);
+    assert!(report.user_rollbacks > 0, "the 1% rollback rule fires");
+    // Latency distribution is sane.
+    assert!(report.latency.percentile(0.99) >= report.latency.percentile(0.5));
+}
+
+/// Tell and a baseline observe the *same* deterministic population.
+#[test]
+fn population_is_identical_across_engines() {
+    let scale = ScaleParams::tiny();
+    // Count stock rows both ways.
+    let db = Database::create(TellConfig::default());
+    let engine = SqlEngine::new(db);
+    create_tpcc_tables(&engine).unwrap();
+    load(&engine, 2, scale, 77).unwrap();
+    let s = engine.session();
+    let tell_items = s
+        .execute("SELECT COUNT(*), SUM(i_price) FROM item")
+        .unwrap();
+
+    let pdb = tell::baselines::PartitionedDb::load(2, 2, scale, 77);
+    use tell::tpcc::gen::TpccTable;
+    assert_eq!(
+        tell_items.rows[0][0].as_i64().unwrap() as usize * 2, // item is replicated per partition
+        pdb.count(TpccTable::Item)
+    );
+    assert_eq!(
+        s.execute("SELECT COUNT(*) FROM customer").unwrap().scalar().unwrap().as_i64().unwrap()
+            as usize,
+        pdb.count(TpccTable::Customer)
+    );
+}
+
+/// Network profiles flow through the whole stack: the same workload is
+/// slower end-to-end on a WAN profile, and the traffic ledger sees it.
+#[test]
+fn virtual_time_reflects_network_profile() {
+    let mut times = Vec::new();
+    for profile in [
+        tell::netsim::NetworkProfile::infiniband(),
+        tell::netsim::NetworkProfile::ethernet_10g(),
+    ] {
+        let db = Database::create(TellConfig { profile, ..TellConfig::default() });
+        let engine = SqlEngine::new(Arc::clone(&db));
+        let s = engine.session();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT NOT NULL)").unwrap();
+        for i in 0..20 {
+            s.execute(&format!("INSERT INTO t VALUES ({i}, {i})")).unwrap();
+        }
+        s.execute("UPDATE t SET v = v + 1 WHERE id < 10").unwrap();
+        times.push(s.processing_node().clock().now_us());
+        assert!(db.traffic().request_count() > 0);
+    }
+    assert!(
+        times[1] > times[0] * 3.0,
+        "Ethernet must cost much more virtual time: {times:?}"
+    );
+}
