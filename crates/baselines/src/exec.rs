@@ -80,9 +80,7 @@ fn new_order(db: &mut PartitionedDb, p: &tell_tpcc::txns::NewOrderParams, now: i
     let d_tax = d_row[col::dist::TAX].as_f64().unwrap();
     let o_id = d_row[col::dist::NEXT_O_ID].as_i64().unwrap();
     s.reads += 2; // district + customer
-    let _ = db
-        .get(home, TpccTable::Customer, &ik(&[p.w_id, p.d_id, p.c_id]))
-        .expect("customer");
+    let _ = db.get(home, TpccTable::Customer, &ik(&[p.w_id, p.d_id, p.c_id])).expect("customer");
     let _ = (w_tax, d_tax);
 
     if p.rollback {
@@ -192,7 +190,7 @@ fn find_customer(
             // An index would touch only the matches (plus one probe).
             s.reads += matches.len() as u32 + 1;
             matches.sort_by(|a, b| a.1[col::cust::FIRST].total_cmp(&b.1[col::cust::FIRST]));
-            let pos = (matches.len() + 1) / 2 - 1;
+            let pos = matches.len().div_ceil(2) - 1;
             matches.swap_remove(pos).0
         }
     }
@@ -210,9 +208,7 @@ fn payment(db: &mut PartitionedDb, p: &tell_tpcc::txns::PaymentParams, now: i64)
         w[col::wh::YTD] = Value::Double(w[col::wh::YTD].as_f64().unwrap() + p.amount);
     }
     {
-        let d = db
-            .get_mut(home, TpccTable::District, &ik(&[p.w_id, p.d_id]))
-            .expect("district");
+        let d = db.get_mut(home, TpccTable::District, &ik(&[p.w_id, p.d_id])).expect("district");
         d[col::dist::YTD] = Value::Double(d[col::dist::YTD].as_f64().unwrap() + p.amount);
     }
     s.reads += 2;
@@ -273,8 +269,7 @@ fn delivery(db: &mut PartitionedDb, p: &tell_tpcc::txns::DeliveryParams, now: i6
         s.writes += 1;
 
         let ol_lo = ik(&[p.w_id, d, o_id]);
-        let ol_hi =
-            key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)]);
+        let ol_hi = key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)]);
         let line_keys: Vec<Bytes> = db
             .range(home, TpccTable::OrderLine, &ol_lo, Some(&ol_hi), usize::MAX)
             .into_iter()
@@ -289,9 +284,8 @@ fn delivery(db: &mut PartitionedDb, p: &tell_tpcc::txns::DeliveryParams, now: i6
             s.writes += 1;
         }
         {
-            let c = db
-                .get_mut(home, TpccTable::Customer, &ik(&[p.w_id, d, c_id]))
-                .expect("customer");
+            let c =
+                db.get_mut(home, TpccTable::Customer, &ik(&[p.w_id, d, c_id])).expect("customer");
             c[col::cust::BALANCE] = Value::Double(c[col::cust::BALANCE].as_f64().unwrap() + amount);
             c[col::cust::DELIVERY_CNT] =
                 Value::Int(c[col::cust::DELIVERY_CNT].as_i64().unwrap() + 1);
@@ -335,19 +329,15 @@ fn stock_level(db: &mut PartitionedDb, p: &tell_tpcc::txns::StockLevelParams) ->
     let mut s = ExecStats { committed: true, ..Default::default() };
     let home = db.partition_of(p.w_id);
     s.touch(home);
-    let d = db
-        .get(home, TpccTable::District, &ik(&[p.w_id, p.d_id]))
-        .expect("district");
+    let d = db.get(home, TpccTable::District, &ik(&[p.w_id, p.d_id])).expect("district");
     let next_o = d[col::dist::NEXT_O_ID].as_i64().unwrap();
     s.reads += 1;
     let lo = ik(&[p.w_id, p.d_id, (next_o - 20).max(1)]);
     let hi = ik(&[p.w_id, p.d_id, next_o]);
     let lines = db.range(home, TpccTable::OrderLine, &lo, Some(&hi), usize::MAX);
     s.reads += lines.len() as u32;
-    let items: BTreeSet<i64> = lines
-        .iter()
-        .map(|(_, r)| r[col::ol::I_ID].as_i64().unwrap())
-        .collect();
+    let items: BTreeSet<i64> =
+        lines.iter().map(|(_, r)| r[col::ol::I_ID].as_i64().unwrap()).collect();
     for i in items {
         if let Some(st) = db.get(home, TpccTable::Stock, &ik(&[p.w_id, i])) {
             let _ = st[col::stock::QUANTITY].as_i64().unwrap() < p.threshold;
@@ -459,9 +449,8 @@ mod tests {
     fn new_order_advances_district_counter() {
         let mut d = db();
         let key = ik(&[1, 1]);
-        let before = d.get(0, TpccTable::District, &key).unwrap()[col::dist::NEXT_O_ID]
-            .as_i64()
-            .unwrap();
+        let before =
+            d.get(0, TpccTable::District, &key).unwrap()[col::dist::NEXT_O_ID].as_i64().unwrap();
         new_order(
             &mut d,
             &NewOrderParams {
@@ -473,9 +462,8 @@ mod tests {
             },
             0,
         );
-        let after = d.get(0, TpccTable::District, &key).unwrap()[col::dist::NEXT_O_ID]
-            .as_i64()
-            .unwrap();
+        let after =
+            d.get(0, TpccTable::District, &key).unwrap()[col::dist::NEXT_O_ID].as_i64().unwrap();
         assert_eq!(after, before + 1);
         // Order + line exist.
         assert!(d.get(0, TpccTable::Orders, &ik(&[1, 1, before])).is_some());

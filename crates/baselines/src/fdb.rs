@@ -125,9 +125,7 @@ impl SimEngine for FoundationDb {
         }
         t += service;
         if stats.writes > 0 {
-            t = self
-                .resolver
-                .occupy(0, t, self.config.resolver_per_write_us * stats.writes as f64);
+            t = self.resolver.occupy(0, t, self.config.resolver_per_write_us * stats.writes as f64);
         }
         // Block the SQL node for the whole span.
         let done = self.sql_nodes.occupy(node, start, t - start);

@@ -112,8 +112,8 @@ impl SimEngine for MySqlCluster {
             if parts.len() > 1 {
                 t += 2.0 * self.config.op_rtt_us;
             }
-            let epoch_service = self.config.epoch_us
-                + self.config.epoch_per_node_us * (parts.len() as f64 - 1.0);
+            let epoch_service =
+                self.config.epoch_us + self.config.epoch_per_node_us * (parts.len() as f64 - 1.0);
             t = self.epoch.occupy(0, t, epoch_service);
         }
         ExecResult { completion_us: t, committed: stats.committed }

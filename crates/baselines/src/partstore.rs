@@ -56,11 +56,7 @@ impl PartitionedDb {
             } else {
                 let w = row[0].as_i64().expect("warehouse id leads every sharded pk");
                 let pid = db.partition_of(w);
-                db.partitions[pid]
-                    .tables
-                    .entry(table)
-                    .or_default()
-                    .insert(key, row);
+                db.partitions[pid].tables.entry(table).or_default().insert(key, row);
             }
         });
         db
@@ -88,7 +84,12 @@ impl PartitionedDb {
     }
 
     /// Read a row mutably.
-    pub fn get_mut(&mut self, pid: usize, table: TpccTable, key: &Bytes) -> Option<&mut Vec<Value>> {
+    pub fn get_mut(
+        &mut self,
+        pid: usize,
+        table: TpccTable,
+        key: &Bytes,
+    ) -> Option<&mut Vec<Value>> {
         self.partitions[pid].tables.get_mut(&table)?.get_mut(key)
     }
 
@@ -126,10 +127,7 @@ impl PartitionedDb {
     /// Row count of a table across all partitions (tests; item counts once
     /// per replica).
     pub fn count(&self, table: TpccTable) -> usize {
-        self.partitions
-            .iter()
-            .map(|p| p.tables.get(&table).map(|t| t.len()).unwrap_or(0))
-            .sum()
+        self.partitions.iter().map(|p| p.tables.get(&table).map(|t| t.len()).unwrap_or(0)).sum()
     }
 }
 

@@ -18,10 +18,9 @@ fn main() {
     table_header(&["network", "PNs", "TpmC", "Tps", "abort rate", "mean latency"]);
     let mut ib = Vec::new();
     let mut eth = Vec::new();
-    for (profile, series) in [
-        (NetworkProfile::infiniband(), &mut ib),
-        (NetworkProfile::ethernet_10g(), &mut eth),
-    ] {
+    for (profile, series) in
+        [(NetworkProfile::infiniband(), &mut ib), (NetworkProfile::ethernet_10g(), &mut eth)]
+    {
         for pns in [1usize, 2, 4, 8] {
             let config = TellConfig {
                 storage_nodes: 7,

@@ -51,18 +51,12 @@ fn main() {
         }
     }
     // Shapes: TB on top; SBVS's better hit ratio does not save it.
-    assert!(
-        at_4pn[0] >= at_4pn[1] * 0.98,
-        "TB must not lose to SB: {at_4pn:?}"
-    );
+    assert!(at_4pn[0] >= at_4pn[1] * 0.98, "TB must not lose to SB: {at_4pn:?}");
     assert!(
         at_4pn[0] > at_4pn[2] && at_4pn[0] > at_4pn[3],
         "TB must beat both SBVS variants: {at_4pn:?}"
     );
-    assert!(
-        hit_ratios[3] > hit_ratios[1],
-        "SBVS1000 must hit more often than SB: {hit_ratios:?}"
-    );
+    assert!(hit_ratios[3] > hit_ratios[1], "SBVS1000 must hit more often than SB: {hit_ratios:?}");
     println!(
         "\nshape ok: TB {} ≥ SB {} > SBVS10 {} / SBVS1000 {}; hit ratios SB {} vs SBVS1000 {}",
         fmt_k(at_4pn[0]),

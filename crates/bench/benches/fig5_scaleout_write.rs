@@ -19,8 +19,8 @@ fn main() {
     for rf in [1usize, 2, 3] {
         let mut points = Vec::new();
         for pns in [1usize, 2, 4, 8] {
-            let engine = setup_tell(tell_config(rf, BufferConfig::TransactionOnly), &env)
-                .expect("setup");
+            let engine =
+                setup_tell(tell_config(rf, BufferConfig::TransactionOnly), &env).expect("setup");
             let report = run_tell(&engine, &env, Mix::standard(), pns).expect("run");
             let mut cells = vec![format!("RF{rf}"), pns.to_string()];
             cells.extend(report_cells(&report));
@@ -40,7 +40,8 @@ fn main() {
         rf3[3],
         rf1[3]
     );
-    println!("\nshape ok: RF1 scales {:.1}x over 1→8 PNs; RF3 peak at {:.0}% of RF1",
+    println!(
+        "\nshape ok: RF1 scales {:.1}x over 1→8 PNs; RF3 peak at {:.0}% of RF1",
         rf1[3] / rf1[0],
         rf3[3] / rf1[3] * 100.0
     );

@@ -72,5 +72,7 @@ fn main() {
     }
     assert!(sn3_oom, "the 3-SN configuration must exhaust its memory at high PN counts");
     assert_eq!(sn7_points, 4, "7 SNs must complete every PN count");
-    println!("\nshape ok: 3 SNs hit the memory wall; 5/7 SNs equivalent (storage is not the bottleneck)");
+    println!(
+        "\nshape ok: 3 SNs hit the memory wall; 5/7 SNs equivalent (storage is not the bottleneck)"
+    );
 }

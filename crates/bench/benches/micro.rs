@@ -23,9 +23,7 @@ fn bench_llsc(c: &mut Criterion) {
     c.bench_function("store/llsc_read_modify_write", |b| {
         b.iter(|| {
             let (token, _) = client.get(&key).unwrap().unwrap();
-            client
-                .store_conditional(&key, token, Bytes::from_static(b"payload"))
-                .unwrap()
+            client.store_conditional(&key, token, Bytes::from_static(b"payload")).unwrap()
         })
     });
     c.bench_function("store/get", |b| b.iter(|| client.get(black_box(&key)).unwrap()));
@@ -99,12 +97,8 @@ fn bench_btree(c: &mut Criterion) {
     });
     c.bench_function("btree/range_100", |b| {
         b.iter(|| {
-            tree.range(
-                black_box(&Bytes::copy_from_slice(&1000u64.to_be_bytes())),
-                None,
-                100,
-            )
-            .unwrap()
+            tree.range(black_box(&Bytes::copy_from_slice(&1000u64.to_be_bytes())), None, 100)
+                .unwrap()
         })
     });
 }
@@ -129,18 +123,13 @@ fn bench_row_codec(c: &mut Criterion) {
     ];
     let encoded = encode_row(&schema, &row).unwrap();
     c.bench_function("row/encode", |b| b.iter(|| encode_row(&schema, black_box(&row)).unwrap()));
-    c.bench_function("row/decode", |b| b.iter(|| decode_row(&schema, black_box(&encoded)).unwrap()));
+    c.bench_function("row/decode", |b| {
+        b.iter(|| decode_row(&schema, black_box(&encoded)).unwrap())
+    });
     c.bench_function("row/encode_key", |b| {
         b.iter(|| encode_key(black_box(&[Value::Int(1), Value::Int(2), Value::Text("k".into())])))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_llsc,
-    bench_snapshot,
-    bench_record,
-    bench_btree,
-    bench_row_codec
-);
+criterion_group!(benches, bench_llsc, bench_snapshot, bench_record, bench_btree, bench_row_codec);
 criterion_main!(benches);

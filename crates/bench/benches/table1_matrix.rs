@@ -21,17 +21,87 @@ fn main() {
         "Tell satisfies all five principles; each comparison system misses at least one",
     );
     let rows = [
-        SystemRow { name: "Tell (this repo: tell-core)", shared_data: "yes", decoupling: "yes", in_memory: "yes", acid: "yes", complex_queries: "yes" },
-        SystemRow { name: "Oracle RAC", shared_data: "yes", decoupling: "-", in_memory: "-", acid: "yes", complex_queries: "yes" },
-        SystemRow { name: "FoundationDB (this repo: baselines::fdb)", shared_data: "yes", decoupling: "yes", in_memory: "yes", acid: "yes", complex_queries: "yes" },
-        SystemRow { name: "Google F1", shared_data: "yes", decoupling: "yes", in_memory: "-", acid: "yes", complex_queries: "yes" },
-        SystemRow { name: "OMID", shared_data: "yes", decoupling: "yes", in_memory: "-", acid: "yes", complex_queries: "-" },
-        SystemRow { name: "Hyder", shared_data: "yes", decoupling: "yes", in_memory: "(yes)", acid: "yes", complex_queries: "-" },
-        SystemRow { name: "VoltDB (this repo: baselines::voltdb)", shared_data: "-", decoupling: "-", in_memory: "yes", acid: "yes", complex_queries: "yes" },
-        SystemRow { name: "Azure SQL Database", shared_data: "-", decoupling: "-", in_memory: "-", acid: "yes", complex_queries: "yes" },
-        SystemRow { name: "Google BigTable", shared_data: "-", decoupling: "yes", in_memory: "-", acid: "-", complex_queries: "-" },
+        SystemRow {
+            name: "Tell (this repo: tell-core)",
+            shared_data: "yes",
+            decoupling: "yes",
+            in_memory: "yes",
+            acid: "yes",
+            complex_queries: "yes",
+        },
+        SystemRow {
+            name: "Oracle RAC",
+            shared_data: "yes",
+            decoupling: "-",
+            in_memory: "-",
+            acid: "yes",
+            complex_queries: "yes",
+        },
+        SystemRow {
+            name: "FoundationDB (this repo: baselines::fdb)",
+            shared_data: "yes",
+            decoupling: "yes",
+            in_memory: "yes",
+            acid: "yes",
+            complex_queries: "yes",
+        },
+        SystemRow {
+            name: "Google F1",
+            shared_data: "yes",
+            decoupling: "yes",
+            in_memory: "-",
+            acid: "yes",
+            complex_queries: "yes",
+        },
+        SystemRow {
+            name: "OMID",
+            shared_data: "yes",
+            decoupling: "yes",
+            in_memory: "-",
+            acid: "yes",
+            complex_queries: "-",
+        },
+        SystemRow {
+            name: "Hyder",
+            shared_data: "yes",
+            decoupling: "yes",
+            in_memory: "(yes)",
+            acid: "yes",
+            complex_queries: "-",
+        },
+        SystemRow {
+            name: "VoltDB (this repo: baselines::voltdb)",
+            shared_data: "-",
+            decoupling: "-",
+            in_memory: "yes",
+            acid: "yes",
+            complex_queries: "yes",
+        },
+        SystemRow {
+            name: "Azure SQL Database",
+            shared_data: "-",
+            decoupling: "-",
+            in_memory: "-",
+            acid: "yes",
+            complex_queries: "yes",
+        },
+        SystemRow {
+            name: "Google BigTable",
+            shared_data: "-",
+            decoupling: "yes",
+            in_memory: "-",
+            acid: "-",
+            complex_queries: "-",
+        },
     ];
-    table_header(&["System", "Shared Data", "Decoupling", "In-Memory", "ACID Txns", "Complex Queries"]);
+    table_header(&[
+        "System",
+        "Shared Data",
+        "Decoupling",
+        "In-Memory",
+        "ACID Txns",
+        "Complex Queries",
+    ]);
     for r in rows {
         table_row(&[
             r.name.into(),
@@ -46,9 +116,13 @@ fn main() {
     // Cross-check the Tell row against the codebase: these properties are
     // enforced by the test suite; assert the obvious runtime witnesses.
     let env = tell_bench::BenchEnv { txns_per_worker: 10, ..tell_bench::BenchEnv::from_env() };
-    let engine = tell_bench::setup_tell(tell_bench::tell_config(1, tell_core::BufferConfig::TransactionOnly), &env)
-        .expect("setup");
-    let report = tell_bench::run_tell(&engine, &env, tell_tpcc::mix::Mix::standard(), 1).expect("run");
+    let engine = tell_bench::setup_tell(
+        tell_bench::tell_config(1, tell_core::BufferConfig::TransactionOnly),
+        &env,
+    )
+    .expect("setup");
+    let report =
+        tell_bench::run_tell(&engine, &env, tell_tpcc::mix::Mix::standard(), 1).expect("run");
     assert!(report.committed > 0, "ACID transactions work");
     let session = engine.session();
     let r = session

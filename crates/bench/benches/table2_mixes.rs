@@ -23,14 +23,12 @@ fn main() {
         "stock-level",
     ]);
     for (mix, metric) in [(Mix::standard(), "TpmC"), (Mix::read_intensive(), "Tps")] {
-        let engine = setup_tell(tell_config(1, BufferConfig::TransactionOnly), &env).expect("setup");
+        let engine =
+            setup_tell(tell_config(1, BufferConfig::TransactionOnly), &env).expect("setup");
         let report = run_tell(&engine, &env, mix.clone(), 2).expect("run");
         let traffic = engine.database().traffic();
-        let mut cells = vec![
-            mix.name.to_string(),
-            fmt_pct(traffic.write_ratio()),
-            metric.to_string(),
-        ];
+        let mut cells =
+            vec![mix.name.to_string(), fmt_pct(traffic.write_ratio()), metric.to_string()];
         for (i, _) in TxnType::ALL.iter().enumerate() {
             cells.push(format!("{}%", mix.weights[i]));
         }

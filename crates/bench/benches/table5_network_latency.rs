@@ -36,8 +36,7 @@ fn main() {
         let report = run_tell(&engine, &env, Mix::standard(), 8).expect("run");
         let traffic = engine.database().traffic();
         let bytes = traffic.total_bytes() as f64;
-        let mb_per_s_per_sn =
-            bytes / 1e6 / report.virtual_seconds.max(1e-9) / sns as f64;
+        let mb_per_s_per_sn = bytes / 1e6 / report.virtual_seconds.max(1e-9) / sns as f64;
         table_row(&[
             profile.name.to_string(),
             fmt_k(report.tpmc),

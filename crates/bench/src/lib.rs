@@ -134,9 +134,33 @@ pub struct ClusterSize {
 /// (paper: 22-24 cores up to 70-78).
 pub fn cluster_sizes() -> [ClusterSize; 3] {
     [
-        ClusterSize { label: "S", cores: 22, tell_pns: 1, tell_sns: 3, volt_nodes: 3, ndb_data_nodes: 3, fdb_nodes: 3 },
-        ClusterSize { label: "M", cores: 44, tell_pns: 4, tell_sns: 5, volt_nodes: 5, ndb_data_nodes: 6, fdb_nodes: 6 },
-        ClusterSize { label: "L", cores: 70, tell_pns: 8, tell_sns: 7, volt_nodes: 9, ndb_data_nodes: 9, fdb_nodes: 9 },
+        ClusterSize {
+            label: "S",
+            cores: 22,
+            tell_pns: 1,
+            tell_sns: 3,
+            volt_nodes: 3,
+            ndb_data_nodes: 3,
+            fdb_nodes: 3,
+        },
+        ClusterSize {
+            label: "M",
+            cores: 44,
+            tell_pns: 4,
+            tell_sns: 5,
+            volt_nodes: 5,
+            ndb_data_nodes: 6,
+            fdb_nodes: 6,
+        },
+        ClusterSize {
+            label: "L",
+            cores: 70,
+            tell_pns: 8,
+            tell_sns: 7,
+            volt_nodes: 9,
+            ndb_data_nodes: 9,
+            fdb_nodes: 9,
+        },
     ]
 }
 
@@ -250,10 +274,5 @@ pub fn fmt_ms(us: f64) -> String {
 
 /// One-line summary of a Tell driver report.
 pub fn report_cells(r: &DriverReport) -> Vec<String> {
-    vec![
-        fmt_k(r.tpmc),
-        fmt_k(r.tps),
-        fmt_pct(r.abort_rate()),
-        fmt_ms(r.latency.mean()),
-    ]
+    vec![fmt_k(r.tpmc), fmt_k(r.tps), fmt_pct(r.abort_rate()), fmt_ms(r.latency.mean())]
 }

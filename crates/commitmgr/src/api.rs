@@ -1,0 +1,86 @@
+//! The commit-manager abstraction processing nodes program against.
+//!
+//! A transaction talks to the commit side twice: once to *start* (get a tid
+//! and snapshot) and once to *finish* (report commit or abort to the manager
+//! that issued the tid). [`CommitService`] is the start-side surface of the
+//! whole commit-manager fleet; [`CommitParticipant`] is the finish-side
+//! handle to one specific manager.
+//!
+//! Both traits are object-safe so `tell-core`'s `Database` can hold an
+//! `Arc<dyn CommitService>` without growing a type parameter: the local
+//! [`CmCluster`] and `tell-rpc`'s `RemoteCmClient` implement them
+//! identically from the transaction layer's point of view.
+
+use std::sync::Arc;
+
+use tell_common::{Result, TxnId};
+use tell_netsim::NetMeter;
+use tell_store::StoreEndpoint;
+
+use crate::cluster::CmCluster;
+use crate::manager::{CommitManager, TxnStart};
+
+/// The manager that issued a transaction's tid; receives its outcome.
+pub trait CommitParticipant: Send + Sync {
+    /// Record a successful commit of `tid`.
+    fn set_committed(&self, tid: TxnId, meter: &NetMeter) -> Result<()>;
+
+    /// Record an abort of `tid`.
+    fn set_aborted(&self, tid: TxnId, meter: &NetMeter) -> Result<()>;
+}
+
+impl<E: StoreEndpoint> CommitParticipant for CommitManager<E> {
+    fn set_committed(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
+        CommitManager::set_committed(self, tid, meter)
+    }
+
+    fn set_aborted(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
+        CommitManager::set_aborted(self, tid, meter)
+    }
+}
+
+/// The commit-manager fleet as seen by a processing node.
+pub trait CommitService: Send + Sync {
+    /// Begin a transaction on the manager `hint` pins the caller to,
+    /// falling over to the next one on failure. Returns the issuing
+    /// manager so the outcome can be reported to the same one.
+    fn start_pinned(
+        &self,
+        hint: usize,
+        meter: &NetMeter,
+    ) -> Result<(TxnStart, Arc<dyn CommitParticipant>)>;
+
+    /// Lowest active version number across all managers (GC/recovery bound).
+    fn current_lav(&self) -> Result<u64>;
+
+    /// Resolve `tid` on every live manager (recovery path: the issuer may
+    /// be unknown or gone).
+    fn force_resolve(&self, tid: TxnId, committed: bool) -> Result<()>;
+
+    /// Force a state synchronization on every manager (test/admin hook).
+    fn sync_all(&self, meter: &NetMeter) -> Result<()>;
+}
+
+impl<E: StoreEndpoint> CommitService for CmCluster<E> {
+    fn start_pinned(
+        &self,
+        hint: usize,
+        meter: &NetMeter,
+    ) -> Result<(TxnStart, Arc<dyn CommitParticipant>)> {
+        let (ts, cm) = CmCluster::start_pinned(self, hint, meter)?;
+        Ok((ts, cm as Arc<dyn CommitParticipant>))
+    }
+
+    fn current_lav(&self) -> Result<u64> {
+        Ok(CmCluster::current_lav(self))
+    }
+
+    fn force_resolve(&self, tid: TxnId, committed: bool) -> Result<()> {
+        CmCluster::force_resolve(self, tid, committed);
+        Ok(())
+    }
+
+    fn sync_all(&self, meter: &NetMeter) -> Result<()> {
+        CmCluster::sync_all(self, meter)
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use tell_common::{CmId, Error, Result, TxnId};
 use tell_netsim::NetMeter;
-use tell_store::{keys, StoreClient, StoreCluster};
+use tell_store::{keys, StoreCluster, StoreEndpoint};
 
 use crate::manager::{CmConfig, CommitManager, TxnStart};
 
@@ -16,25 +16,25 @@ use crate::manager::{CmConfig, CommitManager, TxnStart};
 /// notifications go back to the manager that issued the tid (tracked by the
 /// transaction layer). If a manager fails, "PNs automatically switch to the
 /// next one" and a replacement can recover the lost state from the store.
-pub struct CmCluster {
-    store: Arc<StoreCluster>,
+pub struct CmCluster<E: StoreEndpoint = Arc<StoreCluster>> {
+    store: E,
     config: CmConfig,
-    managers: RwLock<Vec<Arc<CommitManager>>>,
+    managers: RwLock<Vec<Arc<CommitManager<E>>>>,
     /// Congruence classes freed by failed managers, to be taken over by
     /// replacements (interleaved tid allocation).
     freed_stripes: parking_lot::Mutex<Vec<(u64, u64)>>,
     next: AtomicUsize,
 }
 
-impl CmCluster {
+impl<E: StoreEndpoint> CmCluster<E> {
     /// Spin up `n` commit managers.
-    pub fn new(store: Arc<StoreCluster>, n: usize, config: CmConfig) -> Arc<Self> {
+    pub fn new(store: E, n: usize, config: CmConfig) -> Arc<Self> {
         assert!(n >= 1, "need at least one commit manager");
         let managers: Vec<_> = (0..n)
             .map(|i| {
                 let mut cfg = config.clone();
                 cfg.stripe = (i as u64, n as u64);
-                CommitManager::new(CmId(i as u32), Arc::clone(&store), cfg)
+                CommitManager::new(CmId(i as u32), store.clone(), cfg)
             })
             .collect();
         // Every manager must publish its (empty) state before any
@@ -72,7 +72,7 @@ impl CmCluster {
     /// Begin a transaction on some manager (round-robin with fail-over).
     /// Returns the manager that served the call so the transaction can
     /// notify the same one at completion.
-    pub fn start(&self, meter: &NetMeter) -> Result<(TxnStart, Arc<CommitManager>)> {
+    pub fn start(&self, meter: &NetMeter) -> Result<(TxnStart, Arc<CommitManager<E>>)> {
         let hint = self.next.fetch_add(1, Ordering::Relaxed);
         self.start_pinned(hint, meter)
     }
@@ -85,7 +85,7 @@ impl CmCluster {
         &self,
         hint: usize,
         meter: &NetMeter,
-    ) -> Result<(TxnStart, Arc<CommitManager>)> {
+    ) -> Result<(TxnStart, Arc<CommitManager<E>>)> {
         let managers = self.managers.read();
         if managers.is_empty() {
             return Err(Error::Unavailable("no commit manager available".into()));
@@ -117,26 +117,26 @@ impl CmCluster {
         if managers.len() == before {
             return Err(Error::NotFound);
         }
-        let client = StoreClient::unmetered(Arc::clone(&self.store));
+        use tell_store::StoreApi;
+        let client = self.store.unmetered_client();
         client.delete(&keys::cm_state(id.raw()))?;
         Ok(())
     }
 
     /// Start a replacement manager that recovers state from the store and
     /// the transaction log (§4.4.3).
-    pub fn spawn_recovered(&self, id: CmId) -> Result<Arc<CommitManager>> {
+    pub fn spawn_recovered(&self, id: CmId) -> Result<Arc<CommitManager<E>>> {
         let mut cfg = self.config.clone();
         if cfg.interleaved {
             // Take over a failed manager's congruence class so its tid
             // stream resumes (otherwise the global base would stall on the
             // dead class's never-completed tids).
-            cfg.stripe = self
-                .freed_stripes
-                .lock()
-                .pop()
-                .ok_or_else(|| Error::invalid("no freed tid class; cluster is at full strength"))?;
+            cfg.stripe =
+                self.freed_stripes.lock().pop().ok_or_else(|| {
+                    Error::invalid("no freed tid class; cluster is at full strength")
+                })?;
         }
-        let cm = CommitManager::recover(id, Arc::clone(&self.store), cfg)?;
+        let cm = CommitManager::recover(id, self.store.clone(), cfg)?;
         cm.sync_now(&NetMeter::free())?; // publish before serving (see new())
         self.managers.write().push(Arc::clone(&cm));
         Ok(cm)
@@ -166,23 +166,28 @@ impl CmCluster {
     /// Lowest active version across all managers (drives garbage
     /// collection and recovery's backward log scan bound).
     pub fn current_lav(&self) -> u64 {
-        self.managers
-            .read()
-            .iter()
-            .map(|cm| cm.current_lav())
-            .min()
-            .unwrap_or(0)
+        self.managers.read().iter().map(|cm| cm.current_lav()).min().unwrap_or(0)
     }
 
     /// Notify the issuing manager of a commit; falls back to any live
     /// manager when the issuer died (the outcome is in the log either way —
     /// this keeps the snapshot fresh).
-    pub fn set_committed(&self, issuer: &Arc<CommitManager>, tid: TxnId, meter: &NetMeter) -> Result<()> {
+    pub fn set_committed(
+        &self,
+        issuer: &Arc<CommitManager<E>>,
+        tid: TxnId,
+        meter: &NetMeter,
+    ) -> Result<()> {
         issuer.set_committed(tid, meter)
     }
 
     /// Notify the issuing manager of an abort.
-    pub fn set_aborted(&self, issuer: &Arc<CommitManager>, tid: TxnId, meter: &NetMeter) -> Result<()> {
+    pub fn set_aborted(
+        &self,
+        issuer: &Arc<CommitManager<E>>,
+        tid: TxnId,
+        meter: &NetMeter,
+    ) -> Result<()> {
         issuer.set_aborted(tid, meter)
     }
 }
@@ -195,7 +200,11 @@ mod tests {
 
     fn setup(n: usize) -> (Arc<CmCluster>, NetMeter) {
         let store = StoreCluster::new(StoreConfig::new(2));
-        let cfg = CmConfig { tid_range: 8, sync_interval: Duration::from_millis(1), ..CmConfig::default() };
+        let cfg = CmConfig {
+            tid_range: 8,
+            sync_interval: Duration::from_millis(1),
+            ..CmConfig::default()
+        };
         (CmCluster::new(store, n, cfg), NetMeter::free())
     }
 

@@ -16,10 +16,12 @@
 //! * [`cluster::CmCluster`] — several commit managers operating in parallel
 //!   with snapshot synchronization and fail-over (§4.4.3).
 
+pub mod api;
 pub mod cluster;
 pub mod manager;
 pub mod snapshot;
 
+pub use api::{CommitParticipant, CommitService};
 pub use cluster::CmCluster;
 pub use manager::{CmConfig, CommitManager, TxnStart};
 pub use snapshot::SnapshotDescriptor;

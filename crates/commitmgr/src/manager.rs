@@ -9,7 +9,7 @@ use parking_lot::Mutex;
 use tell_common::codec::Writer;
 use tell_common::{BitSet, CmId, Error, Result, TxnId};
 use tell_netsim::NetMeter;
-use tell_store::{keys, StoreClient, StoreCluster};
+use tell_store::{keys, StoreApi, StoreCluster, StoreEndpoint};
 
 use crate::snapshot::SnapshotDescriptor;
 
@@ -148,17 +148,20 @@ impl State {
 /// [`TID_COUNTER`], snapshots by periodically publishing local state and
 /// merging peers' published states (a join-semilattice: base advances, bitsets
 /// union — so merging in any order converges).
-pub struct CommitManager {
+///
+/// Generic over the storage endpoint so a manager can run over the
+/// in-process store or against remote storage nodes via `tell-rpc`.
+pub struct CommitManager<E: StoreEndpoint = Arc<StoreCluster>> {
     id: CmId,
-    cluster: Arc<StoreCluster>,
+    endpoint: E,
     config: CmConfig,
     state: Mutex<State>,
 }
 
-impl CommitManager {
-    /// A fresh commit manager over `cluster`.
-    pub fn new(id: CmId, cluster: Arc<StoreCluster>, config: CmConfig) -> Arc<Self> {
-        Arc::new(CommitManager { id, cluster, config, state: Mutex::new(State::default()) })
+impl<E: StoreEndpoint> CommitManager<E> {
+    /// A fresh commit manager over the storage `endpoint`.
+    pub fn new(id: CmId, endpoint: E, config: CmConfig) -> Arc<Self> {
+        Arc::new(CommitManager { id, endpoint, config, state: Mutex::new(State::default()) })
     }
 
     /// This manager's id.
@@ -175,14 +178,18 @@ impl CommitManager {
     /// failed (§4.4.3): merge every peer's published state, then roll the
     /// transaction log forward for commits recorded there but not yet
     /// published.
-    pub fn recover(id: CmId, cluster: Arc<StoreCluster>, config: CmConfig) -> Result<Arc<Self>> {
-        let cm = CommitManager::new(id, Arc::clone(&cluster), config);
-        let client = StoreClient::unmetered(cluster);
+    pub fn recover(id: CmId, endpoint: E, config: CmConfig) -> Result<Arc<Self>> {
+        let client = endpoint.unmetered_client();
+        let cm = CommitManager::new(id, endpoint, config);
         {
             let mut st = cm.state.lock();
             Self::pull_peers(&cm.id, &client, &mut st)?;
             // The log records commits that may postdate the last publish.
-            let rows = client.scan_range_rev(&keys::txn_log_prefix(), keys::prefix_end(&keys::txn_log_prefix()).as_deref(), usize::MAX)?;
+            let rows = client.scan_range_rev(
+                &keys::txn_log_prefix(),
+                keys::prefix_end(&keys::txn_log_prefix()).as_deref(),
+                usize::MAX,
+            )?;
             for (key, _, value) in rows {
                 let Some(tid) = keys::parse_txn_log(&key) else { continue };
                 if tid.raw() <= st.base {
@@ -232,7 +239,7 @@ impl CommitManager {
             TxnId(t)
         } else {
             if st.tid_next >= st.tid_limit {
-                let client = StoreClient::new(Arc::clone(&self.cluster), meter.clone());
+                let client = self.endpoint.client(meter.clone());
                 let end = client.increment(&keys::counter(TID_COUNTER), self.config.tid_range)?;
                 st.tid_limit = end + 1;
                 st.tid_next = end + 1 - self.config.tid_range;
@@ -265,15 +272,30 @@ impl CommitManager {
 
     /// Record a successful commit.
     pub fn set_committed(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
-        meter.charge_request(40, 16, 1);
-        self.state.lock().finish(tid, true);
-        self.maybe_sync(meter)
+        self.complete(tid, true, meter)
     }
 
     /// Record an abort.
     pub fn set_aborted(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
+        self.complete(tid, false, meter)
+    }
+
+    /// A completion changes what every future snapshot must contain, so the
+    /// updated state is published to the store immediately. Publishing
+    /// cannot be amortized the way pulling is: a manager may go idle right
+    /// after its last commit, and an unpublished completion would leave
+    /// peers' snapshots permanently missing that version — their
+    /// transactions would then conflict on it forever. Starts don't have
+    /// this problem (they change nothing a peer's snapshot depends on), so
+    /// the pull side stays on the periodic `maybe_sync` cadence.
+    fn complete(&self, tid: TxnId, committed: bool, meter: &NetMeter) -> Result<()> {
         meter.charge_request(40, 16, 1);
-        self.state.lock().finish(tid, false);
+        let client = self.endpoint.client(meter.clone());
+        {
+            let mut st = self.state.lock();
+            st.finish(tid, committed);
+            Self::publish(&self.id, &client, &mut st)?;
+        }
         self.maybe_sync(meter)
     }
 
@@ -298,7 +320,13 @@ impl CommitManager {
     /// transactions of a failed processing node: the failed PN can no longer
     /// notify anyone, so recovery resolves them on every manager.
     pub fn force_resolve(&self, tid: TxnId, committed: bool) {
-        self.state.lock().finish(tid, committed);
+        let client = self.endpoint.unmetered_client();
+        let mut st = self.state.lock();
+        st.finish(tid, committed);
+        // Best effort, like the rest of the recovery path: the resolution is
+        // also applied on every live manager directly, so a failed publish
+        // only delays peers, it cannot strand them.
+        let _ = Self::publish(&self.id, &client, &mut st);
     }
 
     /// The lowest active version number as currently known: the minimum
@@ -325,7 +353,7 @@ impl CommitManager {
 
     /// Publish local state and merge peers' states, unconditionally.
     pub fn sync_now(&self, meter: &NetMeter) -> Result<()> {
-        let client = StoreClient::new(Arc::clone(&self.cluster), meter.clone());
+        let client = self.endpoint.client(meter.clone());
         let mut st = self.state.lock();
         Self::publish(&self.id, &client, &mut st)?;
         Self::pull_peers(&self.id, &client, &mut st)?;
@@ -350,7 +378,7 @@ impl CommitManager {
         Ok(())
     }
 
-    fn publish(id: &CmId, client: &StoreClient, st: &mut State) -> Result<()> {
+    fn publish<C: StoreApi>(id: &CmId, client: &C, st: &mut State) -> Result<()> {
         let mut buf = Vec::with_capacity(40 + st.committed.encoded_len());
         buf.put_u64(st.base);
         buf.put_u64(st.local_min_active());
@@ -361,7 +389,7 @@ impl CommitManager {
         Ok(())
     }
 
-    fn pull_peers(id: &CmId, client: &StoreClient, st: &mut State) -> Result<()> {
+    fn pull_peers<C: StoreApi>(id: &CmId, client: &C, st: &mut State) -> Result<()> {
         let prefix = keys::cm_state_prefix();
         let rows = client.scan_prefix(&prefix, usize::MAX)?;
         st.peer_min_active.clear();
@@ -373,8 +401,7 @@ impl CommitManager {
             if peer == id.raw() {
                 continue;
             }
-            let (peer_base, peer_min, peer_watermark, completed, committed) =
-                decode_state(&value)?;
+            let (peer_base, peer_min, peer_watermark, completed, committed) = decode_state(&value)?;
             st.peer_min_active.insert(peer, peer_min);
             st.watermark = st.watermark.max(peer_watermark);
             // Everything at or below the peer's base has completed. Aborted
@@ -411,15 +438,15 @@ fn decode_state(buf: &[u8]) -> Result<(u64, u64, u64, BitSet, BitSet)> {
     let watermark = u64::from_le_bytes(buf[16..24].try_into().unwrap());
     let (completed, used) =
         BitSet::decode_from(&buf[24..]).ok_or_else(|| Error::corrupt("cm completed bits"))?;
-    let (committed, _) =
-        BitSet::decode_from(&buf[24 + used..]).ok_or_else(|| Error::corrupt("cm committed bits"))?;
+    let (committed, _) = BitSet::decode_from(&buf[24 + used..])
+        .ok_or_else(|| Error::corrupt("cm committed bits"))?;
     Ok((base, min_active, watermark, completed, committed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tell_store::StoreConfig;
+    use tell_store::{StoreClient, StoreConfig};
 
     fn setup() -> (Arc<CommitManager>, NetMeter) {
         let cluster = StoreCluster::new(StoreConfig::new(2));
@@ -514,7 +541,12 @@ mod tests {
     #[test]
     fn managers_learn_peer_commits_through_sync() {
         let cluster = StoreCluster::new(StoreConfig::new(2));
-        let cfg = CmConfig { tid_range: 4, sync_interval: Duration::from_secs(3600), interleaved: false, ..CmConfig::default() };
+        let cfg = CmConfig {
+            tid_range: 4,
+            sync_interval: Duration::from_secs(3600),
+            interleaved: false,
+            ..CmConfig::default()
+        };
         let cm1 = CommitManager::new(CmId(1), Arc::clone(&cluster), cfg.clone());
         let cm2 = CommitManager::new(CmId(2), Arc::clone(&cluster), cfg);
         let m = NetMeter::free();
@@ -523,22 +555,28 @@ mod tests {
         cm1.sync_now(&m).unwrap();
         cm2.sync_now(&m).unwrap();
         let t2 = cm2.start(&m).unwrap();
-        assert!(
-            t2.snapshot.contains_tid(t1.tid),
-            "after sync, cm2 snapshots include cm1's commit"
-        );
+        assert!(t2.snapshot.contains_tid(t1.tid), "after sync, cm2 snapshots include cm1's commit");
     }
 
     #[test]
     fn stale_peers_cause_stale_snapshots_not_corruption() {
         let cluster = StoreCluster::new(StoreConfig::new(2));
-        let cfg = CmConfig { tid_range: 4, sync_interval: Duration::from_secs(3600), interleaved: false, ..CmConfig::default() };
+        let cfg = CmConfig {
+            tid_range: 4,
+            sync_interval: Duration::from_secs(3600),
+            interleaved: false,
+            ..CmConfig::default()
+        };
         let cm1 = CommitManager::new(CmId(1), Arc::clone(&cluster), cfg.clone());
         let cm2 = CommitManager::new(CmId(2), Arc::clone(&cluster), cfg);
         let m = NetMeter::free();
+        // Prime cm2's sync clock: with the huge interval it will not pull
+        // again within this test, however eagerly cm1 publishes.
+        cm2.sync_now(&m).unwrap();
         let t1 = cm1.start(&m).unwrap();
         cm1.set_committed(t1.tid, &m).unwrap();
-        // No sync: cm2 simply does not see t1 yet (older snapshot = legal).
+        // cm2 has not pulled since cm1's commit, so it simply does not see
+        // t1 yet (an older snapshot is legal, never corrupt).
         let t2 = cm2.start(&m).unwrap();
         assert!(!t2.snapshot.contains_tid(t1.tid));
     }
@@ -546,7 +584,12 @@ mod tests {
     #[test]
     fn release_unused_range_unblocks_base() {
         let cluster = StoreCluster::new(StoreConfig::new(2));
-        let cfg = CmConfig { tid_range: 8, sync_interval: Duration::from_secs(3600), interleaved: false, ..CmConfig::default() };
+        let cfg = CmConfig {
+            tid_range: 8,
+            sync_interval: Duration::from_secs(3600),
+            interleaved: false,
+            ..CmConfig::default()
+        };
         let cm1 = CommitManager::new(CmId(1), Arc::clone(&cluster), cfg.clone());
         let cm2 = CommitManager::new(CmId(2), Arc::clone(&cluster), cfg);
         let m = NetMeter::free();
@@ -568,16 +611,19 @@ mod tests {
     #[test]
     fn recovery_restores_committed_set_from_log_and_peers() {
         let cluster = StoreCluster::new(StoreConfig::new(2));
-        let cfg = CmConfig { tid_range: 4, sync_interval: Duration::from_secs(3600), interleaved: false, ..CmConfig::default() };
+        let cfg = CmConfig {
+            tid_range: 4,
+            sync_interval: Duration::from_secs(3600),
+            interleaved: false,
+            ..CmConfig::default()
+        };
         let m = NetMeter::free();
         let client = StoreClient::unmetered(Arc::clone(&cluster));
         let tid = {
             let cm = CommitManager::new(CmId(7), Arc::clone(&cluster), cfg.clone());
             let t = cm.start(&m).unwrap();
             // Simulate the transaction layer writing a committed log entry.
-            client
-                .put(&keys::txn_log(t.tid), Bytes::from(vec![LOG_FLAG_COMMITTED]))
-                .unwrap();
+            client.put(&keys::txn_log(t.tid), Bytes::from(vec![LOG_FLAG_COMMITTED])).unwrap();
             cm.set_committed(t.tid, &m).unwrap();
             cm.sync_now(&m).unwrap();
             t.tid

@@ -72,9 +72,7 @@ impl SnapshotDescriptor {
                 }
             }
         }
-        self.newly
-            .iter_ones()
-            .all(|i| other.contains(self.base + 1 + i as u64))
+        self.newly.iter_ones().all(|i| other.contains(self.base + 1 + i as u64))
     }
 
     /// A copy of this snapshot with `tid` additionally visible. Used by the
@@ -131,7 +129,7 @@ mod tests {
     fn snap(base: u64, newly: &[u64]) -> SnapshotDescriptor {
         let mut bits = BitSet::new();
         for &v in newly {
-            assert!(v > base + 0, "newly committed tids sit above the base");
+            assert!(v > base, "newly committed tids sit above the base");
             bits.set((v - base - 1) as usize);
         }
         SnapshotDescriptor::new(base, bits)

@@ -22,10 +22,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use tell_common::{Result, Rid, TableId, TxnId};
 use tell_commitmgr::SnapshotDescriptor;
+use tell_common::{Result, Rid, TableId, TxnId};
 use tell_store::cell::Token;
-use tell_store::{keys, StoreClient};
+use tell_store::{keys, StoreApi};
 
 use crate::record::VersionedRecord;
 
@@ -110,7 +110,14 @@ impl Lru {
         }
     }
 
-    fn insert(&mut self, key: (TableId, Rid), token: Token, record: VersionedRecord, validity: Validity, capacity: usize) {
+    fn insert(
+        &mut self,
+        key: (TableId, Rid),
+        token: Token,
+        record: VersionedRecord,
+        validity: Validity,
+        capacity: usize,
+    ) {
         if let Some(old) = self.map.remove(&key) {
             self.order.remove(&old.lru_seq);
         }
@@ -152,9 +159,9 @@ impl RecordBuffer {
     /// started transaction on this PN (condition 2 of §5.5.2 sets `B` to it).
     /// Returns the load-linked `(token, record)` or `None` if the record
     /// does not exist.
-    pub fn read_record(
+    pub fn read_record<C: StoreApi>(
         &self,
-        client: &StoreClient,
+        client: &C,
         table: TableId,
         rid: Rid,
         v_tx: &SnapshotDescriptor,
@@ -231,9 +238,9 @@ impl RecordBuffer {
         }
     }
 
-    fn fetch(
+    fn fetch<C: StoreApi>(
         &self,
-        client: &StoreClient,
+        client: &C,
         table: TableId,
         rid: Rid,
     ) -> Result<Option<(Token, VersionedRecord)>> {
@@ -247,9 +254,10 @@ impl RecordBuffer {
     /// (§5.5.2: "Each time a transaction applies an update, the changes are
     /// written to the storage system and if successful, to the buffer as
     /// well").
-    pub fn write_through(
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_through<C: StoreApi>(
         &self,
-        client: &StoreClient,
+        client: &C,
         table: TableId,
         rid: Rid,
         token: Token,
@@ -310,7 +318,7 @@ mod tests {
     use bytes::Bytes;
     use std::sync::Arc;
     use tell_common::BitSet;
-    use tell_store::{StoreCluster, StoreConfig};
+    use tell_store::{StoreClient, StoreCluster, StoreConfig};
 
     fn snap(base: u64) -> SnapshotDescriptor {
         SnapshotDescriptor::new(base, BitSet::new())
@@ -361,9 +369,8 @@ mod tests {
             buf.read_record(&client, table, rid, &snap(5), &snap(5)).unwrap().unwrap();
         // Apply an update as tid 8.
         rec.add_version(TxnId(8), Some(Bytes::from_static(b"new")));
-        let new_token = client
-            .store_conditional(&keys::record(table, rid), token, rec.encode())
-            .unwrap();
+        let new_token =
+            client.store_conditional(&keys::record(table, rid), token, rec.encode()).unwrap();
         buf.write_through(&client, table, rid, new_token, &rec, TxnId(8), &snap(5)).unwrap();
         // A txn whose snapshot includes tid 8 can use the buffer.
         let mut bits = BitSet::new();
@@ -377,20 +384,23 @@ mod tests {
     #[test]
     fn sbvs_detects_remote_updates_via_stamp() {
         let (client, table, rid) = setup();
-        let buf = RecordBuffer::new(BufferConfig::SharedVersionSync { capacity: 100, cache_unit: 10 });
+        let buf =
+            RecordBuffer::new(BufferConfig::SharedVersionSync { capacity: 100, cache_unit: 10 });
         buf.read_record(&client, table, rid, &snap(5), &snap(5)).unwrap().unwrap();
         // Hit while nothing changed.
         buf.read_record(&client, table, rid, &snap(9), &snap(9)).unwrap().unwrap();
         assert_eq!(buf.stats().hits.load(Ordering::Relaxed), 1);
         // A "remote PN" updates the record and bumps the unit stamp.
-        let remote = RecordBuffer::new(BufferConfig::SharedVersionSync { capacity: 100, cache_unit: 10 });
+        let remote =
+            RecordBuffer::new(BufferConfig::SharedVersionSync { capacity: 100, cache_unit: 10 });
         let (token, mut rec) =
             remote.read_record(&client, table, rid, &snap(5), &snap(5)).unwrap().unwrap();
         rec.add_version(TxnId(9), Some(Bytes::from_static(b"remote")));
         let t2 = client.store_conditional(&keys::record(table, rid), token, rec.encode()).unwrap();
         remote.write_through(&client, table, rid, t2, &rec, TxnId(9), &snap(5)).unwrap();
         // Our stale entry must be refreshed (stamp mismatch → miss).
-        let (_, fresh) = buf.read_record(&client, table, rid, &snap(20), &snap(20)).unwrap().unwrap();
+        let (_, fresh) =
+            buf.read_record(&client, table, rid, &snap(20), &snap(20)).unwrap().unwrap();
         assert!(fresh.has_version(9));
         assert_eq!(buf.stats().misses.load(Ordering::Relaxed), 2);
     }
@@ -404,14 +414,16 @@ mod tests {
             let rec = VersionedRecord::with_initial(TxnId(0), Bytes::from_static(b"x"));
             client.insert(&keys::record(table, Rid(r)), rec.encode()).unwrap();
         }
-        let buf = RecordBuffer::new(BufferConfig::SharedVersionSync { capacity: 100, cache_unit: 10 });
+        let buf =
+            RecordBuffer::new(BufferConfig::SharedVersionSync { capacity: 100, cache_unit: 10 });
         buf.read_record(&client, table, Rid(1), &snap(1), &snap(1)).unwrap().unwrap();
         buf.read_record(&client, table, Rid(2), &snap(1), &snap(1)).unwrap().unwrap();
         // Update rid 1 → same unit as rid 2 → rid 2's entry is also stale.
         let (token, mut rec) =
             buf.read_record(&client, table, Rid(1), &snap(1), &snap(1)).unwrap().unwrap();
         rec.add_version(TxnId(3), Some(Bytes::from_static(b"y")));
-        let t2 = client.store_conditional(&keys::record(table, Rid(1)), token, rec.encode()).unwrap();
+        let t2 =
+            client.store_conditional(&keys::record(table, Rid(1)), token, rec.encode()).unwrap();
         buf.write_through(&client, table, Rid(1), t2, &rec, TxnId(3), &snap(1)).unwrap();
         let before = buf.stats().misses.load(Ordering::Relaxed);
         buf.read_record(&client, table, Rid(2), &snap(1), &snap(1)).unwrap().unwrap();

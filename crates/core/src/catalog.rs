@@ -13,7 +13,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, IndexId, Result, TableId};
-use tell_store::{keys, StoreClient};
+use tell_store::{keys, StoreApi};
 
 /// Extracts the indexed key bytes from an (opaque-to-core) row image.
 /// Returns `None` when the row has no value for the indexed attribute.
@@ -85,7 +85,11 @@ fn decode_catalog(buf: &[u8]) -> Result<Vec<Arc<TableDef>>> {
         let ni = r.u32()? as usize;
         let mut indexes = Vec::with_capacity(ni);
         for _ in 0..ni {
-            indexes.push(IndexDef { id: IndexId(r.u32()?), name: r.string()?, unique: r.u8()? == 1 });
+            indexes.push(IndexDef {
+                id: IndexId(r.u32()?),
+                name: r.string()?,
+                unique: r.u8()? == 1,
+            });
         }
         tables.push(Arc::new(TableDef { id, name, indexes }));
     }
@@ -105,7 +109,7 @@ impl Catalog {
     }
 
     /// (Re)load the catalog from the store.
-    pub fn load(&self, client: &StoreClient) -> Result<()> {
+    pub fn load<C: StoreApi>(&self, client: &C) -> Result<()> {
         let tables = match client.get(&keys::meta(CATALOG_KEY))? {
             Some((_, raw)) => decode_catalog(&raw)?,
             None => Vec::new(),
@@ -123,9 +127,9 @@ impl Catalog {
 
     /// Create a table with the given indexes (`(name, unique)`; the first
     /// entry is the primary-key index). Returns the new definition.
-    pub fn create_table(
+    pub fn create_table<C: StoreApi>(
         &self,
-        client: &StoreClient,
+        client: &C,
         name: &str,
         indexes: &[(&str, bool)],
     ) -> Result<Arc<TableDef>> {
@@ -169,9 +173,9 @@ impl Catalog {
     /// Add an index to an existing table (`CREATE INDEX`). The caller is
     /// responsible for creating the B+tree and backfilling it (see
     /// `Database::add_index`). Returns the updated definition.
-    pub fn add_index(
+    pub fn add_index<C: StoreApi>(
         &self,
-        client: &StoreClient,
+        client: &C,
         table: &str,
         index_name: &str,
         unique: bool,
@@ -181,10 +185,7 @@ impl Catalog {
                 Some((t, raw)) => (t, decode_catalog(&raw)?),
                 None => return Err(Error::NotFound),
             };
-            let pos = tables
-                .iter()
-                .position(|t| t.name == table)
-                .ok_or(Error::NotFound)?;
+            let pos = tables.iter().position(|t| t.name == table).ok_or(Error::NotFound)?;
             if tables[pos].index(index_name).is_some() {
                 return Err(Error::invalid(format!(
                     "index '{index_name}' already exists on '{table}'"
@@ -192,12 +193,11 @@ impl Catalog {
             }
             let id = IndexId(client.increment(&keys::counter(INDEX_ID_COUNTER), 1)? as u32);
             let mut updated = (*tables[pos]).clone();
-            updated
-                .indexes
-                .push(IndexDef { id, name: index_name.to_string(), unique });
+            updated.indexes.push(IndexDef { id, name: index_name.to_string(), unique });
             let updated = Arc::new(updated);
             tables[pos] = Arc::clone(&updated);
-            match client.store_conditional(&keys::meta(CATALOG_KEY), token, encode_catalog(&tables)) {
+            match client.store_conditional(&keys::meta(CATALOG_KEY), token, encode_catalog(&tables))
+            {
                 Ok(_) => {
                     self.by_name.write().insert(updated.name.clone(), Arc::clone(&updated));
                     self.by_id.write().insert(updated.id, Arc::clone(&updated));
@@ -211,20 +211,16 @@ impl Catalog {
 
     /// Look up by name (after a miss, re-loads once — another PN may have
     /// created the table).
-    pub fn table(&self, client: &StoreClient, name: &str) -> Result<Arc<TableDef>> {
+    pub fn table<C: StoreApi>(&self, client: &C, name: &str) -> Result<Arc<TableDef>> {
         if let Some(t) = self.by_name.read().get(name) {
             return Ok(Arc::clone(t));
         }
         self.load(client)?;
-        self.by_name
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or(Error::NotFound)
+        self.by_name.read().get(name).cloned().ok_or(Error::NotFound)
     }
 
     /// Look up by id.
-    pub fn table_by_id(&self, client: &StoreClient, id: TableId) -> Result<Arc<TableDef>> {
+    pub fn table_by_id<C: StoreApi>(&self, client: &C, id: TableId) -> Result<Arc<TableDef>> {
         if let Some(t) = self.by_id.read().get(&id) {
             return Ok(Arc::clone(t));
         }
@@ -247,7 +243,7 @@ impl Default for Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tell_store::{StoreCluster, StoreConfig};
+    use tell_store::{StoreClient, StoreCluster, StoreConfig};
 
     fn client() -> StoreClient {
         StoreClient::unmetered(StoreCluster::new(StoreConfig::new(2)))
@@ -257,13 +253,11 @@ mod tests {
     fn create_and_lookup() {
         let c = client();
         let cat = Catalog::new();
-        let t = cat
-            .create_table(&c, "customer", &[("pk", true), ("by_last_name", false)])
-            .unwrap();
+        let t = cat.create_table(&c, "customer", &[("pk", true), ("by_last_name", false)]).unwrap();
         assert_eq!(t.name, "customer");
         assert_eq!(t.indexes.len(), 2);
         assert!(t.primary_index().unique);
-        assert_eq!(t.index("by_last_name").unwrap().unique, false);
+        assert!(!t.index("by_last_name").unwrap().unique);
         assert!(t.index("nope").is_none());
         let got = cat.table(&c, "customer").unwrap();
         assert_eq!(got.id, t.id);
@@ -309,12 +303,8 @@ mod tests {
         let a = cat.create_table(&c, "a", &[("pk", true), ("i2", false)]).unwrap();
         let b = cat.create_table(&c, "b", &[("pk", true)]).unwrap();
         assert_ne!(a.id, b.id);
-        let mut idx_ids: Vec<u32> = a
-            .indexes
-            .iter()
-            .chain(b.indexes.iter())
-            .map(|i| i.id.raw())
-            .collect();
+        let mut idx_ids: Vec<u32> =
+            a.indexes.iter().chain(b.indexes.iter()).map(|i| i.id.raw()).collect();
         idx_ids.sort_unstable();
         idx_ids.dedup();
         assert_eq!(idx_ids.len(), 3);

@@ -6,12 +6,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use tell_common::{Error, IndexId, PnId, Result, Rid, SimClock, TableId, TxnId};
 use tell_commitmgr::manager::CmConfig;
-use tell_commitmgr::CmCluster;
+use tell_commitmgr::{CmCluster, CommitService};
+use tell_common::{Error, IndexId, PnId, Result, Rid, SimClock, TableId, TxnId};
 use tell_index::{BTreeConfig, DistributedBTree};
 use tell_netsim::{NetMeter, NetworkProfile, TrafficStats};
-use tell_store::{keys, StoreClient, StoreCluster, StoreConfig};
+use tell_store::{keys, StoreApi, StoreCluster, StoreConfig, StoreEndpoint};
 
 use crate::buffer::BufferConfig;
 use crate::catalog::{Catalog, KeyExtractor, TableDef};
@@ -84,11 +84,19 @@ impl IndexSpec {
     }
 }
 
-/// A running Tell database: the storage cluster, the commit managers, and
+/// A running Tell database: the storage endpoint, the commit service, and
 /// the shared catalog. Processing nodes are spawned from it.
-pub struct Database {
-    store: Arc<StoreCluster>,
-    cms: Arc<CmCluster>,
+///
+/// Generic over the storage endpoint: the default `Arc<StoreCluster>` runs
+/// everything in-process (the simulation harness); `tell-rpc`'s remote
+/// endpoint runs the same code against storage nodes across TCP.
+pub struct Database<E: StoreEndpoint = Arc<StoreCluster>> {
+    endpoint: E,
+    commit: Arc<dyn CommitService>,
+    /// Local commit managers, when this process hosts them (built by
+    /// [`Database::create`]). Remote deployments administer their commit
+    /// managers in the server process and leave this empty.
+    cms: Option<Arc<CmCluster<E>>>,
     catalog: Arc<Catalog>,
     extractors: RwLock<HashMap<IndexId, KeyExtractor>>,
     traffic: Arc<TrafficStats>,
@@ -97,7 +105,8 @@ pub struct Database {
 }
 
 impl Database {
-    /// Build a fresh deployment.
+    /// Build a fresh in-process deployment (storage cluster plus commit
+    /// managers, all in this process).
     pub fn create(config: TellConfig) -> Arc<Database> {
         let mut store_cfg = StoreConfig::new(config.storage_nodes)
             .replication(config.replication_factor)
@@ -111,8 +120,9 @@ impl Database {
         let store = StoreCluster::new(store_cfg);
         let cms = CmCluster::new(Arc::clone(&store), config.commit_managers, config.cm.clone());
         Arc::new(Database {
-            store,
-            cms,
+            endpoint: store,
+            commit: Arc::clone(&cms) as Arc<dyn CommitService>,
+            cms: Some(cms),
             catalog: Arc::new(Catalog::new()),
             extractors: RwLock::new(HashMap::new()),
             traffic: TrafficStats::new(),
@@ -121,14 +131,47 @@ impl Database {
         })
     }
 
-    /// The storage cluster.
+    /// The storage cluster (in-process deployments only).
     pub fn store(&self) -> &Arc<StoreCluster> {
-        &self.store
+        &self.endpoint
+    }
+}
+
+impl<E: StoreEndpoint> Database<E> {
+    /// Open a database over an arbitrary storage endpoint and commit
+    /// service — the entry point for processing nodes that talk to remote
+    /// storage nodes and commit managers (see `tell-rpc`).
+    pub fn open(endpoint: E, commit: Arc<dyn CommitService>, config: TellConfig) -> Arc<Self> {
+        Arc::new(Database {
+            endpoint,
+            commit,
+            cms: None,
+            catalog: Arc::new(Catalog::new()),
+            extractors: RwLock::new(HashMap::new()),
+            traffic: TrafficStats::new(),
+            config,
+            next_pn: AtomicU32::new(0),
+        })
     }
 
-    /// The commit managers.
-    pub fn commit_managers(&self) -> &Arc<CmCluster> {
-        &self.cms
+    /// The storage endpoint processing nodes mint their clients from.
+    pub fn endpoint(&self) -> &E {
+        &self.endpoint
+    }
+
+    /// The commit service transactions start against.
+    pub fn commit_service(&self) -> &Arc<dyn CommitService> {
+        &self.commit
+    }
+
+    /// The local commit managers. Panics on a remote deployment — those
+    /// administer commit managers in the server process; use
+    /// [`Database::commit_service`] for the operations every deployment has.
+    pub fn commit_managers(&self) -> &Arc<CmCluster<E>> {
+        self.cms.as_ref().expect(
+            "no local commit managers: this database was opened over a remote \
+             commit service; use commit_service() instead",
+        )
     }
 
     /// The shared catalog.
@@ -147,8 +190,8 @@ impl Database {
     }
 
     /// An unmetered client for administrative work (DDL, loading, tests).
-    pub fn admin_client(&self) -> StoreClient {
-        StoreClient::unmetered(Arc::clone(&self.store))
+    pub fn admin_client(&self) -> E::Client {
+        self.endpoint.unmetered_client()
     }
 
     /// Create a table together with its indexes and register the key
@@ -159,7 +202,7 @@ impl Database {
             specs.iter().map(|s| (s.name.as_str(), s.unique)).collect();
         let def = self.catalog.create_table(&client, name, &index_meta)?;
         let mut extractors = self.extractors.write();
-        for (idx, spec) in def.indexes.iter().zip(specs.into_iter()) {
+        for (idx, spec) in def.indexes.iter().zip(specs) {
             DistributedBTree::create(self.admin_client(), idx.id, self.config.btree.clone())?;
             extractors.insert(idx.id, spec.extractor);
         }
@@ -206,7 +249,7 @@ impl Database {
 
     /// Spawn a processing node (one worker). Must be called on the thread
     /// that will use it — the node owns a thread-local virtual clock.
-    pub fn processing_node(self: &Arc<Self>) -> ProcessingNode {
+    pub fn processing_node(self: &Arc<Self>) -> ProcessingNode<E> {
         let group = Arc::new(PnGroup::new(self.config.buffer.clone()));
         self.processing_node_in_group(&group)
     }
@@ -214,7 +257,7 @@ impl Database {
     /// Spawn a worker that shares PN-level state (record buffer, V_max)
     /// with other workers of the same *logical* processing node. The paper's
     /// PNs run several worker threads; a [`PnGroup`] models one such PN.
-    pub fn processing_node_in_group(self: &Arc<Self>, group: &Arc<PnGroup>) -> ProcessingNode {
+    pub fn processing_node_in_group(self: &Arc<Self>, group: &Arc<PnGroup>) -> ProcessingNode<E> {
         let id = PnId(self.next_pn.fetch_add(1, Ordering::Relaxed));
         let clock = SimClock::new();
         let meter =
@@ -262,7 +305,7 @@ impl Database {
     }
 
     /// Allocate a rid range for a PN (`[lo, hi]` inclusive).
-    pub(crate) fn alloc_rid_range(&self, client: &StoreClient, table: TableId) -> Result<(u64, u64)> {
+    pub(crate) fn alloc_rid_range(&self, client: &E::Client, table: TableId) -> Result<(u64, u64)> {
         let n = self.config.rid_range;
         let hi = client.increment(&keys::counter(&format!("rid/{}", table.raw())), n)?;
         Ok((hi - n + 1, hi))
@@ -280,9 +323,7 @@ mod tests {
     #[test]
     fn create_table_creates_trees_and_extractors() {
         let db = Database::create(TellConfig::default());
-        let t = db
-            .create_table("items", vec![IndexSpec::new("pk", true, pk_extractor())])
-            .unwrap();
+        let t = db.create_table("items", vec![IndexSpec::new("pk", true, pk_extractor())]).unwrap();
         assert_eq!(t.name, "items");
         let idx = t.primary_index().id;
         assert!(db.extractor(idx).is_some());
@@ -294,9 +335,7 @@ mod tests {
     #[test]
     fn bulk_load_populates_records_and_indexes() {
         let db = Database::create(TellConfig::default());
-        let t = db
-            .create_table("items", vec![IndexSpec::new("pk", true, pk_extractor())])
-            .unwrap();
+        let t = db.create_table("items", vec![IndexSpec::new("pk", true, pk_extractor())]).unwrap();
         let rows: Vec<Bytes> = (0..20u32)
             .map(|i| {
                 let mut r = i.to_be_bytes().to_vec();
@@ -317,9 +356,7 @@ mod tests {
     #[test]
     fn rid_ranges_do_not_overlap() {
         let db = Database::create(TellConfig { rid_range: 16, ..TellConfig::default() });
-        let t = db
-            .create_table("t", vec![IndexSpec::new("pk", true, pk_extractor())])
-            .unwrap();
+        let t = db.create_table("t", vec![IndexSpec::new("pk", true, pk_extractor())]).unwrap();
         let c = db.admin_client();
         let (a_lo, a_hi) = db.alloc_rid_range(&c, t.id).unwrap();
         let (b_lo, b_hi) = db.alloc_rid_range(&c, t.id).unwrap();

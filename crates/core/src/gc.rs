@@ -13,7 +13,7 @@ use std::collections::HashSet;
 use bytes::Bytes;
 use tell_common::{Error, Result};
 use tell_index::DistributedBTree;
-use tell_store::keys;
+use tell_store::{keys, StoreApi, StoreEndpoint};
 
 use crate::database::Database;
 use crate::record::VersionedRecord;
@@ -37,9 +37,9 @@ pub struct GcReport {
 /// Run one full GC sweep. Safe to run concurrently with transactions:
 /// every mutation is a conditional write, and losing a race simply defers
 /// the cleanup to the next sweep.
-pub fn run_gc(db: &Database) -> Result<GcReport> {
+pub fn run_gc<E: StoreEndpoint>(db: &Database<E>) -> Result<GcReport> {
     let client = db.admin_client();
-    let lav = db.commit_managers().current_lav();
+    let lav = db.commit_service().current_lav()?;
     let mut report = GcReport::default();
 
     for table in db.catalog().tables() {
@@ -85,9 +85,7 @@ pub fn run_gc(db: &Database) -> Result<GcReport> {
                     // surviving version are dead (V_a \ G = ∅, §5.4).
                     let keys_after = index_keys(&rec, &trees);
                     for entry @ (tree_idx, k) in &keys_before {
-                        if !keys_after.contains(entry)
-                            && trees[*tree_idx].0.remove(k, rid.raw())?
-                        {
+                        if !keys_after.contains(entry) && trees[*tree_idx].0.remove(k, rid.raw())? {
                             report.index_entries_removed += 1;
                         }
                     }
@@ -102,9 +100,12 @@ pub fn run_gc(db: &Database) -> Result<GcReport> {
     Ok(report)
 }
 
-type TreeSlot = (DistributedBTree, crate::catalog::KeyExtractor);
+type TreeSlot<C> = (DistributedBTree<C>, crate::catalog::KeyExtractor);
 
-fn index_keys(rec: &VersionedRecord, trees: &[TreeSlot]) -> HashSet<(usize, Bytes)> {
+fn index_keys<C: StoreApi>(
+    rec: &VersionedRecord,
+    trees: &[TreeSlot<C>],
+) -> HashSet<(usize, Bytes)> {
     let mut out = HashSet::new();
     for (i, (_, ex)) in trees.iter().enumerate() {
         for v in rec.versions() {

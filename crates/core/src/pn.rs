@@ -11,11 +11,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use tell_common::{IndexId, PnId, Result, SimClock, TableId};
 use tell_commitmgr::SnapshotDescriptor;
+use tell_common::{IndexId, PnId, Result, SimClock, TableId};
 use tell_index::DistributedBTree;
 use tell_netsim::NetMeter;
-use tell_store::StoreClient;
+use tell_store::{StoreCluster, StoreEndpoint};
 
 use crate::buffer::{BufferConfig, RecordBuffer};
 use crate::catalog::TableDef;
@@ -59,20 +59,25 @@ impl PnGroup {
 }
 
 /// One worker of a processing node.
-pub struct ProcessingNode {
+pub struct ProcessingNode<E: StoreEndpoint = Arc<StoreCluster>> {
     id: PnId,
-    db: Arc<Database>,
-    client: StoreClient,
+    db: Arc<Database<E>>,
+    client: E::Client,
     meter: NetMeter,
     group: Arc<PnGroup>,
     metrics: PnMetrics,
-    trees: RefCell<HashMap<IndexId, Arc<DistributedBTree>>>,
+    trees: RefCell<HashMap<IndexId, Arc<DistributedBTree<E::Client>>>>,
     rid_ranges: RefCell<HashMap<TableId, (u64, u64)>>,
 }
 
-impl ProcessingNode {
-    pub(crate) fn new(id: PnId, db: Arc<Database>, meter: NetMeter, group: Arc<PnGroup>) -> Self {
-        let client = StoreClient::new(Arc::clone(db.store()), meter.clone());
+impl<E: StoreEndpoint> ProcessingNode<E> {
+    pub(crate) fn new(
+        id: PnId,
+        db: Arc<Database<E>>,
+        meter: NetMeter,
+        group: Arc<PnGroup>,
+    ) -> Self {
+        let client = db.endpoint().client(meter.clone());
         ProcessingNode {
             id,
             db,
@@ -91,12 +96,12 @@ impl ProcessingNode {
     }
 
     /// The database this worker belongs to.
-    pub fn database(&self) -> &Arc<Database> {
+    pub fn database(&self) -> &Arc<Database<E>> {
         &self.db
     }
 
     /// The worker's metered storage client.
-    pub fn client(&self) -> &StoreClient {
+    pub fn client(&self) -> &E::Client {
         &self.client
     }
 
@@ -130,11 +135,9 @@ impl ProcessingNode {
     /// one commit manager ("each node interacts with a dedicated
     /// authority", §4.1) so its own commits are always in its snapshots;
     /// fail-over to the next manager is automatic.
-    pub fn begin(&self) -> Result<Transaction<'_>> {
-        let (start, cm) = self
-            .db
-            .commit_managers()
-            .start_pinned(self.id.raw() as usize, &self.meter)?;
+    pub fn begin(&self) -> Result<Transaction<'_, E>> {
+        let (start, cm) =
+            self.db.commit_service().start_pinned(self.id.raw() as usize, &self.meter)?;
         self.group.note_started(&start.snapshot);
         Ok(Transaction::new(self, start, cm))
     }
@@ -145,7 +148,7 @@ impl ProcessingNode {
     pub fn run<T>(
         &self,
         max_attempts: usize,
-        mut body: impl FnMut(&mut Transaction<'_>) -> Result<T>,
+        mut body: impl FnMut(&mut Transaction<'_, E>) -> Result<T>,
     ) -> Result<T> {
         let mut last = tell_common::Error::Conflict;
         for _ in 0..max_attempts {
@@ -181,7 +184,7 @@ impl ProcessingNode {
 
     /// The worker's handle to a B+tree (opened lazily, inner-node cache
     /// local to this worker per §5.3.1).
-    pub fn tree(&self, index: IndexId) -> Result<Arc<DistributedBTree>> {
+    pub fn tree(&self, index: IndexId) -> Result<Arc<DistributedBTree<E::Client>>> {
         if let Some(t) = self.trees.borrow().get(&index) {
             return Ok(Arc::clone(t));
         }

@@ -6,9 +6,9 @@
 //! atomic conditional write applies an update *and* detects conflicts.
 
 use bytes::Bytes;
+use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, Result, TxnId};
-use tell_commitmgr::SnapshotDescriptor;
 
 /// One version of a record: the writing transaction's id (= version number)
 /// and the payload; `None` payload is a deletion tombstone.
@@ -64,10 +64,7 @@ impl VersionedRecord {
     /// returns `Some(Version{payload: None, ..})` when the visible version
     /// is a tombstone (record deleted as of this snapshot).
     pub fn visible(&self, snapshot: &SnapshotDescriptor) -> Option<&Version> {
-        self.versions
-            .iter()
-            .filter(|v| snapshot.contains(v.version))
-            .max_by_key(|v| v.version)
+        self.versions.iter().filter(|v| snapshot.contains(v.version)).max_by_key(|v| v.version)
     }
 
     /// Convenience: the visible payload (deleted/missing → `None`).
@@ -104,12 +101,7 @@ impl VersionedRecord {
     /// (the newest globally-visible version always survives). Returns the
     /// number of versions dropped.
     pub fn gc(&mut self, lav: u64) -> usize {
-        let max_c = self
-            .versions
-            .iter()
-            .map(|v| v.version)
-            .filter(|v| *v <= lav)
-            .max();
+        let max_c = self.versions.iter().map(|v| v.version).filter(|v| *v <= lav).max();
         let Some(max_c) = max_c else { return 0 };
         let before = self.versions.len();
         self.versions.retain(|v| v.version > lav || v.version == max_c);
@@ -166,11 +158,8 @@ impl VersionedRecord {
                 }
             }
             prev = Some(version);
-            let payload = if r.u8()? == 1 {
-                Some(Bytes::copy_from_slice(r.bytes()?))
-            } else {
-                None
-            };
+            let payload =
+                if r.u8()? == 1 { Some(Bytes::copy_from_slice(r.bytes()?)) } else { None };
             versions.push(Version { version, payload });
         }
         if !r.is_exhausted() {

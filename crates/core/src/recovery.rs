@@ -8,7 +8,7 @@
 //! of every uncommitted entry belonging to the failed node.
 
 use tell_common::{Error, PnId, Result, Rid, TableId, TxnId};
-use tell_store::{keys, StoreClient};
+use tell_store::{keys, StoreApi, StoreEndpoint};
 
 use crate::database::Database;
 use crate::record::VersionedRecord;
@@ -30,8 +30,8 @@ pub struct RecoveryReport {
 /// conditional write until it sticks. Used both by commit-failure rollback
 /// and by the recovery process ("the version with number tid is removed
 /// from the records").
-pub fn revert_record_version(
-    client: &StoreClient,
+pub fn revert_record_version<C: StoreApi>(
+    client: &C,
     table: TableId,
     rid: Rid,
     tid: TxnId,
@@ -64,9 +64,12 @@ pub fn revert_record_version(
 /// "The management node ensures that only one recovery process is running
 /// at a time" — callers serialize invocations; the operation itself is
 /// idempotent (re-reverting is a no-op).
-pub fn recover_failed_pn(db: &Database, failed: PnId) -> Result<RecoveryReport> {
+pub fn recover_failed_pn<E: StoreEndpoint>(
+    db: &Database<E>,
+    failed: PnId,
+) -> Result<RecoveryReport> {
     let client = db.admin_client();
-    let lav = db.commit_managers().current_lav();
+    let lav = db.commit_service().current_lav()?;
     let mut report = RecoveryReport::default();
     let mut to_rollback = Vec::new();
     txlog::scan_backwards(&client, lav, |entry| {
@@ -86,7 +89,7 @@ pub fn recover_failed_pn(db: &Database, failed: PnId) -> Result<RecoveryReport> 
         }
         // Resolve the transaction on every commit manager so the global
         // base (and thus the lav) can advance past it.
-        db.commit_managers().force_resolve(entry.tid, false);
+        db.commit_service().force_resolve(entry.tid, false)?;
         report.rolled_back += 1;
     }
     Ok(report)
@@ -96,7 +99,7 @@ pub fn recover_failed_pn(db: &Database, failed: PnId) -> Result<RecoveryReport> 
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use tell_store::{StoreCluster, StoreConfig};
+    use tell_store::{StoreClient, StoreCluster, StoreConfig};
 
     #[test]
     fn revert_removes_version() {

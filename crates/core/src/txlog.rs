@@ -7,10 +7,10 @@
 //! backwards from the highest tid down to the lowest active version number.
 
 use bytes::Bytes;
+use tell_commitmgr::manager::LOG_FLAG_COMMITTED;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{PnId, Result, Rid, TableId, TxnId};
-use tell_commitmgr::manager::LOG_FLAG_COMMITTED;
-use tell_store::{keys, StoreClient};
+use tell_store::{keys, StoreApi};
 
 /// One transaction-log entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,7 +66,7 @@ impl LogEntry {
 
 /// Append a (not-yet-committed) entry. Must happen before any update is
 /// applied to the store.
-pub fn append(client: &StoreClient, entry: &LogEntry) -> Result<()> {
+pub fn append<C: StoreApi>(client: &C, entry: &LogEntry) -> Result<()> {
     debug_assert!(!entry.committed, "entries are appended uncommitted");
     client.insert(&keys::txn_log(entry.tid), entry.encode())?;
     Ok(())
@@ -74,14 +74,14 @@ pub fn append(client: &StoreClient, entry: &LogEntry) -> Result<()> {
 
 /// Flip the committed flag of `entry` (rewrites the full entry; the log
 /// entry has a single writer, so an unconditional put is safe).
-pub fn mark_committed(client: &StoreClient, entry: &mut LogEntry) -> Result<()> {
+pub fn mark_committed<C: StoreApi>(client: &C, entry: &mut LogEntry) -> Result<()> {
     entry.committed = true;
     client.put(&keys::txn_log(entry.tid), entry.encode())?;
     Ok(())
 }
 
 /// Read one entry.
-pub fn read(client: &StoreClient, tid: TxnId) -> Result<Option<LogEntry>> {
+pub fn read<C: StoreApi>(client: &C, tid: TxnId) -> Result<Option<LogEntry>> {
     match client.get(&keys::txn_log(tid))? {
         Some((_, raw)) => Ok(Some(LogEntry::decode(tid, &raw)?)),
         None => Ok(None),
@@ -90,8 +90,8 @@ pub fn read(client: &StoreClient, tid: TxnId) -> Result<Option<LogEntry>> {
 
 /// Iterate the log backwards (highest tid first), stopping when `f` returns
 /// `false` or tid falls at or below `floor`.
-pub fn scan_backwards(
-    client: &StoreClient,
+pub fn scan_backwards<C: StoreApi>(
+    client: &C,
     floor: u64,
     mut f: impl FnMut(LogEntry) -> bool,
 ) -> Result<()> {
@@ -113,7 +113,7 @@ pub fn scan_backwards(
 /// Delete log entries with `tid <= floor` (the lav acts as a rolling
 /// checkpoint; anything below it can never be needed by recovery again).
 /// Returns the number of entries removed.
-pub fn truncate(client: &StoreClient, floor: u64) -> Result<usize> {
+pub fn truncate<C: StoreApi>(client: &C, floor: u64) -> Result<usize> {
     let prefix = keys::txn_log_prefix();
     let rows = client.scan_prefix(&prefix, usize::MAX)?;
     let mut removed = 0;
@@ -136,7 +136,7 @@ pub fn truncate(client: &StoreClient, floor: u64) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tell_store::{StoreCluster, StoreConfig};
+    use tell_store::{StoreClient, StoreCluster, StoreConfig};
 
     fn client() -> StoreClient {
         StoreClient::unmetered(StoreCluster::new(StoreConfig::new(2)))

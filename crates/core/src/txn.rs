@@ -18,11 +18,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use tell_commitmgr::{CommitParticipant, SnapshotDescriptor};
 use tell_common::{Error, Result, Rid, TableId, TxnId};
-use tell_commitmgr::manager::CommitManager;
-use tell_commitmgr::SnapshotDescriptor;
 use tell_store::cell::Token;
-use tell_store::{keys, Expect, WriteOp};
+use tell_store::{keys, Expect, StoreApi, StoreCluster, StoreEndpoint, WriteOp};
 
 use crate::buffer::BufferConfig;
 use crate::catalog::TableDef;
@@ -68,12 +67,12 @@ enum State {
 }
 
 /// An open transaction on one processing node.
-pub struct Transaction<'p> {
-    pn: &'p ProcessingNode,
+pub struct Transaction<'p, E: StoreEndpoint = Arc<StoreCluster>> {
+    pn: &'p ProcessingNode<E>,
     tid: TxnId,
     snapshot: SnapshotDescriptor,
     lav: u64,
-    cm: Arc<CommitManager>,
+    cm: Arc<dyn CommitParticipant>,
     state: State,
     start_us: f64,
     /// Transaction buffer (§5.5.1): every record read once is reused for
@@ -86,11 +85,11 @@ pub struct Transaction<'p> {
     tables: HashMap<TableId, Arc<TableDef>>,
 }
 
-impl<'p> Transaction<'p> {
+impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     pub(crate) fn new(
-        pn: &'p ProcessingNode,
+        pn: &'p ProcessingNode<E>,
         start: tell_commitmgr::TxnStart,
-        cm: Arc<CommitManager>,
+        cm: Arc<dyn CommitParticipant>,
     ) -> Self {
         Transaction {
             pn,
@@ -112,7 +111,7 @@ impl<'p> Transaction<'p> {
     }
 
     /// The worker running this transaction (table lookups, metrics).
-    pub fn processing_node(&self) -> &ProcessingNode {
+    pub fn processing_node(&self) -> &ProcessingNode<E> {
         self.pn
     }
 
@@ -161,7 +160,11 @@ impl<'p> Transaction<'p> {
 
     /// Load the full versioned record through the transaction buffer and
     /// the PN's buffering strategy.
-    fn read_record(&mut self, table: TableId, rid: Rid) -> Result<Option<(Token, VersionedRecord)>> {
+    fn read_record(
+        &mut self,
+        table: TableId,
+        rid: Rid,
+    ) -> Result<Option<(Token, VersionedRecord)>> {
         if let Some(cached) = self.reads.get(&(table, rid)) {
             return Ok(cached.clone());
         }
@@ -203,10 +206,7 @@ impl<'p> Transaction<'p> {
                     self.reads.insert((table, Rid(rid)), decoded);
                 }
             }
-            Ok(rids
-                .iter()
-                .map(|r| self.reads.get(&(table, Rid(*r))).cloned().flatten())
-                .collect())
+            Ok(rids.iter().map(|r| self.reads.get(&(table, Rid(*r))).cloned().flatten()).collect())
         } else {
             rids.iter().map(|r| self.read_record(table, Rid(*r))).collect()
         }
@@ -225,11 +225,10 @@ impl<'p> Transaction<'p> {
         self.ensure_running()?;
         self.pn.meter().charge_cpu(CPU_OP_US);
         let tree = self.pn.tree(index)?;
-        let ex = self
-            .pn
-            .database()
-            .extractor(index)
-            .ok_or_else(|| Error::invalid(format!("no extractor registered for index {index}")))?;
+        let ex =
+            self.pn.database().extractor(index).ok_or_else(|| {
+                Error::invalid(format!("no extractor registered for index {index}"))
+            })?;
         let rids = tree.lookup(key)?;
         let records = self.multi_read_records(table.id, &rids)?;
         let mut out: Vec<(Rid, Bytes)> = Vec::new();
@@ -288,11 +287,10 @@ impl<'p> Transaction<'p> {
         self.ensure_running()?;
         self.pn.meter().charge_cpu(CPU_OP_US);
         let tree = self.pn.tree(index)?;
-        let ex = self
-            .pn
-            .database()
-            .extractor(index)
-            .ok_or_else(|| Error::invalid(format!("no extractor registered for index {index}")))?;
+        let ex =
+            self.pn.database().extractor(index).ok_or_else(|| {
+                Error::invalid(format!("no extractor registered for index {index}"))
+            })?;
         let entries = tree.range(start, end, limit.saturating_mul(2).max(limit))?;
         let rids: Vec<u64> = entries.iter().map(|(_, r)| *r).collect();
         let records = self.multi_read_records(table.id, &rids)?;
@@ -349,7 +347,7 @@ impl<'p> Transaction<'p> {
         self.ensure_running()?;
         let prefix = keys::record_prefix(table.id);
         let snapshot = self.snapshot.clone();
-        let rows = self.pn.client().scan_prefix_pushdown(&prefix, usize::MAX, |_, raw| {
+        let rows = self.pn.client().scan_prefix_pushdown(&prefix, usize::MAX, &|_, raw| {
             match VersionedRecord::decode(raw) {
                 Ok(rec) => rec.visible_payload(&snapshot).map(|p| pred(p)).unwrap_or(false),
                 Err(_) => false,
@@ -421,8 +419,10 @@ impl<'p> Transaction<'p> {
         }
         let rid = Rid(self.pn.alloc_rid(table.id)?);
         self.note_table(table);
-        self.writes
-            .insert((table.id, rid), Intent { kind: IntentKind::Insert, new_row: Some(row), old_row: None });
+        self.writes.insert(
+            (table.id, rid),
+            Intent { kind: IntentKind::Insert, new_row: Some(row), old_row: None },
+        );
         Ok(rid)
     }
 
@@ -466,15 +466,9 @@ impl<'p> Transaction<'p> {
     ///   corrupt the `v := max(V ∩ V')` read rule (version order must equal
     ///   commit order per record). This is precisely the "higher abort
     ///   rate" cost of continuous tid ranges the paper concedes.
-    fn check_no_foreign_versions(
-        &self,
-        rec: &Option<(Token, VersionedRecord)>,
-    ) -> Result<()> {
+    fn check_no_foreign_versions(&self, rec: &Option<(Token, VersionedRecord)>) -> Result<()> {
         if let Some((_, record)) = rec {
-            if record
-                .version_numbers()
-                .any(|v| v >= self.tid.raw() || !self.snapshot.contains(v))
-            {
+            if record.version_numbers().any(|v| v >= self.tid.raw() || !self.snapshot.contains(v)) {
                 return Err(Error::Conflict);
             }
         }
@@ -520,9 +514,7 @@ impl<'p> Transaction<'p> {
         if self.writes.is_empty() {
             self.state = State::Committed;
             self.cm.set_committed(self.tid, self.pn.meter())?;
-            self.pn
-                .metrics()
-                .record_commit(self.pn.clock().now_us() - self.start_us);
+            self.pn.metrics().record_commit(self.pn.clock().now_us() - self.start_us);
             return Ok(());
         }
         self.pn.meter().charge_cpu(self.writes.len() as f64 * CPU_OP_US);
@@ -599,10 +591,17 @@ impl<'p> Transaction<'p> {
             }
             self.state = State::Aborted;
             self.cm.set_aborted(self.tid, self.pn.meter())?;
-            self.pn
-                .metrics()
-                .record_abort(self.pn.clock().now_us() - self.start_us, true);
-            return Err(Error::Conflict);
+            self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, true);
+            // A genuine SI conflict is retryable; an infrastructure failure
+            // (storage node down, capacity exceeded) is not — report the
+            // latter when present so callers do not retry in vain.
+            let err = results
+                .iter()
+                .filter_map(|r| r.as_ref().err())
+                .find(|e| !matches!(e, Error::Conflict))
+                .cloned()
+                .unwrap_or(Error::Conflict);
+            return Err(err);
         }
 
         // Commit: index maintenance. Only key changes touch trees; stale
@@ -643,9 +642,7 @@ impl<'p> Transaction<'p> {
         }
 
         self.state = State::Committed;
-        self.pn
-            .metrics()
-            .record_commit(self.pn.clock().now_us() - self.start_us);
+        self.pn.metrics().record_commit(self.pn.clock().now_us() - self.start_us);
         Ok(())
     }
 
@@ -655,9 +652,7 @@ impl<'p> Transaction<'p> {
         self.ensure_running()?;
         self.state = State::Aborted;
         self.cm.set_aborted(self.tid, self.pn.meter())?;
-        self.pn
-            .metrics()
-            .record_abort(self.pn.clock().now_us() - self.start_us, false);
+        self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, false);
         Ok(())
     }
 
@@ -668,7 +663,7 @@ impl<'p> Transaction<'p> {
     }
 }
 
-impl Drop for Transaction<'_> {
+impl<E: StoreEndpoint> Drop for Transaction<'_, E> {
     fn drop(&mut self) {
         if self.state == State::Running {
             // Crash-stop semantics for forgotten transactions: report the
@@ -676,9 +671,7 @@ impl Drop for Transaction<'_> {
             // were applied (that only happens inside commit()).
             self.state = State::Aborted;
             let _ = self.cm.set_aborted(self.tid, self.pn.meter());
-            self.pn
-                .metrics()
-                .record_abort(self.pn.clock().now_us() - self.start_us, false);
+            self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, false);
         }
     }
 }

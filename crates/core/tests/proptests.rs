@@ -4,8 +4,8 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use std::sync::Arc;
-use tell_common::{BitSet, TxnId};
 use tell_commitmgr::SnapshotDescriptor;
+use tell_common::{BitSet, TxnId};
 use tell_core::database::IndexSpec;
 use tell_core::{Database, TellConfig, VersionedRecord};
 
@@ -101,8 +101,8 @@ proptest! {
     }
 }
 
-/// Randomized concurrent increment workloads preserve the sum invariant
-/// under snapshot isolation regardless of the thread/key schedule.
+// Randomized concurrent increment workloads preserve the sum invariant
+// under snapshot isolation regardless of the thread/key schedule.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -196,11 +196,7 @@ fn unique_index_rejects_duplicates() {
 fn index_lookup_finds_by_pk_and_group() {
     let (db, table) = default_db();
     let pn = db.processing_node();
-    db.bulk_load(
-        &table,
-        vec![row(1, 10, "a"), row(2, 10, "b"), row(3, 20, "c")],
-    )
-    .unwrap();
+    db.bulk_load(&table, vec![row(1, 10, "a"), row(2, 10, "b"), row(3, 20, "c")]).unwrap();
     let pk_idx = table.primary_index().id;
     let grp_idx = table.index("by_group").unwrap().id;
 
@@ -263,9 +259,7 @@ fn index_range_scan() {
     db.bulk_load(&table, (1..=20).map(|i| row(i, 0, "x")).collect()).unwrap();
     let pk_idx = table.primary_index().id;
     let mut t = pn.begin().unwrap();
-    let rows = t
-        .index_range(&table, pk_idx, &pk_bytes(5), Some(&pk_bytes(10)), 100)
-        .unwrap();
+    let rows = t.index_range(&table, pk_idx, &pk_bytes(5), Some(&pk_bytes(10)), 100).unwrap();
     assert_eq!(rows.len(), 5);
     assert_eq!(row_pk(&rows.first().unwrap().2), 5);
     assert_eq!(row_pk(&rows.last().unwrap().2), 9);
@@ -283,9 +277,7 @@ fn table_scan_and_pushdown_agree() {
     let mut t = pn.begin().unwrap();
     let all = t.scan_table(&table, usize::MAX).unwrap();
     assert_eq!(all.len(), 30);
-    let filtered = t
-        .scan_table_pushdown(&table, usize::MAX, |r| r[8] == 1)
-        .unwrap();
+    let filtered = t.scan_table_pushdown(&table, usize::MAX, |r| r[8] == 1).unwrap();
     assert_eq!(filtered.len(), 10);
     assert!(filtered.iter().all(|(_, r)| r[8] == 1));
     t.commit().unwrap();
@@ -331,10 +323,7 @@ fn run_retries_conflicts_to_success() {
             for _ in 0..per {
                 pn.run(1000, |t| {
                     let cur = t.get(&table, rid)?.unwrap();
-                    let n: u64 = std::str::from_utf8(row_payload(&cur))
-                        .unwrap()
-                        .parse()
-                        .unwrap();
+                    let n: u64 = std::str::from_utf8(row_payload(&cur)).unwrap().parse().unwrap();
                     t.update(&table, rid, row(1, 0, &(n + 1).to_string()))
                 })
                 .unwrap();
@@ -453,12 +442,9 @@ fn gc_removes_dead_index_entries() {
     assert!(report.index_entries_removed >= 1, "{report:?}");
     // Tree no longer contains the group-10 entry at all.
     let grp_idx = table.index("by_group").unwrap().id;
-    let tree = tell_index::DistributedBTree::open(
-        db.admin_client(),
-        grp_idx,
-        db.config().btree.clone(),
-    )
-    .unwrap();
+    let tree =
+        tell_index::DistributedBTree::open(db.admin_client(), grp_idx, db.config().btree.clone())
+            .unwrap();
     assert!(tree.lookup(&group_bytes(10)).unwrap().is_empty());
     assert_eq!(tree.lookup(&group_bytes(20)).unwrap(), vec![rid.raw()]);
 }
@@ -487,10 +473,8 @@ fn all_buffer_strategies_preserve_correctness() {
                     let rid = rids[i % rids.len()];
                     pn.run(1000, |t| {
                         let cur = t.get(&table, rid)?.unwrap();
-                        let n: u64 = std::str::from_utf8(row_payload(&cur))
-                            .unwrap()
-                            .parse()
-                            .unwrap();
+                        let n: u64 =
+                            std::str::from_utf8(row_payload(&cur)).unwrap().parse().unwrap();
                         let pk = row_pk(&cur);
                         t.update(&table, rid, row(pk, 0, &(n + 1).to_string()))
                     })
@@ -516,11 +500,8 @@ fn all_buffer_strategies_preserve_correctness() {
 
 #[test]
 fn replication_survives_storage_node_failure_mid_workload() {
-    let (db, table) = make_db(TellConfig {
-        storage_nodes: 3,
-        replication_factor: 3,
-        ..TellConfig::default()
-    });
+    let (db, table) =
+        make_db(TellConfig { storage_nodes: 3, replication_factor: 3, ..TellConfig::default() });
     let rids = db.bulk_load(&table, (1..=10).map(|i| row(i, 0, "x")).collect()).unwrap();
     let pn = db.processing_node();
     pn.run(10, |t| t.update(&table, rids[0], row(1, 0, "before"))).unwrap();

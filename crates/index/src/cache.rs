@@ -102,7 +102,13 @@ mod tests {
     use crate::node::min_key;
 
     fn inner() -> NodeData {
-        NodeData { is_leaf: false, low: min_key(), high: None, right: None, entries: vec![(min_key(), 1)] }
+        NodeData {
+            is_leaf: false,
+            low: min_key(),
+            high: None,
+            right: None,
+            entries: vec![(min_key(), 1)],
+        }
     }
 
     #[test]

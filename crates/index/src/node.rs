@@ -144,11 +144,8 @@ impl NodeData {
         let mut r = Reader::new(buf);
         let is_leaf = r.u8()? == 1;
         let low = (Bytes::copy_from_slice(r.bytes()?), r.u64()?);
-        let high = if r.u8()? == 1 {
-            Some((Bytes::copy_from_slice(r.bytes()?), r.u64()?))
-        } else {
-            None
-        };
+        let high =
+            if r.u8()? == 1 { Some((Bytes::copy_from_slice(r.bytes()?), r.u64()?)) } else { None };
         let right = if r.u8()? == 1 { Some(r.u64()?) } else { None };
         let n = r.u32()? as usize;
         let mut entries = Vec::with_capacity(n);

@@ -6,7 +6,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use tell_common::{Error, IndexId, Result};
 use tell_store::cell::Token;
-use tell_store::{keys, StoreClient};
+use tell_store::{keys, StoreApi, StoreClient};
 
 use crate::cache::NodeCache;
 use crate::node::{cmp_entry, min_key, EntryKey, NodeData};
@@ -40,18 +40,19 @@ struct Descent {
 ///
 /// The tree's nodes live in the shared store; any number of handles (on any
 /// number of PNs) can operate concurrently. Each handle carries the PN-local
-/// inner-node cache.
-pub struct DistributedBTree {
+/// inner-node cache. Generic over the storage client so the same tree code
+/// runs against the in-process store or a remote one via `tell-rpc`.
+pub struct DistributedBTree<C: StoreApi = StoreClient> {
     index_id: IndexId,
-    client: StoreClient,
+    client: C,
     cache: Arc<NodeCache>,
     config: BTreeConfig,
     root_hint: Mutex<Option<u64>>,
 }
 
-impl DistributedBTree {
+impl<C: StoreApi> DistributedBTree<C> {
     /// Create a brand-new tree in the store (an empty root leaf).
-    pub fn create(client: StoreClient, index_id: IndexId, config: BTreeConfig) -> Result<Self> {
+    pub fn create(client: C, index_id: IndexId, config: BTreeConfig) -> Result<Self> {
         let tree = DistributedBTree {
             index_id,
             client,
@@ -60,16 +61,14 @@ impl DistributedBTree {
             root_hint: Mutex::new(None),
         };
         let root_id = tree.alloc_node_id()?;
-        tree.client
-            .insert(&tree.node_key(root_id), NodeData::empty_root_leaf().encode())?;
-        tree.client
-            .insert(&tree.root_ptr_key(), Bytes::copy_from_slice(&root_id.to_le_bytes()))?;
+        tree.client.insert(&tree.node_key(root_id), NodeData::empty_root_leaf().encode())?;
+        tree.client.insert(&tree.root_ptr_key(), Bytes::copy_from_slice(&root_id.to_le_bytes()))?;
         *tree.root_hint.lock() = Some(root_id);
         Ok(tree)
     }
 
     /// Open an existing tree (a second handle, e.g. on another PN).
-    pub fn open(client: StoreClient, index_id: IndexId, config: BTreeConfig) -> Result<Self> {
+    pub fn open(client: C, index_id: IndexId, config: BTreeConfig) -> Result<Self> {
         let tree = DistributedBTree {
             index_id,
             client,
@@ -100,8 +99,7 @@ impl DistributedBTree {
     }
 
     fn alloc_node_id(&self) -> Result<u64> {
-        self.client
-            .increment(&keys::counter(&format!("idx/{}/next", self.index_id.raw())), 1)
+        self.client.increment(&keys::counter(&format!("idx/{}/next", self.index_id.raw())), 1)
     }
 
     fn read_root(&self) -> Result<(Token, u64)> {
@@ -124,9 +122,10 @@ impl DistributedBTree {
     }
 
     fn fetch(&self, node_id: u64) -> Result<(Token, NodeData)> {
-        let (token, raw) = self.client.get(&self.node_key(node_id))?.ok_or_else(|| {
-            Error::corrupt(format!("index node {node_id} missing"))
-        })?;
+        let (token, raw) = self
+            .client
+            .get(&self.node_key(node_id))?
+            .ok_or_else(|| Error::corrupt(format!("index node {node_id} missing")))?;
         Ok((token, NodeData::decode(&raw)?))
     }
 
@@ -148,17 +147,13 @@ impl DistributedBTree {
         let mut path = Vec::new();
         let mut hops = 0usize;
         for _ in 0..self.config.max_retries {
-            let (token, node) = if use_cache {
-                self.fetch_cached(node_id)?
-            } else {
-                self.fetch(node_id)?
-            };
+            let (token, node) =
+                if use_cache { self.fetch_cached(node_id)? } else { self.fetch(node_id)? };
             if node.beyond_high(k) {
                 // B-link right hop: the node split since our routing info was
                 // read. If a *cached* inner node sent us here, it is stale.
-                let right = node
-                    .right
-                    .ok_or_else(|| Error::corrupt("high fence without right sibling"))?;
+                let right =
+                    node.right.ok_or_else(|| Error::corrupt("high fence without right sibling"))?;
                 node_id = right;
                 hops += 1;
                 continue;
@@ -361,11 +356,8 @@ impl DistributedBTree {
                 Err(pos) => node.entries.insert(pos, (sep.clone(), child)),
             }
             if node.entries.len() <= self.config.max_entries {
-                match self.client.store_conditional(
-                    &self.node_key(parent_id),
-                    token,
-                    node.encode(),
-                ) {
+                match self.client.store_conditional(&self.node_key(parent_id), token, node.encode())
+                {
                     Ok(t) => {
                         self.cache.put(parent_id, t, node);
                         return Ok(());
@@ -395,7 +387,12 @@ impl DistributedBTree {
         Err(Error::Unavailable("separator insert retry limit exceeded".into()))
     }
 
-    fn grow_root_or_find_parent(&self, split_node: u64, sep: EntryKey, new_child: u64) -> Result<()> {
+    fn grow_root_or_find_parent(
+        &self,
+        split_node: u64,
+        sep: EntryKey,
+        new_child: u64,
+    ) -> Result<()> {
         for _ in 0..self.config.max_retries {
             let (root_token, root_id) = self.read_root()?;
             if root_id == split_node {
@@ -631,14 +628,12 @@ mod tests {
     fn concurrent_inserts_lose_nothing() {
         let cluster = StoreCluster::new(StoreConfig::new(4));
         let cfg = BTreeConfig { max_entries: 8, max_retries: 100_000 };
-        let t = Arc::new(
-            DistributedBTree::create(
-                StoreClient::unmetered(Arc::clone(&cluster)),
-                IndexId(5),
-                cfg.clone(),
-            )
-            .unwrap(),
-        );
+        let t = DistributedBTree::create(
+            StoreClient::unmetered(Arc::clone(&cluster)),
+            IndexId(5),
+            cfg.clone(),
+        )
+        .unwrap();
         let threads = 4;
         let per = 150;
         let mut handles = Vec::new();
@@ -670,14 +665,12 @@ mod tests {
     fn concurrent_inserts_and_removes() {
         let cluster = StoreCluster::new(StoreConfig::new(2));
         let cfg = BTreeConfig { max_entries: 8, max_retries: 100_000 };
-        let t = Arc::new(
-            DistributedBTree::create(
-                StoreClient::unmetered(Arc::clone(&cluster)),
-                IndexId(6),
-                cfg.clone(),
-            )
-            .unwrap(),
-        );
+        let t = DistributedBTree::create(
+            StoreClient::unmetered(Arc::clone(&cluster)),
+            IndexId(6),
+            cfg.clone(),
+        )
+        .unwrap();
         for i in 0..200u64 {
             t.insert(b(&format!("d{:03}", i)), i).unwrap();
         }

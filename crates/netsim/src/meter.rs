@@ -117,9 +117,7 @@ impl NetMeter {
     pub fn charge_replication(&self, replicas: usize, bytes: usize) -> f64 {
         let cost = self.profile.replication_cost_us(replicas, bytes);
         self.clock.advance(cost);
-        self.stats
-            .replication_bytes
-            .fetch_add((replicas * bytes) as u64, Ordering::Relaxed);
+        self.stats.replication_bytes.fetch_add((replicas * bytes) as u64, Ordering::Relaxed);
         cost
     }
 
@@ -127,6 +125,18 @@ impl NetMeter {
     /// evaluation...). Kept on the meter so all time flows through one place.
     pub fn charge_cpu(&self, us: f64) {
         self.clock.advance(us);
+    }
+
+    /// Record an exchange that happened over a *real* transport (tell-rpc).
+    /// Wall-clock time was already spent on the wire, so the virtual clock
+    /// is **not** advanced — charging simulated latency on top of real
+    /// latency would double-count. Only the shared traffic counters are
+    /// updated, so bandwidth/write-ratio reporting keeps working when PNs
+    /// run against remote storage nodes.
+    pub fn charge_real(&self, out: usize, inn: usize) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_sent.fetch_add(out as u64, Ordering::Relaxed);
+        self.stats.bytes_received.fetch_add(inn as u64, Ordering::Relaxed);
     }
 }
 
@@ -175,6 +185,16 @@ mod tests {
         assert_eq!(stats.replication_bytes.load(Ordering::Relaxed), 2000);
         assert_eq!(stats.total_bytes(), 0);
         assert!(m.clock().now_us() > 0.0);
+    }
+
+    #[test]
+    fn charge_real_counts_traffic_without_advancing_time() {
+        let stats = TrafficStats::new();
+        let m = NetMeter::new(NetworkProfile::infiniband(), SimClock::new(), Arc::clone(&stats));
+        m.charge_real(128, 512);
+        assert_eq!(m.clock().now_us(), 0.0, "real transport must not advance virtual time");
+        assert_eq!(stats.request_count(), 1);
+        assert_eq!(stats.total_bytes(), 640);
     }
 
     #[test]

@@ -101,8 +101,7 @@ impl NetworkProfile {
             // The master forwards the object to each backup before acking;
             // the measured RF2/RF3 penalty in Fig 5 matches a per-replica
             // cost, not a parallel single round trip.
-            replicas as f64
-                * (self.replica_rtt_us + bytes as f64 / self.bandwidth_bytes_per_us)
+            replicas as f64 * (self.replica_rtt_us + bytes as f64 / self.bandwidth_bytes_per_us)
         }
     }
 }

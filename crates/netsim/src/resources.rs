@@ -46,10 +46,7 @@ impl ResourcePool {
     /// an H-Store-style engine): execution starts once every involved
     /// resource is free, and all of them are blocked until it completes.
     pub fn occupy_all(&mut self, ids: &[usize], arrival_us: f64, service_us: f64) -> f64 {
-        let start = ids
-            .iter()
-            .map(|&i| self.free_at_us[i])
-            .fold(arrival_us, f64::max);
+        let start = ids.iter().map(|&i| self.free_at_us[i]).fold(arrival_us, f64::max);
         let done = start + service_us;
         for &i in ids {
             self.free_at_us[i] = done;
@@ -99,7 +96,7 @@ mod tests {
     fn occupy_all_waits_for_stragglers_and_blocks_everyone() {
         let mut p = ResourcePool::new(3);
         p.occupy(2, 0.0, 50.0); // partition 2 busy until t=50
-        // Multi-partition txn arriving at t=0 must wait for partition 2...
+                                // Multi-partition txn arriving at t=0 must wait for partition 2...
         let done = p.occupy_all(&[0, 1, 2], 0.0, 5.0);
         assert_eq!(done, 55.0);
         // ...and meanwhile partitions 0 and 1 were unable to serve others.

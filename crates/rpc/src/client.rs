@@ -1,0 +1,572 @@
+//! Client side of the transport: pipelined connections, the remote storage
+//! client/endpoint, and the remote commit-manager client.
+//!
+//! A [`Connection`] multiplexes many in-flight requests over one TCP
+//! stream: callers stamp a fresh correlation id, park on a channel, and a
+//! reader thread routes each response frame back to its caller. When the
+//! stream dies, every parked caller — and every later one — gets a typed
+//! [`Error::Unavailable`] instead of a hang.
+//!
+//! [`RemoteStoreClient`] implements `tell_store::StoreApi` over a small
+//! connection pool and [`RemoteEndpoint`] implements `StoreEndpoint`, so a
+//! `tell_core::Database` opened over them runs the exact transaction code
+//! paths it runs in-process. [`RemoteCmClient`] likewise implements the
+//! `CommitService`/`CommitParticipant` pair over one connection per commit
+//! server, with the same fail-over-to-the-next-manager behavior as the
+//! local `CmCluster` (§4.4.3).
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tell_commitmgr::{CommitParticipant, CommitService, TxnStart};
+use tell_common::{Error, Result, TxnId};
+use tell_netsim::NetMeter;
+use tell_store::{Expect, Key, StoreApi, StoreEndpoint, Token, WriteOp};
+
+use crate::wire::{read_frame, write_frame, Request, Response, FRAME_HEADER};
+
+fn unavailable(what: impl std::fmt::Display) -> Error {
+    Error::Unavailable(what.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Connection: one TCP stream, many in-flight requests.
+
+struct ConnShared {
+    addr: String,
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, mpsc::Sender<(Response, usize)>>>,
+    next_corr: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl ConnShared {
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+        // Dropping the senders wakes every parked caller with a RecvError,
+        // which they surface as Unavailable.
+        self.pending.lock().clear();
+    }
+}
+
+/// A pipelined connection to one tell-rpc server.
+pub struct Connection {
+    shared: Arc<ConnShared>,
+}
+
+impl Connection {
+    /// Connect and start the demultiplexing reader thread.
+    pub fn connect(addr: &str) -> Result<Connection> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| unavailable(format!("connect to {addr} failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| unavailable(format!("clone stream to {addr} failed: {e}")))?;
+        let shared = Arc::new(ConnShared {
+            addr: addr.to_string(),
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            next_corr: AtomicU64::new(1),
+            dead: AtomicBool::new(false),
+        });
+        let reader_shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name(format!("tell-rpc-reader-{addr}"))
+            .spawn(move || reader_loop(read_half, reader_shared))
+            .map_err(|e| unavailable(format!("spawn reader failed: {e}")))?;
+        Ok(Connection { shared })
+    }
+
+    /// True once the stream has failed; the connection never recovers
+    /// (callers reconnect through their pool).
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// The address this connection was opened against.
+    pub fn peer(&self) -> &str {
+        &self.shared.addr
+    }
+
+    /// Send one request and wait for its response. Returns the response
+    /// plus the frame sizes sent and received, for traffic accounting.
+    pub fn call(&self, request: &Request) -> Result<(Response, usize, usize)> {
+        let shared = &self.shared;
+        if shared.dead.load(Ordering::SeqCst) {
+            return Err(unavailable(format!("connection to {} is closed", shared.addr)));
+        }
+        let body = request.encode();
+        let corr_id = shared.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        shared.pending.lock().insert(corr_id, tx);
+        // Re-check after registering: if the reader died in between, it may
+        // already have drained `pending` without seeing our entry.
+        if shared.dead.load(Ordering::SeqCst) {
+            shared.pending.lock().remove(&corr_id);
+            return Err(unavailable(format!("connection to {} is closed", shared.addr)));
+        }
+        {
+            let mut writer = shared.writer.lock();
+            if let Err(e) = write_frame(&mut *writer, corr_id, &body) {
+                drop(writer);
+                shared.mark_dead();
+                return Err(unavailable(format!("send to {} failed: {e}", shared.addr)));
+            }
+        }
+        match rx.recv() {
+            Ok((response, received)) => Ok((response, FRAME_HEADER + body.len(), received)),
+            Err(_) => Err(unavailable(format!("connection to {} dropped mid-call", shared.addr))),
+        }
+    }
+
+    /// Shut the connection down, failing in-flight and future calls.
+    pub fn close(&self) {
+        self.shared.mark_dead();
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: Arc<ConnShared>) {
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some((corr_id, body))) = read_frame(&mut reader) {
+        let received = FRAME_HEADER + body.len();
+        let response = match Response::decode(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                // A frame that parses as a frame but not as a message means
+                // the stream is desynchronized: surface the error to the
+                // waiting caller, then kill the connection.
+                if let Some(tx) = shared.pending.lock().remove(&corr_id) {
+                    let _ = tx.send((Response::Error(e.into()), received));
+                }
+                break;
+            }
+        };
+        if let Some(tx) = shared.pending.lock().remove(&corr_id) {
+            let _ = tx.send((response, received));
+        }
+    }
+    shared.mark_dead();
+}
+
+// ---------------------------------------------------------------------------
+// Connection pool.
+
+/// A fixed-size pool of lazily-opened connections to one server, handed
+/// out round-robin. A dead connection is transparently replaced on the
+/// next checkout, so a storage-node restart heals without client restarts.
+pub struct ConnPool {
+    addr: String,
+    slots: Mutex<Vec<Option<Arc<Connection>>>>,
+    next: AtomicUsize,
+}
+
+impl ConnPool {
+    /// Pool of `size` connections to `addr` (opened on first use).
+    pub fn new(addr: impl Into<String>, size: usize) -> Arc<ConnPool> {
+        Arc::new(ConnPool {
+            addr: addr.into(),
+            slots: Mutex::new(vec![None; size.max(1)]),
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// The server this pool connects to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Check out a live connection, opening or replacing one if needed.
+    pub fn get(&self) -> Result<Arc<Connection>> {
+        let mut slots = self.slots.lock();
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % slots.len();
+        if let Some(conn) = &slots[idx] {
+            if !conn.is_dead() {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let fresh = Arc::new(Connection::connect(&self.addr)?);
+        slots[idx] = Some(Arc::clone(&fresh));
+        Ok(fresh)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote storage client + endpoint.
+
+/// `StoreApi` over TCP. Mirrors the in-process `StoreClient` operation for
+/// operation; the meter records real traffic (`charge_real`) instead of
+/// simulated time — the network is no longer a model, it is there.
+#[derive(Clone)]
+pub struct RemoteStoreClient {
+    pool: Arc<ConnPool>,
+    meter: NetMeter,
+}
+
+impl RemoteStoreClient {
+    /// Client over `pool`, charging traffic to `meter`.
+    pub fn new(pool: Arc<ConnPool>, meter: NetMeter) -> RemoteStoreClient {
+        RemoteStoreClient { pool, meter }
+    }
+
+    fn call(&self, request: &Request) -> Result<Response> {
+        let conn = self.pool.get()?;
+        let (response, sent, received) = conn.call(request)?;
+        self.meter.charge_real(sent, received);
+        match response {
+            Response::Error(e) => Err(e.into()),
+            other => Ok(other),
+        }
+    }
+
+    fn unexpected(context: &str, response: Response) -> Error {
+        Error::corrupt(format!("unexpected response to {context}: {response:?}"))
+    }
+}
+
+impl StoreApi for RemoteStoreClient {
+    fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>> {
+        match self.call(&Request::Get { key: key.clone() })? {
+            Response::Cell(cell) => Ok(cell),
+            other => Err(Self::unexpected("get", other)),
+        }
+    }
+
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<(Token, Bytes)>>> {
+        match self.call(&Request::MultiGet { keys: keys.to_vec() })? {
+            Response::Cells(cells) => Ok(cells),
+            other => Err(Self::unexpected("multi_get", other)),
+        }
+    }
+
+    fn put(&self, key: &Key, value: Bytes) -> Result<Token> {
+        self.write_expecting_token(WriteOp::put(key.clone(), Expect::Any, value), "put")
+    }
+
+    fn insert(&self, key: &Key, value: Bytes) -> Result<Token> {
+        self.write_expecting_token(WriteOp::put(key.clone(), Expect::Absent, value), "insert")
+    }
+
+    fn store_conditional(&self, key: &Key, token: Token, value: Bytes) -> Result<Token> {
+        self.write_expecting_token(
+            WriteOp::put(key.clone(), Expect::Token(token), value),
+            "store_conditional",
+        )
+    }
+
+    fn delete_conditional(&self, key: &Key, token: Token) -> Result<()> {
+        match self
+            .call(&Request::Write { op: WriteOp::delete(key.clone(), Expect::Token(token)) })?
+        {
+            Response::Written(_) => Ok(()),
+            other => Err(Self::unexpected("delete_conditional", other)),
+        }
+    }
+
+    fn delete(&self, key: &Key) -> Result<()> {
+        match self.call(&Request::Write { op: WriteOp::delete(key.clone(), Expect::Any) })? {
+            Response::Written(_) => Ok(()),
+            other => Err(Self::unexpected("delete", other)),
+        }
+    }
+
+    fn multi_write(&self, ops: Vec<WriteOp>) -> Result<Vec<Result<Option<Token>>>> {
+        match self.call(&Request::MultiWrite { ops })? {
+            Response::WriteResults(results) => {
+                Ok(results.into_iter().map(|r| r.map_err(Into::into)).collect())
+            }
+            other => Err(Self::unexpected("multi_write", other)),
+        }
+    }
+
+    fn increment(&self, key: &Key, delta: u64) -> Result<u64> {
+        match self.call(&Request::Increment { key: key.clone(), delta })? {
+            Response::Counter(v) => Ok(v),
+            other => Err(Self::unexpected("increment", other)),
+        }
+    }
+
+    fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        self.scan(start, end, limit, false)
+    }
+
+    fn scan_range_rev(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        self.scan(start, end, limit, true)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Key, Token, Bytes)>> {
+        let request =
+            Request::ScanPrefix { prefix: Bytes::copy_from_slice(prefix), limit: limit as u64 };
+        match self.call(&request)? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(Self::unexpected("scan_prefix", other)),
+        }
+    }
+
+    /// The filter is a closure and cannot cross the wire, so the remote
+    /// client fetches the whole prefix and filters here. Results match the
+    /// in-process pushdown exactly; only the bandwidth differs (the paper's
+    /// selection pushdown, §5.2, is precisely the optimization of not
+    /// paying this transfer).
+    fn scan_prefix_pushdown(
+        &self,
+        prefix: &[u8],
+        limit: usize,
+        filter: &dyn Fn(&Key, &Bytes) -> bool,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        let mut rows = self.scan_prefix(prefix, usize::MAX)?;
+        rows.retain(|(key, _, value)| filter(key, value));
+        rows.truncate(limit);
+        Ok(rows)
+    }
+
+    fn meter(&self) -> &NetMeter {
+        &self.meter
+    }
+}
+
+impl RemoteStoreClient {
+    fn write_expecting_token(&self, op: WriteOp, context: &str) -> Result<Token> {
+        match self.call(&Request::Write { op })? {
+            Response::Written(Some(token)) => Ok(token),
+            Response::Written(None) => Err(Error::corrupt(format!("{context} returned no token"))),
+            other => Err(Self::unexpected(context, other)),
+        }
+    }
+
+    fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+        reverse: bool,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        let request = Request::Scan {
+            start: Bytes::copy_from_slice(start),
+            end: end.map(Bytes::copy_from_slice),
+            limit: limit as u64,
+            reverse,
+        };
+        match self.call(&request)? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(Self::unexpected("scan", other)),
+        }
+    }
+}
+
+/// `StoreEndpoint` over TCP: the `Send + Sync` handle a shared `Database`
+/// stores, from which each worker thread mints its own client.
+#[derive(Clone)]
+pub struct RemoteEndpoint {
+    pool: Arc<ConnPool>,
+}
+
+impl RemoteEndpoint {
+    /// Endpoint talking to the storage server at `addr` through a pool of
+    /// `pool_size` connections (opened lazily, so this cannot fail —
+    /// unreachable servers surface as `Unavailable` on the first call).
+    pub fn connect(addr: impl Into<String>, pool_size: usize) -> RemoteEndpoint {
+        RemoteEndpoint { pool: ConnPool::new(addr, pool_size) }
+    }
+
+    /// The storage server's address.
+    pub fn addr(&self) -> &str {
+        self.pool.addr()
+    }
+}
+
+impl StoreEndpoint for RemoteEndpoint {
+    type Client = RemoteStoreClient;
+
+    fn client(&self, meter: NetMeter) -> RemoteStoreClient {
+        RemoteStoreClient::new(Arc::clone(&self.pool), meter)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote commit-manager client.
+
+struct CmTarget {
+    addr: String,
+    conn: Mutex<Option<Arc<Connection>>>,
+}
+
+impl CmTarget {
+    fn get(&self) -> Result<Arc<Connection>> {
+        let mut slot = self.conn.lock();
+        if let Some(conn) = slot.as_ref() {
+            if !conn.is_dead() {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let fresh = Arc::new(Connection::connect(&self.addr)?);
+        *slot = Some(Arc::clone(&fresh));
+        Ok(fresh)
+    }
+}
+
+/// `CommitService` over TCP: one connection per commit server, pinning by
+/// hint with fail-over to the next server, exactly like the local cluster.
+pub struct RemoteCmClient {
+    targets: Vec<CmTarget>,
+}
+
+impl RemoteCmClient {
+    /// Client over the commit servers at `addrs` (connected lazily).
+    pub fn connect(addrs: impl IntoIterator<Item = impl Into<String>>) -> RemoteCmClient {
+        let targets: Vec<_> = addrs
+            .into_iter()
+            .map(|a| CmTarget { addr: a.into(), conn: Mutex::new(None) })
+            .collect();
+        assert!(!targets.is_empty(), "need at least one commit-server address");
+        RemoteCmClient { targets }
+    }
+
+    /// Call `request` on target `idx`, charging `meter` for the traffic.
+    fn call_on(&self, idx: usize, request: &Request, meter: &NetMeter) -> Result<Response> {
+        let conn = self.targets[idx].get()?;
+        call_and_charge(&conn, request, meter)
+    }
+}
+
+fn call_and_charge(conn: &Connection, request: &Request, meter: &NetMeter) -> Result<Response> {
+    let (response, sent, received) = conn.call(request)?;
+    meter.charge_real(sent, received);
+    match response {
+        Response::Error(e) => Err(e.into()),
+        other => Ok(other),
+    }
+}
+
+impl CommitService for RemoteCmClient {
+    fn start_pinned(
+        &self,
+        hint: usize,
+        meter: &NetMeter,
+    ) -> Result<(TxnStart, Arc<dyn CommitParticipant>)> {
+        let n = self.targets.len();
+        let mut last_err = unavailable("no commit server reachable");
+        for i in 0..n {
+            let idx = (hint + i) % n;
+            let conn = match self.targets[idx].get() {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match call_and_charge(&conn, &Request::CmStart { hint: hint as u64 }, meter) {
+                Ok(Response::TxnStarted { tid, lav, snapshot }) => {
+                    let participant = Arc::new(RemoteParticipant { conn });
+                    return Ok((TxnStart { tid, snapshot, lav }, participant));
+                }
+                Ok(other) => return Err(RemoteStoreClient::unexpected("cm_start", other)),
+                Err(Error::Unavailable(w)) => {
+                    last_err = Error::Unavailable(w);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn current_lav(&self) -> Result<u64> {
+        let meter = NetMeter::free();
+        let mut lav: Option<u64> = None;
+        for idx in 0..self.targets.len() {
+            match self.call_on(idx, &Request::CmLav, &meter) {
+                Ok(Response::Lav(v)) => lav = Some(lav.map_or(v, |cur| cur.min(v))),
+                Ok(other) => return Err(RemoteStoreClient::unexpected("cm_lav", other)),
+                Err(Error::Unavailable(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        lav.ok_or_else(|| unavailable("no commit server reachable for lav"))
+    }
+
+    fn force_resolve(&self, tid: TxnId, committed: bool) -> Result<()> {
+        let meter = NetMeter::free();
+        let request = Request::CmResolve { tid, committed };
+        let mut reached = false;
+        for idx in 0..self.targets.len() {
+            match self.call_on(idx, &request, &meter) {
+                Ok(Response::Unit) => reached = true,
+                Ok(other) => return Err(RemoteStoreClient::unexpected("cm_resolve", other)),
+                Err(Error::Unavailable(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if reached {
+            Ok(())
+        } else {
+            Err(unavailable("no commit server reachable for resolve"))
+        }
+    }
+
+    fn sync_all(&self, meter: &NetMeter) -> Result<()> {
+        let mut reached = false;
+        for idx in 0..self.targets.len() {
+            match self.call_on(idx, &Request::CmSync, meter) {
+                Ok(Response::Unit) => reached = true,
+                Ok(other) => return Err(RemoteStoreClient::unexpected("cm_sync", other)),
+                Err(Error::Unavailable(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if reached {
+            Ok(())
+        } else {
+            Err(unavailable("no commit server reachable for sync"))
+        }
+    }
+}
+
+/// Finish-side handle to the server (and through it, the manager) that
+/// issued a tid. Reporting goes back over the same connection the start
+/// came from, so the server's tid routing table finds the right manager.
+struct RemoteParticipant {
+    conn: Arc<Connection>,
+}
+
+impl RemoteParticipant {
+    fn complete(&self, tid: TxnId, committed: bool, meter: &NetMeter) -> Result<()> {
+        match call_and_charge(&self.conn, &Request::CmComplete { tid, committed }, meter)? {
+            Response::Unit => Ok(()),
+            other => Err(RemoteStoreClient::unexpected("cm_complete", other)),
+        }
+    }
+}
+
+impl CommitParticipant for RemoteParticipant {
+    fn set_committed(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
+        self.complete(tid, true, meter)
+    }
+
+    fn set_aborted(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
+        self.complete(tid, false, meter)
+    }
+}

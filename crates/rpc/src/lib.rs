@@ -1,0 +1,25 @@
+//! `tell-rpc` — a real wire protocol and TCP transport for Tell.
+//!
+//! The rest of the workspace simulates the network (`tell-netsim` charges
+//! virtual time per exchange). This crate replaces the simulation with an
+//! actual one: storage nodes and commit managers served over TCP, and
+//! remote clients that plug into the same `StoreApi` / `StoreEndpoint` /
+//! `CommitService` traits the in-process deployment uses — so a
+//! `tell_core::Database` opened over them runs the paper's architecture
+//! (§3: processing nodes over a shared data store, with a lightweight
+//! commit manager) across real sockets, std-only, no external deps.
+//!
+//! * [`wire`] — length-prefixed binary frames with correlation ids
+//!   (pipelining) and tagged request/response messages.
+//! * [`server`] — threaded server wrapping a `StoreCluster` and/or a
+//!   commit service; one thread per connection.
+//! * [`client`] — pipelined connections, a pooled remote storage client,
+//!   and the remote commit-manager client with fail-over.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ConnPool, Connection, RemoteCmClient, RemoteEndpoint, RemoteStoreClient};
+pub use server::{RpcServer, Services};
+pub use wire::{Request, Response, WireError, MAX_FRAME};

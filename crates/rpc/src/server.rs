@@ -1,0 +1,277 @@
+//! Threaded TCP server fronting a storage cluster and/or commit managers.
+//!
+//! One accept loop, one thread per connection. A connection processes its
+//! requests in arrival order but a client may keep many in flight —
+//! responses carry the request's correlation id, so the client needs no
+//! lockstep (pipelining per §5.1's batching spirit: the wire stays full).
+//!
+//! The same server can expose both services; the shipped binaries run them
+//! separately (`tell_sn` serves storage, `tell_cm` serves commit managers)
+//! the way the paper separates SNs from the commit manager.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::Mutex;
+use tell_commitmgr::{CommitParticipant, CommitService};
+use tell_common::{Error, Result};
+use tell_netsim::NetMeter;
+use tell_store::{Expect, StoreClient, StoreCluster, WriteOp};
+
+use crate::wire::{read_frame, write_frame, Request, Response};
+
+/// What a server process exposes.
+#[derive(Default)]
+pub struct Services {
+    /// Storage requests are served from this cluster.
+    pub store: Option<Arc<StoreCluster>>,
+    /// Commit requests are served from this service.
+    pub commit: Option<Arc<dyn CommitService>>,
+}
+
+struct ServerShared {
+    services: Services,
+    /// tid → the manager that issued it, so `CmComplete` reports the
+    /// outcome to the right manager regardless of which connection (or
+    /// which PN) delivers it. Falls back to `force_resolve` when absent
+    /// (e.g. resolution arriving after a server restart).
+    participants: Mutex<HashMap<u64, Arc<dyn CommitParticipant>>>,
+    shutting_down: AtomicBool,
+    /// Live connections keyed by peer address, so `shutdown` can sever
+    /// them. Each handler removes its own entry when it exits; leaving
+    /// dead clones here would hold the socket open (no FIN to the peer)
+    /// and leak a descriptor per connection.
+    conns: Mutex<HashMap<SocketAddr, TcpStream>>,
+}
+
+/// A running tell-rpc server. Dropping it shuts it down.
+pub struct RpcServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Bind `addr` and serve `services`. Pass port 0 to let the OS choose;
+    /// the bound address is available from [`RpcServer::local_addr`].
+    pub fn serve(addr: impl ToSocketAddrs, services: Services) -> Result<RpcServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| Error::Unavailable(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::Unavailable(format!("no local address: {e}")))?;
+        let shared = Arc::new(ServerShared {
+            services,
+            participants: Mutex::new(HashMap::new()),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name(format!("tell-rpc-accept-{}", addr.port()))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| Error::Unavailable(format!("spawn failed: {e}")))?;
+        Ok(RpcServer { addr, shared, accept: Some(accept) })
+    }
+
+    /// Serve only storage requests.
+    pub fn serve_store(addr: impl ToSocketAddrs, store: Arc<StoreCluster>) -> Result<RpcServer> {
+        RpcServer::serve(addr, Services { store: Some(store), commit: None })
+    }
+
+    /// Serve only commit-manager requests.
+    pub fn serve_commit(
+        addr: impl ToSocketAddrs,
+        commit: Arc<dyn CommitService>,
+    ) -> Result<RpcServer> {
+        RpcServer::serve(addr, Services { store: None, commit: Some(commit) })
+    }
+
+    /// The address the server accepts connections on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, sever every open connection and join the accept
+    /// loop. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for (_, conn) in self.shared.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(peer) = stream.peer_addr() else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(peer, clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let _ = thread::Builder::new()
+            .name("tell-rpc-conn".into())
+            .spawn(move || handle_connection(stream, peer, conn_shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShared>) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // The storage client and the meter live on this connection's thread:
+    // `NetMeter` is deliberately `!Send` (one virtual clock per worker), and
+    // a real server charges no simulated time — hence the free meter.
+    let store_client =
+        shared.services.store.as_ref().map(|c| StoreClient::unmetered(Arc::clone(c)));
+    let meter = NetMeter::free();
+    while let Ok(Some((corr_id, body))) = read_frame(&mut reader) {
+        let response = match Request::decode(&body) {
+            Ok(request) => dispatch(&shared, store_client.as_ref(), &meter, request),
+            Err(e) => Response::Error(e.into()),
+        };
+        if write_frame(&mut writer, corr_id, &response.encode()).is_err() {
+            break;
+        }
+    }
+    // Drop our registration and actively close: the clone held for
+    // `shutdown` must not outlive the handler, or the peer never sees EOF.
+    shared.conns.lock().remove(&peer);
+    let _ = writer.shutdown(std::net::Shutdown::Both);
+}
+
+fn dispatch(
+    shared: &ServerShared,
+    store: Option<&StoreClient>,
+    meter: &NetMeter,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Get { .. }
+        | Request::MultiGet { .. }
+        | Request::Write { .. }
+        | Request::MultiWrite { .. }
+        | Request::Increment { .. }
+        | Request::Scan { .. }
+        | Request::ScanPrefix { .. } => match store {
+            Some(client) => dispatch_store(client, request),
+            None => Response::Error(
+                Error::Unsupported("this node does not serve storage".into()).into(),
+            ),
+        },
+        Request::CmStart { .. }
+        | Request::CmComplete { .. }
+        | Request::CmLav
+        | Request::CmSync
+        | Request::CmResolve { .. } => match &shared.services.commit {
+            Some(commit) => dispatch_commit(shared, commit.as_ref(), meter, request),
+            None => Response::Error(
+                Error::Unsupported("this node does not serve commit managers".into()).into(),
+            ),
+        },
+    }
+}
+
+fn dispatch_store(client: &StoreClient, request: Request) -> Response {
+    let result = match request {
+        Request::Get { key } => client.get(&key).map(Response::Cell),
+        Request::MultiGet { keys } => client.multi_get(&keys).map(Response::Cells),
+        Request::Write { op } => apply_write(client, op).map(Response::Written),
+        Request::MultiWrite { ops } => client.multi_write(ops).map(|results| {
+            Response::WriteResults(results.into_iter().map(|r| r.map_err(Into::into)).collect())
+        }),
+        Request::Increment { key, delta } => client.increment(&key, delta).map(Response::Counter),
+        Request::Scan { start, end, limit, reverse } => {
+            let limit = clamp_limit(limit);
+            let end = end.as_ref().map(|b| b.as_ref());
+            if reverse {
+                client.scan_range_rev(start.as_ref(), end, limit).map(Response::Rows)
+            } else {
+                client.scan_range(start.as_ref(), end, limit).map(Response::Rows)
+            }
+        }
+        Request::ScanPrefix { prefix, limit } => {
+            client.scan_prefix(prefix.as_ref(), clamp_limit(limit)).map(Response::Rows)
+        }
+        _ => unreachable!("non-storage request routed to dispatch_store"),
+    };
+    result.unwrap_or_else(|e| Response::Error(e.into()))
+}
+
+/// Route a single conditional write to the store call with exactly its
+/// semantics (see `StoreApi`: put / insert / store-conditional / delete /
+/// delete-conditional are distinct operations, not sugar over one another).
+fn apply_write(client: &StoreClient, op: WriteOp) -> Result<Option<u64>> {
+    match (op.expect, op.value) {
+        (Expect::Any, Some(value)) => client.put(&op.key, value).map(Some),
+        (Expect::Absent, Some(value)) => client.insert(&op.key, value).map(Some),
+        (Expect::Token(token), Some(value)) => {
+            client.store_conditional(&op.key, token, value).map(Some)
+        }
+        (Expect::Token(token), None) => client.delete_conditional(&op.key, token).map(|()| None),
+        (Expect::Any, None) => client.delete(&op.key).map(|()| None),
+        (Expect::Absent, None) => Err(Error::invalid("delete with Expect::Absent is meaningless")),
+    }
+}
+
+fn dispatch_commit(
+    shared: &ServerShared,
+    commit: &dyn CommitService,
+    meter: &NetMeter,
+    request: Request,
+) -> Response {
+    let result = match request {
+        Request::CmStart { hint } => {
+            commit.start_pinned(hint as usize, meter).map(|(start, participant)| {
+                shared.participants.lock().insert(start.tid.raw(), participant);
+                Response::TxnStarted { tid: start.tid, lav: start.lav, snapshot: start.snapshot }
+            })
+        }
+        Request::CmComplete { tid, committed } => {
+            let participant = shared.participants.lock().remove(&tid.raw());
+            match participant {
+                Some(p) if committed => p.set_committed(tid, meter),
+                Some(p) => p.set_aborted(tid, meter),
+                // The issuing manager is unknown here (restart, cross-server
+                // resolution): resolve on every live manager instead.
+                None => commit.force_resolve(tid, committed),
+            }
+            .map(|()| Response::Unit)
+        }
+        Request::CmLav => commit.current_lav().map(Response::Lav),
+        Request::CmSync => commit.sync_all(meter).map(|()| Response::Unit),
+        Request::CmResolve { tid, committed } => {
+            shared.participants.lock().remove(&tid.raw());
+            commit.force_resolve(tid, committed).map(|()| Response::Unit)
+        }
+        _ => unreachable!("non-commit request routed to dispatch_commit"),
+    };
+    result.unwrap_or_else(|e| Response::Error(e.into()))
+}
+
+fn clamp_limit(limit: u64) -> usize {
+    usize::try_from(limit).unwrap_or(usize::MAX)
+}

@@ -1,0 +1,751 @@
+//! The tell-rpc wire format.
+//!
+//! Every exchange is a length-prefixed frame:
+//!
+//! ```text
+//! [len: u32 LE] [corr_id: u64 LE] [body: len - 8 bytes]
+//! ```
+//!
+//! where `len` counts everything after itself (correlation id plus body)
+//! and `corr_id` matches a response to its request, so a client can keep
+//! many requests in flight on one connection (pipelining). The body is a
+//! tagged message — one byte of message kind followed by a kind-specific
+//! payload — serialized with `tell_common::codec`, the same little-endian
+//! codec every persistent format in the workspace uses.
+//!
+//! Decoding is strict: a message must consume its body exactly. Trailing
+//! bytes, truncated fields and unknown tags are all [`Error::Corrupt`], so
+//! a desynchronized stream is detected instead of misread.
+
+use std::io::{self, Read, Write as IoWrite};
+
+use bytes::Bytes;
+use tell_commitmgr::SnapshotDescriptor;
+use tell_common::codec::{Reader, Writer};
+use tell_common::{Error, Result, TxnId};
+use tell_store::{Expect, Key, Token, WriteOp};
+
+/// Upper bound on a frame's `len` field. Generous — the largest legitimate
+/// frames are scan results — while still rejecting garbage lengths from a
+/// desynchronized or hostile peer before allocating.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Bytes preceding the body on the wire: length prefix + correlation id.
+pub const FRAME_HEADER: usize = 12;
+
+/// Operations a client may ask of a server. Storage requests (tags 1–8)
+/// mirror `tell_store::StoreApi`; commit requests (tags 16–20) mirror
+/// `tell_commitmgr::{CommitService, CommitParticipant}`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Load-link one key.
+    Get { key: Key },
+    /// Batched load-link.
+    MultiGet { keys: Vec<Key> },
+    /// One conditional write; `op.expect`/`op.value` select between put,
+    /// insert, store-conditional, delete and delete-conditional.
+    Write { op: WriteOp },
+    /// Batched conditional writes with independent per-op results.
+    MultiWrite { ops: Vec<WriteOp> },
+    /// Atomic fetch-and-add.
+    Increment { key: Key, delta: u64 },
+    /// Ordered scan of `[start, end)`; `reverse` walks largest-key-first.
+    Scan { start: Key, end: Option<Key>, limit: u64, reverse: bool },
+    /// Scan every key beginning with `prefix`.
+    ScanPrefix { prefix: Key, limit: u64 },
+    /// Liveness / round-trip probe.
+    Ping,
+    /// Begin a transaction on the manager `hint` pins the caller to.
+    CmStart { hint: u64 },
+    /// Report the outcome of a transaction this server issued.
+    CmComplete { tid: TxnId, committed: bool },
+    /// Lowest active version across this server's managers.
+    CmLav,
+    /// Force a commit-manager state synchronization.
+    CmSync,
+    /// Resolve a tid on every live manager (recovery path).
+    CmResolve { tid: TxnId, committed: bool },
+}
+
+/// Server replies. `Error` may answer any request; the others pair with
+/// specific requests (e.g. `Cell` answers `Get`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The request failed; carries the typed error.
+    Error(WireError),
+    /// Answer to `Get`.
+    Cell(Option<(Token, Bytes)>),
+    /// Answer to `MultiGet`.
+    Cells(Vec<Option<(Token, Bytes)>>),
+    /// Answer to `Write`: the new token, or `None` for a delete.
+    Written(Option<Token>),
+    /// Answer to `MultiWrite`: independent per-op outcomes.
+    WriteResults(Vec<std::result::Result<Option<Token>, WireError>>),
+    /// Answer to `Increment`.
+    Counter(u64),
+    /// Answer to `Scan` / `ScanPrefix`.
+    Rows(Vec<(Key, Token, Bytes)>),
+    /// Answer to `Ping`.
+    Pong,
+    /// Answer to `CmStart`.
+    TxnStarted { tid: TxnId, lav: u64, snapshot: SnapshotDescriptor },
+    /// Answer to requests with no payload (`CmComplete`, `CmSync`, ...).
+    Unit,
+    /// Answer to `CmLav`.
+    Lav(u64),
+}
+
+/// `tell_common::Error` in wire form. The mapping is lossless in both
+/// directions so a remote call surfaces exactly the error the server saw —
+/// in particular `Conflict` stays `Conflict`, which the optimistic
+/// transaction layer depends on for its retry decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    Conflict,
+    Aborted(String),
+    NotFound,
+    Unavailable(String),
+    CapacityExceeded { node: u32, capacity: u64 },
+    Corrupt(String),
+    InvalidOperation(String),
+    Parse { message: String, position: u64 },
+    Query(String),
+    Unsupported(String),
+}
+
+impl From<Error> for WireError {
+    fn from(e: Error) -> WireError {
+        match e {
+            Error::Conflict => WireError::Conflict,
+            Error::Aborted(r) => WireError::Aborted(r),
+            Error::NotFound => WireError::NotFound,
+            Error::Unavailable(w) => WireError::Unavailable(w),
+            Error::CapacityExceeded { node, capacity } => {
+                WireError::CapacityExceeded { node, capacity: capacity as u64 }
+            }
+            Error::Corrupt(w) => WireError::Corrupt(w),
+            Error::InvalidOperation(w) => WireError::InvalidOperation(w),
+            Error::Parse { message, position } => {
+                WireError::Parse { message, position: position as u64 }
+            }
+            Error::Query(w) => WireError::Query(w),
+            Error::Unsupported(w) => WireError::Unsupported(w),
+        }
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Error {
+        match e {
+            WireError::Conflict => Error::Conflict,
+            WireError::Aborted(r) => Error::Aborted(r),
+            WireError::NotFound => Error::NotFound,
+            WireError::Unavailable(w) => Error::Unavailable(w),
+            WireError::CapacityExceeded { node, capacity } => {
+                Error::CapacityExceeded { node, capacity: capacity as usize }
+            }
+            WireError::Corrupt(w) => Error::Corrupt(w),
+            WireError::InvalidOperation(w) => Error::InvalidOperation(w),
+            WireError::Parse { message, position } => {
+                Error::Parse { message, position: position as usize }
+            }
+            WireError::Query(w) => Error::Query(w),
+            WireError::Unsupported(w) => Error::Unsupported(w),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field-level helpers.
+
+fn put_key(out: &mut Vec<u8>, key: &Key) {
+    out.put_bytes(key.as_ref());
+}
+
+fn read_key(r: &mut Reader<'_>) -> Result<Key> {
+    Ok(Bytes::copy_from_slice(r.bytes()?))
+}
+
+fn put_opt_key(out: &mut Vec<u8>, key: &Option<Key>) {
+    match key {
+        Some(k) => {
+            out.put_u8(1);
+            put_key(out, k);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn read_opt_key(r: &mut Reader<'_>) -> Result<Option<Key>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(read_key(r)?)),
+        t => Err(Error::corrupt(format!("bad option tag {t}"))),
+    }
+}
+
+fn put_cell(out: &mut Vec<u8>, cell: &Option<(Token, Bytes)>) {
+    match cell {
+        Some((token, value)) => {
+            out.put_u8(1);
+            out.put_u64(*token);
+            out.put_bytes(value.as_ref());
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn read_cell(r: &mut Reader<'_>) -> Result<Option<(Token, Bytes)>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let token = r.u64()?;
+            let value = Bytes::copy_from_slice(r.bytes()?);
+            Ok(Some((token, value)))
+        }
+        t => Err(Error::corrupt(format!("bad cell tag {t}"))),
+    }
+}
+
+fn put_write_op(out: &mut Vec<u8>, op: &WriteOp) {
+    put_key(out, &op.key);
+    match op.expect {
+        Expect::Any => out.put_u8(0),
+        Expect::Absent => out.put_u8(1),
+        Expect::Token(t) => {
+            out.put_u8(2);
+            out.put_u64(t);
+        }
+    }
+    match &op.value {
+        Some(v) => {
+            out.put_u8(1);
+            out.put_bytes(v.as_ref());
+        }
+        None => out.put_u8(0),
+    }
+}
+
+fn read_write_op(r: &mut Reader<'_>) -> Result<WriteOp> {
+    let key = read_key(r)?;
+    let expect = match r.u8()? {
+        0 => Expect::Any,
+        1 => Expect::Absent,
+        2 => Expect::Token(r.u64()?),
+        t => return Err(Error::corrupt(format!("bad expect tag {t}"))),
+    };
+    let value = match r.u8()? {
+        0 => None,
+        1 => Some(Bytes::copy_from_slice(r.bytes()?)),
+        t => return Err(Error::corrupt(format!("bad value tag {t}"))),
+    };
+    Ok(WriteOp { key, expect, value })
+}
+
+fn put_wire_error(out: &mut Vec<u8>, e: &WireError) {
+    match e {
+        WireError::Conflict => out.put_u8(1),
+        WireError::Aborted(r) => {
+            out.put_u8(2);
+            out.put_string(r);
+        }
+        WireError::NotFound => out.put_u8(3),
+        WireError::Unavailable(w) => {
+            out.put_u8(4);
+            out.put_string(w);
+        }
+        WireError::CapacityExceeded { node, capacity } => {
+            out.put_u8(5);
+            out.put_u32(*node);
+            out.put_u64(*capacity);
+        }
+        WireError::Corrupt(w) => {
+            out.put_u8(6);
+            out.put_string(w);
+        }
+        WireError::InvalidOperation(w) => {
+            out.put_u8(7);
+            out.put_string(w);
+        }
+        WireError::Parse { message, position } => {
+            out.put_u8(8);
+            out.put_string(message);
+            out.put_u64(*position);
+        }
+        WireError::Query(w) => {
+            out.put_u8(9);
+            out.put_string(w);
+        }
+        WireError::Unsupported(w) => {
+            out.put_u8(10);
+            out.put_string(w);
+        }
+    }
+}
+
+fn read_wire_error(r: &mut Reader<'_>) -> Result<WireError> {
+    Ok(match r.u8()? {
+        1 => WireError::Conflict,
+        2 => WireError::Aborted(r.string()?),
+        3 => WireError::NotFound,
+        4 => WireError::Unavailable(r.string()?),
+        5 => WireError::CapacityExceeded { node: r.u32()?, capacity: r.u64()? },
+        6 => WireError::Corrupt(r.string()?),
+        7 => WireError::InvalidOperation(r.string()?),
+        8 => WireError::Parse { message: r.string()?, position: r.u64()? },
+        9 => WireError::Query(r.string()?),
+        10 => WireError::Unsupported(r.string()?),
+        t => return Err(Error::corrupt(format!("bad error tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Message encoding.
+
+impl Request {
+    /// Serialize into a fresh body buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Get { key } => {
+                out.put_u8(1);
+                put_key(&mut out, key);
+            }
+            Request::MultiGet { keys } => {
+                out.put_u8(2);
+                out.put_u32(keys.len() as u32);
+                for k in keys {
+                    put_key(&mut out, k);
+                }
+            }
+            Request::Write { op } => {
+                out.put_u8(3);
+                put_write_op(&mut out, op);
+            }
+            Request::MultiWrite { ops } => {
+                out.put_u8(4);
+                out.put_u32(ops.len() as u32);
+                for op in ops {
+                    put_write_op(&mut out, op);
+                }
+            }
+            Request::Increment { key, delta } => {
+                out.put_u8(5);
+                put_key(&mut out, key);
+                out.put_u64(*delta);
+            }
+            Request::Scan { start, end, limit, reverse } => {
+                out.put_u8(6);
+                put_key(&mut out, start);
+                put_opt_key(&mut out, end);
+                out.put_u64(*limit);
+                out.put_u8(u8::from(*reverse));
+            }
+            Request::ScanPrefix { prefix, limit } => {
+                out.put_u8(7);
+                put_key(&mut out, prefix);
+                out.put_u64(*limit);
+            }
+            Request::Ping => out.put_u8(8),
+            Request::CmStart { hint } => {
+                out.put_u8(16);
+                out.put_u64(*hint);
+            }
+            Request::CmComplete { tid, committed } => {
+                out.put_u8(17);
+                out.put_u64(tid.raw());
+                out.put_u8(u8::from(*committed));
+            }
+            Request::CmLav => out.put_u8(18),
+            Request::CmSync => out.put_u8(19),
+            Request::CmResolve { tid, committed } => {
+                out.put_u8(20);
+                out.put_u64(tid.raw());
+                out.put_u8(u8::from(*committed));
+            }
+        }
+        out
+    }
+
+    /// Parse a request body. The body must be consumed exactly.
+    pub fn decode(body: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(body);
+        let req = match r.u8()? {
+            1 => Request::Get { key: read_key(&mut r)? },
+            2 => {
+                let n = r.u32()? as usize;
+                let mut keys = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    keys.push(read_key(&mut r)?);
+                }
+                Request::MultiGet { keys }
+            }
+            3 => Request::Write { op: read_write_op(&mut r)? },
+            4 => {
+                let n = r.u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ops.push(read_write_op(&mut r)?);
+                }
+                Request::MultiWrite { ops }
+            }
+            5 => Request::Increment { key: read_key(&mut r)?, delta: r.u64()? },
+            6 => Request::Scan {
+                start: read_key(&mut r)?,
+                end: read_opt_key(&mut r)?,
+                limit: r.u64()?,
+                reverse: read_bool(&mut r)?,
+            },
+            7 => Request::ScanPrefix { prefix: read_key(&mut r)?, limit: r.u64()? },
+            8 => Request::Ping,
+            16 => Request::CmStart { hint: r.u64()? },
+            17 => Request::CmComplete { tid: TxnId(r.u64()?), committed: read_bool(&mut r)? },
+            18 => Request::CmLav,
+            19 => Request::CmSync,
+            20 => Request::CmResolve { tid: TxnId(r.u64()?), committed: read_bool(&mut r)? },
+            t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
+        };
+        expect_exhausted(&r)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize into a fresh body buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Error(e) => {
+                out.put_u8(0);
+                put_wire_error(&mut out, e);
+            }
+            Response::Cell(cell) => {
+                out.put_u8(1);
+                put_cell(&mut out, cell);
+            }
+            Response::Cells(cells) => {
+                out.put_u8(2);
+                out.put_u32(cells.len() as u32);
+                for c in cells {
+                    put_cell(&mut out, c);
+                }
+            }
+            Response::Written(token) => {
+                out.put_u8(3);
+                match token {
+                    Some(t) => {
+                        out.put_u8(1);
+                        out.put_u64(*t);
+                    }
+                    None => out.put_u8(0),
+                }
+            }
+            Response::WriteResults(results) => {
+                out.put_u8(4);
+                out.put_u32(results.len() as u32);
+                for res in results {
+                    match res {
+                        Ok(None) => out.put_u8(0),
+                        Ok(Some(t)) => {
+                            out.put_u8(1);
+                            out.put_u64(*t);
+                        }
+                        Err(e) => {
+                            out.put_u8(2);
+                            put_wire_error(&mut out, e);
+                        }
+                    }
+                }
+            }
+            Response::Counter(v) => {
+                out.put_u8(5);
+                out.put_u64(*v);
+            }
+            Response::Rows(rows) => {
+                out.put_u8(6);
+                out.put_u32(rows.len() as u32);
+                for (key, token, value) in rows {
+                    put_key(&mut out, key);
+                    out.put_u64(*token);
+                    out.put_bytes(value.as_ref());
+                }
+            }
+            Response::Pong => out.put_u8(7),
+            Response::TxnStarted { tid, lav, snapshot } => {
+                out.put_u8(16);
+                out.put_u64(tid.raw());
+                out.put_u64(*lav);
+                let mut snap = Vec::with_capacity(snapshot.encoded_len());
+                snapshot.encode_into(&mut snap);
+                out.put_bytes(&snap);
+            }
+            Response::Unit => out.put_u8(17),
+            Response::Lav(v) => {
+                out.put_u8(18);
+                out.put_u64(*v);
+            }
+        }
+        out
+    }
+
+    /// Parse a response body. The body must be consumed exactly.
+    pub fn decode(body: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(body);
+        let resp = match r.u8()? {
+            0 => Response::Error(read_wire_error(&mut r)?),
+            1 => Response::Cell(read_cell(&mut r)?),
+            2 => {
+                let n = r.u32()? as usize;
+                let mut cells = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    cells.push(read_cell(&mut r)?);
+                }
+                Response::Cells(cells)
+            }
+            3 => Response::Written(match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                t => return Err(Error::corrupt(format!("bad token tag {t}"))),
+            }),
+            4 => {
+                let n = r.u32()? as usize;
+                let mut results = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    results.push(match r.u8()? {
+                        0 => Ok(None),
+                        1 => Ok(Some(r.u64()?)),
+                        2 => Err(read_wire_error(&mut r)?),
+                        t => return Err(Error::corrupt(format!("bad result tag {t}"))),
+                    });
+                }
+                Response::WriteResults(results)
+            }
+            5 => Response::Counter(r.u64()?),
+            6 => {
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let key = read_key(&mut r)?;
+                    let token = r.u64()?;
+                    let value = Bytes::copy_from_slice(r.bytes()?);
+                    rows.push((key, token, value));
+                }
+                Response::Rows(rows)
+            }
+            7 => Response::Pong,
+            16 => {
+                let tid = TxnId(r.u64()?);
+                let lav = r.u64()?;
+                let snap_bytes = r.bytes()?;
+                let (snapshot, used) = SnapshotDescriptor::decode_from(snap_bytes)?;
+                if used != snap_bytes.len() {
+                    return Err(Error::corrupt("trailing bytes after snapshot descriptor"));
+                }
+                Response::TxnStarted { tid, lav, snapshot }
+            }
+            17 => Response::Unit,
+            18 => Response::Lav(r.u64()?),
+            t => return Err(Error::corrupt(format!("unknown response tag {t}"))),
+        };
+        expect_exhausted(&r)?;
+        Ok(resp)
+    }
+}
+
+fn read_bool(r: &mut Reader<'_>) -> Result<bool> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(Error::corrupt(format!("bad bool tag {t}"))),
+    }
+}
+
+fn expect_exhausted(r: &Reader<'_>) -> Result<()> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(Error::corrupt(format!(
+            "{} trailing bytes after message at offset {}",
+            r.remaining(),
+            r.position()
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O.
+
+/// Write one frame: length prefix, correlation id, body.
+pub fn write_frame(w: &mut impl IoWrite, corr_id: u64, body: &[u8]) -> io::Result<()> {
+    let len = 8 + body.len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&corr_id.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame, returning `(corr_id, body)`. A clean EOF before any byte
+/// of a new frame yields `Ok(None)`; an EOF inside a frame is an error, as
+/// is a length outside `(8, MAX_FRAME]`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u64, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if !(8..=MAX_FRAME).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid frame length {len}"),
+        ));
+    }
+    let mut corr_buf = [0u8; 8];
+    r.read_exact(&mut corr_buf)?;
+    let mut body = vec![0u8; len - 8];
+    r.read_exact(&mut body)?;
+    Ok(Some((u64::from_le_bytes(corr_buf), body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_covers_every_variant() {
+        let key = Bytes::copy_from_slice(b"k");
+        let reqs = vec![
+            Request::Get { key: key.clone() },
+            Request::MultiGet { keys: vec![key.clone(), Bytes::new()] },
+            Request::Write {
+                op: WriteOp {
+                    key: key.clone(),
+                    expect: Expect::Token(7),
+                    value: Some(Bytes::copy_from_slice(b"v")),
+                },
+            },
+            Request::MultiWrite {
+                ops: vec![
+                    WriteOp { key: key.clone(), expect: Expect::Absent, value: None },
+                    WriteOp { key: key.clone(), expect: Expect::Any, value: Some(Bytes::new()) },
+                ],
+            },
+            Request::Increment { key: key.clone(), delta: 42 },
+            Request::Scan { start: key.clone(), end: None, limit: 10, reverse: true },
+            Request::Scan { start: Bytes::new(), end: Some(key.clone()), limit: 1, reverse: false },
+            Request::ScanPrefix { prefix: key.clone(), limit: u64::MAX },
+            Request::Ping,
+            Request::CmStart { hint: 3 },
+            Request::CmComplete { tid: TxnId(9), committed: true },
+            Request::CmLav,
+            Request::CmSync,
+            Request::CmResolve { tid: TxnId(1), committed: false },
+        ];
+        for req in reqs {
+            let body = req.encode();
+            assert_eq!(Request::decode(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_covers_every_variant() {
+        let val = Bytes::copy_from_slice(b"payload");
+        let resps = vec![
+            Response::Error(WireError::Conflict),
+            Response::Error(WireError::CapacityExceeded { node: 2, capacity: 4096 }),
+            Response::Cell(None),
+            Response::Cell(Some((5, val.clone()))),
+            Response::Cells(vec![None, Some((1, Bytes::new()))]),
+            Response::Written(None),
+            Response::Written(Some(8)),
+            Response::WriteResults(vec![Ok(None), Ok(Some(3)), Err(WireError::NotFound)]),
+            Response::Counter(77),
+            Response::Rows(vec![(Bytes::copy_from_slice(b"a"), 1, val.clone())]),
+            Response::Pong,
+            Response::TxnStarted {
+                tid: TxnId(12),
+                lav: 4,
+                snapshot: SnapshotDescriptor::bootstrap().with_added(TxnId(12)),
+            },
+            Response::Unit,
+            Response::Lav(6),
+        ];
+        for resp in resps {
+            let body = resp.encode();
+            assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = Request::Ping.encode();
+        body.push(0);
+        assert!(matches!(Request::decode(&body), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected() {
+        let body = Request::Increment { key: Bytes::copy_from_slice(b"key"), delta: 1 }.encode();
+        for cut in 0..body.len() {
+            assert!(Request::decode(&body[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_eof_handling() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 42, b"hello").unwrap();
+        write_frame(&mut buf, 43, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some((42, b"hello".to_vec())));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some((43, Vec::new())));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+        // A truncated frame is an error, not a hang or a silent None.
+        let mut short = &buf[..buf.len() - 2];
+        let _ = read_frame(&mut short).unwrap();
+        assert!(read_frame(&mut short).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn wire_error_conversion_is_lossless() {
+        let errors = vec![
+            Error::Conflict,
+            Error::Aborted("why".into()),
+            Error::NotFound,
+            Error::Unavailable("sn:0 down".into()),
+            Error::CapacityExceeded { node: 1, capacity: 512 },
+            Error::Corrupt("bad".into()),
+            Error::InvalidOperation("nope".into()),
+            Error::Parse { message: "eof".into(), position: 3 },
+            Error::Query("unknown column".into()),
+            Error::Unsupported("joins".into()),
+        ];
+        for e in errors {
+            let wire = WireError::from(e.clone());
+            assert_eq!(Error::from(wire), e);
+        }
+    }
+}

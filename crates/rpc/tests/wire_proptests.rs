@@ -1,0 +1,206 @@
+//! Property tests for the tell-rpc wire format: every message round-trips
+//! through its encoding, and no truncation of a valid message decodes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use tell_commitmgr::SnapshotDescriptor;
+use tell_common::{BitSet, TxnId};
+use tell_rpc::wire::{read_frame, write_frame, FRAME_HEADER};
+use tell_rpc::{Request, Response, WireError};
+use tell_store::{Expect, WriteOp};
+
+/// Keys up to the longest the system composes in practice (`keys::record`
+/// and friends stay well under this), biased toward the interesting
+/// boundary lengths 0 and max.
+const MAX_KEY: usize = 256;
+
+fn bytes_strategy(max: usize) -> impl Strategy<Value = Bytes> {
+    prop_oneof![
+        2 => Just(Bytes::new()),
+        1 => prop::collection::vec(any::<u8>(), max).prop_map(Bytes::from),
+        5 => prop::collection::vec(any::<u8>(), 0..32).prop_map(Bytes::from),
+    ]
+}
+
+fn key_strategy() -> impl Strategy<Value = Bytes> {
+    bytes_strategy(MAX_KEY)
+}
+
+fn expect_strategy() -> impl Strategy<Value = Expect> {
+    prop_oneof![Just(Expect::Any), Just(Expect::Absent), any::<u64>().prop_map(Expect::Token),]
+}
+
+fn write_op_strategy() -> impl Strategy<Value = WriteOp> {
+    (key_strategy(), expect_strategy(), prop::option::of(bytes_strategy(64)))
+        .prop_map(|(key, expect, value)| WriteOp { key, expect, value })
+}
+
+fn wire_error_strategy() -> impl Strategy<Value = WireError> {
+    let msg = || ".{0,24}".prop_map(String::from);
+    prop_oneof![
+        Just(WireError::Conflict),
+        msg().prop_map(WireError::Aborted),
+        Just(WireError::NotFound),
+        msg().prop_map(WireError::Unavailable),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(node, capacity)| WireError::CapacityExceeded { node, capacity }),
+        msg().prop_map(WireError::Corrupt),
+        msg().prop_map(WireError::InvalidOperation),
+        (msg(), any::<u64>())
+            .prop_map(|(message, position)| WireError::Parse { message, position }),
+        msg().prop_map(WireError::Query),
+        msg().prop_map(WireError::Unsupported),
+    ]
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = SnapshotDescriptor> {
+    (any::<u64>(), prop::collection::btree_set(0usize..256, 0..24)).prop_map(|(base, ones)| {
+        let mut bits = BitSet::new();
+        for n in ones {
+            bits.set(n);
+        }
+        SnapshotDescriptor::new(base, bits)
+    })
+}
+
+fn cell_strategy() -> impl Strategy<Value = Option<(u64, Bytes)>> {
+    prop::option::of((any::<u64>(), bytes_strategy(64)))
+}
+
+/// Every `Request` variant, all fields randomized.
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        key_strategy().prop_map(|key| Request::Get { key }),
+        prop::collection::vec(key_strategy(), 0..6).prop_map(|keys| Request::MultiGet { keys }),
+        write_op_strategy().prop_map(|op| Request::Write { op }),
+        prop::collection::vec(write_op_strategy(), 0..6)
+            .prop_map(|ops| Request::MultiWrite { ops }),
+        (key_strategy(), any::<u64>()).prop_map(|(key, delta)| Request::Increment { key, delta }),
+        (key_strategy(), prop::option::of(key_strategy()), any::<u64>(), any::<bool>())
+            .prop_map(|(start, end, limit, reverse)| Request::Scan { start, end, limit, reverse }),
+        (key_strategy(), any::<u64>())
+            .prop_map(|(prefix, limit)| Request::ScanPrefix { prefix, limit }),
+        Just(Request::Ping),
+        any::<u64>().prop_map(|hint| Request::CmStart { hint }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(tid, committed)| Request::CmComplete { tid: TxnId(tid), committed }),
+        Just(Request::CmLav),
+        Just(Request::CmSync),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(tid, committed)| Request::CmResolve { tid: TxnId(tid), committed }),
+    ]
+}
+
+/// Every `Response` variant, all fields randomized.
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        wire_error_strategy().prop_map(Response::Error),
+        cell_strategy().prop_map(Response::Cell),
+        prop::collection::vec(cell_strategy(), 0..6).prop_map(Response::Cells),
+        prop::option::of(any::<u64>()).prop_map(Response::Written),
+        prop::collection::vec(
+            prop_oneof![
+                prop::option::of(any::<u64>()).prop_map(Ok),
+                wire_error_strategy().prop_map(Err),
+            ],
+            0..6,
+        )
+        .prop_map(Response::WriteResults),
+        any::<u64>().prop_map(Response::Counter),
+        prop::collection::vec((key_strategy(), any::<u64>(), bytes_strategy(64)), 0..6)
+            .prop_map(Response::Rows),
+        Just(Response::Pong),
+        (any::<u64>(), any::<u64>(), snapshot_strategy()).prop_map(|(tid, lav, snapshot)| {
+            Response::TxnStarted { tid: TxnId(tid), lav, snapshot }
+        }),
+        Just(Response::Unit),
+        any::<u64>().prop_map(Response::Lav),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrips(request in request_strategy()) {
+        let encoded = request.encode();
+        prop_assert_eq!(Request::decode(&encoded).unwrap(), request);
+    }
+
+    #[test]
+    fn response_roundtrips(response in response_strategy()) {
+        let encoded = response.encode();
+        prop_assert_eq!(Response::decode(&encoded).unwrap(), response);
+    }
+
+    /// No strict prefix of a valid message decodes — a truncated body can
+    /// never be mistaken for a (different) complete message.
+    #[test]
+    fn truncated_requests_never_decode(request in request_strategy()) {
+        let encoded = request.encode();
+        for cut in 0..encoded.len() {
+            prop_assert!(
+                Request::decode(&encoded[..cut]).is_err(),
+                "prefix of length {} decoded", cut
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_responses_never_decode(response in response_strategy()) {
+        let encoded = response.encode();
+        for cut in 0..encoded.len() {
+            prop_assert!(
+                Response::decode(&encoded[..cut]).is_err(),
+                "prefix of length {} decoded", cut
+            );
+        }
+    }
+
+    /// A frame round-trips, and cutting it anywhere turns it into either a
+    /// clean end-of-stream (cut at byte 0) or a hard I/O error — never a
+    /// silently short frame.
+    #[test]
+    fn truncated_frames_are_rejected(
+        request in request_strategy(),
+        corr_id in any::<u64>(),
+    ) {
+        let body = request.encode();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, corr_id, &body).unwrap();
+        prop_assert_eq!(framed.len(), FRAME_HEADER + body.len());
+
+        let (got_corr, got_body) =
+            read_frame(&mut &framed[..]).unwrap().expect("whole frame reads back");
+        prop_assert_eq!(got_corr, corr_id);
+        prop_assert_eq!(&got_body, &body);
+
+        prop_assert!(read_frame(&mut &framed[..0]).unwrap().is_none(), "empty = clean EOF");
+        for cut in 1..framed.len() {
+            prop_assert!(
+                read_frame(&mut &framed[..cut]).is_err(),
+                "frame prefix of length {} read back", cut
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_length_values_survive_the_full_cycle() {
+    let op = WriteOp { key: Bytes::new(), expect: Expect::Absent, value: Some(Bytes::new()) };
+    let request = Request::Write { op };
+    assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+
+    let response = Response::Cell(Some((0, Bytes::new())));
+    assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+}
+
+#[test]
+fn megabyte_keys_roundtrip() {
+    let key = Bytes::from(vec![0xa5u8; 1 << 20]);
+    let request = Request::Get { key: key.clone() };
+    assert_eq!(Request::decode(&request.encode()).unwrap(), request);
+
+    let response = Response::Rows(vec![(key, 7, Bytes::from_static(b"v"))]);
+    assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+}

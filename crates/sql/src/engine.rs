@@ -99,11 +99,15 @@ impl SqlEngine {
                     .iter()
                     .find(|(n, _)| *n == idx.name)
                     .map(|(_, c)| c.clone())
-                    .ok_or_else(|| Error::corrupt(format!("index '{}' missing from schema", idx.name)))?
+                    .ok_or_else(|| {
+                        Error::corrupt(format!("index '{}' missing from schema", idx.name))
+                    })?
             };
             let s = Arc::clone(schema);
-            self.db
-                .register_extractor(idx.id, Arc::new(move |row: &[u8]| extract_key(&s, &cols, row)));
+            self.db.register_extractor(
+                idx.id,
+                Arc::new(move |row: &[u8]| extract_key(&s, &cols, row)),
+            );
         }
         Ok(())
     }
@@ -143,10 +147,7 @@ impl SqlEngine {
         };
         self.db.create_table(name, vec![spec])?;
         let client = self.db.admin_client();
-        client.insert(
-            &keys::meta(&format!("sqlschema/{name}")),
-            Bytes::from(schema.encode()),
-        )?;
+        client.insert(&keys::meta(&format!("sqlschema/{name}")), Bytes::from(schema.encode()))?;
         self.schemas.write().insert(name.to_string(), schema);
         Ok(QueryResult::affected(0))
     }
@@ -156,9 +157,7 @@ impl SqlEngine {
         let cols: Vec<usize> = columns
             .iter()
             .map(|c| {
-                schema
-                    .column_index(c)
-                    .ok_or_else(|| Error::Query(format!("unknown column '{c}'")))
+                schema.column_index(c).ok_or_else(|| Error::Query(format!("unknown column '{c}'")))
             })
             .collect::<Result<_>>()?;
         // Persist the updated schema first, then add the core index.
@@ -176,10 +175,7 @@ impl SqlEngine {
             },
         )?;
         let client = self.db.admin_client();
-        client.put(
-            &keys::meta(&format!("sqlschema/{table}")),
-            Bytes::from(updated.encode()),
-        )?;
+        client.put(&keys::meta(&format!("sqlschema/{table}")), Bytes::from(updated.encode()))?;
         self.schemas.write().insert(table.to_string(), updated);
         Ok(QueryResult::affected(0))
     }
@@ -213,9 +209,7 @@ impl SqlSession {
             Statement::CreateIndex { name, table, columns } => {
                 self.engine.create_index(name, table, columns)
             }
-            _ => self
-                .pn
-                .run(64, |txn| exec::execute(&self.engine, txn, &stmt)),
+            _ => self.pn.run(64, |txn| exec::execute(&self.engine, txn, &stmt)),
         }
     }
 

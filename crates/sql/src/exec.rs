@@ -16,6 +16,9 @@ use crate::row::{decode_row, encode_row};
 use crate::schema::TableSchema;
 use crate::types::Value;
 
+/// Per-row ORDER BY key: one `(value, descending)` pair per sort term.
+type SortKey = Vec<(Value, bool)>;
+
 /// One table in the current name scope.
 struct ScopeEntry {
     name: String,
@@ -56,11 +59,10 @@ impl Scope {
             }
         }
         found.ok_or_else(|| {
-            Err::<usize, Error>(Error::Query(format!(
+            Error::Query(format!(
                 "unknown column '{}{column}'",
                 qualifier.map(|q| format!("{q}.")).unwrap_or_default()
-            )))
-            .unwrap_err()
+            ))
         })
     }
 
@@ -86,7 +88,11 @@ impl Scope {
 
 /// Execute a DML/query statement inside `txn`. DDL is handled by the
 /// engine, not here.
-pub fn execute(engine: &SqlEngine, txn: &mut Transaction<'_>, stmt: &Statement) -> Result<QueryResult> {
+pub fn execute(
+    engine: &SqlEngine,
+    txn: &mut Transaction<'_>,
+    stmt: &Statement,
+) -> Result<QueryResult> {
     match stmt {
         Statement::Insert { table, columns, rows } => insert(engine, txn, table, columns, rows),
         Statement::Select(sel) => select(engine, txn, sel),
@@ -96,9 +102,9 @@ pub fn execute(engine: &SqlEngine, txn: &mut Transaction<'_>, stmt: &Statement) 
         Statement::Delete { table, where_clause } => {
             delete(engine, txn, table, where_clause.as_ref())
         }
-        Statement::CreateTable { .. } | Statement::CreateIndex { .. } => Err(Error::invalid(
-            "DDL must run outside a transaction (use SqlSession::execute)",
-        )),
+        Statement::CreateTable { .. } | Statement::CreateIndex { .. } => {
+            Err(Error::invalid("DDL must run outside a transaction (use SqlSession::execute)"))
+        }
     }
 }
 
@@ -131,9 +137,7 @@ fn fetch_rows(
         }
     };
     let _ = engine;
-    raw.into_iter()
-        .map(|(rid, bytes)| Ok((rid, decode_row(schema, &bytes)?)))
-        .collect()
+    raw.into_iter().map(|(rid, bytes)| Ok((rid, decode_row(schema, &bytes)?))).collect()
 }
 
 fn insert(
@@ -147,8 +151,7 @@ fn insert(
     let def = txn.processing_node().table(table)?;
     let mut affected = 0u64;
     for row_exprs in rows {
-        let values: Vec<Value> =
-            row_exprs.iter().map(|e| e.eval(&[])).collect::<Result<_>>()?;
+        let values: Vec<Value> = row_exprs.iter().map(|e| e.eval(&[])).collect::<Result<_>>()?;
         let full = match columns {
             None => values,
             Some(cols) => {
@@ -308,7 +311,7 @@ fn select(engine: &SqlEngine, txn: &mut Transaction<'_>, sel: &SelectStmt) -> Re
         // Sort on the pre-projection scope rows so ORDER BY can reference
         // non-projected columns; aliases referencing projections also work.
         if !sel.order_by.is_empty() {
-            let mut keyed: Vec<(Vec<(Value, bool)>, Vec<Value>)> = Vec::with_capacity(rows.len());
+            let mut keyed: Vec<(SortKey, Vec<Value>)> = Vec::with_capacity(rows.len());
             for r in rows {
                 let mut keys = Vec::with_capacity(sel.order_by.len());
                 for (e, desc) in &sel.order_by {
@@ -344,7 +347,10 @@ fn resolve_order_expr(scope: &Scope, names: &[String], e: &Expr) -> Result<Expr>
             // Marker: refer to output column i via a special index beyond
             // the group row — handled in aggregate() by evaluating the
             // projection first. Encode as the projection expression itself.
-            return Ok(Expr::Aggregate(AggFunc::Count, Some(Box::new(Expr::ColumnIdx(usize::MAX - i)))));
+            return Ok(Expr::Aggregate(
+                AggFunc::Count,
+                Some(Box::new(Expr::ColumnIdx(usize::MAX - i))),
+            ));
         }
     }
     scope.resolve_expr(e)
@@ -488,8 +494,7 @@ fn aggregate(
     let mut groups: Vec<(Vec<Value>, Vec<&Vec<Value>>)> = Vec::new();
     let mut lookup: HashMap<Vec<String>, usize> = HashMap::new();
     for r in rows {
-        let key_vals: Vec<Value> =
-            group_exprs.iter().map(|e| e.eval(r)).collect::<Result<_>>()?;
+        let key_vals: Vec<Value> = group_exprs.iter().map(|e| e.eval(r)).collect::<Result<_>>()?;
         let key: Vec<String> = key_vals.iter().map(|v| format!("{v:?}")).collect();
         match lookup.get(&key) {
             Some(&i) => groups[i].1.push(r),
@@ -507,10 +512,8 @@ fn aggregate(
     let mut output = Vec::with_capacity(groups.len());
     let mut order_keys: Vec<Vec<(Value, bool)>> = Vec::with_capacity(groups.len());
     for (_, members) in &groups {
-        let row: Vec<Value> = proj_exprs
-            .iter()
-            .map(|e| eval_with_aggregates(e, members))
-            .collect::<Result<_>>()?;
+        let row: Vec<Value> =
+            proj_exprs.iter().map(|e| eval_with_aggregates(e, members)).collect::<Result<_>>()?;
         let mut keys = Vec::with_capacity(order_exprs.len());
         for (e, desc) in order_exprs {
             // Output-column back-references were encoded with usize::MAX - i.
@@ -533,8 +536,7 @@ fn aggregate(
         order_keys.push(keys);
     }
     if !order_exprs.is_empty() {
-        let mut zipped: Vec<(Vec<(Value, bool)>, Vec<Value>)> =
-            order_keys.into_iter().zip(output).collect();
+        let mut zipped: Vec<(SortKey, Vec<Value>)> = order_keys.into_iter().zip(output).collect();
         zipped.sort_by(|a, b| compare_keys(&a.0, &b.0));
         output = zipped.into_iter().map(|(_, r)| r).collect();
     }
@@ -585,9 +587,7 @@ fn compute_aggregate(func: AggFunc, arg: Option<&Expr>, members: &[&Vec<Value>])
                 if !matches!(v, Value::Int(_)) {
                     all_int = false;
                 }
-                sum += v
-                    .as_f64()
-                    .ok_or_else(|| Error::Query(format!("cannot aggregate {v}")))?;
+                sum += v.as_f64().ok_or_else(|| Error::Query(format!("cannot aggregate {v}")))?;
                 n += 1;
             }
             if n == 0 {

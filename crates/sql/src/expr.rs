@@ -112,8 +112,9 @@ impl Expr {
                 let lo = lo.eval(row)?;
                 let hi = hi.eval(row)?;
                 match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
-                    (Some(a), Some(b)) => Ok(Value::Bool(a != std::cmp::Ordering::Less
-                        && b != std::cmp::Ordering::Greater)),
+                    (Some(a), Some(b)) => Ok(Value::Bool(
+                        a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater,
+                    )),
                     _ => Ok(Value::Null),
                 }
             }
@@ -130,9 +131,7 @@ impl Expr {
                 }
                 Ok(Value::Bool(false))
             }
-            Expr::Aggregate(..) => {
-                Err(Error::Query("aggregate outside GROUP BY context".into()))
-            }
+            Expr::Aggregate(..) => Err(Error::Query("aggregate outside GROUP BY context".into())),
         }
     }
 
@@ -175,17 +174,13 @@ impl Expr {
     /// Map every node bottom-up (used by the planner to resolve columns).
     pub fn map(&self, f: &impl Fn(Expr) -> Result<Expr>) -> Result<Expr> {
         let mapped = match self {
-            Expr::Binary(op, l, r) => {
-                Expr::Binary(*op, Box::new(l.map(f)?), Box::new(r.map(f)?))
-            }
+            Expr::Binary(op, l, r) => Expr::Binary(*op, Box::new(l.map(f)?), Box::new(r.map(f)?)),
             Expr::Not(e) => Expr::Not(Box::new(e.map(f)?)),
             Expr::Neg(e) => Expr::Neg(Box::new(e.map(f)?)),
             Expr::IsNull(e, n) => Expr::IsNull(Box::new(e.map(f)?), *n),
-            Expr::Between(a, b, c) => Expr::Between(
-                Box::new(a.map(f)?),
-                Box::new(b.map(f)?),
-                Box::new(c.map(f)?),
-            ),
+            Expr::Between(a, b, c) => {
+                Expr::Between(Box::new(a.map(f)?), Box::new(b.map(f)?), Box::new(c.map(f)?))
+            }
             Expr::InList(e, list) => Expr::InList(
                 Box::new(e.map(f)?),
                 list.iter().map(|i| i.map(f)).collect::<Result<_>>()?,
@@ -289,7 +284,10 @@ mod tests {
         assert_eq!(bin(BinOp::Mul, lit(2i64), lit(2.5)).eval(&[]).unwrap(), Value::Double(5.0));
         assert_eq!(bin(BinOp::Div, lit(7i64), lit(2i64)).eval(&[]).unwrap(), Value::Int(3));
         assert!(bin(BinOp::Div, lit(1i64), lit(0i64)).eval(&[]).is_err());
-        assert_eq!(bin(BinOp::Add, lit(1i64), Expr::Literal(Value::Null)).eval(&[]).unwrap(), Value::Null);
+        assert_eq!(
+            bin(BinOp::Add, lit(1i64), Expr::Literal(Value::Null)).eval(&[]).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]

@@ -42,31 +42,12 @@ pub struct SelectStmt {
 /// Any parsed statement.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
-    CreateTable {
-        name: String,
-        columns: Vec<(String, DataType, bool)>,
-        primary_key: Vec<String>,
-    },
-    CreateIndex {
-        name: String,
-        table: String,
-        columns: Vec<String>,
-    },
-    Insert {
-        table: String,
-        columns: Option<Vec<String>>,
-        rows: Vec<Vec<Expr>>,
-    },
+    CreateTable { name: String, columns: Vec<(String, DataType, bool)>, primary_key: Vec<String> },
+    CreateIndex { name: String, table: String, columns: Vec<String> },
+    Insert { table: String, columns: Option<Vec<String>>, rows: Vec<Vec<Expr>> },
     Select(SelectStmt),
-    Update {
-        table: String,
-        sets: Vec<(String, Expr)>,
-        where_clause: Option<Expr>,
-    },
-    Delete {
-        table: String,
-        where_clause: Option<Expr>,
-    },
+    Update { table: String, sets: Vec<(String, Expr)>, where_clause: Option<Expr> },
+    Delete { table: String, where_clause: Option<Expr> },
 }
 
 /// Parse one SQL statement (a trailing `;` is allowed).
@@ -310,13 +291,12 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let name = self.identifier()?;
-        let alias = if self.accept_kw("AS") {
-            Some(self.identifier()?)
-        } else if matches!(self.peek(), Token::Word(w) if !is_reserved(w)) {
-            Some(self.identifier()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.accept_kw("AS") || matches!(self.peek(), Token::Word(w) if !is_reserved(w)) {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
         Ok(TableRef { name, alias })
     }
 
@@ -328,11 +308,7 @@ impl Parser {
             let mut exprs = Vec::new();
             loop {
                 let e = self.expr()?;
-                let alias = if self.accept_kw("AS") {
-                    Some(self.identifier()?)
-                } else {
-                    None
-                };
+                let alias = if self.accept_kw("AS") { Some(self.identifier()?) } else { None };
                 exprs.push((e, alias));
                 if !self.accept_sym(",") {
                     break;
@@ -344,11 +320,7 @@ impl Parser {
         let from = self.table_ref()?;
         let mut joins = Vec::new();
         loop {
-            let inner = if self.accept_kw("INNER") {
-                true
-            } else {
-                false
-            };
+            let inner = self.accept_kw("INNER");
             if !self.peek().is_kw("JOIN") {
                 if inner {
                     return self.err("expected JOIN after INNER");
@@ -616,8 +588,8 @@ impl Parser {
 fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
         "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "INSERT", "INTO", "VALUES",
-        "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "ON", "JOIN", "INNER", "AND",
-        "OR", "NOT", "AS", "PRIMARY", "KEY", "BETWEEN", "IN", "IS", "DESC", "ASC", "HAVING",
+        "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "INDEX", "ON", "JOIN", "INNER", "AND", "OR",
+        "NOT", "AS", "PRIMARY", "KEY", "BETWEEN", "IN", "IS", "DESC", "ASC", "HAVING",
     ];
     RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
 }

@@ -123,9 +123,7 @@ pub fn plan_access(schema: &TableSchema, base: &str, where_clause: Option<&Expr>
         return Access::FullScan;
     }
     let eq_of = |col: usize| -> Option<&Value> {
-        cons.iter()
-            .find(|c| c.column == col && c.op == BinOp::Eq)
-            .map(|c| &c.value)
+        cons.iter().find(|c| c.column == col && c.op == BinOp::Eq).map(|c| &c.value)
     };
 
     // 1. Full equality cover (pk first).
@@ -221,7 +219,10 @@ mod tests {
         let access = plan_access(&schema(), "t", Some(&w));
         assert_eq!(
             access,
-            Access::IndexEq { index: "pk".into(), key: encode_key(&[Value::Int(1), Value::Int(2)]) }
+            Access::IndexEq {
+                index: "pk".into(),
+                key: encode_key(&[Value::Int(1), Value::Int(2)])
+            }
         );
     }
 
@@ -231,7 +232,10 @@ mod tests {
         let access = plan_access(&schema(), "t", Some(&w));
         assert_eq!(
             access,
-            Access::IndexEq { index: "by_name".into(), key: encode_key(&[Value::Text("x".into())]) }
+            Access::IndexEq {
+                index: "by_name".into(),
+                key: encode_key(&[Value::Text("x".into())])
+            }
         );
     }
 

@@ -164,7 +164,8 @@ mod tests {
     #[test]
     fn decode_rejects_trailing_garbage() {
         let s = schema();
-        let row = vec![Value::Int(1), Value::Double(2.0), Value::Text("x".into()), Value::Bool(false)];
+        let row =
+            vec![Value::Int(1), Value::Double(2.0), Value::Text("x".into()), Value::Bool(false)];
         let mut bytes = encode_row(&s, &row).unwrap().to_vec();
         bytes.push(7);
         assert!(decode_row(&s, &bytes).is_err());
@@ -211,7 +212,8 @@ mod tests {
     #[test]
     fn extract_key_pulls_columns() {
         let s = schema();
-        let row = vec![Value::Int(7), Value::Double(1.0), Value::Text("x".into()), Value::Bool(true)];
+        let row =
+            vec![Value::Int(7), Value::Double(1.0), Value::Text("x".into()), Value::Bool(true)];
         let bytes = encode_row(&s, &row).unwrap();
         let key = extract_key(&s, &[0], &bytes).unwrap();
         assert_eq!(key, encode_key(&[Value::Int(7)]));

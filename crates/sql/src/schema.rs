@@ -151,9 +151,7 @@ mod tests {
     #[test]
     fn validate_coerces_and_checks_nulls() {
         let s = schema();
-        let row = s
-            .validate(vec![Value::Int(1), Value::Int(2), Value::Null])
-            .unwrap();
+        let row = s.validate(vec![Value::Int(1), Value::Int(2), Value::Null]).unwrap();
         assert_eq!(row[1], Value::Double(2.0));
         assert!(s.validate(vec![Value::Null, Value::Double(1.0), Value::Null]).is_err());
         assert!(s.validate(vec![Value::Int(1), Value::Double(1.0)]).is_err());

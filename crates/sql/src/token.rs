@@ -79,7 +79,10 @@ pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                if i < b.len()
+                    && b[i] == b'.'
+                    && b.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                {
                     is_float = true;
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
@@ -151,7 +154,10 @@ pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
             }
             _ => {
                 return Err(Error::Parse {
-                    message: format!("unexpected character '{}'", input[i..].chars().next().unwrap()),
+                    message: format!(
+                        "unexpected character '{}'",
+                        input[i..].chars().next().unwrap()
+                    ),
                     position: i,
                 })
             }
@@ -203,7 +209,16 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let t = toks("SELECT 1 -- the answer\n, 2");
-        assert_eq!(t, vec![Token::Word("SELECT".into()), Token::Int(1), Token::Sym(","), Token::Int(2), Token::Eof]);
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Sym(","),
+                Token::Int(2),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]

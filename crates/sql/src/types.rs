@@ -90,15 +90,14 @@ impl Value {
     /// Does the value fit the column type (NULL fits everything here;
     /// nullability is checked separately)? Ints coerce into double columns.
     pub fn conforms_to(&self, t: DataType) -> bool {
-        match (self, t) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Double) => true,
-            (Value::Double(_), DataType::Double) => true,
-            (Value::Text(_), DataType::Text) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            _ => false,
-        }
+        matches!(
+            (self, t),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Double)
+                | (Value::Double(_), DataType::Double)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Bool(_), DataType::Bool)
+        )
     }
 
     /// Coerce into the column type (int → double when needed).
@@ -132,9 +131,9 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Null, _) => Ordering::Less,
             (_, Value::Null) => Ordering::Greater,
-            _ => self.sql_cmp(other).unwrap_or_else(|| {
-                format!("{self:?}").cmp(&format!("{other:?}"))
-            }),
+            _ => self
+                .sql_cmp(other)
+                .unwrap_or_else(|| format!("{self:?}").cmp(&format!("{other:?}"))),
         }
     }
 }

@@ -67,7 +67,8 @@ fn where_with_expressions() {
     assert_eq!(ints(&n, 0), vec![5]);
     let between = s.execute("SELECT id FROM item WHERE id BETWEEN 2 AND 4 ORDER BY id").unwrap();
     assert_eq!(ints(&between, 0), vec![2, 3, 4]);
-    let inlist = s.execute("SELECT id FROM item WHERE name IN ('bolt', 'cog') ORDER BY id").unwrap();
+    let inlist =
+        s.execute("SELECT id FROM item WHERE name IN ('bolt', 'cog') ORDER BY id").unwrap();
     assert_eq!(ints(&inlist, 0), vec![1, 4]);
 }
 
@@ -142,10 +143,7 @@ fn joins() {
     )
     .unwrap();
     s.execute("INSERT INTO customer VALUES (1, 'ada'), (2, 'bob'), (3, 'eve')").unwrap();
-    s.execute(
-        "INSERT INTO orders VALUES (10, 1, 5.0), (11, 1, 7.5), (12, 2, 1.0)",
-    )
-    .unwrap();
+    s.execute("INSERT INTO orders VALUES (10, 1, 5.0), (11, 1, 7.5), (12, 2, 1.0)").unwrap();
     let r = s
         .execute(
             "SELECT c.name, SUM(o.amount) AS total FROM orders o \
@@ -243,10 +241,7 @@ fn snapshot_isolation_through_sql() {
 #[test]
 fn composite_primary_key() {
     let s = session();
-    s.execute(
-        "CREATE TABLE wd (w INT, d INT, ytd DOUBLE NOT NULL, PRIMARY KEY (w, d))",
-    )
-    .unwrap();
+    s.execute("CREATE TABLE wd (w INT, d INT, ytd DOUBLE NOT NULL, PRIMARY KEY (w, d))").unwrap();
     for w in 1..=3 {
         for d in 1..=4 {
             s.execute(&format!("INSERT INTO wd VALUES ({w}, {d}, 0.0)")).unwrap();
@@ -256,7 +251,8 @@ fn composite_primary_key() {
     assert_eq!(one.rows.len(), 1);
     let prefix = s.execute("SELECT d FROM wd WHERE w = 2 ORDER BY d").unwrap();
     assert_eq!(ints(&prefix, 0), vec![1, 2, 3, 4]);
-    let range = s.execute("SELECT w, d FROM wd WHERE w >= 2 AND w <= 2 AND d > 2 ORDER BY d").unwrap();
+    let range =
+        s.execute("SELECT w, d FROM wd WHERE w >= 2 AND w <= 2 AND d > 2 ORDER BY d").unwrap();
     assert_eq!(ints(&range, 1), vec![3, 4]);
 }
 

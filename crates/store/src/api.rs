@@ -1,0 +1,184 @@
+//! The storage abstraction the layers above program against.
+//!
+//! [`StoreApi`] is the operation surface of a storage client; it is
+//! implemented by the in-process [`StoreClient`] and by `tell-rpc`'s
+//! `RemoteStoreClient`, so a processing node runs unchanged against a local
+//! simulated cluster or real storage nodes across TCP.
+//!
+//! Clients carry a [`NetMeter`] whose `SimClock` is deliberately `!Send`
+//! (one virtual clock per worker thread), so a client can never be stored in
+//! a shared `Database`. [`StoreEndpoint`] is the `Send + Sync` half: a cheap
+//! handle to the storage service from which each worker mints its own
+//! metered client.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use tell_common::Result;
+use tell_netsim::NetMeter;
+
+use crate::cell::Token;
+use crate::client::{StoreClient, WriteOp};
+use crate::cluster::StoreCluster;
+use crate::keys::Key;
+
+/// Storage operations available to a processing node, commit manager or
+/// index. Mirrors [`StoreClient`]'s inherent methods; see those for cost
+/// accounting and semantics (LL/SC per §4.1, batching per §5.1).
+pub trait StoreApi: Clone {
+    /// Load-link: read `key`, returning its token and value.
+    fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>>;
+
+    /// Batched load-link of several keys in one exchange.
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<(Token, Bytes)>>>;
+
+    /// Unconditional upsert; returns the new token.
+    fn put(&self, key: &Key, value: Bytes) -> Result<Token>;
+
+    /// Insert; fails with `Conflict` if the key exists.
+    fn insert(&self, key: &Key, value: Bytes) -> Result<Token>;
+
+    /// Store-conditional: write only if the cell still carries `token`.
+    fn store_conditional(&self, key: &Key, token: Token, value: Bytes) -> Result<Token>;
+
+    /// Delete only if the cell still carries `token`.
+    fn delete_conditional(&self, key: &Key, token: Token) -> Result<()>;
+
+    /// Unconditional delete (no-op when missing).
+    fn delete(&self, key: &Key) -> Result<()>;
+
+    /// Batched conditional writes: one exchange, independent per-op results.
+    fn multi_write(&self, ops: Vec<WriteOp>) -> Result<Vec<Result<Option<Token>>>>;
+
+    /// Atomic fetch-and-add.
+    fn increment(&self, key: &Key, delta: u64) -> Result<u64>;
+
+    /// Ordered scan of `[start, end)`, at most `limit` entries.
+    fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>>;
+
+    /// Reverse-ordered scan of `[start, end)` (largest key first).
+    fn scan_range_rev(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>>;
+
+    /// Scan every key starting with `prefix`.
+    fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Key, Token, Bytes)>>;
+
+    /// Prefix scan with a filter pushed toward the storage node (§5.2).
+    /// Implementations that cannot ship the predicate (the remote client)
+    /// may evaluate it client-side; semantics are identical, only the
+    /// bandwidth accounting differs.
+    fn scan_prefix_pushdown(
+        &self,
+        prefix: &[u8],
+        limit: usize,
+        filter: &dyn Fn(&Key, &Bytes) -> bool,
+    ) -> Result<Vec<(Key, Token, Bytes)>>;
+
+    /// The meter charging this worker's virtual clock.
+    fn meter(&self) -> &NetMeter;
+}
+
+impl StoreApi for StoreClient {
+    fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>> {
+        StoreClient::get(self, key)
+    }
+
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<(Token, Bytes)>>> {
+        StoreClient::multi_get(self, keys)
+    }
+
+    fn put(&self, key: &Key, value: Bytes) -> Result<Token> {
+        StoreClient::put(self, key, value)
+    }
+
+    fn insert(&self, key: &Key, value: Bytes) -> Result<Token> {
+        StoreClient::insert(self, key, value)
+    }
+
+    fn store_conditional(&self, key: &Key, token: Token, value: Bytes) -> Result<Token> {
+        StoreClient::store_conditional(self, key, token, value)
+    }
+
+    fn delete_conditional(&self, key: &Key, token: Token) -> Result<()> {
+        StoreClient::delete_conditional(self, key, token)
+    }
+
+    fn delete(&self, key: &Key) -> Result<()> {
+        StoreClient::delete(self, key)
+    }
+
+    fn multi_write(&self, ops: Vec<WriteOp>) -> Result<Vec<Result<Option<Token>>>> {
+        StoreClient::multi_write(self, ops)
+    }
+
+    fn increment(&self, key: &Key, delta: u64) -> Result<u64> {
+        StoreClient::increment(self, key, delta)
+    }
+
+    fn scan_range(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        StoreClient::scan_range(self, start, end, limit)
+    }
+
+    fn scan_range_rev(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        StoreClient::scan_range_rev(self, start, end, limit)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Key, Token, Bytes)>> {
+        StoreClient::scan_prefix(self, prefix, limit)
+    }
+
+    fn scan_prefix_pushdown(
+        &self,
+        prefix: &[u8],
+        limit: usize,
+        filter: &dyn Fn(&Key, &Bytes) -> bool,
+    ) -> Result<Vec<(Key, Token, Bytes)>> {
+        StoreClient::scan_prefix_pushdown(self, prefix, limit, filter)
+    }
+
+    fn meter(&self) -> &NetMeter {
+        StoreClient::meter(self)
+    }
+}
+
+/// A `Send + Sync` handle to a storage service from which per-worker
+/// clients are minted. The local endpoint is `Arc<StoreCluster>`; the
+/// remote endpoint (in `tell-rpc`) is a TCP connection pool.
+pub trait StoreEndpoint: Clone + Send + Sync + 'static {
+    /// The client type this endpoint produces.
+    type Client: StoreApi;
+
+    /// A client charging `meter`.
+    fn client(&self, meter: NetMeter) -> Self::Client;
+
+    /// A client with free (zero-cost) metering, for administrative work.
+    fn unmetered_client(&self) -> Self::Client {
+        self.client(NetMeter::free())
+    }
+}
+
+impl StoreEndpoint for Arc<StoreCluster> {
+    type Client = StoreClient;
+
+    fn client(&self, meter: NetMeter) -> StoreClient {
+        StoreClient::new(Arc::clone(self), meter)
+    }
+}

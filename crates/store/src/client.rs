@@ -29,7 +29,7 @@ const ACK_BYTES: usize = 16;
 const SCAN_ROW_CPU_US: f64 = 0.05;
 
 /// One operation inside a batched write.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WriteOp {
     /// Target key.
     pub key: Key,
@@ -114,14 +114,12 @@ impl StoreClient {
 
     /// Unconditional upsert. Returns the new token.
     pub fn put(&self, key: &Key, value: Bytes) -> Result<Token> {
-        self.write_one(key, Expect::Any, Some(value))
-            .map(|t| t.expect("put returns a token"))
+        self.write_one(key, Expect::Any, Some(value)).map(|t| t.expect("put returns a token"))
     }
 
     /// Insert; fails with `Conflict` if the key exists.
     pub fn insert(&self, key: &Key, value: Bytes) -> Result<Token> {
-        self.write_one(key, Expect::Absent, Some(value))
-            .map(|t| t.expect("insert returns a token"))
+        self.write_one(key, Expect::Absent, Some(value)).map(|t| t.expect("insert returns a token"))
     }
 
     /// Store-conditional: write `value` only if the cell still carries
@@ -143,8 +141,7 @@ impl StoreClient {
     }
 
     fn write_one(&self, key: &Key, expect: Expect, value: Option<Bytes>) -> Result<Option<Token>> {
-        let payload =
-            key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + OP_OVERHEAD;
+        let payload = key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + OP_OVERHEAD;
         let mutation = match value {
             Some(v) => Mutation::Put(v),
             None => Mutation::Delete,
@@ -153,10 +150,7 @@ impl StoreClient {
         // a round trip too.
         self.meter.stats().note_writes(1);
         self.meter.charge_request(payload, ACK_BYTES, 1);
-        let (token, replicas) = match self.cluster.srv_write(key, to_cluster(expect), mutation) {
-            Ok(ok) => ok,
-            Err(e) => return Err(e),
-        };
+        let (token, replicas) = self.cluster.srv_write(key, to_cluster(expect), mutation)?;
         if replicas > 0 {
             self.meter.charge_replication(replicas, payload);
         }
@@ -247,15 +241,12 @@ impl StoreClient {
         let end = prefix_end(prefix);
         let (rows, masters) = self.cluster.srv_scan(prefix, end.as_deref(), usize::MAX, false)?;
         let scanned = rows.len();
-        let mut out: Vec<(Key, Token, Bytes)> = rows
-            .into_iter()
-            .filter(|(k, _, v)| filter(k, v))
-            .collect();
+        let mut out: Vec<(Key, Token, Bytes)> =
+            rows.into_iter().filter(|(k, _, v)| filter(k, v)).collect();
         out.truncate(limit);
         let in_bytes: usize =
             out.iter().map(|(k, _, v)| k.len() + v.len() + 16).sum::<usize>() + ACK_BYTES;
-        self.meter
-            .charge_request((prefix.len() + OP_OVERHEAD) * masters.max(1), in_bytes, 1);
+        self.meter.charge_request((prefix.len() + OP_OVERHEAD) * masters.max(1), in_bytes, 1);
         self.meter.charge_cpu(scanned as f64 * SCAN_ROW_CPU_US);
         Ok(out)
     }
@@ -272,8 +263,7 @@ impl StoreClient {
             rows.iter().map(|(k, _, v)| k.len() + v.len() + 16).sum::<usize>() + ACK_BYTES;
         // Scatter-gather: the fan-out requests run in parallel; charge one
         // round trip plus the whole payload crossing our link.
-        self.meter
-            .charge_request((start.len() + OP_OVERHEAD) * masters.max(1), in_bytes, 1);
+        self.meter.charge_request((start.len() + OP_OVERHEAD) * masters.max(1), in_bytes, 1);
         self.meter.charge_cpu(rows.len() as f64 * SCAN_ROW_CPU_US);
         Ok(rows)
     }
@@ -314,7 +304,10 @@ mod tests {
         assert_eq!(v.as_ref(), b"v1");
         let t2 = c.store_conditional(&k("a"), t, Bytes::from_static(b"v2")).unwrap();
         assert!(t2 > t);
-        assert_eq!(c.store_conditional(&k("a"), t, Bytes::from_static(b"v3")).unwrap_err(), Error::Conflict);
+        assert_eq!(
+            c.store_conditional(&k("a"), t, Bytes::from_static(b"v3")).unwrap_err(),
+            Error::Conflict
+        );
     }
 
     #[test]
@@ -413,9 +406,7 @@ mod tests {
         let full_cost = clock.now_us();
         assert_eq!(all.len(), 100);
         clock.reset();
-        let filtered = c
-            .scan_prefix_pushdown(b"t/", usize::MAX, |_, v| v[0] % 50 == 0)
-            .unwrap();
+        let filtered = c.scan_prefix_pushdown(b"t/", usize::MAX, |_, v| v[0] % 50 == 0).unwrap();
         let pushdown_cost = clock.now_us();
         assert_eq!(filtered.len(), 2);
         assert!(

@@ -19,6 +19,9 @@ use crate::cell::{Cell, Token};
 use crate::keys::Key;
 use crate::node::{CopyStore, StorageNode};
 
+/// One row returned by a scan: key, its LL/SC token, and the value.
+pub type ScanRow = (Key, Token, Bytes);
+
 /// Precondition of a conditional write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Expect {
@@ -53,11 +56,7 @@ struct LogicalPartition {
 
 impl LogicalPartition {
     fn copy_of(&self, node: SnId) -> Option<Arc<CopyStore>> {
-        self.copies
-            .read()
-            .iter()
-            .find(|(id, _)| *id == node)
-            .map(|(_, c)| Arc::clone(c))
+        self.copies.read().iter().find(|(id, _)| *id == node).map(|(_, c)| Arc::clone(c))
     }
 }
 
@@ -134,10 +133,7 @@ impl StoreCluster {
                 let hosts: Vec<SnId> = (0..config.replication_factor)
                     .map(|r| SnId(((p + r) % config.nodes) as u32))
                     .collect();
-                let copies = hosts
-                    .iter()
-                    .map(|&id| (id, Arc::new(CopyStore::new())))
-                    .collect();
+                let copies = hosts.iter().map(|&id| (id, Arc::new(CopyStore::new()))).collect();
                 LogicalPartition {
                     next_token: AtomicU64::new(1),
                     assignment: RwLock::new(hosts),
@@ -214,9 +210,7 @@ impl StoreCluster {
         }
         match master {
             Some(m) => Ok((m, alive - 1)),
-            None => Err(Error::Unavailable(format!(
-                "no alive replica for partition {pid}"
-            ))),
+            None => Err(Error::Unavailable(format!("no alive replica for partition {pid}"))),
         }
     }
 
@@ -250,9 +244,8 @@ impl StoreCluster {
         let pid = self.partition_id(key);
         let (master, replicas) = self.master_of(pid)?;
         let part = &self.partitions[pid];
-        let master_copy = part
-            .copy_of(master)
-            .ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
+        let master_copy =
+            part.copy_of(master).ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
 
         let mut map = master_copy.map.write();
         let existing = map.get(key.as_ref());
@@ -263,9 +256,8 @@ impl StoreCluster {
             _ => {}
         }
 
-        let old_footprint = existing
-            .map(|c| Cell::footprint(key.len(), c.value.len()) as isize)
-            .unwrap_or(0);
+        let old_footprint =
+            existing.map(|c| Cell::footprint(key.len(), c.value.len()) as isize).unwrap_or(0);
 
         match mutation {
             Mutation::Put(value) => {
@@ -342,29 +334,25 @@ impl StoreCluster {
         let pid = self.partition_id(key);
         let (master, _) = self.master_of(pid)?;
         let part = &self.partitions[pid];
-        let master_copy = part
-            .copy_of(master)
-            .ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
+        let master_copy =
+            part.copy_of(master).ok_or_else(|| Error::Unavailable("master copy missing".into()))?;
         let mut map = master_copy.map.write();
         let current = match map.get(key.as_ref()) {
             Some(c) => {
-                let bytes: [u8; 8] = c.value.as_ref().try_into().map_err(|_| {
-                    Error::corrupt("counter cell is not 8 bytes")
-                })?;
+                let bytes: [u8; 8] = c
+                    .value
+                    .as_ref()
+                    .try_into()
+                    .map_err(|_| Error::corrupt("counter cell is not 8 bytes"))?;
                 u64::from_le_bytes(bytes)
             }
             None => 0,
         };
-        let new = current
-            .checked_add(delta)
-            .ok_or_else(|| Error::invalid("counter overflow"))?;
+        let new = current.checked_add(delta).ok_or_else(|| Error::invalid("counter overflow"))?;
         let token = part.next_token.fetch_add(1, Ordering::Relaxed);
         let cell = Cell { token, value: Bytes::copy_from_slice(&new.to_le_bytes()) };
-        let delta_fp = if map.contains_key(key.as_ref()) {
-            0
-        } else {
-            Cell::footprint(key.len(), 8) as isize
-        };
+        let delta_fp =
+            if map.contains_key(key.as_ref()) { 0 } else { Cell::footprint(key.len(), 8) as isize };
         map.insert(key.clone(), cell.clone());
         self.node(master).account(delta_fp);
         self.replicate(part, master, key, Some(cell), delta_fp);
@@ -381,7 +369,7 @@ impl StoreCluster {
         end: Option<&[u8]>,
         limit: usize,
         reverse: bool,
-    ) -> Result<(Vec<(Key, Token, Bytes)>, usize)> {
+    ) -> Result<(Vec<ScanRow>, usize)> {
         let mut out: Vec<(Key, Token, Bytes)> = Vec::new();
         let mut masters = std::collections::HashSet::new();
         for pid in 0..self.partitions.len() {
@@ -433,10 +421,8 @@ impl StoreCluster {
             let Some(copy) = part.copy_of(id) else { continue };
             // Find the current master copy to sync from.
             let assignment = part.assignment.read();
-            let master = assignment
-                .iter()
-                .find(|h| **h != id && self.node(**h).is_alive())
-                .copied();
+            let master =
+                assignment.iter().find(|h| **h != id && self.node(**h).is_alive()).copied();
             if let Some(m) = master {
                 if let Some(src) = part.copy_of(m) {
                     let snapshot: BTreeMap<Bytes, Cell> = src.map.read().clone();
@@ -457,11 +443,8 @@ impl StoreCluster {
         let mut created = 0;
         for part in &self.partitions {
             let mut copies = part.copies.write();
-            let alive: Vec<SnId> = copies
-                .iter()
-                .map(|(h, _)| *h)
-                .filter(|h| self.node(*h).is_alive())
-                .collect();
+            let alive: Vec<SnId> =
+                copies.iter().map(|(h, _)| *h).filter(|h| self.node(*h).is_alive()).collect();
             if alive.len() >= self.replication_factor || alive.is_empty() {
                 continue;
             }
@@ -480,10 +463,8 @@ impl StoreCluster {
                 .expect("master copy exists");
             for target in candidates.into_iter().take(self.replication_factor - alive.len()) {
                 let snapshot: BTreeMap<Bytes, Cell> = src.map.read().clone();
-                let fp: usize = snapshot
-                    .iter()
-                    .map(|(k, c)| Cell::footprint(k.len(), c.value.len()))
-                    .sum();
+                let fp: usize =
+                    snapshot.iter().map(|(k, c)| Cell::footprint(k.len(), c.value.len())).sum();
                 let new_copy = Arc::new(CopyStore::new());
                 *new_copy.map.write() = snapshot;
                 copies.push((target, new_copy));
@@ -695,7 +676,7 @@ mod tests {
         c.srv_write(&k("x"), Expect::Absent, Mutation::Put(v("1"))).unwrap();
         let (t0, v0) = c.srv_read(b"x").unwrap().unwrap();
         // Kill the master twice; every surviving replica must agree.
-        c.kill_node(SnId(c.route(b"x").raw() as u32 % 3));
+        c.kill_node(SnId(c.route(b"x").raw() % 3));
         let (t1, v1) = c.srv_read(b"x").unwrap().unwrap();
         assert_eq!((t0, v0), (t1, v1));
     }

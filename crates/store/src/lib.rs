@@ -23,12 +23,14 @@
 //! [`tell_netsim::NetMeter`]; the data structures themselves are real and
 //! shared, so concurrent conflicts are genuine.
 
+pub mod api;
 pub mod cell;
 pub mod client;
 pub mod cluster;
 pub mod keys;
 pub mod node;
 
+pub use api::{StoreApi, StoreEndpoint};
 pub use cell::{Cell, Token};
 pub use client::{Expect, StoreClient, WriteOp};
 pub use cluster::{StoreCluster, StoreConfig};

@@ -98,11 +98,7 @@ impl CopyStore {
 
     /// Sum of entry footprints, used to rebuild accounting after re-sync.
     pub fn footprint(&self) -> usize {
-        self.map
-            .read()
-            .iter()
-            .map(|(k, c)| Cell::footprint(k.len(), c.value.len()))
-            .sum()
+        self.map.read().iter().map(|(k, c)| Cell::footprint(k.len(), c.value.len())).sum()
     }
 }
 
@@ -139,9 +135,10 @@ mod tests {
     fn copy_footprint_counts_entries() {
         let c = CopyStore::new();
         assert_eq!(c.footprint(), 0);
-        c.map
-            .write()
-            .insert(Bytes::from_static(b"key"), Cell { token: 1, value: Bytes::from_static(b"value") });
+        c.map.write().insert(
+            Bytes::from_static(b"key"),
+            Cell { token: 1, value: Bytes::from_static(b"value") },
+        );
         assert_eq!(c.footprint(), Cell::footprint(3, 5));
     }
 }

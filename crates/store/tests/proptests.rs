@@ -27,7 +27,8 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u8>(), prop::collection::vec(any::<u8>(), 0..24)).prop_map(|(k, v)| Op::Put(k, v)),
-        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..24)).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
         (any::<u8>(), prop::collection::vec(any::<u8>(), 0..24), any::<bool>())
             .prop_map(|(k, v, fresh)| Op::Sc(k, v, fresh)),
         any::<u8>().prop_map(Op::Delete),
@@ -68,10 +69,10 @@ proptest! {
                 }
                 Op::Insert(k, v) => {
                     let result = client.insert(&key(k), Bytes::from(v.clone()));
-                    if model.contains_key(&k) {
-                        prop_assert_eq!(result.unwrap_err(), Error::Conflict);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(k) {
+                        e.insert((result.unwrap(), v));
                     } else {
-                        model.insert(k, (result.unwrap(), v));
+                        prop_assert_eq!(result.unwrap_err(), Error::Conflict);
                     }
                 }
                 Op::Sc(k, v, fresh) => {

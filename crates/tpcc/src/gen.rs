@@ -303,11 +303,7 @@ pub fn generate_population(
                         Value::Int(o),
                         Value::Int(c_id),
                         Value::Int(0),
-                        if delivered {
-                            Value::Int(rng.random_range(1..=10))
-                        } else {
-                            Value::Null
-                        },
+                        if delivered { Value::Int(rng.random_range(1..=10)) } else { Value::Null },
                         Value::Int(ol_cnt),
                         Value::Int(1),
                     ],
@@ -334,10 +330,7 @@ pub fn generate_population(
                     );
                 }
                 if !delivered {
-                    sink(
-                        TpccTable::NewOrder,
-                        vec![Value::Int(w), Value::Int(d), Value::Int(o)],
-                    );
+                    sink(TpccTable::NewOrder, vec![Value::Int(w), Value::Int(d), Value::Int(o)]);
                 }
             }
         }
@@ -347,7 +340,12 @@ pub fn generate_population(
 /// Load `warehouses` warehouses into a Tell database. Returns the number of
 /// rows loaded. Population happens outside transactions (version 0), as an
 /// initial load would.
-pub fn load(engine: &Arc<SqlEngine>, warehouses: i64, scale: ScaleParams, seed: u64) -> Result<usize> {
+pub fn load(
+    engine: &Arc<SqlEngine>,
+    warehouses: i64,
+    scale: ScaleParams,
+    seed: u64,
+) -> Result<usize> {
     let db = engine.database();
     let mut buffers: HashMap<TpccTable, Vec<bytes::Bytes>> = HashMap::new();
     let mut schemas = HashMap::new();

@@ -5,8 +5,8 @@ use rand::Rng;
 
 use crate::gen::{rand_c_id, rand_i_id, rand_last_name, ScaleParams};
 use crate::txns::{
-    CustomerSelector, DeliveryParams, NewOrderParams, OrderItem, OrderStatusParams,
-    PaymentParams, StockLevelParams,
+    CustomerSelector, DeliveryParams, NewOrderParams, OrderItem, OrderStatusParams, PaymentParams,
+    StockLevelParams,
 };
 
 /// The five TPC-C transaction types.
@@ -113,7 +113,8 @@ impl Mix {
     /// (the paper quotes ≈11.25 % for the standard mix: remote payments
     /// plus new-orders with ≥1 remote line).
     pub fn cross_partition_fraction(&self) -> f64 {
-        let p_remote_payment = self.weights[1] as f64 / 100.0 * self.remote_payment_pct as f64 / 100.0;
+        let p_remote_payment =
+            self.weights[1] as f64 / 100.0 * self.remote_payment_pct as f64 / 100.0;
         // ~10 lines per order, each remote with p = remote_item_pct %.
         let p_line = self.remote_item_pct as f64 / 100.0;
         let p_no_remote_order = (1.0 - p_line).powi(10);
@@ -164,12 +165,7 @@ impl ParamGen {
     /// several runs against the same database never collide (the driver
     /// mixes the run seed in).
     pub fn with_namespace(warehouses: i64, scale: ScaleParams, mix: Mix, namespace: u64) -> Self {
-        ParamGen {
-            warehouses,
-            scale,
-            mix,
-            h_uid_next: (namespace & (i64::MAX as u64)) as i64 + 1,
-        }
+        ParamGen { warehouses, scale, mix, h_uid_next: (namespace & (i64::MAX as u64)) as i64 + 1 }
     }
 
     fn other_warehouse(&self, rng: &mut StdRng, home: i64) -> i64 {
@@ -209,14 +205,17 @@ impl ParamGen {
                 let mut items = Vec::with_capacity(ol_cnt as usize);
                 for n in 0..ol_cnt {
                     let remote = rng.random_range(0..100) < self.mix.remote_item_pct;
-                    let supply =
-                        if remote { self.other_warehouse(rng, home_w) } else { home_w };
+                    let supply = if remote { self.other_warehouse(rng, home_w) } else { home_w };
                     let i_id = if rollback && n == ol_cnt - 1 {
                         crate::txns::unused_item_id()
                     } else {
                         rand_i_id(rng, self.scale.items)
                     };
-                    items.push(OrderItem { i_id, supply_w_id: supply, quantity: rng.random_range(1..=10) });
+                    items.push(OrderItem {
+                        i_id,
+                        supply_w_id: supply,
+                        quantity: rng.random_range(1..=10),
+                    });
                 }
                 TxnRequest::NewOrder(NewOrderParams { w_id: home_w, d_id, c_id, items, rollback })
             }

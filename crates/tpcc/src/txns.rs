@@ -10,8 +10,7 @@ use tell_sql::row::{encode_key, key_prefix_successor};
 use tell_sql::Value;
 
 use crate::schema::{
-    col, get_by_pk, insert_row, int_key, range_rows, require_by_pk, update_row, RowExt,
-    TpccTables,
+    col, get_by_pk, insert_row, int_key, range_rows, require_by_pk, update_row, RowExt, TpccTables,
 };
 
 /// Marker message for the spec's 1 % intentional new-order rollback
@@ -87,11 +86,7 @@ pub fn new_order(
             Value::Int(all_local as i64),
         ],
     )?;
-    insert_row(
-        txn,
-        &t.neworder,
-        &[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)],
-    )?;
+    insert_row(txn, &t.neworder, &[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)])?;
 
     let mut total = 0.0;
     for (n, line) in p.items.iter().enumerate() {
@@ -174,23 +169,26 @@ pub fn select_customer(
             let mut matches: Vec<(tell_common::Rid, Vec<Value>)> = txn
                 .index_lookup(&t.customer.def, idx, &key)?
                 .into_iter()
-                .map(|(rid, raw)| {
-                    Ok((rid, tell_sql::row::decode_row(&t.customer.schema, &raw)?))
-                })
+                .map(|(rid, raw)| Ok((rid, tell_sql::row::decode_row(&t.customer.schema, &raw)?)))
                 .collect::<Result<_>>()?;
             if matches.is_empty() {
                 return Err(Error::NotFound);
             }
             // Clause 2.5.2.2: order by C_FIRST, take ceil(n/2) (1-based).
             matches.sort_by(|a, b| a.1[col::cust::FIRST].total_cmp(&b.1[col::cust::FIRST]));
-            let pos = (matches.len() + 1) / 2 - 1;
+            let pos = matches.len().div_ceil(2) - 1;
             Ok(matches.swap_remove(pos))
         }
     }
 }
 
 /// The payment transaction (clause 2.5).
-pub fn payment(txn: &mut Transaction<'_>, t: &TpccTables, p: &PaymentParams, now: i64) -> Result<()> {
+pub fn payment(
+    txn: &mut Transaction<'_>,
+    t: &TpccTables,
+    p: &PaymentParams,
+    now: i64,
+) -> Result<()> {
     let (w_rid, mut w_row) = require_by_pk(txn, &t.warehouse, &int_key(&[p.w_id]))?;
     w_row[col::wh::YTD] = Value::Double(w_row.f(col::wh::YTD) + p.amount);
     update_row(txn, &t.warehouse, w_rid, &w_row)?;
@@ -248,7 +246,12 @@ pub struct DeliveryParams {
 
 /// The delivery transaction (clause 2.7): deliver the oldest undelivered
 /// order of every district. Returns the number of orders delivered.
-pub fn delivery(txn: &mut Transaction<'_>, t: &TpccTables, p: &DeliveryParams, now: i64) -> Result<usize> {
+pub fn delivery(
+    txn: &mut Transaction<'_>,
+    t: &TpccTables,
+    p: &DeliveryParams,
+    now: i64,
+) -> Result<usize> {
     let mut delivered = 0;
     for d in 1..=p.districts {
         let lo = int_key(&[p.w_id, d]);
@@ -264,9 +267,9 @@ pub fn delivery(txn: &mut Transaction<'_>, t: &TpccTables, p: &DeliveryParams, n
         update_row(txn, &t.orders, o_rid, &o_row)?;
 
         let ol_lo = int_key(&[p.w_id, d, o_id]);
-        let ol_hi =
-            key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)]);
-        let lines = range_rows(txn, &t.orderline, t.orderline.pk, &ol_lo, Some(&ol_hi), usize::MAX)?;
+        let ol_hi = key_prefix_successor(&[Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)]);
+        let lines =
+            range_rows(txn, &t.orderline, t.orderline.pk, &ol_lo, Some(&ol_hi), usize::MAX)?;
         let mut amount_sum = 0.0;
         for (ol_rid, mut ol_row) in lines {
             amount_sum += ol_row.f(col::ol::AMOUNT);
@@ -322,8 +325,7 @@ pub fn order_status(
     let o_id = o_row.int(col::ord::ID);
 
     let ol_lo = int_key(&[p.w_id, p.d_id, o_id]);
-    let ol_hi =
-        key_prefix_successor(&[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)]);
+    let ol_hi = key_prefix_successor(&[Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)]);
     let lines = range_rows(txn, &t.orderline, t.orderline.pk, &ol_lo, Some(&ol_hi), usize::MAX)?;
     Ok(OrderStatusOutput { c_id, c_balance, o_id: Some(o_id), line_count: lines.len() })
 }

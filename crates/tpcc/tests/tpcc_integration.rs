@@ -103,13 +103,12 @@ fn new_order_inserts_and_updates() {
     );
     assert_eq!(ol, 2);
     // Stock updated.
-    let s_cnt = scalar_i64(&engine, "SELECT s_order_cnt FROM stock WHERE s_w_id = 1 AND s_i_id = 5");
+    let s_cnt =
+        scalar_i64(&engine, "SELECT s_order_cnt FROM stock WHERE s_w_id = 1 AND s_i_id = 5");
     assert_eq!(s_cnt, 1);
     // The new order is pending in NEW-ORDER.
-    let pending = scalar_i64(
-        &engine,
-        &format!("SELECT COUNT(*) FROM neworder WHERE no_o_id = {}", out.o_id),
-    );
+    let pending =
+        scalar_i64(&engine, &format!("SELECT COUNT(*) FROM neworder WHERE no_o_id = {}", out.o_id));
     assert_eq!(pending, 1);
 }
 
@@ -120,7 +119,8 @@ fn new_order_rollback_leaves_no_trace() {
     let pn = db.processing_node();
     let tables = TpccTables::resolve(&engine, &pn).unwrap();
     let orders_before = scalar_i64(&engine, "SELECT COUNT(*) FROM orders");
-    let next_before = scalar_i64(&engine, "SELECT d_next_o_id FROM district WHERE d_w_id=1 AND d_id=1");
+    let next_before =
+        scalar_i64(&engine, "SELECT d_next_o_id FROM district WHERE d_w_id=1 AND d_id=1");
 
     let mut txn = pn.begin().unwrap();
     let err = txns::new_order(
@@ -174,7 +174,10 @@ fn payment_updates_ytd_chain_and_history() {
         )
     })
     .unwrap();
-    assert!((scalar_f64(&engine, "SELECT w_ytd FROM warehouse WHERE w_id = 1") - w_ytd - 123.45).abs() < 1e-6);
+    assert!(
+        (scalar_f64(&engine, "SELECT w_ytd FROM warehouse WHERE w_id = 1") - w_ytd - 123.45).abs()
+            < 1e-6
+    );
     assert_eq!(scalar_i64(&engine, "SELECT COUNT(*) FROM history WHERE h_uid = 991"), 1);
     let bal = scalar_f64(
         &engine,
@@ -192,9 +195,14 @@ fn payment_by_last_name_picks_middle_by_first_name() {
     // Customers 1..=10 have last names BARBAR{syllable}; customer 1 has
     // last_name(0) = BARBARBAR.
     let mut txn = pn.begin().unwrap();
-    let (_, row) =
-        txns::select_customer(&mut txn, &tables, 1, 1, &CustomerSelector::ByLastName("BARBARBAR".into()))
-            .unwrap();
+    let (_, row) = txns::select_customer(
+        &mut txn,
+        &tables,
+        1,
+        1,
+        &CustomerSelector::ByLastName("BARBARBAR".into()),
+    )
+    .unwrap();
     assert_eq!(row[2], Value::Int(1));
     txn.commit().unwrap();
 }
@@ -215,7 +223,11 @@ fn delivery_clears_neworder_and_pays_customer() {
                 &tables,
                 // Carrier 77 is outside the loader's 1..=10 range, so the
                 // count below isolates this delivery's orders.
-                &DeliveryParams { w_id: 1, carrier_id: 77, districts: scale.districts_per_warehouse },
+                &DeliveryParams {
+                    w_id: 1,
+                    carrier_id: 77,
+                    districts: scale.districts_per_warehouse,
+                },
                 7,
             )
         })
@@ -226,9 +238,8 @@ fn delivery_clears_neworder_and_pays_customer() {
         pending_before - scale.districts_per_warehouse
     );
     // Delivered orders got a carrier.
-    let with_carrier =
-        scalar_i64(&engine, "SELECT COUNT(*) FROM orders WHERE o_carrier_id = 77");
-    assert_eq!(with_carrier as i64, scale.districts_per_warehouse);
+    let with_carrier = scalar_i64(&engine, "SELECT COUNT(*) FROM orders WHERE o_carrier_id = 77");
+    assert_eq!(with_carrier, scale.districts_per_warehouse);
 }
 
 #[test]
@@ -335,7 +346,8 @@ fn driver_run_satisfies_consistency_conditions() {
     // Consistency condition 1: w_ytd = sum(d_ytd).
     for w in 1..=2 {
         let w_ytd = scalar_f64(&engine, &format!("SELECT w_ytd FROM warehouse WHERE w_id={w}"));
-        let d_sum = scalar_f64(&engine, &format!("SELECT SUM(d_ytd) FROM district WHERE d_w_id={w}"));
+        let d_sum =
+            scalar_f64(&engine, &format!("SELECT SUM(d_ytd) FROM district WHERE d_w_id={w}"));
         assert!((w_ytd - d_sum).abs() < 1e-3, "w={w}: {w_ytd} vs {d_sum}");
     }
     // Every order has its order lines: o_ol_cnt = count(orderline).
@@ -376,8 +388,7 @@ fn read_intensive_mix_runs() {
 fn shardable_mix_touches_only_home_warehouse_stock() {
     let scale = ScaleParams::tiny();
     let engine = setup(2, scale);
-    let before_remote =
-        scalar_i64(&engine, "SELECT SUM(s_remote_cnt) FROM stock");
+    let before_remote = scalar_i64(&engine, "SELECT SUM(s_remote_cnt) FROM stock");
     let config = TpccConfig {
         warehouses: 2,
         scale,
@@ -417,7 +428,11 @@ fn concurrent_new_orders_never_reuse_order_ids() {
                                 w_id: 1,
                                 d_id: (t as i64 % 2) + 1,
                                 c_id: (i % 10) + 1,
-                                items: vec![OrderItem { i_id: 1 + (i % 50), supply_w_id: 1, quantity: 1 }],
+                                items: vec![OrderItem {
+                                    i_id: 1 + (i % 50),
+                                    supply_w_id: 1,
+                                    quantity: 1,
+                                }],
                                 rollback: false,
                             },
                             i,

@@ -34,9 +34,7 @@ fn main() -> tell::common::Result<()> {
     // Using the core API directly (the SQL layer sits on top of this).
     let table = db.create_table(
         "accounts",
-        vec![IndexSpec::new("pk", true, |row: &[u8]| {
-            row.get(8..16).map(Bytes::copy_from_slice)
-        })],
+        vec![IndexSpec::new("pk", true, |row: &[u8]| row.get(8..16).map(Bytes::copy_from_slice))],
     )?;
     let rids: Vec<Rid> =
         db.bulk_load(&table, (0..ACCOUNTS).map(|i| encode(INITIAL, i)).collect())?;
@@ -96,11 +94,8 @@ fn main() -> tell::common::Result<()> {
     // Verify the invariant from a fresh processing node.
     let pn = db.processing_node();
     let mut txn = pn.begin()?;
-    let total: i64 = txn
-        .scan_table(&table, usize::MAX)?
-        .iter()
-        .map(|(_, row)| balance_of(row))
-        .sum();
+    let total: i64 =
+        txn.scan_table(&table, usize::MAX)?.iter().map(|(_, row)| balance_of(row)).sum();
     txn.commit()?;
 
     println!("committed {committed} transactions, {conflicts} write-write conflicts retried");

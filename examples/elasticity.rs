@@ -95,9 +95,6 @@ fn main() -> tell::common::Result<()> {
             seed: 4,
         },
     )?;
-    println!(
-        "  {} commits at {:.0} TpmC on the shrunken cluster",
-        report.committed, report.tpmc
-    );
+    println!("  {} commits at {:.0} TpmC on the shrunken cluster", report.committed, report.tpmc);
     Ok(())
 }

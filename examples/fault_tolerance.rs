@@ -7,8 +7,8 @@
 //! ```
 
 use bytes::Bytes;
-use tell::common::{CmId, SnId};
 use tell::commitmgr::manager::CmConfig;
+use tell::common::{CmId, SnId};
 use tell::core::database::IndexSpec;
 use tell::core::recovery::recover_failed_pn;
 use tell::core::{Database, TellConfig, VersionedRecord};

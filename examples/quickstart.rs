@@ -42,9 +42,7 @@ fn main() -> tell::common::Result<()> {
     println!("pk lookup      : {:?}", r.rows);
 
     // Secondary-index query.
-    let r = session.execute(
-        "SELECT owner FROM accounts WHERE branch = 'zurich' ORDER BY owner",
-    )?;
+    let r = session.execute("SELECT owner FROM accounts WHERE branch = 'zurich' ORDER BY owner")?;
     println!("index lookup   : {:?}", r.rows);
 
     // Aggregation.

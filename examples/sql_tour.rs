@@ -50,37 +50,48 @@ fn main() -> tell::common::Result<()> {
         }
     }
 
-    show("composite-pk point lookup (IndexEq on pk)", &s.execute(
-        "SELECT qty FROM warehouse_stock WHERE w_id = 2 AND sku = 3",
-    )?);
+    show(
+        "composite-pk point lookup (IndexEq on pk)",
+        &s.execute("SELECT qty FROM warehouse_stock WHERE w_id = 2 AND sku = 3")?,
+    );
 
-    show("pk prefix scan (IndexRange on pk, w_id = 2)", &s.execute(
-        "SELECT sku, qty FROM warehouse_stock WHERE w_id = 2 ORDER BY sku",
-    )?);
+    show(
+        "pk prefix scan (IndexRange on pk, w_id = 2)",
+        &s.execute("SELECT sku, qty FROM warehouse_stock WHERE w_id = 2 ORDER BY sku")?,
+    );
 
-    show("secondary index (sku_by_category)", &s.execute(
-        "SELECT name FROM sku WHERE category = 'drive' ORDER BY name",
-    )?);
+    show(
+        "secondary index (sku_by_category)",
+        &s.execute("SELECT name FROM sku WHERE category = 'drive' ORDER BY name")?,
+    );
 
-    show("join + aggregate + having-like filter via WHERE", &s.execute(
-        "SELECT k.category, COUNT(*) AS positions, SUM(ws.qty) AS units \
+    show(
+        "join + aggregate + having-like filter via WHERE",
+        &s.execute(
+            "SELECT k.category, COUNT(*) AS positions, SUM(ws.qty) AS units \
          FROM warehouse_stock ws JOIN sku k ON ws.sku = k.sku \
          WHERE k.category IS NOT NULL \
          GROUP BY k.category ORDER BY units DESC",
-    )?);
+        )?,
+    );
 
-    show("expressions and BETWEEN", &s.execute(
-        "SELECT sku, qty * unit_price AS stock_value FROM warehouse_stock \
+    show(
+        "expressions and BETWEEN",
+        &s.execute(
+            "SELECT sku, qty * unit_price AS stock_value FROM warehouse_stock \
          WHERE w_id = 1 AND qty BETWEEN 5 AND 35 ORDER BY stock_value DESC LIMIT 3",
-    )?);
+        )?,
+    );
 
-    show("update with expression", &s.execute(
-        "UPDATE warehouse_stock SET qty = qty + 10 WHERE qty < 10",
-    )?);
+    show(
+        "update with expression",
+        &s.execute("UPDATE warehouse_stock SET qty = qty + 10 WHERE qty < 10")?,
+    );
 
-    show("three-valued logic: NULL category is neither eq nor neq", &s.execute(
-        "SELECT COUNT(*) FROM sku WHERE category = 'x' OR category <> 'x'",
-    )?);
+    show(
+        "three-valued logic: NULL category is neither eq nor neq",
+        &s.execute("SELECT COUNT(*) FROM sku WHERE category = 'x' OR category <> 'x'")?,
+    );
 
     // Constraint violation surfaces as an error; data is untouched.
     let dup = s.execute("INSERT INTO sku VALUES (1, 'dup', 'x')");

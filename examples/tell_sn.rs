@@ -1,0 +1,70 @@
+//! A standalone storage-node server: the shared data store of §3, behind
+//! the tell-rpc wire protocol.
+//!
+//! ```text
+//! cargo run --release --example tell_sn -- --listen 127.0.0.1:7701 --nodes 4
+//! ```
+//!
+//! Pair it with `tell_cm` (the commit manager server) and open a
+//! `Database` over `RemoteEndpoint` / `RemoteCmClient` to run the full
+//! stack across processes.
+
+use std::sync::Arc;
+
+use tell_rpc::RpcServer;
+use tell_store::{StoreCluster, StoreConfig};
+
+struct Args {
+    listen: String,
+    nodes: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { listen: "127.0.0.1:7701".to_string(), nodes: 4 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--nodes" => {
+                args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tell_sn: serve a storage cluster over TCP\n\n\
+                     options:\n  \
+                     --listen ADDR   listen address (default 127.0.0.1:7701)\n  \
+                     --nodes N       storage nodes in the cluster (default 4)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("tell_sn: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let store = StoreCluster::new(StoreConfig::new(args.nodes));
+    let server = match RpcServer::serve_store(&args.listen, Arc::clone(&store)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("tell_sn: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("tell_sn: {} storage nodes serving on {}", args.nodes, server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide checks: formatting, lints (warnings are errors), tests.
+# Run from anywhere; operates on the workspace this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

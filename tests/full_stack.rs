@@ -73,12 +73,9 @@ fn tpcc_oltp_with_failure_and_gc_stays_consistent() {
     // Phase 4: TPC-C consistency conditions via SQL.
     let s = engine.session();
     for w in 1..=2 {
-        let w_ytd = s
-            .execute(&format!("SELECT w_ytd FROM warehouse WHERE w_id = {w}"))
-            .unwrap();
-        let d_sum = s
-            .execute(&format!("SELECT SUM(d_ytd) FROM district WHERE d_w_id = {w}"))
-            .unwrap();
+        let w_ytd = s.execute(&format!("SELECT w_ytd FROM warehouse WHERE w_id = {w}")).unwrap();
+        let d_sum =
+            s.execute(&format!("SELECT SUM(d_ytd) FROM district WHERE d_w_id = {w}")).unwrap();
         let w_ytd = w_ytd.scalar().unwrap().as_f64().unwrap();
         let d_sum = d_sum.scalar().unwrap().as_f64().unwrap();
         assert!((w_ytd - d_sum).abs() < 1e-3, "w_ytd {w_ytd} != Σd_ytd {d_sum}");
@@ -162,9 +159,7 @@ fn population_is_identical_across_engines() {
     create_tpcc_tables(&engine).unwrap();
     load(&engine, 2, scale, 77).unwrap();
     let s = engine.session();
-    let tell_items = s
-        .execute("SELECT COUNT(*), SUM(i_price) FROM item")
-        .unwrap();
+    let tell_items = s.execute("SELECT COUNT(*), SUM(i_price) FROM item").unwrap();
 
     let pdb = tell::baselines::PartitionedDb::load(2, 2, scale, 77);
     use tell::tpcc::gen::TpccTable;
@@ -184,10 +179,9 @@ fn population_is_identical_across_engines() {
 #[test]
 fn virtual_time_reflects_network_profile() {
     let mut times = Vec::new();
-    for profile in [
-        tell::netsim::NetworkProfile::infiniband(),
-        tell::netsim::NetworkProfile::ethernet_10g(),
-    ] {
+    for profile in
+        [tell::netsim::NetworkProfile::infiniband(), tell::netsim::NetworkProfile::ethernet_10g()]
+    {
         let db = Database::create(TellConfig { profile, ..TellConfig::default() });
         let engine = SqlEngine::new(Arc::clone(&db));
         let s = engine.session();
@@ -199,8 +193,5 @@ fn virtual_time_reflects_network_profile() {
         times.push(s.processing_node().clock().now_us());
         assert!(db.traffic().request_count() > 0);
     }
-    assert!(
-        times[1] > times[0] * 3.0,
-        "Ethernet must cost much more virtual time: {times:?}"
-    );
+    assert!(times[1] > times[0] * 3.0, "Ethernet must cost much more virtual time: {times:?}");
 }

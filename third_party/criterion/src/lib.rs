@@ -1,0 +1,110 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supplies `Criterion::bench_function`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros so the figure/table
+//! benchmarks compile and run without a crates registry. Measurement is a
+//! simple calibrated wall-clock loop (no statistical analysis, plots or
+//! HTML reports); results print as `name ... time per iter`.
+
+// Vendored stand-in: lint-exempt so `clippy --workspace -D warnings` checks
+// only first-party code.
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    /// Target time to spend measuring each benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { target: self.measurement_time, iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!("{name:<40} {:>12} iters  {:>12.1} ns/iter", b.iters, per_iter);
+        } else {
+            println!("{name:<40} (no measurement)");
+        }
+        self
+    }
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    target: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warmup iteration, then measure batches until the budget runs out.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.target {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

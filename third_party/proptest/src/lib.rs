@@ -1,0 +1,790 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use, backed by deterministic random sampling (seeded per test from
+//! the test name, so failures reproduce). The one deliberate omission versus
+//! the real crate is *shrinking*: a failing case is reported as generated,
+//! not minimized. Failure messages include the case number so a failure can
+//! be replayed by re-running the test.
+
+// Vendored stand-in: lint-exempt so `clippy --workspace -D warnings` checks
+// only first-party code.
+#![allow(clippy::all)]
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+pub mod prelude {
+    /// The real crate re-exports itself as `prop` in the prelude
+    /// (`prop::collection::vec`, `prop::bool::ANY`, ...).
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator; one per test run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    x: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { x: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and errors
+// ---------------------------------------------------------------------------
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no value tree: `sample` directly produces
+/// a value, and shrinking is not performed.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    fn prop_union<S2>(self, other: S2) -> TwoUnion<Self, S2>
+    where
+        Self: Sized,
+        S2: Strategy<Value = Self::Value>,
+    {
+        TwoUnion { a: self, b: other }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy { sampler: Rc::new(move |rng: &mut TestRng| self.sample(rng)) }
+    }
+}
+
+/// Type-erased strategy. Clonable so collections of boxed strategies can be
+/// reused across cases.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { sampler: Rc::clone(&self.sampler) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates in a row", self.whence);
+    }
+}
+
+pub struct TwoUnion<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Strategy for TwoUnion<A, B>
+where
+    A: Strategy,
+    B: Strategy<Value = A::Value>,
+{
+    type Value = A::Value;
+    fn sample(&self, rng: &mut TestRng) -> A::Value {
+        if rng.next_u64() & 1 == 0 {
+            self.a.sample(rng)
+        } else {
+            self.b.sample(rng)
+        }
+    }
+}
+
+/// Weighted union over same-typed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+/// `any::<T>()` — the full domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyOf<T> {
+    AnyOf { _marker: std::marker::PhantomData }
+}
+
+pub struct AnyOf<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a full-domain generator.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite doubles across a broad magnitude spread.
+        let mag = rng.unit_f64() * 600.0 - 300.0;
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * rng.unit_f64() * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// Types uniformly samplable from ranges; backs the blanket range-strategy
+/// impls (a single generic impl per range shape keeps integer-literal type
+/// inference working exactly as with the real crate).
+pub trait UniformValue: Copy + PartialOrd {
+    fn uniform_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    fn uniform_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_uniform_value {
+    ($($t:ty),*) => {$(
+        impl UniformValue for $t {
+            fn uniform_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+            fn uniform_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+int_uniform_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformValue for f64 {
+    fn uniform_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        assert!(lo < hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+    fn uniform_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        if lo == hi {
+            lo
+        } else {
+            Self::uniform_exclusive(lo, hi, rng)
+        }
+    }
+}
+
+impl<T: UniformValue> Strategy for ::std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: UniformValue> Strategy for ::std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// String strategies are written as regexes in proptest; this stand-in
+/// supports the `.{a,b}` shape the workspace uses (a string of `a..=b`
+/// arbitrary non-newline chars) and falls back to treating anything else as
+/// a literal.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if let Some((min, max)) = parse_dot_repeat(self) {
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                s.push(sample_char(rng));
+            }
+            s
+        } else {
+            (*self).to_owned()
+        }
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (a, b) = rest.split_once(',')?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+}
+
+fn sample_char(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII, with a sprinkling of multi-byte and exotic
+    // code points to stress parsers and codecs.
+    match rng.below(10) {
+        0..=6 => (0x20 + rng.below(0x5f) as u8) as char,
+        7 => char::from_u32(0xa1 + rng.below(0x100) as u32).unwrap_or('¡'),
+        8 => char::from_u32(0x4e00 + rng.below(0x200) as u32).unwrap_or('中'),
+        _ => ['\t', '\'', '"', '\\', '\u{1F600}', 'é', 'ß', '🦀'][rng.below(8) as usize],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// A `Vec` of strategies yields a `Vec` of one sample each (used to build a
+/// row from per-column strategies).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+impl From<::std::ops::Range<usize>> for SizeRange {
+    fn from(r: ::std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` samples of `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` with *up to* `size` members (duplicates collapse, as in
+    /// real proptest).
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` with *up to* `size` entries.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| (self.key.sample(rng), self.value.sample(rng))).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::*;
+
+    pub struct AnyBool;
+
+    /// A fair coin.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = ::std::primitive::bool;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Case number of the currently executing generated case, for error
+    /// reporting from `prop_assert!` failures.
+    pub static CURRENT_CASE: Cell<u32> = const { Cell::new(0) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $crate::CURRENT_CASE.with(|c| c.set(case));
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("case {} of {}: {}", case, stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(u8, Vec<u8>),
+        Del(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            2 => (any::<u8>(), prop::collection::vec(any::<u8>(), 0..8)).prop_map(|(k, v)| Op::Put(k, v)),
+            1 => any::<u8>().prop_map(Op::Del),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in 0u64..=5, s in ".{0,12}") {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 5);
+            prop_assert!(s.chars().count() <= 12);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            set in prop::collection::btree_set(0usize..100, 0..10),
+            m in prop::collection::btree_map(any::<u8>(), any::<bool>(), 1..4),
+            o in prop::option::of(any::<i64>()),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(set.len() < 10);
+            prop_assert!(m.len() < 4);
+            let _ = (o, flag);
+        }
+
+        #[test]
+        fn combinators_compose(ops in prop::collection::vec(op_strategy(), 0..20)) {
+            for op in &ops {
+                match op {
+                    Op::Put(_, v) => prop_assert!(v.len() < 8),
+                    Op::Del(_) => {}
+                }
+            }
+        }
+
+        #[test]
+        fn flat_map_and_union(x in (1usize..4).prop_flat_map(|n| {
+            let elems: Vec<BoxedStrategy<usize>> = (0..n).map(|i| Just(i).boxed()).collect();
+            (Just(n), elems)
+        })) {
+            let (n, v) = x;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+}
