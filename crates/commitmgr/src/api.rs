@@ -61,6 +61,32 @@ pub trait CommitService: Send + Sync {
     fn sync_all(&self, meter: &NetMeter) -> Result<()>;
 }
 
+/// A handle from which the commit-manager surface is minted — the commit
+/// side's mirror of `StoreEndpoint`, so `Database` construction names a
+/// (store endpoint, commit endpoint) pair symmetrically for the local and
+/// the remote deployment.
+pub trait CmEndpoint: Send + Sync + 'static {
+    /// The commit service this endpoint reaches.
+    fn commit_service(&self) -> Arc<dyn CommitService>;
+}
+
+/// Any owned commit service is its own endpoint (local `CmCluster`, remote
+/// `RemoteCmClient`). The implicit `Sized` bound on `T` keeps this from
+/// overlapping the `Arc<dyn CommitService>` impl below.
+impl<T: CommitService + 'static> CmEndpoint for Arc<T> {
+    fn commit_service(&self) -> Arc<dyn CommitService> {
+        Arc::clone(self) as Arc<dyn CommitService>
+    }
+}
+
+/// An already-erased service is an endpoint too, so pre-redesign call sites
+/// passing `Arc<dyn CommitService>` compile unchanged.
+impl CmEndpoint for Arc<dyn CommitService> {
+    fn commit_service(&self) -> Arc<dyn CommitService> {
+        Arc::clone(self)
+    }
+}
+
 impl<E: StoreEndpoint> CommitService for CmCluster<E> {
     fn start_pinned(
         &self,

@@ -21,7 +21,7 @@ pub mod cluster;
 pub mod manager;
 pub mod snapshot;
 
-pub use api::{CommitParticipant, CommitService};
+pub use api::{CmEndpoint, CommitParticipant, CommitService};
 pub use cluster::CmCluster;
 pub use manager::{CmConfig, CommitManager, TxnStart};
 pub use snapshot::SnapshotDescriptor;

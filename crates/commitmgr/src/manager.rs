@@ -38,7 +38,7 @@ pub struct TxnStart {
 #[derive(Clone, Debug)]
 pub struct CmConfig {
     /// Use **interleaved tids** (the paper's cited improvement over
-    /// continuous ranges, §4.2: "Using ranges of interleaved tids [58] is
+    /// continuous ranges, §4.2: "Using ranges of interleaved tids \[58\] is
     /// subject to be implemented in the near future"): each commit manager
     /// owns the congruence class `tid ≡ stripe.0 (mod stripe.1)` and stays
     /// synchronized with the cluster-wide tid watermark, so version numbers

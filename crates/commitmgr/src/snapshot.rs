@@ -2,7 +2,7 @@
 //!
 //! A snapshot descriptor tells a transaction which version numbers it may
 //! read: "a base version number b indicating that b and all earlier
-//! transactions have completed [and] a set of newly committed tids N". The
+//! transactions have completed \[and\] a set of newly committed tids N". The
 //! valid version set is `V' := { x | x <= b  ∨  x ∈ N }` and a read picks
 //! `v := max(V ∩ V')` among a record's stored versions.
 

@@ -7,11 +7,11 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::RwLock;
 use tell_commitmgr::manager::CmConfig;
-use tell_commitmgr::{CmCluster, CommitService};
+use tell_commitmgr::{CmCluster, CmEndpoint, CommitService};
 use tell_common::{Error, IndexId, PnId, Result, Rid, SimClock, TableId, TxnId};
 use tell_index::{BTreeConfig, DistributedBTree};
 use tell_netsim::{NetMeter, NetworkProfile, TrafficStats};
-use tell_store::{keys, StoreApi, StoreCluster, StoreConfig, StoreEndpoint};
+use tell_store::{keys, Expect, StoreApi, StoreCluster, StoreConfig, StoreEndpoint, WriteOp};
 
 use crate::buffer::BufferConfig;
 use crate::catalog::{Catalog, KeyExtractor, TableDef};
@@ -139,12 +139,16 @@ impl Database {
 
 impl<E: StoreEndpoint> Database<E> {
     /// Open a database over an arbitrary storage endpoint and commit
-    /// service — the entry point for processing nodes that talk to remote
-    /// storage nodes and commit managers (see `tell-rpc`).
-    pub fn open(endpoint: E, commit: Arc<dyn CommitService>, config: TellConfig) -> Arc<Self> {
+    /// endpoint — the entry point for processing nodes that talk to remote
+    /// storage nodes and commit managers (see `tell-rpc`). The two sides
+    /// are symmetric: a local deployment passes (`Arc<StoreCluster>`,
+    /// `Arc<CmCluster>`), a remote one (`RemoteEndpoint`,
+    /// `RemoteCmEndpoint`). A bare `Arc<dyn CommitService>` still works —
+    /// it is its own endpoint.
+    pub fn open<C: CmEndpoint>(endpoint: E, commit: C, config: TellConfig) -> Arc<Self> {
         Arc::new(Database {
             endpoint,
-            commit,
+            commit: commit.commit_service(),
             cms: None,
             catalog: Arc::new(Catalog::new()),
             extractors: RwLock::new(HashMap::new()),
@@ -289,17 +293,31 @@ impl<E: StoreEndpoint> Database<E> {
                 .ok_or_else(|| Error::invalid(format!("no extractor for index {}", idx.id)))?;
             trees.push((tree, ex));
         }
+        // Record images go in through the async surface in chunks: one
+        // batched frame per chunk on a remote endpoint instead of one
+        // round trip per row (§5.1).
+        const CHUNK: usize = 128;
         let mut rids = Vec::with_capacity(rows.len());
-        for (i, row) in rows.into_iter().enumerate() {
+        let mut ops = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
             let rid = Rid(base + i as u64);
             let record = VersionedRecord::with_initial(TxnId::BOOTSTRAP, row.clone());
-            client.insert(&keys::record(table.id, rid), record.encode())?;
+            ops.push(WriteOp::put(keys::record(table.id, rid), Expect::Absent, record.encode()));
+            rids.push(rid);
+        }
+        while !ops.is_empty() {
+            let tail = ops.split_off(ops.len().min(CHUNK));
+            let chunk = std::mem::replace(&mut ops, tail);
+            for result in client.multi_write_async(chunk).wait()? {
+                result?;
+            }
+        }
+        for (rid, row) in rids.iter().zip(&rows) {
             for (tree, ex) in &trees {
-                if let Some(key) = ex(&row) {
+                if let Some(key) = ex(row) {
                     tree.insert(key, rid.raw())?;
                 }
             }
-            rids.push(rid);
         }
         Ok(rids)
     }

@@ -9,6 +9,15 @@ use bytes::Bytes;
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, Result, TxnId};
+use tell_store::Predicate;
+
+/// Byte offset of the row payload inside the encoding of a record carrying
+/// exactly one live version: version count (4) + version number (8) +
+/// payload flag (1) + payload length prefix (4).
+const SINGLE_LIVE_PAYLOAD_OFFSET: usize = 17;
+
+/// The `count == 1` header every single-version record encoding starts with.
+const SINGLE_VERSION_PREFIX: [u8; 4] = 1u32.to_le_bytes();
 
 /// One version of a record: the writing transaction's id (= version number)
 /// and the payload; `None` payload is a deletion tombstone.
@@ -144,6 +153,27 @@ impl VersionedRecord {
         Bytes::from(out)
     }
 
+    /// Lift a predicate over **row** bytes to a sound predicate over
+    /// encoded *record* bytes, for storage-side selection pushdown (§5.2).
+    ///
+    /// Storage nodes filter raw key-value pairs and know nothing about
+    /// version visibility, so the lifted predicate must never exclude a
+    /// record whose snapshot-visible row could match. It is *exact* for
+    /// records with a single live version — the steady state after GC
+    /// (§5.4) — because their row sits at a fixed offset, so every value
+    /// window of `row_filter` simply shifts by that offset. Every other
+    /// shape (multiple versions, whose visible payload the store cannot
+    /// determine) is shipped conservatively; callers re-verify the rows
+    /// they receive against the snapshot.
+    pub fn lift_row_predicate(row_filter: &Predicate) -> Predicate {
+        Predicate::Any(vec![
+            Predicate::Not(Box::new(Predicate::ValuePrefix(Bytes::copy_from_slice(
+                &SINGLE_VERSION_PREFIX,
+            )))),
+            shift_value_windows(row_filter, SINGLE_LIVE_PAYLOAD_OFFSET),
+        ])
+    }
+
     /// Decode store bytes.
     pub fn decode(buf: &[u8]) -> Result<VersionedRecord> {
         let mut r = Reader::new(buf);
@@ -166,6 +196,29 @@ impl VersionedRecord {
             return Err(Error::corrupt("trailing bytes in record"));
         }
         Ok(VersionedRecord { versions })
+    }
+}
+
+/// Rewrite every value window of `filter` to start `by` bytes later, so a
+/// predicate written against row bytes evaluates identically against a
+/// record encoding whose payload begins at offset `by`. Key predicates are
+/// untouched (the storage key is the same at both levels); a `ValuePrefix`
+/// becomes an equality window at the new offset.
+fn shift_value_windows(filter: &Predicate, by: usize) -> Predicate {
+    match filter {
+        Predicate::True => Predicate::True,
+        Predicate::KeyPrefix(p) => Predicate::KeyPrefix(p.clone()),
+        Predicate::ValuePrefix(p) => Predicate::value_compare(by, tell_store::CmpOp::Eq, p.clone()),
+        Predicate::ValueCompare { offset, op, literal } => {
+            Predicate::value_compare(offset + by, *op, literal.clone())
+        }
+        Predicate::All(children) => {
+            Predicate::All(children.iter().map(|c| shift_value_windows(c, by)).collect())
+        }
+        Predicate::Any(children) => {
+            Predicate::Any(children.iter().map(|c| shift_value_windows(c, by)).collect())
+        }
+        Predicate::Not(child) => Predicate::Not(Box::new(shift_value_windows(child, by))),
     }
 }
 
@@ -282,6 +335,40 @@ mod tests {
         out.put_u64(3); // out of order
         out.put_u8(0);
         assert!(VersionedRecord::decode(&out).is_err());
+    }
+
+    #[test]
+    fn lifted_predicate_is_exact_on_single_version_records() {
+        let filter = Predicate::All(vec![
+            Predicate::ValuePrefix(Bytes::from_static(&[7])),
+            Predicate::value_compare(1, tell_store::CmpOp::Ge, vec![0x20]),
+        ]);
+        let lifted = VersionedRecord::lift_row_predicate(&filter);
+        for row in [vec![7u8, 0x20, 3], vec![7, 0x1f], vec![8, 0x20], vec![7u8], vec![]] {
+            let rec = VersionedRecord::with_initial(TxnId(4), Bytes::from(row.clone()));
+            assert_eq!(
+                lifted.matches(b"k", &rec.encode()),
+                filter.matches(b"k", &row),
+                "row {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifted_predicate_ships_multi_version_records_conservatively() {
+        let filter = Predicate::value_eq(0, vec![1]);
+        let lifted = VersionedRecord::lift_row_predicate(&filter);
+        // Neither version matches the filter, but the store cannot know
+        // which one is visible — the record must cross the network.
+        let mut rec = VersionedRecord::with_initial(TxnId(1), payload("aa"));
+        rec.add_version(TxnId(2), Some(payload("bb")));
+        assert!(lifted.matches(b"k", &rec.encode()));
+        // A lone tombstone can never produce a visible row; dropping it is
+        // sound (value windows past the 13-byte encoding match nothing).
+        let mut dead = VersionedRecord::with_initial(TxnId(1), payload("x"));
+        dead.remove_version(TxnId(1));
+        dead.add_version(TxnId(1), None);
+        assert!(!lifted.matches(b"k", &dead.encode()));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! of every uncommitted entry belonging to the failed node.
 
 use tell_common::{Error, PnId, Result, Rid, TableId, TxnId};
-use tell_store::{keys, StoreApi, StoreEndpoint};
+use tell_store::keys::Key;
+use tell_store::{keys, Expect, StoreApi, StoreEndpoint, WriteOp};
 
 use crate::database::Database;
 use crate::record::VersionedRecord;
@@ -60,6 +61,57 @@ pub fn revert_record_version<C: StoreApi>(
     }
 }
 
+/// Remove the version written by `tid` from every record of a write set in
+/// bulk: one batched load-link for all targets, one batched conditional
+/// write for all records that carry the version (§5.1 batching applied to
+/// rollback). Only keys that lose their LL/SC race to a concurrent writer
+/// are retried; any other failure is returned. Returns how many records
+/// actually had a `tid` version removed.
+pub fn revert_write_set<C: StoreApi>(
+    client: &C,
+    tid: TxnId,
+    targets: &[(TableId, Rid)],
+) -> Result<usize> {
+    let mut pending: Vec<Key> =
+        targets.iter().map(|(table, rid)| keys::record(*table, *rid)).collect();
+    let mut reverted = 0;
+    while !pending.is_empty() {
+        let cells = client.multi_get_async(&pending).wait()?;
+        let mut ops = Vec::new();
+        let mut op_keys = Vec::new();
+        for (key, cell) in pending.iter().zip(cells) {
+            let Some((token, raw)) = cell else { continue }; // record gone
+            let mut rec = VersionedRecord::decode(&raw)?;
+            if !rec.remove_version(tid) {
+                continue; // already reverted
+            }
+            // An insert-only record disappears entirely; otherwise the
+            // version set shrinks by one.
+            let op = if rec.version_count() == 0 {
+                WriteOp::delete(key.clone(), Expect::Token(token))
+            } else {
+                WriteOp::put(key.clone(), Expect::Token(token), rec.encode())
+            };
+            ops.push(op);
+            op_keys.push(key.clone());
+        }
+        if ops.is_empty() {
+            break;
+        }
+        let results = client.multi_write_async(ops).wait()?;
+        let mut retry = Vec::with_capacity(op_keys.len());
+        for (key, result) in op_keys.into_iter().zip(results) {
+            match result {
+                Ok(_) => reverted += 1,
+                Err(Error::Conflict) => retry.push(key), // racing writer; reload
+                Err(e) => return Err(e),
+            }
+        }
+        pending = retry;
+    }
+    Ok(reverted)
+}
+
 /// Roll back every in-flight transaction of a failed processing node.
 /// "The management node ensures that only one recovery process is running
 /// at a time" — callers serialize invocations; the operation itself is
@@ -83,10 +135,8 @@ pub fn recover_failed_pn<E: StoreEndpoint>(
         true
     })?;
     for entry in to_rollback {
-        for (table, rid) in &entry.write_set {
-            revert_record_version(&client, *table, *rid, entry.tid)?;
-            report.versions_reverted += 1;
-        }
+        revert_write_set(&client, entry.tid, &entry.write_set)?;
+        report.versions_reverted += entry.write_set.len();
         // Resolve the transaction on every commit manager so the global
         // base (and thus the lav) can advance past it.
         db.commit_service().force_resolve(entry.tid, false)?;
@@ -127,6 +177,26 @@ mod tests {
         client.insert(&keys::record(table, rid), rec.encode()).unwrap();
         revert_record_version(&client, table, rid, TxnId(7)).unwrap();
         assert!(client.get(&keys::record(table, rid)).unwrap().is_none());
+    }
+
+    #[test]
+    fn revert_write_set_batches_mixed_targets() {
+        let client = StoreClient::unmetered(StoreCluster::new(StoreConfig::new(2)));
+        let table = TableId(1);
+        // Rid 1: update on top of a base version; Rid 2: insert-only;
+        // Rid 3: never written (nothing to revert).
+        let mut rec = VersionedRecord::with_initial(TxnId(0), Bytes::from_static(b"base"));
+        rec.add_version(TxnId(9), Some(Bytes::from_static(b"dirty")));
+        client.insert(&keys::record(table, Rid(1)), rec.encode()).unwrap();
+        let fresh = VersionedRecord::with_initial(TxnId(9), Bytes::from_static(b"fresh"));
+        client.insert(&keys::record(table, Rid(2)), fresh.encode()).unwrap();
+        let targets = [(table, Rid(1)), (table, Rid(2)), (table, Rid(3))];
+        assert_eq!(revert_write_set(&client, TxnId(9), &targets).unwrap(), 2);
+        let (_, raw) = client.get(&keys::record(table, Rid(1))).unwrap().unwrap();
+        assert!(!VersionedRecord::decode(&raw).unwrap().has_version(9));
+        assert!(client.get(&keys::record(table, Rid(2))).unwrap().is_none());
+        // Idempotent.
+        assert_eq!(revert_write_set(&client, TxnId(9), &targets).unwrap(), 0);
     }
 
     #[test]

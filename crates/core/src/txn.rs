@@ -21,7 +21,7 @@ use bytes::Bytes;
 use tell_commitmgr::{CommitParticipant, SnapshotDescriptor};
 use tell_common::{Error, Result, Rid, TableId, TxnId};
 use tell_store::cell::Token;
-use tell_store::{keys, Expect, StoreApi, StoreCluster, StoreEndpoint, WriteOp};
+use tell_store::{keys, Expect, Predicate, StoreApi, StoreCluster, StoreEndpoint, WriteOp};
 
 use crate::buffer::BufferConfig;
 use crate::catalog::TableDef;
@@ -197,7 +197,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 .collect();
             if !missing.is_empty() {
                 let keys: Vec<_> = missing.iter().map(|r| keys::record(table, Rid(*r))).collect();
-                let fetched = self.pn.client().multi_get(&keys)?;
+                let fetched = self.pn.client().multi_get_async(&keys).wait()?;
                 for (rid, cell) in missing.into_iter().zip(fetched) {
                     let decoded = match cell {
                         Some((token, raw)) => Some((token, VersionedRecord::decode(&raw)?)),
@@ -333,11 +333,15 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         let prefix = keys::record_prefix(table.id);
         let rows = self.pn.client().scan_prefix(&prefix, usize::MAX)?;
         self.pn.meter().charge_cpu(rows.len() as f64 * 0.2);
-        self.collect_scan(table, rows, limit, |_| true)
+        self.collect_scan(table, rows, limit, |_, _| true)
     }
 
-    /// Table scan with the predicate pushed down into the storage layer
-    /// (§5.2): storage-side filtering, only matches cross the network.
+    /// Table scan filtered by an arbitrary Rust closure. A closure cannot
+    /// be serialized into a frame, so every record is shipped to the PN
+    /// (like [`Transaction::scan_table`]) and filtered there; when the
+    /// filter is expressible as a [`Predicate`], prefer
+    /// [`Transaction::scan_table_pushdown_filtered`], which evaluates it in
+    /// the storage layer.
     pub fn scan_table_pushdown(
         &mut self,
         table: &Arc<TableDef>,
@@ -346,14 +350,30 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     ) -> Result<Vec<(Rid, Bytes)>> {
         self.ensure_running()?;
         let prefix = keys::record_prefix(table.id);
-        let snapshot = self.snapshot.clone();
-        let rows = self.pn.client().scan_prefix_pushdown(&prefix, usize::MAX, &|_, raw| {
-            match VersionedRecord::decode(raw) {
-                Ok(rec) => rec.visible_payload(&snapshot).map(|p| pred(p)).unwrap_or(false),
-                Err(_) => false,
-            }
-        })?;
-        self.collect_scan(table, rows, limit, &pred)
+        let rows = self.pn.client().scan_prefix(&prefix, usize::MAX)?;
+        self.pn.meter().charge_cpu(rows.len() as f64 * 0.2);
+        self.collect_scan(table, rows, limit, |_, row| pred(row))
+    }
+
+    /// Table scan with the row filter pushed down into the storage layer
+    /// (§5.2): `filter` is written against row bytes, lifted to a sound
+    /// predicate over encoded records
+    /// ([`VersionedRecord::lift_row_predicate`]), and evaluated in the
+    /// storage node — only candidate records cross the network. Rows are
+    /// re-verified against the transaction's snapshot on the PN, so the
+    /// result is exactly the visible rows matching `filter`.
+    pub fn scan_table_pushdown_filtered(
+        &mut self,
+        table: &Arc<TableDef>,
+        limit: usize,
+        filter: &Predicate,
+    ) -> Result<Vec<(Rid, Bytes)>> {
+        self.ensure_running()?;
+        let prefix = keys::record_prefix(table.id);
+        let lifted = VersionedRecord::lift_row_predicate(filter);
+        let rows = self.pn.client().scan_prefix_pushdown(&prefix, usize::MAX, &lifted)?;
+        self.pn.meter().charge_cpu(rows.len() as f64 * 0.2);
+        self.collect_scan(table, rows, limit, |key, row| filter.matches(key, row))
     }
 
     fn collect_scan(
@@ -361,7 +381,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         table: &Arc<TableDef>,
         rows: Vec<(Bytes, Token, Bytes)>,
         limit: usize,
-        pred: impl Fn(&[u8]) -> bool,
+        pred: impl Fn(&[u8], &[u8]) -> bool,
     ) -> Result<Vec<(Rid, Bytes)>> {
         let mut out = Vec::new();
         for (key, _, raw) in rows {
@@ -371,7 +391,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             }
             let rec = VersionedRecord::decode(&raw)?;
             if let Some(row) = rec.visible_payload(&self.snapshot) {
-                if pred(row) {
+                if pred(key.as_ref(), row) {
                     out.push((rid, row.clone()));
                 }
             }
@@ -381,7 +401,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 continue;
             }
             if let Some(row) = &intent.new_row {
-                if pred(row) {
+                if pred(keys::record(*t, *rid).as_ref(), row) {
                     out.push((*rid, row.clone()));
                 }
             }
@@ -561,7 +581,9 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             }
         }
         let results = if self.pn.database().config().batching {
-            self.pn.client().multi_write(ops)?
+            // Submit-then-wait: over the remote transport the whole write
+            // set rides one frame of the client's submission window.
+            self.pn.client().multi_write_async(ops).wait()?
         } else {
             // Ablation mode: one exchange per update.
             ops.into_iter()
@@ -582,13 +604,15 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         };
         let conflicted = results.iter().any(|r| r.is_err());
         if conflicted {
-            // Abort: revert the updates that did apply.
-            for (i, result) in results.iter().enumerate() {
-                if result.is_ok() {
-                    let ((table, rid), _) = &applied_records[i];
-                    self.revert_applied(*table, *rid)?;
-                }
-            }
+            // Abort: revert the updates that did apply, batched the same
+            // way recovery rolls back a failed PN's write sets.
+            let applied: Vec<(TableId, Rid)> = results
+                .iter()
+                .zip(&applied_records)
+                .filter(|(result, _)| result.is_ok())
+                .map(|(_, (target, _))| *target)
+                .collect();
+            crate::recovery::revert_write_set(self.pn.client(), self.tid, &applied)?;
             self.state = State::Aborted;
             self.cm.set_aborted(self.tid, self.pn.meter())?;
             self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, true);
@@ -654,12 +678,6 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         self.cm.set_aborted(self.tid, self.pn.meter())?;
         self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, false);
         Ok(())
-    }
-
-    /// Remove this transaction's version from an applied record
-    /// (commit-failure rollback; the same primitive recovery uses).
-    fn revert_applied(&self, table: TableId, rid: Rid) -> Result<()> {
-        crate::recovery::revert_record_version(self.pn.client(), table, rid, self.tid)
     }
 }
 

@@ -284,6 +284,33 @@ fn table_scan_and_pushdown_agree() {
 }
 
 #[test]
+fn predicate_pushdown_scan_agrees_with_closure_scan() {
+    let (db, table) = default_db();
+    let pn = db.processing_node();
+    db.bulk_load(&table, (1..=30).map(|i| row(i, (i % 3) as u8, "p")).collect()).unwrap();
+    // Move one row into group 1 so its record carries two versions and
+    // takes the conservative (ship + re-verify on the PN) pushdown path.
+    let pk_idx = table.primary_index().id;
+    let mut t = pn.begin().unwrap();
+    let hit = t.index_lookup(&table, pk_idx, &pk_bytes(3)).unwrap();
+    t.update(&table, hit[0].0, row(3, 1, "p")).unwrap();
+    t.commit().unwrap();
+
+    let group_is_1 = tell_store::Predicate::value_eq(8, vec![1u8]);
+    let mut t = pn.begin().unwrap();
+    let via_closure = t.scan_table_pushdown(&table, usize::MAX, |r| r[8] == 1).unwrap();
+    let via_predicate = t.scan_table_pushdown_filtered(&table, usize::MAX, &group_is_1).unwrap();
+    assert_eq!(via_closure, via_predicate);
+    assert_eq!(via_predicate.len(), 11);
+    // The transaction's own uncommitted writes merge into the result too.
+    let rid = t.insert(&table, row(99, 1, "own")).unwrap();
+    let with_own = t.scan_table_pushdown_filtered(&table, usize::MAX, &group_is_1).unwrap();
+    assert_eq!(with_own.len(), 12);
+    assert!(with_own.iter().any(|(r, _)| *r == rid));
+    t.commit().unwrap();
+}
+
+#[test]
 fn empty_transaction_commits_cheaply() {
     let (db, _) = default_db();
     let pn = db.processing_node();

@@ -10,24 +10,35 @@
 //! [`RemoteStoreClient`] implements `tell_store::StoreApi` over a small
 //! connection pool and [`RemoteEndpoint`] implements `StoreEndpoint`, so a
 //! `tell_core::Database` opened over them runs the exact transaction code
-//! paths it runs in-process. [`RemoteCmClient`] likewise implements the
+//! paths it runs in-process. Asynchronously submitted operations gather in
+//! a per-client *submission window* and cross the wire as **one**
+//! `Request::Batch` frame when the first handle is awaited — N logical
+//! operations, one frame each way (§5.1's aggressive batching). The
+//! blocking `StoreApi` methods are submit-then-wait wrappers, so a
+//! blocking call issued while async handles are outstanding joins their
+//! batch instead of racing it. [`RemoteCmClient`] likewise implements the
 //! `CommitService`/`CommitParticipant` pair over one connection per commit
 //! server, with the same fail-over-to-the-next-manager behavior as the
 //! local `CmCluster` (§4.4.3).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::TcpStream;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use tell_commitmgr::{CommitParticipant, CommitService, TxnStart};
+use tell_commitmgr::{CmEndpoint, CommitParticipant, CommitService, TxnStart};
 use tell_common::{Error, Result, TxnId};
 use tell_netsim::NetMeter;
-use tell_store::{Expect, Key, StoreApi, StoreEndpoint, Token, WriteOp};
+use tell_store::{
+    BatchDriver, Expect, Key, OpHandle, OpResult, Predicate, StoreApi, StoreEndpoint, StoreOp,
+    Token, WriteOp,
+};
 
 use crate::wire::{read_frame, write_frame, Request, Response, FRAME_HEADER};
 
@@ -205,25 +216,195 @@ impl ConnPool {
 }
 
 // ---------------------------------------------------------------------------
+// Submission window: the per-client request scheduler.
+
+struct WindowState {
+    next_ticket: u64,
+    /// Operations submitted but not yet flushed, in submission order.
+    queued: Vec<(u64, StoreOp)>,
+    /// Completions parked for tickets whose handles have not been waited.
+    done: HashMap<u64, Result<OpResult>>,
+}
+
+/// Coalesces every operation submitted between two waits into one
+/// `Request::Batch` frame. Deliberately `!Send` (like the meter): one
+/// window per worker thread, no locks on the submit path. The window
+/// flushes when the *first* outstanding handle is awaited; completions for
+/// the others are parked until their own `wait`.
+struct SubmitWindow {
+    pool: Arc<ConnPool>,
+    meter: NetMeter,
+    state: RefCell<WindowState>,
+}
+
+impl SubmitWindow {
+    fn new(pool: Arc<ConnPool>, meter: NetMeter) -> SubmitWindow {
+        SubmitWindow {
+            pool,
+            meter,
+            state: RefCell::new(WindowState {
+                next_ticket: 0,
+                queued: Vec::new(),
+                done: HashMap::new(),
+            }),
+        }
+    }
+
+    fn enqueue(&self, op: StoreOp) -> u64 {
+        let mut state = self.state.borrow_mut();
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queued.push((ticket, op));
+        ticket
+    }
+
+    /// Send everything queued as one frame (a bare request when the window
+    /// holds a single op — framing a batch of one would only add bytes) and
+    /// park the per-op completions. Transport failure fails every ticket
+    /// with the same typed error; nobody hangs.
+    fn flush(&self) {
+        // Take the queue out before any I/O: `conn.call` blocks, and a
+        // `RefCell` borrow held across it would poison reentrant submits.
+        let queued = std::mem::take(&mut self.state.borrow_mut().queued);
+        if queued.is_empty() {
+            return;
+        }
+        let (tickets, ops): (Vec<u64>, Vec<StoreOp>) = queued.into_iter().unzip();
+        let mut requests: Vec<Request> = ops.iter().map(op_to_request).collect();
+        let n = requests.len();
+        let single = n == 1;
+        let request = if single {
+            requests.pop().expect("one request")
+        } else {
+            Request::Batch { ops: requests }
+        };
+        let outcome = self.pool.get().and_then(|conn| conn.call(&request));
+        let mut state = self.state.borrow_mut();
+        match outcome {
+            Err(e) => {
+                for ticket in tickets {
+                    state.done.insert(ticket, Err(e.clone()));
+                }
+            }
+            Ok((response, sent, received)) => {
+                self.meter.charge_real(sent, received);
+                let per_op: Vec<Response> = if single {
+                    vec![response]
+                } else {
+                    match response {
+                        Response::Batch { results } if results.len() == n => results,
+                        Response::Batch { results } => {
+                            let e = Error::corrupt(format!(
+                                "batch of {n} ops answered with {} results",
+                                results.len()
+                            ));
+                            for ticket in tickets {
+                                state.done.insert(ticket, Err(e.clone()));
+                            }
+                            return;
+                        }
+                        // A top-level error (e.g. "this node does not serve
+                        // storage") applies to every op in the frame.
+                        Response::Error(e) => {
+                            let e: Error = e.into();
+                            for ticket in tickets {
+                                state.done.insert(ticket, Err(e.clone()));
+                            }
+                            return;
+                        }
+                        other => {
+                            let e = unexpected("batch", other);
+                            for ticket in tickets {
+                                state.done.insert(ticket, Err(e.clone()));
+                            }
+                            return;
+                        }
+                    }
+                };
+                for ((ticket, op), response) in tickets.into_iter().zip(&ops).zip(per_op) {
+                    state.done.insert(ticket, complete_op(op, response));
+                }
+            }
+        }
+    }
+}
+
+impl BatchDriver for SubmitWindow {
+    fn resolve(&self, ticket: u64) -> Result<OpResult> {
+        if !self.state.borrow().done.contains_key(&ticket) {
+            self.flush();
+        }
+        self.state
+            .borrow_mut()
+            .done
+            .remove(&ticket)
+            .unwrap_or_else(|| Err(Error::corrupt("op handle resolved twice or never enqueued")))
+    }
+}
+
+fn op_to_request(op: &StoreOp) -> Request {
+    match op {
+        StoreOp::Get { key } => Request::Get { key: key.clone() },
+        StoreOp::MultiGet { keys } => Request::MultiGet { keys: keys.clone() },
+        StoreOp::Write { op } => Request::Write { op: op.clone() },
+        StoreOp::MultiWrite { ops } => Request::MultiWrite { ops: ops.clone() },
+        StoreOp::Increment { key, delta } => Request::Increment { key: key.clone(), delta: *delta },
+    }
+}
+
+/// Map one nested response back to its op's completion, losslessly: a
+/// nested `Response::Error` becomes that op's typed `Err` without touching
+/// its window-mates; a shape mismatch is a protocol corruption.
+fn complete_op(op: &StoreOp, response: Response) -> Result<OpResult> {
+    match (op, response) {
+        (_, Response::Error(e)) => Err(e.into()),
+        (StoreOp::Get { .. }, Response::Cell(cell)) => Ok(OpResult::Cell(cell)),
+        (StoreOp::MultiGet { .. }, Response::Cells(cells)) => Ok(OpResult::Cells(cells)),
+        (StoreOp::Write { .. }, Response::Written(token)) => Ok(OpResult::Written(token)),
+        (StoreOp::MultiWrite { .. }, Response::WriteResults(results)) => {
+            Ok(OpResult::WriteResults(results.into_iter().map(|r| r.map_err(Into::into)).collect()))
+        }
+        (StoreOp::Increment { .. }, Response::Counter(v)) => Ok(OpResult::Counter(v)),
+        (_, other) => Err(unexpected("batched op", other)),
+    }
+}
+
+fn unexpected(context: &str, response: Response) -> Error {
+    Error::corrupt(format!("unexpected response to {context}: {response:?}"))
+}
+
+// ---------------------------------------------------------------------------
 // Remote storage client + endpoint.
 
 /// `StoreApi` over TCP. Mirrors the in-process `StoreClient` operation for
 /// operation; the meter records real traffic (`charge_real`) instead of
 /// simulated time — the network is no longer a model, it is there.
+///
+/// Point operations route through the client's submission window: `submit`
+/// queues, the first `wait` flushes the whole window as one frame. The
+/// blocking methods are submit-then-wait, so they cost one frame alone but
+/// share a frame with any outstanding async handles. Scans call directly
+/// (their payload dwarfs framing) after flushing the window, preserving
+/// program order between a submitted write and a subsequent scan.
 #[derive(Clone)]
 pub struct RemoteStoreClient {
-    pool: Arc<ConnPool>,
+    window: Rc<SubmitWindow>,
     meter: NetMeter,
 }
 
 impl RemoteStoreClient {
     /// Client over `pool`, charging traffic to `meter`.
     pub fn new(pool: Arc<ConnPool>, meter: NetMeter) -> RemoteStoreClient {
-        RemoteStoreClient { pool, meter }
+        let window = Rc::new(SubmitWindow::new(pool, meter.clone()));
+        RemoteStoreClient { window, meter }
     }
 
+    /// Direct (non-windowed) exchange, for scans and probes. Flushes the
+    /// window first so previously submitted operations are applied before
+    /// this request reaches the server.
     fn call(&self, request: &Request) -> Result<Response> {
-        let conn = self.pool.get()?;
+        self.window.flush();
+        let conn = self.window.pool.get()?;
         let (response, sent, received) = conn.call(request)?;
         self.meter.charge_real(sent, received);
         match response {
@@ -233,23 +414,22 @@ impl RemoteStoreClient {
     }
 
     fn unexpected(context: &str, response: Response) -> Error {
-        Error::corrupt(format!("unexpected response to {context}: {response:?}"))
+        unexpected(context, response)
     }
 }
 
 impl StoreApi for RemoteStoreClient {
+    fn submit(&self, op: StoreOp) -> OpHandle {
+        let ticket = self.window.enqueue(op);
+        OpHandle::pending(Rc::clone(&self.window) as Rc<dyn BatchDriver>, ticket)
+    }
+
     fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>> {
-        match self.call(&Request::Get { key: key.clone() })? {
-            Response::Cell(cell) => Ok(cell),
-            other => Err(Self::unexpected("get", other)),
-        }
+        self.get_async(key).wait()
     }
 
     fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<(Token, Bytes)>>> {
-        match self.call(&Request::MultiGet { keys: keys.to_vec() })? {
-            Response::Cells(cells) => Ok(cells),
-            other => Err(Self::unexpected("multi_get", other)),
-        }
+        self.multi_get_async(keys).wait()
     }
 
     fn put(&self, key: &Key, value: Bytes) -> Result<Token> {
@@ -268,35 +448,19 @@ impl StoreApi for RemoteStoreClient {
     }
 
     fn delete_conditional(&self, key: &Key, token: Token) -> Result<()> {
-        match self
-            .call(&Request::Write { op: WriteOp::delete(key.clone(), Expect::Token(token)) })?
-        {
-            Response::Written(_) => Ok(()),
-            other => Err(Self::unexpected("delete_conditional", other)),
-        }
+        self.write_async(WriteOp::delete(key.clone(), Expect::Token(token))).wait().map(|_| ())
     }
 
     fn delete(&self, key: &Key) -> Result<()> {
-        match self.call(&Request::Write { op: WriteOp::delete(key.clone(), Expect::Any) })? {
-            Response::Written(_) => Ok(()),
-            other => Err(Self::unexpected("delete", other)),
-        }
+        self.write_async(WriteOp::delete(key.clone(), Expect::Any)).wait().map(|_| ())
     }
 
     fn multi_write(&self, ops: Vec<WriteOp>) -> Result<Vec<Result<Option<Token>>>> {
-        match self.call(&Request::MultiWrite { ops })? {
-            Response::WriteResults(results) => {
-                Ok(results.into_iter().map(|r| r.map_err(Into::into)).collect())
-            }
-            other => Err(Self::unexpected("multi_write", other)),
-        }
+        self.multi_write_async(ops).wait()
     }
 
     fn increment(&self, key: &Key, delta: u64) -> Result<u64> {
-        match self.call(&Request::Increment { key: key.clone(), delta })? {
-            Response::Counter(v) => Ok(v),
-            other => Err(Self::unexpected("increment", other)),
-        }
+        self.increment_async(key, delta).wait()
     }
 
     fn scan_range(
@@ -326,21 +490,29 @@ impl StoreApi for RemoteStoreClient {
         }
     }
 
-    /// The filter is a closure and cannot cross the wire, so the remote
-    /// client fetches the whole prefix and filters here. Results match the
-    /// in-process pushdown exactly; only the bandwidth differs (the paper's
-    /// selection pushdown, §5.2, is precisely the optimization of not
-    /// paying this transfer).
+    /// The predicate is serializable, so it travels in the request and the
+    /// storage node evaluates it before framing the response: only matching
+    /// rows cross the network — the paper's §5.2 selection pushdown, now
+    /// real on the remote path too.
     fn scan_prefix_pushdown(
         &self,
         prefix: &[u8],
         limit: usize,
-        filter: &dyn Fn(&Key, &Bytes) -> bool,
+        filter: &Predicate,
     ) -> Result<Vec<(Key, Token, Bytes)>> {
-        let mut rows = self.scan_prefix(prefix, usize::MAX)?;
-        rows.retain(|(key, _, value)| filter(key, value));
-        rows.truncate(limit);
-        Ok(rows)
+        // Validate encodability up front (depth limit): `Request::encode`
+        // must be infallible by the time the frame is built.
+        let mut scratch = Vec::new();
+        filter.encode_into(&mut scratch)?;
+        let request = Request::ScanPrefixFiltered {
+            prefix: Bytes::copy_from_slice(prefix),
+            limit: limit as u64,
+            predicate: filter.clone(),
+        };
+        match self.call(&request)? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(Self::unexpected("scan_prefix_pushdown", other)),
+        }
     }
 
     fn meter(&self) -> &NetMeter {
@@ -350,10 +522,9 @@ impl StoreApi for RemoteStoreClient {
 
 impl RemoteStoreClient {
     fn write_expecting_token(&self, op: WriteOp, context: &str) -> Result<Token> {
-        match self.call(&Request::Write { op })? {
-            Response::Written(Some(token)) => Ok(token),
-            Response::Written(None) => Err(Error::corrupt(format!("{context} returned no token"))),
-            other => Err(Self::unexpected(context, other)),
+        match self.write_async(op).wait()? {
+            Some(token) => Ok(token),
+            None => Err(Error::corrupt(format!("{context} returned no token"))),
         }
     }
 
@@ -568,5 +739,26 @@ impl CommitParticipant for RemoteParticipant {
 
     fn set_aborted(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
         self.complete(tid, false, meter)
+    }
+}
+
+/// `CmEndpoint` over TCP — the commit-manager mirror of [`RemoteEndpoint`],
+/// so `Database::open` takes (store endpoint, commit endpoint) symmetrically
+/// for both deployments instead of a hand-wrapped trait object on one side.
+#[derive(Clone)]
+pub struct RemoteCmEndpoint {
+    client: Arc<RemoteCmClient>,
+}
+
+impl RemoteCmEndpoint {
+    /// Endpoint over the commit servers at `addrs` (connected lazily).
+    pub fn connect(addrs: impl IntoIterator<Item = impl Into<String>>) -> RemoteCmEndpoint {
+        RemoteCmEndpoint { client: Arc::new(RemoteCmClient::connect(addrs)) }
+    }
+}
+
+impl CmEndpoint for RemoteCmEndpoint {
+    fn commit_service(&self) -> Arc<dyn CommitService> {
+        Arc::clone(&self.client) as Arc<dyn CommitService>
     }
 }

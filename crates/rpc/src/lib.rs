@@ -20,6 +20,8 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{ConnPool, Connection, RemoteCmClient, RemoteEndpoint, RemoteStoreClient};
+pub use client::{
+    ConnPool, Connection, RemoteCmClient, RemoteCmEndpoint, RemoteEndpoint, RemoteStoreClient,
+};
 pub use server::{RpcServer, Services};
 pub use wire::{Request, Response, WireError, MAX_FRAME};

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -41,6 +41,10 @@ struct ServerShared {
     /// (e.g. resolution arriving after a server restart).
     participants: Mutex<HashMap<u64, Arc<dyn CommitParticipant>>>,
     shutting_down: AtomicBool,
+    /// Request frames read off the wire, across all connections. A `Batch`
+    /// of N ops counts **once** — this is the counter the batching
+    /// ablation compares against the logical op count.
+    frames: AtomicU64,
     /// Live connections keyed by peer address, so `shutdown` can sever
     /// them. Each handler removes its own entry when it exits; leaving
     /// dead clones here would hold the socket open (no FIN to the peer)
@@ -68,6 +72,7 @@ impl RpcServer {
             services,
             participants: Mutex::new(HashMap::new()),
             shutting_down: AtomicBool::new(false),
+            frames: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -94,6 +99,13 @@ impl RpcServer {
     /// The address the server accepts connections on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Request frames served so far, across all connections. A `Batch` of
+    /// N operations counts as one frame, so comparing this against logical
+    /// op counts measures what §5.1's batching saves.
+    pub fn frames_served(&self) -> u64 {
+        self.shared.frames.load(Ordering::SeqCst)
     }
 
     /// Stop accepting, sever every open connection and join the accept
@@ -148,6 +160,7 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShar
         shared.services.store.as_ref().map(|c| StoreClient::unmetered(Arc::clone(c)));
     let meter = NetMeter::free();
     while let Ok(Some((corr_id, body))) = read_frame(&mut reader) {
+        shared.frames.fetch_add(1, Ordering::SeqCst);
         let response = match Request::decode(&body) {
             Ok(request) => dispatch(&shared, store_client.as_ref(), &meter, request),
             Err(e) => Response::Error(e.into()),
@@ -169,14 +182,37 @@ fn dispatch(
     request: Request,
 ) -> Response {
     match request {
+        // One frame in, one frame out: each nested op dispatches
+        // independently, so per-op failures travel as nested errors
+        // instead of poisoning the whole window (§5.1 batching).
+        Request::Batch { ops } => Response::Batch {
+            results: ops.into_iter().map(|op| dispatch_one(shared, store, meter, op)).collect(),
+        },
+        other => dispatch_one(shared, store, meter, other),
+    }
+}
+
+fn dispatch_one(
+    shared: &ServerShared,
+    store: Option<&StoreClient>,
+    meter: &NetMeter,
+    request: Request,
+) -> Response {
+    match request {
         Request::Ping => Response::Pong,
+        // The wire decoder already refuses nested batches; keep the server
+        // refusal too so a future in-process caller cannot sneak one in.
+        Request::Batch { .. } => {
+            Response::Error(Error::invalid("Batch nested inside Batch").into())
+        }
         Request::Get { .. }
         | Request::MultiGet { .. }
         | Request::Write { .. }
         | Request::MultiWrite { .. }
         | Request::Increment { .. }
         | Request::Scan { .. }
-        | Request::ScanPrefix { .. } => match store {
+        | Request::ScanPrefix { .. }
+        | Request::ScanPrefixFiltered { .. } => match store {
             Some(client) => dispatch_store(client, request),
             None => Response::Error(
                 Error::Unsupported("this node does not serve storage".into()).into(),
@@ -215,6 +251,13 @@ fn dispatch_store(client: &StoreClient, request: Request) -> Response {
         }
         Request::ScanPrefix { prefix, limit } => {
             client.scan_prefix(prefix.as_ref(), clamp_limit(limit)).map(Response::Rows)
+        }
+        Request::ScanPrefixFiltered { prefix, limit, predicate } => {
+            // The §5.2 pushdown: evaluate the predicate here, next to the
+            // data, so only matching rows are framed into the response.
+            client
+                .scan_prefix_pushdown(prefix.as_ref(), clamp_limit(limit), &predicate)
+                .map(Response::Rows)
         }
         _ => unreachable!("non-storage request routed to dispatch_store"),
     };

@@ -23,7 +23,7 @@ use bytes::Bytes;
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, Result, TxnId};
-use tell_store::{Expect, Key, Token, WriteOp};
+use tell_store::{Expect, Key, Predicate, Token, WriteOp};
 
 /// Upper bound on a frame's `len` field. Generous — the largest legitimate
 /// frames are scan results — while still rejecting garbage lengths from a
@@ -33,7 +33,7 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// Bytes preceding the body on the wire: length prefix + correlation id.
 pub const FRAME_HEADER: usize = 12;
 
-/// Operations a client may ask of a server. Storage requests (tags 1–8)
+/// Operations a client may ask of a server. Storage requests (tags 1–10)
 /// mirror `tell_store::StoreApi`; commit requests (tags 16–20) mirror
 /// `tell_commitmgr::{CommitService, CommitParticipant}`.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,6 +55,16 @@ pub enum Request {
     ScanPrefix { prefix: Key, limit: u64 },
     /// Liveness / round-trip probe.
     Ping,
+    /// Several independent point operations in **one** frame (§5.1
+    /// "aggressively batches operations"): the server executes them in
+    /// order and answers with a [`Response::Batch`] carrying one nested
+    /// response per op. Nesting a `Batch` inside a `Batch` is a protocol
+    /// error. The batch is a framing optimisation, not an atomic unit.
+    Batch { ops: Vec<Request> },
+    /// Prefix scan with a serializable [`Predicate`] evaluated **on the
+    /// storage node** (§5.2 selection pushdown): only matching rows are
+    /// framed into the response.
+    ScanPrefixFiltered { prefix: Key, limit: u64, predicate: Predicate },
     /// Begin a transaction on the manager `hint` pins the caller to.
     CmStart { hint: u64 },
     /// Report the outcome of a transaction this server issued.
@@ -87,6 +97,11 @@ pub enum Response {
     Rows(Vec<(Key, Token, Bytes)>),
     /// Answer to `Ping`.
     Pong,
+    /// Answer to `Request::Batch`: one nested response per nested op, in
+    /// submission order. Per-op failures travel as nested
+    /// [`Response::Error`]s, so one conflicting write does not poison its
+    /// window-mates. Nesting a `Batch` inside a `Batch` is a protocol error.
+    Batch { results: Vec<Response> },
     /// Answer to `CmStart`.
     TxnStarted { tid: TxnId, lav: u64, snapshot: SnapshotDescriptor },
     /// Answer to requests with no payload (`CmComplete`, `CmSync`, ...).
@@ -347,6 +362,25 @@ impl Request {
                 out.put_u64(*limit);
             }
             Request::Ping => out.put_u8(8),
+            Request::Batch { ops } => {
+                out.put_u8(9);
+                out.put_u32(ops.len() as u32);
+                for op in ops {
+                    debug_assert!(
+                        !matches!(op, Request::Batch { .. }),
+                        "batches must not nest (encoder misuse)"
+                    );
+                    out.put_bytes(&op.encode());
+                }
+            }
+            Request::ScanPrefixFiltered { prefix, limit, predicate } => {
+                out.put_u8(10);
+                put_key(&mut out, prefix);
+                out.put_u64(*limit);
+                predicate
+                    .encode_into(&mut out)
+                    .expect("predicate depth is validated at construction");
+            }
             Request::CmStart { hint } => {
                 out.put_u8(16);
                 out.put_u64(*hint);
@@ -398,6 +432,25 @@ impl Request {
             },
             7 => Request::ScanPrefix { prefix: read_key(&mut r)?, limit: r.u64()? },
             8 => Request::Ping,
+            9 => {
+                let n = r.u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let nested = r.bytes()?;
+                    // Refuse recursion before descending: a hostile stream
+                    // of nested batches must not consume decoder stack.
+                    if nested.first() == Some(&9) {
+                        return Err(Error::corrupt("Batch nested inside Batch"));
+                    }
+                    ops.push(Request::decode(nested)?);
+                }
+                Request::Batch { ops }
+            }
+            10 => Request::ScanPrefixFiltered {
+                prefix: read_key(&mut r)?,
+                limit: r.u64()?,
+                predicate: Predicate::decode_from(&mut r)?,
+            },
             16 => Request::CmStart { hint: r.u64()? },
             17 => Request::CmComplete { tid: TxnId(r.u64()?), committed: read_bool(&mut r)? },
             18 => Request::CmLav,
@@ -471,6 +524,17 @@ impl Response {
                 }
             }
             Response::Pong => out.put_u8(7),
+            Response::Batch { results } => {
+                out.put_u8(8);
+                out.put_u32(results.len() as u32);
+                for res in results {
+                    debug_assert!(
+                        !matches!(res, Response::Batch { .. }),
+                        "batches must not nest (encoder misuse)"
+                    );
+                    out.put_bytes(&res.encode());
+                }
+            }
             Response::TxnStarted { tid, lav, snapshot } => {
                 out.put_u8(16);
                 out.put_u64(tid.raw());
@@ -533,6 +597,18 @@ impl Response {
                 Response::Rows(rows)
             }
             7 => Response::Pong,
+            8 => {
+                let n = r.u32()? as usize;
+                let mut results = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let nested = r.bytes()?;
+                    if nested.first() == Some(&8) {
+                        return Err(Error::corrupt("Batch nested inside Batch"));
+                    }
+                    results.push(Response::decode(nested)?);
+                }
+                Response::Batch { results }
+            }
             16 => {
                 let tid = TxnId(r.u64()?);
                 let lav = r.u64()?;
@@ -649,6 +725,24 @@ mod tests {
             Request::Scan { start: key.clone(), end: None, limit: 10, reverse: true },
             Request::Scan { start: Bytes::new(), end: Some(key.clone()), limit: 1, reverse: false },
             Request::ScanPrefix { prefix: key.clone(), limit: u64::MAX },
+            Request::ScanPrefixFiltered {
+                prefix: key.clone(),
+                limit: 64,
+                predicate: Predicate::All(vec![
+                    Predicate::value_eq(4, vec![1, 2]),
+                    Predicate::KeyPrefix(key.clone()),
+                ]),
+            },
+            Request::Batch {
+                ops: vec![
+                    Request::Get { key: key.clone() },
+                    Request::Increment { key: key.clone(), delta: 1 },
+                    Request::Write {
+                        op: WriteOp { key: key.clone(), expect: Expect::Any, value: None },
+                    },
+                ],
+            },
+            Request::Batch { ops: Vec::new() },
             Request::Ping,
             Request::CmStart { hint: 3 },
             Request::CmComplete { tid: TxnId(9), committed: true },
@@ -677,6 +771,14 @@ mod tests {
             Response::Counter(77),
             Response::Rows(vec![(Bytes::copy_from_slice(b"a"), 1, val.clone())]),
             Response::Pong,
+            Response::Batch {
+                results: vec![
+                    Response::Cell(Some((5, val.clone()))),
+                    Response::Error(WireError::Conflict),
+                    Response::Counter(1),
+                ],
+            },
+            Response::Batch { results: Vec::new() },
             Response::TxnStarted {
                 tid: TxnId(12),
                 lav: 4,
@@ -704,6 +806,59 @@ mod tests {
         for cut in 0..body.len() {
             assert!(Request::decode(&body[..cut]).is_err(), "prefix of {cut} bytes accepted");
         }
+    }
+
+    #[test]
+    fn truncated_batches_are_rejected() {
+        let body = Request::Batch {
+            ops: vec![
+                Request::Get { key: Bytes::copy_from_slice(b"k") },
+                Request::Increment { key: Bytes::copy_from_slice(b"c"), delta: 2 },
+            ],
+        }
+        .encode();
+        for cut in 0..body.len() {
+            assert!(Request::decode(&body[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        let body =
+            Response::Batch { results: vec![Response::Counter(9), Response::Cell(None)] }.encode();
+        for cut in 0..body.len() {
+            assert!(Response::decode(&body[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn nested_batches_are_a_protocol_error() {
+        // Hand-craft tag 9 → count 1 → nested bytes that are themselves a
+        // Batch: the decoder must refuse without recursing.
+        let inner = Request::Batch { ops: vec![Request::Ping] }.encode();
+        let mut body = vec![9u8];
+        body.put_u32(1);
+        body.put_bytes(&inner);
+        assert!(matches!(Request::decode(&body), Err(Error::Corrupt(_))));
+
+        let inner = Response::Batch { results: vec![Response::Pong] }.encode();
+        let mut body = vec![8u8];
+        body.put_u32(1);
+        body.put_bytes(&inner);
+        assert!(matches!(Response::decode(&body), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn batch_per_op_errors_survive_the_roundtrip_losslessly() {
+        let results = vec![
+            Response::Error(WireError::Conflict),
+            Response::Error(WireError::Unavailable("sn:1 down".into())),
+            Response::Written(Some(3)),
+        ];
+        let body = Response::Batch { results: results.clone() }.encode();
+        let Response::Batch { results: back } = Response::decode(&body).unwrap() else {
+            panic!("expected a batch back");
+        };
+        assert_eq!(back, results);
+        // And the nested errors map back to the exact tell_common errors.
+        let Response::Error(e) = &back[0] else { panic!() };
+        assert_eq!(Error::from(e.clone()), Error::Conflict);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use tell_store::{keys, StoreApi, StoreCluster, StoreConfig, StoreEndpoint};
 /// nodes; dropping it tears the servers down.
 struct Servers {
     store: Arc<StoreCluster>,
-    _sn: RpcServer,
+    sn: RpcServer,
     _cm: RpcServer,
 }
 
@@ -42,7 +42,7 @@ fn boot(nodes: usize, cms: usize) -> (Servers, Arc<Database<RemoteEndpoint>>) {
     let endpoint = RemoteEndpoint::connect(sn_addr, 4);
     let commit: Arc<dyn CommitService> = Arc::new(RemoteCmClient::connect([cm_addr]));
     let db = Database::open(endpoint, commit, TellConfig::default());
-    (Servers { store, _sn: sn, _cm: cm }, db)
+    (Servers { store, sn, _cm: cm }, db)
 }
 
 fn account(balance: u64, id: u64) -> Bytes {
@@ -270,6 +270,50 @@ fn pn_recovery_rolls_back_partial_write_set_over_the_wire() {
     assert_eq!(balance_of(&txn.get(&table, rid).unwrap().unwrap()), 5);
     txn.update(&table, rid, account(6, 0)).unwrap();
     txn.commit().unwrap();
+}
+
+#[test]
+fn concurrent_async_gets_batch_into_one_frame_and_survive_node_failure() {
+    let (servers, db) = boot(1, 1);
+    let table = db.create_table("t", vec![pk_spec()]).unwrap();
+    let rids = db.bulk_load(&table, (0..8u64).map(|i| account(i * 11, i)).collect()).unwrap();
+    let record_keys: Vec<_> = rids.iter().map(|rid| keys::record(table.id, *rid)).collect();
+    let stored_balance = |raw: &[u8]| {
+        let rec = VersionedRecord::decode(raw).unwrap();
+        balance_of(rec.versions()[0].payload.as_ref().unwrap())
+    };
+
+    // Eight operations in flight on one client, resolved out of submission
+    // order: the whole window crosses the wire as a single batch frame.
+    let client = db.endpoint().client(NetMeter::free());
+    let before = servers.sn.frames_served();
+    let mut handles: Vec<_> = record_keys.iter().map(|k| client.get_async(k)).collect();
+    handles.reverse();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let (_, raw) = handle.wait().unwrap().expect("loaded record exists");
+        assert_eq!(stored_balance(&raw), (7 - i as u64) * 11);
+    }
+    assert_eq!(servers.sn.frames_served() - before, 1, "eight async gets, one frame");
+
+    // The storage node dies with a full window outstanding. The TCP server
+    // stays up, so every handle resolves to the storage layer's typed
+    // error — carried per-op inside the batch response, never a hang.
+    let handles: Vec<_> = record_keys.iter().map(|k| client.get_async(k)).collect();
+    servers.store.kill_node(SnId(0));
+    for handle in handles {
+        match handle.wait() {
+            Err(Error::Unavailable(_)) => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    // After revival the same client's next window works unchanged.
+    servers.store.revive_node(SnId(0));
+    let handles: Vec<_> = record_keys.iter().map(|k| client.get_async(k)).collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let (_, raw) = handle.wait().unwrap().expect("record survived the bounce");
+        assert_eq!(stored_balance(&raw), i as u64 * 11);
+    }
 }
 
 #[test]

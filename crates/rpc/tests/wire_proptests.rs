@@ -7,7 +7,7 @@ use tell_commitmgr::SnapshotDescriptor;
 use tell_common::{BitSet, TxnId};
 use tell_rpc::wire::{read_frame, write_frame, FRAME_HEADER};
 use tell_rpc::{Request, Response, WireError};
-use tell_store::{Expect, WriteOp};
+use tell_store::{CmpOp, Expect, Predicate, WriteOp};
 
 /// Keys up to the longest the system composes in practice (`keys::record`
 /// and friends stay well under this), biased toward the interesting
@@ -67,6 +67,45 @@ fn cell_strategy() -> impl Strategy<Value = Option<(u64, Bytes)>> {
     prop::option::of((any::<u64>(), bytes_strategy(64)))
 }
 
+fn cmp_op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Predicate trees up to `depth` combinator levels deep (well inside
+/// `MAX_PREDICATE_DEPTH`, which has its own dedicated unit tests).
+fn predicate_strategy_at(depth: usize) -> BoxedStrategy<Predicate> {
+    let leaf = prop_oneof![
+        Just(Predicate::True),
+        key_strategy().prop_map(Predicate::KeyPrefix),
+        bytes_strategy(32).prop_map(Predicate::ValuePrefix),
+        (0usize..64, cmp_op_strategy(), bytes_strategy(16))
+            .prop_map(|(offset, op, literal)| Predicate::ValueCompare { offset, op, literal }),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = predicate_strategy_at(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        1 => prop::collection::vec(inner.clone(), 0..4).prop_map(Predicate::All),
+        1 => prop::collection::vec(inner.clone(), 0..4).prop_map(Predicate::Any),
+        1 => inner.prop_map(|p| Predicate::Not(Box::new(p))),
+    ]
+    .boxed()
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    predicate_strategy_at(2)
+}
+
 /// Every `Request` variant, all fields randomized.
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
@@ -80,6 +119,9 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             .prop_map(|(start, end, limit, reverse)| Request::Scan { start, end, limit, reverse }),
         (key_strategy(), any::<u64>())
             .prop_map(|(prefix, limit)| Request::ScanPrefix { prefix, limit }),
+        (key_strategy(), any::<u64>(), predicate_strategy()).prop_map(
+            |(prefix, limit, predicate)| Request::ScanPrefixFiltered { prefix, limit, predicate }
+        ),
         Just(Request::Ping),
         any::<u64>().prop_map(|hint| Request::CmStart { hint }),
         (any::<u64>(), any::<bool>())
@@ -118,17 +160,37 @@ fn response_strategy() -> impl Strategy<Value = Response> {
     ]
 }
 
+/// Any request the client can frame: a plain message, or a one-level batch
+/// of plain messages (the protocol forbids deeper nesting).
+fn any_request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        3 => request_strategy(),
+        1 => prop::collection::vec(request_strategy(), 0..5)
+            .prop_map(|ops| Request::Batch { ops }),
+    ]
+}
+
+/// Any response the server can frame, including batches whose per-op slots
+/// mix successes with typed errors.
+fn any_response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        3 => response_strategy(),
+        1 => prop::collection::vec(response_strategy(), 0..5)
+            .prop_map(|results| Response::Batch { results }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn request_roundtrips(request in request_strategy()) {
+    fn request_roundtrips(request in any_request_strategy()) {
         let encoded = request.encode();
         prop_assert_eq!(Request::decode(&encoded).unwrap(), request);
     }
 
     #[test]
-    fn response_roundtrips(response in response_strategy()) {
+    fn response_roundtrips(response in any_response_strategy()) {
         let encoded = response.encode();
         prop_assert_eq!(Response::decode(&encoded).unwrap(), response);
     }
@@ -136,7 +198,7 @@ proptest! {
     /// No strict prefix of a valid message decodes — a truncated body can
     /// never be mistaken for a (different) complete message.
     #[test]
-    fn truncated_requests_never_decode(request in request_strategy()) {
+    fn truncated_requests_never_decode(request in any_request_strategy()) {
         let encoded = request.encode();
         for cut in 0..encoded.len() {
             prop_assert!(
@@ -147,13 +209,26 @@ proptest! {
     }
 
     #[test]
-    fn truncated_responses_never_decode(response in response_strategy()) {
+    fn truncated_responses_never_decode(response in any_response_strategy()) {
         let encoded = response.encode();
         for cut in 0..encoded.len() {
             prop_assert!(
                 Response::decode(&encoded[..cut]).is_err(),
                 "prefix of length {} decoded", cut
             );
+        }
+    }
+
+    /// A batch response maps every nested per-op outcome — success or typed
+    /// error — back to exactly the slot it was framed in.
+    #[test]
+    fn batch_slots_keep_their_order_and_errors(
+        results in prop::collection::vec(response_strategy(), 0..5)
+    ) {
+        let encoded = Response::Batch { results: results.clone() }.encode();
+        match Response::decode(&encoded).unwrap() {
+            Response::Batch { results: decoded } => prop_assert_eq!(decoded, results),
+            other => prop_assert!(false, "decoded to {:?}", other),
         }
     }
 

@@ -20,11 +20,54 @@ use crate::cell::Token;
 use crate::client::{StoreClient, WriteOp};
 use crate::cluster::StoreCluster;
 use crate::keys::Key;
+use crate::op::{
+    CounterHandle, GetHandle, MultiGetHandle, MultiWriteHandle, OpHandle, StoreOp, WriteHandle,
+};
+use crate::predicate::Predicate;
 
 /// Storage operations available to a processing node, commit manager or
 /// index. Mirrors [`StoreClient`]'s inherent methods; see those for cost
 /// accounting and semantics (LL/SC per §4.1, batching per §5.1).
+///
+/// The surface has two halves. The **asynchronous** half is primary:
+/// [`StoreApi::submit`] hands an operation to the client and returns an
+/// [`OpHandle`] immediately; independent operations submitted before the
+/// first `wait` share one submission window, which a remote client flushes
+/// as a *single* batched frame (§5.1's "aggressively batches operations").
+/// The **blocking** half (`get`, `put`, …) is kept for convenience and
+/// compatibility — implementations define it as submit-then-wait, so a
+/// blocking call issued while async operations are outstanding rides the
+/// same frame as the window it joins.
 pub trait StoreApi: Clone {
+    /// Submit `op` for asynchronous execution. The returned handle may be
+    /// waited on at any later point, or dropped to fire-and-forget.
+    fn submit(&self, op: StoreOp) -> OpHandle;
+
+    /// Asynchronous load-link of one key.
+    fn get_async(&self, key: &Key) -> GetHandle {
+        GetHandle::new(self.submit(StoreOp::Get { key: key.clone() }))
+    }
+
+    /// Asynchronous batched load-link.
+    fn multi_get_async(&self, keys: &[Key]) -> MultiGetHandle {
+        MultiGetHandle::new(self.submit(StoreOp::MultiGet { keys: keys.to_vec() }))
+    }
+
+    /// Asynchronous conditional write.
+    fn write_async(&self, op: WriteOp) -> WriteHandle {
+        WriteHandle::new(self.submit(StoreOp::Write { op }))
+    }
+
+    /// Asynchronous batched conditional writes.
+    fn multi_write_async(&self, ops: Vec<WriteOp>) -> MultiWriteHandle {
+        MultiWriteHandle::new(self.submit(StoreOp::MultiWrite { ops }))
+    }
+
+    /// Asynchronous fetch-and-add.
+    fn increment_async(&self, key: &Key, delta: u64) -> CounterHandle {
+        CounterHandle::new(self.submit(StoreOp::Increment { key: key.clone(), delta }))
+    }
+
     /// Load-link: read `key`, returning its token and value.
     fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>>;
 
@@ -71,15 +114,15 @@ pub trait StoreApi: Clone {
     /// Scan every key starting with `prefix`.
     fn scan_prefix(&self, prefix: &[u8], limit: usize) -> Result<Vec<(Key, Token, Bytes)>>;
 
-    /// Prefix scan with a filter pushed toward the storage node (§5.2).
-    /// Implementations that cannot ship the predicate (the remote client)
-    /// may evaluate it client-side; semantics are identical, only the
-    /// bandwidth accounting differs.
+    /// Prefix scan with a [`Predicate`] pushed down to the storage node
+    /// (§5.2). The predicate is serializable, so the remote client ships it
+    /// in the request and only matching rows cross the network — local and
+    /// remote transports now account bandwidth identically.
     fn scan_prefix_pushdown(
         &self,
         prefix: &[u8],
         limit: usize,
-        filter: &dyn Fn(&Key, &Bytes) -> bool,
+        filter: &Predicate,
     ) -> Result<Vec<(Key, Token, Bytes)>>;
 
     /// The meter charging this worker's virtual clock.
@@ -87,6 +130,10 @@ pub trait StoreApi: Clone {
 }
 
 impl StoreApi for StoreClient {
+    fn submit(&self, op: StoreOp) -> OpHandle {
+        StoreClient::submit(self, op)
+    }
+
     fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>> {
         StoreClient::get(self, key)
     }
@@ -149,7 +196,7 @@ impl StoreApi for StoreClient {
         &self,
         prefix: &[u8],
         limit: usize,
-        filter: &dyn Fn(&Key, &Bytes) -> bool,
+        filter: &Predicate,
     ) -> Result<Vec<(Key, Token, Bytes)>> {
         StoreClient::scan_prefix_pushdown(self, prefix, limit, filter)
     }

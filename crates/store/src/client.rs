@@ -11,12 +11,14 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use tell_common::Result;
+use tell_common::{Error, Result};
 use tell_netsim::NetMeter;
 
 use crate::cell::Token;
 use crate::cluster::{Expect as ClusterExpect, Mutation, StoreCluster};
 use crate::keys::{prefix_end, Key};
+use crate::op::{OpHandle, OpResult, StoreOp};
+use crate::predicate::Predicate;
 
 pub use crate::cluster::Expect;
 
@@ -81,6 +83,31 @@ impl StoreClient {
     /// The meter charging this worker's clock.
     pub fn meter(&self) -> &NetMeter {
         &self.meter
+    }
+
+    /// Submit an operation asynchronously. The local cluster is in-process
+    /// memory, so the operation executes *now* — through the very blocking
+    /// methods below, which keeps the simulated-clock accounting identical
+    /// whether a caller uses the async or the blocking surface — and the
+    /// returned handle is already complete. Overlap is a remote-transport
+    /// phenomenon; in the simulation it is already priced into the batched
+    /// multi-op charges (§5.1).
+    pub fn submit(&self, op: StoreOp) -> OpHandle {
+        let result = match op {
+            StoreOp::Get { key } => self.get(&key).map(OpResult::Cell),
+            StoreOp::MultiGet { keys } => self.multi_get(&keys).map(OpResult::Cells),
+            StoreOp::Write { op } => match (&op.expect, &op.value) {
+                // Same refusal the wire server gives this shape, so the two
+                // transports stay behaviorally identical.
+                (Expect::Absent, None) => {
+                    Err(Error::invalid("delete with Expect::Absent is meaningless"))
+                }
+                _ => self.write_one(&op.key, op.expect, op.value).map(OpResult::Written),
+            },
+            StoreOp::MultiWrite { ops } => self.multi_write(ops).map(OpResult::WriteResults),
+            StoreOp::Increment { key, delta } => self.increment(&key, delta).map(OpResult::Counter),
+        };
+        OpHandle::ready(result)
     }
 
     /// Load-link: read `key`, returning its token and value. The token is
@@ -231,18 +258,19 @@ impl StoreClient {
     /// enable to reduce the size of the result set and lower the amount of
     /// data sent over the network"). The storage nodes evaluate `filter`
     /// server-side: every scanned row costs server CPU, but only matching
-    /// rows cross the network.
+    /// rows cross the network. The filter is a serializable [`Predicate`],
+    /// so the remote transport ships the very same expression in its frame.
     pub fn scan_prefix_pushdown(
         &self,
         prefix: &[u8],
         limit: usize,
-        filter: impl Fn(&Key, &Bytes) -> bool,
+        filter: &Predicate,
     ) -> Result<Vec<(Key, Token, Bytes)>> {
         let end = prefix_end(prefix);
         let (rows, masters) = self.cluster.srv_scan(prefix, end.as_deref(), usize::MAX, false)?;
         let scanned = rows.len();
         let mut out: Vec<(Key, Token, Bytes)> =
-            rows.into_iter().filter(|(k, _, v)| filter(k, v)).collect();
+            rows.into_iter().filter(|(k, _, v)| filter.matches(k, v)).collect();
         out.truncate(limit);
         let in_bytes: usize =
             out.iter().map(|(k, _, v)| k.len() + v.len() + 16).sum::<usize>() + ACK_BYTES;
@@ -406,13 +434,50 @@ mod tests {
         let full_cost = clock.now_us();
         assert_eq!(all.len(), 100);
         clock.reset();
-        let filtered = c.scan_prefix_pushdown(b"t/", usize::MAX, |_, v| v[0] % 50 == 0).unwrap();
+        // v[0] == 0 or v[0] == 50: matches exactly rows 000 and 050.
+        let pred = Predicate::Any(vec![
+            Predicate::value_eq(0, vec![0u8]),
+            Predicate::value_eq(0, vec![50u8]),
+        ]);
+        let filtered = c.scan_prefix_pushdown(b"t/", usize::MAX, &pred).unwrap();
         let pushdown_cost = clock.now_us();
         assert_eq!(filtered.len(), 2);
         assert!(
             pushdown_cost < full_cost * 0.6,
             "pushdown must be cheaper: {pushdown_cost} vs {full_cost}"
         );
+    }
+
+    #[test]
+    fn submit_completes_immediately_with_identical_accounting() {
+        use crate::api::StoreApi;
+        let (c, clock) = metered(1);
+        let keys: Vec<Key> = (0..8).map(|i| k(&format!("key{i}"))).collect();
+        for key in &keys {
+            c.insert(key, Bytes::from_static(b"v")).unwrap();
+        }
+        clock.reset();
+        let blocking = c.multi_get(&keys).unwrap();
+        let blocking_cost = clock.now_us();
+        clock.reset();
+        let h = c.multi_get_async(&keys);
+        let asynced = h.wait().unwrap();
+        let async_cost = clock.now_us();
+        assert_eq!(blocking, asynced);
+        assert!((blocking_cost - async_cost).abs() < 1e-9, "same virtual charge both ways");
+    }
+
+    #[test]
+    fn submit_surfaces_typed_errors_in_the_handle() {
+        use crate::api::StoreApi;
+        let c = client();
+        c.insert(&k("a"), Bytes::from_static(b"1")).unwrap();
+        let (ta, _) = c.get(&k("a")).unwrap().unwrap();
+        c.store_conditional(&k("a"), ta, Bytes::from_static(b"2")).unwrap();
+        let h = c.write_async(WriteOp::put(k("a"), Expect::Token(ta), Bytes::from_static(b"x")));
+        assert_eq!(h.wait().unwrap_err(), Error::Conflict);
+        let h = c.write_async(WriteOp::delete(k("a"), Expect::Absent));
+        assert!(matches!(h.wait().unwrap_err(), Error::InvalidOperation(_)));
     }
 
     #[test]

@@ -29,9 +29,16 @@ pub mod client;
 pub mod cluster;
 pub mod keys;
 pub mod node;
+pub mod op;
+pub mod predicate;
 
 pub use api::{StoreApi, StoreEndpoint};
 pub use cell::{Cell, Token};
 pub use client::{Expect, StoreClient, WriteOp};
 pub use cluster::{StoreCluster, StoreConfig};
 pub use keys::Key;
+pub use op::{
+    BatchDriver, CounterHandle, GetHandle, MultiGetHandle, MultiWriteHandle, OpHandle, OpResult,
+    StoreOp, WriteHandle,
+};
+pub use predicate::{CmpOp, Predicate};

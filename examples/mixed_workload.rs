@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use tell::core::{Database, TellConfig};
 use tell::sql::SqlEngine;
+use tell::store::{CmpOp, Predicate};
 use tell::tpcc::driver::{run_tpcc, TpccConfig};
 use tell::tpcc::gen::{load, ScaleParams};
 use tell::tpcc::mix::Mix;
@@ -98,16 +99,18 @@ fn main() -> tell::common::Result<()> {
     txn.commit()?;
     let naive_cost = clock.now_us() - t0;
 
+    // The same filter as a serializable byte predicate, evaluated *in the
+    // storage layer* (§5.2): stock rows encode `[w_id: tag+i64][i_id:
+    // tag+i64][quantity: tag+i64]...`, so s_quantity's Int tag sits at
+    // byte 18 and its little-endian payload at byte 19. TPC-C keeps
+    // quantities in 10..=100, so the low byte alone decides `< threshold`.
+    let low_stock = Predicate::All(vec![
+        Predicate::value_eq(18, vec![1u8]), // s_quantity is a non-null INT
+        Predicate::value_compare(19, CmpOp::Lt, vec![threshold as u8]),
+    ]);
     let t1 = clock.now_us();
     let mut txn = pn.begin()?;
-    let schema2 = Arc::clone(&schema);
-    let pushed = txn.scan_table_pushdown(&stock, usize::MAX, move |row| {
-        tell::sql::row::decode_row(&schema2, row)
-            .ok()
-            .and_then(|r| r[2].as_i64())
-            .map(|q| q < threshold)
-            .unwrap_or(false)
-    })?;
+    let pushed = txn.scan_table_pushdown_filtered(&stock, usize::MAX, &low_stock)?;
     txn.commit()?;
     let pushdown_cost = clock.now_us() - t1;
 
