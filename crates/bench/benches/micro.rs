@@ -131,5 +131,106 @@ fn bench_row_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_llsc, bench_snapshot, bench_record, bench_btree, bench_row_codec);
+/// Observability overhead: the same store operation with the registry
+/// recording vs disabled (a disabled registry reduces every metric call to
+/// one relaxed load). The enabled/disabled pair is the "< 5 % overhead"
+/// check — compare `obs/store_get_enabled` against `obs/store_get_disabled`.
+fn bench_obs(c: &mut Criterion) {
+    let cluster = StoreCluster::new(StoreConfig::new(2));
+    let client = StoreClient::unmetered(cluster);
+    let key = Bytes::from_static(b"obs");
+    client.insert(&key, Bytes::from(vec![7u8; 128])).unwrap();
+
+    tell_obs::set_enabled(false);
+    c.bench_function("obs/store_get_disabled", |b| b.iter(|| client.get(black_box(&key)).unwrap()));
+    tell_obs::set_enabled(true);
+    c.bench_function("obs/store_get_enabled", |b| b.iter(|| client.get(black_box(&key)).unwrap()));
+
+    c.bench_function("obs/counter_incr", |b| {
+        b.iter(|| tell_obs::incr(black_box(tell_obs::Counter::TxnCommitted)))
+    });
+    c.bench_function("obs/histogram_observe", |b| {
+        b.iter(|| tell_obs::observe(black_box(tell_obs::Phase::TxnTotal), black_box(42.0)))
+    });
+    c.bench_function("obs/snapshot", |b| b.iter(tell_obs::snapshot));
+
+    // The denominator that matters: a whole update transaction (begin,
+    // read, update, LL/SC commit, CM completion). The handful of counter
+    // bumps and (sampled) phase observations it triggers must stay under
+    // 5 % of it. Measured by hand rather than as two criterion entries:
+    // the process drifts slightly slower as a run ages, so back-to-back
+    // sequential arms would charge that drift to whichever arm runs
+    // second. Interleaving rounds and taking per-arm medians cancels it.
+    let (db, table) = {
+        use tell_core::database::IndexSpec;
+        use tell_core::{Database, TellConfig};
+        let db = Database::create(TellConfig::default());
+        let pk = IndexSpec::new("pk", true, |r: &[u8]| r.get(..8).map(Bytes::copy_from_slice));
+        let table = db.create_table("bench", vec![pk]).unwrap();
+        (db, table)
+    };
+    let pn = db.processing_node();
+    let rid = {
+        let mut txn = pn.begin().unwrap();
+        let rid = txn.insert(&table, Bytes::from(vec![1u8; 64])).unwrap();
+        txn.commit().unwrap();
+        rid
+    };
+    let run_txn = |payload: u8| {
+        let mut txn = pn.begin().unwrap();
+        txn.update(&table, rid, Bytes::from(vec![payload; 64])).unwrap();
+        txn.commit().unwrap();
+    };
+    const TXNS_PER_ROUND: u32 = 20_000;
+    const ROUNDS: usize = 6;
+    for on in [false, true] {
+        tell_obs::set_enabled(on);
+        for _ in 0..TXNS_PER_ROUND {
+            run_txn(9);
+        }
+    }
+    let mut per_arm = [Vec::new(), Vec::new()];
+    for _ in 0..ROUNDS {
+        for on in [false, true] {
+            tell_obs::set_enabled(on);
+            let t = std::time::Instant::now();
+            for _ in 0..TXNS_PER_ROUND {
+                run_txn(if on { 3 } else { 2 });
+            }
+            per_arm[on as usize].push(t.elapsed().as_nanos() as f64 / TXNS_PER_ROUND as f64);
+        }
+    }
+    for arm in &mut per_arm {
+        arm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+    let disabled = per_arm[0][ROUNDS / 2];
+    let enabled = per_arm[1][ROUNDS / 2];
+    println!(
+        "{:<40} {:>12} iters  {:>12.1} ns/iter",
+        "obs/txn_update_disabled",
+        TXNS_PER_ROUND as usize * ROUNDS,
+        disabled
+    );
+    println!(
+        "{:<40} {:>12} iters  {:>12.1} ns/iter",
+        "obs/txn_update_enabled",
+        TXNS_PER_ROUND as usize * ROUNDS,
+        enabled
+    );
+    println!(
+        "{:<40} {:>33.2} %  (bound: < 5 %)",
+        "obs/txn_update_overhead",
+        (enabled - disabled) / disabled * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_llsc,
+    bench_snapshot,
+    bench_record,
+    bench_btree,
+    bench_row_codec,
+    bench_obs
+);
 criterion_main!(benches);

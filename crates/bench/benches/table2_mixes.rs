@@ -33,6 +33,7 @@ fn main() {
             cells.push(format!("{}%", mix.weights[i]));
         }
         table_row(&cells);
+        write_json_report(&format!("table2_{}", mix.name), &report);
         let measured = report.per_type;
         let total: u64 = measured.iter().sum();
         eprintln!(

@@ -276,3 +276,52 @@ pub fn fmt_ms(us: f64) -> String {
 pub fn report_cells(r: &DriverReport) -> Vec<String> {
     vec![fmt_k(r.tpmc), fmt_k(r.tps), fmt_pct(r.abort_rate()), fmt_ms(r.latency.mean())]
 }
+
+// ---------------------------------------------------------------------
+// JSON snapshots: machine-readable bench output for regression tracking.
+// ---------------------------------------------------------------------
+
+/// Write a `BENCH_<name>.json` snapshot of a driver report — plus the
+/// process-global metrics registry — into the directory named by the
+/// `TELL_BENCH_JSON` environment variable. A no-op when the variable is
+/// unset, so interactive `cargo bench` runs stay file-free;
+/// `scripts/bench_report.sh` sets it.
+pub fn write_json_report(name: &str, r: &DriverReport) {
+    let Ok(dir) = std::env::var("TELL_BENCH_JSON") else { return };
+    let name: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    let summary = r.latency.summary();
+    let json = format!(
+        concat!(
+            "{{\"name\":\"{}\",\"tpmc\":{:?},\"tps\":{:?},\"abort_rate\":{:?},",
+            "\"committed\":{},\"conflict_aborts\":{},\"given_up\":{},",
+            "\"latency_us\":{{\"mean\":{:?},\"p50\":{:?},\"p99\":{:?},\"p999\":{:?}}},",
+            "\"buffer_hit_ratio\":{:?},\"metrics\":{}}}\n"
+        ),
+        name,
+        r.tpmc,
+        r.tps,
+        r.abort_rate(),
+        r.committed,
+        r.conflict_aborts,
+        r.given_up,
+        summary.mean,
+        summary.p50,
+        summary.p99,
+        summary.p999,
+        r.buffer_hit_ratio,
+        tell_obs::snapshot().to_json(),
+    );
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("  (failed to write {}: {e})", path.display());
+    } else {
+        eprintln!("  wrote {}", path.display());
+    }
+}

@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use tell_common::codec::Writer;
 use tell_common::{BitSet, CmId, Error, Result, TxnId};
 use tell_netsim::NetMeter;
+use tell_obs::Gauge;
 use tell_store::{keys, StoreApi, StoreCluster, StoreEndpoint};
 
 use crate::snapshot::SnapshotDescriptor;
@@ -267,7 +268,42 @@ impl<E: StoreEndpoint> CommitManager<E> {
             .unwrap_or(st.base);
         // PN ↔ CM round trip carrying the snapshot descriptor.
         meter.charge_request(32, snapshot.encoded_len() + 16, 1);
+        Self::export_gauges(&st);
         Ok(TxnStart { tid, snapshot, lav })
+    }
+
+    /// Publish this manager's view of the global commit state as gauges.
+    /// With several managers in one process the last writer wins, which is
+    /// fine: the values chase each other within one sync interval.
+    fn export_gauges(st: &State) {
+        if !tell_obs::enabled() {
+            return;
+        }
+        // Sampled: gauges are last-write-wins, so publishing every 16th
+        // call is indistinguishable at scrape time while the common
+        // start/complete path pays one load and one counter bump.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TICK: AtomicU64 = AtomicU64::new(0);
+        if !TICK.fetch_add(1, Ordering::Relaxed).is_multiple_of(16) {
+            return;
+        }
+        let lav = st
+            .peer_min_active
+            .values()
+            .copied()
+            .chain(std::iter::once(st.local_min_active()))
+            .min()
+            .unwrap_or(st.base);
+        tell_obs::set_gauge(Gauge::CmLav, lav);
+        tell_obs::set_gauge(Gauge::CmBase, st.base);
+        tell_obs::set_gauge(Gauge::CmWatermark, st.watermark);
+        tell_obs::set_gauge(Gauge::CmTidLimit, st.tid_limit);
+        tell_obs::set_gauge(Gauge::CmActiveTxns, st.active.len() as u64);
+        // How far GC lags behind completion: a long-running transaction
+        // holds the lav down while the base keeps advancing.
+        tell_obs::set_gauge(Gauge::CmLavLag, st.base.saturating_sub(lav));
+        // Continuous-range mode: tids left before the next counter trip.
+        tell_obs::set_gauge(Gauge::CmTidRangeRemaining, st.tid_limit.saturating_sub(st.tid_next));
     }
 
     /// Record a successful commit.
@@ -295,6 +331,7 @@ impl<E: StoreEndpoint> CommitManager<E> {
             let mut st = self.state.lock();
             st.finish(tid, committed);
             Self::publish(&self.id, &client, &mut st)?;
+            Self::export_gauges(&st);
         }
         self.maybe_sync(meter)
     }

@@ -108,9 +108,16 @@ impl Histogram {
     }
 
     /// Approximate `q`-quantile (`q` in `[0, 1]`), e.g. `0.99` for TP99.
+    ///
+    /// Edge behavior: `q = 0.0` means the observed minimum (not the rank-1
+    /// sample's bucket estimate), and `q = 1.0` means the observed maximum.
+    /// Every result is clamped to the `[min, max]` range actually seen.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -121,6 +128,21 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Condensed view of the distribution: the numbers the paper reports
+    /// (Table 4 mean ± σ, Table 5 TP99 / TP999) plus the observed range.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            stddev: self.stddev(),
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
     }
 
     /// Merge another histogram into this one.
@@ -146,6 +168,30 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// The distribution summary returned by [`Histogram::summary`].
+///
+/// Percentiles are bucket estimates (≈2 % relative error); `count`, `min`,
+/// `max`, `mean`, and `stddev` are exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+    /// Exact population standard deviation.
+    pub stddev: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// TP99 estimate.
+    pub p99: f64,
+    /// TP999 estimate.
+    pub p999: f64,
 }
 
 #[cfg(test)]
@@ -194,6 +240,38 @@ mod tests {
         h.record(100.0);
         assert_eq!(h.percentile(0.999), 100.0);
         assert_eq!(h.percentile(0.0001), 100.0);
+    }
+
+    #[test]
+    fn percentile_zero_means_min() {
+        let mut h = Histogram::new();
+        for v in [3.0, 10.0, 500.0, 80_000.0] {
+            h.record(v);
+        }
+        // q=0 returns the exact observed minimum, not the rank-1 sample's
+        // bucket upper bound.
+        assert_eq!(h.percentile(0.0), 3.0);
+        assert_eq!(h.percentile(1.0), 80_000.0);
+    }
+
+    #[test]
+    fn summary_matches_accessors() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, h.count());
+        assert_eq!(s.min, h.min());
+        assert_eq!(s.max, h.max());
+        assert_eq!(s.mean, h.mean());
+        assert_eq!(s.stddev, h.stddev());
+        assert_eq!(s.p50, h.percentile(0.50));
+        assert_eq!(s.p99, h.percentile(0.99));
+        assert_eq!(s.p999, h.percentile(0.999));
+        let empty = Histogram::new().summary();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.min, 0.0);
     }
 
     #[test]

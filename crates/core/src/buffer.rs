@@ -60,6 +60,16 @@ pub struct BufferStats {
 }
 
 impl BufferStats {
+    fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        tell_obs::incr(tell_obs::Counter::BufferHits);
+    }
+
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        tell_obs::incr(tell_obs::Counter::BufferMisses);
+    }
+
     /// Hit ratio in `[0, 1]`.
     pub fn hit_ratio(&self) -> f64 {
         let h = self.hits.load(Ordering::Relaxed) as f64;
@@ -177,7 +187,7 @@ impl RecordBuffer {
                             if v_tx.is_subset_of(b) {
                                 // Condition 1: the buffer is recent enough.
                                 let out = (e.token, e.record.clone());
-                                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                                self.stats.note_hit();
                                 lru.touch((table, rid));
                                 return Ok(Some(out));
                             }
@@ -185,7 +195,7 @@ impl RecordBuffer {
                     }
                 }
                 // Condition 2: fetch and replace, B := V_max.
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.note_miss();
                 let fetched = self.fetch(client, table, rid)?;
                 let mut lru = self.entries.lock();
                 match &fetched {
@@ -214,13 +224,13 @@ impl RecordBuffer {
                     if let Some(e) = lru.map.get(&(table, rid)) {
                         if matches!(e.validity, Validity::Stamp(s) if s == current_stamp) {
                             let out = (e.token, e.record.clone());
-                            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                            self.stats.note_hit();
                             lru.touch((table, rid));
                             return Ok(Some(out));
                         }
                     }
                 }
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.note_miss();
                 let fetched = self.fetch(client, table, rid)?;
                 let mut lru = self.entries.lock();
                 match &fetched {

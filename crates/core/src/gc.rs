@@ -13,6 +13,7 @@ use std::collections::HashSet;
 use bytes::Bytes;
 use tell_common::{Error, Result};
 use tell_index::DistributedBTree;
+use tell_obs::{slowlog, Counter, Phase};
 use tell_store::{keys, StoreApi, StoreEndpoint};
 
 use crate::database::Database;
@@ -38,6 +39,7 @@ pub struct GcReport {
 /// every mutation is a conditional write, and losing a race simply defers
 /// the cleanup to the next sweep.
 pub fn run_gc<E: StoreEndpoint>(db: &Database<E>) -> Result<GcReport> {
+    let sweep_start = std::time::Instant::now();
     let client = db.admin_client();
     let lav = db.commit_service().current_lav()?;
     let mut report = GcReport::default();
@@ -97,6 +99,15 @@ pub fn run_gc<E: StoreEndpoint>(db: &Database<E>) -> Result<GcReport> {
     }
 
     report.log_entries_removed = txlog::truncate(&client, lav)?;
+
+    tell_obs::incr(Counter::GcCycles);
+    tell_obs::add(Counter::GcVersionsReclaimed, report.versions_removed as u64);
+    tell_obs::add(Counter::GcRecordsDeleted, report.records_deleted as u64);
+    tell_obs::add(Counter::GcIndexEntriesRemoved, report.index_entries_removed as u64);
+    tell_obs::add(Counter::GcLogEntriesTruncated, report.log_entries_removed as u64);
+    let elapsed_us = sweep_start.elapsed().as_secs_f64() * 1e6;
+    tell_obs::observe(Phase::GcCycle, elapsed_us);
+    slowlog::check("gc.cycle", elapsed_us);
     Ok(report)
 }
 

@@ -1,21 +1,57 @@
 //! Per-processing-node transaction metrics.
+//!
+//! Built on `tell-obs` primitives instead of one mutex around everything:
+//! counts are relaxed atomics and the latency distribution is a
+//! [`ShardedHistogram`], so two workers recording into a shared `PnMetrics`
+//! (or a worker recording while a driver thread reads) never serialize on
+//! the record path. Recording also feeds the process-global registry, so a
+//! `Request::Metrics` scrape sees the same commits and aborts.
 
-use parking_lot::Mutex;
-use tell_common::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tell_common::{Histogram, SimClock};
+use tell_obs::{slowlog, Counter, Phase, ShardedHistogram};
+
+/// Times one instrumented transaction phase against *both* clocks: the
+/// virtual clock, which a simulated network charge advances (an injected
+/// netsim latency spike shows up here), and the wall clock, which a real
+/// TCP round-trip advances (the virtual clock stands still there). The
+/// phase cost is whichever moved more. `start` returns `None` when the
+/// registry is disabled, so the hot path pays one relaxed load and nothing
+/// else.
+pub(crate) struct PhaseTimer {
+    virt_us: f64,
+    wall: Instant,
+}
+
+impl PhaseTimer {
+    pub(crate) fn start(clock: &SimClock) -> Option<Self> {
+        if !tell_obs::enabled() {
+            return None;
+        }
+        Some(PhaseTimer { virt_us: clock.now_us(), wall: Instant::now() })
+    }
+
+    /// Record the elapsed phase time and run the slow-op check.
+    pub(crate) fn finish(timer: Option<Self>, clock: &SimClock, phase: Phase, op: &'static str) {
+        let Some(t) = timer else { return };
+        let virt = clock.now_us() - t.virt_us;
+        let wall = t.wall.elapsed().as_secs_f64() * 1e6;
+        let elapsed = virt.max(wall);
+        tell_obs::observe(phase, elapsed);
+        slowlog::check(op, elapsed);
+    }
+}
 
 /// Counters and latency distribution for one processing node (worker).
 /// Benchmark drivers merge these across workers.
 #[derive(Default)]
 pub struct PnMetrics {
-    inner: Mutex<Inner>,
-}
-
-#[derive(Default)]
-struct Inner {
-    committed: u64,
-    aborted: u64,
-    conflicts: u64,
-    latency: Histogram,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    conflicts: AtomicU64,
+    latency: ShardedHistogram,
 }
 
 impl PnMetrics {
@@ -26,61 +62,61 @@ impl PnMetrics {
 
     /// Record a commit with its virtual latency.
     pub fn record_commit(&self, latency_us: f64) {
-        let mut m = self.inner.lock();
-        m.committed += 1;
-        m.latency.record(latency_us);
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_us);
+        tell_obs::incr(Counter::TxnCommitted);
     }
 
     /// Record an abort. `conflict` distinguishes optimistic-CC losers from
     /// manual aborts.
     pub fn record_abort(&self, latency_us: f64, conflict: bool) {
-        let mut m = self.inner.lock();
-        m.aborted += 1;
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+        tell_obs::incr(Counter::TxnAborted);
         if conflict {
-            m.conflicts += 1;
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            tell_obs::incr(Counter::TxnConflicts);
         }
-        m.latency.record(latency_us);
+        self.latency.record(latency_us);
     }
 
     /// Committed transaction count.
     pub fn committed(&self) -> u64 {
-        self.inner.lock().committed
+        self.committed.load(Ordering::Relaxed)
     }
 
     /// Aborted transaction count.
     pub fn aborted(&self) -> u64 {
-        self.inner.lock().aborted
+        self.aborted.load(Ordering::Relaxed)
     }
 
     /// Write-write conflict aborts.
     pub fn conflicts(&self) -> u64 {
-        self.inner.lock().conflicts
+        self.conflicts.load(Ordering::Relaxed)
     }
 
     /// Abort rate over all finished transactions.
     pub fn abort_rate(&self) -> f64 {
-        let m = self.inner.lock();
-        let total = m.committed + m.aborted;
+        let committed = self.committed();
+        let aborted = self.aborted();
+        let total = committed + aborted;
         if total == 0 {
             0.0
         } else {
-            m.aborted as f64 / total as f64
+            aborted as f64 / total as f64
         }
     }
 
-    /// Snapshot of the latency histogram.
+    /// Snapshot of the latency histogram, merged across shards.
     pub fn latency(&self) -> Histogram {
-        self.inner.lock().latency.clone()
+        self.latency.merged()
     }
 
     /// Merge another node's metrics into this one.
     pub fn merge(&self, other: &PnMetrics) {
-        let other = other.inner.lock();
-        let mut m = self.inner.lock();
-        m.committed += other.committed;
-        m.aborted += other.aborted;
-        m.conflicts += other.conflicts;
-        m.latency.merge(&other.latency);
+        self.committed.fetch_add(other.committed(), Ordering::Relaxed);
+        self.aborted.fetch_add(other.aborted(), Ordering::Relaxed);
+        self.conflicts.fetch_add(other.conflicts(), Ordering::Relaxed);
+        self.latency.absorb(&other.latency());
     }
 }
 
@@ -118,5 +154,28 @@ mod tests {
     #[test]
     fn empty_rate_is_zero() {
         assert_eq!(PnMetrics::new().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = PnMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(|| {
+                    for i in 0..500 {
+                        if i % 5 == 0 {
+                            m.record_abort(i as f64, i % 10 == 0);
+                        } else {
+                            m.record_commit(i as f64);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(m.committed() + m.aborted(), 2000);
+        assert_eq!(m.latency().count(), 2000);
+        assert_eq!(m.aborted(), 4 * 100);
+        assert_eq!(m.conflicts(), 4 * 50);
     }
 }

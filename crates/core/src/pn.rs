@@ -17,10 +17,12 @@ use tell_index::DistributedBTree;
 use tell_netsim::NetMeter;
 use tell_store::{StoreCluster, StoreEndpoint};
 
+use tell_obs::Counter;
+
 use crate::buffer::{BufferConfig, RecordBuffer};
 use crate::catalog::TableDef;
 use crate::database::Database;
-use crate::metrics::PnMetrics;
+use crate::metrics::{PhaseTimer, PnMetrics};
 use crate::txn::Transaction;
 
 /// State shared by every worker of one logical processing node.
@@ -136,10 +138,22 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
     /// authority", §4.1) so its own commits are always in its snapshots;
     /// fail-over to the next manager is automatic.
     pub fn begin(&self) -> Result<Transaction<'_, E>> {
-        let (start, cm) =
-            self.db.commit_service().start_pinned(self.id.raw() as usize, &self.meter)?;
+        tell_obs::incr(Counter::TxnBegun);
+        // Pin a fresh trace id to this thread: every RPC the transaction
+        // issues stamps it into the frame, and slow-op lines carry it.
+        tell_obs::set_current_trace(Some(tell_obs::next_trace_id()));
+        // Phase timing is sampled: 1 transaction in PHASE_SAMPLE_EVERY (per
+        // thread) runs the timers; the rest skip them entirely.
+        let timed = tell_obs::sample_phases();
+        let timer = if timed { PhaseTimer::start(self.clock()) } else { None };
+        let (start, cm) = self
+            .db
+            .commit_service()
+            .start_pinned(self.id.raw() as usize, &self.meter)
+            .inspect_err(|_| tell_obs::set_current_trace(None))?;
+        PhaseTimer::finish(timer, self.clock(), tell_obs::Phase::Begin, "txn.begin");
         self.group.note_started(&start.snapshot);
-        Ok(Transaction::new(self, start, cm))
+        Ok(Transaction::new(self, start, cm, timed))
     }
 
     /// Run `body` inside a transaction, retrying on optimistic-concurrency
@@ -158,6 +172,7 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
                     Ok(()) => return Ok(value),
                     Err(e) if e.is_retryable() => {
                         last = e;
+                        tell_obs::incr(Counter::TxnRetries);
                         // Let competitors finish their commits before we
                         // re-read; reduces optimistic-CC starvation when
                         // many workers share few cores.
@@ -172,6 +187,7 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
                     }
                     if e.is_retryable() {
                         last = e;
+                        tell_obs::incr(Counter::TxnRetries);
                         std::thread::yield_now();
                         continue;
                     }

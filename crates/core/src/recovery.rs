@@ -8,6 +8,7 @@
 //! of every uncommitted entry belonging to the failed node.
 
 use tell_common::{Error, PnId, Result, Rid, TableId, TxnId};
+use tell_obs::Counter;
 use tell_store::keys::Key;
 use tell_store::{keys, Expect, StoreApi, StoreEndpoint, WriteOp};
 
@@ -120,6 +121,7 @@ pub fn recover_failed_pn<E: StoreEndpoint>(
     db: &Database<E>,
     failed: PnId,
 ) -> Result<RecoveryReport> {
+    tell_obs::incr(Counter::RecoveryRuns);
     let client = db.admin_client();
     let lav = db.commit_service().current_lav()?;
     let mut report = RecoveryReport::default();
@@ -135,7 +137,8 @@ pub fn recover_failed_pn<E: StoreEndpoint>(
         true
     })?;
     for entry in to_rollback {
-        revert_write_set(&client, entry.tid, &entry.write_set)?;
+        let reverted = revert_write_set(&client, entry.tid, &entry.write_set)?;
+        tell_obs::add(Counter::RecoveryRevertedWrites, reverted as u64);
         report.versions_reverted += entry.write_set.len();
         // Resolve the transaction on every commit manager so the global
         // base (and thus the lav) can advance past it.

@@ -20,11 +20,13 @@ use std::sync::Arc;
 use bytes::Bytes;
 use tell_commitmgr::{CommitParticipant, SnapshotDescriptor};
 use tell_common::{Error, Result, Rid, TableId, TxnId};
+use tell_obs::{slowlog, Phase};
 use tell_store::cell::Token;
 use tell_store::{keys, Expect, Predicate, StoreApi, StoreCluster, StoreEndpoint, WriteOp};
 
 use crate::buffer::BufferConfig;
 use crate::catalog::TableDef;
+use crate::metrics::PhaseTimer;
 use crate::pn::ProcessingNode;
 use crate::record::VersionedRecord;
 use crate::txlog::{self, LogEntry};
@@ -75,6 +77,10 @@ pub struct Transaction<'p, E: StoreEndpoint = Arc<StoreCluster>> {
     cm: Arc<dyn CommitParticipant>,
     state: State,
     start_us: f64,
+    /// Whether this transaction runs phase timers (1 in
+    /// [`tell_obs::PHASE_SAMPLE_EVERY`] per thread; see
+    /// [`tell_obs::sample_phases`]).
+    timed: bool,
     /// Transaction buffer (§5.5.1): every record read once is reused for
     /// the transaction's lifetime. `None` records known missing.
     reads: HashMap<(TableId, Rid), Option<(Token, VersionedRecord)>>,
@@ -90,11 +96,13 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         pn: &'p ProcessingNode<E>,
         start: tell_commitmgr::TxnStart,
         cm: Arc<dyn CommitParticipant>,
+        timed: bool,
     ) -> Self {
         Transaction {
             pn,
             tid: start.tid,
             snapshot: start.snapshot,
+            timed,
             lav: start.lav,
             cm,
             state: State::Running,
@@ -142,6 +150,16 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         self.tables.entry(table.id).or_insert_with(|| Arc::clone(table));
     }
 
+    /// Start a phase timer — only on sampled transactions, so the common
+    /// one pays a single branch here.
+    fn phase_start(&self) -> Option<PhaseTimer> {
+        if self.timed {
+            PhaseTimer::start(self.pn.clock())
+        } else {
+            None
+        }
+    }
+
     // -----------------------------------------------------------------
     // Reads
     // -----------------------------------------------------------------
@@ -168,6 +186,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         if let Some(cached) = self.reads.get(&(table, rid)) {
             return Ok(cached.clone());
         }
+        let timer = self.phase_start();
         let got = self.pn.group().buffer().read_record(
             self.pn.client(),
             table,
@@ -175,6 +194,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             &self.snapshot,
             &self.pn.group().v_max(),
         )?;
+        PhaseTimer::finish(timer, self.pn.clock(), Phase::ReadSetFetch, "txn.read");
         self.reads.insert((table, rid), got.clone());
         Ok(got)
     }
@@ -196,8 +216,10 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 .filter(|r| !self.reads.contains_key(&(table, Rid(*r))))
                 .collect();
             if !missing.is_empty() {
+                let timer = self.phase_start();
                 let keys: Vec<_> = missing.iter().map(|r| keys::record(table, Rid(*r))).collect();
                 let fetched = self.pn.client().multi_get_async(&keys).wait()?;
+                PhaseTimer::finish(timer, self.pn.clock(), Phase::ReadSetFetch, "txn.read");
                 for (rid, cell) in missing.into_iter().zip(fetched) {
                     let decoded = match cell {
                         Some((token, raw)) => Some((token, VersionedRecord::decode(&raw)?)),
@@ -533,13 +555,17 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         self.ensure_running()?;
         if self.writes.is_empty() {
             self.state = State::Committed;
+            let timer = self.phase_start();
             self.cm.set_committed(self.tid, self.pn.meter())?;
+            PhaseTimer::finish(timer, self.pn.clock(), Phase::CmComplete, "txn.cm_complete");
             self.pn.metrics().record_commit(self.pn.clock().now_us() - self.start_us);
+            self.note_finished();
             return Ok(());
         }
         self.pn.meter().charge_cpu(self.writes.len() as f64 * CPU_OP_US);
 
         // Try-Commit: log entry first (required for recovery, §4.4.1).
+        let validate_timer = self.phase_start();
         let mut entry = LogEntry {
             tid: self.tid,
             pn: self.pn.id(),
@@ -580,6 +606,8 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 }
             }
         }
+        PhaseTimer::finish(validate_timer, self.pn.clock(), Phase::Validate, "txn.validate");
+        let install_timer = self.phase_start();
         let results = if self.pn.database().config().batching {
             // Submit-then-wait: over the remote transport the whole write
             // set rides one frame of the client's submission window.
@@ -602,6 +630,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 })
                 .collect()
         };
+        PhaseTimer::finish(install_timer, self.pn.clock(), Phase::LlscInstall, "txn.install");
         let conflicted = results.iter().any(|r| r.is_err());
         if conflicted {
             // Abort: revert the updates that did apply, batched the same
@@ -614,8 +643,11 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 .collect();
             crate::recovery::revert_write_set(self.pn.client(), self.tid, &applied)?;
             self.state = State::Aborted;
+            let timer = self.phase_start();
             self.cm.set_aborted(self.tid, self.pn.meter())?;
+            PhaseTimer::finish(timer, self.pn.clock(), Phase::CmComplete, "txn.cm_complete");
             self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, true);
+            self.note_finished();
             // A genuine SI conflict is retryable; an infrastructure failure
             // (storage node down, capacity exceeded) is not — report the
             // latter when present so callers do not retry in vain.
@@ -645,7 +677,9 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         }
 
         txlog::mark_committed(self.pn.client(), &mut entry)?;
+        let cm_timer = self.phase_start();
         self.cm.set_committed(self.tid, self.pn.meter())?;
+        PhaseTimer::finish(cm_timer, self.pn.clock(), Phase::CmComplete, "txn.cm_complete");
 
         // Write-through to the PN buffer with the fresh tokens.
         let v_max = self.pn.group().v_max();
@@ -667,6 +701,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
 
         self.state = State::Committed;
         self.pn.metrics().record_commit(self.pn.clock().now_us() - self.start_us);
+        self.note_finished();
         Ok(())
     }
 
@@ -677,7 +712,22 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         self.state = State::Aborted;
         self.cm.set_aborted(self.tid, self.pn.meter())?;
         self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, false);
+        self.note_finished();
         Ok(())
+    }
+
+    /// End-of-life bookkeeping: record the whole-transaction latency,
+    /// check it against the slow-op budget, and drop the trace id that
+    /// [`ProcessingNode::begin`] pinned to this thread.
+    fn note_finished(&self) {
+        let total_us = self.pn.clock().now_us() - self.start_us;
+        if self.timed {
+            tell_obs::observe(Phase::TxnTotal, total_us);
+        }
+        // The slow-op check is never sampled away: it is one relaxed load
+        // while no budget is set, and a slow transaction must always log.
+        slowlog::check("txn.total", total_us);
+        tell_obs::set_current_trace(None);
     }
 }
 
@@ -690,6 +740,7 @@ impl<E: StoreEndpoint> Drop for Transaction<'_, E> {
             self.state = State::Aborted;
             let _ = self.cm.set_aborted(self.tid, self.pn.meter());
             self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, false);
+            self.note_finished();
         }
     }
 }

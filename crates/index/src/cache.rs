@@ -52,8 +52,14 @@ impl NodeCache {
     pub fn get(&self, id: u64) -> Option<(Token, NodeData)> {
         let got = self.nodes.lock().get(&id).cloned();
         match &got {
-            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                tell_obs::incr(tell_obs::Counter::IndexCacheHits);
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                tell_obs::incr(tell_obs::Counter::IndexCacheMisses);
+            }
         };
         got
     }
@@ -69,6 +75,7 @@ impl NodeCache {
     pub fn invalidate(&self, id: u64) {
         if self.nodes.lock().remove(&id).is_some() {
             self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            tell_obs::incr(tell_obs::Counter::IndexCacheInvalidations);
         }
     }
 
@@ -78,6 +85,7 @@ impl NodeCache {
         let n = map.len() as u64;
         map.clear();
         self.stats.invalidations.fetch_add(n, Ordering::Relaxed);
+        tell_obs::add(tell_obs::Counter::IndexCacheInvalidations, n);
     }
 
     /// Number of cached nodes.

@@ -1,0 +1,142 @@
+//! Threshold-based slow-operation logging.
+//!
+//! When a named operation exceeds the configured budget, one structured
+//! JSON line is emitted (stderr by default) carrying the operation name,
+//! the elapsed time, the budget, and the originating trace id — enough to
+//! grep a storage node's log for the transaction that stalled. The budget
+//! starts from the `TELL_SLOW_OP_US` environment variable and can be
+//! changed at runtime; unset means slow-op logging is off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
+
+use crate::registry::Counter;
+use crate::trace;
+
+// f64 bits of the budget; 0 (== 0.0) means disabled.
+static BUDGET_BITS: AtomicU64 = AtomicU64::new(0);
+static ENV_INIT: Once = Once::new();
+
+enum Sink {
+    Stderr,
+    Capture(Arc<Mutex<Vec<String>>>),
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink::Stderr);
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("TELL_SLOW_OP_US") {
+            if let Ok(us) = v.trim().parse::<f64>() {
+                if us > 0.0 {
+                    BUDGET_BITS.store(us.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+    });
+}
+
+/// The active budget in microseconds, or `None` when logging is off.
+pub fn budget_us() -> Option<f64> {
+    init_from_env();
+    let bits = BUDGET_BITS.load(Ordering::Relaxed);
+    if bits == 0 {
+        None
+    } else {
+        Some(f64::from_bits(bits))
+    }
+}
+
+/// Set (or with `None` / non-positive, clear) the slow-op budget.
+pub fn set_budget_us(us: Option<f64>) {
+    init_from_env(); // settle env handling so a later read cannot overwrite
+    let bits = match us {
+        Some(v) if v > 0.0 => v.to_bits(),
+        _ => 0,
+    };
+    BUDGET_BITS.store(bits, Ordering::Relaxed);
+}
+
+/// Redirect slow-op lines into an in-memory buffer (for tests) and return
+/// it. [`log_to_stderr`] restores the default.
+pub fn capture() -> Arc<Mutex<Vec<String>>> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    *SINK.lock() = Sink::Capture(buf.clone());
+    buf
+}
+
+/// Route slow-op lines back to stderr (the default).
+pub fn log_to_stderr() {
+    *SINK.lock() = Sink::Stderr;
+}
+
+/// Check one completed operation against the budget. Over budget: emit a
+/// JSON line carrying this thread's current trace id, bump
+/// [`Counter::SlowOps`], and return `true`.
+pub fn check(op: &str, elapsed_us: f64) -> bool {
+    let Some(budget) = budget_us() else {
+        return false;
+    };
+    if elapsed_us <= budget {
+        return false;
+    }
+    let ts_us =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0);
+    let trace = match trace::current() {
+        Some(t) => format!("\"{}\"", trace::fmt_trace(t)),
+        None => "null".to_string(),
+    };
+    let line = format!(
+        "{{\"kind\":\"slow_op\",\"op\":\"{op}\",\"elapsed_us\":{elapsed_us:?},\
+         \"budget_us\":{budget:?},\"trace\":{trace},\"ts_us\":{ts_us}}}"
+    );
+    match &*SINK.lock() {
+        Sink::Stderr => eprintln!("{line}"),
+        Sink::Capture(buf) => buf.lock().push(line),
+    }
+    crate::registry::global().incr(Counter::SlowOps);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole module: budget, sink, and trace field
+    // are process-global state, so parallel tests would race.
+    #[test]
+    fn slow_ops_are_logged_with_trace_and_budget_is_respected() {
+        let buf = capture();
+        set_budget_us(Some(100.0));
+
+        // Under budget: nothing logged.
+        assert!(!check("txn.install", 50.0));
+        assert!(buf.lock().is_empty());
+
+        // Over budget with a trace attached.
+        let _g = trace::TraceGuard::enter(0xabcd);
+        assert!(check("txn.install", 250.0));
+        {
+            let lines = buf.lock();
+            assert_eq!(lines.len(), 1);
+            assert!(lines[0].contains("\"op\":\"txn.install\""));
+            assert!(lines[0].contains("\"elapsed_us\":250.0"));
+            assert!(lines[0].contains("\"trace\":\"000000000000abcd\""));
+        }
+        drop(_g);
+
+        // Without a trace the field is null.
+        assert!(check("net.exchange", 300.0));
+        assert!(buf.lock()[1].contains("\"trace\":null"));
+
+        // Disabled: nothing logged regardless of elapsed time.
+        set_budget_us(None);
+        assert!(!check("txn.install", 1e9));
+        assert_eq!(buf.lock().len(), 2);
+
+        log_to_stderr();
+    }
+}

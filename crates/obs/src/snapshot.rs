@@ -1,0 +1,327 @@
+//! Point-in-time metric snapshots and their two renderings: Prometheus text
+//! exposition for scrapes, and a JSON document for machine-readable bench
+//! reports and the `Request::Metrics` wire op.
+//!
+//! The workspace vendors no serde, so both the JSON writer and the parser
+//! are hand-rolled against exactly the subset this format uses: one object
+//! of objects, string keys without escapes, and numbers. Floats are printed
+//! with Rust's shortest round-trip formatting (`{:?}`), so
+//! `from_json(to_json())` reproduces every value bit-for-bit.
+
+use std::fmt::Write as _;
+
+use tell_common::Summary;
+
+/// A merged view of every counter, gauge, and histogram in a registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, in registry declaration order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, in registry declaration order.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram summaries, in registry declaration order.
+    pub histograms: Vec<(String, Summary)>,
+}
+
+fn f(v: f64) -> String {
+    // {:?} is Rust's shortest representation that round-trips through
+    // `str::parse::<f64>`, and (for finite values) is valid JSON.
+    format!("{v:?}")
+}
+
+impl MetricsSnapshot {
+    /// Render in the Prometheus text exposition format. Every metric name
+    /// is prefixed `tell_`; histograms render as summaries with
+    /// `quantile="0"` / `quantile="1"` carrying the observed min and max.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE tell_{name} counter");
+            let _ = writeln!(out, "tell_{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE tell_{name} gauge");
+            let _ = writeln!(out, "tell_{name} {v}");
+        }
+        for (name, s) in &self.histograms {
+            let _ = writeln!(out, "# TYPE tell_{name} summary");
+            let _ = writeln!(out, "tell_{name}{{quantile=\"0\"}} {}", f(s.min));
+            let _ = writeln!(out, "tell_{name}{{quantile=\"0.5\"}} {}", f(s.p50));
+            let _ = writeln!(out, "tell_{name}{{quantile=\"0.99\"}} {}", f(s.p99));
+            let _ = writeln!(out, "tell_{name}{{quantile=\"0.999\"}} {}", f(s.p999));
+            let _ = writeln!(out, "tell_{name}{{quantile=\"1\"}} {}", f(s.max));
+            let _ = writeln!(out, "tell_{name}_sum {}", f(s.mean * s.count as f64));
+            let _ = writeln!(out, "tell_{name}_count {}", s.count);
+        }
+        out
+    }
+
+    /// Render as a JSON document. The inverse of [`MetricsSnapshot::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"stddev\":{},\
+                 \"p50\":{},\"p99\":{},\"p999\":{}}}",
+                s.count,
+                f(s.min),
+                f(s.max),
+                f(s.mean),
+                f(s.stddev),
+                f(s.p50),
+                f(s.p99),
+                f(s.p999),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a document produced by [`MetricsSnapshot::to_json`]. Accepts
+    /// arbitrary whitespace between tokens but only the subset of JSON this
+    /// format emits (no escapes in strings, no arrays, no null).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let snap = p.snapshot()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(snap)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'"' {
+            if self.b[self.i] == b'\\' {
+                return Err(format!("escape sequences unsupported at offset {}", self.i));
+            }
+            self.i += 1;
+        }
+        if self.i == self.b.len() {
+            return Err("unterminated string".into());
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| "invalid utf-8 in string".to_string())?
+            .to_string();
+        self.i += 1;
+        Ok(s)
+    }
+
+    fn number_token(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected number at offset {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "invalid number".into())
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let tok = self.number_token()?;
+        tok.parse::<u64>().map_err(|e| format!("bad u64 {tok:?}: {e}"))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let tok = self.number_token()?;
+        tok.parse::<f64>().map_err(|e| format!("bad f64 {tok:?}: {e}"))
+    }
+
+    /// `{ "k": <v>, ... }` with `each` parsing one value after its key.
+    fn object<F: FnMut(&mut Self, String) -> Result<(), String>>(
+        &mut self,
+        mut each: F,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            each(self, key)?;
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn summary(&mut self) -> Result<Summary, String> {
+        let mut s = Summary {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            stddev: 0.0,
+            p50: 0.0,
+            p99: 0.0,
+            p999: 0.0,
+        };
+        self.object(|p, key| {
+            match key.as_str() {
+                "count" => s.count = p.u64()?,
+                "min" => s.min = p.f64()?,
+                "max" => s.max = p.f64()?,
+                "mean" => s.mean = p.f64()?,
+                "stddev" => s.stddev = p.f64()?,
+                "p50" => s.p50 = p.f64()?,
+                "p99" => s.p99 = p.f64()?,
+                "p999" => s.p999 = p.f64()?,
+                other => return Err(format!("unknown summary field {other:?}")),
+            }
+            Ok(())
+        })?;
+        Ok(s)
+    }
+
+    fn snapshot(&mut self) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        self.object(|p, section| {
+            match section.as_str() {
+                "counters" => p.object(|p, name| {
+                    let v = p.u64()?;
+                    snap.counters.push((name, v));
+                    Ok(())
+                })?,
+                "gauges" => p.object(|p, name| {
+                    let v = p.u64()?;
+                    snap.gauges.push((name, v));
+                    Ok(())
+                })?,
+                "histograms" => p.object(|p, name| {
+                    let s = p.summary()?;
+                    snap.histograms.push((name, s));
+                    Ok(())
+                })?,
+                other => return Err(format!("unknown section {other:?}")),
+            }
+            Ok(())
+        })?;
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("txn_committed_total".into(), 42), ("gc_cycles_total".into(), 0)],
+            gauges: vec![("cm_base".into(), 17)],
+            histograms: vec![(
+                "txn_total_us".into(),
+                Summary {
+                    count: 3,
+                    min: 1.5,
+                    max: 1e9,
+                    mean: 12.25,
+                    stddev: 0.001,
+                    p50: 2.0,
+                    p99: 1e9,
+                    p999: 1e9,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let spaced = r#" { "counters" : { "a" : 1 } ,
+            "gauges" : { } , "histograms" : { } } "#;
+        let snap = MetricsSnapshot::from_json(spaced).expect("parse");
+        assert_eq!(snap.counters, vec![("a".to_string(), 1)]);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(MetricsSnapshot::from_json("").is_err());
+        assert!(MetricsSnapshot::from_json("{}extra").is_err());
+        assert!(MetricsSnapshot::from_json(r#"{"counters":{"a":-1}}"#).is_err());
+        assert!(MetricsSnapshot::from_json(r#"{"bogus":{}}"#).is_err());
+        assert!(MetricsSnapshot::from_json(r#"{"counters":{"a\n":1}}"#).is_err());
+    }
+
+    #[test]
+    fn prometheus_text_has_expected_lines() {
+        let text = sample().to_prometheus_text();
+        assert!(text.contains("# TYPE tell_txn_committed_total counter"));
+        assert!(text.contains("tell_txn_committed_total 42"));
+        assert!(text.contains("# TYPE tell_cm_base gauge"));
+        assert!(text.contains("tell_txn_total_us{quantile=\"0.99\"} 1000000000.0"));
+        assert!(text.contains("tell_txn_total_us_count 3"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the snapshot JSON renderer: any snapshot must
+//! round-trip bit-for-bit through `to_json` / `from_json`.
+
+use proptest::prelude::*;
+use tell_common::Summary;
+use tell_obs::MetricsSnapshot;
+
+fn metric_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,30}"
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Non-negative finite values, the domain Histogram::summary produces.
+    prop_oneof![
+        Just(0.0),
+        0.0..1e12f64,
+        (0u64..u64::MAX)
+            .prop_map(|b| f64::from_bits(b).abs())
+            .prop_filter("finite", |v| v.is_finite()),
+    ]
+}
+
+fn summary() -> impl Strategy<Value = Summary> {
+    (
+        (any::<u64>(), finite_f64(), finite_f64(), finite_f64()),
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
+    )
+        .prop_map(|((count, min, max, mean), (stddev, p50, p99, p999))| Summary {
+            count,
+            min,
+            max,
+            mean,
+            stddev,
+            p50,
+            p99,
+            p999,
+        })
+}
+
+fn snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        proptest::collection::vec((metric_name(), any::<u64>()), 0..8),
+        proptest::collection::vec((metric_name(), any::<u64>()), 0..8),
+        proptest::collection::vec((metric_name(), summary()), 0..8),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
+proptest! {
+    #[test]
+    fn snapshot_round_trips_through_json(snap in snapshot()) {
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("rendered JSON must parse");
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(text in "\\PC{0,200}") {
+        let _ = MetricsSnapshot::from_json(&text);
+    }
+}

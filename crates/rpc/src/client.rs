@@ -40,7 +40,9 @@ use tell_store::{
     Token, WriteOp,
 };
 
-use crate::wire::{read_frame, write_frame, Request, Response, FRAME_HEADER};
+use tell_obs::{Counter, Phase};
+
+use crate::wire::{read_frame, split_trace, write_frame_traced, Request, Response, FRAME_HEADER};
 
 fn unavailable(what: impl std::fmt::Display) -> Error {
     Error::Unavailable(what.to_string())
@@ -49,10 +51,14 @@ fn unavailable(what: impl std::fmt::Display) -> Error {
 // ---------------------------------------------------------------------------
 // Connection: one TCP stream, many in-flight requests.
 
+/// What the reader thread hands back per call: the decoded response, the
+/// received frame size, and the trace id echoed by the server.
+type Reply = (Response, usize, Option<u64>);
+
 struct ConnShared {
     addr: String,
     writer: Mutex<TcpStream>,
-    pending: Mutex<HashMap<u64, mpsc::Sender<(Response, usize)>>>,
+    pending: Mutex<HashMap<u64, mpsc::Sender<Reply>>>,
     next_corr: AtomicU64,
     dead: AtomicBool,
 }
@@ -109,12 +115,25 @@ impl Connection {
 
     /// Send one request and wait for its response. Returns the response
     /// plus the frame sizes sent and received, for traffic accounting.
+    /// The thread's current trace id (if any) is stamped into the frame.
     pub fn call(&self, request: &Request) -> Result<(Response, usize, usize)> {
+        let (response, sent, received, _) = self.call_traced(request, tell_obs::current_trace())?;
+        Ok((response, sent, received))
+    }
+
+    /// [`Connection::call`] with an explicit trace id, also returning the
+    /// trace id the server echoed on the response frame.
+    pub fn call_traced(
+        &self,
+        request: &Request,
+        trace: Option<u64>,
+    ) -> Result<(Response, usize, usize, Option<u64>)> {
         let shared = &self.shared;
         if shared.dead.load(Ordering::SeqCst) {
             return Err(unavailable(format!("connection to {} is closed", shared.addr)));
         }
         let body = request.encode();
+        let sent = FRAME_HEADER + body.len() + if trace.is_some() { 9 } else { 0 };
         let corr_id = shared.next_corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         shared.pending.lock().insert(corr_id, tx);
@@ -126,14 +145,20 @@ impl Connection {
         }
         {
             let mut writer = shared.writer.lock();
-            if let Err(e) = write_frame(&mut *writer, corr_id, &body) {
+            if let Err(e) = write_frame_traced(&mut *writer, corr_id, trace, &body) {
                 drop(writer);
                 shared.mark_dead();
                 return Err(unavailable(format!("send to {} failed: {e}", shared.addr)));
             }
         }
+        tell_obs::incr(Counter::RpcClientFramesOut);
+        tell_obs::add(Counter::RpcClientBytesOut, sent as u64);
         match rx.recv() {
-            Ok((response, received)) => Ok((response, FRAME_HEADER + body.len(), received)),
+            Ok((response, received, echoed)) => {
+                tell_obs::incr(Counter::RpcClientFramesIn);
+                tell_obs::add(Counter::RpcClientBytesIn, received as u64);
+                Ok((response, sent, received, echoed))
+            }
             Err(_) => Err(unavailable(format!("connection to {} dropped mid-call", shared.addr))),
         }
     }
@@ -154,20 +179,22 @@ fn reader_loop(stream: TcpStream, shared: Arc<ConnShared>) {
     let mut reader = BufReader::new(stream);
     while let Ok(Some((corr_id, body))) = read_frame(&mut reader) {
         let received = FRAME_HEADER + body.len();
-        let response = match Response::decode(&body) {
-            Ok(r) => r,
+        let response = match split_trace(&body)
+            .and_then(|(trace, msg)| Response::decode(msg).map(|response| (trace, response)))
+        {
+            Ok((trace, r)) => (r, trace),
             Err(e) => {
                 // A frame that parses as a frame but not as a message means
                 // the stream is desynchronized: surface the error to the
                 // waiting caller, then kill the connection.
                 if let Some(tx) = shared.pending.lock().remove(&corr_id) {
-                    let _ = tx.send((Response::Error(e.into()), received));
+                    let _ = tx.send((Response::Error(e.into()), received, None));
                 }
                 break;
             }
         };
         if let Some(tx) = shared.pending.lock().remove(&corr_id) {
-            let _ = tx.send((response, received));
+            let _ = tx.send((response.0, received, response.1));
         }
     }
     shared.mark_dead();
@@ -272,6 +299,7 @@ impl SubmitWindow {
         let (tickets, ops): (Vec<u64>, Vec<StoreOp>) = queued.into_iter().unzip();
         let mut requests: Vec<Request> = ops.iter().map(op_to_request).collect();
         let n = requests.len();
+        tell_obs::observe(Phase::BatchWindow, n as f64);
         let single = n == 1;
         let request = if single {
             requests.pop().expect("one request")

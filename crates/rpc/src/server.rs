@@ -22,7 +22,9 @@ use tell_common::{Error, Result};
 use tell_netsim::NetMeter;
 use tell_store::{Expect, StoreClient, StoreCluster, WriteOp};
 
-use crate::wire::{read_frame, write_frame, Request, Response};
+use tell_obs::Counter;
+
+use crate::wire::{read_frame, split_trace, write_frame_traced, Request, Response};
 
 /// What a server process exposes.
 #[derive(Default)]
@@ -161,11 +163,24 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShar
     let meter = NetMeter::free();
     while let Ok(Some((corr_id, body))) = read_frame(&mut reader) {
         shared.frames.fetch_add(1, Ordering::SeqCst);
-        let response = match Request::decode(&body) {
-            Ok(request) => dispatch(&shared, store_client.as_ref(), &meter, request),
-            Err(e) => Response::Error(e.into()),
+        tell_obs::incr(Counter::RpcServerFramesIn);
+        tell_obs::add(Counter::RpcServerBytesIn, body.len() as u64);
+        let (trace, response) = match split_trace(&body)
+            .and_then(|(trace, msg)| Request::decode(msg).map(|request| (trace, request)))
+        {
+            Ok((trace, request)) => {
+                count_request(&request);
+                // Expose the originating trace to everything this dispatch
+                // touches (slow-op checks included), then echo it back.
+                let _guard = trace.map(tell_obs::TraceGuard::enter);
+                (trace, dispatch(&shared, store_client.as_ref(), &meter, request))
+            }
+            Err(e) => (None, Response::Error(e.into())),
         };
-        if write_frame(&mut writer, corr_id, &response.encode()).is_err() {
+        let out = response.encode();
+        tell_obs::incr(Counter::RpcServerFramesOut);
+        tell_obs::add(Counter::RpcServerBytesOut, out.len() as u64);
+        if write_frame_traced(&mut writer, corr_id, trace, &out).is_err() {
             break;
         }
     }
@@ -173,6 +188,38 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShar
     // `shutdown` must not outlive the handler, or the peer never sees EOF.
     shared.conns.lock().remove(&peer);
     let _ = writer.shutdown(std::net::Shutdown::Both);
+}
+
+/// Per-request-type accounting. A `Batch` envelope counts once under its
+/// own counter (mirroring the one-frame semantics of `frames_served`) and
+/// each nested op counts under its own type plus the inner-ops total.
+fn count_request(request: &Request) {
+    let reg = tell_obs::global();
+    let c = match request {
+        Request::Get { .. } => Counter::ReqGet,
+        Request::MultiGet { .. } => Counter::ReqMultiGet,
+        Request::Write { .. } => Counter::ReqWrite,
+        Request::MultiWrite { .. } => Counter::ReqMultiWrite,
+        Request::Increment { .. } => Counter::ReqIncrement,
+        Request::Scan { .. } => Counter::ReqScan,
+        Request::ScanPrefix { .. } => Counter::ReqScanPrefix,
+        Request::ScanPrefixFiltered { .. } => Counter::ReqScanPrefixFiltered,
+        Request::Ping => Counter::ReqPing,
+        Request::Batch { ops } => {
+            reg.add(Counter::ReqBatchInnerOps, ops.len() as u64);
+            for op in ops {
+                count_request(op);
+            }
+            Counter::ReqBatch
+        }
+        Request::CmStart { .. } => Counter::ReqCmStart,
+        Request::CmComplete { .. } => Counter::ReqCmComplete,
+        Request::CmLav => Counter::ReqCmLav,
+        Request::CmSync => Counter::ReqCmSync,
+        Request::CmResolve { .. } => Counter::ReqCmResolve,
+        Request::Metrics => Counter::ReqMetrics,
+    };
+    reg.incr(c);
 }
 
 fn dispatch(
@@ -200,6 +247,9 @@ fn dispatch_one(
 ) -> Response {
     match request {
         Request::Ping => Response::Pong,
+        // Served by every node regardless of hosted services: the snapshot
+        // is of this process's global registry.
+        Request::Metrics => Response::Metrics(tell_obs::snapshot().to_json()),
         // The wire decoder already refuses nested batches; keep the server
         // refusal too so a future in-process caller cannot sneak one in.
         Request::Batch { .. } => {

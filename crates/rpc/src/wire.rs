@@ -3,7 +3,8 @@
 //! Every exchange is a length-prefixed frame:
 //!
 //! ```text
-//! [len: u32 LE] [corr_id: u64 LE] [body: len - 8 bytes]
+//! v1: [len: u32 LE] [corr_id: u64 LE] [body: len - 8 bytes]
+//! v2: [len: u32 LE] [corr_id: u64 LE] [0xF5] [trace_id: u64 LE] [body]
 //! ```
 //!
 //! where `len` counts everything after itself (correlation id plus body)
@@ -12,6 +13,14 @@
 //! tagged message — one byte of message kind followed by a kind-specific
 //! payload — serialized with `tell_common::codec`, the same little-endian
 //! codec every persistent format in the workspace uses.
+//!
+//! Protocol version 2 ([`FRAME_VERSION`]) may prefix the body with the
+//! [`TRACE_MARKER`] byte and an 8-byte trace id attributing the frame to
+//! the PN-side unit of work that caused it. The marker value can never
+//! start a legitimate message (tags are small integers), so v1 frames —
+//! whose first body byte is the message tag — still decode: receivers call
+//! [`split_trace`] and get `None` for untraced frames. Servers echo the
+//! request's trace id on the response.
 //!
 //! Decoding is strict: a message must consume its body exactly. Trailing
 //! bytes, truncated fields and unknown tags are all [`Error::Corrupt`], so
@@ -32,6 +41,15 @@ pub const MAX_FRAME: usize = 64 << 20;
 
 /// Bytes preceding the body on the wire: length prefix + correlation id.
 pub const FRAME_HEADER: usize = 12;
+
+/// Current protocol version: frames may carry a trace id. Version 1 frames
+/// (no trace) are still produced when there is no trace to attach, and are
+/// always accepted.
+pub const FRAME_VERSION: u8 = 2;
+
+/// First body byte of a version-2 frame carrying a trace id. Deliberately
+/// outside the message-tag range so it cannot be confused with a v1 body.
+pub const TRACE_MARKER: u8 = 0xF5;
 
 /// Operations a client may ask of a server. Storage requests (tags 1–10)
 /// mirror `tell_store::StoreApi`; commit requests (tags 16–20) mirror
@@ -75,6 +93,11 @@ pub enum Request {
     CmSync,
     /// Resolve a tid on every live manager (recovery path).
     CmResolve { tid: TxnId, committed: bool },
+    /// Snapshot the server's metrics registry. Answered with
+    /// [`Response::Metrics`] carrying the JSON rendering of a
+    /// `tell_obs::MetricsSnapshot`; any server answers it regardless of
+    /// which services it hosts.
+    Metrics,
 }
 
 /// Server replies. `Error` may answer any request; the others pair with
@@ -108,6 +131,10 @@ pub enum Response {
     Unit,
     /// Answer to `CmLav`.
     Lav(u64),
+    /// Answer to `Request::Metrics`: a `tell_obs::MetricsSnapshot` rendered
+    /// as JSON (the wire stays renderer-agnostic; scrapers re-render to
+    /// Prometheus text locally).
+    Metrics(String),
 }
 
 /// `tell_common::Error` in wire form. The mapping is lossless in both
@@ -397,6 +424,7 @@ impl Request {
                 out.put_u64(tid.raw());
                 out.put_u8(u8::from(*committed));
             }
+            Request::Metrics => out.put_u8(21),
         }
         out
     }
@@ -456,6 +484,7 @@ impl Request {
             18 => Request::CmLav,
             19 => Request::CmSync,
             20 => Request::CmResolve { tid: TxnId(r.u64()?), committed: read_bool(&mut r)? },
+            21 => Request::Metrics,
             t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
         };
         expect_exhausted(&r)?;
@@ -548,6 +577,10 @@ impl Response {
                 out.put_u8(18);
                 out.put_u64(*v);
             }
+            Response::Metrics(json) => {
+                out.put_u8(19);
+                out.put_string(json);
+            }
         }
         out
     }
@@ -621,6 +654,7 @@ impl Response {
             }
             17 => Response::Unit,
             18 => Response::Lav(r.u64()?),
+            19 => Response::Metrics(r.string()?),
             t => return Err(Error::corrupt(format!("unknown response tag {t}"))),
         };
         expect_exhausted(&r)?;
@@ -664,6 +698,49 @@ pub fn write_frame(w: &mut impl IoWrite, corr_id: u64, body: &[u8]) -> io::Resul
     w.write_all(&corr_id.to_le_bytes())?;
     w.write_all(body)?;
     w.flush()
+}
+
+/// Write one frame, attaching a version-2 trace prefix when `trace` is
+/// present. `None` produces a plain version-1 frame, byte-identical to
+/// [`write_frame`], so untraced traffic stays readable by old peers.
+pub fn write_frame_traced(
+    w: &mut impl IoWrite,
+    corr_id: u64,
+    trace: Option<u64>,
+    body: &[u8],
+) -> io::Result<()> {
+    let Some(trace) = trace else {
+        return write_frame(w, corr_id, body);
+    };
+    let len = 8 + 9 + body.len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&corr_id.to_le_bytes())?;
+    w.write_all(&[TRACE_MARKER])?;
+    w.write_all(&trace.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Split a frame body into its optional trace id and the message bytes.
+/// Version-1 bodies (first byte is a message tag) pass through with
+/// `None`; a [`TRACE_MARKER`] byte must be followed by the full 8-byte id.
+pub fn split_trace(body: &[u8]) -> Result<(Option<u64>, &[u8])> {
+    match body.first() {
+        Some(&TRACE_MARKER) => {
+            if body.len() < 9 {
+                return Err(Error::corrupt("truncated trace id after marker"));
+            }
+            let trace = u64::from_le_bytes(body[1..9].try_into().expect("9-byte prefix"));
+            Ok((Some(trace), &body[9..]))
+        }
+        _ => Ok((None, body)),
+    }
 }
 
 /// Read one frame, returning `(corr_id, body)`. A clean EOF before any byte
@@ -749,6 +826,7 @@ mod tests {
             Request::CmLav,
             Request::CmSync,
             Request::CmResolve { tid: TxnId(1), committed: false },
+            Request::Metrics,
         ];
         for req in reqs {
             let body = req.encode();
@@ -786,6 +864,7 @@ mod tests {
             },
             Response::Unit,
             Response::Lav(6),
+            Response::Metrics("{\"counters\":{}}".into()),
         ];
         for resp in resps {
             let body = resp.encode();
@@ -874,6 +953,39 @@ mod tests {
         let mut short = &buf[..buf.len() - 2];
         let _ = read_frame(&mut short).unwrap();
         assert!(read_frame(&mut short).is_err());
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_and_v1_frames_still_decode() {
+        let body = Request::Ping.encode();
+        // v2 frame with a trace id.
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, 7, Some(0xdead_beef), &body).unwrap();
+        let (corr, raw) = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(corr, 7);
+        let (trace, msg) = split_trace(&raw).unwrap();
+        assert_eq!(trace, Some(0xdead_beef));
+        assert_eq!(Request::decode(msg).unwrap(), Request::Ping);
+
+        // No trace: byte-identical to a plain v1 frame.
+        let mut v2 = Vec::new();
+        write_frame_traced(&mut v2, 7, None, &body).unwrap();
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, 7, &body).unwrap();
+        assert_eq!(v2, v1);
+        let (_, raw) = read_frame(&mut &v1[..]).unwrap().unwrap();
+        let (trace, msg) = split_trace(&raw).unwrap();
+        assert_eq!(trace, None);
+        assert_eq!(Request::decode(msg).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn truncated_trace_prefix_is_rejected() {
+        for len in 1..9 {
+            let mut body = vec![TRACE_MARKER];
+            body.extend_from_slice(&vec![0u8; len - 1]);
+            assert!(split_trace(&body).is_err(), "{len}-byte prefix accepted");
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@ use tell_core::database::IndexSpec;
 use tell_core::recovery::recover_failed_pn;
 use tell_core::txlog::{self, LogEntry};
 use tell_core::{Database, TellConfig, VersionedRecord};
-use tell_netsim::NetMeter;
-use tell_rpc::{RemoteCmClient, RemoteEndpoint, RpcServer};
+use tell_netsim::{NetMeter, NetworkProfile};
+use tell_rpc::{Connection, RemoteCmClient, RemoteEndpoint, Request, Response, RpcServer};
 use tell_store::{keys, StoreApi, StoreCluster, StoreConfig, StoreEndpoint};
 
 /// Everything server-side: the simulated storage hardware plus the two
@@ -338,4 +338,110 @@ fn pipelined_counter_increments_share_one_connection() {
     }
     let client = endpoint.unmetered_client();
     assert_eq!(client.increment(&keys::counter("e2e/pipeline"), 0), Ok(100));
+}
+
+// ---------------------------------------------------------------------------
+// Observability over the wire.
+
+#[test]
+fn traced_call_echoes_trace_id_over_tcp() {
+    let (servers, _db) = boot(1, 1);
+    let conn = Connection::connect(&servers.sn.local_addr().to_string()).unwrap();
+
+    // An explicit trace id crosses the wire in the request frame and comes
+    // back stamped on the response frame.
+    let (resp, _, _, echoed) = conn.call_traced(&Request::Ping, Some(0x5EED_CAFE)).unwrap();
+    assert!(matches!(resp, Response::Pong));
+    assert_eq!(echoed, Some(0x5EED_CAFE));
+
+    // An untraced call stays wire-compatible with v1 frames: nothing goes
+    // out, nothing comes back.
+    let (resp, _, _, echoed) = conn.call_traced(&Request::Ping, None).unwrap();
+    assert!(matches!(resp, Response::Pong));
+    assert_eq!(echoed, None);
+}
+
+#[test]
+fn metrics_scrape_over_tcp_returns_parseable_snapshot() {
+    let (servers, db) = boot(2, 1);
+    let table = db.create_table("m", vec![pk_spec()]).unwrap();
+    let rid = db.bulk_load(&table, vec![account(1, 0)]).unwrap()[0];
+
+    // Run real transactions first so the scrape has something to show.
+    let pn = db.processing_node();
+    for _ in 0..4 {
+        pn.run(100, |txn| {
+            let row = txn.get(&table, rid)?.unwrap();
+            txn.update(&table, rid, account(balance_of(&row) + 1, 0))?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    let conn = Connection::connect(&servers.sn.local_addr().to_string()).unwrap();
+    let (resp, _, _) = conn.call(&Request::Metrics).unwrap();
+    let Response::Metrics(json) = resp else { panic!("expected Metrics, got {resp:?}") };
+    let snap = tell_obs::MetricsSnapshot::from_json(&json).unwrap();
+
+    // Servers and clients share this process, so the snapshot covers both
+    // sides: transactions begun, frames served, and the scrape itself
+    // (request accounting runs before dispatch takes the snapshot).
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .1
+    };
+    assert!(counter("txn_begun_total") > 0);
+    assert!(counter("rpc_server_frames_in_total") > 0);
+    assert!(counter("rpc_client_frames_out_total") > 0);
+    assert!(counter("rpc_req_metrics_total") >= 1);
+
+    // Phase timers are sampled but the first transaction on a thread is
+    // always in the sample, so the per-phase histograms have data.
+    let total = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "txn_total_us")
+        .expect("txn_total_us histogram missing");
+    assert!(total.1.count > 0);
+
+    // And the same snapshot renders as Prometheus text exposition.
+    let text = snap.to_prometheus_text();
+    assert!(text.contains("# TYPE tell_txn_begun_total counter"));
+    assert!(text.contains("tell_txn_total_us{quantile=\"0.99\"}"));
+}
+
+#[test]
+fn netsim_latency_spike_emits_slow_op_with_originating_trace() {
+    // A local simulated deployment on the WAN profile: every exchange costs
+    // milliseconds of virtual time, far past the budget set below.
+    let db = Database::create(TellConfig { profile: NetworkProfile::wan(), ..Default::default() });
+    let table = db.create_table("t", vec![pk_spec()]).unwrap();
+    let rid = db.bulk_load(&table, vec![account(1, 0)]).unwrap()[0];
+
+    let buf = tell_obs::slowlog::capture();
+    tell_obs::slowlog::set_budget_us(Some(50.0));
+
+    let pn = db.processing_node();
+    let mut txn = pn.begin().unwrap();
+    let trace = tell_obs::current_trace().expect("begin mints a trace id");
+    assert!(txn.get(&table, rid).unwrap().is_some());
+    txn.update(&table, rid, account(2, 0)).unwrap();
+    txn.commit().unwrap();
+
+    tell_obs::slowlog::set_budget_us(None);
+    tell_obs::slowlog::log_to_stderr();
+
+    // The spike surfaced as at least one structured line naming the slow
+    // exchange and carrying the transaction's trace id. (Other tests in
+    // this process may log their own lines while the budget is set; only
+    // ours carries our trace.)
+    let needle = format!("\"trace\":\"{}\"", tell_obs::fmt_trace(trace));
+    let lines = buf.lock();
+    assert!(
+        lines.iter().any(|l| l.contains("\"op\":\"net.exchange\"") && l.contains(&needle)),
+        "expected a net.exchange slow-op line with {needle}, got: {lines:#?}"
+    );
 }

@@ -114,6 +114,7 @@ impl StoreClient {
     /// the link for a later [`StoreClient::store_conditional`].
     pub fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>> {
         self.meter.stats().note_reads(1);
+        tell_obs::incr(tell_obs::Counter::StoreReadOps);
         let res = self.cluster.srv_read(key)?;
         let inn = res.as_ref().map(|(_, v)| v.len()).unwrap_or(0) + ACK_BYTES;
         self.meter.charge_request(key.len() + OP_OVERHEAD, inn, 1);
@@ -126,6 +127,7 @@ impl StoreClient {
             return Ok(Vec::new());
         }
         self.meter.stats().note_reads(keys.len() as u64);
+        tell_obs::add(tell_obs::Counter::StoreReadOps, keys.len() as u64);
         let mut out = Vec::with_capacity(keys.len());
         let mut in_bytes = ACK_BYTES;
         let mut out_bytes = 0;
@@ -176,6 +178,7 @@ impl StoreClient {
         // Charge the exchange whether or not it conflicts: a failed SC costs
         // a round trip too.
         self.meter.stats().note_writes(1);
+        tell_obs::incr(tell_obs::Counter::StoreWriteOps);
         self.meter.charge_request(payload, ACK_BYTES, 1);
         let (token, replicas) = self.cluster.srv_write(key, to_cluster(expect), mutation)?;
         if replicas > 0 {
@@ -193,6 +196,7 @@ impl StoreClient {
         }
         let out_bytes: usize = ops.iter().map(|o| o.payload_len()).sum();
         self.meter.stats().note_writes(ops.len() as u64);
+        tell_obs::add(tell_obs::Counter::StoreWriteOps, ops.len() as u64);
         self.meter.charge_request(out_bytes, ACK_BYTES + 8 * ops.len(), ops.len());
         let mut results = Vec::with_capacity(ops.len());
         for op in ops {
@@ -222,6 +226,7 @@ impl StoreClient {
     /// increment the counter by a high value to acquire a range").
     pub fn increment(&self, key: &Key, delta: u64) -> Result<u64> {
         self.meter.stats().note_writes(1);
+        tell_obs::incr(tell_obs::Counter::StoreWriteOps);
         self.meter.charge_request(key.len() + 8 + OP_OVERHEAD, ACK_BYTES + 8, 1);
         self.cluster.srv_increment(key, delta)
     }

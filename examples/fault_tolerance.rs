@@ -113,5 +113,19 @@ fn main() -> tell::common::Result<()> {
         "all three failure classes survived; {} commits total on this PN",
         pn.metrics().committed()
     );
+
+    // The whole exercise — retries, recovery runs, reverted writes — is in
+    // the global registry; print the headline counters at exit.
+    let snap = tell::obs::snapshot();
+    println!("\nobservability snapshot (selected counters):");
+    for (name, v) in &snap.counters {
+        if *v > 0
+            && (name.starts_with("txn_")
+                || name.starts_with("recovery_")
+                || name.starts_with("gc_"))
+        {
+            println!("  tell_{name} {v}");
+        }
+    }
     Ok(())
 }

@@ -122,6 +122,12 @@ fn main() -> tell::common::Result<()> {
         pushdown_cost,
         naive_cost / pushdown_cost
     );
+
+    // Everything above also landed in the global metrics registry — the
+    // same snapshot a `Request::Metrics` scrape would return.
+    let snap = tell::obs::snapshot();
+    println!("\nobservability snapshot (Prometheus text exposition):");
+    print!("{}", snap.to_prometheus_text());
     Ok(())
 }
 

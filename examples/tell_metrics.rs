@@ -1,0 +1,74 @@
+//! One-shot metrics scraper: ask a running tell-rpc server (`tell_sn` or
+//! `tell_cm`) for its metrics snapshot and print it as Prometheus text.
+//!
+//! ```text
+//! cargo run --release --example tell_metrics -- --addr 127.0.0.1:7701
+//! ```
+//!
+//! Every tell-rpc server answers `Request::Metrics` with a JSON snapshot of
+//! its process-global registry, whatever services it hosts; this example is
+//! the whole scrape pipeline: connect, request, parse, render.
+
+use tell_obs::MetricsSnapshot;
+use tell_rpc::{Connection, Request, Response};
+
+struct Args {
+    addr: String,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { addr: "127.0.0.1:7701".to_string(), json: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "tell_metrics: scrape a tell-rpc server's metrics\n\n\
+                     options:\n  \
+                     --addr ADDR   server to scrape (default 127.0.0.1:7701)\n  \
+                     --json        print the raw JSON snapshot instead of\n                \
+                     Prometheus text"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn scrape(addr: &str, json: bool) -> Result<String, String> {
+    let conn = Connection::connect(addr).map_err(|e| e.to_string())?;
+    let (response, _, _) = conn.call(&Request::Metrics).map_err(|e| e.to_string())?;
+    let Response::Metrics(body) = response else {
+        return Err(format!("unexpected response: {response:?}"));
+    };
+    if json {
+        return Ok(body);
+    }
+    // Parse rather than pass through: a malformed snapshot should fail the
+    // scrape here, not downstream in whatever ingests the text.
+    let snapshot = MetricsSnapshot::from_json(&body)?;
+    Ok(snapshot.to_prometheus_text())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("tell_metrics: {msg}");
+            std::process::exit(2);
+        }
+    };
+    match scrape(&args.addr, args.json) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("tell_metrics: scrape of {} failed: {msg}", args.addr);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run benches with machine-readable output: every participating bench
+# writes a BENCH_<name>.json snapshot (driver report + the process-global
+# metrics registry) into $TELL_BENCH_JSON.
+#
+# Usage:
+#   scripts/bench_report.sh            # default-size run into bench_out/
+#   scripts/bench_report.sh --smoke    # tiny run used by scripts/check.sh
+#   TELL_BENCH_JSON=/tmp/x scripts/bench_report.sh   # custom output dir
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="${TELL_BENCH_JSON:-bench_out}"
+mkdir -p "$out_dir"
+export TELL_BENCH_JSON="$out_dir"
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  # Small enough to ride along in scripts/check.sh.
+  export TELL_BENCH_SCALE=tiny
+  export TELL_BENCH_WH=2
+  export TELL_BENCH_TXNS=20
+  export TELL_BENCH_WORKERS=1
+fi
+
+cargo bench -q -p tell-bench --bench table2_mixes
+
+shopt -s nullglob
+files=("$out_dir"/BENCH_*.json)
+if (( ${#files[@]} == 0 )); then
+  echo "error: no BENCH_*.json snapshots were written to $out_dir" >&2
+  exit 1
+fi
+echo "snapshots:"
+for f in "${files[@]}"; do
+  echo "  $f ($(wc -c <"$f") bytes)"
+done

@@ -16,4 +16,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> bench JSON smoke (scripts/bench_report.sh --smoke)"
+TELL_BENCH_JSON="$(mktemp -d)" scripts/bench_report.sh --smoke
+
 echo "All checks passed."

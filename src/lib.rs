@@ -10,6 +10,7 @@ pub use tell_common as common;
 pub use tell_core as core;
 pub use tell_index as index;
 pub use tell_netsim as netsim;
+pub use tell_obs as obs;
 pub use tell_rpc as rpc;
 pub use tell_sql as sql;
 pub use tell_store as store;
