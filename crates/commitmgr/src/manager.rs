@@ -325,6 +325,14 @@ impl<E: StoreEndpoint> CommitManager<E> {
     /// this problem (they change nothing a peer's snapshot depends on), so
     /// the pull side stays on the periodic `maybe_sync` cadence.
     fn complete(&self, tid: TxnId, committed: bool, meter: &NetMeter) -> Result<()> {
+        // On a commit-manager node serving a remote frame, applying the
+        // outcome gets its own span under the dispatch span; the in-process
+        // path stays span-free (the cm_complete phase already covers it).
+        let span = if tell_obs::in_server_dispatch() {
+            tell_obs::SpanTimer::start(tell_obs::SpanKind::CmApply, 0.0)
+        } else {
+            None
+        };
         meter.charge_request(40, 16, 1);
         let client = self.endpoint.client(meter.clone());
         {
@@ -333,7 +341,13 @@ impl<E: StoreEndpoint> CommitManager<E> {
             Self::publish(&self.id, &client, &mut st)?;
             Self::export_gauges(&st);
         }
-        self.maybe_sync(meter)
+        let result = self.maybe_sync(meter);
+        if let Some(span) = span {
+            let status =
+                if committed { tell_obs::SpanStatus::Ok } else { tell_obs::SpanStatus::Conflict };
+            span.finish(0.0, 1, status);
+        }
+        result
     }
 
     /// Mark the unused remainder of the local tid range completed, so the

@@ -13,7 +13,7 @@ use std::collections::HashSet;
 use bytes::Bytes;
 use tell_common::{Error, Result};
 use tell_index::DistributedBTree;
-use tell_obs::{slowlog, Counter, Phase};
+use tell_obs::{slowlog, Counter, Phase, SpanKind, SpanStatus, SpanTimer, TraceGuard};
 use tell_store::{keys, StoreApi, StoreEndpoint};
 
 use crate::database::Database;
@@ -40,6 +40,10 @@ pub struct GcReport {
 /// the cleanup to the next sweep.
 pub fn run_gc<E: StoreEndpoint>(db: &Database<E>) -> Result<GcReport> {
     let sweep_start = std::time::Instant::now();
+    // A sweep is its own trace: the conditional writes it issues carry the
+    // id, and the pass itself is one span (count = versions reclaimed).
+    let _trace = TraceGuard::enter(tell_obs::next_trace_id());
+    let span = SpanTimer::start(SpanKind::GcPass, 0.0);
     let client = db.admin_client();
     let lav = db.commit_service().current_lav()?;
     let mut report = GcReport::default();
@@ -108,6 +112,12 @@ pub fn run_gc<E: StoreEndpoint>(db: &Database<E>) -> Result<GcReport> {
     let elapsed_us = sweep_start.elapsed().as_secs_f64() * 1e6;
     tell_obs::observe(Phase::GcCycle, elapsed_us);
     slowlog::check("gc.cycle", elapsed_us);
+    if let Some(span) = span {
+        span.finish(0.0, report.versions_removed as u32, SpanStatus::Ok);
+    }
+    // Sweeps are rare: always promote their spans to the ring rather than
+    // tail-sampling them.
+    tell_obs::span::flush_pending_to_ring();
     Ok(report)
 }
 

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tell_common::{Histogram, SimClock};
-use tell_obs::{slowlog, Counter, Phase, ShardedHistogram};
+use tell_obs::{slowlog, Counter, Phase, ShardedHistogram, SpanKind, SpanStatus, SpanTimer};
 
 /// Times one instrumented transaction phase against *both* clocks: the
 /// virtual clock, which a simulated network charge advances (an injected
@@ -33,14 +33,52 @@ impl PhaseTimer {
         Some(PhaseTimer { virt_us: clock.now_us(), wall: Instant::now() })
     }
 
-    /// Record the elapsed phase time and run the slow-op check.
-    pub(crate) fn finish(timer: Option<Self>, clock: &SimClock, phase: Phase, op: &'static str) {
-        let Some(t) = timer else { return };
+    /// Record the elapsed phase time and run the slow-op check. Returns
+    /// the elapsed time when a timer actually ran.
+    pub(crate) fn finish(
+        timer: Option<Self>,
+        clock: &SimClock,
+        phase: Phase,
+        op: &'static str,
+    ) -> Option<f64> {
+        let t = timer?;
         let virt = clock.now_us() - t.virt_us;
         let wall = t.wall.elapsed().as_secs_f64() * 1e6;
         let elapsed = virt.max(wall);
         tell_obs::observe(phase, elapsed);
         slowlog::check(op, elapsed);
+        Some(elapsed)
+    }
+}
+
+/// A [`PhaseTimer`] paired with a [`SpanTimer`]. The histogram/slow-op
+/// half runs only on sampled (`timed`) transactions; the span half runs on
+/// every traced transaction while the registry is enabled, feeding the
+/// tail-sampled trace ring. `finish` reports the elapsed phase time when
+/// either half measured it, for the closing slow-op line's per-phase
+/// breakdown.
+pub(crate) struct PhaseSpan {
+    timer: Option<PhaseTimer>,
+    span: Option<SpanTimer>,
+}
+
+impl PhaseSpan {
+    pub(crate) fn start(clock: &SimClock, timed: bool, spans: bool, kind: SpanKind) -> Self {
+        let span = if spans { SpanTimer::start(kind, clock.now_us()) } else { None };
+        let timer = if timed { PhaseTimer::start(clock) } else { None };
+        PhaseSpan { timer, span }
+    }
+
+    pub(crate) fn finish(
+        self,
+        clock: &SimClock,
+        phase: Phase,
+        op: &'static str,
+        count: u32,
+        status: SpanStatus,
+    ) -> Option<f64> {
+        let span_us = self.span.map(|s| s.finish(clock.now_us(), count, status));
+        PhaseTimer::finish(self.timer, clock, phase, op).or(span_us)
     }
 }
 

@@ -17,12 +17,12 @@ use tell_index::DistributedBTree;
 use tell_netsim::NetMeter;
 use tell_store::{StoreCluster, StoreEndpoint};
 
-use tell_obs::Counter;
+use tell_obs::{Counter, Phase, SpanKind, SpanStatus, SpanTimer};
 
 use crate::buffer::{BufferConfig, RecordBuffer};
 use crate::catalog::TableDef;
 use crate::database::Database;
-use crate::metrics::{PhaseTimer, PnMetrics};
+use crate::metrics::{PhaseSpan, PnMetrics};
 use crate::txn::Transaction;
 
 /// State shared by every worker of one logical processing node.
@@ -145,15 +145,32 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
         // Phase timing is sampled: 1 transaction in PHASE_SAMPLE_EVERY (per
         // thread) runs the timers; the rest skip them entirely.
         let timed = tell_obs::sample_phases();
-        let timer = if timed { PhaseTimer::start(self.clock()) } else { None };
-        let (start, cm) = self
-            .db
-            .commit_service()
-            .start_pinned(self.id.raw() as usize, &self.meter)
-            .inspect_err(|_| tell_obs::set_current_trace(None))?;
-        PhaseTimer::finish(timer, self.clock(), tell_obs::Phase::Begin, "txn.begin");
+        // Span recording rides its own (sparser) sample, except when the
+        // slow-op budget is armed — then every transaction records so an
+        // over-budget trace keeps full phase detail.
+        let spans = tell_obs::span::should_record();
+        // Root span covering the whole transaction; the phase spans (and,
+        // over the remote transport, RPC client spans) nest under it.
+        let root =
+            if spans { SpanTimer::start(SpanKind::Txn, self.clock().now_us()) } else { None };
+        let begin = PhaseSpan::start(self.clock(), timed, spans, SpanKind::TxnBegin);
+        let started = self.db.commit_service().start_pinned(self.id.raw() as usize, &self.meter);
+        let (start, cm) = match started {
+            Ok(v) => v,
+            Err(e) => {
+                // The transaction never existed: discard the open spans
+                // (dropping a timer records nothing), clear whatever its
+                // RPC attempts left pending, and unpin the trace.
+                drop(begin);
+                drop(root);
+                tell_obs::span::trace_finished(false);
+                tell_obs::set_current_trace(None);
+                return Err(e);
+            }
+        };
+        let begin_us = begin.finish(self.clock(), Phase::Begin, "txn.begin", 0, SpanStatus::Ok);
         self.group.note_started(&start.snapshot);
-        Ok(Transaction::new(self, start, cm, timed))
+        Ok(Transaction::new(self, start, cm, timed, spans, root, begin_us))
     }
 
     /// Run `body` inside a transaction, retrying on optimistic-concurrency

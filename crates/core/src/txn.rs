@@ -20,13 +20,13 @@ use std::sync::Arc;
 use bytes::Bytes;
 use tell_commitmgr::{CommitParticipant, SnapshotDescriptor};
 use tell_common::{Error, Result, Rid, TableId, TxnId};
-use tell_obs::{slowlog, Phase};
+use tell_obs::{slowlog, Phase, SpanKind, SpanStatus, SpanTimer};
 use tell_store::cell::Token;
 use tell_store::{keys, Expect, Predicate, StoreApi, StoreCluster, StoreEndpoint, WriteOp};
 
 use crate::buffer::BufferConfig;
 use crate::catalog::TableDef;
-use crate::metrics::PhaseTimer;
+use crate::metrics::PhaseSpan;
 use crate::pn::ProcessingNode;
 use crate::record::VersionedRecord;
 use crate::txlog::{self, LogEntry};
@@ -81,6 +81,22 @@ pub struct Transaction<'p, E: StoreEndpoint = Arc<StoreCluster>> {
     /// [`tell_obs::PHASE_SAMPLE_EVERY`] per thread; see
     /// [`tell_obs::sample_phases`]).
     timed: bool,
+    /// Whether this transaction records its span tree (1 in
+    /// [`tell_obs::span::SPAN_SAMPLE_EVERY`] per thread, or every
+    /// transaction while the slow-op budget is armed; see
+    /// [`tell_obs::span::should_record`]).
+    spans: bool,
+    /// Root span covering the whole transaction; phase spans nest under
+    /// it. `None` when spans are off for this transaction or the registry
+    /// is disabled.
+    root_span: Option<SpanTimer>,
+    /// Trace id minted at begin. Captured here (not read back from the
+    /// thread-local at close) so a conflict abort attributes its
+    /// synthesized root span correctly even when transactions interleave
+    /// on one thread.
+    trace: Option<u64>,
+    /// Per-phase duration accumulator for the closing slow-op line.
+    phase_us: Vec<(&'static str, f64)>,
     /// Transaction buffer (§5.5.1): every record read once is reused for
     /// the transaction's lifetime. `None` records known missing.
     reads: HashMap<(TableId, Rid), Option<(Token, VersionedRecord)>>,
@@ -97,12 +113,23 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         start: tell_commitmgr::TxnStart,
         cm: Arc<dyn CommitParticipant>,
         timed: bool,
+        spans: bool,
+        root_span: Option<SpanTimer>,
+        begin_us: Option<f64>,
     ) -> Self {
+        let mut phase_us = Vec::new();
+        if let Some(us) = begin_us {
+            phase_us.push(("txn.begin", us));
+        }
         Transaction {
             pn,
             tid: start.tid,
             snapshot: start.snapshot,
             timed,
+            spans,
+            root_span,
+            trace: tell_obs::current_trace(),
+            phase_us,
             lav: start.lav,
             cm,
             state: State::Running,
@@ -150,13 +177,28 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         self.tables.entry(table.id).or_insert_with(|| Arc::clone(table));
     }
 
-    /// Start a phase timer — only on sampled transactions, so the common
-    /// one pays a single branch here.
-    fn phase_start(&self) -> Option<PhaseTimer> {
-        if self.timed {
-            PhaseTimer::start(self.pn.clock())
-        } else {
-            None
+    /// Open a phase span (span-sampled transactions) plus a phase timer
+    /// (histogram-sampled transactions).
+    fn phase_start(&self, kind: SpanKind) -> PhaseSpan {
+        PhaseSpan::start(self.pn.clock(), self.timed, self.spans, kind)
+    }
+
+    /// Close a phase span/timer and fold its duration into the per-phase
+    /// breakdown the closing slow-op line reports.
+    fn phase_finish(
+        &mut self,
+        phase_span: PhaseSpan,
+        phase: Phase,
+        op: &'static str,
+        count: u32,
+        status: SpanStatus,
+    ) {
+        if let Some(us) = phase_span.finish(self.pn.clock(), phase, op, count, status) {
+            if let Some(slot) = self.phase_us.iter_mut().find(|(name, _)| *name == op) {
+                slot.1 += us;
+            } else {
+                self.phase_us.push((op, us));
+            }
         }
     }
 
@@ -186,7 +228,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         if let Some(cached) = self.reads.get(&(table, rid)) {
             return Ok(cached.clone());
         }
-        let timer = self.phase_start();
+        let span = self.phase_start(SpanKind::TxnRead);
         let got = self.pn.group().buffer().read_record(
             self.pn.client(),
             table,
@@ -194,7 +236,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             &self.snapshot,
             &self.pn.group().v_max(),
         )?;
-        PhaseTimer::finish(timer, self.pn.clock(), Phase::ReadSetFetch, "txn.read");
+        self.phase_finish(span, Phase::ReadSetFetch, "txn.read", 1, SpanStatus::Ok);
         self.reads.insert((table, rid), got.clone());
         Ok(got)
     }
@@ -216,10 +258,16 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 .filter(|r| !self.reads.contains_key(&(table, Rid(*r))))
                 .collect();
             if !missing.is_empty() {
-                let timer = self.phase_start();
+                let span = self.phase_start(SpanKind::TxnRead);
                 let keys: Vec<_> = missing.iter().map(|r| keys::record(table, Rid(*r))).collect();
                 let fetched = self.pn.client().multi_get_async(&keys).wait()?;
-                PhaseTimer::finish(timer, self.pn.clock(), Phase::ReadSetFetch, "txn.read");
+                self.phase_finish(
+                    span,
+                    Phase::ReadSetFetch,
+                    "txn.read",
+                    missing.len() as u32,
+                    SpanStatus::Ok,
+                );
                 for (rid, cell) in missing.into_iter().zip(fetched) {
                     let decoded = match cell {
                         Some((token, raw)) => Some((token, VersionedRecord::decode(&raw)?)),
@@ -555,17 +603,17 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         self.ensure_running()?;
         if self.writes.is_empty() {
             self.state = State::Committed;
-            let timer = self.phase_start();
+            let span = self.phase_start(SpanKind::TxnCmComplete);
             self.cm.set_committed(self.tid, self.pn.meter())?;
-            PhaseTimer::finish(timer, self.pn.clock(), Phase::CmComplete, "txn.cm_complete");
+            self.phase_finish(span, Phase::CmComplete, "txn.cm_complete", 0, SpanStatus::Ok);
             self.pn.metrics().record_commit(self.pn.clock().now_us() - self.start_us);
-            self.note_finished();
+            self.note_finished(SpanStatus::Ok, false);
             return Ok(());
         }
         self.pn.meter().charge_cpu(self.writes.len() as f64 * CPU_OP_US);
 
         // Try-Commit: log entry first (required for recovery, §4.4.1).
-        let validate_timer = self.phase_start();
+        let validate_span = self.phase_start(SpanKind::TxnValidate);
         let mut entry = LogEntry {
             tid: self.tid,
             pn: self.pn.id(),
@@ -606,8 +654,15 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 }
             }
         }
-        PhaseTimer::finish(validate_timer, self.pn.clock(), Phase::Validate, "txn.validate");
-        let install_timer = self.phase_start();
+        let write_count = self.writes.len() as u32;
+        self.phase_finish(
+            validate_span,
+            Phase::Validate,
+            "txn.validate",
+            write_count,
+            SpanStatus::Ok,
+        );
+        let install_span = self.phase_start(SpanKind::TxnInstall);
         let results = if self.pn.database().config().batching {
             // Submit-then-wait: over the remote transport the whole write
             // set rides one frame of the client's submission window.
@@ -630,8 +685,15 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 })
                 .collect()
         };
-        PhaseTimer::finish(install_timer, self.pn.clock(), Phase::LlscInstall, "txn.install");
         let conflicted = results.iter().any(|r| r.is_err());
+        let install_status = if conflicted { SpanStatus::Conflict } else { SpanStatus::Ok };
+        self.phase_finish(
+            install_span,
+            Phase::LlscInstall,
+            "txn.install",
+            write_count,
+            install_status,
+        );
         if conflicted {
             // Abort: revert the updates that did apply, batched the same
             // way recovery rolls back a failed PN's write sets.
@@ -643,11 +705,11 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 .collect();
             crate::recovery::revert_write_set(self.pn.client(), self.tid, &applied)?;
             self.state = State::Aborted;
-            let timer = self.phase_start();
+            let span = self.phase_start(SpanKind::TxnCmComplete);
             self.cm.set_aborted(self.tid, self.pn.meter())?;
-            PhaseTimer::finish(timer, self.pn.clock(), Phase::CmComplete, "txn.cm_complete");
+            self.phase_finish(span, Phase::CmComplete, "txn.cm_complete", 0, SpanStatus::Ok);
             self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, true);
-            self.note_finished();
+            self.note_finished(SpanStatus::Conflict, true);
             // A genuine SI conflict is retryable; an infrastructure failure
             // (storage node down, capacity exceeded) is not — report the
             // latter when present so callers do not retry in vain.
@@ -677,9 +739,9 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         }
 
         txlog::mark_committed(self.pn.client(), &mut entry)?;
-        let cm_timer = self.phase_start();
+        let cm_span = self.phase_start(SpanKind::TxnCmComplete);
         self.cm.set_committed(self.tid, self.pn.meter())?;
-        PhaseTimer::finish(cm_timer, self.pn.clock(), Phase::CmComplete, "txn.cm_complete");
+        self.phase_finish(cm_span, Phase::CmComplete, "txn.cm_complete", 0, SpanStatus::Ok);
 
         // Write-through to the PN buffer with the fresh tokens.
         let v_max = self.pn.group().v_max();
@@ -701,7 +763,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
 
         self.state = State::Committed;
         self.pn.metrics().record_commit(self.pn.clock().now_us() - self.start_us);
-        self.note_finished();
+        self.note_finished(SpanStatus::Ok, false);
         Ok(())
     }
 
@@ -712,21 +774,58 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         self.state = State::Aborted;
         self.cm.set_aborted(self.tid, self.pn.meter())?;
         self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, false);
-        self.note_finished();
+        self.note_finished(SpanStatus::Error, false);
         Ok(())
     }
 
     /// End-of-life bookkeeping: record the whole-transaction latency,
-    /// check it against the slow-op budget, and drop the trace id that
+    /// check it against the slow-op budget, close the root span, decide
+    /// the trace's fate (tail-based retention), and drop the trace id that
     /// [`ProcessingNode::begin`] pinned to this thread.
-    fn note_finished(&self) {
+    fn note_finished(&mut self, status: SpanStatus, conflict: bool) {
         let total_us = self.pn.clock().now_us() - self.start_us;
         if self.timed {
             tell_obs::observe(Phase::TxnTotal, total_us);
         }
+        let root = self.root_span.take();
         // The slow-op check is never sampled away: it is one relaxed load
         // while no budget is set, and a slow transaction must always log.
-        slowlog::check("txn.total", total_us);
+        // The closing line carries the root span id and the per-phase
+        // durations accumulated along the way.
+        let slow = slowlog::check_closing(
+            "txn.total",
+            total_us,
+            root.as_ref().map(|s| s.id()),
+            &self.phase_us,
+        );
+        if let Some(root) = root {
+            root.finish(self.pn.clock().now_us(), self.writes.len() as u32, status);
+        } else if conflict {
+            // Unsampled transactions record nothing while they run, but a
+            // conflict abort must stay visible to a scrape: synthesize the
+            // root span. The wall start is back-computed from the virtual
+            // elapsed time (keeping an exact stamp would put a clock read
+            // on every unsampled transaction just for this rare case).
+            if let Some(trace) = self.trace {
+                let end_wall_us = tell_obs::span::wall_now_us();
+                tell_obs::span::record_to_ring(tell_obs::Span {
+                    trace,
+                    id: tell_obs::span::next_span_id(),
+                    parent: 0,
+                    kind: SpanKind::Txn,
+                    start_virt_us: self.start_us,
+                    end_virt_us: self.pn.clock().now_us(),
+                    start_wall_us: end_wall_us.saturating_sub(total_us as u64),
+                    end_wall_us,
+                    attrs: tell_obs::SpanAttrs { count: self.writes.len() as u32, status },
+                });
+            }
+        }
+        // Tail-based retention: keep every slow trace and every LL/SC
+        // conflict abort; span-recording transactions double as the 1-in-N
+        // sample of fast traces (`spans` is true for exactly those plus,
+        // when the budget is armed, everything).
+        tell_obs::span::trace_finished(slow || conflict || self.spans);
         tell_obs::set_current_trace(None);
     }
 }
@@ -740,7 +839,7 @@ impl<E: StoreEndpoint> Drop for Transaction<'_, E> {
             self.state = State::Aborted;
             let _ = self.cm.set_aborted(self.tid, self.pn.meter());
             self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, false);
-            self.note_finished();
+            self.note_finished(SpanStatus::Error, false);
         }
     }
 }

@@ -543,3 +543,50 @@ fn replication_survives_storage_node_failure_mid_workload() {
     }
     t.commit().unwrap();
 }
+
+#[test]
+fn unsampled_conflict_abort_synthesizes_root_span() {
+    let (db, table) = default_db();
+    tell_obs::set_enabled(true);
+    let rid = db.bulk_load(&table, vec![row(99, 0, "base")]).unwrap()[0];
+
+    // A fresh thread, so span sampling is deterministic: the first
+    // transaction is always sampled; everything after it (for the next
+    // SPAN_SAMPLE_EVERY - 1 begins) is not.
+    let worker = {
+        let db = Arc::clone(&db);
+        let table = Arc::clone(&table);
+        std::thread::spawn(move || {
+            let pn = db.processing_node();
+            // Burn the always-sampled first transaction.
+            let mut burn = pn.begin().unwrap();
+            burn.update(&table, rid, row(99, 0, "warm")).unwrap();
+            burn.commit().unwrap();
+            // This one is unsampled: it records no spans while running.
+            let mut loser = pn.begin().unwrap();
+            let loser_trace = tell_obs::current_trace().unwrap();
+            loser.update(&table, rid, row(99, 0, "loser")).unwrap();
+            let mut winner = pn.begin().unwrap();
+            winner.update(&table, rid, row(99, 0, "winner")).unwrap();
+            winner.commit().unwrap();
+            assert_eq!(loser.commit().unwrap_err(), Error::Conflict);
+            loser_trace
+        })
+    };
+    let loser_trace = worker.join().unwrap();
+
+    // The conflict abort must still be visible: exactly one synthesized
+    // root span, nothing else from that trace.
+    let spans: Vec<_> = tell_obs::span::global_ring()
+        .drain()
+        .into_iter()
+        .filter(|s| s.trace == loser_trace)
+        .collect();
+    assert_eq!(spans.len(), 1, "expected only the synthesized root, got {spans:?}");
+    let root = &spans[0];
+    assert_eq!(root.kind, tell_obs::SpanKind::Txn);
+    assert_eq!(root.parent, 0);
+    assert_eq!(root.attrs.status, tell_obs::SpanStatus::Conflict);
+    assert!(root.end_virt_us >= root.start_virt_us);
+    assert!(root.end_wall_us >= root.start_wall_us);
+}

@@ -19,16 +19,28 @@
 //! * **Traces ride a thread-local.** [`next_trace_id`] mints an id at
 //!   transaction begin; `tell-rpc` stamps [`current_trace`] into every
 //!   outgoing frame, and [`slowlog::check`] attaches it to slow-op lines.
+//! * **Spans make traces causal.** A [`SpanTimer`] opens one timed
+//!   operation; nesting is tracked through a thread-local register and
+//!   across the wire (the client-call span id rides the frame), so a
+//!   scrape of every node's [`span::global_ring`] reassembles into
+//!   per-transaction waterfalls. Retention is tail-based: only slow,
+//!   conflict-aborted, or 1-in-N-sampled traces keep their spans.
 
+pub mod export;
 pub mod registry;
 pub mod slowlog;
 pub mod snapshot;
+pub mod span;
 pub mod trace;
 
 pub use registry::{
-    global, sample_phases, Counter, Gauge, Phase, Registry, ShardedHistogram, PHASE_SAMPLE_EVERY,
+    global, help_for, sample_phases, Counter, Gauge, Phase, Registry, ShardedHistogram,
+    PHASE_SAMPLE_EVERY,
 };
 pub use snapshot::MetricsSnapshot;
+pub use span::{
+    current_span, in_server_dispatch, Span, SpanAttrs, SpanKind, SpanStatus, SpanTimer,
+};
 pub use trace::{
     current as current_trace, fmt_trace, next_trace_id, set_current as set_current_trace,
     TraceGuard,

@@ -22,11 +22,11 @@ use tell_common::Histogram;
 use crate::snapshot::MetricsSnapshot;
 
 macro_rules! metric_ids {
-    ($(#[$em:meta])* $name:ident { $($(#[$vm:meta])* $variant:ident => $label:literal,)+ }) => {
+    ($(#[$em:meta])* $name:ident { $($(#[doc = $doc:literal])+ $variant:ident => $label:literal,)+ }) => {
         $(#[$em])*
         #[derive(Clone, Copy, Debug, PartialEq, Eq)]
         pub enum $name {
-            $($(#[$vm])* $variant,)+
+            $($(#[doc = $doc])+ $variant,)+
         }
 
         impl $name {
@@ -40,6 +40,17 @@ macro_rules! metric_ids {
             pub fn name(self) -> &'static str {
                 match self {
                     $($name::$variant => $label,)+
+                }
+            }
+
+            /// One-line description (the doc comment above the id), used
+            /// for Prometheus `# HELP` lines.
+            pub fn help(self) -> &'static str {
+                match self {
+                    $($name::$variant => {
+                        let s: &'static str = concat!($($doc),+);
+                        s.trim_start()
+                    })+
                 }
             }
         }
@@ -133,6 +144,12 @@ metric_ids! {
         ReqCmResolve => "rpc_req_cm_resolve_total",
         /// `Request::Metrics` frames served.
         ReqMetrics => "rpc_req_metrics_total",
+        /// `Request::Spans` frames served.
+        ReqSpans => "rpc_req_spans_total",
+        /// Finished spans promoted to the span ring.
+        SpansRecorded => "spans_recorded_total",
+        /// Spans lost to ring eviction or pending-buffer overflow.
+        SpansDropped => "spans_dropped_total",
         /// Operations whose latency exceeded the slow-op budget.
         SlowOps => "slow_ops_total",
         /// Invocations of PN failure recovery.
@@ -382,12 +399,24 @@ pub(crate) fn global_observe(p: Phase, v: f64) {
     global_shard().hists[p as usize].lock().record(v);
 }
 
+/// Help text for an exposition name (as produced by `Counter::name` and
+/// friends), from the id's doc comment. Linear scan over the three small
+/// namespaces — this only runs on the cold exposition path.
+pub fn help_for(name: &str) -> Option<&'static str> {
+    Counter::ALL
+        .iter()
+        .find(|c| c.name() == name)
+        .map(|c| c.help())
+        .or_else(|| Gauge::ALL.iter().find(|g| g.name() == name).map(|g| g.help()))
+        .or_else(|| Phase::ALL.iter().find(|p| p.name() == name).map(|p| p.help()))
+}
+
 /// How often the transaction layer runs its phase timers: one transaction
 /// in [`PHASE_SAMPLE_EVERY`] (per worker thread) pays for `Instant::now`
 /// reads and histogram records; the rest skip them entirely. Phase
 /// histograms stay statistically faithful while the common transaction
 /// sees near-zero instrumentation cost.
-pub const PHASE_SAMPLE_EVERY: u32 = 8;
+pub const PHASE_SAMPLE_EVERY: u32 = 32;
 
 thread_local! {
     static PHASE_TICK: Cell<u32> = const { Cell::new(0) };
@@ -527,6 +556,23 @@ mod tests {
         assert_eq!(reg.counter(Counter::GcCycles), 0);
         assert_eq!(reg.histogram(Phase::GcCycle).count(), 0);
         assert_eq!(reg.gauge(Gauge::CmWatermark), 0);
+    }
+
+    #[test]
+    fn every_metric_has_single_line_help() {
+        let all = Counter::ALL
+            .iter()
+            .map(|c| c.help())
+            .chain(Gauge::ALL.iter().map(|g| g.help()))
+            .chain(Phase::ALL.iter().map(|p| p.help()));
+        for h in all {
+            assert!(!h.is_empty());
+            assert!(!h.contains('\n'));
+            assert!(!h.starts_with(' '));
+        }
+        assert_eq!(help_for("txn_begun_total"), Some("Transactions started on any PN."));
+        assert_eq!(help_for("cm_lav"), Some(Gauge::CmLav.help()));
+        assert_eq!(help_for("no_such_metric"), None);
     }
 
     #[test]

@@ -77,6 +77,19 @@ pub fn log_to_stderr() {
 /// JSON line carrying this thread's current trace id, bump
 /// [`Counter::SlowOps`], and return `true`.
 pub fn check(op: &str, elapsed_us: f64) -> bool {
+    check_closing(op, elapsed_us, None, &[])
+}
+
+/// [`check`] for an operation that closes a span: over budget, the line
+/// additionally carries the closing span's id and a per-phase duration
+/// breakdown (`"phases":{"txn.read":12.5,…}`, omitted when empty) so a slow
+/// transaction is attributable without a span scrape.
+pub fn check_closing(
+    op: &str,
+    elapsed_us: f64,
+    span: Option<u64>,
+    phases: &[(&'static str, f64)],
+) -> bool {
     let Some(budget) = budget_us() else {
         return false;
     };
@@ -89,9 +102,25 @@ pub fn check(op: &str, elapsed_us: f64) -> bool {
         Some(t) => format!("\"{}\"", trace::fmt_trace(t)),
         None => "null".to_string(),
     };
+    let span = match span {
+        Some(s) => format!("\"{s:016x}\""),
+        None => "null".to_string(),
+    };
+    let mut breakdown = String::new();
+    if !phases.is_empty() {
+        breakdown.push_str(",\"phases\":{");
+        for (i, (name, us)) in phases.iter().enumerate() {
+            if i > 0 {
+                breakdown.push(',');
+            }
+            let us = if us.is_finite() { *us } else { 0.0 };
+            let _ = std::fmt::Write::write_fmt(&mut breakdown, format_args!("\"{name}\":{us:?}"));
+        }
+        breakdown.push('}');
+    }
     let line = format!(
         "{{\"kind\":\"slow_op\",\"op\":\"{op}\",\"elapsed_us\":{elapsed_us:?},\
-         \"budget_us\":{budget:?},\"trace\":{trace},\"ts_us\":{ts_us}}}"
+         \"budget_us\":{budget:?},\"trace\":{trace},\"span\":{span}{breakdown},\"ts_us\":{ts_us}}}"
     );
     match &*SINK.lock() {
         Sink::Stderr => eprintln!("{line}"),
@@ -128,14 +157,30 @@ mod tests {
         }
         drop(_g);
 
-        // Without a trace the field is null.
+        // Without a trace the field is null; ditto the span on plain check.
         assert!(check("net.exchange", 300.0));
         assert!(buf.lock()[1].contains("\"trace\":null"));
+        assert!(buf.lock()[1].contains("\"span\":null"));
+        assert!(!buf.lock()[1].contains("\"phases\""));
+
+        // A closing check carries the span id and the phase breakdown.
+        assert!(check_closing(
+            "txn.total",
+            400.0,
+            Some(0xfeed),
+            &[("txn.read", 120.5), ("txn.install", 33.0)],
+        ));
+        {
+            let lines = buf.lock();
+            let last = lines.last().unwrap();
+            assert!(last.contains("\"span\":\"000000000000feed\""));
+            assert!(last.contains("\"phases\":{\"txn.read\":120.5,\"txn.install\":33.0}"));
+        }
 
         // Disabled: nothing logged regardless of elapsed time.
         set_budget_us(None);
         assert!(!check("txn.install", 1e9));
-        assert_eq!(buf.lock().len(), 2);
+        assert_eq!(buf.lock().len(), 3);
 
         log_to_stderr();
     }

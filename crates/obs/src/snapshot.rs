@@ -33,17 +33,28 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format. Every metric name
     /// is prefixed `tell_`; histograms render as summaries with
     /// `quantile="0"` / `quantile="1"` carrying the observed min and max.
+    /// Names the local registry recognizes get a `# HELP` line from the
+    /// metric id's doc comment (a snapshot parsed from a remote node may
+    /// carry names this build does not know; those render without HELP).
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let help = |out: &mut String, name: &str| {
+            if let Some(h) = crate::registry::help_for(name) {
+                let _ = writeln!(out, "# HELP tell_{name} {h}");
+            }
+        };
         for (name, v) in &self.counters {
+            help(&mut out, name);
             let _ = writeln!(out, "# TYPE tell_{name} counter");
             let _ = writeln!(out, "tell_{name} {v}");
         }
         for (name, v) in &self.gauges {
+            help(&mut out, name);
             let _ = writeln!(out, "# TYPE tell_{name} gauge");
             let _ = writeln!(out, "tell_{name} {v}");
         }
         for (name, s) in &self.histograms {
+            help(&mut out, name);
             let _ = writeln!(out, "# TYPE tell_{name} summary");
             let _ = writeln!(out, "tell_{name}{{quantile=\"0\"}} {}", f(s.min));
             let _ = writeln!(out, "tell_{name}{{quantile=\"0.5\"}} {}", f(s.p50));
@@ -323,5 +334,32 @@ mod tests {
         assert!(text.contains("# TYPE tell_cm_base gauge"));
         assert!(text.contains("tell_txn_total_us{quantile=\"0.99\"} 1000000000.0"));
         assert!(text.contains("tell_txn_total_us_count 3"));
+    }
+
+    #[test]
+    fn prometheus_text_has_help_lines() {
+        let text = sample().to_prometheus_text();
+        // HELP precedes TYPE for every name the registry knows…
+        assert!(text.contains(
+            "# HELP tell_txn_committed_total Transactions committed.\n\
+             # TYPE tell_txn_committed_total counter"
+        ));
+        assert!(text
+            .contains(&format!("# HELP tell_cm_base {}", crate::registry::Gauge::CmBase.help())));
+        assert!(text.contains(&format!(
+            "# HELP tell_txn_total_us {}",
+            crate::registry::Phase::TxnTotal.help()
+        )));
+        // …and a full registry snapshot has one HELP per metric.
+        let full = crate::registry::Registry::new().snapshot().to_prometheus_text();
+        let helps = full.matches("# HELP ").count();
+        let types = full.matches("# TYPE ").count();
+        assert_eq!(helps, types);
+        // An unknown (remote-only) name renders without a HELP line.
+        let mut alien = MetricsSnapshot::default();
+        alien.counters.push(("alien_total".to_string(), 1));
+        let text = alien.to_prometheus_text();
+        assert!(text.contains("# TYPE tell_alien_total counter"));
+        assert!(!text.contains("# HELP tell_alien_total"));
     }
 }

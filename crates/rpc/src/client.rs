@@ -40,9 +40,11 @@ use tell_store::{
     Token, WriteOp,
 };
 
-use tell_obs::{Counter, Phase};
+use tell_obs::{Counter, Phase, SpanKind, SpanStatus, SpanTimer};
 
-use crate::wire::{read_frame, split_trace, write_frame_traced, Request, Response, FRAME_HEADER};
+use crate::wire::{
+    read_frame, split_trace, write_frame_ctx, Request, Response, TraceContext, FRAME_HEADER,
+};
 
 fn unavailable(what: impl std::fmt::Display) -> Error {
     Error::Unavailable(what.to_string())
@@ -133,7 +135,19 @@ impl Connection {
             return Err(unavailable(format!("connection to {} is closed", shared.addr)));
         }
         let body = request.encode();
-        let sent = FRAME_HEADER + body.len() + if trace.is_some() { 9 } else { 0 };
+        // One span per round trip. Its id rides the frame so the server's
+        // dispatch span parents onto it; the span itself parents onto
+        // whatever is current on this thread (a txn phase, a batch flush).
+        // Client calls have no virtual clock, so virtual timestamps are 0.
+        let span = trace.and_then(|t| SpanTimer::start_in_trace(t, SpanKind::RpcClientCall, 0.0));
+        let ctx = trace
+            .map(|t| TraceContext { trace: t, parent_span: span.as_ref().map_or(0, |s| s.id()) });
+        let prefix = match ctx {
+            None => 0,
+            Some(c) if c.parent_span == 0 => 9,
+            Some(_) => 17,
+        };
+        let sent = FRAME_HEADER + body.len() + prefix;
         let corr_id = shared.next_corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         shared.pending.lock().insert(corr_id, tx);
@@ -145,7 +159,7 @@ impl Connection {
         }
         {
             let mut writer = shared.writer.lock();
-            if let Err(e) = write_frame_traced(&mut *writer, corr_id, trace, &body) {
+            if let Err(e) = write_frame_ctx(&mut *writer, corr_id, ctx, &body) {
                 drop(writer);
                 shared.mark_dead();
                 return Err(unavailable(format!("send to {} failed: {e}", shared.addr)));
@@ -157,9 +171,22 @@ impl Connection {
             Ok((response, received, echoed)) => {
                 tell_obs::incr(Counter::RpcClientFramesIn);
                 tell_obs::add(Counter::RpcClientBytesIn, received as u64);
+                if let Some(span) = span {
+                    let status = match &response {
+                        Response::Error(crate::wire::WireError::Conflict) => SpanStatus::Conflict,
+                        Response::Error(_) => SpanStatus::Error,
+                        _ => SpanStatus::Ok,
+                    };
+                    span.finish(0.0, 1, status);
+                }
                 Ok((response, sent, received, echoed))
             }
-            Err(_) => Err(unavailable(format!("connection to {} dropped mid-call", shared.addr))),
+            Err(_) => {
+                if let Some(span) = span {
+                    span.finish(0.0, 0, SpanStatus::Error);
+                }
+                Err(unavailable(format!("connection to {} dropped mid-call", shared.addr)))
+            }
         }
     }
 
@@ -306,7 +333,15 @@ impl SubmitWindow {
         } else {
             Request::Batch { ops: requests }
         };
+        // The flush is a span of its own so the waterfall shows how many
+        // ops one frame coalesced; the `RpcClientCall` underneath it is
+        // the wire round trip.
+        let span = SpanTimer::start(SpanKind::BatchFlush, self.meter.clock().now_us());
         let outcome = self.pool.get().and_then(|conn| conn.call(&request));
+        if let Some(span) = span {
+            let status = if outcome.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
+            span.finish(self.meter.clock().now_us(), n as u32, status);
+        }
         let mut state = self.state.borrow_mut();
         match outcome {
             Err(e) => {

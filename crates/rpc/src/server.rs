@@ -24,7 +24,7 @@ use tell_store::{Expect, StoreClient, StoreCluster, WriteOp};
 
 use tell_obs::Counter;
 
-use crate::wire::{read_frame, split_trace, write_frame_traced, Request, Response};
+use crate::wire::{read_frame, split_context, write_frame_ctx, Request, Response};
 
 /// What a server process exposes.
 #[derive(Default)]
@@ -165,22 +165,49 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShar
         shared.frames.fetch_add(1, Ordering::SeqCst);
         tell_obs::incr(Counter::RpcServerFramesIn);
         tell_obs::add(Counter::RpcServerBytesIn, body.len() as u64);
-        let (trace, response) = match split_trace(&body)
-            .and_then(|(trace, msg)| Request::decode(msg).map(|request| (trace, request)))
+        let (ctx, response) = match split_context(&body)
+            .and_then(|(ctx, msg)| Request::decode(msg).map(|request| (ctx, request)))
         {
-            Ok((trace, request)) => {
+            Ok((ctx, request)) => {
                 count_request(&request);
                 // Expose the originating trace to everything this dispatch
                 // touches (slow-op checks included), then echo it back.
-                let _guard = trace.map(tell_obs::TraceGuard::enter);
-                (trace, dispatch(&shared, store_client.as_ref(), &meter, request))
+                let _guard = ctx.map(|c| tell_obs::TraceGuard::enter(c.trace));
+                // Record this dispatch as a child of the remote client-call
+                // span carried in the frame (servers have no virtual clock,
+                // so the virtual timestamps stay 0).
+                let _in_server = tell_obs::span::ServerDispatchScope::enter();
+                let span = ctx.and_then(|c| {
+                    tell_obs::SpanTimer::start_with_parent(
+                        c.trace,
+                        c.parent_span,
+                        tell_obs::SpanKind::ServerDispatch,
+                        0.0,
+                    )
+                });
+                let response = dispatch(&shared, store_client.as_ref(), &meter, request);
+                if let Some(span) = span {
+                    let status = match &response {
+                        Response::Error(crate::wire::WireError::Conflict) => {
+                            tell_obs::SpanStatus::Conflict
+                        }
+                        Response::Error(_) => tell_obs::SpanStatus::Error,
+                        _ => tell_obs::SpanStatus::Ok,
+                    };
+                    span.finish(0.0, 0, status);
+                }
+                // A server thread never learns how the trace ends, so its
+                // spans go straight to the ring (the bounded drop-oldest
+                // ring is the server-side retention policy).
+                tell_obs::span::flush_pending_to_ring();
+                (ctx, response)
             }
             Err(e) => (None, Response::Error(e.into())),
         };
         let out = response.encode();
         tell_obs::incr(Counter::RpcServerFramesOut);
         tell_obs::add(Counter::RpcServerBytesOut, out.len() as u64);
-        if write_frame_traced(&mut writer, corr_id, trace, &out).is_err() {
+        if write_frame_ctx(&mut writer, corr_id, ctx, &out).is_err() {
             break;
         }
     }
@@ -218,6 +245,7 @@ fn count_request(request: &Request) {
         Request::CmSync => Counter::ReqCmSync,
         Request::CmResolve { .. } => Counter::ReqCmResolve,
         Request::Metrics => Counter::ReqMetrics,
+        Request::Spans => Counter::ReqSpans,
     };
     reg.incr(c);
 }
@@ -250,6 +278,9 @@ fn dispatch_one(
         // Served by every node regardless of hosted services: the snapshot
         // is of this process's global registry.
         Request::Metrics => Response::Metrics(tell_obs::snapshot().to_json()),
+        // Likewise process-wide; draining is destructive, each span is
+        // scraped exactly once.
+        Request::Spans => Response::Spans(tell_obs::span::global_ring().drain()),
         // The wire decoder already refuses nested batches; keep the server
         // refusal too so a future in-process caller cannot sneak one in.
         Request::Batch { .. } => {

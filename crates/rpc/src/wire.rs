@@ -5,6 +5,7 @@
 //! ```text
 //! v1: [len: u32 LE] [corr_id: u64 LE] [body: len - 8 bytes]
 //! v2: [len: u32 LE] [corr_id: u64 LE] [0xF5] [trace_id: u64 LE] [body]
+//!     [len: u32 LE] [corr_id: u64 LE] [0xF6] [trace_id: u64 LE] [parent_span_id: u64 LE] [body]
 //! ```
 //!
 //! where `len` counts everything after itself (correlation id plus body)
@@ -14,13 +15,17 @@
 //! payload — serialized with `tell_common::codec`, the same little-endian
 //! codec every persistent format in the workspace uses.
 //!
-//! Protocol version 2 ([`FRAME_VERSION`]) may prefix the body with the
-//! [`TRACE_MARKER`] byte and an 8-byte trace id attributing the frame to
-//! the PN-side unit of work that caused it. The marker value can never
-//! start a legitimate message (tags are small integers), so v1 frames —
-//! whose first body byte is the message tag — still decode: receivers call
-//! [`split_trace`] and get `None` for untraced frames. Servers echo the
-//! request's trace id on the response.
+//! Protocol version 2 ([`FRAME_VERSION`]) may prefix the body with a trace
+//! context attributing the frame to the PN-side unit of work that caused
+//! it: either the [`TRACE_MARKER`] byte and an 8-byte trace id, or the
+//! [`SPAN_MARKER`] byte followed by the trace id *and* the sending span's
+//! id, which server dispatch adopts as the parent of its own span. The
+//! marker values can never start a legitimate message (tags are small
+//! integers), so v1 frames — whose first body byte is the message tag —
+//! still decode, as do span-less v2 frames: receivers call
+//! [`split_context`] and get `None` for untraced frames and a zero
+//! `parent_span` for trace-only frames. Servers echo the request's trace
+//! id on the response.
 //!
 //! Decoding is strict: a message must consume its body exactly. Trailing
 //! bytes, truncated fields and unknown tags are all [`Error::Corrupt`], so
@@ -32,6 +37,7 @@ use bytes::Bytes;
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, Result, TxnId};
+use tell_obs::Span;
 use tell_store::{Expect, Key, Predicate, Token, WriteOp};
 
 /// Upper bound on a frame's `len` field. Generous — the largest legitimate
@@ -50,6 +56,21 @@ pub const FRAME_VERSION: u8 = 2;
 /// First body byte of a version-2 frame carrying a trace id. Deliberately
 /// outside the message-tag range so it cannot be confused with a v1 body.
 pub const TRACE_MARKER: u8 = 0xF5;
+
+/// First body byte of a version-2 frame carrying a trace id *and* the
+/// sending span's id (the parent for server-side dispatch spans). Like
+/// [`TRACE_MARKER`], outside the message-tag range.
+pub const SPAN_MARKER: u8 = 0xF6;
+
+/// The trace context a frame may carry ahead of its message body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace the frame belongs to.
+    pub trace: u64,
+    /// Span id of the sending operation; 0 when the sender recorded no
+    /// span (the frame then encodes with [`TRACE_MARKER`] alone).
+    pub parent_span: u64,
+}
 
 /// Operations a client may ask of a server. Storage requests (tags 1–10)
 /// mirror `tell_store::StoreApi`; commit requests (tags 16–20) mirror
@@ -98,6 +119,10 @@ pub enum Request {
     /// `tell_obs::MetricsSnapshot`; any server answers it regardless of
     /// which services it hosts.
     Metrics,
+    /// Drain the server's span ring (destructive: each finished span is
+    /// scraped exactly once). Answered with [`Response::Spans`]; any
+    /// server answers it regardless of which services it hosts.
+    Spans,
 }
 
 /// Server replies. `Error` may answer any request; the others pair with
@@ -135,6 +160,9 @@ pub enum Response {
     /// as JSON (the wire stays renderer-agnostic; scrapers re-render to
     /// Prometheus text locally).
     Metrics(String),
+    /// Answer to `Request::Spans`: everything drained from the server's
+    /// span ring, oldest first per shard.
+    Spans(Vec<Span>),
 }
 
 /// `tell_common::Error` in wire form. The mapping is lossless in both
@@ -425,6 +453,7 @@ impl Request {
                 out.put_u8(u8::from(*committed));
             }
             Request::Metrics => out.put_u8(21),
+            Request::Spans => out.put_u8(22),
         }
         out
     }
@@ -485,6 +514,7 @@ impl Request {
             19 => Request::CmSync,
             20 => Request::CmResolve { tid: TxnId(r.u64()?), committed: read_bool(&mut r)? },
             21 => Request::Metrics,
+            22 => Request::Spans,
             t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
         };
         expect_exhausted(&r)?;
@@ -581,6 +611,13 @@ impl Response {
                 out.put_u8(19);
                 out.put_string(json);
             }
+            Response::Spans(spans) => {
+                out.put_u8(20);
+                out.put_u32(spans.len() as u32);
+                for s in spans {
+                    s.encode(&mut out);
+                }
+            }
         }
         out
     }
@@ -655,6 +692,14 @@ impl Response {
             17 => Response::Unit,
             18 => Response::Lav(r.u64()?),
             19 => Response::Metrics(r.string()?),
+            20 => {
+                let n = r.u32()? as usize;
+                let mut spans = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    spans.push(Span::decode(&mut r)?);
+                }
+                Response::Spans(spans)
+            }
             t => return Err(Error::corrupt(format!("unknown response tag {t}"))),
         };
         expect_exhausted(&r)?;
@@ -709,10 +754,24 @@ pub fn write_frame_traced(
     trace: Option<u64>,
     body: &[u8],
 ) -> io::Result<()> {
-    let Some(trace) = trace else {
+    write_frame_ctx(w, corr_id, trace.map(|t| TraceContext { trace: t, parent_span: 0 }), body)
+}
+
+/// Write one frame with a full trace context. `None` produces a plain
+/// version-1 frame; a context with `parent_span == 0` produces the 9-byte
+/// [`TRACE_MARKER`] prefix (byte-identical to [`write_frame_traced`]); a
+/// nonzero `parent_span` produces the 17-byte [`SPAN_MARKER`] prefix.
+pub fn write_frame_ctx(
+    w: &mut impl IoWrite,
+    corr_id: u64,
+    ctx: Option<TraceContext>,
+    body: &[u8],
+) -> io::Result<()> {
+    let Some(ctx) = ctx else {
         return write_frame(w, corr_id, body);
     };
-    let len = 8 + 9 + body.len();
+    let prefix = if ctx.parent_span == 0 { 9 } else { 17 };
+    let len = 8 + prefix + body.len();
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -721,23 +780,46 @@ pub fn write_frame_traced(
     }
     w.write_all(&(len as u32).to_le_bytes())?;
     w.write_all(&corr_id.to_le_bytes())?;
-    w.write_all(&[TRACE_MARKER])?;
-    w.write_all(&trace.to_le_bytes())?;
+    if ctx.parent_span == 0 {
+        w.write_all(&[TRACE_MARKER])?;
+        w.write_all(&ctx.trace.to_le_bytes())?;
+    } else {
+        w.write_all(&[SPAN_MARKER])?;
+        w.write_all(&ctx.trace.to_le_bytes())?;
+        w.write_all(&ctx.parent_span.to_le_bytes())?;
+    }
     w.write_all(body)?;
     w.flush()
 }
 
 /// Split a frame body into its optional trace id and the message bytes.
-/// Version-1 bodies (first byte is a message tag) pass through with
-/// `None`; a [`TRACE_MARKER`] byte must be followed by the full 8-byte id.
+/// Equivalent to [`split_context`] with the parent span dropped.
 pub fn split_trace(body: &[u8]) -> Result<(Option<u64>, &[u8])> {
+    let (ctx, msg) = split_context(body)?;
+    Ok((ctx.map(|c| c.trace), msg))
+}
+
+/// Split a frame body into its optional trace context and the message
+/// bytes. Version-1 bodies (first byte is a message tag) pass through with
+/// `None`; a [`TRACE_MARKER`] byte must be followed by the full 8-byte
+/// trace id and yields `parent_span == 0`; a [`SPAN_MARKER`] byte must be
+/// followed by both 8-byte ids.
+pub fn split_context(body: &[u8]) -> Result<(Option<TraceContext>, &[u8])> {
     match body.first() {
         Some(&TRACE_MARKER) => {
             if body.len() < 9 {
                 return Err(Error::corrupt("truncated trace id after marker"));
             }
             let trace = u64::from_le_bytes(body[1..9].try_into().expect("9-byte prefix"));
-            Ok((Some(trace), &body[9..]))
+            Ok((Some(TraceContext { trace, parent_span: 0 }), &body[9..]))
+        }
+        Some(&SPAN_MARKER) => {
+            if body.len() < 17 {
+                return Err(Error::corrupt("truncated trace context after span marker"));
+            }
+            let trace = u64::from_le_bytes(body[1..9].try_into().expect("17-byte prefix"));
+            let parent_span = u64::from_le_bytes(body[9..17].try_into().expect("17-byte prefix"));
+            Ok((Some(TraceContext { trace, parent_span }), &body[17..]))
         }
         _ => Ok((None, body)),
     }
@@ -827,6 +909,7 @@ mod tests {
             Request::CmSync,
             Request::CmResolve { tid: TxnId(1), committed: false },
             Request::Metrics,
+            Request::Spans,
         ];
         for req in reqs {
             let body = req.encode();
@@ -865,6 +948,31 @@ mod tests {
             Response::Unit,
             Response::Lav(6),
             Response::Metrics("{\"counters\":{}}".into()),
+            Response::Spans(Vec::new()),
+            Response::Spans(vec![
+                Span {
+                    trace: 0xabc,
+                    id: 1,
+                    parent: 0,
+                    kind: tell_obs::SpanKind::Txn,
+                    start_virt_us: 0.0,
+                    end_virt_us: 12.5,
+                    start_wall_us: 100,
+                    end_wall_us: 140,
+                    attrs: tell_obs::SpanAttrs { count: 2, status: tell_obs::SpanStatus::Ok },
+                },
+                Span {
+                    trace: 0xabc,
+                    id: 2,
+                    parent: 1,
+                    kind: tell_obs::SpanKind::ServerDispatch,
+                    start_virt_us: 1.0,
+                    end_virt_us: 2.0,
+                    start_wall_us: 110,
+                    end_wall_us: 120,
+                    attrs: tell_obs::SpanAttrs { count: 0, status: tell_obs::SpanStatus::Conflict },
+                },
+            ]),
         ];
         for resp in resps {
             let body = resp.encode();
@@ -986,6 +1094,60 @@ mod tests {
             body.extend_from_slice(&vec![0u8; len - 1]);
             assert!(split_trace(&body).is_err(), "{len}-byte prefix accepted");
         }
+        for len in 1..17 {
+            let mut body = vec![SPAN_MARKER];
+            body.extend_from_slice(&vec![0u8; len - 1]);
+            assert!(split_context(&body).is_err(), "{len}-byte span prefix accepted");
+        }
+    }
+
+    #[test]
+    fn span_carrying_frames_roundtrip_and_older_generations_still_decode() {
+        let body = Request::Ping.encode();
+
+        // Full context: 0xF6 prefix with trace and parent span.
+        let ctx = TraceContext { trace: 0xdead_beef, parent_span: 0x1234 };
+        let mut buf = Vec::new();
+        write_frame_ctx(&mut buf, 5, Some(ctx), &body).unwrap();
+        let (corr, raw) = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(corr, 5);
+        assert_eq!(raw[0], SPAN_MARKER);
+        let (back, msg) = split_context(&raw).unwrap();
+        assert_eq!(back, Some(ctx));
+        assert_eq!(Request::decode(msg).unwrap(), Request::Ping);
+        // The older accessor still sees the trace id.
+        assert_eq!(split_trace(&raw).unwrap().0, Some(0xdead_beef));
+
+        // Zero parent degrades to the trace-only 0xF5 form, byte-identical
+        // to what write_frame_traced always produced.
+        let mut ctx_buf = Vec::new();
+        write_frame_ctx(
+            &mut ctx_buf,
+            5,
+            Some(TraceContext { trace: 0xbeef, parent_span: 0 }),
+            &body,
+        )
+        .unwrap();
+        let mut traced_buf = Vec::new();
+        write_frame_traced(&mut traced_buf, 5, Some(0xbeef), &body).unwrap();
+        assert_eq!(ctx_buf, traced_buf);
+        let (_, raw) = read_frame(&mut &ctx_buf[..]).unwrap().unwrap();
+        assert_eq!(raw[0], TRACE_MARKER);
+        assert_eq!(
+            split_context(&raw).unwrap().0,
+            Some(TraceContext { trace: 0xbeef, parent_span: 0 })
+        );
+
+        // No context degrades all the way to a v1 frame.
+        let mut v1 = Vec::new();
+        write_frame_ctx(&mut v1, 5, None, &body).unwrap();
+        let mut plain = Vec::new();
+        write_frame(&mut plain, 5, &body).unwrap();
+        assert_eq!(v1, plain);
+        let (_, raw) = read_frame(&mut &v1[..]).unwrap().unwrap();
+        let (ctx, msg) = split_context(&raw).unwrap();
+        assert_eq!(ctx, None);
+        assert_eq!(Request::decode(msg).unwrap(), Request::Ping);
     }
 
     #[test]

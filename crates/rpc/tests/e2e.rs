@@ -414,6 +414,105 @@ fn metrics_scrape_over_tcp_returns_parseable_snapshot() {
 }
 
 #[test]
+fn assembled_trace_parents_pn_sn_and_cm_spans_correctly() {
+    use std::collections::HashMap;
+    use tell_obs::{Span, SpanKind};
+
+    let (servers, db) = boot(2, 1);
+    let table = db.create_table("spans", vec![pk_spec()]).unwrap();
+    let rid = db.bulk_load(&table, vec![account(1, 0)]).unwrap()[0];
+
+    // Run one update transaction on a fresh thread: the first transaction
+    // on a thread is always in the phase sample, so tail-based retention
+    // keeps its trace deterministically.
+    let trace = std::thread::spawn({
+        let db = Arc::clone(&db);
+        let table = Arc::clone(&table);
+        move || {
+            let pn = db.processing_node();
+            let mut txn = pn.begin().unwrap();
+            let trace = tell_obs::current_trace().expect("begin mints a trace id");
+            let row = txn.get(&table, rid).unwrap().unwrap();
+            txn.update(&table, rid, account(balance_of(&row) + 1, 0)).unwrap();
+            txn.commit().unwrap();
+            trace
+        }
+    })
+    .join()
+    .unwrap();
+
+    // Drain the span ring over the wire, exactly as an external collector
+    // would. Servers and the PN share this test process, so one scrape
+    // returns every process role's spans; other tests' traces are filtered
+    // out by id. (This is the only test in this binary that drains.)
+    let conn = Connection::connect(&servers.sn.local_addr().to_string()).unwrap();
+    let (resp, _, _) = conn.call(&Request::Spans).unwrap();
+    let Response::Spans(all) = resp else { panic!("expected Spans, got {resp:?}") };
+    let spans: Vec<Span> = all.into_iter().filter(|s| s.trace == trace).collect();
+    assert!(spans.len() >= 5, "expected a multi-span trace, got {spans:#?}");
+
+    let by_id: HashMap<u64, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    let kinds_up = |from: &Span| {
+        let mut chain = Vec::new();
+        let mut cur = from.parent;
+        while cur != 0 {
+            let s = by_id.get(&cur).unwrap_or_else(|| {
+                panic!("span {:016x} has dangling parent {:016x}", from.id, cur)
+            });
+            chain.push(s.kind);
+            cur = s.parent;
+        }
+        chain
+    };
+
+    // The PN side: a root transaction span with every phase nested in it.
+    let root = spans.iter().find(|s| s.kind == SpanKind::Txn).expect("root txn span");
+    assert_eq!(root.parent, 0, "the root span has no parent");
+    for kind in [
+        SpanKind::TxnBegin,
+        SpanKind::TxnRead,
+        SpanKind::TxnValidate,
+        SpanKind::TxnInstall,
+        SpanKind::TxnCmComplete,
+    ] {
+        let phase = spans
+            .iter()
+            .find(|s| s.kind == kind)
+            .unwrap_or_else(|| panic!("missing {} span", kind.name()));
+        assert_eq!(phase.parent, root.id, "{} parents onto the root", kind.name());
+    }
+
+    // The SN side: the storage node's apply work, reached through the
+    // install phase's RPC (install → [batch flush →] client call →
+    // dispatch → store write).
+    let sw = spans.iter().find(|s| s.kind == SpanKind::StoreWrite).expect("store.write span");
+    let chain = kinds_up(sw);
+    assert_eq!(chain[0], SpanKind::ServerDispatch, "store write runs under dispatch: {chain:?}");
+    assert!(chain.contains(&SpanKind::RpcClientCall), "reached via an rpc: {chain:?}");
+    assert!(chain.contains(&SpanKind::TxnInstall), "caused by the install phase: {chain:?}");
+    assert_eq!(*chain.last().unwrap(), SpanKind::Txn, "chain tops out at the root: {chain:?}");
+
+    // The CM side: outcome application, reached through the cm-complete
+    // phase's RPC.
+    let ca = spans.iter().find(|s| s.kind == SpanKind::CmApply).expect("cm.apply span");
+    let chain = kinds_up(ca);
+    assert_eq!(chain[0], SpanKind::ServerDispatch, "cm apply runs under dispatch: {chain:?}");
+    assert!(chain.contains(&SpanKind::RpcClientCall), "reached via an rpc: {chain:?}");
+    assert!(chain.contains(&SpanKind::TxnCmComplete), "caused by cm-complete: {chain:?}");
+
+    // The assembled trace renders as well-formed Chrome trace-event JSON.
+    let sourced: Vec<tell_obs::export::SourcedSpan> = spans
+        .iter()
+        .map(|s| tell_obs::export::SourcedSpan { node: "test".to_string(), span: s.clone() })
+        .collect();
+    assert_eq!(tell_obs::export::orphan_parents(&sourced), 0);
+    let json = tell_obs::export::chrome_trace_json(&sourced);
+    tell_obs::export::validate_json(&json).expect("emitted JSON is well-formed");
+    assert!(json.contains("\"name\":\"store.write\""));
+    assert!(json.contains("\"name\":\"cm.apply\""));
+}
+
+#[test]
 fn netsim_latency_spike_emits_slow_op_with_originating_trace() {
     // A local simulated deployment on the WAN profile: every exchange costs
     // milliseconds of virtual time, far past the budget set below.

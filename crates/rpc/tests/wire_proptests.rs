@@ -5,7 +5,11 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::{BitSet, TxnId};
-use tell_rpc::wire::{read_frame, write_frame, FRAME_HEADER};
+use tell_obs::{Span, SpanAttrs, SpanKind, SpanStatus};
+use tell_rpc::wire::{
+    read_frame, split_context, split_trace, write_frame, write_frame_ctx, write_frame_traced,
+    TraceContext, FRAME_HEADER,
+};
 use tell_rpc::{Request, Response, WireError};
 use tell_store::{CmpOp, Expect, Predicate, WriteOp};
 
@@ -106,6 +110,35 @@ fn predicate_strategy() -> impl Strategy<Value = Predicate> {
     predicate_strategy_at(2)
 }
 
+fn span_kind_strategy() -> impl Strategy<Value = SpanKind> {
+    (0..SpanKind::ALL.len()).prop_map(|i| SpanKind::ALL[i])
+}
+
+fn span_status_strategy() -> impl Strategy<Value = SpanStatus> {
+    prop_oneof![Just(SpanStatus::Ok), Just(SpanStatus::Conflict), Just(SpanStatus::Error)]
+}
+
+/// Spans with finite virtual clocks (real timers never record NaN or
+/// infinities, and `PartialEq` on the round-trip demands reflexive floats).
+fn span_strategy() -> impl Strategy<Value = Span> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), span_kind_strategy()),
+        (0u32..1_000_000, 0u32..1_000_000, any::<u64>(), any::<u64>()),
+        (any::<u32>(), span_status_strategy()),
+    )
+        .prop_map(|((trace, id, parent, kind), (sv, ev, sw, ew), (count, status))| Span {
+            trace,
+            id,
+            parent,
+            kind,
+            start_virt_us: sv as f64,
+            end_virt_us: ev as f64,
+            start_wall_us: sw,
+            end_wall_us: ew,
+            attrs: SpanAttrs { count, status },
+        })
+}
+
 /// Every `Request` variant, all fields randomized.
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
@@ -130,6 +163,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         Just(Request::CmSync),
         (any::<u64>(), any::<bool>())
             .prop_map(|(tid, committed)| Request::CmResolve { tid: TxnId(tid), committed }),
+        Just(Request::Spans),
     ]
 }
 
@@ -157,6 +191,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         }),
         Just(Response::Unit),
         any::<u64>().prop_map(Response::Lav),
+        prop::collection::vec(span_strategy(), 0..6).prop_map(Response::Spans),
     ]
 }
 
@@ -257,6 +292,56 @@ proptest! {
                 "frame prefix of length {} read back", cut
             );
         }
+    }
+
+    /// The three frame generations coexist on one wire: a span-carrying
+    /// frame round-trips its full context, a trace-only context is
+    /// byte-identical to what the older `write_frame_traced` emits, and an
+    /// uncontexted frame is byte-identical to a v1 frame — so peers that
+    /// predate spans (or traces) still decode everything they produce.
+    #[test]
+    fn frame_generations_coexist(
+        request in request_strategy(),
+        corr_id in any::<u64>(),
+        trace in 1..u64::MAX,
+        parent_span in 1..u64::MAX,
+    ) {
+        let body = request.encode();
+
+        // Span-carrying: context survives the trip and split_trace (the
+        // trace-only reader) still sees the trace id.
+        let ctx = TraceContext { trace, parent_span };
+        let mut framed = Vec::new();
+        write_frame_ctx(&mut framed, corr_id, Some(ctx), &body).unwrap();
+        let (got_corr, got_body) = read_frame(&mut &framed[..]).unwrap().unwrap();
+        prop_assert_eq!(got_corr, corr_id);
+        let (got_ctx, msg) = split_context(&got_body).unwrap();
+        prop_assert_eq!(got_ctx, Some(ctx));
+        prop_assert_eq!(&Request::decode(msg).unwrap(), &request);
+        let (got_trace, msg) = split_trace(&got_body).unwrap();
+        prop_assert_eq!(got_trace, Some(trace));
+        prop_assert_eq!(&Request::decode(msg).unwrap(), &request);
+
+        // Span-less v2: parent 0 degrades to the trace-marker form.
+        let mut with_ctx = Vec::new();
+        let span_less = TraceContext { trace, parent_span: 0 };
+        write_frame_ctx(&mut with_ctx, corr_id, Some(span_less), &body).unwrap();
+        let mut with_trace = Vec::new();
+        write_frame_traced(&mut with_trace, corr_id, Some(trace), &body).unwrap();
+        prop_assert_eq!(&with_ctx, &with_trace);
+        let (_, got_body) = read_frame(&mut &with_ctx[..]).unwrap().unwrap();
+        prop_assert_eq!(split_context(&got_body).unwrap().0, Some(span_less));
+
+        // Uncontexted: byte-identical to v1, and a v1 body splits to None.
+        let mut v2_none = Vec::new();
+        write_frame_ctx(&mut v2_none, corr_id, None, &body).unwrap();
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, corr_id, &body).unwrap();
+        prop_assert_eq!(&v2_none, &v1);
+        let (_, got_body) = read_frame(&mut &v1[..]).unwrap().unwrap();
+        let (got_ctx, msg) = split_context(&got_body).unwrap();
+        prop_assert_eq!(got_ctx, None);
+        prop_assert_eq!(&Request::decode(msg).unwrap(), &request);
     }
 }
 

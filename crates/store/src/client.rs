@@ -194,6 +194,15 @@ impl StoreClient {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
+        // On a storage node serving a remote frame, the apply work gets its
+        // own span under the dispatch span. The PN's in-process path stays
+        // span-free: the transaction's install phase already covers it.
+        let span = if tell_obs::in_server_dispatch() {
+            tell_obs::SpanTimer::start(tell_obs::SpanKind::StoreWrite, 0.0)
+        } else {
+            None
+        };
+        let op_count = ops.len() as u32;
         let out_bytes: usize = ops.iter().map(|o| o.payload_len()).sum();
         self.meter.stats().note_writes(ops.len() as u64);
         tell_obs::add(tell_obs::Counter::StoreWriteOps, ops.len() as u64);
@@ -218,6 +227,14 @@ impl StoreClient {
                 }
                 Err(e) => results.push(Err(e)),
             }
+        }
+        if let Some(span) = span {
+            let status = if results.iter().any(|r| r.is_err()) {
+                tell_obs::SpanStatus::Conflict
+            } else {
+                tell_obs::SpanStatus::Ok
+            };
+            span.finish(0.0, op_count, status);
         }
         Ok(results)
     }

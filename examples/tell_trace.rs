@@ -1,0 +1,189 @@
+//! Distributed trace scraper: run a few transactions against a cluster,
+//! collect the spans every process recorded, assemble them into traces and
+//! emit Chrome trace-event JSON — load the output in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing` to see each
+//! transaction's phases on the PN with the storage-node and commit-manager
+//! work nested under the RPCs that caused it.
+//!
+//! ```text
+//! # against a running cluster (tell_sn + tell_cm):
+//! cargo run --release --example tell_trace -- \
+//!     --store 127.0.0.1:7701 --cm 127.0.0.1:7801 > trace.json
+//!
+//! # self-contained smoke: boot a loopback cluster in-process
+//! cargo run --release --example tell_trace -- --loopback > trace.json
+//! ```
+//!
+//! Spans are tail-sampled (see `tell-obs`): kept traces are the slow ones,
+//! LL/SC conflict aborts, and a 1-in-N sample of fast transactions — the
+//! first transaction on a fresh thread is always sampled, so this example
+//! always has at least one trace to show. `Request::Spans` drains a
+//! server's ring destructively; runs are therefore one-shot snapshots.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use tell_core::database::IndexSpec;
+use tell_core::{Database, TellConfig};
+use tell_obs::export::{chrome_trace_json, group_by_trace, orphan_parents, SourcedSpan};
+use tell_rpc::{Connection, RemoteCmClient, RemoteEndpoint, Request, Response, RpcServer};
+
+struct Args {
+    store: String,
+    cm: String,
+    txns: usize,
+    loopback: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        store: "127.0.0.1:7701".to_string(),
+        cm: "127.0.0.1:7801".to_string(),
+        txns: 8,
+        loopback: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--store" => args.store = value("--store")?,
+            "--cm" => args.cm = value("--cm")?,
+            "--txns" => args.txns = value("--txns")?.parse().map_err(|e| format!("--txns: {e}"))?,
+            "--loopback" => args.loopback = true,
+            "--help" | "-h" => {
+                println!(
+                    "tell_trace: collect spans from a cluster and emit Chrome trace JSON\n\n\
+                     options:\n  \
+                     --store ADDR  storage server (default 127.0.0.1:7701)\n  \
+                     --cm ADDR     commit server (default 127.0.0.1:7801)\n  \
+                     --txns N      transactions to run (default 8)\n  \
+                     --loopback    boot an in-process loopback cluster instead\n                \
+                     of connecting to --store/--cm"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Drain one server's span ring over the wire.
+fn scrape_spans(addr: &str, node: &str) -> Result<Vec<SourcedSpan>, String> {
+    let conn = Connection::connect(addr).map_err(|e| e.to_string())?;
+    let (response, _, _) = conn.call(&Request::Spans).map_err(|e| e.to_string())?;
+    let Response::Spans(spans) = response else {
+        return Err(format!("unexpected response: {response:?}"));
+    };
+    Ok(spans.into_iter().map(|span| SourcedSpan { node: node.to_string(), span }).collect())
+}
+
+fn run_workload(db: &Arc<Database<RemoteEndpoint>>, txns: usize) -> Result<(), String> {
+    let pk = IndexSpec::new("pk", true, |row: &[u8]| row.get(8..16).map(Bytes::copy_from_slice));
+    // The table may survive from an earlier run against the same cluster.
+    let table = match db.create_table("trace_demo", vec![pk]) {
+        Ok(t) => t,
+        Err(_) => db.processing_node().table("trace_demo").map_err(|e| e.to_string())?,
+    };
+    let pn = db.processing_node();
+    let row = |balance: u64, id: u64| {
+        let mut b = balance.to_be_bytes().to_vec();
+        b.extend_from_slice(&id.to_be_bytes());
+        Bytes::from(b)
+    };
+    let rid = pn
+        .run(100, |txn| txn.insert(&table, row(0, 1)))
+        .map_err(|e| format!("insert failed: {e}"))?;
+    for i in 0..txns {
+        pn.run(100, |txn| {
+            let current = txn.get(&table, rid)?.expect("row inserted above");
+            let balance = u64::from_be_bytes(current[..8].try_into().unwrap());
+            txn.update(&table, rid, row(balance + i as u64, 1))
+        })
+        .map_err(|e| format!("update failed: {e}"))?;
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    // Loopback mode boots the servers in-process; the handles must live
+    // until the scrape is done.
+    let mut servers: Vec<RpcServer> = Vec::new();
+    let (store_addr, cm_addr) = if args.loopback {
+        let store = tell_store::StoreCluster::new(tell_store::StoreConfig::new(2));
+        let sn = RpcServer::serve_store("127.0.0.1:0", store).map_err(|e| e.to_string())?;
+        let sn_addr = sn.local_addr().to_string();
+        let cm_cluster = tell_commitmgr::CmCluster::new(
+            RemoteEndpoint::connect(sn_addr.clone(), 2),
+            1,
+            tell_commitmgr::manager::CmConfig::default(),
+        );
+        let cm = RpcServer::serve_commit(
+            "127.0.0.1:0",
+            cm_cluster as Arc<dyn tell_commitmgr::CommitService>,
+        )
+        .map_err(|e| e.to_string())?;
+        let cm_addr = cm.local_addr().to_string();
+        servers.push(sn);
+        servers.push(cm);
+        (servers[0].local_addr().to_string(), cm_addr)
+    } else {
+        (args.store.clone(), args.cm.clone())
+    };
+
+    let endpoint = RemoteEndpoint::connect(store_addr.clone(), 2);
+    let commit: Arc<dyn tell_commitmgr::CommitService> =
+        Arc::new(RemoteCmClient::connect([cm_addr.clone()]));
+    let db = Database::open(endpoint, commit, TellConfig::default());
+    run_workload(&db, args.txns)?;
+
+    // Collect: this process's ring (the PN side) plus each server's.
+    let mut spans: Vec<SourcedSpan> = tell_obs::span::global_ring()
+        .drain()
+        .into_iter()
+        .map(|span| SourcedSpan { node: "pn".to_string(), span })
+        .collect();
+    if !args.loopback {
+        // In loopback mode the servers share this process's ring, so the
+        // local drain above already captured everything; a wire scrape
+        // would find the ring empty. Against a real cluster, each process
+        // contributes its own spans.
+        spans.extend(scrape_spans(&store_addr, &format!("sn {store_addr}"))?);
+        spans.extend(scrape_spans(&cm_addr, &format!("cm {cm_addr}"))?);
+    }
+    if spans.is_empty() {
+        return Err("no spans collected (is the registry enabled?)".to_string());
+    }
+
+    let traces = group_by_trace(spans.clone());
+    let orphans = orphan_parents(&spans);
+    eprintln!(
+        "tell_trace: {} spans in {} traces ({} orphan parent links, {} dropped locally)",
+        spans.len(),
+        traces.len(),
+        orphans,
+        tell_obs::span::global_ring().dropped(),
+    );
+
+    let json = chrome_trace_json(&spans);
+    tell_obs::export::validate_json(&json)
+        .map_err(|e| format!("emitted trace JSON failed validation: {e}"))?;
+    Ok(json)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("tell_trace: {msg}");
+            std::process::exit(2);
+        }
+    };
+    match run(&args) {
+        Ok(json) => println!("{json}"),
+        Err(msg) => {
+            eprintln!("tell_trace: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

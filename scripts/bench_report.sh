@@ -4,14 +4,21 @@
 # metrics registry) into $TELL_BENCH_JSON.
 #
 # Usage:
-#   scripts/bench_report.sh            # default-size run into bench_out/
+#   scripts/bench_report.sh            # default-size run into the repo root
 #   scripts/bench_report.sh --smoke    # tiny run used by scripts/check.sh
 #   TELL_BENCH_JSON=/tmp/x scripts/bench_report.sh   # custom output dir
+#
+# The default output dir is the repo root on purpose: the BENCH_*.json
+# snapshots are committed, so every checked-in change carries the bench
+# trajectory it produced.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out_dir="${TELL_BENCH_JSON:-bench_out}"
+out_dir="${TELL_BENCH_JSON:-.}"
 mkdir -p "$out_dir"
+# Absolutize: cargo runs benches with the package dir as cwd, so a
+# relative path would land the snapshots in crates/bench/.
+out_dir="$(cd "$out_dir" && pwd)"
 export TELL_BENCH_JSON="$out_dir"
 
 if [[ "${1:-}" == "--smoke" ]]; then

@@ -17,6 +17,11 @@ echo "==> cargo test -q"
 cargo test -q
 
 echo "==> bench JSON smoke (scripts/bench_report.sh --smoke)"
-TELL_BENCH_JSON="$(mktemp -d)" scripts/bench_report.sh --smoke
+scripts/bench_report.sh --smoke
+
+echo "==> trace smoke (tell_trace against a loopback cluster)"
+# The example validates the emitted Chrome trace-event JSON and exits
+# nonzero when it is malformed or no trace was assembled.
+cargo run -q --example tell_trace -- --loopback --txns 4 > /dev/null
 
 echo "All checks passed."
