@@ -163,6 +163,16 @@ impl<E: StoreEndpoint> CmCluster<E> {
         }
     }
 
+    /// Live managers' `(id, published base)` pairs in id order — the
+    /// monitoring surface a management node (or the simulation harness)
+    /// scrapes to watch base progress and pick fail-over victims.
+    pub fn members(&self) -> Vec<(CmId, u64)> {
+        let mut out: Vec<(CmId, u64)> =
+            self.managers.read().iter().map(|cm| (cm.id(), cm.base())).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Lowest active version across all managers (drives garbage
     /// collection and recovery's backward log scan bound).
     pub fn current_lav(&self) -> u64 {

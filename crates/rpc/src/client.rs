@@ -333,6 +333,12 @@ impl SubmitWindow {
         } else {
             Request::Batch { ops: requests }
         };
+        // Injected batch-flush stall (simulation harness): widens the
+        // window in which the server side can fail underneath queued ops.
+        let stall = crate::fault::flush_stall_us();
+        if stall > 0 {
+            thread::sleep(std::time::Duration::from_micros(stall));
+        }
         // The flush is a span of its own so the waterfall shows how many
         // ops one frame coalesced; the `RpcClientCall` underneath it is
         // the wire round trip.

@@ -1,0 +1,194 @@
+//! Deterministic fault injection for the transport (`tell-sim`'s RPC fault
+//! hook).
+//!
+//! The simulation harness (`crates/sim`, ISSUE 5) needs to perturb the wire
+//! paths the way a flaky network would: frames that never arrive, frames
+//! that arrive late, frames delivered twice, and client batch flushes that
+//! stall before hitting the socket. This module is that hook. It is a
+//! process-global injector — **off by default and zero-cost when off** (one
+//! relaxed atomic load per consultation) — that the server connection loop
+//! and the client submission window consult at well-defined points:
+//!
+//! * **drop** — the server closes the connection instead of answering. The
+//!   client's reader loop marks the connection dead and every parked caller
+//!   gets a typed [`Error::Unavailable`](tell_common::Error::Unavailable);
+//!   pools replace the connection on the next checkout. This models a lost
+//!   frame the way TCP surfaces it: a broken stream, never a silent hang.
+//! * **delay** — the server sleeps before dispatching, modeling queueing or
+//!   a slow link. Pipelined callers on the same connection wait behind it.
+//! * **duplicate** — the server dispatches the same request twice and
+//!   answers with the *first* result, modeling at-least-once delivery. The
+//!   protocol must make re-execution harmless: conditional writes fail
+//!   their second application with `Conflict` (LL/SC tokens moved), reads
+//!   are idempotent, and commit-manager completions are recorded
+//!   idempotently.
+//! * **flush stall** — the client submission window sleeps before sending
+//!   its coalesced batch frame, widening the window in which the server
+//!   side can fail underneath queued operations.
+//!
+//! Decisions are drawn from a seeded RNG behind a mutex, so a fault
+//! *sequence* is reproducible for a given seed and frame order. (Across
+//! OS-thread interleavings the per-frame assignment may vary; the
+//! deterministic single-threaded harness in `crates/sim` pins frame order
+//! and with it the whole schedule.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Probabilities and magnitudes for injected transport faults. All zero by
+/// default: an installed-but-zero config injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a server connection drops (closes) instead of
+    /// answering a frame.
+    pub drop_prob: f64,
+    /// Probability that the server delays a frame before dispatching.
+    pub delay_prob: f64,
+    /// Delay magnitude in microseconds of real time (kept small; this is a
+    /// scheduling perturbation, not a latency model).
+    pub delay_us: u64,
+    /// Probability that the server dispatches a frame twice (at-least-once
+    /// delivery), answering with the first result.
+    pub dup_prob: f64,
+    /// Stall applied to every client batch flush, in microseconds of real
+    /// time. Zero disables the stall.
+    pub flush_stall_us: u64,
+}
+
+/// What the server connection loop should do with the frame it just read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerFault {
+    /// Dispatch normally.
+    None,
+    /// Close the connection without answering.
+    Drop,
+    /// Sleep this many microseconds, then dispatch normally.
+    DelayUs(u64),
+    /// Dispatch the request twice, answer with the first result.
+    Duplicate,
+}
+
+struct Injector {
+    config: FaultConfig,
+    rng: StdRng,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static INJECTOR: Mutex<Option<Injector>> = Mutex::new(None);
+
+/// Install the injector with a fresh RNG seeded by `seed`. Replaces any
+/// previous injector (and its RNG state).
+pub fn install(seed: u64, config: FaultConfig) {
+    *INJECTOR.lock() = Some(Injector { config, rng: StdRng::seed_from_u64(seed) });
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Update the probabilities without disturbing the RNG stream (used by the
+/// fault plan to degrade/heal the network mid-run).
+pub fn set_config(config: FaultConfig) {
+    let mut slot = INJECTOR.lock();
+    match slot.as_mut() {
+        Some(inj) => inj.config = config,
+        // Setting a config without an installed RNG seeds deterministically
+        // from zero; callers wanting a specific stream use `install`.
+        None => *slot = Some(Injector { config, rng: StdRng::seed_from_u64(0) }),
+    }
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Remove the injector; all paths return to zero-cost pass-through.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *INJECTOR.lock() = None;
+}
+
+/// Whether an injector is installed (cheap; safe to call per frame).
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Consulted by the server once per decoded frame.
+pub fn server_action() -> ServerFault {
+    if !active() {
+        return ServerFault::None;
+    }
+    let mut slot = INJECTOR.lock();
+    let Some(inj) = slot.as_mut() else { return ServerFault::None };
+    // Fixed consultation order keeps the RNG stream stable for a given
+    // frame sequence regardless of which probabilities are nonzero.
+    let (d, dl, dp) = (inj.rng.random::<f64>(), inj.rng.random::<f64>(), inj.rng.random::<f64>());
+    if d < inj.config.drop_prob {
+        ServerFault::Drop
+    } else if dl < inj.config.delay_prob {
+        ServerFault::DelayUs(inj.config.delay_us.max(1))
+    } else if dp < inj.config.dup_prob {
+        ServerFault::Duplicate
+    } else {
+        ServerFault::None
+    }
+}
+
+/// Consulted by the client submission window once per flush. Returns the
+/// stall to apply in microseconds (0 = none).
+pub fn flush_stall_us() -> u64 {
+    if !active() {
+        return 0;
+    }
+    INJECTOR.lock().as_ref().map_or(0, |inj| inj.config.flush_stall_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The injector is process-global; tests run serially under one lock so
+    // they never see each other's config.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn inactive_injector_is_pass_through() {
+        let _g = SERIAL.lock();
+        clear();
+        assert!(!active());
+        assert_eq!(server_action(), ServerFault::None);
+        assert_eq!(flush_stall_us(), 0);
+    }
+
+    #[test]
+    fn same_seed_yields_same_fault_sequence() {
+        let _g = SERIAL.lock();
+        let cfg = FaultConfig {
+            drop_prob: 0.2,
+            delay_prob: 0.3,
+            delay_us: 50,
+            dup_prob: 0.25,
+            flush_stall_us: 0,
+        };
+        install(77, cfg);
+        let a: Vec<ServerFault> = (0..64).map(|_| server_action()).collect();
+        install(77, cfg);
+        let b: Vec<ServerFault> = (0..64).map(|_| server_action()).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|f| *f == ServerFault::Drop));
+        assert!(a.iter().any(|f| matches!(f, ServerFault::DelayUs(_))));
+        assert!(a.iter().any(|f| *f == ServerFault::Duplicate));
+        clear();
+    }
+
+    #[test]
+    fn set_config_degrades_and_heals_without_reseeding() {
+        let _g = SERIAL.lock();
+        install(1, FaultConfig::default());
+        assert_eq!(server_action(), ServerFault::None);
+        set_config(FaultConfig { drop_prob: 1.0, ..FaultConfig::default() });
+        assert_eq!(server_action(), ServerFault::Drop);
+        set_config(FaultConfig { flush_stall_us: 120, ..FaultConfig::default() });
+        assert_eq!(server_action(), ServerFault::None);
+        assert_eq!(flush_stall_us(), 120);
+        clear();
+        assert_eq!(flush_stall_us(), 0);
+    }
+}

@@ -15,8 +15,11 @@
 //!   commit service; one thread per connection.
 //! * [`client`] — pipelined connections, a pooled remote storage client,
 //!   and the remote commit-manager client with fail-over.
+//! * [`fault`] — deterministic fault injection (drop/delay/duplicate frames,
+//!   batch-flush stalls) for the simulation harness; off by default.
 
 pub mod client;
+pub mod fault;
 pub mod server;
 pub mod wire;
 

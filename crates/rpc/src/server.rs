@@ -165,6 +165,18 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShar
         shared.frames.fetch_add(1, Ordering::SeqCst);
         tell_obs::incr(Counter::RpcServerFramesIn);
         tell_obs::add(Counter::RpcServerBytesIn, body.len() as u64);
+        // The fault injector (when armed by the simulation harness) acts on
+        // the frame as a unit, before any dispatch side effects: a dropped
+        // frame kills the stream like a broken link would, a delayed frame
+        // holds up everything pipelined behind it, a duplicated frame
+        // re-dispatches — at-least-once delivery the protocol must absorb.
+        let injected = crate::fault::server_action();
+        if injected == crate::fault::ServerFault::Drop {
+            break;
+        }
+        if let crate::fault::ServerFault::DelayUs(us) = injected {
+            thread::sleep(std::time::Duration::from_micros(us));
+        }
         let (ctx, response) = match split_context(&body)
             .and_then(|(ctx, msg)| Request::decode(msg).map(|request| (ctx, request)))
         {
@@ -185,7 +197,21 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShar
                         0.0,
                     )
                 });
-                let response = dispatch(&shared, store_client.as_ref(), &meter, request);
+                // At-least-once delivery: apply the request twice and answer
+                // with the first result, as a retransmitted frame arriving
+                // after the original would. `CmStart` is exempt — allocation
+                // is not idempotent, and a tid handed out by a duplicate
+                // would never be completed by anyone (for starts, a lost
+                // response is the Drop fault's territory).
+                let duplicate = injected == crate::fault::ServerFault::Duplicate
+                    && !matches!(request, Request::CmStart { .. });
+                let response = if duplicate {
+                    let first = dispatch(&shared, store_client.as_ref(), &meter, request.clone());
+                    let _second = dispatch(&shared, store_client.as_ref(), &meter, request);
+                    first
+                } else {
+                    dispatch(&shared, store_client.as_ref(), &meter, request)
+                };
                 if let Some(span) = span {
                     let status = match &response {
                         Response::Error(crate::wire::WireError::Conflict) => {

@@ -14,8 +14,10 @@ use tell_core::recovery::recover_failed_pn;
 use tell_core::txlog::{self, LogEntry};
 use tell_core::{Database, TellConfig, VersionedRecord};
 use tell_netsim::{NetMeter, NetworkProfile};
-use tell_rpc::{Connection, RemoteCmClient, RemoteEndpoint, Request, Response, RpcServer};
-use tell_store::{keys, StoreApi, StoreCluster, StoreConfig, StoreEndpoint};
+use tell_rpc::{
+    Connection, RemoteCmClient, RemoteEndpoint, Request, Response, RpcServer, WireError,
+};
+use tell_store::{keys, Expect, StoreApi, StoreCluster, StoreConfig, StoreEndpoint, WriteOp};
 
 /// Everything server-side: the simulated storage hardware plus the two
 /// rpc servers fronting it. Held by tests so they can reach in and fail
@@ -314,6 +316,75 @@ fn concurrent_async_gets_batch_into_one_frame_and_survive_node_failure() {
         let (_, raw) = handle.wait().unwrap().expect("record survived the bounce");
         assert_eq!(stored_balance(&raw), i as u64 * 11);
     }
+}
+
+#[test]
+fn batch_straddling_a_dead_node_half_applies_with_per_op_errors_not_a_hang() {
+    // Two nodes, rf 1: each owns half the partitions, so killing one leaves
+    // a batch window straddling live and dead key ranges.
+    let (servers, _db) = boot(2, 1);
+    let conn = Connection::connect(&servers.sn.local_addr().to_string()).unwrap();
+    let scratch: Vec<Bytes> =
+        (0..16u64).map(|i| Bytes::from(format!("e2e/straddle/{i}"))).collect();
+    let put = |i: usize, round: u64| Request::Write {
+        op: WriteOp::put(
+            scratch[i].clone(),
+            Expect::Any,
+            Bytes::from(round.to_be_bytes().to_vec()),
+        ),
+    };
+
+    // Round 0, both nodes alive: seed every scratch key in one frame.
+    let ops: Vec<Request> = (0..scratch.len()).map(|i| put(i, 0)).collect();
+    let (resp, _, _) = conn.call(&Request::Batch { ops }).unwrap();
+    let Response::Batch { results } = resp else { panic!("expected Batch, got {resp:?}") };
+    assert!(results.iter().all(|r| matches!(r, Response::Written(Some(_)))));
+
+    // Round 1, node 1 dead: one frame pairing a get and a put per key. The
+    // batch is a framing unit, not an atomic one — ops on live partitions
+    // apply, ops on dead ones come back as nested typed errors in their
+    // slots, and the call returns promptly either way.
+    servers.store.kill_node(SnId(1));
+    let ops: Vec<Request> = (0..scratch.len())
+        .flat_map(|i| [Request::Get { key: scratch[i].clone() }, put(i, 1)])
+        .collect();
+    let (resp, _, _) = conn.call(&Request::Batch { ops }).unwrap();
+    let Response::Batch { results } = resp else { panic!("expected Batch, got {resp:?}") };
+    assert_eq!(results.len(), scratch.len() * 2);
+    let mut live = 0;
+    let mut dead = 0;
+    for pair in results.chunks(2) {
+        match (&pair[0], &pair[1]) {
+            (Response::Cell(Some(_)), Response::Written(Some(_))) => live += 1,
+            (
+                Response::Error(WireError::Unavailable(_)),
+                Response::Error(WireError::Unavailable(_)),
+            ) => dead += 1,
+            other => panic!("a key's get/put pair must fail or succeed together: {other:?}"),
+        }
+    }
+    assert!(live > 0, "some keys stay on the surviving node");
+    assert!(dead > 0, "some keys were on the killed node");
+
+    // After revival the same connection reads every key: the window really
+    // was half-applied — keys on the survivor carry the round-1 value, keys
+    // on the revived node still carry round 0, and nothing is torn or lost.
+    servers.store.revive_node(SnId(1));
+    let ops: Vec<Request> = scratch.iter().map(|k| Request::Get { key: k.clone() }).collect();
+    let (resp, _, _) = conn.call(&Request::Batch { ops }).unwrap();
+    let Response::Batch { results } = resp else { panic!("expected Batch, got {resp:?}") };
+    let mut round1 = 0;
+    let mut round0 = 0;
+    for r in &results {
+        let Response::Cell(Some((_, value))) = r else { panic!("expected a cell, got {r:?}") };
+        match u64::from_be_bytes(value[..8].try_into().unwrap()) {
+            1 => round1 += 1,
+            0 => round0 += 1,
+            v => panic!("unexpected round marker {v}"),
+        }
+    }
+    assert_eq!(round1, live, "every acknowledged round-1 write survived");
+    assert_eq!(round0, dead, "every errored write left round 0 intact");
 }
 
 #[test]

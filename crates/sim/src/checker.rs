@@ -1,0 +1,407 @@
+//! The SI oracle: validate a recorded [`History`] against snapshot
+//! isolation as Tell defines it (§4.1–§4.2).
+//!
+//! Four families of invariants:
+//!
+//! 1. **Snapshot consistency** — every read must observe the *maximal
+//!    committed version visible in the reader's snapshot* ("v := max(V ∩
+//!    V')"). A read observing an invisible writer, or skipping past a newer
+//!    visible one, is a torn snapshot.
+//! 2. **No lost updates** — two committed transactions that both write the
+//!    same key must not be mutually invisible (first-committer-wins). This
+//!    is the per-history characterization from "On the Semantics of
+//!    Snapshot Isolation"; write skew is deliberately admitted, as "A
+//!    Critique of Snapshot Isolation" prescribes for SI.
+//! 3. **Identifier sanity** — tids are unique across the run (commit
+//!    managers must never double-allocate, even across restarts).
+//! 4. **Commit-manager monotonicity** — the global lav and each CM
+//!    instance's published base never move backwards between scrapes.
+//!    Recovered managers get fresh instance ids, so a restart cannot fake
+//!    monotonicity by resetting an old id.
+//!
+//! Post-GC reachability is checked live by the driver (it needs access to
+//! the store), not here; a reachability failure surfaces as
+//! [`Violation::GcReachability`] via [`crate::driver`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::history::History;
+
+/// Why a history is not snapshot-isolated (or otherwise broken).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A read observed a version that is not the maximal visible committed
+    /// version for its key.
+    TornSnapshot {
+        /// Reading transaction.
+        tid: u64,
+        /// Key read.
+        key: u64,
+        /// Writer tid the read observed.
+        observed: u64,
+        /// Writer tid the snapshot says it should have observed.
+        expected: u64,
+    },
+    /// Two committed writers of the same key were mutually invisible.
+    LostUpdate {
+        /// Key both transactions wrote.
+        key: u64,
+        /// Earlier-committing writer.
+        first: u64,
+        /// Later-committing writer whose snapshot missed `first`.
+        second: u64,
+    },
+    /// The same tid was handed to two transactions.
+    DuplicateTid {
+        /// The reused tid.
+        tid: u64,
+    },
+    /// The cluster-wide lowest active version moved backwards.
+    NonMonotonicLav {
+        /// Value at the earlier scrape.
+        before: u64,
+        /// Value at the later scrape.
+        after: u64,
+    },
+    /// A commit-manager instance's published base moved backwards.
+    NonMonotonicBase {
+        /// The commit-manager instance id.
+        cm: u32,
+        /// Base at the earlier scrape.
+        before: u64,
+        /// Base at the later scrape.
+        after: u64,
+    },
+    /// GC removed a version some live snapshot could still read
+    /// (reported by the driver's live check, carried here for a uniform
+    /// verdict type).
+    GcReachability {
+        /// Key whose version disappeared.
+        key: u64,
+        /// The version a live snapshot expected to find.
+        version: u64,
+    },
+    /// A worker hit an error outside the accepted set (conflicts and
+    /// unavailability are expected under faults; anything else is a bug).
+    UnexpectedError {
+        /// Worker that hit the error.
+        worker: usize,
+        /// Rendered error.
+        message: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TornSnapshot { tid, key, observed, expected } => write!(
+                f,
+                "torn snapshot: txn {tid} read key {key} from writer {observed}, \
+                 snapshot requires writer {expected}"
+            ),
+            Violation::LostUpdate { key, first, second } => write!(
+                f,
+                "lost update: committed writers {first} and {second} of key {key} \
+                 are mutually invisible"
+            ),
+            Violation::DuplicateTid { tid } => {
+                write!(f, "duplicate tid: {tid} allocated twice")
+            }
+            Violation::NonMonotonicLav { before, after } => {
+                write!(f, "lav moved backwards: {before} -> {after}")
+            }
+            Violation::NonMonotonicBase { cm, before, after } => {
+                write!(f, "cm {cm} base moved backwards: {before} -> {after}")
+            }
+            Violation::GcReachability { key, version } => write!(
+                f,
+                "gc reachability: key {key} lost version {version} still visible \
+                 to a live snapshot"
+            ),
+            Violation::UnexpectedError { worker, message } => {
+                write!(f, "worker {worker} unexpected error: {message}")
+            }
+        }
+    }
+}
+
+/// What a clean check looked at.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Committed transactions validated.
+    pub committed: usize,
+    /// Aborted transactions validated (their reads still count).
+    pub aborted: usize,
+    /// Individual reads validated against the read rule.
+    pub reads_checked: usize,
+    /// Ordered writer pairs examined for lost updates.
+    pub write_pairs_checked: usize,
+    /// Scrapes validated for monotonicity.
+    pub scrapes_checked: usize,
+}
+
+/// Validate `history` against the SI oracle.
+///
+/// Returns the first violation found, in a deterministic order: tid
+/// uniqueness, then reads (history order), then lost updates (key order,
+/// then commit order), then scrape monotonicity.
+pub fn check(history: &History) -> Result<CheckStats, Violation> {
+    let mut stats = CheckStats::default();
+
+    // --- 3. tid uniqueness -------------------------------------------------
+    let mut seen = HashMap::with_capacity(history.txns.len());
+    for t in &history.txns {
+        if let Some(_prev) = seen.insert(t.tid, t.worker) {
+            return Err(Violation::DuplicateTid { tid: t.tid });
+        }
+    }
+
+    // Index committed writers per key, in completion (append) order. The
+    // driver's turnstile guarantees append order is the true total order of
+    // completion, so within a key this is commit order.
+    let mut writers: HashMap<u64, Vec<&crate::history::TxnRecord>> = HashMap::new();
+    for t in history.committed() {
+        stats.committed += 1;
+        for &k in &t.writes {
+            writers.entry(k).or_default().push(t);
+        }
+    }
+    stats.aborted = history.txns.len() - stats.committed;
+
+    // --- 1. snapshot consistency ------------------------------------------
+    // For each read: the expected observation is the maximal committed
+    // writer of that key whose tid is visible in the reader's snapshot
+    // (0 = the bulk-loaded initial version, always visible).
+    //
+    // Subtlety: "committed" must be evaluated *as of the read*, but under SI
+    // a writer invisible to the snapshot contributes nothing either way, and
+    // a visible writer must have committed before the snapshot was taken —
+    // so checking against the full run's committed set is equivalent.
+    for t in &history.txns {
+        for &(key, observed) in &t.reads {
+            stats.reads_checked += 1;
+            let expected = writers
+                .get(&key)
+                .into_iter()
+                .flatten()
+                .filter(|w| t.snapshot.contains(w.tid))
+                .map(|w| w.tid)
+                .max()
+                .unwrap_or(0);
+            if observed != expected {
+                return Err(Violation::TornSnapshot { tid: t.tid, key, observed, expected });
+            }
+        }
+    }
+
+    // --- 2. no lost updates -------------------------------------------------
+    // For committed writers A (earlier) and B (later) of the same key, SI
+    // requires visibility in at least one direction. Any tid ≤ B.base is
+    // automatically visible to B, so only writers in (B.base, B.tid) ∪
+    // {tids above B.base} need the explicit check — we bound the scan by
+    // skipping A with A.tid ≤ B.base.
+    let mut keys: Vec<&u64> = writers.keys().collect();
+    keys.sort();
+    for key in keys {
+        let ws = &writers[key];
+        for (j, b) in ws.iter().enumerate() {
+            for a in &ws[..j] {
+                if a.tid <= b.snapshot.base() {
+                    continue; // automatically visible to b
+                }
+                stats.write_pairs_checked += 1;
+                let a_sees_b = a.snapshot.contains(b.tid);
+                let b_sees_a = b.snapshot.contains(a.tid);
+                if !a_sees_b && !b_sees_a {
+                    return Err(Violation::LostUpdate {
+                        key: *key,
+                        first: a.tid.min(b.tid),
+                        second: a.tid.max(b.tid),
+                    });
+                }
+            }
+        }
+    }
+
+    // --- 4. lav/base monotonicity -------------------------------------------
+    // The cluster lav is a min over live managers, so it is only comparable
+    // between scrapes taken under the same CM membership (epoch). Bases are
+    // per-instance and instances are never reused, so those compare across
+    // the whole run.
+    let mut last_lav: Option<(u32, u64)> = None;
+    let mut last_base: HashMap<u32, u64> = HashMap::new();
+    for s in &history.scrapes {
+        stats.scrapes_checked += 1;
+        if let Some((epoch, lav)) = last_lav {
+            if s.epoch == epoch && s.lav < lav {
+                return Err(Violation::NonMonotonicLav { before: lav, after: s.lav });
+            }
+        }
+        last_lav = Some((s.epoch, s.lav));
+        for &(cm, base) in &s.bases {
+            if let Some(&prev) = last_base.get(&cm) {
+                if base < prev {
+                    return Err(Violation::NonMonotonicBase { cm, before: prev, after: base });
+                }
+            }
+            last_base.insert(cm, base);
+        }
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{History, LavScrape, TxnRecord};
+    use tell_commitmgr::SnapshotDescriptor;
+    use tell_common::BitSet;
+
+    fn snap(base: u64, newly: &[u64]) -> SnapshotDescriptor {
+        let mut bits = BitSet::new();
+        for &v in newly {
+            bits.set((v - base - 1) as usize);
+        }
+        SnapshotDescriptor::new(base, bits)
+    }
+
+    fn txn(tid: u64, snapshot: SnapshotDescriptor) -> TxnRecord {
+        TxnRecord { worker: 0, tid, snapshot, reads: vec![], writes: vec![], committed: true }
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        let stats = check(&History::default()).unwrap();
+        assert_eq!(stats.committed, 0);
+    }
+
+    #[test]
+    fn serial_updates_pass() {
+        // t1 writes k under bootstrap; t2 (sees t1) reads t1's value, writes.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.reads.push((7, 0));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(1, &[]));
+        t2.reads.push((7, 1));
+        t2.writes.push(7);
+        h.txns.push(t1);
+        h.txns.push(t2);
+        let stats = check(&h).unwrap();
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.reads_checked, 2);
+    }
+
+    #[test]
+    fn torn_snapshot_detected() {
+        // t2's snapshot sees t1, yet it observed the initial version.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(1, &[]));
+        t2.reads.push((7, 0));
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert_eq!(
+            check(&h).unwrap_err(),
+            Violation::TornSnapshot { tid: 2, key: 7, observed: 0, expected: 1 }
+        );
+    }
+
+    #[test]
+    fn reading_an_invisible_writer_is_torn() {
+        // t2's snapshot does NOT include t1, yet it observed t1's write.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.reads.push((7, 1));
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert_eq!(
+            check(&h).unwrap_err(),
+            Violation::TornSnapshot { tid: 2, key: 7, observed: 1, expected: 0 }
+        );
+    }
+
+    #[test]
+    fn lost_update_detected() {
+        // Both commit a write to key 7; neither snapshot sees the other.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.writes.push(7);
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert_eq!(check(&h).unwrap_err(), Violation::LostUpdate { key: 7, first: 1, second: 2 });
+    }
+
+    #[test]
+    fn write_skew_is_admitted() {
+        // Disjoint write sets with overlapping reads: allowed under SI.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.reads.push((8, 0));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.reads.push((7, 0));
+        t2.writes.push(8);
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert!(check(&h).is_ok());
+    }
+
+    #[test]
+    fn aborted_writer_is_invisible() {
+        // t1 aborts; t2 sees tid 1 in its snapshot (the CM may still list
+        // it) but must observe the initial version.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        t1.committed = false;
+        let mut t2 = txn(2, snap(1, &[]));
+        t2.reads.push((7, 0));
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert!(check(&h).is_ok());
+    }
+
+    #[test]
+    fn duplicate_tid_detected() {
+        let mut h = History::default();
+        h.txns.push(txn(5, snap(0, &[])));
+        h.txns.push(txn(5, snap(0, &[])));
+        assert_eq!(check(&h).unwrap_err(), Violation::DuplicateTid { tid: 5 });
+    }
+
+    #[test]
+    fn lav_regression_detected() {
+        let mut h = History::default();
+        h.scrapes.push(LavScrape { at_us: 1.0, epoch: 0, lav: 10, bases: vec![] });
+        h.scrapes.push(LavScrape { at_us: 2.0, epoch: 0, lav: 9, bases: vec![] });
+        assert_eq!(check(&h).unwrap_err(), Violation::NonMonotonicLav { before: 10, after: 9 });
+    }
+
+    #[test]
+    fn per_cm_base_regression_detected() {
+        let mut h = History::default();
+        h.scrapes.push(LavScrape { at_us: 1.0, epoch: 0, lav: 1, bases: vec![(3, 8)] });
+        h.scrapes.push(LavScrape { at_us: 2.0, epoch: 0, lav: 1, bases: vec![(3, 7)] });
+        assert_eq!(
+            check(&h).unwrap_err(),
+            Violation::NonMonotonicBase { cm: 3, before: 8, after: 7 }
+        );
+    }
+
+    #[test]
+    fn fresh_cm_instance_may_start_low() {
+        // Instance 4 replaces 3 with a lower base: fine, ids are fresh.
+        let mut h = History::default();
+        h.scrapes.push(LavScrape { at_us: 1.0, epoch: 0, lav: 1, bases: vec![(3, 8)] });
+        h.scrapes.push(LavScrape { at_us: 2.0, epoch: 0, lav: 1, bases: vec![(4, 5)] });
+        assert!(check(&h).is_ok());
+    }
+}

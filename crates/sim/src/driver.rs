@@ -1,0 +1,893 @@
+//! The deterministic simulation driver.
+//!
+//! Worker threads run real transactions against a full in-process
+//! PN/SN/CM deployment, but execution is *turn-based*: a turnstile (one
+//! mutex + condvar) admits exactly one thread at a time — either one worker
+//! performing exactly one transaction step, or the scheduler deciding who
+//! goes next. The scheduler always grants the turn to the worker with the
+//! smallest virtual clock (ties break toward the lowest index), fires fault
+//! events from the [`FaultPlan`] when that minimum crosses an event's time,
+//! and takes periodic commit-manager scrapes. Because every shared-state
+//! mutation happens inside some turn, the whole run — interleaving, fault
+//! timing, history — is a pure function of the seed.
+//!
+//! Virtual time: each worker's clock advances by the network time its PN's
+//! meter charged during its step plus a fixed per-turn think time
+//! (`TURN_THINK_US`). Nothing reads the wall clock on any decision path;
+//! the commit managers are configured with an effectively-infinite
+//! wall-clock sync interval and sync on (deterministic) operation counts
+//! instead.
+
+use std::sync::{Condvar, Mutex};
+
+use rand::{Rng, SeedableRng, StdRng};
+use tell_commitmgr::manager::CmConfig;
+use tell_commitmgr::SnapshotDescriptor;
+use tell_common::{CmId, Error, SnId, TxnId};
+use tell_core::database::IndexSpec;
+use tell_core::{Database, TableDef, TellConfig, VersionedRecord};
+use tell_store::{keys, StoreCluster};
+
+use crate::checker::{self, CheckStats, Violation};
+use crate::history::{row_value, row_writer, History, LavScrape, TxnRecord};
+use crate::plan::{FaultEvent, FaultKind, FaultMix, FaultPlan, Topology};
+
+/// Think time charged per turn, µs of virtual time. Dominates the virtual
+/// clock; the horizon divided by this bounds the total number of turns.
+const TURN_THINK_US: f64 = 20.0;
+/// Extra virtual penalty when a step fails transiently (begin retry).
+const BACKOFF_US: f64 = 100.0;
+/// Domain-separation constants: worker workload streams and the
+/// scheduler's own stream must not collide with the plan stream.
+const WORKER_STREAM: u64 = 0x0a11_ce00_77ea_4e15;
+const SCHED_STREAM: u64 = 0x5c_4ed0_1e55_77e1;
+
+/// Everything a simulation run needs to know.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed: fault plan, workloads and interleaving all derive from
+    /// it.
+    pub seed: u64,
+    /// Virtual horizon in seconds (virtual time, not wall time).
+    pub virtual_secs: f64,
+    /// Which fault classes to inject.
+    pub mix: FaultMix,
+    /// Worker threads (each is one PN worker running transactions).
+    pub workers: usize,
+    /// Keyspace size. Small on purpose: contention is what makes lost
+    /// updates and torn snapshots reachable.
+    pub keys: u64,
+    /// Storage nodes.
+    pub storage_nodes: u32,
+    /// Replication factor (the plan keeps at most `rf - 1` SNs dead).
+    pub replication_factor: u32,
+    /// Commit managers at full strength.
+    pub commit_managers: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            virtual_secs: 0.5,
+            mix: FaultMix::None,
+            workers: 4,
+            keys: 32,
+            storage_nodes: 4,
+            replication_factor: 2,
+            commit_managers: 2,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The virtual horizon in microseconds.
+    pub fn horizon_us(&self) -> f64 {
+        self.virtual_secs * 1e6
+    }
+
+    /// The topology facts the plan generator needs.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            storage_nodes: self.storage_nodes,
+            replication_factor: self.replication_factor,
+            commit_managers: self.commit_managers,
+        }
+    }
+}
+
+/// Aggregate counters of a run (all deterministic for a given seed).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Transactions completed (committed + aborted).
+    pub txns: usize,
+    /// Committed transactions.
+    pub commits: usize,
+    /// Aborted transactions (conflicts and fault-induced).
+    pub aborts: usize,
+    /// Reads recorded.
+    pub reads: usize,
+    /// Keys written by committed transactions.
+    pub writes: usize,
+    /// Fault events actually fired.
+    pub events_fired: usize,
+    /// Commit-manager scrapes taken.
+    pub scrapes: usize,
+    /// Cluster lav at the end of the run.
+    pub final_lav: u64,
+    /// Virtual time when the run wound down.
+    pub virtual_end_us: f64,
+}
+
+/// The full result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// The (possibly shrunk) fault plan that was executed.
+    pub plan: FaultPlan,
+    /// Everything the run observed.
+    pub history: History,
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// `None` means the history checked clean.
+    pub violation: Option<Violation>,
+    /// Checker statistics when the check ran to completion.
+    pub check: Option<CheckStats>,
+}
+
+impl SimOutcome {
+    /// Did the run satisfy the SI oracle?
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Generate the fault plan for `config` and run it.
+pub fn run(config: &SimConfig) -> SimOutcome {
+    let plan = FaultPlan::generate(config.seed, config.mix, config.horizon_us(), config.topology());
+    run_with_plan(config, plan)
+}
+
+// ---------------------------------------------------------------------
+// Turnstile.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Scheduler,
+    Worker(usize),
+}
+
+struct LiveTxn {
+    snapshot: SnapshotDescriptor,
+}
+
+struct TurnState {
+    turn: Turn,
+    clocks: Vec<f64>,
+    done: Vec<bool>,
+    stop: bool,
+    live: Vec<Option<LiveTxn>>,
+    history: History,
+    violation: Option<Violation>,
+}
+
+struct Shared {
+    state: Mutex<TurnState>,
+    cv: Condvar,
+}
+
+/// What a worker step wants applied to the shared state at turn release.
+enum Effect {
+    None,
+    Began(LiveTxn),
+    Finished(TxnRecord),
+    Broke(Violation),
+}
+
+impl Shared {
+    /// Block until worker `w` is granted the turn. Returns the stop flag.
+    fn acquire(&self, w: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while st.turn != Turn::Worker(w) {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.stop
+    }
+
+    /// Release worker `w`'s turn back to the scheduler, advancing its
+    /// clock by `delta_us` and applying `effect`.
+    fn release(&self, w: usize, delta_us: f64, effect: Effect) {
+        let mut st = self.state.lock().unwrap();
+        st.clocks[w] += TURN_THINK_US + delta_us;
+        match effect {
+            Effect::None => {}
+            Effect::Began(live) => st.live[w] = Some(live),
+            Effect::Finished(rec) => {
+                st.live[w] = None;
+                st.history.txns.push(rec);
+            }
+            Effect::Broke(v) => {
+                st.live[w] = None;
+                if st.violation.is_none() {
+                    st.violation = Some(v);
+                }
+                st.stop = true;
+            }
+        }
+        st.turn = Turn::Scheduler;
+        self.cv.notify_all();
+    }
+
+    /// Mark worker `w` finished and hand the turn back for good.
+    fn finish(&self, w: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.done[w] = true;
+        st.live[w] = None;
+        st.turn = Turn::Scheduler;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker workload.
+// ---------------------------------------------------------------------
+
+/// One transaction's script: which keys to read, whether to write them
+/// back, and how many idle turns to insert between reads (long readers
+/// hold their snapshot open across fault events and GC runs).
+struct Work {
+    keys: Vec<u64>,
+    write: bool,
+    idle_between: u32,
+}
+
+fn plan_work(rng: &mut StdRng, keyspace: u64) -> Work {
+    let roll: f64 = rng.random();
+    let (nkeys, write, idle_between) = if roll < 0.30 {
+        (rng.random_range(1..=3usize), false, 0) // read-only
+    } else if roll < 0.85 {
+        (rng.random_range(1..=2usize), true, 0) // read-modify-write
+    } else {
+        // Long reader: many keys, idle turns in between, sometimes a
+        // write at the end (an old snapshot trying to commit is exactly
+        // the first-committer-wins case).
+        (rng.random_range(4..=8usize), rng.random_bool(0.5), 2)
+    };
+    let mut keys = Vec::with_capacity(nkeys);
+    while keys.len() < nkeys {
+        let k = rng.random_range(0..keyspace);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    Work { keys, write, idle_between }
+}
+
+fn is_transient(e: &Error) -> bool {
+    matches!(e, Error::Conflict | Error::Unavailable(_))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    w: usize,
+    shared: &Shared,
+    db: &std::sync::Arc<Database>,
+    table: &std::sync::Arc<TableDef>,
+    rids: &[tell_common::Rid],
+    cfg: &SimConfig,
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ WORKER_STREAM ^ ((w as u64) << 32 | w as u64));
+
+    // First turn: create the PN here so PnId assignment follows the
+    // deterministic grant order, and the PN's virtual clock lives on this
+    // thread.
+    shared.acquire(w);
+    let pn = db.processing_node();
+    let mut last_now = pn.clock().now_us();
+    shared.release(w, 0.0, Effect::None);
+
+    let mut txn: Option<tell_core::Transaction<'_, std::sync::Arc<StoreCluster>>> = None;
+    let mut work = Work { keys: Vec::new(), write: false, idle_between: 0 };
+    let mut read_pos = 0usize;
+    let mut write_pos = 0usize;
+    let mut idle_left = 0u32;
+    let mut reads: Vec<(u64, u64)> = Vec::new();
+
+    loop {
+        let stop = shared.acquire(w);
+        let mut effect = Effect::None;
+        let mut extra_us = 0.0;
+        let mut finished = false;
+
+        match txn.as_mut() {
+            None if stop => {
+                shared.finish(w);
+                return;
+            }
+            None => match pn.begin() {
+                Ok(t) => {
+                    work = plan_work(&mut rng, cfg.keys);
+                    read_pos = 0;
+                    write_pos = 0;
+                    idle_left = 0;
+                    reads = Vec::new();
+                    effect = Effect::Began(LiveTxn { snapshot: t.snapshot().clone() });
+                    txn = Some(t);
+                }
+                Err(e) if is_transient(&e) => extra_us = BACKOFF_US,
+                Err(e) => {
+                    effect = Effect::Broke(Violation::UnexpectedError {
+                        worker: w,
+                        message: e.to_string(),
+                    });
+                    finished = true;
+                }
+            },
+            Some(t) => {
+                let tid = t.tid().raw();
+                let snapshot = t.snapshot().clone();
+                // A stop request ends the transaction on its next turn.
+                let step: Result<Option<bool>, Error> = if stop {
+                    t.abort().map(|_| Some(false))
+                } else if idle_left > 0 {
+                    idle_left -= 1;
+                    Ok(None)
+                } else if read_pos < work.keys.len() {
+                    let k = work.keys[read_pos];
+                    t.get(table, rids[k as usize]).map(|row| {
+                        let observed = row.as_deref().and_then(row_writer).unwrap_or(u64::MAX);
+                        reads.push((k, observed));
+                        read_pos += 1;
+                        idle_left = work.idle_between;
+                        None
+                    })
+                } else if work.write && write_pos < work.keys.len() {
+                    let k = work.keys[write_pos];
+                    t.update(table, rids[k as usize], row_value(tid, k).into()).map(|_| {
+                        write_pos += 1;
+                        None
+                    })
+                } else {
+                    t.commit().map(|_| Some(true))
+                };
+                match step {
+                    Ok(None) => {}
+                    Ok(Some(committed)) => {
+                        effect = Effect::Finished(TxnRecord {
+                            worker: w,
+                            tid,
+                            snapshot,
+                            reads: std::mem::take(&mut reads),
+                            writes: if committed && work.write {
+                                work.keys.clone()
+                            } else {
+                                Vec::new()
+                            },
+                            committed,
+                        });
+                        txn = None;
+                    }
+                    Err(e) if is_transient(&e) => {
+                        // Conflict (or a fault-window unavailability): the
+                        // transaction is over. `commit` aborts internally
+                        // before returning `Err`; a failed read/update
+                        // leaves the txn running, so abort it explicitly.
+                        let t = txn.as_mut().expect("txn present in step");
+                        if t.is_running() {
+                            if let Err(abort_err) = t.abort() {
+                                if !is_transient(&abort_err) {
+                                    effect = Effect::Broke(Violation::UnexpectedError {
+                                        worker: w,
+                                        message: abort_err.to_string(),
+                                    });
+                                    finished = true;
+                                }
+                            }
+                        }
+                        if !finished {
+                            effect = Effect::Finished(TxnRecord {
+                                worker: w,
+                                tid,
+                                snapshot,
+                                reads: std::mem::take(&mut reads),
+                                writes: Vec::new(),
+                                committed: false,
+                            });
+                        }
+                        txn = None;
+                    }
+                    Err(e) => {
+                        effect = Effect::Broke(Violation::UnexpectedError {
+                            worker: w,
+                            message: e.to_string(),
+                        });
+                        txn = None;
+                        finished = true;
+                    }
+                }
+            }
+        }
+
+        let now = pn.clock().now_us();
+        let delta = (now - last_now).max(0.0) + extra_us;
+        last_now = now;
+        if finished {
+            // Apply the final effect, then bow out.
+            shared.release(w, delta, effect);
+            shared.acquire(w);
+            shared.finish(w);
+            return;
+        }
+        shared.release(w, delta, effect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+// ---------------------------------------------------------------------
+
+struct Scheduler<'a> {
+    cfg: &'a SimConfig,
+    db: &'a std::sync::Arc<Database>,
+    table: &'a std::sync::Arc<TableDef>,
+    rids: &'a [tell_common::Rid],
+    rng: StdRng,
+    /// CM membership epoch (bumped on kill/recover) — see [`LavScrape`].
+    epoch: u32,
+    /// CM instance ids handed to recovered managers (fresh, never reused).
+    next_cm_id: u32,
+    /// Ids of killed managers whose stale published state we keep erasing
+    /// (in-flight transactions they issued republish it on completion; a
+    /// real deployment's management node performs the same janitorial
+    /// delete).
+    killed_cms: Vec<u32>,
+    /// PN crashes awaiting their recovery event: `(pn, tid, key)`.
+    pending_crashes: Vec<(tell_common::PnId, TxnId, u64)>,
+    stats: SimStats,
+}
+
+impl Scheduler<'_> {
+    fn apply_event(&mut self, st: &mut TurnState, event: &FaultEvent) {
+        self.stats.events_fired += 1;
+        match event.kind {
+            FaultKind::SnKill(n) => {
+                if n < self.cfg.storage_nodes {
+                    self.db.store().kill_node(SnId(n));
+                }
+            }
+            FaultKind::SnRevive(n) => {
+                if n < self.cfg.storage_nodes {
+                    self.db.store().revive_node(SnId(n));
+                }
+            }
+            FaultKind::RestoreReplication => {
+                self.db.store().restore_replication();
+            }
+            FaultKind::CmKill => {
+                let members = self.db.commit_managers().members();
+                if members.len() > 1 {
+                    let victim = members[0].0;
+                    if self.db.commit_managers().fail(victim).is_ok() {
+                        self.killed_cms.push(victim.raw());
+                        self.epoch += 1;
+                    }
+                }
+            }
+            FaultKind::CmRecover => {
+                let cluster = self.db.commit_managers();
+                if (cluster.len() as u32) < self.cfg.commit_managers {
+                    let id = CmId(self.next_cm_id);
+                    self.next_cm_id += 1;
+                    if cluster.spawn_recovered(id).is_ok() {
+                        self.epoch += 1;
+                    }
+                }
+            }
+            FaultKind::PnCrash => match self.crash_pn_mid_commit() {
+                Ok(()) => {}
+                // The victim transaction's partition happened to be in a
+                // fault window — no crash to inject this time.
+                Err(e) if is_transient(&e) => {}
+                Err(e) => self.break_run(
+                    st,
+                    Violation::UnexpectedError {
+                        worker: usize::MAX,
+                        message: format!("pn-crash injection failed: {e}"),
+                    },
+                ),
+            },
+            FaultKind::PnRecover => {
+                if self.pending_crashes.is_empty() {
+                    return;
+                }
+                let crash = self.pending_crashes.remove(0);
+                match tell_core::recovery::recover_failed_pn(self.db, crash.0) {
+                    Ok(_) => {}
+                    // A partition the rollback needs is unavailable right
+                    // now. Keep the crash queued: its tid stays active at
+                    // the commit manager, pinning the lav below it, so GC
+                    // cannot reclaim around the dirty version while we
+                    // wait for a later recover (or the end of the run).
+                    Err(e) if is_transient(&e) => self.pending_crashes.insert(0, crash),
+                    Err(e) => self.break_run(
+                        st,
+                        Violation::UnexpectedError {
+                            worker: usize::MAX,
+                            message: format!("pn recovery failed: {e}"),
+                        },
+                    ),
+                }
+            }
+            FaultKind::GcRun => match tell_core::gc::run_gc(self.db) {
+                Ok(_) => self.check_gc_reachability(st),
+                Err(e) => self.break_run(
+                    st,
+                    Violation::UnexpectedError {
+                        worker: usize::MAX,
+                        message: format!("gc failed: {e}"),
+                    },
+                ),
+            },
+            FaultKind::RpcDegrade { drop_pct, delay_pct, delay_us, dup_pct, flush_stall_us } => {
+                // No-op for the in-process stack (nothing routes through
+                // tell-rpc here), but the hook is driven anyway so a future
+                // remote-backed harness inherits the schedule unchanged.
+                tell_rpc::fault::install(
+                    self.cfg.seed,
+                    tell_rpc::fault::FaultConfig {
+                        drop_prob: drop_pct as f64 / 100.0,
+                        delay_prob: delay_pct as f64 / 100.0,
+                        delay_us: delay_us as u64,
+                        dup_prob: dup_pct as f64 / 100.0,
+                        flush_stall_us: flush_stall_us as u64,
+                    },
+                );
+            }
+            FaultKind::RpcHeal => tell_rpc::fault::clear(),
+        }
+    }
+
+    /// Reproduce §4.4.1's failure window: a PN that has written its log
+    /// entry and applied one update, then dies before setting the commit
+    /// flag. The dirty version stays in the store (invisible — its tid is
+    /// committed nowhere) until the paired recovery event rolls it back.
+    fn crash_pn_mid_commit(&mut self) -> tell_common::Result<()> {
+        let crash_pn = self.db.processing_node();
+        let pn_id = crash_pn.id();
+        let txn = crash_pn.begin()?;
+        let tid = txn.tid();
+        let key = self.rng.random_range(0..self.cfg.keys);
+        let rid = self.rids[key as usize];
+        let client = self.db.admin_client();
+        tell_core::txlog::append(
+            &client,
+            &tell_core::txlog::LogEntry {
+                tid,
+                pn: pn_id,
+                timestamp_us: 0,
+                write_set: vec![(self.table.id, rid)],
+                committed: false,
+            },
+        )?;
+        let record_key = keys::record(self.table.id, rid);
+        let (token, raw) =
+            client.get(&record_key)?.ok_or_else(|| Error::invalid("sim record missing"))?;
+        let mut rec = VersionedRecord::decode(&raw)?;
+        rec.add_version(tid, Some(row_value(tid.raw(), key).into()));
+        client.store_conditional(&record_key, token, rec.encode())?;
+        std::mem::forget(txn); // the PN is gone; nobody completes the tid
+        self.pending_crashes.push((pn_id, tid, key));
+        Ok(())
+    }
+
+    /// After a GC pass: every live snapshot must still be able to read its
+    /// visible winner for every key (§5.4 keeps the newest version at or
+    /// below the lav precisely so this holds).
+    fn check_gc_reachability(&mut self, st: &mut TurnState) {
+        // Committed writers per key, from the history recorded so far.
+        let mut writers: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+        for t in st.history.txns.iter().filter(|t| t.committed) {
+            for &k in &t.writes {
+                writers.entry(k).or_default().push(t.tid);
+            }
+        }
+        let client = self.db.admin_client();
+        for live in st.live.iter().flatten() {
+            for key in 0..self.cfg.keys {
+                let winner = writers
+                    .get(&key)
+                    .into_iter()
+                    .flatten()
+                    .filter(|tid| live.snapshot.contains(**tid))
+                    .copied()
+                    .max()
+                    .unwrap_or(0);
+                let record_key = keys::record(self.table.id, self.rids[key as usize]);
+                let present = match client.get(&record_key) {
+                    Ok(Some((_, raw))) => match VersionedRecord::decode(&raw) {
+                        Ok(rec) => rec.has_version(winner),
+                        Err(_) => false,
+                    },
+                    _ => false,
+                };
+                if !present {
+                    self.break_run(st, Violation::GcReachability { key, version: winner });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn scrape(&mut self, st: &mut TurnState, at_us: f64) {
+        // Janitor: erase state republished by killed managers (their
+        // in-flight transactions re-create the key on completion), so the
+        // cluster lav is computed over live members only.
+        let client = self.db.admin_client();
+        for id in &self.killed_cms {
+            let _ = client.delete(&keys::cm_state(*id));
+        }
+        let cluster = self.db.commit_managers();
+        let bases: Vec<(u32, u64)> =
+            cluster.members().iter().map(|(id, base)| (id.raw(), *base)).collect();
+        st.history.scrapes.push(LavScrape {
+            at_us,
+            epoch: self.epoch,
+            lav: cluster.current_lav(),
+            bases,
+        });
+        self.stats.scrapes += 1;
+    }
+
+    fn break_run(&mut self, st: &mut TurnState, v: Violation) {
+        if st.violation.is_none() {
+            st.violation = Some(v);
+        }
+        st.stop = true;
+    }
+}
+
+/// Run `plan` against a fresh deployment described by `config`.
+pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
+    tell_rpc::fault::clear();
+    let db = Database::create(TellConfig {
+        storage_nodes: config.storage_nodes as usize,
+        replication_factor: config.replication_factor as usize,
+        commit_managers: config.commit_managers as usize,
+        cm: CmConfig {
+            // Wall-clock syncing would be nondeterministic; sync on
+            // operation counts instead.
+            sync_interval: std::time::Duration::from_secs(3600),
+            sync_every_ops: 4,
+            ..CmConfig::default()
+        },
+        ..TellConfig::default()
+    });
+    let table = db
+        .create_table(
+            "sim",
+            vec![IndexSpec::new("pk", true, |r: &[u8]| {
+                r.get(8..16).map(bytes::Bytes::copy_from_slice)
+            })],
+        )
+        .expect("create sim table");
+    let rows: Vec<bytes::Bytes> = (0..config.keys).map(|k| row_value(0, k).into()).collect();
+    let rids = db.bulk_load(&table, rows).expect("bulk load sim rows");
+
+    let shared = Shared {
+        state: Mutex::new(TurnState {
+            turn: Turn::Scheduler,
+            clocks: vec![0.0; config.workers],
+            done: vec![false; config.workers],
+            stop: false,
+            live: (0..config.workers).map(|_| None).collect(),
+            history: History::default(),
+            violation: None,
+        }),
+        cv: Condvar::new(),
+    };
+
+    let horizon = config.horizon_us();
+    let mut scheduler = Scheduler {
+        cfg: config,
+        db: &db,
+        table: &table,
+        rids: &rids,
+        rng: StdRng::seed_from_u64(config.seed ^ SCHED_STREAM),
+        epoch: 0,
+        next_cm_id: 100,
+        killed_cms: Vec::new(),
+        pending_crashes: Vec::new(),
+        stats: SimStats::default(),
+    };
+    let scrape_interval = horizon / 24.0;
+    let mut next_scrape = scrape_interval;
+    let mut event_idx = 0usize;
+
+    let (history, violation, mut stats) = std::thread::scope(|scope| {
+        for w in 0..config.workers {
+            let shared = &shared;
+            let db = &db;
+            let table = &table;
+            let rids = &rids[..];
+            scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_main(w, shared, db, table, rids, config);
+                }));
+                if let Err(panic) = result {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".into());
+                    let mut st = shared.state.lock().unwrap();
+                    if st.violation.is_none() {
+                        st.violation = Some(Violation::UnexpectedError { worker: w, message });
+                    }
+                    st.stop = true;
+                    st.done[w] = true;
+                    st.live[w] = None;
+                    st.turn = Turn::Scheduler;
+                    shared.cv.notify_all();
+                }
+            });
+        }
+
+        let mut st = shared.state.lock().unwrap();
+        loop {
+            while st.turn != Turn::Scheduler {
+                st = shared.cv.wait(st).unwrap();
+            }
+            if st.done.iter().all(|d| *d) {
+                break;
+            }
+            // Next turn: the live worker with the smallest virtual clock.
+            let (next, min_clock) = st
+                .clocks
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| !st.done[*w])
+                .map(|(w, c)| (w, *c))
+                .fold(
+                    (usize::MAX, f64::INFINITY),
+                    |best, (w, c)| {
+                        if c < best.1 {
+                            (w, c)
+                        } else {
+                            best
+                        }
+                    },
+                );
+            if !st.stop {
+                if min_clock >= horizon {
+                    st.stop = true;
+                } else {
+                    while event_idx < plan.events.len()
+                        && plan.events[event_idx].at_us <= min_clock
+                        && !st.stop
+                    {
+                        let event = plan.events[event_idx];
+                        event_idx += 1;
+                        scheduler.apply_event(&mut st, &event);
+                    }
+                    while next_scrape <= min_clock {
+                        scheduler.scrape(&mut st, next_scrape);
+                        next_scrape += scrape_interval;
+                    }
+                }
+            }
+            st.turn = Turn::Worker(next);
+            shared.cv.notify_all();
+        }
+        let end = st.clocks.iter().cloned().fold(0.0f64, f64::max);
+        scheduler.stats.virtual_end_us = end;
+        (std::mem::take(&mut st.history), st.violation.take(), scheduler.stats)
+    });
+
+    tell_rpc::fault::clear();
+    stats.final_lav = db.commit_managers().current_lav();
+    stats.txns = history.txns.len();
+    stats.commits = history.txns.iter().filter(|t| t.committed).count();
+    stats.aborts = stats.txns - stats.commits;
+    stats.reads = history.txns.iter().map(|t| t.reads.len()).sum();
+    stats.writes = history.txns.iter().filter(|t| t.committed).map(|t| t.writes.len()).sum();
+
+    // A live violation (GC reachability, unexpected error) trumps the
+    // post-hoc check; otherwise the history faces the oracle.
+    let (violation, check) = match violation {
+        Some(v) => (Some(v), None),
+        None => match checker::check(&history) {
+            Ok(stats) => (None, Some(stats)),
+            Err(v) => (Some(v), None),
+        },
+    };
+
+    SimOutcome { plan, history, stats, violation, check }
+}
+
+/// Shrink a failing plan to the smallest failing prefix by bisection and
+/// return that minimal run. If the full plan does not fail, its (passing)
+/// outcome is returned unchanged.
+pub fn shrink_plan(config: &SimConfig, plan: &FaultPlan) -> SimOutcome {
+    let full = run_with_plan(config, plan.clone());
+    if full.ok() {
+        return full;
+    }
+    // Invariant: prefix(hi) fails; lo is the largest known-passing length.
+    let mut lo = 0usize;
+    let mut hi = plan.events.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if run_with_plan(config, plan.prefix(mid)).ok() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    run_with_plan(config, plan.prefix(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(mix: FaultMix, seed: u64) -> SimConfig {
+        SimConfig { seed, virtual_secs: 0.05, mix, workers: 3, keys: 12, ..SimConfig::default() }
+    }
+
+    fn digest(outcome: &SimOutcome) -> Vec<(u64, bool, usize, usize)> {
+        outcome
+            .history
+            .txns
+            .iter()
+            .map(|t| (t.tid, t.committed, t.reads.len(), t.writes.len()))
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_run_passes_the_oracle() {
+        let outcome = run(&tiny(FaultMix::None, 11));
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+        assert!(outcome.stats.commits > 0, "no commits in {:?}", outcome.stats);
+        assert!(outcome.check.unwrap().reads_checked > 0);
+    }
+
+    #[test]
+    fn same_seed_is_bit_reproducible() {
+        let cfg = tiny(FaultMix::SnChurn, 7);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(digest(&a), digest(&b));
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.stats.events_fired, b.stats.events_fired);
+    }
+
+    #[test]
+    fn sn_churn_run_passes_the_oracle() {
+        let outcome = run(&tiny(FaultMix::SnChurn, 3));
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+        assert!(outcome.stats.events_fired > 0);
+    }
+
+    #[test]
+    fn cm_restart_run_passes_the_oracle() {
+        let outcome = run(&tiny(FaultMix::CmRestart, 5));
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+    }
+
+    #[test]
+    fn full_mix_run_passes_the_oracle() {
+        let outcome = run(&tiny(FaultMix::All, 9));
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+    }
+
+    #[test]
+    fn shrink_returns_passing_outcome_for_clean_plan() {
+        let cfg = tiny(FaultMix::None, 13);
+        let plan = FaultPlan::generate(cfg.seed, cfg.mix, cfg.horizon_us(), cfg.topology());
+        let outcome = shrink_plan(&cfg, &plan);
+        assert!(outcome.ok());
+        assert_eq!(outcome.plan.events.len(), plan.events.len());
+    }
+}

@@ -1,0 +1,170 @@
+//! The observable history of a simulation run.
+//!
+//! Workers log every transaction they execute — the snapshot it was handed,
+//! every read with the value observed, every key written, and the final
+//! outcome. The [`crate::checker`] validates this log against the SI oracle
+//! without ever re-contacting the database: the history *is* the evidence.
+//!
+//! Values are self-describing: a row written by transaction `t` for key `k`
+//! encodes `t` (and `k`) in its bytes, so "which committed writer did this
+//! read observe?" falls straight out of the payload. The bootstrap bulk-load
+//! writes with `TxnId::BOOTSTRAP` (0), so an observed writer of 0 means "the
+//! initial version".
+
+use tell_commitmgr::SnapshotDescriptor;
+
+/// Encode the row a transaction writes: `[writer_tid BE][key_id BE]`.
+pub fn row_value(writer_tid: u64, key: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&writer_tid.to_be_bytes());
+    v.extend_from_slice(&key.to_be_bytes());
+    v
+}
+
+/// Decode the writer tid out of a row produced by [`row_value`] (or the
+/// bulk-load initial row, which also follows the format with tid 0).
+pub fn row_writer(row: &[u8]) -> Option<u64> {
+    if row.len() < 8 {
+        return None;
+    }
+    Some(u64::from_be_bytes(row[..8].try_into().unwrap()))
+}
+
+/// One transaction as the worker experienced it.
+#[derive(Clone, Debug)]
+pub struct TxnRecord {
+    /// Worker index that ran the transaction.
+    pub worker: usize,
+    /// The tid the commit manager allocated.
+    pub tid: u64,
+    /// The snapshot descriptor the transaction read under.
+    pub snapshot: SnapshotDescriptor,
+    /// `(key, observed_writer_tid)` per read, in program order. Reads of a
+    /// key the transaction itself already buffered a write for are *not*
+    /// recorded (they observe the private buffer, not the snapshot).
+    pub reads: Vec<(u64, u64)>,
+    /// Keys this transaction wrote (update intents that reached commit).
+    pub writes: Vec<u64>,
+    /// Did the transaction commit? Aborted transactions still matter to the
+    /// checker (their reads must be snapshot-consistent too) but their
+    /// writes never become visible.
+    pub committed: bool,
+}
+
+/// A periodic observation of the commit managers' global state.
+#[derive(Clone, Debug)]
+pub struct LavScrape {
+    /// Virtual time of the scrape.
+    pub at_us: f64,
+    /// Commit-manager membership epoch: bumped on every CM kill or
+    /// recovery. The cluster lav is a min over live managers, so it is only
+    /// guaranteed monotone while membership is stable — the checker
+    /// compares lav within an epoch. Per-instance bases are monotone
+    /// unconditionally.
+    pub epoch: u32,
+    /// Lowest active version across the CM cluster at that instant.
+    pub lav: u64,
+    /// `(cm_instance, base)` for every live commit manager. Instance ids
+    /// are never reused across restarts, so per-instance bases must be
+    /// monotone.
+    pub bases: Vec<(u32, u64)>,
+}
+
+/// Everything a run observed, in commit/abort completion order.
+///
+/// The driver serializes workers through a turnstile, so the order records
+/// are appended in is the real total order of completion — the checker
+/// relies on this when reasoning about concurrency.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// Completed transactions (committed and aborted).
+    pub txns: Vec<TxnRecord>,
+    /// Commit-manager scrapes, in scrape order.
+    pub scrapes: Vec<LavScrape>,
+}
+
+impl History {
+    /// Committed transactions only.
+    pub fn committed(&self) -> impl Iterator<Item = &TxnRecord> {
+        self.txns.iter().filter(|t| t.committed)
+    }
+
+    /// Dump as JSON for failure artifacts. Hand-rolled — the fields are
+    /// all integers and the format only needs to be stable, not general.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"txns\": [\n");
+        for (i, t) in self.txns.iter().enumerate() {
+            let reads: Vec<String> = t.reads.iter().map(|(k, w)| format!("[{k},{w}]")).collect();
+            let writes: Vec<String> = t.writes.iter().map(|k| k.to_string()).collect();
+            // Enumerate the newly-committed tids above the base; the count
+            // tells us when to stop scanning.
+            let want = t.snapshot.newly_committed_count();
+            let mut newly: Vec<String> = Vec::with_capacity(want);
+            let mut v = t.snapshot.base() + 1;
+            while newly.len() < want {
+                if t.snapshot.contains(v) {
+                    newly.push(v.to_string());
+                }
+                v += 1;
+            }
+            out.push_str(&format!(
+                "    {{\"worker\":{},\"tid\":{},\"base\":{},\"newly\":[{}],\"reads\":[{}],\"writes\":[{}],\"committed\":{}}}{}\n",
+                t.worker,
+                t.tid,
+                t.snapshot.base(),
+                newly.join(","),
+                reads.join(","),
+                writes.join(","),
+                t.committed,
+                if i + 1 < self.txns.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n  \"scrapes\": [\n");
+        for (i, s) in self.scrapes.iter().enumerate() {
+            let bases: Vec<String> = s.bases.iter().map(|(id, b)| format!("[{id},{b}]")).collect();
+            out.push_str(&format!(
+                "    {{\"at_us\":{:.1},\"epoch\":{},\"lav\":{},\"bases\":[{}]}}{}\n",
+                s.at_us,
+                s.epoch,
+                s.lav,
+                bases.join(","),
+                if i + 1 < self.scrapes.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_roundtrip() {
+        let row = row_value(42, 7);
+        assert_eq!(row.len(), 16);
+        assert_eq!(row_writer(&row), Some(42));
+        assert_eq!(row_writer(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn json_dump_is_wellformed_enough() {
+        let mut h = History::default();
+        h.txns.push(TxnRecord {
+            worker: 0,
+            tid: 5,
+            snapshot: SnapshotDescriptor::bootstrap(),
+            reads: vec![(1, 0)],
+            writes: vec![1],
+            committed: true,
+        });
+        h.scrapes.push(LavScrape { at_us: 10.0, epoch: 0, lav: 5, bases: vec![(0, 5)] });
+        let json = h.to_json();
+        assert!(json.contains("\"tid\":5"));
+        assert!(json.contains("\"lav\":5"));
+        // Balanced braces/brackets as a cheap sanity proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,353 @@
+//! Fault plans: a seed expands into a schedule of timed fault events.
+//!
+//! Times are in **virtual microseconds** — the same clock the workers'
+//! `NetMeter`s charge — so a plan scales with the workload, not with the
+//! host machine. The driver fires an event when the globally-slowest
+//! worker's clock passes the event time, which makes the (event, workload)
+//! interleaving a pure function of the seed.
+
+use rand::{Rng, SeedableRng, StdRng};
+
+/// One injected fault (or maintenance action — GC runs ride the same
+/// schedule: they are not faults, but they interact with every fault).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Kill storage node `n` (fail-stop; replicas keep serving).
+    SnKill(u32),
+    /// Revive storage node `n` (resyncs its copies from current masters).
+    SnRevive(u32),
+    /// Re-create missing replicas on the surviving nodes (§4.4.2).
+    RestoreReplication,
+    /// Crash-stop the lowest-id live commit manager (skipped when it is
+    /// the last one — a zero-manager system is just blocked, §4.4.3).
+    CmKill,
+    /// Spawn a replacement commit manager that recovers from peer state
+    /// and the transaction log (no-op at full strength).
+    CmRecover,
+    /// A processing node dies mid-commit: log entry written, one update
+    /// applied, commit flag never set (§4.4.1). Leaves the dirty state in
+    /// the store until the paired [`FaultKind::PnRecover`].
+    PnCrash,
+    /// Run the PN recovery process for the oldest crashed PN: roll back
+    /// its write set and force-resolve its tid everywhere.
+    PnRecover,
+    /// Run a garbage-collection pass (§5.4) — the driver checks that no
+    /// version a live snapshot can read disappears.
+    GcRun,
+    /// Degrade the RPC transport via `tell_rpc::fault` (drop/delay/
+    /// duplicate frames, client flush stalls). Percentages, not
+    /// probabilities, so plans print and compare exactly.
+    RpcDegrade {
+        /// Per-frame drop chance, percent.
+        drop_pct: u8,
+        /// Per-frame delay chance, percent.
+        delay_pct: u8,
+        /// Delay magnitude, µs.
+        delay_us: u32,
+        /// Per-frame duplication chance, percent.
+        dup_pct: u8,
+        /// Client batch-flush stall, µs.
+        flush_stall_us: u32,
+    },
+    /// Clear the RPC fault injector.
+    RpcHeal,
+}
+
+impl FaultKind {
+    /// Compact single-token rendering used by plan summaries and dumps.
+    pub fn label(&self) -> String {
+        match self {
+            FaultKind::SnKill(n) => format!("sn-kill:{n}"),
+            FaultKind::SnRevive(n) => format!("sn-revive:{n}"),
+            FaultKind::RestoreReplication => "re-replicate".into(),
+            FaultKind::CmKill => "cm-kill".into(),
+            FaultKind::CmRecover => "cm-recover".into(),
+            FaultKind::PnCrash => "pn-crash".into(),
+            FaultKind::PnRecover => "pn-recover".into(),
+            FaultKind::GcRun => "gc".into(),
+            FaultKind::RpcDegrade { drop_pct, delay_pct, delay_us, dup_pct, flush_stall_us } => {
+                format!(
+                    "rpc-degrade:d{drop_pct}/l{delay_pct}x{delay_us}/x{dup_pct}/s{flush_stall_us}"
+                )
+            }
+            FaultKind::RpcHeal => "rpc-heal".into(),
+        }
+    }
+}
+
+/// A fault scheduled at a virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time (µs) at which the driver fires the event.
+    pub at_us: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Which classes of faults a plan draws from. Mirrors the `--faults` flag
+/// of `examples/tell_sim.rs` and the three `scripts/check.sh --sim` seeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMix {
+    /// No faults — GC runs only. The SI baseline every other mix is
+    /// measured against.
+    None,
+    /// Storage-node churn: kill/revive/re-replicate cycles.
+    SnChurn,
+    /// Commit-manager kill + recover-from-log cycles.
+    CmRestart,
+    /// Everything: SN churn, CM restarts, PN crashes mid-commit, RPC
+    /// degradation windows.
+    All,
+}
+
+impl FaultMix {
+    /// Parse the `--faults` flag value.
+    pub fn parse(s: &str) -> Option<FaultMix> {
+        match s {
+            "none" => Some(FaultMix::None),
+            "sn" => Some(FaultMix::SnChurn),
+            "cm" => Some(FaultMix::CmRestart),
+            "all" => Some(FaultMix::All),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultMix::None => "none",
+            FaultMix::SnChurn => "sn",
+            FaultMix::CmRestart => "cm",
+            FaultMix::All => "all",
+        }
+    }
+}
+
+/// The topology facts plan generation needs to emit only sensible events.
+#[derive(Clone, Copy, Debug)]
+pub struct Topology {
+    /// Storage nodes in the cluster.
+    pub storage_nodes: u32,
+    /// Replication factor (bounds how many SNs may be down at once).
+    pub replication_factor: u32,
+    /// Commit managers at full strength.
+    pub commit_managers: u32,
+}
+
+/// A seeded, ordered schedule of fault events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// The seed the plan was expanded from (0 for hand-built plans).
+    pub seed: u64,
+    /// Events in non-decreasing `at_us` order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Expand `seed` into a schedule over `[0, horizon_us)`.
+    ///
+    /// Generation keeps a model of the cluster (which SNs are down, how
+    /// many CMs are live, whether a PN crash is pending) so every emitted
+    /// event is *applicable* when fired in order: at most `rf - 1` storage
+    /// nodes are ever down together, the last commit manager is never
+    /// killed, and every crash/degrade has its matching recover/heal.
+    pub fn generate(seed: u64, mix: FaultMix, horizon_us: f64, topo: Topology) -> FaultPlan {
+        // XOR with a constant so the plan stream never coincides with the
+        // per-worker workload streams derived from the same seed.
+        let mut rng = StdRng::seed_from_u64(seed ^ PLAN_STREAM);
+        let mut events = Vec::new();
+
+        // GC runs in every mix: 4–8 passes spread over the horizon.
+        let gc_passes = rng.random_range(4..=8);
+        for i in 0..gc_passes {
+            let slot = horizon_us / gc_passes as f64;
+            let at = slot * i as f64 + rng.random_range(0.0..slot);
+            events.push(FaultEvent { at_us: at, kind: FaultKind::GcRun });
+        }
+
+        let sn_faults = matches!(mix, FaultMix::SnChurn | FaultMix::All);
+        let cm_faults = matches!(mix, FaultMix::CmRestart | FaultMix::All);
+        let pn_faults = matches!(mix, FaultMix::All);
+        let rpc_faults = matches!(mix, FaultMix::All);
+
+        if sn_faults && topo.storage_nodes > 1 && topo.replication_factor > 1 {
+            // Kill/revive cycles; with RF `r`, up to r-1 concurrent deaths
+            // keep every partition reachable (transient Unavailable is
+            // still expected while a kill propagates).
+            let mut t = rng.random_range(0.05..0.25) * horizon_us;
+            // Nodes currently scheduled to be dead, with their revive
+            // times. A node counts as down until its revive event fires,
+            // so a kill is only scheduled while the number of nodes whose
+            // revive lies in the future stays within the rf-1 budget —
+            // otherwise a revive could find no alive copy to resync from
+            // and resurrect stale data (real data loss, not an SI bug the
+            // checker should flag).
+            let mut down: Vec<(u32, f64)> = Vec::new();
+            while t < horizon_us * 0.9 {
+                down.retain(|(_, revive_at)| *revive_at > t);
+                if (down.len() as u32) < topo.replication_factor - 1 {
+                    let alive: Vec<u32> = (0..topo.storage_nodes)
+                        .filter(|n| !down.iter().any(|(d, _)| d == n))
+                        .collect();
+                    let victim = alive[rng.random_range(0..alive.len())];
+                    events.push(FaultEvent { at_us: t, kind: FaultKind::SnKill(victim) });
+                    let dead_for = rng.random_range(0.05..0.2) * horizon_us;
+                    let revive_at = (t + dead_for).min(horizon_us * 0.95);
+                    events.push(FaultEvent { at_us: revive_at, kind: FaultKind::SnRevive(victim) });
+                    if rng.random_bool(0.5) {
+                        events.push(FaultEvent {
+                            at_us: revive_at + 1.0,
+                            kind: FaultKind::RestoreReplication,
+                        });
+                    }
+                    down.push((victim, revive_at));
+                }
+                t += rng.random_range(0.1..0.3) * horizon_us;
+            }
+        }
+
+        if cm_faults && topo.commit_managers > 1 {
+            let mut t = rng.random_range(0.1..0.3) * horizon_us;
+            while t < horizon_us * 0.85 {
+                events.push(FaultEvent { at_us: t, kind: FaultKind::CmKill });
+                let recover_at = t + rng.random_range(0.05..0.15) * horizon_us;
+                events.push(FaultEvent {
+                    at_us: recover_at.min(horizon_us * 0.95),
+                    kind: FaultKind::CmRecover,
+                });
+                t = recover_at + rng.random_range(0.1..0.3) * horizon_us;
+            }
+        }
+
+        if pn_faults {
+            let crashes = rng.random_range(1..=3);
+            for _ in 0..crashes {
+                let t = rng.random_range(0.1..0.8) * horizon_us;
+                events.push(FaultEvent { at_us: t, kind: FaultKind::PnCrash });
+                events.push(FaultEvent {
+                    at_us: t + rng.random_range(0.02..0.1) * horizon_us,
+                    kind: FaultKind::PnRecover,
+                });
+            }
+        }
+
+        if rpc_faults {
+            let windows = rng.random_range(1..=2);
+            for _ in 0..windows {
+                let t = rng.random_range(0.1..0.7) * horizon_us;
+                events.push(FaultEvent {
+                    at_us: t,
+                    kind: FaultKind::RpcDegrade {
+                        drop_pct: rng.random_range(1..=5),
+                        delay_pct: rng.random_range(5..=20),
+                        delay_us: rng.random_range(50..=500),
+                        dup_pct: rng.random_range(1..=5),
+                        flush_stall_us: rng.random_range(0..=200),
+                    },
+                });
+                events.push(FaultEvent {
+                    at_us: t + rng.random_range(0.05..0.2) * horizon_us,
+                    kind: FaultKind::RpcHeal,
+                });
+            }
+        }
+
+        events.sort_by(|a, b| a.at_us.total_cmp(&b.at_us));
+        FaultPlan { seed, events }
+    }
+
+    /// First `n` events of the plan (the shrinker's unit of reduction).
+    pub fn prefix(&self, n: usize) -> FaultPlan {
+        FaultPlan { seed: self.seed, events: self.events[..n.min(self.events.len())].to_vec() }
+    }
+
+    /// One line per event, for failure dumps.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("  {:>12.1}us {}\n", e.at_us, e.kind.label()));
+        }
+        out
+    }
+}
+
+/// Domain-separation constant for the plan RNG stream.
+const PLAN_STREAM: u64 = 0x5e1f_00d5_fa17_7000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology { storage_nodes: 4, replication_factor: 2, commit_managers: 2 }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, FaultMix::All, 2e6, topo());
+        let b = FaultPlan::generate(42, FaultMix::All, 2e6, topo());
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, FaultMix::SnChurn, 2e6, topo());
+        let b = FaultPlan::generate(2, FaultMix::SnChurn, 2e6, topo());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let plan = FaultPlan::generate(7, FaultMix::All, 3e6, topo());
+        for pair in plan.events.windows(2) {
+            assert!(pair[0].at_us <= pair[1].at_us);
+        }
+    }
+
+    #[test]
+    fn none_mix_is_gc_only() {
+        let plan = FaultPlan::generate(9, FaultMix::None, 2e6, topo());
+        assert!(plan.events.iter().all(|e| e.kind == FaultKind::GcRun));
+        assert!(!plan.events.is_empty());
+    }
+
+    #[test]
+    fn sn_churn_never_exceeds_the_replication_budget() {
+        // Replaying any plan's kills/revives in event order must keep the
+        // number of simultaneously-dead nodes within rf - 1; losing every
+        // copy of a partition is data loss, not a fault the SI checker is
+        // meant to exercise.
+        for seed in 0..50u64 {
+            for mix in [FaultMix::SnChurn, FaultMix::All] {
+                let plan = FaultPlan::generate(seed, mix, 2e6, topo());
+                let mut dead = std::collections::HashSet::new();
+                for e in &plan.events {
+                    match e.kind {
+                        FaultKind::SnKill(n) => {
+                            assert!(dead.insert(n), "seed {seed}: kill of dead node {n}");
+                            assert!(
+                                dead.len() < topo().replication_factor as usize,
+                                "seed {seed}: {} nodes dead at once",
+                                dead.len()
+                            );
+                        }
+                        FaultKind::SnRevive(n) => {
+                            assert!(dead.remove(&n), "seed {seed}: revive of live node {n}");
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let plan = FaultPlan::generate(3, FaultMix::All, 2e6, topo());
+        let p = plan.prefix(2);
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.events[..], plan.events[..2]);
+        assert_eq!(plan.prefix(10_000).events.len(), plan.events.len());
+    }
+}

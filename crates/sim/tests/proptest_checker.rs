@@ -1,0 +1,247 @@
+//! Property tests for the SI oracle in `tell_sim::checker`.
+//!
+//! A miniature reference SI engine executes random command streams and
+//! produces histories that are snapshot-isolated *by construction* — the
+//! checker must accept every one of them. Then two targeted mutations
+//! falsify specific invariants — a torn read and a mutually-invisible
+//! writer pair — and the checker must reject each with the matching
+//! violation. Together these pin the oracle from both sides: it neither
+//! cries wolf on legal SI behavior (including first-committer-wins aborts
+//! and write skew) nor waves through the two anomaly classes the
+//! simulation exists to catch.
+
+use proptest::prelude::*;
+use tell_commitmgr::SnapshotDescriptor;
+use tell_common::BitSet;
+use tell_sim::{check, History, TxnRecord, Violation};
+
+/// One step of the command stream, decoded from raw proptest bytes so the
+/// generator shrinks well (any byte triple is a valid command).
+#[derive(Clone, Copy, Debug)]
+enum Cmd {
+    Begin(usize),
+    Read(usize, u64),
+    Write(usize, u64),
+    Commit(usize),
+    Abort(usize),
+}
+
+const SLOTS: usize = 4;
+const KEYS: u64 = 5;
+
+fn decode(op: u8, slot: u8, key: u8) -> Cmd {
+    let slot = slot as usize % SLOTS;
+    let key = key as u64 % KEYS;
+    match op % 5 {
+        0 => Cmd::Begin(slot),
+        1 => Cmd::Read(slot, key),
+        2 => Cmd::Write(slot, key),
+        3 => Cmd::Commit(slot),
+        _ => Cmd::Abort(slot),
+    }
+}
+
+/// An open transaction in the reference engine.
+struct Open {
+    tid: u64,
+    base: u64,
+    newly: Vec<u64>,
+    reads: Vec<(u64, u64)>,
+    writes: Vec<u64>,
+}
+
+impl Open {
+    fn sees(&self, v: u64) -> bool {
+        v <= self.base || self.newly.contains(&v)
+    }
+
+    fn descriptor(&self) -> SnapshotDescriptor {
+        let mut bits = BitSet::new();
+        for &v in &self.newly {
+            bits.set((v - self.base - 1) as usize);
+        }
+        SnapshotDescriptor::new(self.base, bits)
+    }
+}
+
+/// The reference engine: a sequentially-consistent SI implementation over
+/// a single total order of steps (the proptest command stream). It plays
+/// the roles of commit manager (tid allocation, snapshot construction)
+/// and store (version visibility, first-committer-wins) at once.
+#[derive(Default)]
+struct Engine {
+    next_tid: u64,
+    /// `tid -> committed?` for every finished transaction.
+    finished: std::collections::BTreeMap<u64, bool>,
+    /// Tids currently running (their slots hold the `Open` state).
+    active: std::collections::BTreeSet<u64>,
+    /// Committed writers per key, in commit order.
+    writers: std::collections::HashMap<u64, Vec<u64>>,
+    history: History,
+}
+
+impl Engine {
+    fn begin(&mut self) -> Open {
+        self.next_tid += 1;
+        let tid = self.next_tid;
+        self.active.insert(tid);
+        // Base: highest b with every tid in 1..=b finished.
+        let mut base = 0;
+        while self.finished.contains_key(&(base + 1)) {
+            base += 1;
+        }
+        let newly: Vec<u64> = self
+            .finished
+            .iter()
+            .filter(|(t, committed)| **t > base && **committed)
+            .map(|(t, _)| *t)
+            .collect();
+        Open { tid, base, newly, reads: Vec::new(), writes: Vec::new() }
+    }
+
+    fn read(&self, open: &Open, key: u64) -> u64 {
+        self.writers
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .filter(|w| open.sees(**w))
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn finish(&mut self, open: Open, want_commit: bool) {
+        // First-committer-wins: a write over a version the snapshot cannot
+        // see conflicts (Tell's LL/SC install would fail).
+        let conflicted = want_commit
+            && open
+                .writes
+                .iter()
+                .any(|k| self.writers.get(k).into_iter().flatten().any(|w| !open.sees(*w)));
+        let committed = want_commit && !conflicted;
+        if committed {
+            for &k in &open.writes {
+                self.writers.entry(k).or_default().push(open.tid);
+            }
+        }
+        self.active.remove(&open.tid);
+        self.finished.insert(open.tid, committed);
+        self.history.txns.push(TxnRecord {
+            worker: 0,
+            tid: open.tid,
+            snapshot: open.descriptor(),
+            reads: open.reads,
+            writes: if committed { open.writes } else { Vec::new() },
+            committed,
+        });
+    }
+}
+
+/// Execute a raw command stream and return the (valid-by-construction)
+/// history.
+fn execute(stream: &[(u8, u8, u8)]) -> History {
+    let mut engine = Engine::default();
+    let mut slots: Vec<Option<Open>> = (0..SLOTS).map(|_| None).collect();
+    for &(op, slot, key) in stream {
+        match decode(op, slot, key) {
+            Cmd::Begin(s) => {
+                if slots[s].is_none() {
+                    slots[s] = Some(engine.begin());
+                }
+            }
+            Cmd::Read(s, k) => {
+                if let Some(open) = slots[s].as_mut() {
+                    // Reads of self-written keys observe the private write
+                    // buffer, which the driver does not record either.
+                    if !open.writes.contains(&k) {
+                        let observed = engine.read(open, k);
+                        open.reads.push((k, observed));
+                    }
+                }
+            }
+            Cmd::Write(s, k) => {
+                if let Some(open) = slots[s].as_mut() {
+                    if !open.writes.contains(&k) {
+                        open.writes.push(k);
+                    }
+                }
+            }
+            Cmd::Commit(s) => {
+                if let Some(open) = slots[s].take() {
+                    engine.finish(open, true);
+                }
+            }
+            Cmd::Abort(s) => {
+                if let Some(open) = slots[s].take() {
+                    engine.finish(open, false);
+                }
+            }
+        }
+    }
+    // Close every still-open transaction so its reads reach the history.
+    for open in slots.into_iter().flatten() {
+        engine.finish(open, true);
+    }
+    engine.history
+}
+
+fn stream() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..160)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Every history the reference engine produces satisfies the oracle.
+    #[test]
+    fn valid_histories_are_accepted(stream in stream()) {
+        let history = execute(&stream);
+        if let Err(v) = check(&history) {
+            prop_assert!(false, "checker rejected a valid SI history: {v}");
+        }
+    }
+
+    /// Corrupting one read to a wrong writer is always caught as a torn
+    /// snapshot.
+    #[test]
+    fn torn_snapshot_is_rejected(stream in stream(), pick in any::<usize>()) {
+        let mut history = execute(&stream);
+        let readers: Vec<usize> = (0..history.txns.len())
+            .filter(|i| !history.txns[*i].reads.is_empty())
+            .collect();
+        prop_assume!(!readers.is_empty());
+        let t = readers[pick % readers.len()];
+        // Any observed value different from the true one violates the
+        // read rule: the rule pins reads to exactly one writer.
+        history.txns[t].reads[0].1 += 1;
+        match check(&history) {
+            Err(Violation::TornSnapshot { .. }) => {}
+            other => prop_assert!(false, "expected TornSnapshot, got {other:?}"),
+        }
+    }
+
+    /// Two mutually-invisible committed writers of one key are always
+    /// caught as a lost update.
+    #[test]
+    fn lost_update_is_rejected(stream in stream(), key in 0..KEYS) {
+        let mut history = execute(&stream);
+        // Append two concurrent committed writers with fresh tids and
+        // identical snapshots that see neither each other nor anything
+        // beyond what already happened.
+        let top = history.txns.iter().map(|t| t.tid).max().unwrap_or(0);
+        for tid in [top + 1, top + 2] {
+            history.txns.push(TxnRecord {
+                worker: 0,
+                tid,
+                snapshot: SnapshotDescriptor::new(top, BitSet::new()),
+                reads: vec![],
+                writes: vec![key],
+                committed: true,
+            });
+        }
+        match check(&history) {
+            Err(Violation::LostUpdate { key: k, .. }) => prop_assert_eq!(k, key),
+            other => prop_assert!(false, "expected LostUpdate, got {other:?}"),
+        }
+    }
+}

@@ -31,6 +31,15 @@ fi
 
 cargo bench -q -p tell-bench --bench table2_mixes
 
+# Simulation throughput snapshot: how many transactions the deterministic
+# fault-schedule harness pushes through the full stack per virtual and
+# per wall second, under the all-faults mix. Fixed seed: the virtual-side
+# numbers are reproducible; wall-side numbers track host speed.
+sim_secs=0.5
+[[ "${1:-}" == "--smoke" ]] && sim_secs=0.1
+cargo run -q --release --example tell_sim -- --seed 1 --seconds "$sim_secs" \
+  --faults all --bench-json "$out_dir/BENCH_sim_throughput.json" > /dev/null
+
 shopt -s nullglob
 files=("$out_dir"/BENCH_*.json)
 if (( ${#files[@]} == 0 )); then

@@ -4,6 +4,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deterministic fault-schedule simulation smoke (crates/sim): three fixed
+# seeds cover the fault-free, SN-churn and CM-restart schedules. The
+# verdict line is bit-reproducible per seed, so a change in behavior —
+# not just an SI violation — shows up as a diff here. A long nightly run
+# (not gated; violations there open issues rather than block merges) is
+#   cargo run --release --example tell_sim -- --seed "$(date +%s)" --seconds 30 --faults all
+run_sim_smoke() {
+  echo "==> sim smoke (tell_sim seeds 1/none 2/sn 3/cm)"
+  cargo build -q --example tell_sim
+  cargo run -q --example tell_sim -- --seed 1 --seconds 0.2 --faults none
+  cargo run -q --example tell_sim -- --seed 2 --seconds 0.2 --faults sn
+  cargo run -q --example tell_sim -- --seed 3 --seconds 0.2 --faults cm
+}
+
+if [[ "${1:-}" == "--sim" ]]; then
+  run_sim_smoke
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -23,5 +42,7 @@ echo "==> trace smoke (tell_trace against a loopback cluster)"
 # The example validates the emitted Chrome trace-event JSON and exits
 # nonzero when it is malformed or no trace was assembled.
 cargo run -q --example tell_trace -- --loopback --txns 4 > /dev/null
+
+run_sim_smoke
 
 echo "All checks passed."
