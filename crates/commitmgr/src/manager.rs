@@ -208,8 +208,16 @@ impl<E: StoreEndpoint> CommitManager<E> {
     /// Begin a transaction: returns a fresh tid, the current snapshot and
     /// the lav. Costs one round trip to the commit manager, plus (amortized)
     /// the tid-range counter increment.
+    ///
+    /// The periodic peer sync is best-effort here, as in `complete`:
+    /// it only publishes/pulls gossip state, while tid allocation itself is
+    /// manager-local (the range counter below propagates its own errors).
+    /// The sync's wall-clock trigger would otherwise make `begin` fail at
+    /// arbitrary moments of a storage fault window.
     pub fn start(&self, meter: &NetMeter) -> Result<TxnStart> {
-        self.maybe_sync(meter)?;
+        if self.maybe_sync(meter).is_err() {
+            tell_obs::incr(tell_obs::Counter::CmSyncDeferred);
+        }
         let mut st = self.state.lock();
         let tid = if self.config.interleaved {
             let (idx, n) = self.config.stripe;
@@ -320,10 +328,21 @@ impl<E: StoreEndpoint> CommitManager<E> {
     /// updated state is published to the store immediately. Publishing
     /// cannot be amortized the way pulling is: a manager may go idle right
     /// after its last commit, and an unpublished completion would leave
-    /// peers' snapshots permanently missing that version — their
-    /// transactions would then conflict on it forever. Starts don't have
-    /// this problem (they change nothing a peer's snapshot depends on), so
-    /// the pull side stays on the periodic `maybe_sync` cadence.
+    /// peers' snapshots missing that version until the next publish —
+    /// their transactions would conflict on it in the meantime. Starts
+    /// don't have this problem (they change nothing a peer's snapshot
+    /// depends on), so the pull side stays on the periodic `maybe_sync`
+    /// cadence.
+    ///
+    /// The in-memory `finish` is the visibility commit point: every
+    /// snapshot this manager hands out afterwards contains the outcome, so
+    /// a publish failure must NOT surface as a completion failure — the
+    /// caller would record an abort for a version later readers observe, a
+    /// torn history. Publish is safe to defer instead: each completion
+    /// re-encodes the full state, so a store fault window (e.g. every
+    /// copy-holder of the cm-state partition down, awaiting restart from
+    /// its durable log) only delays peer visibility until the first
+    /// completion after the window closes.
     fn complete(&self, tid: TxnId, committed: bool, meter: &NetMeter) -> Result<()> {
         // On a commit-manager node serving a remote frame, applying the
         // outcome gets its own span under the dispatch span; the in-process
@@ -338,16 +357,20 @@ impl<E: StoreEndpoint> CommitManager<E> {
         {
             let mut st = self.state.lock();
             st.finish(tid, committed);
-            Self::publish(&self.id, &client, &mut st)?;
+            if Self::publish(&self.id, &client, &mut st).is_err() {
+                tell_obs::incr(tell_obs::Counter::CmPublishDeferred);
+            }
             Self::export_gauges(&st);
         }
-        let result = self.maybe_sync(meter);
+        if self.maybe_sync(meter).is_err() {
+            tell_obs::incr(tell_obs::Counter::CmSyncDeferred);
+        }
         if let Some(span) = span {
             let status =
                 if committed { tell_obs::SpanStatus::Ok } else { tell_obs::SpanStatus::Conflict };
             span.finish(0.0, 1, status);
         }
-        result
+        Ok(())
     }
 
     /// Mark the unused remainder of the local tid range completed, so the

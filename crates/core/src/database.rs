@@ -45,6 +45,10 @@ pub struct TellConfig {
     /// aggressively batches operations"). Disabled only by the batching
     /// ablation benchmark.
     pub batching: bool,
+    /// Optional storage-node persistence tier (see
+    /// [`tell_store::durability`]). `None` keeps storage pure in-memory —
+    /// the paper's base configuration, where durability is replication.
+    pub store_durability: Option<Arc<dyn tell_store::DurabilityProvider>>,
 }
 
 impl Default for TellConfig {
@@ -61,6 +65,7 @@ impl Default for TellConfig {
             rid_range: 1024,
             btree: BTreeConfig::default(),
             batching: true,
+            store_durability: None,
         }
     }
 }
@@ -116,6 +121,9 @@ impl Database {
         }
         if let Some(c) = config.node_capacity_bytes {
             store_cfg = store_cfg.capacity(c);
+        }
+        if let Some(d) = &config.store_durability {
+            store_cfg = store_cfg.durability(Arc::clone(d));
         }
         let store = StoreCluster::new(store_cfg);
         let cms = CmCluster::new(Arc::clone(&store), config.commit_managers, config.cm.clone());

@@ -738,7 +738,21 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             }
         }
 
-        txlog::mark_committed(self.pn.client(), &mut entry)?;
+        if let Err(e) = txlog::mark_committed(self.pn.client(), &mut entry) {
+            // The commit flag never reached the log, so the transaction is
+            // not committed. Roll the installed versions back (best effort:
+            // if the revert also fails they stay invisible — no snapshot
+            // ever contains this tid) and resolve the tid as aborted so the
+            // base does not stall on it.
+            let applied: Vec<(TableId, Rid)> =
+                applied_records.iter().map(|(target, _)| *target).collect();
+            let _ = crate::recovery::revert_write_set(self.pn.client(), self.tid, &applied);
+            self.state = State::Aborted;
+            self.cm.set_aborted(self.tid, self.pn.meter())?;
+            self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, true);
+            self.note_finished(SpanStatus::Error, true);
+            return Err(e);
+        }
         let cm_span = self.phase_start(SpanKind::TxnCmComplete);
         self.cm.set_committed(self.tid, self.pn.meter())?;
         self.phase_finish(cm_span, Phase::CmComplete, "txn.cm_complete", 0, SpanStatus::Ok);

@@ -1,0 +1,302 @@
+//! Byte-bounded LRU object cache.
+//!
+//! The durable engine's index keeps every key's *location* in RAM, but the
+//! value bytes themselves may live only on disk. This cache holds the hot
+//! values: writes go through it (a just-written value is the most likely
+//! next read), reads promote, and eviction trims from the cold end once the
+//! byte budget is exceeded. An optional background evictor thread trims to
+//! a low watermark so foreground operations rarely pay eviction cost.
+//!
+//! Hand-rolled intrusive LRU: a `HashMap` from `(pid, key)` to a slab index
+//! plus prev/next links threaded through the slab. No per-op allocation
+//! beyond the map entry, O(1) for get/insert/remove/evict-one.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tell_obs::{add, incr, Counter};
+
+/// Cache key: partition id + row key.
+type Key = (u32, Bytes);
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: Key,
+    value: Bytes,
+    prev: usize,
+    next: usize,
+}
+
+struct Inner {
+    map: HashMap<Key, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    bytes: usize,
+}
+
+impl Inner {
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn entry_bytes(key: &Key, value: &Bytes) -> usize {
+        key.1.len() + value.len() + 64
+    }
+
+    /// Drop the LRU entry; returns false when empty.
+    fn evict_one(&mut self) -> bool {
+        let idx = self.tail;
+        if idx == NIL {
+            return false;
+        }
+        self.detach(idx);
+        let entry = &mut self.slab[idx];
+        self.bytes -= Self::entry_bytes(&entry.key, &entry.value);
+        let key = std::mem::replace(&mut entry.key, (0, Bytes::new()));
+        entry.value = Bytes::new();
+        self.map.remove(&key);
+        self.free.push(idx);
+        true
+    }
+}
+
+/// A byte-capacity LRU over `(partition, key) -> value`.
+#[derive(Debug)]
+pub struct ObjectCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("entries", &self.map.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl ObjectCache {
+    /// New cache bounded to roughly `capacity` bytes of key+value payload.
+    pub fn new(capacity: usize) -> Self {
+        ObjectCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                slab: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                bytes: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Look up and promote. Counts a hit or miss.
+    pub fn get(&self, pid: u32, key: &Bytes) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        let probe = (pid, key.clone());
+        match inner.map.get(&probe).copied() {
+            Some(idx) => {
+                inner.detach(idx);
+                inner.push_front(idx);
+                incr(Counter::DurableCacheHits);
+                Some(inner.slab[idx].value.clone())
+            }
+            None => {
+                incr(Counter::DurableCacheMisses);
+                None
+            }
+        }
+    }
+
+    /// Insert or replace (write-through from the engine). Evicts from the
+    /// cold end until the budget holds; a value bigger than the whole
+    /// budget is simply not cached.
+    pub fn put(&self, pid: u32, key: Bytes, value: Bytes) {
+        let k: Key = (pid, key);
+        let cost = Inner::entry_bytes(&k, &value);
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.map.get(&k).copied() {
+            let old = Inner::entry_bytes(&k, &inner.slab[idx].value);
+            inner.slab[idx].value = value;
+            inner.bytes = inner.bytes - old + cost;
+            inner.detach(idx);
+            inner.push_front(idx);
+        } else {
+            if cost > self.capacity {
+                return;
+            }
+            let idx = match inner.free.pop() {
+                Some(idx) => {
+                    inner.slab[idx] = Entry { key: k.clone(), value, prev: NIL, next: NIL };
+                    idx
+                }
+                None => {
+                    inner.slab.push(Entry { key: k.clone(), value, prev: NIL, next: NIL });
+                    inner.slab.len() - 1
+                }
+            };
+            inner.map.insert(k, idx);
+            inner.bytes += cost;
+            inner.push_front(idx);
+        }
+        let mut evicted = 0u64;
+        while inner.bytes > self.capacity && inner.evict_one() {
+            evicted += 1;
+        }
+        if evicted > 0 {
+            add(Counter::DurableCacheEvictions, evicted);
+        }
+    }
+
+    /// Drop a key (delete path).
+    pub fn remove(&self, pid: u32, key: &Bytes) {
+        let mut inner = self.inner.lock();
+        let probe = (pid, key.clone());
+        if let Some(idx) = inner.map.remove(&probe) {
+            inner.detach(idx);
+            let cost = Inner::entry_bytes(&inner.slab[idx].key, &inner.slab[idx].value);
+            inner.bytes -= cost;
+            inner.slab[idx].key = (0, Bytes::new());
+            inner.slab[idx].value = Bytes::new();
+            inner.free.push(idx);
+        }
+    }
+
+    /// Trim to `target` bytes (the background evictor's low watermark).
+    /// Returns how many entries were evicted.
+    pub fn trim_to(&self, target: usize) -> u64 {
+        let mut inner = self.inner.lock();
+        let mut evicted = 0u64;
+        while inner.bytes > target && inner.evict_one() {
+            evicted += 1;
+        }
+        if evicted > 0 {
+            add(Counter::DurableCacheEvictions, evicted);
+        }
+        evicted
+    }
+
+    /// Current payload bytes held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured byte budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn lru_order_and_promotion() {
+        // Each entry costs key(2) + value(2) + 64 = 68 bytes; budget fits 3.
+        let cache = ObjectCache::new(3 * 68);
+        cache.put(0, b("k1"), b("v1"));
+        cache.put(0, b("k2"), b("v2"));
+        cache.put(0, b("k3"), b("v3"));
+        assert_eq!(cache.len(), 3);
+        // Touch k1 so k2 becomes coldest, then overflow.
+        assert_eq!(cache.get(0, &b("k1")), Some(b("v1")));
+        cache.put(0, b("k4"), b("v4"));
+        assert_eq!(cache.get(0, &b("k2")), None, "coldest entry evicted");
+        assert_eq!(cache.get(0, &b("k1")), Some(b("v1")));
+        assert_eq!(cache.get(0, &b("k4")), Some(b("v4")));
+    }
+
+    #[test]
+    fn replace_updates_bytes_and_oversized_values_skip_cache() {
+        let cache = ObjectCache::new(200);
+        cache.put(1, b("k"), b("small"));
+        let before = cache.bytes();
+        cache.put(1, b("k"), b("a bit larger value"));
+        assert!(cache.bytes() > before);
+        assert_eq!(cache.len(), 1);
+        cache.put(1, b("big"), Bytes::from(vec![0u8; 500]));
+        assert_eq!(cache.get(1, &b("big")), None, "oversized value not cached");
+        assert_eq!(cache.get(1, &b("k")), Some(b("a bit larger value")));
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let cache = ObjectCache::new(10_000);
+        cache.put(0, b("a"), b("1"));
+        cache.put(0, b("b"), b("2"));
+        cache.remove(0, &b("a"));
+        assert_eq!(cache.get(0, &b("a")), None);
+        assert_eq!(cache.len(), 1);
+        cache.put(0, b("c"), b("3"));
+        assert_eq!(cache.get(0, &b("b")), Some(b("2")));
+        assert_eq!(cache.get(0, &b("c")), Some(b("3")));
+    }
+
+    #[test]
+    fn trim_to_watermark() {
+        let cache = ObjectCache::new(10 * 68);
+        for i in 0..10 {
+            cache.put(0, b(&format!("k{i}")), b("xx"));
+        }
+        let evicted = cache.trim_to(4 * 69);
+        assert!(evicted >= 5, "trimmed {evicted}");
+        assert!(cache.bytes() <= 4 * 69);
+        // The survivors are the hottest (most recently inserted) entries.
+        assert!(cache.get(0, &b("k9")).is_some());
+        assert!(cache.get(0, &b("k0")).is_none());
+    }
+
+    #[test]
+    fn partitions_do_not_collide() {
+        let cache = ObjectCache::new(10_000);
+        cache.put(1, b("k"), b("p1"));
+        cache.put(2, b("k"), b("p2"));
+        assert_eq!(cache.get(1, &b("k")), Some(b("p1")));
+        assert_eq!(cache.get(2, &b("k")), Some(b("p2")));
+        cache.remove(1, &b("k"));
+        assert_eq!(cache.get(2, &b("k")), Some(b("p2")));
+    }
+}

@@ -156,6 +156,35 @@ metric_ids! {
         RecoveryRuns => "recovery_runs_total",
         /// Dangling write intents reverted during abort or recovery.
         RecoveryRevertedWrites => "recovery_reverted_writes_total",
+        /// Records appended to durable segment logs.
+        DurableAppends => "durable_log_appends_total",
+        /// Payload bytes appended to durable segment logs.
+        DurableAppendBytes => "durable_log_append_bytes_total",
+        /// fsync calls issued by the durable tier.
+        DurableFsyncs => "durable_fsyncs_total",
+        /// Segments sealed (rotated out of the active write position).
+        DurableSegmentsSealed => "durable_segments_sealed_total",
+        /// Segment slots recycled after a checkpoint subsumed them.
+        DurableSegmentsRecycled => "durable_segments_recycled_total",
+        /// Checkpoints completed by the durable tier.
+        DurableCheckpoints => "durable_checkpoints_total",
+        /// Live records written into checkpoint files.
+        DurableCheckpointRecords => "durable_checkpoint_records_total",
+        /// Records replayed from checkpoint + segments during recovery.
+        DurableRecoveredRecords => "durable_recovered_records_total",
+        /// Torn segment tails truncated away during recovery.
+        DurableTornTailsTruncated => "durable_torn_tails_truncated_total",
+        /// Durable object-cache hits.
+        DurableCacheHits => "durable_cache_hits_total",
+        /// Durable object-cache misses (value re-read from disk).
+        DurableCacheMisses => "durable_cache_misses_total",
+        /// Values evicted from the durable object cache.
+        DurableCacheEvictions => "durable_cache_evictions_total",
+        /// Commit-manager state publishes deferred because the store was
+        /// unavailable (republished by the next completion).
+        CmPublishDeferred => "cm_publish_deferred_total",
+        /// Commit-manager periodic syncs skipped on store unavailability.
+        CmSyncDeferred => "cm_sync_deferred_total",
     }
 }
 

@@ -172,9 +172,9 @@ mod tests {
         install(77, cfg);
         let b: Vec<ServerFault> = (0..64).map(|_| server_action()).collect();
         assert_eq!(a, b);
-        assert!(a.iter().any(|f| *f == ServerFault::Drop));
+        assert!(a.contains(&ServerFault::Drop));
         assert!(a.iter().any(|f| matches!(f, ServerFault::DelayUs(_))));
-        assert!(a.iter().any(|f| *f == ServerFault::Duplicate));
+        assert!(a.contains(&ServerFault::Duplicate));
         clear();
     }
 

@@ -26,6 +26,7 @@ use tell_commitmgr::SnapshotDescriptor;
 use tell_common::{CmId, Error, SnId, TxnId};
 use tell_core::database::IndexSpec;
 use tell_core::{Database, TableDef, TellConfig, VersionedRecord};
+use tell_durable::{DurableNodeConfig, FsDurability, FsyncPolicy};
 use tell_store::{keys, StoreCluster};
 
 use crate::checker::{self, CheckStats, Violation};
@@ -63,6 +64,11 @@ pub struct SimConfig {
     pub replication_factor: u32,
     /// Commit managers at full strength.
     pub commit_managers: u32,
+    /// Give every storage node a durable log tier (`tell-durable`) in a
+    /// per-run temp directory. Durable plans may kill *all* copy-holders
+    /// at once and revive them with [`FaultKind::SnRestart`] — restart
+    /// from log — instead of only peer resync.
+    pub durable: bool,
 }
 
 impl Default for SimConfig {
@@ -76,6 +82,7 @@ impl Default for SimConfig {
             storage_nodes: 4,
             replication_factor: 2,
             commit_managers: 2,
+            durable: false,
         }
     }
 }
@@ -92,6 +99,7 @@ impl SimConfig {
             storage_nodes: self.storage_nodes,
             replication_factor: self.replication_factor,
             commit_managers: self.commit_managers,
+            durable: self.durable,
         }
     }
 }
@@ -460,6 +468,26 @@ impl Scheduler<'_> {
                     self.db.store().revive_node(SnId(n));
                 }
             }
+            FaultKind::SnRestart(n) => {
+                if n < self.cfg.storage_nodes {
+                    if self.cfg.durable {
+                        match self.db.store().restart_node_from_log(SnId(n)) {
+                            Ok(()) => {}
+                            Err(e) => self.break_run(
+                                st,
+                                Violation::UnexpectedError {
+                                    worker: usize::MAX,
+                                    message: format!("sn-restart {n} failed: {e}"),
+                                },
+                            ),
+                        }
+                    } else {
+                        // Hand-built plan on an in-memory deployment: the
+                        // closest applicable action is a plain revive.
+                        self.db.store().revive_node(SnId(n));
+                    }
+                }
+            }
             FaultKind::RestoreReplication => {
                 self.db.store().restore_replication();
             }
@@ -520,6 +548,10 @@ impl Scheduler<'_> {
             }
             FaultKind::GcRun => match tell_core::gc::run_gc(self.db) {
                 Ok(_) => self.check_gc_reachability(st),
+                // A durable blackout window may leave partitions with no
+                // fresh copy up; GC simply skips this pass and the next
+                // scheduled run retries after restarts.
+                Err(e) if is_transient(&e) => {}
                 Err(e) => self.break_run(
                     st,
                     Violation::UnexpectedError {
@@ -609,6 +641,10 @@ impl Scheduler<'_> {
                         Ok(rec) => rec.has_version(winner),
                         Err(_) => false,
                     },
+                    // The key's partition is inside a fault window (e.g. a
+                    // durable blackout): unreachable, not reclaimed. Skip
+                    // it — the next GC pass re-checks once it is back.
+                    Err(e) if is_transient(&e) => continue,
                     _ => false,
                 };
                 if !present {
@@ -647,13 +683,46 @@ impl Scheduler<'_> {
     }
 }
 
+/// Monotonic counter making every durable run's temp directory unique —
+/// the shrinker replays many plans in one process, and each replay must
+/// start from empty logs.
+static DURABLE_RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Run `plan` against a fresh deployment described by `config`.
 pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
     tell_rpc::fault::clear();
+    // A durable run gets a fresh per-run data root; recovery content is a
+    // pure function of the writes, so determinism is unaffected. Tiny
+    // segments + a low checkpoint threshold make rotation, checkpointing
+    // and multi-segment replay all happen inside even a short sim. Fsync
+    // is off: restarts here re-open files written by a live process, so
+    // the knob only costs wall time (crash-at-a-syscall coverage lives in
+    // tell-durable's own proptests).
+    let data_root = config.durable.then(|| {
+        std::env::temp_dir().join(format!(
+            "tell-sim-durable-{}-{}-{}",
+            std::process::id(),
+            config.seed,
+            DURABLE_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    });
+    let store_durability = data_root.as_ref().map(|root| {
+        FsDurability::new(
+            root.clone(),
+            DurableNodeConfig {
+                segment_bytes: 4096,
+                fsync: FsyncPolicy::Never,
+                checkpoint_every: 64,
+                cache_bytes: 1 << 20,
+                background_eviction: false,
+            },
+        ) as std::sync::Arc<dyn tell_store::DurabilityProvider>
+    });
     let db = Database::create(TellConfig {
         storage_nodes: config.storage_nodes as usize,
         replication_factor: config.replication_factor as usize,
         commit_managers: config.commit_managers as usize,
+        store_durability,
         cm: CmConfig {
             // Wall-clock syncing would be nondeterministic; sync on
             // operation counts instead.
@@ -802,6 +871,12 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
         },
     };
 
+    // The engines keep their files open, so unlinking the per-run root is
+    // safe even before the deployment drops.
+    if let Some(root) = data_root {
+        let _ = std::fs::remove_dir_all(root);
+    }
+
     SimOutcome { plan, history, stats, violation, check }
 }
 
@@ -880,6 +955,70 @@ mod tests {
     fn full_mix_run_passes_the_oracle() {
         let outcome = run(&tiny(FaultMix::All, 9));
         assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+    }
+
+    fn tiny_durable(mix: FaultMix, seed: u64) -> SimConfig {
+        SimConfig { durable: true, ..tiny(mix, seed) }
+    }
+
+    #[test]
+    fn durable_sn_churn_run_passes_the_oracle() {
+        let outcome = run(&tiny_durable(FaultMix::SnChurn, 3));
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+        assert!(outcome.stats.events_fired > 0);
+        assert!(outcome.stats.commits > 0, "no commits in {:?}", outcome.stats);
+    }
+
+    #[test]
+    fn durable_full_mix_run_passes_the_oracle() {
+        let outcome = run(&tiny_durable(FaultMix::All, 9));
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+    }
+
+    #[test]
+    fn durable_run_is_bit_reproducible() {
+        let cfg = tiny_durable(FaultMix::SnChurn, 7);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(digest(&a), digest(&b));
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.stats.events_fired, b.stats.events_fired);
+    }
+
+    #[test]
+    fn kill_all_copy_holders_then_restart_from_log_passes_the_oracle() {
+        // The scenario the in-memory budget forbids: every storage node —
+        // and therefore every copy of every partition — dies inside the
+        // run, and the cluster comes back purely from the durable logs.
+        let cfg = tiny_durable(FaultMix::None, 21);
+        let horizon = cfg.horizon_us();
+        let mut events = Vec::new();
+        for n in 0..cfg.storage_nodes {
+            events.push(FaultEvent { at_us: horizon * 0.3, kind: FaultKind::SnKill(n) });
+        }
+        for n in 0..cfg.storage_nodes {
+            events.push(FaultEvent {
+                at_us: horizon * (0.45 + 0.02 * n as f64),
+                kind: FaultKind::SnRestart(n),
+            });
+        }
+        events.push(FaultEvent { at_us: horizon * 0.6, kind: FaultKind::GcRun });
+        let plan = FaultPlan { seed: 0, events };
+        let total = plan.events.len();
+        let outcome = run_with_plan(&cfg, plan);
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+        assert_eq!(outcome.stats.events_fired, total, "all events must fire");
+        // The run must regain liveness after the blackout: some commits
+        // recorded strictly after every node restarted.
+        let check = outcome.check.expect("checker ran");
+        assert!(check.reads_checked > 0);
+        assert!(outcome.stats.commits > 0, "no commits in {:?}", outcome.stats);
+        assert!(
+            outcome.stats.virtual_end_us >= horizon * 0.9,
+            "run wound down early at {}us",
+            outcome.stats.virtual_end_us
+        );
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub enum FaultKind {
     SnKill(u32),
     /// Revive storage node `n` (resyncs its copies from current masters).
     SnRevive(u32),
+    /// Restart storage node `n` from its durable log (only generated when
+    /// the topology is durable): the node's RAM image is discarded and
+    /// rebuilt from the persistence tier, then caught up from any fresh
+    /// peer. Unlike [`FaultKind::SnRevive`], this works even when every
+    /// copy-holder of a partition died — the log is the source of truth.
+    SnRestart(u32),
     /// Re-create missing replicas on the surviving nodes (§4.4.2).
     RestoreReplication,
     /// Crash-stop the lowest-id live commit manager (skipped when it is
@@ -59,6 +65,7 @@ impl FaultKind {
         match self {
             FaultKind::SnKill(n) => format!("sn-kill:{n}"),
             FaultKind::SnRevive(n) => format!("sn-revive:{n}"),
+            FaultKind::SnRestart(n) => format!("sn-restart:{n}"),
             FaultKind::RestoreReplication => "re-replicate".into(),
             FaultKind::CmKill => "cm-kill".into(),
             FaultKind::CmRecover => "cm-recover".into(),
@@ -132,6 +139,11 @@ pub struct Topology {
     pub replication_factor: u32,
     /// Commit managers at full strength.
     pub commit_managers: u32,
+    /// Whether storage nodes have a durable log tier. Durable topologies
+    /// relax the SN death budget — any number of nodes may be down at once
+    /// because [`FaultKind::SnRestart`] rebuilds them from their logs — and
+    /// mix restart-from-log into the revival schedule.
+    pub durable: bool,
 }
 
 /// A seeded, ordered schedule of fault events.
@@ -171,21 +183,26 @@ impl FaultPlan {
         let rpc_faults = matches!(mix, FaultMix::All);
 
         if sn_faults && topo.storage_nodes > 1 && topo.replication_factor > 1 {
-            // Kill/revive cycles; with RF `r`, up to r-1 concurrent deaths
-            // keep every partition reachable (transient Unavailable is
-            // still expected while a kill propagates).
+            // Kill/revive cycles. In-memory-only, with RF `r`, up to r-1
+            // concurrent deaths keep every partition reachable (transient
+            // Unavailable is still expected while a kill propagates). With
+            // a durable log tier the budget is the whole cluster: even a
+            // partition whose every copy-holder died comes back via
+            // restart-from-log.
+            let death_budget =
+                if topo.durable { topo.storage_nodes } else { topo.replication_factor - 1 };
             let mut t = rng.random_range(0.05..0.25) * horizon_us;
             // Nodes currently scheduled to be dead, with their revive
             // times. A node counts as down until its revive event fires,
             // so a kill is only scheduled while the number of nodes whose
-            // revive lies in the future stays within the rf-1 budget —
-            // otherwise a revive could find no alive copy to resync from
-            // and resurrect stale data (real data loss, not an SI bug the
-            // checker should flag).
+            // revive lies in the future stays within the budget — without
+            // durability, exceeding rf-1 could leave a revive no alive
+            // copy to resync from and resurrect stale data (real data
+            // loss, not an SI bug the checker should flag).
             let mut down: Vec<(u32, f64)> = Vec::new();
             while t < horizon_us * 0.9 {
                 down.retain(|(_, revive_at)| *revive_at > t);
-                if (down.len() as u32) < topo.replication_factor - 1 {
+                if (down.len() as u32) < death_budget {
                     let alive: Vec<u32> = (0..topo.storage_nodes)
                         .filter(|n| !down.iter().any(|(d, _)| d == n))
                         .collect();
@@ -193,7 +210,17 @@ impl FaultPlan {
                     events.push(FaultEvent { at_us: t, kind: FaultKind::SnKill(victim) });
                     let dead_for = rng.random_range(0.05..0.2) * horizon_us;
                     let revive_at = (t + dead_for).min(horizon_us * 0.95);
-                    events.push(FaultEvent { at_us: revive_at, kind: FaultKind::SnRevive(victim) });
+                    // Durable nodes usually restart from their log (the
+                    // interesting path); plain revive still appears so the
+                    // resync-from-peer path stays exercised. A revived
+                    // copy that finds no fresh peer just stays stale —
+                    // unavailability, never resurrection.
+                    let revive_kind = if topo.durable && rng.random_bool(0.7) {
+                        FaultKind::SnRestart(victim)
+                    } else {
+                        FaultKind::SnRevive(victim)
+                    };
+                    events.push(FaultEvent { at_us: revive_at, kind: revive_kind });
                     if rng.random_bool(0.5) {
                         events.push(FaultEvent {
                             at_us: revive_at + 1.0,
@@ -279,7 +306,11 @@ mod tests {
     use super::*;
 
     fn topo() -> Topology {
-        Topology { storage_nodes: 4, replication_factor: 2, commit_managers: 2 }
+        Topology { storage_nodes: 4, replication_factor: 2, commit_managers: 2, durable: false }
+    }
+
+    fn durable_topo() -> Topology {
+        Topology { durable: true, ..topo() }
     }
 
     #[test]
@@ -339,6 +370,53 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn durable_churn_restarts_from_log_and_may_exceed_the_old_budget() {
+        // Across seeds, durable plans must (a) never kill an already-dead
+        // node or revive a live one, (b) stay within the whole-cluster
+        // budget, and (c) actually use restart-from-log. At least one seed
+        // should exceed the in-memory rf-1 budget — that is the point of
+        // the relaxation.
+        let mut saw_restart = false;
+        let mut saw_over_budget = false;
+        for seed in 0..50u64 {
+            let plan = FaultPlan::generate(seed, FaultMix::SnChurn, 2e6, durable_topo());
+            let mut dead = std::collections::HashSet::new();
+            for e in &plan.events {
+                match e.kind {
+                    FaultKind::SnKill(n) => {
+                        assert!(dead.insert(n), "seed {seed}: kill of dead node {n}");
+                        assert!(dead.len() <= durable_topo().storage_nodes as usize);
+                        if dead.len() >= durable_topo().replication_factor as usize {
+                            saw_over_budget = true;
+                        }
+                    }
+                    FaultKind::SnRevive(n) => {
+                        assert!(dead.remove(&n), "seed {seed}: revive of live node {n}");
+                    }
+                    FaultKind::SnRestart(n) => {
+                        assert!(dead.remove(&n), "seed {seed}: restart of live node {n}");
+                        saw_restart = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_restart, "no durable plan used sn-restart");
+        assert!(saw_over_budget, "no durable plan exceeded the rf-1 budget");
+    }
+
+    #[test]
+    fn non_durable_plans_never_restart_from_log() {
+        for seed in 0..20u64 {
+            let plan = FaultPlan::generate(seed, FaultMix::All, 2e6, topo());
+            assert!(
+                plan.events.iter().all(|e| !matches!(e.kind, FaultKind::SnRestart(_))),
+                "seed {seed}: sn-restart in a non-durable plan"
+            );
         }
     }
 

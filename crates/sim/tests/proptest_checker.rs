@@ -190,7 +190,7 @@ fn stream() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// Every history the reference engine produces satisfies the oracle.
     #[test]

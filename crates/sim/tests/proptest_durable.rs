@@ -1,0 +1,66 @@
+//! Property test pinning the durable-restart story: storage-node churn
+//! plans that exceed the in-memory death budget — up to and including
+//! killing every copy-holder of a partition — must still produce histories
+//! the SI oracle accepts once nodes restart from their logs.
+//!
+//! Each case is a full deterministic simulation run, so the case count is
+//! deliberately small; `PROPTEST_CASES` scales it up for soak runs and
+//! down for the `scripts/check.sh --durable` gate.
+
+use proptest::prelude::*;
+use tell_sim::{run, run_with_plan, FaultEvent, FaultKind, FaultMix, FaultPlan, SimConfig};
+
+fn durable_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        virtual_secs: 0.04,
+        mix: FaultMix::SnChurn,
+        workers: 3,
+        keys: 12,
+        storage_nodes: 3,
+        replication_factor: 2,
+        durable: true,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seeded durable churn plans (relaxed death budget, restart-from-log
+    /// revivals) always pass the oracle.
+    #[test]
+    fn durable_churn_passes_the_oracle(seed in 1u64..10_000) {
+        let outcome = run(&durable_cfg(seed));
+        prop_assert!(outcome.ok(), "seed {seed}: {:?}", outcome.violation);
+    }
+
+    /// The scenario durability exists for: a seeded whole-cluster blackout
+    /// — every node killed, then every node restarted from its log — with
+    /// the blackout window placed by the seed. Acked writes survive, new
+    /// commits happen afterwards, and the history checks clean.
+    #[test]
+    fn seeded_blackout_and_restart_passes_the_oracle(
+        seed in 1u64..10_000,
+        start_frac in 0.2f64..0.5,
+    ) {
+        let cfg = durable_cfg(seed);
+        let horizon = cfg.horizon_us();
+        let start = horizon * start_frac;
+        let mut events = Vec::new();
+        for n in 0..cfg.storage_nodes {
+            events.push(FaultEvent { at_us: start, kind: FaultKind::SnKill(n) });
+        }
+        for n in 0..cfg.storage_nodes {
+            events.push(FaultEvent {
+                at_us: start + horizon * 0.1 * (n + 1) as f64,
+                kind: FaultKind::SnRestart(n),
+            });
+        }
+        let total = events.len();
+        let outcome = run_with_plan(&cfg, FaultPlan { seed: 0, events });
+        prop_assert!(outcome.ok(), "seed {seed}: {:?}", outcome.violation);
+        prop_assert_eq!(outcome.stats.events_fired, total);
+        prop_assert!(outcome.stats.commits > 0, "seed {seed}: no commits");
+    }
+}

@@ -27,6 +27,7 @@ pub mod api;
 pub mod cell;
 pub mod client;
 pub mod cluster;
+pub mod durability;
 pub mod keys;
 pub mod node;
 pub mod op;
@@ -36,6 +37,7 @@ pub use api::{StoreApi, StoreEndpoint};
 pub use cell::{Cell, Token};
 pub use client::{Expect, StoreClient, WriteOp};
 pub use cluster::{StoreCluster, StoreConfig};
+pub use durability::{DurabilityProvider, NodeDurability, RecoveredNode, RecoveredPartition};
 pub use keys::Key;
 pub use op::{
     BatchDriver, CounterHandle, GetHandle, MultiGetHandle, MultiWriteHandle, OpHandle, OpResult,

@@ -1,7 +1,7 @@
 //! Storage nodes and partition copies.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -88,6 +88,12 @@ impl StorageNode {
 pub struct CopyStore {
     /// Ordered map so prefix/range scans are cheap.
     pub map: RwLock<BTreeMap<Bytes, Cell>>,
+    /// Partition mutation sequence this copy has applied. A copy is *fresh*
+    /// iff this equals the partition's acked-mutation sequence; only fresh
+    /// copies may serve reads or source a re-sync, which is what prevents a
+    /// revived node from resurrecting stale data. Updated under `map`'s
+    /// write lock, compared under its read lock.
+    pub applied_seq: AtomicU64,
 }
 
 impl CopyStore {

@@ -260,9 +260,9 @@ mod tests {
         ]);
         assert!(both.matches(b"ax", &[9]));
         assert!(!both.matches(b"bx", &[9]));
-        assert!(Predicate::Any(vec![]).matches(b"", b"") == false);
+        assert!(!Predicate::Any(vec![]).matches(b"", b""));
         assert!(Predicate::All(vec![]).matches(b"", b""));
-        assert!(Predicate::Not(Box::new(Predicate::True)).matches(b"", b"") == false);
+        assert!(!Predicate::Not(Box::new(Predicate::True)).matches(b"", b""));
     }
 
     #[test]
@@ -295,7 +295,7 @@ mod tests {
         }
         let mut buf = Vec::new();
         assert!(deep.encode_into(&mut buf).is_err());
-        let raw: Vec<u8> = std::iter::repeat(6u8).take(MAX_PREDICATE_DEPTH).chain([0u8]).collect();
+        let raw: Vec<u8> = std::iter::repeat_n(6u8, MAX_PREDICATE_DEPTH).chain([0u8]).collect();
         let mut r = Reader::new(&raw);
         assert!(Predicate::decode_from(&mut r).is_err());
 

@@ -49,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
             "--keys" => {
                 args.config.keys = value("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?
             }
+            "--durable" => args.config.durable = true,
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
@@ -59,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
                      --faults MIX     none | sn | cm | all (default none)\n  \
                      --workers N      concurrent transaction workers (default 4)\n  \
                      --keys N         keyspace size (default 32; small = contended)\n  \
+                     --durable        log-structured persistence tier per SN (relaxes the\n  \
+                                      SN death budget; revivals may restart from log)\n  \
                      --bench-json F   write a throughput snapshot to file F\n\n\
                      exit status: 0 = history satisfies SI, 1 = violation (artifacts\n\
                      are dumped and the minimal failing prefix is reported)"
@@ -73,9 +76,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn verdict_line(cfg: &SimConfig, outcome: &SimOutcome) -> String {
     format!(
-        "tell_sim: seed={} faults={} events={} seconds={} txns={} commits={} aborts={} verdict={}",
+        "tell_sim: seed={} faults={}{} events={} seconds={} txns={} commits={} aborts={} verdict={}",
         cfg.seed,
         cfg.mix.name(),
+        if cfg.durable { "+durable" } else { "" },
         outcome.stats.events_fired,
         cfg.virtual_secs,
         outcome.stats.txns,
@@ -122,12 +126,13 @@ fn dump_failure(cfg: &SimConfig, outcome: &SimOutcome) {
     );
     eprintln!(
         "tell_sim: replay with: cargo run --release --example tell_sim -- \
-         --seed {} --seconds {} --faults {} --workers {} --keys {}",
+         --seed {} --seconds {} --faults {} --workers {} --keys {}{}",
         cfg.seed,
         cfg.virtual_secs,
         cfg.mix.name(),
         cfg.workers,
-        cfg.keys
+        cfg.keys,
+        if cfg.durable { " --durable" } else { "" },
     );
 }
 

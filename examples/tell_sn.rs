@@ -5,22 +5,39 @@
 //! cargo run --release --example tell_sn -- --listen 127.0.0.1:7701 --nodes 4
 //! ```
 //!
+//! With `--data-dir` every storage node also keeps a log-structured
+//! persistence tier (`tell-durable`) under `DIR/sn-<n>/`; killing the
+//! process and restarting it with the same directory recovers every
+//! acknowledged write:
+//!
+//! ```text
+//! cargo run --release --example tell_sn -- --data-dir /var/lib/tell --fsync batch:64
+//! ```
+//!
 //! Pair it with `tell_cm` (the commit manager server) and open a
 //! `Database` over `RemoteEndpoint` / `RemoteCmClient` to run the full
 //! stack across processes.
 
 use std::sync::Arc;
 
+use tell_durable::{DurableNodeConfig, FsDurability, FsyncPolicy};
 use tell_rpc::RpcServer;
-use tell_store::{StoreCluster, StoreConfig};
+use tell_store::{DurabilityProvider, StoreCluster, StoreConfig};
 
 struct Args {
     listen: String,
     nodes: usize,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { listen: "127.0.0.1:7701".to_string(), nodes: 4 };
+    let mut args = Args {
+        listen: "127.0.0.1:7701".to_string(),
+        nodes: 4,
+        data_dir: None,
+        fsync: FsyncPolicy::Always,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -29,12 +46,21 @@ fn parse_args() -> Result<Args, String> {
             "--nodes" => {
                 args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?;
             }
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
+            "--fsync" => {
+                let v = value("--fsync")?;
+                args.fsync = FsyncPolicy::parse(&v).map_err(|e| format!("--fsync: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "tell_sn: serve a storage cluster over TCP\n\n\
                      options:\n  \
                      --listen ADDR   listen address (default 127.0.0.1:7701)\n  \
-                     --nodes N       storage nodes in the cluster (default 4)"
+                     --nodes N       storage nodes in the cluster (default 4)\n  \
+                     --data-dir DIR  durable log tier root (one subdir per node);\n  \
+                                     restarting with the same dir recovers acked writes\n  \
+                     --fsync POLICY  always | never | batch:<n> (default always;\n  \
+                                     only meaningful with --data-dir)"
                 );
                 std::process::exit(0);
             }
@@ -55,7 +81,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let store = StoreCluster::new(StoreConfig::new(args.nodes));
+    let mut config = StoreConfig::new(args.nodes);
+    if let Some(dir) = &args.data_dir {
+        let engine_config = DurableNodeConfig { fsync: args.fsync, ..DurableNodeConfig::default() };
+        let provider = FsDurability::new(dir.clone(), engine_config) as Arc<dyn DurabilityProvider>;
+        config = config.durability(provider);
+    }
+    let store = match StoreCluster::open(config) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("tell_sn: recovery failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let server = match RpcServer::serve_store(&args.listen, Arc::clone(&store)) {
         Ok(server) => server,
         Err(e) => {
@@ -63,7 +101,16 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("tell_sn: {} storage nodes serving on {}", args.nodes, server.local_addr());
+    match &args.data_dir {
+        Some(dir) => println!(
+            "tell_sn: {} storage nodes serving on {} (durable, data-dir {dir})",
+            args.nodes,
+            server.local_addr()
+        ),
+        None => {
+            println!("tell_sn: {} storage nodes serving on {}", args.nodes, server.local_addr())
+        }
+    }
     loop {
         std::thread::park();
     }

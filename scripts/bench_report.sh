@@ -31,6 +31,10 @@ fi
 
 cargo bench -q -p tell-bench --bench table2_mixes
 
+# Durable-tier characterization: restart recovery time vs log size (with
+# and without checkpoints) and LRU hit rate under an 80/20 read skew.
+cargo bench -q -p tell-bench --bench durable_recovery
+
 # Simulation throughput snapshot: how many transactions the deterministic
 # fault-schedule harness pushes through the full stack per virtual and
 # per wall second, under the all-faults mix. Fixed seed: the virtual-side

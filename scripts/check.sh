@@ -23,6 +23,22 @@ if [[ "${1:-}" == "--sim" ]]; then
   exit 0
 fi
 
+# Durable-tier gate (crates/durable + the seams it plugs into): the
+# crash-recovery proptests at a reduced case count, the over-TCP
+# kill/restart test, and one durable sim seed whose death budget exceeds
+# rf-1 — a schedule only log recovery can survive.
+run_durable_gate() {
+  echo "==> durable gate (crash proptests, e2e restart, durable sim seed)"
+  PROPTEST_CASES=8 cargo test -q -p tell-durable --test crash_proptests
+  cargo test -q -p tell-rpc --test durable_restart
+  cargo run -q --example tell_sim -- --seed 4 --seconds 0.2 --faults sn --durable
+}
+
+if [[ "${1:-}" == "--durable" ]]; then
+  run_durable_gate
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -44,5 +60,7 @@ echo "==> trace smoke (tell_trace against a loopback cluster)"
 cargo run -q --example tell_trace -- --loopback --txns 4 > /dev/null
 
 run_sim_smoke
+
+run_durable_gate
 
 echo "All checks passed."
