@@ -100,6 +100,10 @@ struct State {
     peer_min_active: BTreeMap<u32, u64>,
     last_sync: Option<Instant>,
     ops_since_sync: u64,
+    /// A completion's publish failed (store fault window): the next
+    /// `maybe_sync` is due immediately instead of waiting for the cadence,
+    /// so the unpublished state is retried on the very next operation.
+    publish_pending: bool,
 }
 
 impl State {
@@ -339,10 +343,13 @@ impl<E: StoreEndpoint> CommitManager<E> {
     /// a publish failure must NOT surface as a completion failure — the
     /// caller would record an abort for a version later readers observe, a
     /// torn history. Publish is safe to defer instead: each completion
-    /// re-encodes the full state, so a store fault window (e.g. every
-    /// copy-holder of the cm-state partition down, awaiting restart from
-    /// its durable log) only delays peer visibility until the first
-    /// completion after the window closes.
+    /// re-encodes the full state, and a failed publish marks the state
+    /// `publish_pending`, which forces the next `maybe_sync` (any later
+    /// start or completion) due immediately rather than on the periodic
+    /// cadence — so a store fault window (e.g. every copy-holder of the
+    /// cm-state partition down, awaiting restart from its durable log)
+    /// delays peer visibility only until the first operation after the
+    /// window closes.
     fn complete(&self, tid: TxnId, committed: bool, meter: &NetMeter) -> Result<()> {
         // On a commit-manager node serving a remote frame, applying the
         // outcome gets its own span under the dispatch span; the in-process
@@ -358,6 +365,7 @@ impl<E: StoreEndpoint> CommitManager<E> {
             let mut st = self.state.lock();
             st.finish(tid, committed);
             if Self::publish(&self.id, &client, &mut st).is_err() {
+                st.publish_pending = true;
                 tell_obs::incr(tell_obs::Counter::CmPublishDeferred);
             }
             Self::export_gauges(&st);
@@ -399,8 +407,11 @@ impl<E: StoreEndpoint> CommitManager<E> {
         st.finish(tid, committed);
         // Best effort, like the rest of the recovery path: the resolution is
         // also applied on every live manager directly, so a failed publish
-        // only delays peers, it cannot strand them.
-        let _ = Self::publish(&self.id, &client, &mut st);
+        // only delays peers, it cannot strand them — and it is retried on
+        // the next operation via `publish_pending`.
+        if Self::publish(&self.id, &client, &mut st).is_err() {
+            st.publish_pending = true;
+        }
     }
 
     /// The lowest active version number as currently known: the minimum
@@ -430,6 +441,7 @@ impl<E: StoreEndpoint> CommitManager<E> {
         let client = self.endpoint.client(meter.clone());
         let mut st = self.state.lock();
         Self::publish(&self.id, &client, &mut st)?;
+        st.publish_pending = false;
         Self::pull_peers(&self.id, &client, &mut st)?;
         st.last_sync = Some(Instant::now());
         st.ops_since_sync = 0;
@@ -440,7 +452,8 @@ impl<E: StoreEndpoint> CommitManager<E> {
         let due = {
             let mut st = self.state.lock();
             st.ops_since_sync += 1;
-            st.ops_since_sync >= self.config.sync_every_ops
+            st.publish_pending
+                || st.ops_since_sync >= self.config.sync_every_ops
                 || match st.last_sync {
                     Some(t) => t.elapsed() >= self.config.sync_interval,
                     None => true,
@@ -653,6 +666,37 @@ mod tests {
         // t1 yet (an older snapshot is legal, never corrupt).
         let t2 = cm2.start(&m).unwrap();
         assert!(!t2.snapshot.contains_tid(t1.tid));
+    }
+
+    #[test]
+    fn deferred_publish_retries_on_next_op_not_cadence() {
+        use tell_common::SnId;
+        let cluster = StoreCluster::new(StoreConfig::new(1));
+        let cfg = CmConfig {
+            sync_interval: Duration::from_secs(3600),
+            sync_every_ops: u64::MAX,
+            ..CmConfig::default()
+        };
+        let cm1 = CommitManager::new(
+            CmId(1),
+            Arc::clone(&cluster),
+            CmConfig { stripe: (0, 2), ..cfg.clone() },
+        );
+        let cm2 =
+            CommitManager::new(CmId(2), Arc::clone(&cluster), CmConfig { stripe: (1, 2), ..cfg });
+        let m = NetMeter::free();
+        let t1 = cm1.start(&m).unwrap();
+        // The store goes dark right before the completion: the publish is
+        // deferred, never surfaced as a completion failure.
+        cluster.kill_node(SnId(0));
+        cm1.set_committed(t1.tid, &m).unwrap();
+        cluster.revive_node(SnId(0));
+        // Neither cadence trigger is due (huge interval and op budget): the
+        // deferral alone must force a republish on the next operation.
+        let _ = cm1.start(&m).unwrap();
+        cm2.sync_now(&m).unwrap();
+        let t2 = cm2.start(&m).unwrap();
+        assert!(t2.snapshot.contains_tid(t1.tid), "deferred completion was republished");
     }
 
     #[test]

@@ -226,10 +226,22 @@ impl DurableNode {
                     .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut header).ok())
                     .and_then(|_| decode_header(&header, SEG_MAGIC).ok());
                 match ok {
-                    // A segment whose header never made it to disk can hold
-                    // no acked record (the header is synced before the
-                    // segment goes active): drop it as a torn creation.
+                    // An unreadable header is a torn creation only while the
+                    // file is at most header-sized: the header is synced
+                    // before the segment goes active, so no acked record can
+                    // follow a header that never fully reached disk. A
+                    // longer file holds framed records — an unreadable
+                    // header there is real corruption (e.g. a bit flip in an
+                    // old synced segment) and deleting it would silently
+                    // drop acked writes.
                     None => {
+                        let len =
+                            fs::metadata(&path).map_err(|e| io_err("stat segment", &e))?.len();
+                        if len > HEADER_LEN {
+                            return Err(Error::corrupt(format!(
+                                "segment {name} has an unreadable header but {len} bytes of data"
+                            )));
+                        }
                         fs::remove_file(&path).map_err(|e| io_err("drop torn segment", &e))?;
                         incr(Counter::DurableTornTailsTruncated);
                     }
@@ -679,21 +691,23 @@ impl NodeDurability for DurableNode {
             .get(&pid)
             .map(|p| p.map.keys().filter(|k| !keep.contains(k)).cloned().collect())
             .unwrap_or_default();
-        let mut logged = false;
+        // Content records carry seq 0: a reset torn by a crash must recover
+        // at the partition's *old* watermark — a stale copy that re-syncs
+        // from a fresh peer — never at the target watermark over incomplete
+        // content (which would pass the freshness check and serve with
+        // acked keys missing).
         for key in &stale {
-            self.append_locked(&mut inner, pid, applied_seq, key, None)?;
-            logged = true;
+            self.append_locked(&mut inner, pid, 0, key, None)?;
         }
         for (key, cell) in entries {
-            self.append_locked(&mut inner, pid, applied_seq, key, Some(cell))?;
-            logged = true;
+            self.append_locked(&mut inner, pid, 0, key, Some(cell))?;
         }
-        if !logged {
-            // Nothing changed content-wise, but the applied_seq watermark
-            // must still survive a restart: log a no-op delete of a key
-            // that is absent on both sides.
-            self.append_locked(&mut inner, pid, applied_seq, &Bytes::new(), None)?;
-        }
+        // Commit point: the applied_seq watermark lands in one final record
+        // only after every content record is in the log — a no-op delete of
+        // the empty key (absent on both sides), or a re-put if the snapshot
+        // genuinely contains an empty key.
+        let watermark_cell = entries.iter().find(|(k, _)| k.is_empty()).map(|(_, c)| c);
+        self.append_locked(&mut inner, pid, applied_seq, &Bytes::new(), watermark_cell)?;
         Ok(())
     }
 
@@ -863,6 +877,95 @@ mod tests {
         let (_node, recovered) = DurableNode::open(dir.clone(), tiny_config()).unwrap();
         assert_eq!(recovered.len(), 1);
         assert_eq!(recovered[0].entries, vec![(b("a"), cell(1, "first"))]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_reset_recovers_stale_not_fresh() {
+        let dir = test_dir("torn-reset");
+        let config = DurableNodeConfig { segment_bytes: 1 << 20, ..tiny_config() };
+        {
+            let (node, _) = DurableNode::open(dir.clone(), config.clone()).unwrap();
+            node.record(0, 1, &b("a"), Some(&cell(1, "v1"))).unwrap();
+            node.record(0, 2, &b("b"), Some(&cell(2, "v2"))).unwrap();
+            // Re-sync from a peer that is 3 mutations ahead.
+            node.reset_partition(0, 5, &[(b("a"), cell(7, "v1-new")), (b("c"), cell(8, "v3"))])
+                .unwrap();
+        }
+        // Tear off the tail of the newest segment: the final watermark
+        // record (and possibly more) is lost, as if the process was killed
+        // mid-reset.
+        let seg = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.file_name().unwrap().to_str().unwrap().starts_with("seg-"))
+            .max_by_key(|p| fs::metadata(p).unwrap().len())
+            .unwrap();
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (_node, recovered) = DurableNode::open(dir.clone(), config.clone()).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert!(
+            recovered[0].applied_seq < 5,
+            "torn reset must recover below the target watermark (stale), got {}",
+            recovered[0].applied_seq
+        );
+        // A clean reset (no tear) recovers exactly the snapshot at the
+        // target watermark.
+        let (node, _) = DurableNode::open(dir.clone(), config.clone()).unwrap();
+        node.reset_partition(0, 5, &[(b("a"), cell(7, "v1-new")), (b("c"), cell(8, "v3"))])
+            .unwrap();
+        drop(node);
+        let (_node, recovered) = DurableNode::open(dir.clone(), config).unwrap();
+        assert_eq!(recovered[0].applied_seq, 5);
+        assert_eq!(
+            recovered[0].entries,
+            vec![(b("a"), cell(7, "v1-new")), (b("c"), cell(8, "v3"))]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_only_torn_creation_is_dropped() {
+        let dir = test_dir("torn-creation");
+        {
+            let (node, _) = DurableNode::open(dir.clone(), tiny_config()).unwrap();
+            node.record(0, 1, &b("a"), Some(&cell(1, "v"))).unwrap();
+        }
+        // A crash during open_fresh_segment leaves at most a partial header.
+        fs::write(seg_path(&dir, 99), [0xAAu8; 7]).unwrap();
+        let (_node, recovered) = DurableNode::open(dir.clone(), tiny_config()).unwrap();
+        assert_eq!(recovered[0].entries, vec![(b("a"), cell(1, "v"))]);
+        assert!(!seg_path(&dir, 99).exists(), "torn creation removed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_of_a_populated_segment_fails_loudly() {
+        let dir = test_dir("bad-header");
+        {
+            let (node, _) = DurableNode::open(dir.clone(), tiny_config()).unwrap();
+            node.record(0, 1, &b("a"), Some(&cell(1, "v"))).unwrap();
+        }
+        let seg = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.file_name().unwrap().to_str().unwrap().starts_with("seg-"))
+            .max_by_key(|p| fs::metadata(p).unwrap().len())
+            .unwrap();
+        let mut bytes = fs::read(&seg).unwrap();
+        assert!(bytes.len() as u64 > HEADER_LEN);
+        bytes[0] ^= 0xFF; // flip a magic byte
+        fs::write(&seg, &bytes).unwrap();
+        let err = DurableNode::open(dir.clone(), tiny_config()).unwrap_err();
+        assert!(
+            format!("{err:?}").contains("unreadable header"),
+            "expected loud corruption error, got {err:?}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

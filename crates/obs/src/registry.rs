@@ -180,8 +180,12 @@ metric_ids! {
         DurableCacheMisses => "durable_cache_misses_total",
         /// Values evicted from the durable object cache.
         DurableCacheEvictions => "durable_cache_evictions_total",
+        /// Replica-side durability records dropped because the replica's
+        /// engine errored; the copy stays fresh in RAM and its log catches
+        /// up via peer re-sync after a restart.
+        DurableReplicaRecordsDropped => "durable_replica_records_dropped_total",
         /// Commit-manager state publishes deferred because the store was
-        /// unavailable (republished by the next completion).
+        /// unavailable (marked pending, republished by the next operation).
         CmPublishDeferred => "cm_publish_deferred_total",
         /// Commit-manager periodic syncs skipped on store unavailability.
         CmSyncDeferred => "cm_sync_deferred_total",

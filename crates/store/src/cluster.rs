@@ -374,13 +374,12 @@ impl StoreCluster {
                 }
                 let token = part.next_token.fetch_add(1, Ordering::Relaxed);
                 let cell = Cell { token, value };
-                let seq = part.seq.fetch_add(1, Ordering::AcqRel) + 1;
+                let seq = self.alloc_seq_and_record(part, pid, master, key, Some(&cell))?;
                 map.insert(key.clone(), cell.clone());
                 self.node(master).account(delta);
                 master_copy.applied_seq.store(seq, Ordering::Release);
-                self.record_durable(pid, master, seq, key, Some(&cell))?;
                 // Replicas: same cell, while still holding the master lock.
-                self.replicate(part, pid, master, seq, key, Some(cell), delta)?;
+                self.replicate(part, pid, master, seq, key, Some(cell), delta);
                 Ok((Some(token), replicas))
             }
             Mutation::Delete => {
@@ -392,12 +391,11 @@ impl StoreCluster {
                         Err(Error::Conflict)
                     };
                 }
-                let seq = part.seq.fetch_add(1, Ordering::AcqRel) + 1;
+                let seq = self.alloc_seq_and_record(part, pid, master, key, None)?;
                 map.remove(key.as_ref());
                 self.node(master).account(-old_footprint);
                 master_copy.applied_seq.store(seq, Ordering::Release);
-                self.record_durable(pid, master, seq, key, None)?;
-                self.replicate(part, pid, master, seq, key, None, -old_footprint)?;
+                self.replicate(part, pid, master, seq, key, None, -old_footprint);
                 Ok((None, replicas))
             }
         }
@@ -418,6 +416,30 @@ impl StoreCluster {
         }
     }
 
+    /// Allocate the partition's next acked sequence and record the mutation
+    /// to the master's durability engine *before* anything becomes visible:
+    /// an engine error must not leave a mutation applied in RAM that the
+    /// caller sees fail (a later restart-from-log or a `mark_committed`
+    /// rollback would then disagree with live state). On error the sequence
+    /// allocation is rolled back — safe because the caller holds the master
+    /// copy's write lock, and only a fresh-copy master allocates, so no
+    /// concurrent writer can have advanced `seq` meanwhile.
+    fn alloc_seq_and_record(
+        &self,
+        part: &LogicalPartition,
+        pid: usize,
+        master: SnId,
+        key: &Key,
+        cell: Option<&Cell>,
+    ) -> Result<u64> {
+        let seq = part.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Err(e) = self.record_durable(pid, master, seq, key, cell) {
+            part.seq.store(seq - 1, Ordering::Release);
+            return Err(e);
+        }
+        Ok(seq)
+    }
+
     /// Apply a mutation at `seq` to every alive replica that is current
     /// through `seq - 1`. A stale replica (revived without a fresh peer to
     /// re-sync from) is skipped — applying the new write would not make it
@@ -432,7 +454,7 @@ impl StoreCluster {
         key: &Key,
         cell: Option<Cell>,
         delta: isize,
-    ) -> Result<()> {
+    ) {
         let copies = part.copies.read();
         for (host, copy) in copies.iter() {
             if *host == master || !self.node(*host).is_alive() {
@@ -453,9 +475,15 @@ impl StoreCluster {
             copy.applied_seq.store(seq, Ordering::Release);
             drop(m);
             self.node(*host).account(delta);
-            self.record_durable(pid, *host, seq, key, cell.as_ref())?;
+            // A replica engine that cannot log the record is equivalent to a
+            // trailing batched-fsync log: the copy stays fresh in RAM, and a
+            // later restart-from-log recovers behind and re-syncs from a
+            // fresh peer. Propagating the error would abort this loop and
+            // leave the *remaining* replicas permanently stale instead.
+            if self.record_durable(pid, *host, seq, key, cell.as_ref()).is_err() {
+                tell_obs::incr(tell_obs::Counter::DurableReplicaRecordsDropped);
+            }
         }
-        Ok(())
     }
 
     /// Atomic fetch-and-add on a counter cell (u64, little-endian). Missing
@@ -483,12 +511,11 @@ impl StoreCluster {
         let cell = Cell { token, value: Bytes::copy_from_slice(&new.to_le_bytes()) };
         let delta_fp =
             if map.contains_key(key.as_ref()) { 0 } else { Cell::footprint(key.len(), 8) as isize };
-        let seq = part.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        let seq = self.alloc_seq_and_record(part, pid, master, key, Some(&cell))?;
         map.insert(key.clone(), cell.clone());
         self.node(master).account(delta_fp);
         master_copy.applied_seq.store(seq, Ordering::Release);
-        self.record_durable(pid, master, seq, key, Some(&cell))?;
-        self.replicate(part, pid, master, seq, key, Some(cell), delta_fp)?;
+        self.replicate(part, pid, master, seq, key, Some(cell), delta_fp);
         Ok(new)
     }
 
@@ -934,19 +961,25 @@ mod tests {
     }
 
     /// In-memory stand-in for a persistence tier: one op log per node.
+    /// Nodes listed in `failing` get an erroring engine (I/O fault stand-in).
     #[derive(Debug, Default)]
     struct MemProvider {
         logs: Arc<Mutex<HashMap<u32, Vec<MemOp>>>>,
+        failing: Arc<Mutex<std::collections::HashSet<u32>>>,
     }
 
     #[derive(Debug)]
     struct MemEngine {
         logs: Arc<Mutex<HashMap<u32, Vec<MemOp>>>>,
+        failing: Arc<Mutex<std::collections::HashSet<u32>>>,
         node: u32,
     }
 
     impl NodeDurability for MemEngine {
         fn record(&self, pid: u32, seq: u64, key: &Bytes, cell: Option<&Cell>) -> Result<()> {
+            if self.failing.lock().contains(&self.node) {
+                return Err(Error::Unavailable("engine i/o error".into()));
+            }
             self.logs.lock().entry(self.node).or_default().push(MemOp::Record(
                 pid,
                 seq,
@@ -1007,7 +1040,11 @@ mod tests {
                 })
                 .collect();
             Ok(RecoveredNode {
-                engine: Arc::new(MemEngine { logs: Arc::clone(&self.logs), node: node.raw() }),
+                engine: Arc::new(MemEngine {
+                    logs: Arc::clone(&self.logs),
+                    failing: Arc::clone(&self.failing),
+                    node: node.raw(),
+                }),
                 partitions,
             })
         }
@@ -1040,6 +1077,41 @@ mod tests {
         let (t_new, _) =
             c.srv_write(&k("keep"), Expect::Token(t_rec), Mutation::Put(v("x"))).unwrap();
         assert!(t_new.unwrap() > t_rec);
+    }
+
+    #[test]
+    fn master_engine_failure_keeps_write_invisible_and_partition_healthy() {
+        let (c, provider) = durable_cluster(1, 1);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("v1"))).unwrap();
+        provider.failing.lock().insert(0);
+        let err = c.srv_write(&k("a"), Expect::Any, Mutation::Put(v("v2"))).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "got {err:?}");
+        // The failed write never became visible: readers still see v1, and
+        // the partition is not wedged by a leaked sequence number.
+        let (_, val) = c.srv_read(b"a").unwrap().unwrap();
+        assert_eq!(val, v("v1"));
+        provider.failing.lock().remove(&0);
+        c.srv_write(&k("a"), Expect::Any, Mutation::Put(v("v3"))).unwrap();
+        let (_, val) = c.srv_read(b"a").unwrap().unwrap();
+        assert_eq!(val, v("v3"));
+    }
+
+    #[test]
+    fn replica_engine_failure_does_not_abort_replication() {
+        let (c, provider) = durable_cluster(3, 3);
+        let p = c.route(b"a").raw() as usize;
+        // Placement is deterministic: hosts are p, p+1, p+2 (mod 3).
+        let (m, r1) = ((p % 3) as u32, ((p + 1) % 3) as u32);
+        c.srv_write(&k("a"), Expect::Absent, Mutation::Put(v("v1"))).unwrap();
+        provider.failing.lock().insert(r1);
+        c.srv_write(&k("a"), Expect::Any, Mutation::Put(v("v2"))).unwrap();
+        // The replica *after* the failing one still applied the write: with
+        // the master and the failing replica dead, the last copy is fresh
+        // and serves the acked value.
+        c.kill_node(SnId(m));
+        c.kill_node(SnId(r1));
+        let (_, val) = c.srv_read(b"a").unwrap().unwrap();
+        assert_eq!(val, v("v2"));
     }
 
     #[test]
