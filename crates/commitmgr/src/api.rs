@@ -39,7 +39,10 @@ impl<E: StoreEndpoint> CommitParticipant for CommitManager<E> {
     }
 }
 
-/// The commit-manager fleet as seen by a processing node.
+/// The commit-manager fleet as seen by a processing node. Also the seam
+/// `tell-rpc`'s reactor serves a commit server through: the server holds
+/// an `Arc<dyn CommitService>` and dispatches decoded `Cm*` requests onto
+/// it, so an in-process cluster and a remote one answer identically.
 pub trait CommitService: Send + Sync {
     /// Begin a transaction on the manager `hint` pins the caller to,
     /// falling over to the next one on failure. Returns the issuing

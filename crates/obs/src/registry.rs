@@ -189,6 +189,13 @@ metric_ids! {
         CmPublishDeferred => "cm_publish_deferred_total",
         /// Commit-manager periodic syncs skipped on store unavailability.
         CmSyncDeferred => "cm_sync_deferred_total",
+        /// Reactor epoll_wait returns (one per wakeup, however many events).
+        ReactorWakeups => "rpc_reactor_wakeups_total",
+        /// Ready events delivered across all reactor wakeups.
+        ReactorReadyEvents => "rpc_reactor_ready_events_total",
+        /// Connections paused for reading because their buffered replies
+        /// exceeded the write cap (slow-reader protection).
+        ConnBackpressure => "rpc_conn_backpressure_total",
     }
 }
 
@@ -211,6 +218,11 @@ metric_ids! {
         /// `tid_limit - watermark`: tids remaining before the CM must fetch
         /// a fresh range.
         CmTidRangeRemaining => "cm_tid_range_remaining",
+        /// Connections queued for dispatch across all reactors in this
+        /// process (sampled on enqueue/dequeue).
+        ReactorQueueDepth => "rpc_reactor_queue_depth",
+        /// Reply bytes buffered toward slow peers across all reactors.
+        ReactorBufferedWriteBytes => "rpc_reactor_buffered_write_bytes",
     }
 }
 

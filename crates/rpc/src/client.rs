@@ -7,8 +7,13 @@
 //! stream dies, every parked caller — and every later one — gets a typed
 //! [`Error::Unavailable`] instead of a hang.
 //!
-//! [`RemoteStoreClient`] implements `tell_store::StoreApi` over a small
-//! connection pool and [`RemoteEndpoint`] implements `StoreEndpoint`, so a
+//! [`RpcChannel`] is the one transport primitive above a connection: a
+//! round-robin pool with transparent replacement of dead connections,
+//! traffic charging and error lifting. Both remote clients are thin
+//! protocol adapters over it.
+//!
+//! [`RemoteStoreClient`] implements `tell_store::StoreApi` over a channel
+//! and [`RemoteEndpoint`] implements `StoreEndpoint`, so a
 //! `tell_core::Database` opened over them runs the exact transaction code
 //! paths it runs in-process. Asynchronously submitted operations gather in
 //! a per-client *submission window* and cross the wire as **one**
@@ -190,9 +195,69 @@ impl Connection {
         }
     }
 
+    /// Send one request without waiting for its reply. The returned
+    /// [`PendingReply`] parks on the response later, so a caller can keep
+    /// several requests in flight over one connection and overlap server
+    /// work with its own — the client half of pipelining. Untraced: a
+    /// pipelined caller is a throughput path, not a waterfall.
+    pub fn call_async(&self, request: &Request) -> Result<PendingReply> {
+        let shared = &self.shared;
+        if shared.dead.load(Ordering::SeqCst) {
+            return Err(unavailable(format!("connection to {} is closed", shared.addr)));
+        }
+        let body = request.encode();
+        let sent = FRAME_HEADER + body.len();
+        let corr_id = shared.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        shared.pending.lock().insert(corr_id, tx);
+        // Same re-check as `call_traced`: the reader may have died and
+        // drained `pending` between our liveness check and the insert.
+        if shared.dead.load(Ordering::SeqCst) {
+            shared.pending.lock().remove(&corr_id);
+            return Err(unavailable(format!("connection to {} is closed", shared.addr)));
+        }
+        {
+            let mut writer = shared.writer.lock();
+            if let Err(e) = write_frame_ctx(&mut *writer, corr_id, None, &body) {
+                drop(writer);
+                shared.mark_dead();
+                return Err(unavailable(format!("send to {} failed: {e}", shared.addr)));
+            }
+        }
+        tell_obs::incr(Counter::RpcClientFramesOut);
+        tell_obs::add(Counter::RpcClientBytesOut, sent as u64);
+        Ok(PendingReply { shared: Arc::clone(shared), rx, sent })
+    }
+
     /// Shut the connection down, failing in-flight and future calls.
     pub fn close(&self) {
         self.shared.mark_dead();
+    }
+}
+
+/// The receiving half of a [`Connection::call_async`]: a reply that is on
+/// its way but has not been waited on yet. Dropping one abandons the reply
+/// (the reader discards it on arrival); the connection stays healthy.
+pub struct PendingReply {
+    shared: Arc<ConnShared>,
+    rx: mpsc::Receiver<Reply>,
+    sent: usize,
+}
+
+impl PendingReply {
+    /// Block for the reply. Returns the response plus the frame sizes sent
+    /// and received, exactly like [`Connection::call`].
+    pub fn wait(self) -> Result<(Response, usize, usize)> {
+        match self.rx.recv() {
+            Ok((response, received, _)) => {
+                tell_obs::incr(Counter::RpcClientFramesIn);
+                tell_obs::add(Counter::RpcClientBytesIn, received as u64);
+                Ok((response, self.sent, received))
+            }
+            Err(_) => {
+                Err(unavailable(format!("connection to {} dropped mid-call", self.shared.addr)))
+            }
+        }
     }
 }
 
@@ -228,34 +293,40 @@ fn reader_loop(stream: TcpStream, shared: Arc<ConnShared>) {
 }
 
 // ---------------------------------------------------------------------------
-// Connection pool.
+// RpcChannel: the one client-side transport primitive.
 
-/// A fixed-size pool of lazily-opened connections to one server, handed
-/// out round-robin. A dead connection is transparently replaced on the
-/// next checkout, so a storage-node restart heals without client restarts.
-pub struct ConnPool {
+/// The generic client-side channel to one server: a fixed-size pool of
+/// lazily-opened pipelined connections handed out round-robin, with a dead
+/// connection transparently replaced on the next checkout — so a server
+/// restart heals without client restarts.
+///
+/// This is the single piece of connect/pool/retry/frame plumbing every
+/// remote client shares. [`RemoteStoreClient`] runs its submission window
+/// over one, [`RemoteCmClient`] holds one per commit server; neither
+/// carries its own connection management anymore.
+pub struct RpcChannel {
     addr: String,
     slots: Mutex<Vec<Option<Arc<Connection>>>>,
     next: AtomicUsize,
 }
 
-impl ConnPool {
-    /// Pool of `size` connections to `addr` (opened on first use).
-    pub fn new(addr: impl Into<String>, size: usize) -> Arc<ConnPool> {
-        Arc::new(ConnPool {
+impl RpcChannel {
+    /// Channel of `size` connections to `addr` (opened on first use).
+    pub fn new(addr: impl Into<String>, size: usize) -> Arc<RpcChannel> {
+        Arc::new(RpcChannel {
             addr: addr.into(),
             slots: Mutex::new(vec![None; size.max(1)]),
             next: AtomicUsize::new(0),
         })
     }
 
-    /// The server this pool connects to.
+    /// The server this channel connects to.
     pub fn addr(&self) -> &str {
         &self.addr
     }
 
     /// Check out a live connection, opening or replacing one if needed.
-    pub fn get(&self) -> Result<Arc<Connection>> {
+    pub fn connection(&self) -> Result<Arc<Connection>> {
         let mut slots = self.slots.lock();
         let idx = self.next.fetch_add(1, Ordering::Relaxed) % slots.len();
         if let Some(conn) = &slots[idx] {
@@ -266,6 +337,24 @@ impl ConnPool {
         let fresh = Arc::new(Connection::connect(&self.addr)?);
         slots[idx] = Some(Arc::clone(&fresh));
         Ok(fresh)
+    }
+
+    /// One round trip on a pooled connection. Returns the response plus
+    /// the frame sizes sent and received, for traffic accounting.
+    pub fn call(&self, request: &Request) -> Result<(Response, usize, usize)> {
+        self.connection()?.call(request)
+    }
+
+    /// [`RpcChannel::call`] charging `meter` for the traffic and lifting a
+    /// top-level `Response::Error` into a typed `Err` — the shape every
+    /// non-windowed caller wants.
+    pub fn request(&self, request: &Request, meter: &NetMeter) -> Result<Response> {
+        let (response, sent, received) = self.call(request)?;
+        meter.charge_real(sent, received);
+        match response {
+            Response::Error(e) => Err(e.into()),
+            other => Ok(other),
+        }
     }
 }
 
@@ -286,15 +375,15 @@ struct WindowState {
 /// flushes when the *first* outstanding handle is awaited; completions for
 /// the others are parked until their own `wait`.
 struct SubmitWindow {
-    pool: Arc<ConnPool>,
+    channel: Arc<RpcChannel>,
     meter: NetMeter,
     state: RefCell<WindowState>,
 }
 
 impl SubmitWindow {
-    fn new(pool: Arc<ConnPool>, meter: NetMeter) -> SubmitWindow {
+    fn new(channel: Arc<RpcChannel>, meter: NetMeter) -> SubmitWindow {
         SubmitWindow {
-            pool,
+            channel,
             meter,
             state: RefCell::new(WindowState {
                 next_ticket: 0,
@@ -343,7 +432,7 @@ impl SubmitWindow {
         // ops one frame coalesced; the `RpcClientCall` underneath it is
         // the wire round trip.
         let span = SpanTimer::start(SpanKind::BatchFlush, self.meter.clock().now_us());
-        let outcome = self.pool.get().and_then(|conn| conn.call(&request));
+        let outcome = self.channel.call(&request);
         if let Some(span) = span {
             let status = if outcome.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };
             span.finish(self.meter.clock().now_us(), n as u32, status);
@@ -462,9 +551,9 @@ pub struct RemoteStoreClient {
 }
 
 impl RemoteStoreClient {
-    /// Client over `pool`, charging traffic to `meter`.
-    pub fn new(pool: Arc<ConnPool>, meter: NetMeter) -> RemoteStoreClient {
-        let window = Rc::new(SubmitWindow::new(pool, meter.clone()));
+    /// Client over `channel`, charging traffic to `meter`.
+    pub fn new(channel: Arc<RpcChannel>, meter: NetMeter) -> RemoteStoreClient {
+        let window = Rc::new(SubmitWindow::new(channel, meter.clone()));
         RemoteStoreClient { window, meter }
     }
 
@@ -473,13 +562,7 @@ impl RemoteStoreClient {
     /// this request reaches the server.
     fn call(&self, request: &Request) -> Result<Response> {
         self.window.flush();
-        let conn = self.window.pool.get()?;
-        let (response, sent, received) = conn.call(request)?;
-        self.meter.charge_real(sent, received);
-        match response {
-            Response::Error(e) => Err(e.into()),
-            other => Ok(other),
-        }
+        self.window.channel.request(request, &self.meter)
     }
 
     fn unexpected(context: &str, response: Response) -> Error {
@@ -621,20 +704,20 @@ impl RemoteStoreClient {
 /// stores, from which each worker thread mints its own client.
 #[derive(Clone)]
 pub struct RemoteEndpoint {
-    pool: Arc<ConnPool>,
+    channel: Arc<RpcChannel>,
 }
 
 impl RemoteEndpoint {
-    /// Endpoint talking to the storage server at `addr` through a pool of
-    /// `pool_size` connections (opened lazily, so this cannot fail —
+    /// Endpoint talking to the storage server at `addr` through a channel
+    /// of `pool_size` connections (opened lazily, so this cannot fail —
     /// unreachable servers surface as `Unavailable` on the first call).
     pub fn connect(addr: impl Into<String>, pool_size: usize) -> RemoteEndpoint {
-        RemoteEndpoint { pool: ConnPool::new(addr, pool_size) }
+        RemoteEndpoint { channel: RpcChannel::new(addr, pool_size) }
     }
 
     /// The storage server's address.
     pub fn addr(&self) -> &str {
-        self.pool.addr()
+        self.channel.addr()
     }
 }
 
@@ -642,53 +725,32 @@ impl StoreEndpoint for RemoteEndpoint {
     type Client = RemoteStoreClient;
 
     fn client(&self, meter: NetMeter) -> RemoteStoreClient {
-        RemoteStoreClient::new(Arc::clone(&self.pool), meter)
+        RemoteStoreClient::new(Arc::clone(&self.channel), meter)
     }
 }
 
 // ---------------------------------------------------------------------------
 // Remote commit-manager client.
 
-struct CmTarget {
-    addr: String,
-    conn: Mutex<Option<Arc<Connection>>>,
-}
-
-impl CmTarget {
-    fn get(&self) -> Result<Arc<Connection>> {
-        let mut slot = self.conn.lock();
-        if let Some(conn) = slot.as_ref() {
-            if !conn.is_dead() {
-                return Ok(Arc::clone(conn));
-            }
-        }
-        let fresh = Arc::new(Connection::connect(&self.addr)?);
-        *slot = Some(Arc::clone(&fresh));
-        Ok(fresh)
-    }
-}
-
-/// `CommitService` over TCP: one connection per commit server, pinning by
-/// hint with fail-over to the next server, exactly like the local cluster.
+/// `CommitService` over TCP: one [`RpcChannel`] per commit server, pinning
+/// by hint with fail-over to the next server, exactly like the local
+/// cluster. The per-server connection management that used to live here
+/// (`CmTarget`) is gone — a channel of size one is the same thing.
 pub struct RemoteCmClient {
-    targets: Vec<CmTarget>,
+    targets: Vec<Arc<RpcChannel>>,
 }
 
 impl RemoteCmClient {
     /// Client over the commit servers at `addrs` (connected lazily).
     pub fn connect(addrs: impl IntoIterator<Item = impl Into<String>>) -> RemoteCmClient {
-        let targets: Vec<_> = addrs
-            .into_iter()
-            .map(|a| CmTarget { addr: a.into(), conn: Mutex::new(None) })
-            .collect();
+        let targets: Vec<_> = addrs.into_iter().map(|a| RpcChannel::new(a, 1)).collect();
         assert!(!targets.is_empty(), "need at least one commit-server address");
         RemoteCmClient { targets }
     }
 
     /// Call `request` on target `idx`, charging `meter` for the traffic.
     fn call_on(&self, idx: usize, request: &Request, meter: &NetMeter) -> Result<Response> {
-        let conn = self.targets[idx].get()?;
-        call_and_charge(&conn, request, meter)
+        self.targets[idx].request(request, meter)
     }
 }
 
@@ -711,7 +773,7 @@ impl CommitService for RemoteCmClient {
         let mut last_err = unavailable("no commit server reachable");
         for i in 0..n {
             let idx = (hint + i) % n;
-            let conn = match self.targets[idx].get() {
+            let conn = match self.targets[idx].connection() {
                 Ok(c) => c,
                 Err(e) => {
                     last_err = e;

@@ -10,21 +10,34 @@
 //! commit manager) across real sockets, std-only, no external deps.
 //!
 //! * [`wire`] — length-prefixed binary frames with correlation ids
-//!   (pipelining) and tagged request/response messages.
-//! * [`server`] — threaded server wrapping a `StoreCluster` and/or a
-//!   commit service; one thread per connection.
-//! * [`client`] — pipelined connections, a pooled remote storage client,
-//!   and the remote commit-manager client with fail-over.
+//!   (pipelining), tagged request/response messages, and the streaming
+//!   [`FrameDecoder`] for nonblocking receive paths.
+//! * [`service`] — the [`RpcService`] dispatch seam: one trait both
+//!   servers implement, with deferred completion through [`ReplySink`].
+//! * [`server`] — the epoll-reactor [`RpcServer`] (and the
+//!   thread-per-connection [`BlockingServer`] baseline) fronting a
+//!   `StoreCluster` and/or a commit service.
+//! * [`reactor`] — the event loop itself: epoll + eventfd via `sys`,
+//!   zero-copy frame slicing, a bounded worker pool, slow-reader
+//!   backpressure.
+//! * [`client`] — pipelined connections under the generic [`RpcChannel`],
+//!   the remote storage client, and the remote commit-manager client with
+//!   fail-over.
 //! * [`fault`] — deterministic fault injection (drop/delay/duplicate frames,
 //!   batch-flush stalls) for the simulation harness; off by default.
 
 pub mod client;
 pub mod fault;
+pub mod reactor;
 pub mod server;
+pub mod service;
+mod sys;
 pub mod wire;
 
 pub use client::{
-    ConnPool, Connection, RemoteCmClient, RemoteCmEndpoint, RemoteEndpoint, RemoteStoreClient,
+    Connection, PendingReply, RemoteCmClient, RemoteCmEndpoint, RemoteEndpoint, RemoteStoreClient,
+    RpcChannel,
 };
-pub use server::{RpcServer, Services};
-pub use wire::{Request, Response, WireError, MAX_FRAME};
+pub use server::{BlockingServer, ReactorConfig, RpcServer, Services};
+pub use service::{ReplySink, RequestCtx, Router, RpcService};
+pub use wire::{FrameDecoder, Request, Response, WireError, MAX_FRAME};

@@ -1,9 +1,17 @@
-//! Threaded TCP server fronting a storage cluster and/or commit managers.
+//! TCP servers fronting an [`RpcService`].
 //!
-//! One accept loop, one thread per connection. A connection processes its
-//! requests in arrival order but a client may keep many in flight —
-//! responses carry the request's correlation id, so the client needs no
-//! lockstep (pipelining per §5.1's batching spirit: the wire stays full).
+//! [`RpcServer`] — the shipped server — runs the epoll reactor from
+//! [`crate::reactor`]: one event-loop thread multiplexing every
+//! connection, a bounded worker pool executing dispatch, zero-copy frame
+//! slicing and slow-reader backpressure. A connection's requests dispatch
+//! in arrival order but a client may keep many in flight — responses carry
+//! the request's correlation id, so the client needs no lockstep
+//! (pipelining per §5.1's batching spirit: the wire stays full).
+//!
+//! [`BlockingServer`] is the old thread-per-connection design, kept as the
+//! explicitly-labeled baseline the reactor bench compares against. Both
+//! servers speak the identical wire protocol over the identical
+//! [`Router`]; only the I/O model differs.
 //!
 //! The same server can expose both services; the shipped binaries run them
 //! separately (`tell_sn` serves storage, `tell_cm` serves commit managers)
@@ -17,72 +25,56 @@ use std::sync::Arc;
 use std::thread;
 
 use parking_lot::Mutex;
-use tell_commitmgr::{CommitParticipant, CommitService};
+use tell_commitmgr::CommitService;
 use tell_common::{Error, Result};
-use tell_netsim::NetMeter;
-use tell_store::{Expect, StoreClient, StoreCluster, WriteOp};
-
 use tell_obs::Counter;
+use tell_store::StoreCluster;
 
-use crate::wire::{read_frame, split_context, write_frame_ctx, Request, Response};
+use crate::reactor::Reactor;
+pub use crate::reactor::ReactorConfig;
+pub use crate::service::Services;
+use crate::service::{dispatch_frame, Router, RpcService};
+use crate::wire::{read_frame, write_frame_ctx};
 
-/// What a server process exposes.
-#[derive(Default)]
-pub struct Services {
-    /// Storage requests are served from this cluster.
-    pub store: Option<Arc<StoreCluster>>,
-    /// Commit requests are served from this service.
-    pub commit: Option<Arc<dyn CommitService>>,
-}
-
-struct ServerShared {
-    services: Services,
-    /// tid → the manager that issued it, so `CmComplete` reports the
-    /// outcome to the right manager regardless of which connection (or
-    /// which PN) delivers it. Falls back to `force_resolve` when absent
-    /// (e.g. resolution arriving after a server restart).
-    participants: Mutex<HashMap<u64, Arc<dyn CommitParticipant>>>,
-    shutting_down: AtomicBool,
-    /// Request frames read off the wire, across all connections. A `Batch`
-    /// of N ops counts **once** — this is the counter the batching
-    /// ablation compares against the logical op count.
-    frames: AtomicU64,
-    /// Live connections keyed by peer address, so `shutdown` can sever
-    /// them. Each handler removes its own entry when it exits; leaving
-    /// dead clones here would hold the socket open (no FIN to the peer)
-    /// and leak a descriptor per connection.
-    conns: Mutex<HashMap<SocketAddr, TcpStream>>,
-}
-
-/// A running tell-rpc server. Dropping it shuts it down.
+/// A running tell-rpc server over the epoll reactor. Dropping it shuts it
+/// down.
 pub struct RpcServer {
     addr: SocketAddr,
-    shared: Arc<ServerShared>,
-    accept: Option<thread::JoinHandle<()>>,
+    reactor: Reactor,
 }
 
 impl RpcServer {
-    /// Bind `addr` and serve `services`. Pass port 0 to let the OS choose;
-    /// the bound address is available from [`RpcServer::local_addr`].
+    /// Bind `addr` and serve `services` with default reactor tuning. Pass
+    /// port 0 to let the OS choose; the bound address is available from
+    /// [`RpcServer::local_addr`].
     pub fn serve(addr: impl ToSocketAddrs, services: Services) -> Result<RpcServer> {
+        RpcServer::serve_with(addr, services, ReactorConfig::default())
+    }
+
+    /// [`RpcServer::serve`] with explicit reactor tuning (worker count,
+    /// write-buffer cap).
+    pub fn serve_with(
+        addr: impl ToSocketAddrs,
+        services: Services,
+        config: ReactorConfig,
+    ) -> Result<RpcServer> {
+        RpcServer::serve_service(addr, Arc::new(Router::new(services)), config)
+    }
+
+    /// Serve an arbitrary [`RpcService`] — the seam a custom deployment
+    /// (or a test) plugs its own handler into.
+    pub fn serve_service(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn RpcService>,
+        config: ReactorConfig,
+    ) -> Result<RpcServer> {
         let listener =
             TcpListener::bind(addr).map_err(|e| Error::Unavailable(format!("bind failed: {e}")))?;
         let addr = listener
             .local_addr()
             .map_err(|e| Error::Unavailable(format!("no local address: {e}")))?;
-        let shared = Arc::new(ServerShared {
-            services,
-            participants: Mutex::new(HashMap::new()),
-            shutting_down: AtomicBool::new(false),
-            frames: AtomicU64::new(0),
-            conns: Mutex::new(HashMap::new()),
-        });
-        let accept_shared = Arc::clone(&shared);
-        let accept = thread::Builder::new()
-            .name(format!("tell-rpc-accept-{}", addr.port()))
-            .spawn(move || accept_loop(listener, accept_shared))
-            .map_err(|e| Error::Unavailable(format!("spawn failed: {e}")))?;
-        Ok(RpcServer { addr, shared, accept: Some(accept) })
+        let reactor = Reactor::start(listener, service, config)?;
+        Ok(RpcServer { addr, reactor })
     }
 
     /// Serve only storage requests.
@@ -107,16 +99,81 @@ impl RpcServer {
     /// N operations counts as one frame, so comparing this against logical
     /// op counts measures what §5.1's batching saves.
     pub fn frames_served(&self) -> u64 {
+        self.reactor.frames_served()
+    }
+
+    /// Stop the reactor, sever every open connection and join the event
+    /// loop plus workers. Idempotent; called automatically on drop. The
+    /// wakeup is the reactor's eventfd — no throwaway self-connection.
+    pub fn shutdown(&mut self) {
+        self.reactor.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BlockingServer: the thread-per-connection baseline.
+
+struct BlockingShared {
+    service: Arc<dyn RpcService>,
+    shutting_down: AtomicBool,
+    frames: AtomicU64,
+    /// Live connections keyed by peer address, so `shutdown` can sever
+    /// them. Each handler removes its own entry when it exits; leaving
+    /// dead clones here would hold the socket open (no FIN to the peer)
+    /// and leak a descriptor per connection.
+    conns: Mutex<HashMap<SocketAddr, TcpStream>>,
+}
+
+/// Thread-per-connection blocking server over the same [`Router`] and wire
+/// protocol as [`RpcServer`]. This is the pre-reactor design, kept as the
+/// measured baseline for `BENCH_rpc_reactor.json`: every connection costs
+/// a thread and two blocking syscall round trips per request.
+pub struct BlockingServer {
+    addr: SocketAddr,
+    shared: Arc<BlockingShared>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl BlockingServer {
+    /// Bind `addr` and serve `services`, one thread per connection.
+    pub fn serve(addr: impl ToSocketAddrs, services: Services) -> Result<BlockingServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| Error::Unavailable(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::Unavailable(format!("no local address: {e}")))?;
+        let shared = Arc::new(BlockingShared {
+            service: Arc::new(Router::new(services)),
+            shutting_down: AtomicBool::new(false),
+            frames: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name(format!("tell-rpc-blk-accept-{}", addr.port()))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| Error::Unavailable(format!("spawn failed: {e}")))?;
+        Ok(BlockingServer { addr, shared, accept: Some(accept) })
+    }
+
+    /// The address the server accepts connections on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request frames served so far (same semantics as
+    /// [`RpcServer::frames_served`]).
+    pub fn frames_served(&self) -> u64 {
         self.shared.frames.load(Ordering::SeqCst)
     }
 
     /// Stop accepting, sever every open connection and join the accept
-    /// loop. Called automatically on drop.
+    /// loop. The blocking accept call has no eventfd to poke, so this
+    /// keeps the legacy unblock: a throwaway self-connection.
     pub fn shutdown(&mut self) {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
@@ -127,13 +184,13 @@ impl RpcServer {
     }
 }
 
-impl Drop for RpcServer {
+impl Drop for BlockingServer {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+fn accept_loop(listener: TcpListener, shared: Arc<BlockingShared>) {
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
@@ -146,30 +203,23 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
         }
         let conn_shared = Arc::clone(&shared);
         let _ = thread::Builder::new()
-            .name("tell-rpc-conn".into())
+            .name("tell-rpc-blk-conn".into())
             .spawn(move || handle_connection(stream, peer, conn_shared));
     }
 }
 
-fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShared>) {
+fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<BlockingShared>) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    // The storage client and the meter live on this connection's thread:
-    // `NetMeter` is deliberately `!Send` (one virtual clock per worker), and
-    // a real server charges no simulated time — hence the free meter.
-    let store_client =
-        shared.services.store.as_ref().map(|c| StoreClient::unmetered(Arc::clone(c)));
-    let meter = NetMeter::free();
+    // The writer is shared with the per-frame reply closure (which must be
+    // `Send + 'static` per the `ReplySink` contract); dispatch here is
+    // synchronous, so the closure always fires before the next read.
+    let writer = Arc::new(Mutex::new(stream));
+    let broken = Arc::new(AtomicBool::new(false));
     while let Ok(Some((corr_id, body))) = read_frame(&mut reader) {
         shared.frames.fetch_add(1, Ordering::SeqCst);
         tell_obs::incr(Counter::RpcServerFramesIn);
         tell_obs::add(Counter::RpcServerBytesIn, body.len() as u64);
-        // The fault injector (when armed by the simulation harness) acts on
-        // the frame as a unit, before any dispatch side effects: a dropped
-        // frame kills the stream like a broken link would, a delayed frame
-        // holds up everything pipelined behind it, a duplicated frame
-        // re-dispatches — at-least-once delivery the protocol must absorb.
         let injected = crate::fault::server_action();
         if injected == crate::fault::ServerFault::Drop {
             break;
@@ -177,251 +227,29 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<ServerShar
         if let crate::fault::ServerFault::DelayUs(us) = injected {
             thread::sleep(std::time::Duration::from_micros(us));
         }
-        let (ctx, response) = match split_context(&body)
-            .and_then(|(ctx, msg)| Request::decode(msg).map(|request| (ctx, request)))
-        {
-            Ok((ctx, request)) => {
-                count_request(&request);
-                // Expose the originating trace to everything this dispatch
-                // touches (slow-op checks included), then echo it back.
-                let _guard = ctx.map(|c| tell_obs::TraceGuard::enter(c.trace));
-                // Record this dispatch as a child of the remote client-call
-                // span carried in the frame (servers have no virtual clock,
-                // so the virtual timestamps stay 0).
-                let _in_server = tell_obs::span::ServerDispatchScope::enter();
-                let span = ctx.and_then(|c| {
-                    tell_obs::SpanTimer::start_with_parent(
-                        c.trace,
-                        c.parent_span,
-                        tell_obs::SpanKind::ServerDispatch,
-                        0.0,
-                    )
-                });
-                // At-least-once delivery: apply the request twice and answer
-                // with the first result, as a retransmitted frame arriving
-                // after the original would. `CmStart` is exempt — allocation
-                // is not idempotent, and a tid handed out by a duplicate
-                // would never be completed by anyone (for starts, a lost
-                // response is the Drop fault's territory).
-                let duplicate = injected == crate::fault::ServerFault::Duplicate
-                    && !matches!(request, Request::CmStart { .. });
-                let response = if duplicate {
-                    let first = dispatch(&shared, store_client.as_ref(), &meter, request.clone());
-                    let _second = dispatch(&shared, store_client.as_ref(), &meter, request);
-                    first
-                } else {
-                    dispatch(&shared, store_client.as_ref(), &meter, request)
-                };
-                if let Some(span) = span {
-                    let status = match &response {
-                        Response::Error(crate::wire::WireError::Conflict) => {
-                            tell_obs::SpanStatus::Conflict
-                        }
-                        Response::Error(_) => tell_obs::SpanStatus::Error,
-                        _ => tell_obs::SpanStatus::Ok,
-                    };
-                    span.finish(0.0, 0, status);
+        let duplicate = injected == crate::fault::ServerFault::Duplicate;
+        let reply_writer = Arc::clone(&writer);
+        let reply_broken = Arc::clone(&broken);
+        dispatch_frame(
+            shared.service.as_ref(),
+            duplicate,
+            Some(peer),
+            &body,
+            move |ctx, response| {
+                let out = response.encode();
+                tell_obs::incr(Counter::RpcServerFramesOut);
+                tell_obs::add(Counter::RpcServerBytesOut, out.len() as u64);
+                if write_frame_ctx(&mut *reply_writer.lock(), corr_id, ctx, &out).is_err() {
+                    reply_broken.store(true, Ordering::SeqCst);
                 }
-                // A server thread never learns how the trace ends, so its
-                // spans go straight to the ring (the bounded drop-oldest
-                // ring is the server-side retention policy).
-                tell_obs::span::flush_pending_to_ring();
-                (ctx, response)
-            }
-            Err(e) => (None, Response::Error(e.into())),
-        };
-        let out = response.encode();
-        tell_obs::incr(Counter::RpcServerFramesOut);
-        tell_obs::add(Counter::RpcServerBytesOut, out.len() as u64);
-        if write_frame_ctx(&mut writer, corr_id, ctx, &out).is_err() {
+            },
+        );
+        if broken.load(Ordering::SeqCst) {
             break;
         }
     }
     // Drop our registration and actively close: the clone held for
     // `shutdown` must not outlive the handler, or the peer never sees EOF.
     shared.conns.lock().remove(&peer);
-    let _ = writer.shutdown(std::net::Shutdown::Both);
-}
-
-/// Per-request-type accounting. A `Batch` envelope counts once under its
-/// own counter (mirroring the one-frame semantics of `frames_served`) and
-/// each nested op counts under its own type plus the inner-ops total.
-fn count_request(request: &Request) {
-    let reg = tell_obs::global();
-    let c = match request {
-        Request::Get { .. } => Counter::ReqGet,
-        Request::MultiGet { .. } => Counter::ReqMultiGet,
-        Request::Write { .. } => Counter::ReqWrite,
-        Request::MultiWrite { .. } => Counter::ReqMultiWrite,
-        Request::Increment { .. } => Counter::ReqIncrement,
-        Request::Scan { .. } => Counter::ReqScan,
-        Request::ScanPrefix { .. } => Counter::ReqScanPrefix,
-        Request::ScanPrefixFiltered { .. } => Counter::ReqScanPrefixFiltered,
-        Request::Ping => Counter::ReqPing,
-        Request::Batch { ops } => {
-            reg.add(Counter::ReqBatchInnerOps, ops.len() as u64);
-            for op in ops {
-                count_request(op);
-            }
-            Counter::ReqBatch
-        }
-        Request::CmStart { .. } => Counter::ReqCmStart,
-        Request::CmComplete { .. } => Counter::ReqCmComplete,
-        Request::CmLav => Counter::ReqCmLav,
-        Request::CmSync => Counter::ReqCmSync,
-        Request::CmResolve { .. } => Counter::ReqCmResolve,
-        Request::Metrics => Counter::ReqMetrics,
-        Request::Spans => Counter::ReqSpans,
-    };
-    reg.incr(c);
-}
-
-fn dispatch(
-    shared: &ServerShared,
-    store: Option<&StoreClient>,
-    meter: &NetMeter,
-    request: Request,
-) -> Response {
-    match request {
-        // One frame in, one frame out: each nested op dispatches
-        // independently, so per-op failures travel as nested errors
-        // instead of poisoning the whole window (§5.1 batching).
-        Request::Batch { ops } => Response::Batch {
-            results: ops.into_iter().map(|op| dispatch_one(shared, store, meter, op)).collect(),
-        },
-        other => dispatch_one(shared, store, meter, other),
-    }
-}
-
-fn dispatch_one(
-    shared: &ServerShared,
-    store: Option<&StoreClient>,
-    meter: &NetMeter,
-    request: Request,
-) -> Response {
-    match request {
-        Request::Ping => Response::Pong,
-        // Served by every node regardless of hosted services: the snapshot
-        // is of this process's global registry.
-        Request::Metrics => Response::Metrics(tell_obs::snapshot().to_json()),
-        // Likewise process-wide; draining is destructive, each span is
-        // scraped exactly once.
-        Request::Spans => Response::Spans(tell_obs::span::global_ring().drain()),
-        // The wire decoder already refuses nested batches; keep the server
-        // refusal too so a future in-process caller cannot sneak one in.
-        Request::Batch { .. } => {
-            Response::Error(Error::invalid("Batch nested inside Batch").into())
-        }
-        Request::Get { .. }
-        | Request::MultiGet { .. }
-        | Request::Write { .. }
-        | Request::MultiWrite { .. }
-        | Request::Increment { .. }
-        | Request::Scan { .. }
-        | Request::ScanPrefix { .. }
-        | Request::ScanPrefixFiltered { .. } => match store {
-            Some(client) => dispatch_store(client, request),
-            None => Response::Error(
-                Error::Unsupported("this node does not serve storage".into()).into(),
-            ),
-        },
-        Request::CmStart { .. }
-        | Request::CmComplete { .. }
-        | Request::CmLav
-        | Request::CmSync
-        | Request::CmResolve { .. } => match &shared.services.commit {
-            Some(commit) => dispatch_commit(shared, commit.as_ref(), meter, request),
-            None => Response::Error(
-                Error::Unsupported("this node does not serve commit managers".into()).into(),
-            ),
-        },
-    }
-}
-
-fn dispatch_store(client: &StoreClient, request: Request) -> Response {
-    let result = match request {
-        Request::Get { key } => client.get(&key).map(Response::Cell),
-        Request::MultiGet { keys } => client.multi_get(&keys).map(Response::Cells),
-        Request::Write { op } => apply_write(client, op).map(Response::Written),
-        Request::MultiWrite { ops } => client.multi_write(ops).map(|results| {
-            Response::WriteResults(results.into_iter().map(|r| r.map_err(Into::into)).collect())
-        }),
-        Request::Increment { key, delta } => client.increment(&key, delta).map(Response::Counter),
-        Request::Scan { start, end, limit, reverse } => {
-            let limit = clamp_limit(limit);
-            let end = end.as_ref().map(|b| b.as_ref());
-            if reverse {
-                client.scan_range_rev(start.as_ref(), end, limit).map(Response::Rows)
-            } else {
-                client.scan_range(start.as_ref(), end, limit).map(Response::Rows)
-            }
-        }
-        Request::ScanPrefix { prefix, limit } => {
-            client.scan_prefix(prefix.as_ref(), clamp_limit(limit)).map(Response::Rows)
-        }
-        Request::ScanPrefixFiltered { prefix, limit, predicate } => {
-            // The §5.2 pushdown: evaluate the predicate here, next to the
-            // data, so only matching rows are framed into the response.
-            client
-                .scan_prefix_pushdown(prefix.as_ref(), clamp_limit(limit), &predicate)
-                .map(Response::Rows)
-        }
-        _ => unreachable!("non-storage request routed to dispatch_store"),
-    };
-    result.unwrap_or_else(|e| Response::Error(e.into()))
-}
-
-/// Route a single conditional write to the store call with exactly its
-/// semantics (see `StoreApi`: put / insert / store-conditional / delete /
-/// delete-conditional are distinct operations, not sugar over one another).
-fn apply_write(client: &StoreClient, op: WriteOp) -> Result<Option<u64>> {
-    match (op.expect, op.value) {
-        (Expect::Any, Some(value)) => client.put(&op.key, value).map(Some),
-        (Expect::Absent, Some(value)) => client.insert(&op.key, value).map(Some),
-        (Expect::Token(token), Some(value)) => {
-            client.store_conditional(&op.key, token, value).map(Some)
-        }
-        (Expect::Token(token), None) => client.delete_conditional(&op.key, token).map(|()| None),
-        (Expect::Any, None) => client.delete(&op.key).map(|()| None),
-        (Expect::Absent, None) => Err(Error::invalid("delete with Expect::Absent is meaningless")),
-    }
-}
-
-fn dispatch_commit(
-    shared: &ServerShared,
-    commit: &dyn CommitService,
-    meter: &NetMeter,
-    request: Request,
-) -> Response {
-    let result = match request {
-        Request::CmStart { hint } => {
-            commit.start_pinned(hint as usize, meter).map(|(start, participant)| {
-                shared.participants.lock().insert(start.tid.raw(), participant);
-                Response::TxnStarted { tid: start.tid, lav: start.lav, snapshot: start.snapshot }
-            })
-        }
-        Request::CmComplete { tid, committed } => {
-            let participant = shared.participants.lock().remove(&tid.raw());
-            match participant {
-                Some(p) if committed => p.set_committed(tid, meter),
-                Some(p) => p.set_aborted(tid, meter),
-                // The issuing manager is unknown here (restart, cross-server
-                // resolution): resolve on every live manager instead.
-                None => commit.force_resolve(tid, committed),
-            }
-            .map(|()| Response::Unit)
-        }
-        Request::CmLav => commit.current_lav().map(Response::Lav),
-        Request::CmSync => commit.sync_all(meter).map(|()| Response::Unit),
-        Request::CmResolve { tid, committed } => {
-            shared.participants.lock().remove(&tid.raw());
-            commit.force_resolve(tid, committed).map(|()| Response::Unit)
-        }
-        _ => unreachable!("non-commit request routed to dispatch_commit"),
-    };
-    result.unwrap_or_else(|e| Response::Error(e.into()))
-}
-
-fn clamp_limit(limit: u64) -> usize {
-    usize::try_from(limit).unwrap_or(usize::MAX)
+    let _ = writer.lock().shutdown(std::net::Shutdown::Both);
 }

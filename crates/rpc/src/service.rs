@@ -1,0 +1,437 @@
+//! The unified dispatch seam: one [`RpcService`] trait both servers (and
+//! any future in-process caller) implement, replacing the two hand-rolled
+//! per-server dispatch loops that used to live in `server.rs`.
+//!
+//! A service receives a decoded [`Request`] plus its [`RequestCtx`] and
+//! answers through a one-shot [`ReplySink`]. The sink is the deferred-
+//! completion seam: a synchronous handler calls it before returning, an
+//! asynchronous one may move it to another thread, and a `Request::Batch`
+//! fans one sink out into per-op sinks with [`ReplySink::batch`] so nested
+//! replies can complete independently and still assemble into one
+//! [`Response::Batch`] in submission order. A sink dropped without a reply
+//! answers a typed error — a lost reply must never strand the caller's
+//! correlation id.
+//!
+//! [`Router`] is the service the shipped servers run: storage requests go
+//! to the wrapped `StoreCluster`, commit requests to the wrapped
+//! `CommitService` (with the tid → participant routing table that used to
+//! live on the server), and Ping/Metrics/Spans are answered by any node.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tell_commitmgr::{CommitParticipant, CommitService};
+use tell_common::{Error, Result};
+use tell_netsim::NetMeter;
+use tell_obs::Counter;
+use tell_store::{Expect, StoreClient, StoreCluster, WriteOp};
+
+use crate::wire::{split_context, Request, Response, TraceContext};
+
+/// What a server process exposes.
+#[derive(Default)]
+pub struct Services {
+    /// Storage requests are served from this cluster.
+    pub store: Option<Arc<StoreCluster>>,
+    /// Commit requests are served from this service.
+    pub commit: Option<Arc<dyn CommitService>>,
+}
+
+/// Everything a handler may want to know about the frame beyond the
+/// request itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestCtx {
+    /// Trace context carried in the frame, echoed on the response.
+    pub trace: Option<TraceContext>,
+    /// The connection's peer address, when the transport has one.
+    pub peer: Option<SocketAddr>,
+}
+
+/// One-shot completion handle for a request. Consuming it (`send`) routes
+/// the response back to whatever transport issued the request; dropping it
+/// unconsumed sends a typed error instead, so a handler that loses a reply
+/// path can never hang a correlation id.
+pub struct ReplySink {
+    complete: Option<Box<dyn FnOnce(Response) + Send>>,
+}
+
+impl ReplySink {
+    /// Sink invoking `complete` with the response.
+    pub fn new(complete: impl FnOnce(Response) + Send + 'static) -> ReplySink {
+        ReplySink { complete: Some(Box::new(complete)) }
+    }
+
+    /// Sink that discards its response (duplicate-delivery re-dispatch).
+    pub fn ignore() -> ReplySink {
+        ReplySink::new(|_| {})
+    }
+
+    /// Complete the request.
+    pub fn send(mut self, response: Response) {
+        if let Some(complete) = self.complete.take() {
+            complete(response);
+        }
+    }
+
+    /// Split this sink into `n` per-op sinks whose responses assemble into
+    /// one `Response::Batch` in index order once **all** have completed —
+    /// the deferred-completion shape of §5.1 batching: one frame in, one
+    /// frame out, however the per-op work is scheduled.
+    pub fn batch(self, n: usize) -> Vec<ReplySink> {
+        if n == 0 {
+            self.send(Response::Batch { results: Vec::new() });
+            return Vec::new();
+        }
+        struct BatchState {
+            slots: Mutex<Vec<Option<Response>>>,
+            remaining: AtomicUsize,
+            parent: Mutex<Option<ReplySink>>,
+        }
+        let state = Arc::new(BatchState {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: AtomicUsize::new(n),
+            parent: Mutex::new(Some(self)),
+        });
+        (0..n)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                ReplySink::new(move |response| {
+                    state.slots.lock()[i] = Some(response);
+                    if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let results = state
+                            .slots
+                            .lock()
+                            .iter_mut()
+                            .map(|slot| slot.take().expect("all batch slots completed"))
+                            .collect();
+                        if let Some(parent) = state.parent.lock().take() {
+                            parent.send(Response::Batch { results });
+                        }
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+impl Drop for ReplySink {
+    fn drop(&mut self) {
+        if let Some(complete) = self.complete.take() {
+            complete(Response::Error(Error::invalid("request dropped without a reply").into()));
+        }
+    }
+}
+
+/// A request handler: decode happens in the transport, `call` maps one
+/// request to one (eventual) reply. Implementations must tolerate the sink
+/// outliving the call — that is the whole deferred-completion contract.
+pub trait RpcService: Send + Sync {
+    fn call(&self, request: Request, ctx: &RequestCtx, reply: ReplySink);
+}
+
+// ---------------------------------------------------------------------------
+// Router: the service the shipped servers run.
+
+/// Routes storage requests to a `StoreCluster`, commit requests to a
+/// `CommitService`, and serves Ping/Metrics/Spans from any node. Requests
+/// for an unhosted service answer `Unsupported`.
+pub struct Router {
+    store: Option<Arc<StoreCluster>>,
+    commit: Option<CmRoute>,
+}
+
+struct CmRoute {
+    commit: Arc<dyn CommitService>,
+    /// tid → the manager that issued it, so `CmComplete` reports the
+    /// outcome to the right manager regardless of which connection (or
+    /// which PN) delivers it. Falls back to `force_resolve` when absent
+    /// (e.g. resolution arriving after a server restart).
+    participants: Mutex<HashMap<u64, Arc<dyn CommitParticipant>>>,
+}
+
+impl Router {
+    pub fn new(services: Services) -> Router {
+        Router {
+            store: services.store,
+            commit: services
+                .commit
+                .map(|commit| CmRoute { commit, participants: Mutex::new(HashMap::new()) }),
+        }
+    }
+
+    fn call_one(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            // Served by every node regardless of hosted services: the
+            // snapshot is of this process's global registry.
+            Request::Metrics => Response::Metrics(tell_obs::snapshot().to_json()),
+            // Likewise process-wide; draining is destructive, each span is
+            // scraped exactly once.
+            Request::Spans => Response::Spans(tell_obs::span::global_ring().drain()),
+            // The wire decoder already refuses nested batches; keep the
+            // refusal here too so a future in-process caller cannot sneak
+            // one in.
+            Request::Batch { .. } => {
+                Response::Error(Error::invalid("Batch nested inside Batch").into())
+            }
+            Request::Get { .. }
+            | Request::MultiGet { .. }
+            | Request::Write { .. }
+            | Request::MultiWrite { .. }
+            | Request::Increment { .. }
+            | Request::Scan { .. }
+            | Request::ScanPrefix { .. }
+            | Request::ScanPrefixFiltered { .. } => match &self.store {
+                Some(cluster) => {
+                    with_store_client(cluster, |client| dispatch_store(client, request))
+                }
+                None => Response::Error(
+                    Error::Unsupported("this node does not serve storage".into()).into(),
+                ),
+            },
+            Request::CmStart { .. }
+            | Request::CmComplete { .. }
+            | Request::CmLav
+            | Request::CmSync
+            | Request::CmResolve { .. } => match &self.commit {
+                Some(route) => dispatch_commit(route, request),
+                None => Response::Error(
+                    Error::Unsupported("this node does not serve commit managers".into()).into(),
+                ),
+            },
+        }
+    }
+}
+
+impl RpcService for Router {
+    fn call(&self, request: Request, _ctx: &RequestCtx, reply: ReplySink) {
+        match request {
+            // One frame in, one frame out: each nested op dispatches
+            // independently, so per-op failures travel as nested errors
+            // instead of poisoning the whole window (§5.1 batching).
+            Request::Batch { ops } => {
+                let sinks = reply.batch(ops.len());
+                for (op, sink) in ops.into_iter().zip(sinks) {
+                    sink.send(self.call_one(op));
+                }
+            }
+            other => reply.send(self.call_one(other)),
+        }
+    }
+}
+
+// The storage client is deliberately `!Send` (its meter models one worker's
+// virtual clock), so a shared `Router` cannot hold one. Each dispatch
+// thread caches its own unmetered client per cluster instead — the same
+// lifetime the old thread-per-connection server got for free, since worker
+// threads die with the server that spawned them.
+thread_local! {
+    static STORE_CLIENTS: std::cell::RefCell<Vec<(usize, StoreClient)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn with_store_client<R>(cluster: &Arc<StoreCluster>, f: impl FnOnce(&StoreClient) -> R) -> R {
+    let key = Arc::as_ptr(cluster) as usize;
+    STORE_CLIENTS.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if !cache.iter().any(|(k, _)| *k == key) {
+            cache.push((key, StoreClient::unmetered(Arc::clone(cluster))));
+        }
+        let client = &cache.iter().find(|(k, _)| *k == key).expect("just inserted").1;
+        f(client)
+    })
+}
+
+fn dispatch_store(client: &StoreClient, request: Request) -> Response {
+    let result = match request {
+        Request::Get { key } => client.get(&key).map(Response::Cell),
+        Request::MultiGet { keys } => client.multi_get(&keys).map(Response::Cells),
+        Request::Write { op } => apply_write(client, op).map(Response::Written),
+        Request::MultiWrite { ops } => client.multi_write(ops).map(|results| {
+            Response::WriteResults(results.into_iter().map(|r| r.map_err(Into::into)).collect())
+        }),
+        Request::Increment { key, delta } => client.increment(&key, delta).map(Response::Counter),
+        Request::Scan { start, end, limit, reverse } => {
+            let limit = clamp_limit(limit);
+            let end = end.as_ref().map(|b| b.as_ref());
+            if reverse {
+                client.scan_range_rev(start.as_ref(), end, limit).map(Response::Rows)
+            } else {
+                client.scan_range(start.as_ref(), end, limit).map(Response::Rows)
+            }
+        }
+        Request::ScanPrefix { prefix, limit } => {
+            client.scan_prefix(prefix.as_ref(), clamp_limit(limit)).map(Response::Rows)
+        }
+        Request::ScanPrefixFiltered { prefix, limit, predicate } => {
+            // The §5.2 pushdown: evaluate the predicate here, next to the
+            // data, so only matching rows are framed into the response.
+            client
+                .scan_prefix_pushdown(prefix.as_ref(), clamp_limit(limit), &predicate)
+                .map(Response::Rows)
+        }
+        _ => unreachable!("non-storage request routed to dispatch_store"),
+    };
+    result.unwrap_or_else(|e| Response::Error(e.into()))
+}
+
+/// Route a single conditional write to the store call with exactly its
+/// semantics (see `StoreApi`: put / insert / store-conditional / delete /
+/// delete-conditional are distinct operations, not sugar over one another).
+fn apply_write(client: &StoreClient, op: WriteOp) -> Result<Option<u64>> {
+    match (op.expect, op.value) {
+        (Expect::Any, Some(value)) => client.put(&op.key, value).map(Some),
+        (Expect::Absent, Some(value)) => client.insert(&op.key, value).map(Some),
+        (Expect::Token(token), Some(value)) => {
+            client.store_conditional(&op.key, token, value).map(Some)
+        }
+        (Expect::Token(token), None) => client.delete_conditional(&op.key, token).map(|()| None),
+        (Expect::Any, None) => client.delete(&op.key).map(|()| None),
+        (Expect::Absent, None) => Err(Error::invalid("delete with Expect::Absent is meaningless")),
+    }
+}
+
+fn dispatch_commit(route: &CmRoute, request: Request) -> Response {
+    // Server threads have no virtual clock; commit-side charges are free.
+    let meter = NetMeter::free();
+    let commit = route.commit.as_ref();
+    let result = match request {
+        Request::CmStart { hint } => {
+            commit.start_pinned(hint as usize, &meter).map(|(start, participant)| {
+                route.participants.lock().insert(start.tid.raw(), participant);
+                Response::TxnStarted { tid: start.tid, lav: start.lav, snapshot: start.snapshot }
+            })
+        }
+        Request::CmComplete { tid, committed } => {
+            let participant = route.participants.lock().remove(&tid.raw());
+            match participant {
+                Some(p) if committed => p.set_committed(tid, &meter),
+                Some(p) => p.set_aborted(tid, &meter),
+                // The issuing manager is unknown here (restart, cross-server
+                // resolution): resolve on every live manager instead.
+                None => commit.force_resolve(tid, committed),
+            }
+            .map(|()| Response::Unit)
+        }
+        Request::CmLav => commit.current_lav().map(Response::Lav),
+        Request::CmSync => commit.sync_all(&meter).map(|()| Response::Unit),
+        Request::CmResolve { tid, committed } => {
+            route.participants.lock().remove(&tid.raw());
+            commit.force_resolve(tid, committed).map(|()| Response::Unit)
+        }
+        _ => unreachable!("non-commit request routed to dispatch_commit"),
+    };
+    result.unwrap_or_else(|e| Response::Error(e.into()))
+}
+
+fn clamp_limit(limit: u64) -> usize {
+    usize::try_from(limit).unwrap_or(usize::MAX)
+}
+
+/// Per-request-type accounting. A `Batch` envelope counts once under its
+/// own counter (mirroring the one-frame semantics of `frames_served`) and
+/// each nested op counts under its own type plus the inner-ops total.
+fn count_request(request: &Request) {
+    let reg = tell_obs::global();
+    let c = match request {
+        Request::Get { .. } => Counter::ReqGet,
+        Request::MultiGet { .. } => Counter::ReqMultiGet,
+        Request::Write { .. } => Counter::ReqWrite,
+        Request::MultiWrite { .. } => Counter::ReqMultiWrite,
+        Request::Increment { .. } => Counter::ReqIncrement,
+        Request::Scan { .. } => Counter::ReqScan,
+        Request::ScanPrefix { .. } => Counter::ReqScanPrefix,
+        Request::ScanPrefixFiltered { .. } => Counter::ReqScanPrefixFiltered,
+        Request::Ping => Counter::ReqPing,
+        Request::Batch { ops } => {
+            reg.add(Counter::ReqBatchInnerOps, ops.len() as u64);
+            for op in ops {
+                count_request(op);
+            }
+            Counter::ReqBatch
+        }
+        Request::CmStart { .. } => Counter::ReqCmStart,
+        Request::CmComplete { .. } => Counter::ReqCmComplete,
+        Request::CmLav => Counter::ReqCmLav,
+        Request::CmSync => Counter::ReqCmSync,
+        Request::CmResolve { .. } => Counter::ReqCmResolve,
+        Request::Metrics => Counter::ReqMetrics,
+        Request::Spans => Counter::ReqSpans,
+    };
+    reg.incr(c);
+}
+
+// ---------------------------------------------------------------------------
+// Frame-level dispatch, shared by every transport.
+
+/// Decode one frame body and run it through `service`, echoing the frame's
+/// trace context to `reply` along with the response. This is the single
+/// code path both the reactor workers and the blocking baseline server use:
+/// decode → trace adoption → dispatch span → service call → span status —
+/// exactly the sequence the old per-connection loop ran inline.
+///
+/// `duplicate` re-dispatches the request after answering with the first
+/// result (the fault injector's at-least-once delivery). `CmStart` is
+/// exempt — allocation is not idempotent, and a tid handed out by a
+/// duplicate would never be completed by anyone.
+pub(crate) fn dispatch_frame(
+    service: &dyn RpcService,
+    duplicate: bool,
+    peer: Option<SocketAddr>,
+    body: &[u8],
+    reply: impl FnOnce(Option<TraceContext>, Response) + Send + 'static,
+) {
+    let decoded = split_context(body)
+        .and_then(|(ctx, msg)| Request::decode(msg).map(|request| (ctx, request)));
+    let (ctx, request) = match decoded {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            reply(None, Response::Error(e.into()));
+            return;
+        }
+    };
+    count_request(&request);
+    // Expose the originating trace to everything this dispatch touches
+    // (slow-op checks included), then echo it back.
+    let _guard = ctx.map(|c| tell_obs::TraceGuard::enter(c.trace));
+    // Record this dispatch as a child of the remote client-call span
+    // carried in the frame (servers have no virtual clock, so the virtual
+    // timestamps stay 0).
+    let _in_server = tell_obs::span::ServerDispatchScope::enter();
+    let span = ctx.and_then(|c| {
+        tell_obs::SpanTimer::start_with_parent(
+            c.trace,
+            c.parent_span,
+            tell_obs::SpanKind::ServerDispatch,
+            0.0,
+        )
+    });
+    let sink = ReplySink::new(move |response| {
+        if let Some(span) = span {
+            let status = match &response {
+                Response::Error(crate::wire::WireError::Conflict) => tell_obs::SpanStatus::Conflict,
+                Response::Error(_) => tell_obs::SpanStatus::Error,
+                _ => tell_obs::SpanStatus::Ok,
+            };
+            span.finish(0.0, 0, status);
+        }
+        // A server thread never learns how the trace ends, so its spans go
+        // straight to the ring (the bounded drop-oldest ring is the
+        // server-side retention policy).
+        tell_obs::span::flush_pending_to_ring();
+        reply(ctx, response);
+    });
+    let rctx = RequestCtx { trace: ctx, peer };
+    if duplicate && !matches!(request, Request::CmStart { .. }) {
+        service.call(request.clone(), &rctx, sink);
+        service.call(request, &rctx, ReplySink::ignore());
+        // Spans opened by the discarded second dispatch still land on this
+        // thread's pending list; sweep them to the ring like the first.
+        tell_obs::span::flush_pending_to_ring();
+    } else {
+        service.call(request, &rctx, sink);
+    }
+}

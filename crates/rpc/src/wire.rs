@@ -33,7 +33,7 @@
 
 use std::io::{self, Read, Write as IoWrite};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, Result, TxnId};
@@ -855,6 +855,65 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u64, Vec<u8>)>> {
     let mut body = vec![0u8; len - 8];
     r.read_exact(&mut body)?;
     Ok(Some((u64::from_le_bytes(corr_buf), body)))
+}
+
+/// Incremental frame decoder over an owned receive buffer, for nonblocking
+/// readers that get bytes in arbitrary chunks instead of a stream they can
+/// block on. Push whatever the socket produced, then drain complete frames;
+/// each body comes out as a [`Bytes`] slice of the receive buffer — no copy
+/// beyond the socket read itself.
+///
+/// Validation matches [`read_frame`] exactly: a `len` outside
+/// `(8, MAX_FRAME]` is [`Error::Corrupt`] (the stream is desynchronized and
+/// cannot be resynchronized), and bytes short of a full frame simply wait
+/// for more input. End-of-stream policy stays with the caller: EOF with
+/// [`FrameDecoder::is_idle`] false is the "closed mid-frame" error
+/// `read_frame` reports.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes the transport produced.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no partial frame is pending — the state in which peer EOF
+    /// is clean rather than mid-frame.
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pop the next complete frame as `(corr_id, body)`, where `body` is
+    /// everything after the correlation id (trace prefix included, exactly
+    /// as [`read_frame`] returns it). `Ok(None)` means more bytes are
+    /// needed.
+    pub fn next_frame(&mut self) -> Result<Option<(u64, Bytes)>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes checked")) as usize;
+        if !(8..=MAX_FRAME).contains(&len) {
+            return Err(Error::corrupt(format!("invalid frame length {len}")));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(4 + len);
+        let corr_id = u64::from_le_bytes(frame[4..12].try_into().expect("12 bytes checked"));
+        Ok(Some((corr_id, frame.slice(12..))))
+    }
 }
 
 #[cfg(test)]

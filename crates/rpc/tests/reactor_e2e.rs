@@ -1,0 +1,184 @@
+//! End-to-end tests for the epoll reactor itself: shutdown under
+//! concurrent load, peers dying mid-frame, slow-reader backpressure — the
+//! failure shapes the event loop must absorb without hanging anyone.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use bytes::Bytes;
+use tell_common::Error;
+use tell_obs::Counter;
+use tell_rpc::wire::{read_frame, write_frame};
+use tell_rpc::{Connection, ReactorConfig, Request, Response, RpcServer, Services};
+use tell_store::{Expect, StoreCluster, StoreConfig, WriteOp};
+
+fn serve(nodes: usize) -> (RpcServer, String) {
+    let store = StoreCluster::new(StoreConfig::new(nodes));
+    let server = RpcServer::serve_store("127.0.0.1:0", store).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// Join a thread with a deadline: the whole point of these tests is that
+/// nothing ever blocks forever, so a plain `join()` would turn a regression
+/// into a CI timeout instead of a failure message.
+fn join_within<T: Send + 'static>(
+    handle: std::thread::JoinHandle<T>,
+    timeout: Duration,
+    what: &str,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let waiter = std::thread::spawn(move || {
+        let _ = tx.send(handle.join());
+    });
+    let joined = rx.recv_timeout(timeout).unwrap_or_else(|_| panic!("{what} hung"));
+    waiter.join().unwrap();
+    joined.unwrap_or_else(|_| panic!("{what} panicked"))
+}
+
+#[test]
+fn shutdown_under_concurrent_clients_surfaces_typed_unavailable() {
+    let (mut server, addr) = serve(2);
+
+    // One raw peer parks mid-frame: a length prefix promising 100 bytes,
+    // then silence. The reactor is holding a partial frame for it when the
+    // server dies — exactly the state the old thread-per-connection stop
+    // hack could wedge on.
+    let mut mid_frame = TcpStream::connect(&addr).unwrap();
+    mid_frame.write_all(&100u32.to_le_bytes()).unwrap();
+    mid_frame.flush().unwrap();
+
+    // K clients hammer the server until it goes away; each must come back
+    // with a typed error, never a hang.
+    const K: usize = 8;
+    let stop_failed = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..K)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop_failed = Arc::clone(&stop_failed);
+            std::thread::spawn(move || -> Result<(), Error> {
+                let conn = Connection::connect(&addr)?;
+                loop {
+                    match conn.call(&Request::Ping) {
+                        Ok((Response::Pong, _, _)) => {}
+                        Ok((other, _, _)) => panic!("ping answered {other:?}"),
+                        Err(e) => {
+                            stop_failed.store(true, Ordering::SeqCst);
+                            return Err(e);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let every client get in flight, then pull the plug.
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+    // Idempotent: a second call (and the implicit one on drop) is a no-op.
+    server.shutdown();
+
+    for handle in handles {
+        let err = join_within(handle, Duration::from_secs(10), "client thread")
+            .expect_err("server is gone");
+        assert!(matches!(err, Error::Unavailable(_)), "got {err:?}");
+    }
+    assert!(stop_failed.load(Ordering::SeqCst));
+}
+
+#[test]
+fn peer_dying_mid_frame_leaves_other_connections_serving() {
+    let (_server, addr) = serve(1);
+
+    // A peer starts a frame and dies mid-way through it.
+    let mut dying = TcpStream::connect(&addr).unwrap();
+    let mut framed = Vec::new();
+    write_frame(&mut framed, 42, &Request::Ping.encode()).unwrap();
+    dying.write_all(&framed[..framed.len() - 3]).unwrap();
+    dying.flush().unwrap();
+    drop(dying);
+
+    // Another peer parks mid-frame and stays connected.
+    let mut parked = TcpStream::connect(&addr).unwrap();
+    parked.write_all(&16u32.to_le_bytes()).unwrap();
+    parked.flush().unwrap();
+
+    // Neither disturbs a healthy connection.
+    let conn = Connection::connect(&addr).unwrap();
+    for _ in 0..16 {
+        let (response, _, _) = conn.call(&Request::Ping).unwrap();
+        assert_eq!(response, Response::Pong);
+    }
+}
+
+#[test]
+fn slow_reader_hits_backpressure_and_drains_after_catching_up() {
+    let store = StoreCluster::new(StoreConfig::new(1));
+    let services = Services { store: Some(store), commit: None };
+    // Tiny write cap so a peer that stops reading trips the pause quickly.
+    let config = ReactorConfig { workers: 2, write_buf_cap: 4 << 10 };
+    let mut server = RpcServer::serve_with("127.0.0.1:0", services, config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Plant a value big enough that a handful of replies overflows both
+    // the socket buffer and the 4 KiB write cap.
+    let key = Bytes::copy_from_slice(b"big");
+    let value = Bytes::from(vec![0xAB; 256 << 10]);
+    let conn = Connection::connect(&addr).unwrap();
+    let write = Request::Write {
+        op: WriteOp { key: key.clone(), expect: Expect::Any, value: Some(value.clone()) },
+    };
+    assert!(matches!(conn.call(&write).unwrap().0, Response::Written(_)));
+    conn.close();
+
+    // A raw client pipelines GETs for it and refuses to read the replies.
+    const GETS: usize = 64;
+    let before = tell_obs::global().counter(Counter::ConnBackpressure);
+    let mut slow = TcpStream::connect(&addr).unwrap();
+    let mut framed = Vec::new();
+    for corr_id in 0..GETS as u64 {
+        write_frame(&mut framed, corr_id, &Request::Get { key: key.clone() }.encode()).unwrap();
+    }
+    slow.write_all(&framed).unwrap();
+    slow.flush().unwrap();
+
+    // The server must stop reading rather than buffer without bound.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while tell_obs::global().counter(Counter::ConnBackpressure) == before {
+        assert!(std::time::Instant::now() < deadline, "backpressure never engaged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Catching up releases the pause: every reply arrives, in order.
+    slow.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = std::io::BufReader::new(slow);
+    for corr_id in 0..GETS as u64 {
+        let (got_corr, body) = read_frame(&mut reader).unwrap().expect("reply arrives");
+        assert_eq!(got_corr, corr_id);
+        match Response::decode(&body).unwrap() {
+            Response::Cell(Some((_, got))) => assert_eq!(got, value),
+            other => panic!("got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn frames_served_counts_frames_not_operations() {
+    let (server, addr) = serve(1);
+    let conn = Connection::connect(&addr).unwrap();
+    let before = server.frames_served();
+    let batch = Request::Batch {
+        ops: (0..8u64)
+            .map(|i| Request::Get { key: Bytes::from(i.to_be_bytes().to_vec()) })
+            .collect(),
+    };
+    match conn.call(&batch).unwrap().0 {
+        Response::Batch { results } => assert_eq!(results.len(), 8),
+        other => panic!("got {other:?}"),
+    }
+    assert_eq!(server.frames_served(), before + 1);
+}

@@ -10,7 +10,7 @@ use tell_rpc::wire::{
     read_frame, split_context, split_trace, write_frame, write_frame_ctx, write_frame_traced,
     TraceContext, FRAME_HEADER,
 };
-use tell_rpc::{Request, Response, WireError};
+use tell_rpc::{FrameDecoder, Request, Response, WireError, MAX_FRAME};
 use tell_store::{CmpOp, Expect, Predicate, WriteOp};
 
 /// Keys up to the longest the system composes in practice (`keys::record`
@@ -343,6 +343,67 @@ proptest! {
         prop_assert_eq!(got_ctx, None);
         prop_assert_eq!(&Request::decode(msg).unwrap(), &request);
     }
+
+    /// The incremental [`FrameDecoder`] (the reactor's receive path) agrees
+    /// with the blocking `read_frame` no matter how the byte stream is cut:
+    /// a mixed run of v1 / trace-only / span-carrying frames fed one byte at
+    /// a time — every split point a TCP segmentation could produce — and
+    /// again in arbitrary chunk sizes, yields the identical frame sequence,
+    /// with no frame surfacing before its last byte arrives.
+    #[test]
+    fn frame_decoder_agrees_with_read_frame_at_every_split(
+        frames in prop::collection::vec(
+            (
+                request_strategy(),
+                any::<u64>(),
+                prop::option::of((1..u64::MAX, any::<u64>())),
+            ),
+            1..5,
+        ),
+        chunk_sizes in prop::collection::vec(1usize..9, 1..16),
+    ) {
+        let mut stream = Vec::new();
+        for (request, corr_id, ctx) in &frames {
+            let ctx = ctx.map(|(trace, parent_span)| TraceContext { trace, parent_span });
+            write_frame_ctx(&mut stream, *corr_id, ctx, &request.encode()).unwrap();
+        }
+        let mut reader = &stream[..];
+        let mut expected = Vec::new();
+        while let Some((corr_id, body)) = read_frame(&mut reader).unwrap() {
+            expected.push((corr_id, body));
+        }
+        prop_assert_eq!(expected.len(), frames.len());
+
+        // Byte at a time: the worst case, hitting every split point.
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            decoder.push(&[byte]);
+            while let Some((corr_id, body)) = decoder.next_frame().unwrap() {
+                got.push((corr_id, body.to_vec()));
+            }
+        }
+        prop_assert_eq!(&got, &expected);
+        prop_assert!(decoder.is_idle(), "no partial frame may linger");
+
+        // Arbitrary chunk sizes (cycled over the generated list).
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut offset = 0;
+        for chunk in chunk_sizes.iter().cycle() {
+            if offset >= stream.len() {
+                break;
+            }
+            let end = (offset + chunk).min(stream.len());
+            decoder.push(&stream[offset..end]);
+            offset = end;
+            while let Some((corr_id, body)) = decoder.next_frame().unwrap() {
+                got.push((corr_id, body.to_vec()));
+            }
+        }
+        prop_assert_eq!(&got, &expected);
+        prop_assert!(decoder.is_idle());
+    }
 }
 
 #[test]
@@ -353,6 +414,28 @@ fn zero_length_values_survive_the_full_cycle() {
 
     let response = Response::Cell(Some((0, Bytes::new())));
     assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+}
+
+#[test]
+fn frame_decoder_rejects_desynchronized_lengths() {
+    // len < 8 (no room for the correlation id): corrupt, not "wait for more".
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&3u32.to_le_bytes());
+    assert!(decoder.next_frame().is_err());
+
+    // len > MAX_FRAME: corrupt immediately, before any body bytes arrive.
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&((MAX_FRAME as u32) + 1).to_le_bytes());
+    assert!(decoder.next_frame().is_err());
+
+    // A mid-frame cut is not an error — just not a frame yet.
+    let mut framed = Vec::new();
+    write_frame(&mut framed, 7, &Request::Ping.encode()).unwrap();
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&framed[..framed.len() - 1]);
+    assert!(decoder.next_frame().unwrap().is_none());
+    assert!(!decoder.is_idle());
+    assert_eq!(decoder.buffered(), framed.len() - 1);
 }
 
 #[test]

@@ -208,7 +208,11 @@ impl StoreApi for StoreClient {
 
 /// A `Send + Sync` handle to a storage service from which per-worker
 /// clients are minted. The local endpoint is `Arc<StoreCluster>`; the
-/// remote endpoint (in `tell-rpc`) is a TCP connection pool.
+/// remote endpoint (in `tell-rpc`) is a TCP connection pool. The serving
+/// side is the same seam in reverse: `tell-rpc`'s reactor exposes an
+/// `Arc<StoreCluster>` over the wire by dispatching decoded requests
+/// straight onto it, so local and remote deployments share every code
+/// path below this trait.
 pub trait StoreEndpoint: Clone + Send + Sync + 'static {
     /// The client type this endpoint produces.
     type Client: StoreApi;

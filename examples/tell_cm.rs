@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use tell_commitmgr::manager::CmConfig;
 use tell_commitmgr::{CmCluster, CommitService};
-use tell_rpc::{RemoteEndpoint, RpcServer};
+use tell_rpc::{ReactorConfig, RemoteEndpoint, RpcServer, Services};
 use tell_store::{StoreApi, StoreEndpoint};
 
 struct Args {
@@ -23,6 +23,7 @@ struct Args {
     store: String,
     managers: usize,
     pool: usize,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         store: "127.0.0.1:7701".to_string(),
         managers: 1,
         pool: 2,
+        workers: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -45,6 +47,10 @@ fn parse_args() -> Result<Args, String> {
             "--pool" => {
                 args.pool = value("--pool")?.parse().map_err(|e| format!("--pool: {e}"))?;
             }
+            "--workers" => {
+                args.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "tell_cm: serve commit managers over TCP\n\n\
@@ -52,7 +58,8 @@ fn parse_args() -> Result<Args, String> {
                      --listen ADDR     listen address (default 127.0.0.1:7801)\n  \
                      --store ADDR      storage server to keep state in (default 127.0.0.1:7701)\n  \
                      --managers N      parallel commit managers (default 1)\n  \
-                     --pool N          TCP connections to the storage server (default 2)"
+                     --pool N          TCP connections to the storage server (default 2)\n  \
+                     --workers N       reactor dispatch threads (default: auto)"
                 );
                 std::process::exit(0);
             }
@@ -85,7 +92,9 @@ fn main() {
         std::process::exit(1);
     }
     let cluster = CmCluster::new(endpoint, args.managers, CmConfig::default());
-    let server = match RpcServer::serve_commit(&args.listen, cluster as Arc<dyn CommitService>) {
+    let services = Services { store: None, commit: Some(cluster as Arc<dyn CommitService>) };
+    let config = ReactorConfig { workers: args.workers, ..ReactorConfig::default() };
+    let server = match RpcServer::serve_with(&args.listen, services, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("tell_cm: {e}");

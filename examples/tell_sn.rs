@@ -21,12 +21,13 @@
 use std::sync::Arc;
 
 use tell_durable::{DurableNodeConfig, FsDurability, FsyncPolicy};
-use tell_rpc::RpcServer;
+use tell_rpc::{ReactorConfig, RpcServer, Services};
 use tell_store::{DurabilityProvider, StoreCluster, StoreConfig};
 
 struct Args {
     listen: String,
     nodes: usize,
+    workers: usize,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
 }
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         listen: "127.0.0.1:7701".to_string(),
         nodes: 4,
+        workers: 0,
         data_dir: None,
         fsync: FsyncPolicy::Always,
     };
@@ -45,6 +47,10 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => args.listen = value("--listen")?,
             "--nodes" => {
                 args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--workers" => {
+                args.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
             }
             "--data-dir" => args.data_dir = Some(value("--data-dir")?),
             "--fsync" => {
@@ -57,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
                      options:\n  \
                      --listen ADDR   listen address (default 127.0.0.1:7701)\n  \
                      --nodes N       storage nodes in the cluster (default 4)\n  \
+                     --workers N     reactor dispatch threads (default: auto)\n  \
                      --data-dir DIR  durable log tier root (one subdir per node);\n  \
                                      restarting with the same dir recovers acked writes\n  \
                      --fsync POLICY  always | never | batch:<n> (default always;\n  \
@@ -94,7 +101,9 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = match RpcServer::serve_store(&args.listen, Arc::clone(&store)) {
+    let services = Services { store: Some(Arc::clone(&store)), commit: None };
+    let config = ReactorConfig { workers: args.workers, ..ReactorConfig::default() };
+    let server = match RpcServer::serve_with(&args.listen, services, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("tell_sn: {e}");

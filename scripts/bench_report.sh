@@ -35,6 +35,11 @@ cargo bench -q -p tell-bench --bench table2_mixes
 # and without checkpoints) and LRU hit rate under an 80/20 read skew.
 cargo bench -q -p tell-bench --bench durable_recovery
 
+# Real-wire server comparison: the epoll reactor vs the thread-per-
+# connection baseline, in committed transactions per wall second at 4 and
+# 64 concurrent connections (tiny scale shortens the measure window).
+cargo bench -q -p tell-bench --bench rpc_reactor
+
 # Simulation throughput snapshot: how many transactions the deterministic
 # fault-schedule harness pushes through the full stack per virtual and
 # per wall second, under the all-faults mix. Fixed seed: the virtual-side

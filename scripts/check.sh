@@ -51,6 +51,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> rpc e2e (reactor lifecycle, wire proptests, client/server suite)"
+# Named explicitly even though the workspace run above includes them: the
+# reactor's failure-shape tests (shutdown under load, peers dying
+# mid-frame, backpressure) are the gate for any transport change, and an
+# explicit invocation keeps them from silently falling out of the suite.
+cargo test -q -p tell-rpc --test e2e --test reactor_e2e --test wire_proptests
+
 echo "==> bench JSON smoke (scripts/bench_report.sh --smoke)"
 scripts/bench_report.sh --smoke
 

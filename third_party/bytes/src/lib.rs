@@ -2,10 +2,18 @@
 //!
 //! The build environment has no access to a crates registry, so the workspace
 //! vendors the small subset of the `bytes` API it actually uses. `Bytes` here
-//! is a cheaply clonable, immutable byte string backed by `Arc<[u8]>`:
-//! clones are reference-count bumps, exactly the property the store layer
-//! relies on when the same value flows through buffers, replicas and the
-//! wire format without copies.
+//! is a cheaply clonable, immutable byte string: a `(start, end)` view into
+//! shared `Arc<Vec<u8>>` storage. Clones and `slice` are reference-count
+//! bumps, exactly the property the store layer relies on when the same value
+//! flows through buffers, replicas and the wire format without copies — and
+//! the property the RPC reactor relies on to slice frame bodies out of a
+//! receive buffer without copying them again.
+//!
+//! `BytesMut` is the matching growable accumulator: append with
+//! [`BytesMut::extend_from_slice`], detach a prefix with
+//! [`BytesMut::split_to`], publish with [`BytesMut::freeze`]. The stand-in
+//! backs it with a plain `Vec<u8>` plus a consumed-prefix offset, so
+//! `split_to` is the single copy on that path and `freeze` is free.
 
 // Vendored stand-in: lint-exempt so `clippy --workspace -D warnings` checks
 // only first-party code.
@@ -17,10 +25,12 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A cheaply clonable immutable byte buffer.
+/// A cheaply clonable immutable byte buffer (a view into shared storage).
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -31,35 +41,37 @@ impl Bytes {
 
     /// Wrap a static slice. (The stand-in copies; semantics are identical.)
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::copy_from_slice(bytes)
     }
 
     /// Copy `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True if the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copy the contents out into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
     /// Borrow the contents as a slice.
     pub fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 
-    /// Return a new `Bytes` holding `self[begin..end]` (bounds-checked).
+    /// Return a `Bytes` viewing `self[begin..end]` (bounds-checked). Shares
+    /// storage with `self`: no copy, but the full backing allocation stays
+    /// alive as long as any view does.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -70,34 +82,41 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len(), "slice end {end} out of bounds ({})", self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + start, end: self.start + end }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -133,7 +152,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Bytes) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 impl Eq for Bytes {}
@@ -145,56 +164,56 @@ impl PartialOrd for Bytes {
 }
 impl Ord for Bytes {
     fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state)
+        self.as_slice().hash(state)
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == other.data[..]
+        self == other.as_slice()
     }
 }
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data[..] == **other
+        self.as_slice() == *other
     }
 }
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other.data[..]
+        self[..] == *other.as_slice()
     }
 }
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
     fn eq(&self, other: &[u8; N]) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 impl PartialEq<str> for Bytes {
     fn eq(&self, other: &str) -> bool {
-        self.data[..] == *other.as_bytes()
+        self.as_slice() == other.as_bytes()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             if (b' '..=b'~').contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -217,7 +236,117 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte accumulator that detaches immutable [`Bytes`] prefixes.
+///
+/// The stand-in keeps a `Vec<u8>` plus a consumed-prefix offset: appends go
+/// to the tail, [`BytesMut::split_to`] copies the detached prefix out once
+/// and advances the offset, and the offset is compacted away when it grows
+/// past half the buffer. [`BytesMut::freeze`] hands the remaining tail to a
+/// `Bytes` without copying.
+#[derive(Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty accumulator with room for `cap` bytes before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap), head: 0 }
+    }
+
+    /// Length of the unconsumed contents in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True if no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Append `data` to the tail.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.maybe_compact();
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Detach and return the first `at` bytes as an immutable [`Bytes`],
+    /// advancing `self` past them. (The real crate returns a `BytesMut`
+    /// that freezes separately; the stand-in fuses the two — its callers
+    /// always freeze immediately.)
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to({at}) out of bounds ({})", self.len());
+        let out = Bytes::from(self.buf[self.head..self.head + at].to_vec());
+        self.head += at;
+        if self.is_empty() {
+            self.buf.clear();
+            self.head = 0;
+        }
+        out
+    }
+
+    /// Convert the unconsumed contents into an immutable [`Bytes`] without
+    /// copying (beyond compacting away any consumed prefix).
+    pub fn freeze(mut self) -> Bytes {
+        if self.head > 0 {
+            self.buf.drain(..self.head);
+        }
+        Bytes::from(self.buf)
+    }
+
+    /// Discard the first `cnt` bytes without detaching them (the `Buf`
+    /// trait's `advance` in the real crate).
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance({cnt}) out of bounds ({})", self.len());
+        self.head += cnt;
+        if self.is_empty() {
+            self.buf.clear();
+            self.head = 0;
+        }
+    }
+
+    /// Drop everything, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    fn maybe_compact(&mut self) {
+        // Reclaim the consumed prefix once it dominates the buffer, so the
+        // allocation doesn't grow without bound under a long-lived stream.
+        if self.head >= 4096 && self.head * 2 >= self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BytesMut").field("len", &self.len()).finish()
     }
 }
 
@@ -242,6 +371,48 @@ mod tests {
     fn clones_share_storage() {
         let a = Bytes::from(vec![0u8; 64]);
         let b = a.clone();
-        assert_eq!(a.data.as_ptr(), b.data.as_ptr());
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn slices_share_storage_and_nest() {
+        let a = Bytes::from((0u8..64).collect::<Vec<u8>>());
+        let s = a.slice(8..24);
+        assert_eq!(&s[..], &(8u8..24).collect::<Vec<u8>>()[..]);
+        assert_eq!(s.as_slice().as_ptr(), unsafe { a.as_slice().as_ptr().add(8) });
+        let nested = s.slice(4..8);
+        assert_eq!(&nested[..], &[12, 13, 14, 15]);
+        assert_eq!(a.slice(..), a);
+        assert!(a.slice(64..64).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn bytes_mut_split_and_freeze() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[1, 2, 3, 4]);
+        m.extend_from_slice(&[5, 6]);
+        assert_eq!(m.len(), 6);
+        let head = m.split_to(4);
+        assert_eq!(&head[..], &[1, 2, 3, 4]);
+        assert_eq!(&m[..], &[5, 6]);
+        m.extend_from_slice(&[7]);
+        assert_eq!(m.split_to(0).len(), 0);
+        assert_eq!(&m.freeze()[..], &[5, 6, 7]);
+    }
+
+    #[test]
+    fn bytes_mut_compacts_consumed_prefix() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&vec![0xAA; 8192]);
+        let _ = m.split_to(8000);
+        m.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(m.len(), 192 + 3);
+        assert_eq!(&m[192..], &[1, 2, 3]);
     }
 }
