@@ -1,0 +1,133 @@
+//! Telemetry rollup overhead: full update transactions with a background
+//! roller snapshotting the registry into the time-series ring at an
+//! aggressive cadence, against the same transactions with the roller
+//! idle. The tentpole claim is that the per-node telemetry history is
+//! free on the hot path — the ring is only ever touched by the roller —
+//! so even a cadence 50× the deployed default must stay under the 5 %
+//! observability budget.
+//!
+//! Methodology matches `micro.rs`'s `obs/txn_update_overhead`: process
+//! speed drifts over a run (frequency scaling, co-tenant VMs), so the two
+//! arms are interleaved in A-B-B-A blocks and the reported figure is the
+//! median of per-block deltas — drift slower than a block cancels inside
+//! the pair, and the median discards preemption bursts.
+//!
+//! `TELL_BENCH_JSON=<dir>` writes `BENCH_telemetry_overhead.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use tell_core::database::IndexSpec;
+use tell_core::{Database, TellConfig};
+
+/// Roller cadence under test: 5 ms, 50× the deployed default of 250 ms
+/// (`tell_obs::timeseries::DEFAULT_WALL_INTERVAL_MS`).
+const TICK_MS: u64 = 5;
+const TXNS_PER_BATCH: u32 = 2_000;
+const BLOCKS: usize = 40;
+const BOUND_PCT: f64 = 5.0;
+
+fn main() {
+    let scale = std::env::var("TELL_BENCH_SCALE").unwrap_or_default();
+    let (txns, blocks) = if scale == "tiny" { (200, 10) } else { (TXNS_PER_BATCH, BLOCKS) };
+
+    let db = Database::create(TellConfig::default());
+    let pk = IndexSpec::new("pk", true, |r: &[u8]| r.get(..8).map(Bytes::copy_from_slice));
+    let table = db.create_table("bench", vec![pk]).unwrap();
+    let pn = db.processing_node();
+    let rid = {
+        let mut txn = pn.begin().unwrap();
+        let rid = txn.insert(&table, Bytes::from(vec![1u8; 64])).unwrap();
+        txn.commit().unwrap();
+        rid
+    };
+    tell_obs::set_enabled(true);
+
+    // The roller thread lives for the whole run; the `active` flag is the
+    // only thing toggled between arms, so thread startup never lands
+    // inside a timed batch. When active it does exactly what the deployed
+    // wall driver does — registry snapshot, delta, digest, ring push —
+    // just 50× more often.
+    let active = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let roller = {
+        let active = Arc::clone(&active);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if active.load(Ordering::Relaxed) {
+                    tell_obs::timeseries::roll_global_now();
+                }
+                std::thread::sleep(Duration::from_millis(TICK_MS));
+            }
+        })
+    };
+
+    let run_txn = |payload: u8| {
+        let mut txn = pn.begin().unwrap();
+        txn.update(&table, rid, Bytes::from(vec![payload; 64])).unwrap();
+        txn.commit().unwrap();
+    };
+    // Warm both arms.
+    for on in [false, true] {
+        active.store(on, Ordering::Relaxed);
+        for _ in 0..txns {
+            run_txn(9);
+        }
+    }
+    let time_batch = |on: bool| {
+        active.store(on, Ordering::Relaxed);
+        let t = Instant::now();
+        for _ in 0..txns {
+            run_txn(if on { 3 } else { 2 });
+        }
+        t.elapsed().as_nanos() as f64 / txns as f64
+    };
+
+    let mut deltas = Vec::with_capacity(blocks);
+    let mut idle_ns = Vec::with_capacity(blocks);
+    for _ in 0..blocks {
+        // A-B-B-A: linear drift within the block cancels exactly.
+        let d1 = time_batch(false);
+        let e1 = time_batch(true);
+        let e2 = time_batch(true);
+        let d2 = time_batch(false);
+        deltas.push((e1 + e2 - d1 - d2) / 2.0);
+        idle_ns.push((d1 + d2) / 2.0);
+    }
+    stop.store(true, Ordering::Relaxed);
+    roller.join().unwrap();
+
+    deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    idle_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let delta = deltas[blocks / 2];
+    let idle = idle_ns[blocks / 2];
+    let rolling = idle + delta;
+    let overhead_pct = delta / idle * 100.0;
+    let points = tell_obs::timeseries::global_ring().latest_seq();
+
+    println!("telemetry_overhead: update txn with the ring roller at {TICK_MS}ms cadence");
+    println!("{:<44} {:>12.1} ns/txn", "telemetry/txn_update_roller_idle", idle);
+    println!("{:<44} {:>12.1} ns/txn", "telemetry/txn_update_roller_active", rolling);
+    println!(
+        "{:<44} {:>11.2} %  (bound: < {BOUND_PCT} %, {points} points rolled)",
+        "telemetry/rollup_overhead", overhead_pct
+    );
+
+    if let Ok(dir) = std::env::var("TELL_BENCH_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"telemetry_overhead\",\n  \"tick_ms\": {TICK_MS},\n  \
+             \"txns_per_batch\": {txns},\n  \"blocks\": {blocks},\n  \
+             \"roller_idle_ns_per_txn\": {idle:.1},\n  \
+             \"roller_active_ns_per_txn\": {rolling:.1},\n  \
+             \"overhead_pct\": {overhead_pct:.3},\n  \"bound_pct\": {BOUND_PCT}\n}}\n"
+        );
+        let path = std::path::Path::new(&dir).join("BENCH_telemetry_overhead.json");
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("  wrote {}", path.display()),
+            Err(e) => eprintln!("  (failed to write {}: {e})", path.display()),
+        }
+    }
+}

@@ -18,4 +18,4 @@ pub use bitset::BitSet;
 pub use clock::SimClock;
 pub use error::{Error, Result};
 pub use ids::{CmId, IndexId, PartitionId, PnId, Rid, SnId, TableId, TxnId};
-pub use stats::{Histogram, Summary};
+pub use stats::{bucket_quantile, histogram_bucket_upper, Histogram, Summary, HISTOGRAM_BUCKETS};

@@ -39,6 +39,41 @@ fn bucket_upper(b: usize) -> f64 {
     }
 }
 
+/// Number of log buckets in every [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = BUCKETS;
+
+/// Inclusive upper bound of bucket `b` (clamped to the last bucket).
+///
+/// All histograms share one fixed bucket layout, so bucket arrays from
+/// different histograms — or from two snapshots of the same histogram —
+/// are directly comparable element-wise.
+pub fn histogram_bucket_upper(b: usize) -> f64 {
+    bucket_upper(b.min(BUCKETS - 1))
+}
+
+/// Approximate `q`-quantile of a raw bucket-count array (e.g. the
+/// element-wise difference of two [`Histogram::bucket_counts`] snapshots,
+/// giving the quantile over just that window).
+///
+/// Returns the matching bucket's upper bound, or `0.0` when the array is
+/// empty. Unlike [`Histogram::percentile`] there is no min/max clamp — the
+/// window's extremes are unknown — so results carry the ~2 % bucket error.
+pub fn bucket_quantile(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (b, c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper(b);
+        }
+    }
+    bucket_upper(BUCKETS - 1)
+}
+
 impl Default for Histogram {
     fn default() -> Self {
         Histogram::new()
@@ -143,6 +178,32 @@ impl Histogram {
             p99: self.percentile(0.99),
             p999: self.percentile(0.999),
         }
+    }
+
+    /// Raw per-bucket sample counts (length [`HISTOGRAM_BUCKETS`]).
+    ///
+    /// Bucket `b` holds samples in `(histogram_bucket_upper(b - 1),
+    /// histogram_bucket_upper(b)]` (bucket 0 holds `[0, 1)`). Counts only
+    /// grow, so subtracting an older snapshot element-wise yields the
+    /// distribution of just the samples recorded in between.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Non-empty buckets as ascending `(upper_bound, count)` pairs — the
+    /// sparse form used by the Prometheus `_bucket` exporter.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(b, c)| (bucket_upper(b), *c))
+            .collect()
+    }
+
+    /// Exact total of all samples (`mean * count`) — the Prometheus `_sum`.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
     }
 
     /// Merge another histogram into this one.
@@ -304,6 +365,55 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!((a.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_accessors_expose_the_raw_distribution() {
+        let mut h = Histogram::new();
+        for v in [0.5, 3.0, 3.0, 900.0] {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.iter().map(|(_, c)| c).sum::<u64>(), h.count());
+        assert!(nz.windows(2).all(|w| w[0].0 < w[1].0), "uppers ascend");
+        // every sample is <= the upper bound of its bucket
+        assert!(nz[0].0 >= 0.5 && nz.last().unwrap().0 >= 900.0);
+        assert!((h.sum() - 906.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_quantile_matches_percentile_modulo_clamp() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            let a = bucket_quantile(h.bucket_counts(), q);
+            let b = h.percentile(q);
+            assert!((a - b).abs() / b < 0.05, "q={q} bucket={a} pct={b}");
+        }
+        assert_eq!(bucket_quantile(&[], 0.5), 0.0);
+        assert_eq!(bucket_quantile(&[0, 0, 0], 0.99), 0.0);
+    }
+
+    #[test]
+    fn bucket_delta_gives_window_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(10.0);
+        }
+        let before = h.bucket_counts().to_vec();
+        for _ in 0..1000 {
+            h.record(5000.0);
+        }
+        let delta: Vec<u64> =
+            h.bucket_counts().iter().zip(before.iter()).map(|(a, b)| a - b).collect();
+        // the window contains only the 5000.0 samples
+        let p50 = bucket_quantile(&delta, 0.5);
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.05, "p50={p50}");
     }
 
     #[test]

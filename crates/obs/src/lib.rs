@@ -25,14 +25,22 @@
 //!   scrape of every node's [`span::global_ring`] reassembles into
 //!   per-transaction waterfalls. Retention is tail-based: only slow,
 //!   conflict-aborted, or 1-in-N-sampled traces keep their spans.
+//! * **History lives in rings.** A [`Rollup`] snapshots the registry every
+//!   interval into a bounded [`TsRing`] of counter deltas, gauge samples,
+//!   and per-phase p50/p99/p999 digests; `Request::Telemetry` scrapes it
+//!   incrementally by cursor, and a [`HealthEngine`] evaluates declarative
+//!   rules over the stream into deduplicated firing/resolved events.
 
 pub mod export;
+pub mod health;
 pub mod registry;
 pub mod slowlog;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
+pub use health::{HealthConfig, HealthEngine, HealthEvent, NodeTick, RuleKind};
 pub use registry::{
     global, help_for, sample_phases, Counter, Gauge, Phase, Registry, ShardedHistogram,
     PHASE_SAMPLE_EVERY,
@@ -41,6 +49,7 @@ pub use snapshot::MetricsSnapshot;
 pub use span::{
     current_span, in_server_dispatch, Span, SpanAttrs, SpanKind, SpanStatus, SpanTimer,
 };
+pub use timeseries::{PhaseDigest, Rollup, TelemetryPage, TsPoint, TsRing};
 pub use trace::{
     current as current_trace, fmt_trace, next_trace_id, set_current as set_current_trace,
     TraceGuard,

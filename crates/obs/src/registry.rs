@@ -146,6 +146,12 @@ metric_ids! {
         ReqMetrics => "rpc_req_metrics_total",
         /// `Request::Spans` frames served.
         ReqSpans => "rpc_req_spans_total",
+        /// `Request::Telemetry` frames served.
+        ReqTelemetry => "rpc_req_telemetry_total",
+        /// Telemetry rollup ticks (time-series points appended to the ring).
+        TelemetryRollups => "telemetry_rollups_total",
+        /// Slow-op log lines suppressed by the per-thread rate limiter.
+        SlowlogSuppressed => "slowlog_suppressed_total",
         /// Finished spans promoted to the span ring.
         SpansRecorded => "spans_recorded_total",
         /// Spans lost to ring eviction or pending-buffer overflow.
@@ -379,11 +385,17 @@ impl Registry {
         let counters =
             Counter::ALL.iter().map(|&c| (c.name().to_string(), self.counter(c))).collect();
         let gauges = Gauge::ALL.iter().map(|&g| (g.name().to_string(), self.gauge(g))).collect();
-        let histograms = Phase::ALL
-            .iter()
-            .map(|&p| (p.name().to_string(), self.histogram(p).summary()))
-            .collect();
-        MetricsSnapshot { counters, gauges, histograms }
+        let mut histograms = Vec::with_capacity(Phase::COUNT);
+        let mut buckets = Vec::new();
+        for p in Phase::ALL {
+            let h = self.histogram(p);
+            histograms.push((p.name().to_string(), h.summary()));
+            let nz = h.nonzero_buckets();
+            if !nz.is_empty() {
+                buckets.push((p.name().to_string(), nz));
+            }
+        }
+        MetricsSnapshot { counters, gauges, histograms, buckets }
     }
 
     /// Zero every counter, gauge, and histogram. For tests and benches.

@@ -6,10 +6,18 @@
 //! grep a storage node's log for the transaction that stalled. The budget
 //! starts from the `TELL_SLOW_OP_US` environment variable and can be
 //! changed at runtime; unset means slow-op logging is off.
+//!
+//! Emission is **rate limited per thread** by a token bucket
+//! ([`set_rate_limit`]), so a pathological workload — every operation over
+//! a tight budget — cannot turn the slow-op log into an I/O flood that
+//! perturbs the very latencies it reports. Suppressed lines still count
+//! the operation as slow (`Counter::SlowOps`, the `check*` return value)
+//! and are tallied in `Counter::SlowlogSuppressed`.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Once};
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
@@ -73,6 +81,53 @@ pub fn log_to_stderr() {
     *SINK.lock() = Sink::Stderr;
 }
 
+/// Default token-bucket refill rate: slow-op lines per second, per thread.
+pub const DEFAULT_LINES_PER_SEC: f64 = 32.0;
+/// Default token-bucket burst: lines a quiet thread may emit back to back.
+pub const DEFAULT_BURST: f64 = 64.0;
+
+/// `Some((per_sec, burst))`, or `None` for unlimited. Read only on the
+/// already-slow emission path, so a mutex is fine.
+static LIMIT: Mutex<Option<(f64, f64)>> = Mutex::new(Some((DEFAULT_LINES_PER_SEC, DEFAULT_BURST)));
+
+thread_local! {
+    /// This thread's bucket: (tokens, last refill). `None` until first use.
+    static BUCKET: Cell<Option<(f64, Instant)>> = const { Cell::new(None) };
+}
+
+/// Set the per-thread emission rate limit: `Some((lines_per_sec, burst))`,
+/// or `None` to emit every slow-op line. The default is
+/// ([`DEFAULT_LINES_PER_SEC`], [`DEFAULT_BURST`]).
+pub fn set_rate_limit(limit: Option<(f64, f64)>) {
+    *LIMIT.lock() = limit.map(|(r, b)| (r.max(0.0), b.max(1.0)));
+}
+
+/// Take one emission token, refilling by elapsed wall time. Returns `false`
+/// when this thread is over its budget and the line must be suppressed.
+fn try_take_token() -> bool {
+    let Some((per_sec, burst)) = *LIMIT.lock() else {
+        return true;
+    };
+    BUCKET.with(|cell| {
+        let now = Instant::now();
+        let tokens = match cell.get() {
+            // clamp to the current burst first, so shrinking the limit at
+            // runtime takes effect immediately
+            Some((t, last)) => {
+                (t.min(burst) + now.duration_since(last).as_secs_f64() * per_sec).min(burst)
+            }
+            None => burst,
+        };
+        if tokens >= 1.0 {
+            cell.set(Some((tokens - 1.0, now)));
+            true
+        } else {
+            cell.set(Some((tokens, now)));
+            false
+        }
+    })
+}
+
 /// Check one completed operation against the budget. Over budget: emit a
 /// JSON line carrying this thread's current trace id, bump
 /// [`Counter::SlowOps`], and return `true`.
@@ -95,6 +150,12 @@ pub fn check_closing(
     };
     if elapsed_us <= budget {
         return false;
+    }
+    // The operation is slow regardless of whether the line makes it out.
+    crate::registry::global().incr(Counter::SlowOps);
+    if !try_take_token() {
+        crate::registry::global().incr(Counter::SlowlogSuppressed);
+        return true;
     }
     let ts_us =
         SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0);
@@ -126,7 +187,6 @@ pub fn check_closing(
         Sink::Stderr => eprintln!("{line}"),
         Sink::Capture(buf) => buf.lock().push(line),
     }
-    crate::registry::global().incr(Counter::SlowOps);
     true
 }
 
@@ -182,6 +242,25 @@ mod tests {
         assert!(!check("txn.install", 1e9));
         assert_eq!(buf.lock().len(), 3);
 
+        // Rate limiting: zero refill + burst of 2 means the third
+        // consecutive slow op is suppressed — still reported slow and
+        // counted, just not logged.
+        set_budget_us(Some(100.0));
+        set_rate_limit(Some((0.0, 2.0)));
+        let suppressed_before = crate::global().counter(Counter::SlowlogSuppressed);
+        let len_before = buf.lock().len();
+        assert!(check("op.limited", 200.0));
+        assert!(check("op.limited", 200.0));
+        assert!(check("op.limited", 200.0));
+        assert_eq!(buf.lock().len(), len_before + 2);
+        assert_eq!(crate::global().counter(Counter::SlowlogSuppressed), suppressed_before + 1);
+        // Unlimited: every line goes out again.
+        set_rate_limit(None);
+        assert!(check("op.unlimited", 200.0));
+        assert_eq!(buf.lock().len(), len_before + 3);
+
+        set_rate_limit(Some((DEFAULT_LINES_PER_SEC, DEFAULT_BURST)));
+        set_budget_us(None);
         log_to_stderr();
     }
 }

@@ -21,6 +21,11 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, u64)>,
     /// Histogram summaries, in registry declaration order.
     pub histograms: Vec<(String, Summary)>,
+    /// Sparse raw bucket data per histogram, as ascending
+    /// `(upper_bound, count)` pairs. Only histograms with at least one
+    /// sample appear; documents written before this section existed parse
+    /// with it empty.
+    pub buckets: Vec<(String, Vec<(f64, u64)>)>,
 }
 
 fn f(v: f64) -> String {
@@ -31,11 +36,15 @@ fn f(v: f64) -> String {
 
 impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format. Every metric name
-    /// is prefixed `tell_`; histograms render as summaries with
-    /// `quantile="0"` / `quantile="1"` carrying the observed min and max.
-    /// Names the local registry recognizes get a `# HELP` line from the
-    /// metric id's doc comment (a snapshot parsed from a remote node may
-    /// carry names this build does not know; those render without HELP).
+    /// is prefixed `tell_`. Histograms with raw bucket data (the `buckets`
+    /// section) render as native cumulative histograms — `_bucket{le=...}`
+    /// series plus `le="+Inf"`, `_sum`, and `_count`; histograms without
+    /// (empty, or parsed from a pre-buckets document) fall back to the
+    /// summary rendering with `quantile="0"` / `quantile="1"` carrying the
+    /// observed min and max. Names the local registry recognizes get a
+    /// `# HELP` line from the metric id's doc comment (a snapshot parsed
+    /// from a remote node may carry names this build does not know; those
+    /// render without HELP).
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
         let help = |out: &mut String, name: &str| {
@@ -55,12 +64,26 @@ impl MetricsSnapshot {
         }
         for (name, s) in &self.histograms {
             help(&mut out, name);
-            let _ = writeln!(out, "# TYPE tell_{name} summary");
-            let _ = writeln!(out, "tell_{name}{{quantile=\"0\"}} {}", f(s.min));
-            let _ = writeln!(out, "tell_{name}{{quantile=\"0.5\"}} {}", f(s.p50));
-            let _ = writeln!(out, "tell_{name}{{quantile=\"0.99\"}} {}", f(s.p99));
-            let _ = writeln!(out, "tell_{name}{{quantile=\"0.999\"}} {}", f(s.p999));
-            let _ = writeln!(out, "tell_{name}{{quantile=\"1\"}} {}", f(s.max));
+            let raw = self.buckets.iter().find(|(n, _)| n == name).map(|(_, b)| b);
+            match raw {
+                Some(buckets) => {
+                    let _ = writeln!(out, "# TYPE tell_{name} histogram");
+                    let mut cum = 0u64;
+                    for (upper, count) in buckets {
+                        cum += count;
+                        let _ = writeln!(out, "tell_{name}_bucket{{le=\"{}\"}} {cum}", f(*upper));
+                    }
+                    let _ = writeln!(out, "tell_{name}_bucket{{le=\"+Inf\"}} {}", s.count);
+                }
+                None => {
+                    let _ = writeln!(out, "# TYPE tell_{name} summary");
+                    let _ = writeln!(out, "tell_{name}{{quantile=\"0\"}} {}", f(s.min));
+                    let _ = writeln!(out, "tell_{name}{{quantile=\"0.5\"}} {}", f(s.p50));
+                    let _ = writeln!(out, "tell_{name}{{quantile=\"0.99\"}} {}", f(s.p99));
+                    let _ = writeln!(out, "tell_{name}{{quantile=\"0.999\"}} {}", f(s.p999));
+                    let _ = writeln!(out, "tell_{name}{{quantile=\"1\"}} {}", f(s.max));
+                }
+            }
             let _ = writeln!(out, "tell_{name}_sum {}", f(s.mean * s.count as f64));
             let _ = writeln!(out, "tell_{name}_count {}", s.count);
         }
@@ -102,7 +125,28 @@ impl MetricsSnapshot {
                 f(s.p999),
             );
         }
-        out.push_str("}}");
+        out.push('}');
+        if !self.buckets.is_empty() {
+            // Emitted only when non-empty so pre-buckets consumers keep
+            // parsing snapshots that carry no histogram samples, and the
+            // empty snapshot's rendering is unchanged.
+            out.push_str(",\"buckets\":{");
+            for (i, (name, pairs)) in self.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":{{");
+                for (j, (upper, count)) in pairs.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":{count}", f(*upper));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
@@ -262,6 +306,19 @@ impl<'a> Parser<'a> {
                     snap.histograms.push((name, s));
                     Ok(())
                 })?,
+                "buckets" => p.object(|p, name| {
+                    let mut pairs = Vec::new();
+                    p.object(|p, upper| {
+                        let u = upper
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad bucket bound {upper:?}: {e}"))?;
+                        let c = p.u64()?;
+                        pairs.push((u, c));
+                        Ok(())
+                    })?;
+                    snap.buckets.push((name, pairs));
+                    Ok(())
+                })?,
                 other => return Err(format!("unknown section {other:?}")),
             }
             Ok(())
@@ -291,7 +348,14 @@ mod tests {
                     p999: 1e9,
                 },
             )],
+            buckets: vec![],
         }
+    }
+
+    fn sample_with_buckets() -> MetricsSnapshot {
+        let mut snap = sample();
+        snap.buckets = vec![("txn_total_us".into(), vec![(2.0, 2), (1073741824.0, 1)])];
+        snap
     }
 
     #[test]
@@ -324,6 +388,40 @@ mod tests {
         assert!(MetricsSnapshot::from_json(r#"{"counters":{"a":-1}}"#).is_err());
         assert!(MetricsSnapshot::from_json(r#"{"bogus":{}}"#).is_err());
         assert!(MetricsSnapshot::from_json(r#"{"counters":{"a\n":1}}"#).is_err());
+    }
+
+    #[test]
+    fn buckets_round_trip_through_json() {
+        let snap = sample_with_buckets();
+        let json = snap.to_json();
+        assert!(json.contains("\"buckets\":{\"txn_total_us\":{\"2.0\":2,\"1073741824.0\":1}}"));
+        let back = MetricsSnapshot::from_json(&json).expect("parse");
+        assert_eq!(back, snap);
+        // A pre-buckets document still parses, with the section empty.
+        let old = sample().to_json();
+        assert!(!old.contains("buckets"));
+        assert_eq!(MetricsSnapshot::from_json(&old).expect("parse").buckets, vec![]);
+    }
+
+    #[test]
+    fn bucket_data_renders_as_native_histogram() {
+        let text = sample_with_buckets().to_prometheus_text();
+        assert!(text.contains("# TYPE tell_txn_total_us histogram"));
+        // cumulative: 2, then 2+1
+        assert!(text.contains("tell_txn_total_us_bucket{le=\"2.0\"} 2"));
+        assert!(text.contains("tell_txn_total_us_bucket{le=\"1073741824.0\"} 3"));
+        assert!(text.contains("tell_txn_total_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("tell_txn_total_us_count 3"));
+        assert!(!text.contains("quantile"));
+        // A live registry with samples exports native histograms end to end.
+        let reg = crate::registry::Registry::new();
+        reg.observe(crate::registry::Phase::TxnTotal, 10.0);
+        reg.observe(crate::registry::Phase::TxnTotal, 20.0);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE tell_txn_total_us histogram"));
+        assert!(text.contains("tell_txn_total_us_bucket{le=\"+Inf\"} 2"));
+        // …while sample-less histograms keep the summary fallback.
+        assert!(text.contains("# TYPE tell_gc_cycle_us summary"));
     }
 
     #[test]

@@ -581,6 +581,18 @@ impl SpanRing {
         out
     }
 
+    /// Copy every buffered span without removing anything, oldest first per
+    /// shard. This is the default scrape (`Request::Spans` peek), so a
+    /// monitoring poller never steals the traces a one-shot exporter like
+    /// `tell_trace` is about to drain.
+    pub fn peek(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.spans.lock().iter().cloned());
+        }
+        out
+    }
+
     /// Spans currently buffered.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.spans.lock().len()).sum()
@@ -638,6 +650,30 @@ mod tests {
             assert!(r.is_exhausted());
             assert_eq!(back, span);
         }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        // capacity is split across SHARDS and push_all targets one shard,
+        // so give each shard room for both spans
+        let ring = SpanRing::new(SHARDS * 2);
+        let span = Span {
+            trace: 9,
+            id: 1,
+            parent: 0,
+            kind: SpanKind::Txn,
+            start_virt_us: 0.0,
+            end_virt_us: 1.0,
+            start_wall_us: 0,
+            end_wall_us: 1,
+            attrs: SpanAttrs::default(),
+        };
+        ring.push_all(vec![span.clone(), span.clone()]);
+        assert_eq!(ring.peek().len(), 2);
+        assert_eq!(ring.peek().len(), 2, "peek must not remove spans");
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.peek().is_empty());
     }
 
     #[test]

@@ -1,9 +1,14 @@
-//! Property tests for the snapshot JSON renderer: any snapshot must
-//! round-trip bit-for-bit through `to_json` / `from_json`.
+//! Property tests for the snapshot JSON renderer — any snapshot must
+//! round-trip bit-for-bit through `to_json` / `from_json` — and for the
+//! telemetry time-series ring: `since` must match a reference model under
+//! arbitrary scrape cursors and ring wrap, and rollup deltas must tile the
+//! counter totals exactly.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use tell_common::Summary;
-use tell_obs::MetricsSnapshot;
+use tell_obs::{Counter, MetricsSnapshot, Registry, Rollup, TsPoint, TsRing};
 
 fn metric_name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,30}"
@@ -37,16 +42,26 @@ fn summary() -> impl Strategy<Value = Summary> {
         })
 }
 
+fn positive_finite_f64() -> impl Strategy<Value = f64> {
+    // Bucket upper bounds: strictly positive finite values.
+    finite_f64().prop_map(|v| if v > 0.0 { v } else { 1.0 })
+}
+
 fn snapshot() -> impl Strategy<Value = MetricsSnapshot> {
     (
         proptest::collection::vec((metric_name(), any::<u64>()), 0..8),
         proptest::collection::vec((metric_name(), any::<u64>()), 0..8),
         proptest::collection::vec((metric_name(), summary()), 0..8),
+        proptest::collection::vec(
+            (metric_name(), proptest::collection::vec((positive_finite_f64(), any::<u64>()), 1..6)),
+            0..4,
+        ),
     )
-        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+        .prop_map(|(counters, gauges, histograms, buckets)| MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            buckets,
         })
 }
 
@@ -61,5 +76,88 @@ proptest! {
     #[test]
     fn parser_never_panics_on_arbitrary_input(text in "\\PC{0,200}") {
         let _ = MetricsSnapshot::from_json(&text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time-series ring: `since` vs a reference model.
+
+#[derive(Debug, Clone)]
+enum RingOp {
+    Push,
+    Since { cursor: u64, max: usize },
+}
+
+fn ring_ops() -> impl Strategy<Value = Vec<RingOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => Just(RingOp::Push),
+            1 => (0u64..60, 1usize..12)
+                .prop_map(|(cursor, max)| RingOp::Since { cursor, max }),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    /// The ring's cursor reads must agree with a trivially correct model:
+    /// seqs are 1..=pushed, only the newest `capacity` survive the wrap, a
+    /// scrape returns the kept seqs above the cursor (bounded by `max`),
+    /// and a cursor ahead of the ring resets to the start.
+    #[test]
+    fn ring_since_matches_reference_model(
+        capacity in 1usize..6,
+        ops in ring_ops(),
+    ) {
+        let ring = TsRing::new(capacity);
+        let mut pushed: u64 = 0;
+        for op in ops {
+            match op {
+                RingOp::Push => {
+                    pushed += 1;
+                    prop_assert_eq!(ring.push(TsPoint::default()), pushed);
+                }
+                RingOp::Since { cursor, max } => {
+                    let (points, next) = ring.since(cursor, max);
+                    let latest = pushed;
+                    let cur = if cursor > latest { 0 } else { cursor };
+                    let oldest_kept = pushed.saturating_sub(capacity as u64) + 1;
+                    let expect: Vec<u64> =
+                        (oldest_kept.max(cur + 1)..=latest).take(max).collect();
+                    let got: Vec<u64> = points.iter().map(|p| p.seq).collect();
+                    prop_assert_eq!(&got, &expect);
+                    prop_assert_eq!(next, expect.last().copied().unwrap_or(latest));
+                }
+            }
+        }
+    }
+
+    /// Rollup deltas tile the counter totals: each point carries exactly
+    /// what was added in its interval, and (with a ring big enough not to
+    /// evict) the deltas sum to the registry's final total.
+    #[test]
+    fn rollup_deltas_match_reference_model(
+        intervals in proptest::collection::vec(
+            proptest::collection::vec(0u64..1000, 0..4),
+            1..16,
+        ),
+    ) {
+        let reg = Registry::new();
+        let ring = Arc::new(TsRing::new(64));
+        let mut rollup = Rollup::new(Arc::clone(&ring));
+        for adds in &intervals {
+            let mut sum = 0u64;
+            for n in adds {
+                reg.add(Counter::TxnCommitted, *n);
+                sum += n;
+            }
+            let p = rollup.roll(&reg, 0.0, 0);
+            prop_assert_eq!(p.counter(Counter::TxnCommitted), sum);
+        }
+        let (points, next) = ring.since(0, 1024);
+        prop_assert_eq!(points.len(), intervals.len());
+        prop_assert_eq!(next, intervals.len() as u64);
+        let total: u64 = points.iter().map(|p| p.counter(Counter::TxnCommitted)).sum();
+        prop_assert_eq!(total, reg.counter(Counter::TxnCommitted));
     }
 }

@@ -68,6 +68,9 @@ impl RpcServer {
         service: Arc<dyn RpcService>,
         config: ReactorConfig,
     ) -> Result<RpcServer> {
+        // Any serving process keeps a telemetry history for
+        // `Request::Telemetry` to page out.
+        tell_obs::timeseries::ensure_wall_driver();
         let listener =
             TcpListener::bind(addr).map_err(|e| Error::Unavailable(format!("bind failed: {e}")))?;
         let addr = listener
@@ -137,6 +140,7 @@ pub struct BlockingServer {
 impl BlockingServer {
     /// Bind `addr` and serve `services`, one thread per connection.
     pub fn serve(addr: impl ToSocketAddrs, services: Services) -> Result<BlockingServer> {
+        tell_obs::timeseries::ensure_wall_driver();
         let listener =
             TcpListener::bind(addr).map_err(|e| Error::Unavailable(format!("bind failed: {e}")))?;
         let addr = listener

@@ -168,9 +168,17 @@ impl Router {
             // Served by every node regardless of hosted services: the
             // snapshot is of this process's global registry.
             Request::Metrics => Response::Metrics(tell_obs::snapshot().to_json()),
-            // Likewise process-wide; draining is destructive, each span is
-            // scraped exactly once.
-            Request::Spans => Response::Spans(tell_obs::span::global_ring().drain()),
+            // Likewise process-wide. The default scrape peeks; draining is
+            // destructive and must be asked for explicitly.
+            Request::Spans { drain } => Response::Spans(if drain {
+                tell_obs::span::global_ring().drain()
+            } else {
+                tell_obs::span::global_ring().peek()
+            }),
+            // Incremental pull of this process's telemetry ring.
+            Request::Telemetry { since } => {
+                Response::Telemetry(tell_obs::timeseries::page_since(since))
+            }
             // The wire decoder already refuses nested batches; keep the
             // refusal here too so a future in-process caller cannot sneak
             // one in.
@@ -359,7 +367,8 @@ fn count_request(request: &Request) {
         Request::CmSync => Counter::ReqCmSync,
         Request::CmResolve { .. } => Counter::ReqCmResolve,
         Request::Metrics => Counter::ReqMetrics,
-        Request::Spans => Counter::ReqSpans,
+        Request::Spans { .. } => Counter::ReqSpans,
+        Request::Telemetry { .. } => Counter::ReqTelemetry,
     };
     reg.incr(c);
 }

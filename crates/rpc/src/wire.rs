@@ -37,7 +37,7 @@ use bytes::{Bytes, BytesMut};
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, Result, TxnId};
-use tell_obs::Span;
+use tell_obs::{Span, TelemetryPage};
 use tell_store::{Expect, Key, Predicate, Token, WriteOp};
 
 /// Upper bound on a frame's `len` field. Generous — the largest legitimate
@@ -119,10 +119,21 @@ pub enum Request {
     /// `tell_obs::MetricsSnapshot`; any server answers it regardless of
     /// which services it hosts.
     Metrics,
-    /// Drain the server's span ring (destructive: each finished span is
-    /// scraped exactly once). Answered with [`Response::Spans`]; any
-    /// server answers it regardless of which services it hosts.
-    Spans,
+    /// Scrape the server's span ring. Answered with [`Response::Spans`];
+    /// any server answers it regardless of which services it hosts. The
+    /// default (`drain: false`) is a non-destructive peek, so a background
+    /// monitoring poller never steals the traces a one-shot exporter was
+    /// about to collect; `drain: true` removes what it returns (each span
+    /// scraped exactly once). Each mode is its own bodyless tag; the peek
+    /// tag is the one pre-flag peers send, so old scrape bytes still
+    /// decode (and to the non-destructive mode).
+    Spans { drain: bool },
+    /// Incremental telemetry scrape: the server's time-series ring points
+    /// with `seq > since`, plus the metric-name schema to interpret them.
+    /// Answered with [`Response::Telemetry`]; any server answers it. Pass
+    /// `since: 0` for history from the oldest retained point, then the
+    /// returned `next_cursor` on every later scrape.
+    Telemetry { since: u64 },
 }
 
 /// Server replies. `Error` may answer any request; the others pair with
@@ -160,9 +171,12 @@ pub enum Response {
     /// as JSON (the wire stays renderer-agnostic; scrapers re-render to
     /// Prometheus text locally).
     Metrics(String),
-    /// Answer to `Request::Spans`: everything drained from the server's
-    /// span ring, oldest first per shard.
+    /// Answer to `Request::Spans`: the server's span ring contents, oldest
+    /// first per shard (removed only when the request asked to drain).
     Spans(Vec<Span>),
+    /// Answer to `Request::Telemetry`: one incremental page of time-series
+    /// points plus the producer's metric-name schema.
+    Telemetry(TelemetryPage),
 }
 
 /// `tell_common::Error` in wire form. The mapping is lossless in both
@@ -453,7 +467,14 @@ impl Request {
                 out.put_u8(u8::from(*committed));
             }
             Request::Metrics => out.put_u8(21),
-            Request::Spans => out.put_u8(22),
+            // Peek keeps the pre-flag tag (and its bodyless shape) so old
+            // peers' scrapes still decode; drain is its own bodyless tag.
+            Request::Spans { drain: false } => out.put_u8(22),
+            Request::Spans { drain: true } => out.put_u8(24),
+            Request::Telemetry { since } => {
+                out.put_u8(23);
+                out.put_u64(*since);
+            }
         }
         out
     }
@@ -514,7 +535,11 @@ impl Request {
             19 => Request::CmSync,
             20 => Request::CmResolve { tid: TxnId(r.u64()?), committed: read_bool(&mut r)? },
             21 => Request::Metrics,
-            22 => Request::Spans,
+            // Pre-flag peers sent tag 22 meaning "drain"; decoding it as a
+            // peek is the safe direction (nothing is lost).
+            22 => Request::Spans { drain: false },
+            23 => Request::Telemetry { since: r.u64()? },
+            24 => Request::Spans { drain: true },
             t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
         };
         expect_exhausted(&r)?;
@@ -618,6 +643,10 @@ impl Response {
                     s.encode(&mut out);
                 }
             }
+            Response::Telemetry(page) => {
+                out.put_u8(21);
+                page.encode(&mut out);
+            }
         }
         out
     }
@@ -700,6 +729,7 @@ impl Response {
                 }
                 Response::Spans(spans)
             }
+            21 => Response::Telemetry(TelemetryPage::decode(&mut r)?),
             t => return Err(Error::corrupt(format!("unknown response tag {t}"))),
         };
         expect_exhausted(&r)?;
@@ -968,12 +998,22 @@ mod tests {
             Request::CmSync,
             Request::CmResolve { tid: TxnId(1), committed: false },
             Request::Metrics,
-            Request::Spans,
+            Request::Spans { drain: false },
+            Request::Spans { drain: true },
+            Request::Telemetry { since: 0 },
+            Request::Telemetry { since: u64::MAX },
         ];
         for req in reqs {
             let body = req.encode();
             assert_eq!(Request::decode(&body).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn bodyless_spans_request_decodes_as_peek() {
+        // Older peers encode `Request::Spans` as the bare tag; that must
+        // keep decoding, and as the non-destructive variant.
+        assert_eq!(Request::decode(&[22]).unwrap(), Request::Spans { drain: false });
     }
 
     #[test]
@@ -1032,6 +1072,32 @@ mod tests {
                     attrs: tell_obs::SpanAttrs { count: 0, status: tell_obs::SpanStatus::Conflict },
                 },
             ]),
+            Response::Telemetry(TelemetryPage {
+                counter_names: Vec::new(),
+                gauge_names: Vec::new(),
+                phase_names: Vec::new(),
+                points: Vec::new(),
+                next_cursor: 0,
+            }),
+            Response::Telemetry(TelemetryPage {
+                counter_names: vec!["txn_committed_total".into(), "txn_aborted_total".into()],
+                gauge_names: vec!["cm_lav".into()],
+                phase_names: vec!["txn_total_us".into()],
+                points: vec![tell_obs::TsPoint {
+                    seq: 3,
+                    virt_us: 125.0,
+                    wall_us: 9_000,
+                    counters: vec![10, 2],
+                    gauges: vec![7],
+                    phases: vec![tell_obs::PhaseDigest {
+                        count: 10,
+                        p50: 4.0,
+                        p99: 80.0,
+                        p999: 81.0,
+                    }],
+                }],
+                next_cursor: 3,
+            }),
         ];
         for resp in resps {
             let body = resp.encode();

@@ -478,10 +478,13 @@ fn metrics_scrape_over_tcp_returns_parseable_snapshot() {
         .expect("txn_total_us histogram missing");
     assert!(total.1.count > 0);
 
-    // And the same snapshot renders as Prometheus text exposition.
+    // And the same snapshot renders as Prometheus text exposition. A
+    // histogram with samples carries bucket data, so it renders as a
+    // native cumulative histogram rather than a quantile summary.
     let text = snap.to_prometheus_text();
     assert!(text.contains("# TYPE tell_txn_begun_total counter"));
-    assert!(text.contains("tell_txn_total_us{quantile=\"0.99\"}"));
+    assert!(text.contains("# TYPE tell_txn_total_us histogram"));
+    assert!(text.contains("tell_txn_total_us_bucket{le=\"+Inf\"}"));
 }
 
 #[test]
@@ -517,7 +520,7 @@ fn assembled_trace_parents_pn_sn_and_cm_spans_correctly() {
     // returns every process role's spans; other tests' traces are filtered
     // out by id. (This is the only test in this binary that drains.)
     let conn = Connection::connect(&servers.sn.local_addr().to_string()).unwrap();
-    let (resp, _, _) = conn.call(&Request::Spans).unwrap();
+    let (resp, _, _) = conn.call(&Request::Spans { drain: true }).unwrap();
     let Response::Spans(all) = resp else { panic!("expected Spans, got {resp:?}") };
     let spans: Vec<Span> = all.into_iter().filter(|s| s.trace == trace).collect();
     assert!(spans.len() >= 5, "expected a multi-span trace, got {spans:#?}");

@@ -5,7 +5,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::{BitSet, TxnId};
-use tell_obs::{Span, SpanAttrs, SpanKind, SpanStatus};
+use tell_obs::{PhaseDigest, Span, SpanAttrs, SpanKind, SpanStatus, TelemetryPage, TsPoint};
 use tell_rpc::wire::{
     read_frame, split_context, split_trace, write_frame, write_frame_ctx, write_frame_traced,
     TraceContext, FRAME_HEADER,
@@ -163,8 +163,56 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         Just(Request::CmSync),
         (any::<u64>(), any::<bool>())
             .prop_map(|(tid, committed)| Request::CmResolve { tid: TxnId(tid), committed }),
-        Just(Request::Spans),
+        any::<bool>().prop_map(|drain| Request::Spans { drain }),
+        any::<u64>().prop_map(|since| Request::Telemetry { since }),
     ]
+}
+
+/// Metric names as the registry produces them (snake_case identifiers).
+fn metric_name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,30}"
+}
+
+/// Time-series points with finite clocks and digests, the domain `Rollup`
+/// produces (reflexive floats, so `PartialEq` holds on the round trip).
+fn ts_point_strategy() -> impl Strategy<Value = TsPoint> {
+    (
+        (any::<u64>(), 0u32..1_000_000, any::<u64>()),
+        prop::collection::vec(any::<u64>(), 0..8),
+        prop::collection::vec(any::<u64>(), 0..8),
+        prop::collection::vec(
+            (any::<u64>(), 0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000).prop_map(
+                |(count, p50, p99, p999)| PhaseDigest {
+                    count,
+                    p50: p50 as f64,
+                    p99: p99 as f64,
+                    p999: p999 as f64,
+                },
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(|((seq, virt, wall_us), counters, gauges, phases)| TsPoint {
+            seq,
+            virt_us: virt as f64,
+            wall_us,
+            counters,
+            gauges,
+            phases,
+        })
+}
+
+fn telemetry_page_strategy() -> impl Strategy<Value = TelemetryPage> {
+    (
+        prop::collection::vec(metric_name_strategy(), 0..6),
+        prop::collection::vec(metric_name_strategy(), 0..6),
+        prop::collection::vec(metric_name_strategy(), 0..4),
+        prop::collection::vec(ts_point_strategy(), 0..4),
+        any::<u64>(),
+    )
+        .prop_map(|(counter_names, gauge_names, phase_names, points, next_cursor)| {
+            TelemetryPage { counter_names, gauge_names, phase_names, points, next_cursor }
+        })
 }
 
 /// Every `Response` variant, all fields randomized.
@@ -192,6 +240,7 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         Just(Response::Unit),
         any::<u64>().prop_map(Response::Lav),
         prop::collection::vec(span_strategy(), 0..6).prop_map(Response::Spans),
+        telemetry_page_strategy().prop_map(Response::Telemetry),
     ]
 }
 

@@ -18,7 +18,7 @@
 //! wall-clock sync interval and sync on (deterministic) operation counts
 //! instead.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use rand::{Rng, SeedableRng, StdRng};
 use tell_commitmgr::manager::CmConfig;
@@ -27,6 +27,11 @@ use tell_common::{CmId, Error, SnId, TxnId};
 use tell_core::database::IndexSpec;
 use tell_core::{Database, TableDef, TellConfig, VersionedRecord};
 use tell_durable::{DurableNodeConfig, FsDurability, FsyncPolicy};
+use tell_obs::timeseries::DEFAULT_RING_POINTS;
+use tell_obs::{
+    Counter, Gauge, HealthConfig, HealthEngine, HealthEvent, NodeTick, Registry, Rollup, TsPoint,
+    TsRing,
+};
 use tell_store::{keys, StoreCluster};
 
 use crate::checker::{self, CheckStats, Violation};
@@ -127,6 +132,26 @@ pub struct SimStats {
     pub virtual_end_us: f64,
 }
 
+/// The telemetry a run produced: one rolled time-series point per
+/// commit-manager scrape (virtual clock, wall 0) and every health-rule
+/// transition the engine emitted. Both are pure functions of the seed —
+/// the observability e2e tests compare them byte for byte across runs.
+#[derive(Clone, Debug, Default)]
+pub struct SimTelemetry {
+    /// One point per scrape, oldest first.
+    pub points: Vec<TsPoint>,
+    /// Health transitions, in emission order.
+    pub events: Vec<HealthEvent>,
+}
+
+impl SimTelemetry {
+    /// Stable one-line renderings of every health event, in order — the
+    /// byte-reproducibility comparand.
+    pub fn rendered_events(&self) -> Vec<String> {
+        self.events.iter().map(HealthEvent::render).collect()
+    }
+}
+
 /// The full result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimOutcome {
@@ -136,6 +161,8 @@ pub struct SimOutcome {
     pub history: History,
     /// Aggregate counters.
     pub stats: SimStats,
+    /// Time-series points and health events (see [`SimTelemetry`]).
+    pub telemetry: SimTelemetry,
     /// `None` means the history checked clean.
     pub violation: Option<Violation>,
     /// Checker statistics when the check ran to completion.
@@ -452,6 +479,19 @@ struct Scheduler<'a> {
     /// PN crashes awaiting their recovery event: `(pn, tid, key)`.
     pending_crashes: Vec<(tell_common::PnId, TxnId, u64)>,
     stats: SimStats,
+    /// Sim-local metrics registry, updated from turnstile state at each
+    /// scrape. Deliberately NOT `tell_obs::global()`: parallel tests in
+    /// one process pollute the global registry, and the telemetry history
+    /// must be a pure function of the seed.
+    reg: Registry,
+    /// Rollup over the sim's own ring, ticked at the scrape cadence.
+    rollup: Rollup,
+    /// Health rules over the rolled points plus per-SN liveness.
+    health: HealthEngine,
+    telemetry: SimTelemetry,
+    /// Committed/aborted totals already folded into `reg`.
+    last_commits: u64,
+    last_aborts: u64,
 }
 
 impl Scheduler<'_> {
@@ -666,13 +706,44 @@ impl Scheduler<'_> {
         let cluster = self.db.commit_managers();
         let bases: Vec<(u32, u64)> =
             cluster.members().iter().map(|(id, base)| (id.raw(), *base)).collect();
-        st.history.scrapes.push(LavScrape {
-            at_us,
-            epoch: self.epoch,
-            lav: cluster.current_lav(),
-            bases,
-        });
+        let lav = cluster.current_lav();
+        st.history.scrapes.push(LavScrape { at_us, epoch: self.epoch, lav, bases });
         self.stats.scrapes += 1;
+
+        // Telemetry rollup tick: fold turnstile state into the sim-local
+        // registry, roll a point (virtual clock, wall 0 — reproducible
+        // byte for byte), and run the health rules. Reachability is judged
+        // per storage node; the cluster-wide metrics ride a synthetic
+        // "cluster" tick so rate rules are evaluated once per interval,
+        // not once per node.
+        let commits = st.history.txns.iter().filter(|t| t.committed).count() as u64;
+        let aborts = st.history.txns.len() as u64 - commits;
+        self.reg.add(Counter::TxnCommitted, commits.saturating_sub(self.last_commits));
+        self.reg.add(Counter::TxnAborted, aborts.saturating_sub(self.last_aborts));
+        self.last_commits = commits;
+        self.last_aborts = aborts;
+        let max_tid = st.history.txns.iter().map(|t| t.tid).max().unwrap_or(lav);
+        self.reg.set_gauge(Gauge::CmLavLag, max_tid.saturating_sub(lav));
+        let point = self.rollup.roll(&self.reg, at_us, 0);
+        let mut ticks: Vec<NodeTick> = self
+            .db
+            .store()
+            .nodes()
+            .iter()
+            .map(|node| NodeTick {
+                node: format!("sn{}", node.id.raw()),
+                reachable: node.is_alive(),
+                point: None,
+            })
+            .collect();
+        ticks.push(NodeTick {
+            node: "cluster".into(),
+            reachable: true,
+            point: Some(point.clone()),
+        });
+        let events = self.health.observe(at_us, 0, &ticks);
+        self.telemetry.points.push(point);
+        self.telemetry.events.extend(events);
     }
 
     fn break_run(&mut self, st: &mut TurnState, v: Violation) {
@@ -768,12 +839,18 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
         killed_cms: Vec::new(),
         pending_crashes: Vec::new(),
         stats: SimStats::default(),
+        reg: Registry::new(),
+        rollup: Rollup::new(Arc::new(TsRing::new(DEFAULT_RING_POINTS))),
+        health: HealthEngine::new(HealthConfig::default()),
+        telemetry: SimTelemetry::default(),
+        last_commits: 0,
+        last_aborts: 0,
     };
     let scrape_interval = horizon / 24.0;
     let mut next_scrape = scrape_interval;
     let mut event_idx = 0usize;
 
-    let (history, violation, mut stats) = std::thread::scope(|scope| {
+    let (history, violation, mut stats, telemetry) = std::thread::scope(|scope| {
         for w in 0..config.workers {
             let shared = &shared;
             let db = &db;
@@ -850,7 +927,12 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
         }
         let end = st.clocks.iter().cloned().fold(0.0f64, f64::max);
         scheduler.stats.virtual_end_us = end;
-        (std::mem::take(&mut st.history), st.violation.take(), scheduler.stats)
+        (
+            std::mem::take(&mut st.history),
+            st.violation.take(),
+            scheduler.stats,
+            std::mem::take(&mut scheduler.telemetry),
+        )
     });
 
     tell_rpc::fault::clear();
@@ -877,7 +959,7 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
         let _ = std::fs::remove_dir_all(root);
     }
 
-    SimOutcome { plan, history, stats, violation, check }
+    SimOutcome { plan, history, stats, telemetry, violation, check }
 }
 
 /// Shrink a failing plan to the smallest failing prefix by bisection and
@@ -1019,6 +1101,73 @@ mod tests {
             "run wound down early at {}us",
             outcome.stats.virtual_end_us
         );
+    }
+
+    #[test]
+    fn telemetry_history_is_bit_reproducible() {
+        // The observability acceptance bar: same seed, same fault mix —
+        // byte-identical telemetry points AND byte-identical rendered
+        // health-event sequence across two runs.
+        let cfg = tiny(FaultMix::SnChurn, 17);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert!(a.ok(), "violation: {:?}", a.violation);
+        assert!(!a.telemetry.points.is_empty(), "scrapes must roll points");
+        assert_eq!(a.telemetry.points.len(), a.stats.scrapes);
+        assert_eq!(a.telemetry.points, b.telemetry.points);
+        assert_eq!(a.telemetry.rendered_events(), b.telemetry.rendered_events());
+        // Commit/abort deltas in the points tile the run's totals.
+        let commits: u64 =
+            a.telemetry.points.iter().map(|p| p.counter(Counter::TxnCommitted)).sum();
+        assert!(commits <= a.stats.commits as u64);
+        assert!(commits > 0 || a.stats.commits == 0, "scrape deltas must carry the run's commits");
+    }
+
+    #[test]
+    fn sn_kill_window_fires_and_resolves_replica_unavailable() {
+        // Hand-built plan: SN 0 dies for the middle of the run. The health
+        // engine must fire replica_unavailable for sn0 inside the window
+        // and resolve it after the revive — in that order, exactly once
+        // each.
+        let cfg = tiny(FaultMix::None, 23);
+        let horizon = cfg.horizon_us();
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent { at_us: horizon * 0.2, kind: FaultKind::SnKill(0) },
+                FaultEvent { at_us: horizon * 0.6, kind: FaultKind::SnRevive(0) },
+            ],
+        };
+        let outcome = run_with_plan(&cfg, plan);
+        assert!(outcome.ok(), "violation: {:?}", outcome.violation);
+        let rendered = outcome.telemetry.rendered_events();
+        let firing: Vec<usize> = rendered
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains("FIRING replica_unavailable node=sn0"))
+            .map(|(i, _)| i)
+            .collect();
+        let resolved: Vec<usize> = rendered
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains("resolved replica_unavailable node=sn0"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(firing.len(), 1, "exactly one firing transition: {rendered:?}");
+        assert_eq!(resolved.len(), 1, "exactly one resolve transition: {rendered:?}");
+        assert!(firing[0] < resolved[0], "fire before resolve: {rendered:?}");
+        // Replay of the identical plan reproduces the identical sequence.
+        let again = run_with_plan(
+            &cfg,
+            FaultPlan {
+                seed: 0,
+                events: vec![
+                    FaultEvent { at_us: horizon * 0.2, kind: FaultKind::SnKill(0) },
+                    FaultEvent { at_us: horizon * 0.6, kind: FaultKind::SnRevive(0) },
+                ],
+            },
+        );
+        assert_eq!(again.telemetry.rendered_events(), rendered);
     }
 
     #[test]

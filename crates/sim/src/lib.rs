@@ -38,6 +38,6 @@ pub mod history;
 pub mod plan;
 
 pub use checker::{check, CheckStats, Violation};
-pub use driver::{run, run_with_plan, shrink_plan, SimConfig, SimOutcome, SimStats};
+pub use driver::{run, run_with_plan, shrink_plan, SimConfig, SimOutcome, SimStats, SimTelemetry};
 pub use history::{History, LavScrape, TxnRecord};
 pub use plan::{FaultEvent, FaultKind, FaultMix, FaultPlan};

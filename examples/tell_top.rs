@@ -1,0 +1,345 @@
+//! Live cluster dashboard over `Request::Telemetry`.
+//!
+//! `tell_top` polls every named node's telemetry ring through a
+//! `tell_monitor::Collector`, evaluates the health rules, and refreshes a
+//! plain-ANSI terminal view: per-node throughput, abort and latency
+//! figures with a sparkline of the recent commit trend, plus the active
+//! health alerts and the newest firing/resolved transitions.
+//!
+//! ```text
+//! # against a running cluster (tell_sn + tell_cm):
+//! cargo run --release --example tell_top -- \
+//!     --node sn0=127.0.0.1:7701 --node cm0=127.0.0.1:7801
+//!
+//! # self-contained smoke: boot a loopback cluster in-process and render
+//! # one machine-readable snapshot (the check.sh telemetry gate):
+//! cargo run --release --example tell_top -- --loopback --json
+//! ```
+//!
+//! No raw terminal mode, no curses, no dependencies: the refresh is a
+//! cursor-home + clear-to-end escape, so the output degrades gracefully
+//! when piped. `--json` renders one snapshot as JSON and exits.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use tell_core::database::IndexSpec;
+use tell_core::{Database, TellConfig};
+use tell_monitor::{Collector, NodeView, Target};
+use tell_obs::registry::{Counter, Phase};
+use tell_rpc::{RemoteCmClient, RemoteEndpoint, RpcServer};
+
+struct Args {
+    nodes: Vec<Target>,
+    interval_ms: u64,
+    iterations: u64,
+    json: bool,
+    loopback: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { nodes: Vec::new(), interval_ms: 1000, iterations: 0, json: false, loopback: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--node" => {
+                let spec = value("--node")?;
+                let (name, addr) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--node wants NAME=ADDR, got {spec}"))?;
+                args.nodes.push(Target::new(name, addr));
+            }
+            "--interval" => {
+                args.interval_ms =
+                    value("--interval")?.parse().map_err(|e| format!("--interval: {e}"))?;
+            }
+            "--iterations" => {
+                args.iterations =
+                    value("--iterations")?.parse().map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--json" => args.json = true,
+            "--loopback" => args.loopback = true,
+            "--help" | "-h" => {
+                println!(
+                    "tell_top: live telemetry dashboard for a tell cluster\n\n\
+                     options:\n  \
+                     --node NAME=ADDR  add a scrape target (repeatable)\n  \
+                     --interval MS     refresh interval (default 1000)\n  \
+                     --iterations N    stop after N refreshes (default: run until ^C)\n  \
+                     --json            render one snapshot as JSON and exit\n  \
+                     --loopback        boot an in-process loopback cluster with a\n                    \
+                     background workload and watch that"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.nodes.is_empty() && !args.loopback {
+        return Err("no targets: pass --node NAME=ADDR (or --loopback)".to_string());
+    }
+    Ok(args)
+}
+
+// ---------------------------------------------------------------------------
+// Loopback cluster: an in-process SN + CM pair with a background workload,
+// so the dashboard has live numbers without any external deployment.
+
+struct Loopback {
+    servers: Vec<RpcServer>,
+    stop: Arc<AtomicBool>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Loopback {
+    fn boot() -> Result<(Loopback, Vec<Target>), String> {
+        let store = tell_store::StoreCluster::new(tell_store::StoreConfig::new(2));
+        let sn = RpcServer::serve_store("127.0.0.1:0", store).map_err(|e| e.to_string())?;
+        let sn_addr = sn.local_addr().to_string();
+        let cm_cluster = tell_commitmgr::CmCluster::new(
+            RemoteEndpoint::connect(sn_addr.clone(), 2),
+            1,
+            tell_commitmgr::manager::CmConfig::default(),
+        );
+        let cm = RpcServer::serve_commit(
+            "127.0.0.1:0",
+            cm_cluster as Arc<dyn tell_commitmgr::CommitService>,
+        )
+        .map_err(|e| e.to_string())?;
+        let cm_addr = cm.local_addr().to_string();
+
+        let endpoint = RemoteEndpoint::connect(sn_addr.clone(), 2);
+        let commit: Arc<dyn tell_commitmgr::CommitService> =
+            Arc::new(RemoteCmClient::connect([cm_addr.clone()]));
+        let db = Database::open(endpoint, commit, TellConfig::default());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || loopback_workload(&db, &stop))
+        };
+        let targets = vec![Target::new("sn0", &sn_addr), Target::new("cm0", &cm_addr)];
+        Ok((Loopback { servers: vec![sn, cm], stop, worker: Some(worker) }, targets))
+    }
+}
+
+impl Drop for Loopback {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        self.servers.clear();
+    }
+}
+
+fn loopback_workload(db: &Arc<Database<RemoteEndpoint>>, stop: &AtomicBool) {
+    let pk = IndexSpec::new("pk", true, |row: &[u8]| row.get(8..16).map(Bytes::copy_from_slice));
+    let Ok(table) = db.create_table("top_demo", vec![pk]) else { return };
+    let row = |balance: u64, id: u64| {
+        let mut b = balance.to_be_bytes().to_vec();
+        b.extend_from_slice(&id.to_be_bytes());
+        Bytes::from(b)
+    };
+    let pn = db.processing_node();
+    let Ok(rid) = pn.run(100, |txn| txn.insert(&table, row(0, 1))) else { return };
+    let mut i = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        i += 1;
+        let _ = pn.run(100, |txn| {
+            let current = txn.get(&table, rid)?.expect("row inserted above");
+            let balance = u64::from_be_bytes(current[..8].try_into().unwrap());
+            txn.update(&table, rid, row(balance + 1, 1))
+        });
+        if i.is_multiple_of(64) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Commit-delta sparkline over the node's newest `width` points.
+fn sparkline(node: &NodeView, width: usize) -> String {
+    let deltas: Vec<u64> =
+        node.history.iter().rev().take(width).map(|p| p.counter(Counter::TxnCommitted)).collect();
+    let max = deltas.iter().copied().max().unwrap_or(0).max(1);
+    deltas.iter().rev().map(|d| SPARK[((d * (SPARK.len() as u64 - 1)) / max) as usize]).collect()
+}
+
+/// Per-second rate of a counter from the node's two newest points (the
+/// wall clocks bound the interval; virtual-clock histories show "-").
+fn rate_per_sec(node: &NodeView, c: Counter) -> Option<f64> {
+    let n = node.history.len();
+    if n < 2 {
+        return None;
+    }
+    let (prev, last) = (&node.history[n - 2], &node.history[n - 1]);
+    let dt_us = last.wall_us.saturating_sub(prev.wall_us);
+    if dt_us == 0 {
+        return None;
+    }
+    Some(last.counter(c) as f64 * 1e6 / dt_us as f64)
+}
+
+fn fmt_rate(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:.0}"),
+        None => "-".to_string(),
+    }
+}
+
+fn render(collector: &Collector, interval_ms: u64) -> String {
+    let mut out = String::new();
+    let active = collector.active();
+    out.push_str(&format!(
+        "tell_top — poll #{} every {}ms — {} node(s), {} active alert(s)\n\n",
+        collector.polls(),
+        interval_ms,
+        collector.nodes().len(),
+        active.len(),
+    ));
+    out.push_str(&format!(
+        "{:<10} {:<6} {:>10} {:>10} {:>12}  {}\n",
+        "NODE", "STATE", "COMMIT/S", "ABORT/S", "P99 TXN", "TREND"
+    ));
+    for node in collector.nodes() {
+        let state = if node.reachable { "up" } else { "DOWN" };
+        let p99 = node
+            .latest()
+            .map(|p| p.phase(Phase::TxnTotal).p99)
+            .filter(|v| *v > 0.0)
+            .map(|v| format!("{v:.0}us"))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<10} {:<6} {:>10} {:>10} {:>12}  {}\n",
+            node.target.name,
+            state,
+            fmt_rate(rate_per_sec(node, Counter::TxnCommitted)),
+            fmt_rate(rate_per_sec(node, Counter::TxnAborted)),
+            p99,
+            sparkline(node, 24),
+        ));
+        if let Some(err) = &node.last_error {
+            out.push_str(&format!("           └ {err}\n"));
+        }
+    }
+    out.push('\n');
+    if active.is_empty() {
+        out.push_str("health: ok\n");
+    } else {
+        out.push_str("ACTIVE ALERTS:\n");
+        for (rule, node) in &active {
+            out.push_str(&format!("  ! {} node={}\n", rule.label(), node));
+        }
+    }
+    let events = collector.events();
+    if !events.is_empty() {
+        out.push_str("\nrecent transitions:\n");
+        for e in events.iter().rev().take(5).rev() {
+            out.push_str(&format!("  {}\n", e.render()));
+        }
+    }
+    out
+}
+
+/// One-shot machine-readable snapshot (hand-rolled JSON, same style as the
+/// metrics exporter — no serde in the workspace).
+fn render_json(collector: &Collector) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"polls\":{},\"nodes\":{{", collector.polls()));
+    for (i, node) in collector.nodes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let latest = node.latest();
+        out.push_str(&format!(
+            "\"{}\":{{\"reachable\":{},\"points\":{},\"last_seq\":{},\
+             \"txn_committed_delta\":{},\"txn_aborted_delta\":{},\"txn_total_us_p99\":{:?}}}",
+            node.target.name,
+            node.reachable,
+            node.history.len(),
+            latest.map(|p| p.seq).unwrap_or(0),
+            latest.map(|p| p.counter(Counter::TxnCommitted)).unwrap_or(0),
+            latest.map(|p| p.counter(Counter::TxnAborted)).unwrap_or(0),
+            latest.map(|p| p.phase(Phase::TxnTotal).p99).unwrap_or(0.0),
+        ));
+    }
+    out.push_str("},\"active\":[");
+    for (i, (rule, node)) in collector.active().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"rule\":\"{}\",\"node\":\"{}\"}}", rule.label(), node));
+    }
+    out.push_str("],\"events\":[");
+    for (i, e) in collector.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", e.render()));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    // Loopback handles must outlive the polling loop.
+    let loopback = if args.loopback { Some(Loopback::boot()?) } else { None };
+    let targets = match &loopback {
+        Some((_, targets)) => targets.clone(),
+        None => args.nodes.clone(),
+    };
+    let mut collector = Collector::new(targets);
+
+    if args.json {
+        if args.loopback {
+            // Give the background workload a moment to commit, then force
+            // a ring point so the very first scrape carries real deltas
+            // (the wall driver's first tick may still be pending).
+            std::thread::sleep(Duration::from_millis(200));
+            tell_obs::timeseries::roll_global_now();
+        }
+        collector.poll();
+        println!("{}", render_json(&collector));
+        return Ok(());
+    }
+
+    let mut remaining = args.iterations;
+    loop {
+        collector.poll();
+        // Cursor home + clear to end: a flicker-free refresh that still
+        // degrades to plain sequential output when piped.
+        print!("\x1b[H\x1b[J{}", render(&collector, args.interval_ms));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        if args.iterations > 0 {
+            remaining -= 1;
+            if remaining == 0 {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(args.interval_ms));
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("tell_top: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(msg) = run(&args) {
+        eprintln!("tell_top: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -71,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
 /// Drain one server's span ring over the wire.
 fn scrape_spans(addr: &str, node: &str) -> Result<Vec<SourcedSpan>, String> {
     let conn = Connection::connect(addr).map_err(|e| e.to_string())?;
-    let (response, _, _) = conn.call(&Request::Spans).map_err(|e| e.to_string())?;
+    let (response, _, _) = conn.call(&Request::Spans { drain: true }).map_err(|e| e.to_string())?;
     let Response::Spans(spans) = response else {
         return Err(format!("unexpected response: {response:?}"));
     };

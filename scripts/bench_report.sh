@@ -40,6 +40,11 @@ cargo bench -q -p tell-bench --bench durable_recovery
 # 64 concurrent connections (tiny scale shortens the measure window).
 cargo bench -q -p tell-bench --bench rpc_reactor
 
+# Telemetry rollup overhead: full update transactions with the ring
+# roller at 50x the deployed cadence vs the roller idle, A-B-B-A paired
+# blocks. Bounds the observability tier's hot-path cost at < 5 %.
+cargo bench -q -p tell-bench --bench telemetry_overhead
+
 # Simulation throughput snapshot: how many transactions the deterministic
 # fault-schedule harness pushes through the full stack per virtual and
 # per wall second, under the all-faults mix. Fixed seed: the virtual-side

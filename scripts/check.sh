@@ -66,6 +66,16 @@ echo "==> trace smoke (tell_trace against a loopback cluster)"
 # nonzero when it is malformed or no trace was assembled.
 cargo run -q --example tell_trace -- --loopback --txns 4 > /dev/null
 
+echo "==> telemetry smoke (tell_top --json against a loopback cluster)"
+# One collector poll over Request::Telemetry against an in-process SN+CM
+# pair: both nodes must answer and the snapshot must carry ring points.
+top_json="$(cargo run -q --example tell_top -- --loopback --json)"
+if [[ "$top_json" != *'"reachable":true'* || "$top_json" != *'"polls":1'* ]]; then
+  echo "error: tell_top --loopback --json returned an unhealthy snapshot:" >&2
+  echo "$top_json" >&2
+  exit 1
+fi
+
 run_sim_smoke
 
 run_durable_gate
