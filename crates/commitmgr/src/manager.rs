@@ -5,11 +5,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 use tell_common::codec::Writer;
 use tell_common::{BitSet, CmId, Error, Result, TxnId};
 use tell_netsim::NetMeter;
-use tell_obs::Gauge;
+use tell_obs::{Gauge, ProfMutex};
 use tell_store::{keys, StoreApi, StoreCluster, StoreEndpoint};
 
 use crate::snapshot::SnapshotDescriptor;
@@ -160,13 +159,18 @@ pub struct CommitManager<E: StoreEndpoint = Arc<StoreCluster>> {
     id: CmId,
     endpoint: E,
     config: CmConfig,
-    state: Mutex<State>,
+    state: ProfMutex<State>,
 }
 
 impl<E: StoreEndpoint> CommitManager<E> {
     /// A fresh commit manager over the storage `endpoint`.
     pub fn new(id: CmId, endpoint: E, config: CmConfig) -> Arc<Self> {
-        Arc::new(CommitManager { id, endpoint, config, state: Mutex::new(State::default()) })
+        Arc::new(CommitManager {
+            id,
+            endpoint,
+            config,
+            state: ProfMutex::new("cm.state", State::default()),
+        })
     }
 
     /// This manager's id.
@@ -359,6 +363,7 @@ impl<E: StoreEndpoint> CommitManager<E> {
         } else {
             None
         };
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::CmApply);
         meter.charge_request(40, 16, 1);
         let client = self.endpoint.client(meter.clone());
         {

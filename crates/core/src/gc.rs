@@ -44,6 +44,7 @@ pub fn run_gc<E: StoreEndpoint>(db: &Database<E>) -> Result<GcReport> {
     // id, and the pass itself is one span (count = versions reclaimed).
     let _trace = TraceGuard::enter(tell_obs::next_trace_id());
     let span = SpanTimer::start(SpanKind::GcPass, 0.0);
+    let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::GcPass);
     let client = db.admin_client();
     let lav = db.commit_service().current_lav()?;
     let mut report = GcReport::default();

@@ -60,13 +60,18 @@ impl PhaseTimer {
 pub(crate) struct PhaseSpan {
     timer: Option<PhaseTimer>,
     span: Option<SpanTimer>,
+    /// Profiler frame for the phase. Unlike the sampled halves above this
+    /// runs on *every* transaction — the frame push/pop is one relaxed
+    /// store each way, and the profiler's whole value is seeing the
+    /// unsampled majority.
+    _frame: tell_obs::FrameGuard,
 }
 
 impl PhaseSpan {
     pub(crate) fn start(clock: &SimClock, timed: bool, spans: bool, kind: SpanKind) -> Self {
         let span = if spans { SpanTimer::start(kind, clock.now_us()) } else { None };
         let timer = if timed { PhaseTimer::start(clock) } else { None };
-        PhaseSpan { timer, span }
+        PhaseSpan { timer, span, _frame: tell_obs::FrameGuard::enter(kind.into()) }
     }
 
     pub(crate) fn finish(

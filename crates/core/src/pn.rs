@@ -153,6 +153,10 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
         // over the remote transport, RPC client spans) nest under it.
         let root =
             if spans { SpanTimer::start(SpanKind::Txn, self.clock().now_us()) } else { None };
+        // Root profiler frame; the phase frames nest under it. Held by the
+        // Transaction until completion so the sampler attributes the whole
+        // lifetime, parked gaps included, to `txn`.
+        let root_frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::Txn);
         let begin = PhaseSpan::start(self.clock(), timed, spans, SpanKind::TxnBegin);
         let started = self.db.commit_service().start_pinned(self.id.raw() as usize, &self.meter);
         let (start, cm) = match started {
@@ -170,7 +174,7 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
         };
         let begin_us = begin.finish(self.clock(), Phase::Begin, "txn.begin", 0, SpanStatus::Ok);
         self.group.note_started(&start.snapshot);
-        Ok(Transaction::new(self, start, cm, timed, spans, root, begin_us))
+        Ok(Transaction::new(self, start, cm, timed, spans, root, root_frame, begin_us))
     }
 
     /// Run `body` inside a transaction, retrying on optimistic-concurrency

@@ -90,6 +90,9 @@ pub struct Transaction<'p, E: StoreEndpoint = Arc<StoreCluster>> {
     /// it. `None` when spans are off for this transaction or the registry
     /// is disabled.
     root_span: Option<SpanTimer>,
+    /// Root profiler frame (`txn`), pushed at begin and popped at
+    /// completion. Unlike the sampled span, every transaction carries it.
+    root_frame: Option<tell_obs::FrameGuard>,
     /// Trace id minted at begin. Captured here (not read back from the
     /// thread-local at close) so a conflict abort attributes its
     /// synthesized root span correctly even when transactions interleave
@@ -108,6 +111,7 @@ pub struct Transaction<'p, E: StoreEndpoint = Arc<StoreCluster>> {
 }
 
 impl<'p, E: StoreEndpoint> Transaction<'p, E> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         pn: &'p ProcessingNode<E>,
         start: tell_commitmgr::TxnStart,
@@ -115,6 +119,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         timed: bool,
         spans: bool,
         root_span: Option<SpanTimer>,
+        root_frame: tell_obs::FrameGuard,
         begin_us: Option<f64>,
     ) -> Self {
         let mut phase_us = Vec::new();
@@ -128,6 +133,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             timed,
             spans,
             root_span,
+            root_frame: Some(root_frame),
             trace: tell_obs::current_trace(),
             phase_us,
             lav: start.lav,
@@ -801,6 +807,9 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         if self.timed {
             tell_obs::observe(Phase::TxnTotal, total_us);
         }
+        // Pop the root profiler frame before the slow-op check so the
+        // closing line's frame window reads a settled stack.
+        self.root_frame.take();
         let root = self.root_span.take();
         // The slow-op check is never sampled away: it is one relaxed load
         // while no budget is set, and a slow transaction must always log.

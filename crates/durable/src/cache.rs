@@ -14,8 +14,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
-use tell_obs::{add, incr, Counter};
+use tell_obs::{add, incr, Counter, ProfMutex};
 
 /// Cache key: partition id + row key.
 type Key = (u32, Bytes);
@@ -89,7 +88,7 @@ impl Inner {
 /// A byte-capacity LRU over `(partition, key) -> value`.
 #[derive(Debug)]
 pub struct ObjectCache {
-    inner: Mutex<Inner>,
+    inner: ProfMutex<Inner>,
     capacity: usize,
 }
 
@@ -106,14 +105,17 @@ impl ObjectCache {
     /// New cache bounded to roughly `capacity` bytes of key+value payload.
     pub fn new(capacity: usize) -> Self {
         ObjectCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                slab: Vec::new(),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                bytes: 0,
-            }),
+            inner: ProfMutex::new(
+                "durable.cache",
+                Inner {
+                    map: HashMap::new(),
+                    slab: Vec::new(),
+                    free: Vec::new(),
+                    head: NIL,
+                    tail: NIL,
+                    bytes: 0,
+                },
+            ),
             capacity,
         }
     }

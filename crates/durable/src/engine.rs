@@ -612,6 +612,7 @@ impl DurableNode {
         key: &Bytes,
         cell: Option<&Cell>,
     ) -> Result<()> {
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::DurableAppend);
         let rec = match cell {
             Some(c) => LogRecord::Put { pid, seq, key: key.clone(), cell: c.clone() },
             None => LogRecord::Delete { pid, seq, key: key.clone() },
@@ -659,6 +660,7 @@ impl DurableNode {
             FsyncPolicy::Never => false,
         };
         if should_sync {
+            let _fsync = tell_obs::FrameGuard::enter(tell_obs::FrameKind::DurableFsync);
             inner.active.file.sync_data().map_err(|e| io_err("fsync segment", &e))?;
             incr(Counter::DurableFsyncs);
             inner.appends_since_sync = 0;
@@ -713,6 +715,7 @@ impl NodeDurability for DurableNode {
 
     fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::DurableFsync);
         inner.active.file.sync_data().map_err(|e| io_err("fsync segment", &e))?;
         incr(Counter::DurableFsyncs);
         inner.appends_since_sync = 0;

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use tell_obs::ProfMutex;
 use tell_store::cell::Token;
 
 use crate::node::NodeData;
@@ -36,16 +36,24 @@ impl CacheStats {
 }
 
 /// Inner-node cache of one processing node.
-#[derive(Default)]
 pub struct NodeCache {
-    nodes: Mutex<HashMap<u64, (Token, NodeData)>>,
+    nodes: ProfMutex<HashMap<u64, (Token, NodeData)>>,
     stats: CacheStats,
+}
+
+impl Default for NodeCache {
+    fn default() -> Self {
+        NodeCache::new()
+    }
 }
 
 impl NodeCache {
     /// Empty cache.
     pub fn new() -> Self {
-        NodeCache::default()
+        NodeCache {
+            nodes: ProfMutex::with_default("index.cache.nodes"),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Look up a cached inner node.

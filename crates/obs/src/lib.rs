@@ -30,9 +30,16 @@
 //!   and per-phase p50/p99/p999 digests; `Request::Telemetry` scrapes it
 //!   incrementally by cursor, and a [`HealthEngine`] evaluates declarative
 //!   rules over the stream into deduplicated firing/resolved events.
+//! * **Profiles ride logical stacks.** Hot paths push [`FrameKind`] guards
+//!   onto a per-thread stack; the [`prof`] sampler folds what it sees into
+//!   a collapsed-stack table ([`ProfileReport`], scraped via
+//!   `Request::Profile*`), [`ProfMutex`] attributes lock waits to the
+//!   blocking stack, and a [`SimProfile`] samples on the virtual clock for
+//!   bit-reproducible profiles under tell-sim.
 
 pub mod export;
 pub mod health;
+pub mod prof;
 pub mod registry;
 pub mod slowlog;
 pub mod snapshot;
@@ -41,6 +48,10 @@ pub mod timeseries;
 pub mod trace;
 
 pub use health::{HealthConfig, HealthEngine, HealthEvent, NodeTick, RuleKind};
+pub use prof::{
+    AllocStat, CollapsedTable, FrameGuard, FrameKind, LockStat, ProfMutex, ProfRwLock,
+    ProfileReport, SimProfile,
+};
 pub use registry::{
     global, help_for, sample_phases, Counter, Gauge, Phase, Registry, ShardedHistogram,
     PHASE_SAMPLE_EVERY,

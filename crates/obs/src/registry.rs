@@ -16,7 +16,6 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use parking_lot::Mutex;
 use tell_common::Histogram;
 
 use crate::snapshot::MetricsSnapshot;
@@ -202,6 +201,12 @@ metric_ids! {
         /// Connections paused for reading because their buffered replies
         /// exceeded the write cap (slow-reader protection).
         ConnBackpressure => "rpc_conn_backpressure_total",
+        /// `ProfMutex` acquires that found the lock held.
+        LockContended => "lock_contended_total",
+        /// Microseconds spent waiting in contended `ProfMutex` acquires.
+        LockWaitUs => "lock_wait_us_total",
+        /// `Request::Profile*` frames served (start, stop, and fetch).
+        ReqProfile => "rpc_req_profile_total",
     }
 }
 
@@ -281,14 +286,16 @@ pub(crate) fn shard_index() -> usize {
 
 struct Shard {
     counters: [AtomicU64; Counter::COUNT],
-    hists: [Mutex<Histogram>; Phase::COUNT],
+    hists: [crate::prof::ProfMutex<Histogram>; Phase::COUNT],
 }
 
 impl Shard {
     fn new() -> Self {
         Shard {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
-            hists: std::array::from_fn(|_| Mutex::new(Histogram::new())),
+            hists: std::array::from_fn(|_| {
+                crate::prof::ProfMutex::new("obs.hist_shard", Histogram::new())
+            }),
         }
     }
 }
@@ -499,7 +506,7 @@ pub fn sample_phases() -> bool {
 /// global [`Phase`] slot. Recording locks this thread's shard only, so
 /// threads pinned to distinct shards never contend.
 pub struct ShardedHistogram {
-    shards: Vec<Mutex<Histogram>>,
+    shards: Vec<crate::prof::ProfMutex<Histogram>>,
 }
 
 impl Default for ShardedHistogram {
@@ -511,7 +518,11 @@ impl Default for ShardedHistogram {
 impl ShardedHistogram {
     /// New empty histogram.
     pub fn new() -> Self {
-        ShardedHistogram { shards: (0..SHARDS).map(|_| Mutex::new(Histogram::new())).collect() }
+        ShardedHistogram {
+            shards: (0..SHARDS)
+                .map(|_| crate::prof::ProfMutex::new("obs.sharded_hist", Histogram::new()))
+                .collect(),
+        }
     }
 
     /// Record one sample into this thread's shard.

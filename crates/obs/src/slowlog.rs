@@ -179,6 +179,21 @@ pub fn check_closing(
         }
         breakdown.push('}');
     }
+    // While the profiler runs, attach the top frames its sampler observed
+    // on this thread during the op's window — ties the slow-op line to the
+    // flamegraph with zero cost when the profiler is off (one relaxed
+    // load inside `top_frames_in_window`).
+    let frames = crate::prof::top_frames_in_window(elapsed_us, 3);
+    if !frames.is_empty() {
+        breakdown.push_str(",\"frames\":[");
+        for (i, (name, _)) in frames.iter().enumerate() {
+            if i > 0 {
+                breakdown.push(',');
+            }
+            let _ = std::fmt::Write::write_fmt(&mut breakdown, format_args!("\"{name}\""));
+        }
+        breakdown.push(']');
+    }
     let line = format!(
         "{{\"kind\":\"slow_op\",\"op\":\"{op}\",\"elapsed_us\":{elapsed_us:?},\
          \"budget_us\":{budget:?},\"trace\":{trace},\"span\":{span}{breakdown},\"ts_us\":{ts_us}}}"

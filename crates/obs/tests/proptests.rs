@@ -2,13 +2,18 @@
 //! round-trip bit-for-bit through `to_json` / `from_json` — and for the
 //! telemetry time-series ring: `since` must match a reference model under
 //! arbitrary scrape cursors and ring wrap, and rollup deltas must tile the
-//! counter totals exactly.
+//! counter totals exactly. The profiler's collapsed-stack encoder gets the
+//! same treatment: folded text must round-trip, the cardinality bound must
+//! hold, and no sample may vanish — every add lands in a stack or in the
+//! drop counter.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use tell_common::Summary;
-use tell_obs::{Counter, MetricsSnapshot, Registry, Rollup, TsPoint, TsRing};
+use tell_obs::{
+    CollapsedTable, Counter, FrameKind, MetricsSnapshot, Registry, Rollup, TsPoint, TsRing,
+};
 
 fn metric_name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,30}"
@@ -159,5 +164,104 @@ proptest! {
         prop_assert_eq!(next, intervals.len() as u64);
         let total: u64 = points.iter().map(|p| p.counter(Counter::TxnCommitted)).sum();
         prop_assert_eq!(total, reg.counter(Counter::TxnCommitted));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiler collapsed-stack encoder.
+
+/// A logical stack: 1..=MAX_DEPTH frame codes, each a valid [`FrameKind`].
+fn stack() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..FrameKind::ALL.len() as u8, 1..16)
+}
+
+fn adds() -> impl Strategy<Value = Vec<(Vec<u8>, u64)>> {
+    proptest::collection::vec((stack(), 1u64..10_000), 0..64)
+}
+
+proptest! {
+    /// Folded text is a faithful encoding: parsing what `to_folded`
+    /// rendered reproduces the table exactly (same stacks, same counts,
+    /// and — with an unbounded parse — nothing dropped).
+    #[test]
+    fn folded_encoding_round_trips(adds in adds()) {
+        let mut table = CollapsedTable::new(usize::MAX);
+        for (key, n) in &adds {
+            table.add(key, *n);
+        }
+        let folded = table.to_folded();
+        let back = CollapsedTable::parse_folded(&folded, usize::MAX)
+            .expect("rendered folded text must parse");
+        prop_assert_eq!(back.rows(), table.rows());
+        prop_assert_eq!(back.total(), table.total());
+        prop_assert_eq!(back.dropped(), 0);
+    }
+
+    /// The cardinality bound holds and the drop counter accounts exactly
+    /// for what the bound rejected: distinct stacks never exceed
+    /// `max_stacks`, and recorded + dropped equals the sum of all adds.
+    #[test]
+    fn cardinality_bound_and_drop_accounting(
+        max_stacks in 1usize..8,
+        adds in adds(),
+    ) {
+        let mut table = CollapsedTable::new(max_stacks);
+        let mut total_added = 0u64;
+        for (key, n) in &adds {
+            table.add(key, *n);
+            total_added += n;
+        }
+        prop_assert!(table.len() <= max_stacks);
+        prop_assert_eq!(table.total() + table.dropped(), total_added);
+        // A stack admitted once keeps accepting samples: re-adding every
+        // recorded stack must not increase the drop counter.
+        let dropped_before = table.dropped();
+        let keys: Vec<Vec<u8>> = table
+            .rows()
+            .iter()
+            .map(|(names, _)| {
+                names
+                    .iter()
+                    .map(|n| FrameKind::from_name(n).expect("rendered name decodes") as u8)
+                    .collect()
+            })
+            .collect();
+        for key in &keys {
+            table.add(key, 1);
+        }
+        prop_assert_eq!(table.dropped(), dropped_before);
+    }
+
+    /// Merging preserves every sample: totals and drops are additive, and
+    /// merge order cannot change the rendered output when capacity is
+    /// unbounded.
+    #[test]
+    fn merge_is_lossless_and_order_independent(a in adds(), b in adds()) {
+        let build = |adds: &[(Vec<u8>, u64)]| {
+            let mut t = CollapsedTable::new(usize::MAX);
+            for (key, n) in adds {
+                t.add(key, *n);
+            }
+            t
+        };
+        let (ta, tb) = (build(&a), build(&b));
+        let mut ab = ta.clone();
+        ab.merge(&tb);
+        let mut ba = tb.clone();
+        ba.merge(&ta);
+        prop_assert_eq!(ab.to_folded(), ba.to_folded());
+        prop_assert_eq!(ab.total(), ta.total() + tb.total());
+        prop_assert_eq!(ab.dropped(), 0);
+    }
+
+    /// The parser never panics, and whatever it accepts re-renders to the
+    /// same parse (idempotent normalization).
+    #[test]
+    fn folded_parser_never_panics(text in "\\PC{0,200}") {
+        if let Ok(table) = CollapsedTable::parse_folded(&text, 32) {
+            let again = CollapsedTable::parse_folded(&table.to_folded(), 32)
+                .expect("normalized folded text must parse");
+            prop_assert_eq!(again.rows(), table.rows());
+        }
     }
 }

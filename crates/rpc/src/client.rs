@@ -145,6 +145,7 @@ impl Connection {
         // whatever is current on this thread (a txn phase, a batch flush).
         // Client calls have no virtual clock, so virtual timestamps are 0.
         let span = trace.and_then(|t| SpanTimer::start_in_trace(t, SpanKind::RpcClientCall, 0.0));
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::RpcClientCall);
         let ctx = trace
             .map(|t| TraceContext { trace: t, parent_span: span.as_ref().map_or(0, |s| s.id()) });
         let prefix = match ctx {
@@ -432,6 +433,7 @@ impl SubmitWindow {
         // ops one frame coalesced; the `RpcClientCall` underneath it is
         // the wire round trip.
         let span = SpanTimer::start(SpanKind::BatchFlush, self.meter.clock().now_us());
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::BatchFlush);
         let outcome = self.channel.call(&request);
         if let Some(span) = span {
             let status = if outcome.is_ok() { SpanStatus::Ok } else { SpanStatus::Error };

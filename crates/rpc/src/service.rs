@@ -179,6 +179,18 @@ impl Router {
             Request::Telemetry { since } => {
                 Response::Telemetry(tell_obs::timeseries::page_since(since))
             }
+            // Profiler control, also process-wide: the logical-stack
+            // sampler covers every thread in this process, whatever mix
+            // of services it hosts.
+            Request::ProfileStart { hz } => {
+                tell_obs::prof::start((hz > 0.0).then_some(hz));
+                Response::Unit
+            }
+            Request::ProfileStop => {
+                tell_obs::prof::stop();
+                Response::Unit
+            }
+            Request::ProfileFetch => Response::Profile(tell_obs::prof::fetch()),
             // The wire decoder already refuses nested batches; keep the
             // refusal here too so a future in-process caller cannot sneak
             // one in.
@@ -369,6 +381,9 @@ fn count_request(request: &Request) {
         Request::Metrics => Counter::ReqMetrics,
         Request::Spans { .. } => Counter::ReqSpans,
         Request::Telemetry { .. } => Counter::ReqTelemetry,
+        Request::ProfileStart { .. } | Request::ProfileStop | Request::ProfileFetch => {
+            Counter::ReqProfile
+        }
     };
     reg.incr(c);
 }
@@ -406,6 +421,9 @@ pub(crate) fn dispatch_frame(
     // Expose the originating trace to everything this dispatch touches
     // (slow-op checks included), then echo it back.
     let _guard = ctx.map(|c| tell_obs::TraceGuard::enter(c.trace));
+    // Profiler frame for the whole dispatch: store/cm work done below
+    // stacks under it in the flamegraph.
+    let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::RpcDispatch);
     // Record this dispatch as a child of the remote client-call span
     // carried in the frame (servers have no virtual clock, so the virtual
     // timestamps stay 0).

@@ -37,7 +37,7 @@ use bytes::{Bytes, BytesMut};
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
 use tell_common::{Error, Result, TxnId};
-use tell_obs::{Span, TelemetryPage};
+use tell_obs::{AllocStat, LockStat, ProfileReport, Span, TelemetryPage};
 use tell_store::{Expect, Key, Predicate, Token, WriteOp};
 
 /// Upper bound on a frame's `len` field. Generous — the largest legitimate
@@ -134,6 +134,18 @@ pub enum Request {
     /// `since: 0` for history from the oldest retained point, then the
     /// returned `next_cursor` on every later scrape.
     Telemetry { since: u64 },
+    /// Start the server's logical-stack profiler sampling at `hz`
+    /// (non-positive: the server's `TELL_PROF_HZ` / default). Answered
+    /// with [`Response::Unit`]; any server answers it. Starting an
+    /// already-running profiler is a no-op (the running profile keeps
+    /// accumulating).
+    ProfileStart { hz: f64 },
+    /// Stop the profiler, keeping the accumulated profile fetchable.
+    /// Answered with [`Response::Unit`]; any server answers it.
+    ProfileStop,
+    /// Fetch the accumulated profile (running or stopped). Answered with
+    /// [`Response::Profile`]; any server answers it.
+    ProfileFetch,
 }
 
 /// Server replies. `Error` may answer any request; the others pair with
@@ -177,6 +189,10 @@ pub enum Response {
     /// Answer to `Request::Telemetry`: one incremental page of time-series
     /// points plus the producer's metric-name schema.
     Telemetry(TelemetryPage),
+    /// Answer to `Request::ProfileFetch`: the server's collapsed-stack
+    /// profile, lock-contention totals, and (when built with
+    /// `prof-alloc`) allocation totals.
+    Profile(ProfileReport),
 }
 
 /// `tell_common::Error` in wire form. The mapping is lossless in both
@@ -475,6 +491,12 @@ impl Request {
                 out.put_u8(23);
                 out.put_u64(*since);
             }
+            Request::ProfileStart { hz } => {
+                out.put_u8(25);
+                out.put_f64(*hz);
+            }
+            Request::ProfileStop => out.put_u8(26),
+            Request::ProfileFetch => out.put_u8(27),
         }
         out
     }
@@ -540,6 +562,9 @@ impl Request {
             22 => Request::Spans { drain: false },
             23 => Request::Telemetry { since: r.u64()? },
             24 => Request::Spans { drain: true },
+            25 => Request::ProfileStart { hz: r.f64()? },
+            26 => Request::ProfileStop,
+            27 => Request::ProfileFetch,
             t => return Err(Error::corrupt(format!("unknown request tag {t}"))),
         };
         expect_exhausted(&r)?;
@@ -647,6 +672,10 @@ impl Response {
                 out.put_u8(21);
                 page.encode(&mut out);
             }
+            Response::Profile(report) => {
+                out.put_u8(22);
+                put_profile_report(&mut out, report);
+            }
         }
         out
     }
@@ -730,11 +759,53 @@ impl Response {
                 Response::Spans(spans)
             }
             21 => Response::Telemetry(TelemetryPage::decode(&mut r)?),
+            22 => Response::Profile(read_profile_report(&mut r)?),
             t => return Err(Error::corrupt(format!("unknown response tag {t}"))),
         };
         expect_exhausted(&r)?;
         Ok(resp)
     }
+}
+
+fn put_profile_report(out: &mut Vec<u8>, report: &ProfileReport) {
+    out.put_u8(u8::from(report.running));
+    out.put_f64(report.hz);
+    out.put_u64(report.samples);
+    out.put_u64(report.idle);
+    out.put_u64(report.dropped);
+    out.put_string(&report.folded);
+    out.put_u32(report.locks.len() as u32);
+    for l in &report.locks {
+        out.put_string(&l.name);
+        out.put_u64(l.contended);
+        out.put_u64(l.wait_us);
+    }
+    out.put_u32(report.alloc.len() as u32);
+    for a in &report.alloc {
+        out.put_string(&a.frame);
+        out.put_u64(a.allocs);
+        out.put_u64(a.bytes);
+    }
+}
+
+fn read_profile_report(r: &mut Reader<'_>) -> Result<ProfileReport> {
+    let running = read_bool(r)?;
+    let hz = r.f64()?;
+    let samples = r.u64()?;
+    let idle = r.u64()?;
+    let dropped = r.u64()?;
+    let folded = r.string()?;
+    let n = r.u32()? as usize;
+    let mut locks = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        locks.push(LockStat { name: r.string()?, contended: r.u64()?, wait_us: r.u64()? });
+    }
+    let n = r.u32()? as usize;
+    let mut alloc = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        alloc.push(AllocStat { frame: r.string()?, allocs: r.u64()?, bytes: r.u64()? });
+    }
+    Ok(ProfileReport { running, hz, samples, idle, dropped, folded, locks, alloc })
 }
 
 fn read_bool(r: &mut Reader<'_>) -> Result<bool> {
@@ -1002,6 +1073,10 @@ mod tests {
             Request::Spans { drain: true },
             Request::Telemetry { since: 0 },
             Request::Telemetry { since: u64::MAX },
+            Request::ProfileStart { hz: 99.0 },
+            Request::ProfileStart { hz: 0.0 },
+            Request::ProfileStop,
+            Request::ProfileFetch,
         ];
         for req in reqs {
             let body = req.encode();
@@ -1098,10 +1173,55 @@ mod tests {
                 }],
                 next_cursor: 3,
             }),
+            Response::Profile(ProfileReport {
+                running: false,
+                hz: 0.0,
+                samples: 0,
+                idle: 0,
+                dropped: 0,
+                folded: String::new(),
+                locks: Vec::new(),
+                alloc: Vec::new(),
+            }),
+            Response::Profile(ProfileReport {
+                running: true,
+                hz: 99.0,
+                samples: 1000,
+                idle: 17,
+                dropped: 3,
+                folded: "txn;txn.install 40\ntxn;txn.read 25\n".into(),
+                locks: vec![
+                    LockStat { name: "cm.state".into(), contended: 12, wait_us: 480 },
+                    LockStat { name: "index.cache.nodes".into(), contended: 2, wait_us: 9 },
+                ],
+                alloc: vec![AllocStat { frame: "txn.read".into(), allocs: 5, bytes: 640 }],
+            }),
         ];
         for resp in resps {
             let body = resp.encode();
             assert_eq!(Response::decode(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_profile_bodies_are_rejected() {
+        let body = Response::Profile(ProfileReport {
+            running: true,
+            hz: 990.0,
+            samples: 9,
+            idle: 1,
+            dropped: 0,
+            folded: "txn 9\n".into(),
+            locks: vec![LockStat { name: "cm.state".into(), contended: 1, wait_us: 2 }],
+            alloc: vec![AllocStat { frame: "(untracked)".into(), allocs: 1, bytes: 8 }],
+        })
+        .encode();
+        for cut in 0..body.len() {
+            assert!(Response::decode(&body[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        let body = Request::ProfileStart { hz: 99.0 }.encode();
+        for cut in 0..body.len() {
+            assert!(Request::decode(&body[..cut]).is_err(), "prefix of {cut} bytes accepted");
         }
     }
 

@@ -1,0 +1,125 @@
+//! Remote-profiling end-to-end test over real loopback TCP: start the
+//! sampler through the wire, run a mixed transactional workload across the
+//! same servers, fetch the collapsed stacks through the wire, and check
+//! that the profile actually saw both sides of the deployment — client-side
+//! transaction phases and server-side dispatch frames.
+//!
+//! Lives in its own integration-test binary on purpose: the profiler is
+//! process-global, and sharing a process with other tests would smear
+//! their stacks into this one's assertions.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use tell_commitmgr::manager::CmConfig;
+use tell_commitmgr::{CmCluster, CommitService};
+use tell_core::database::IndexSpec;
+use tell_core::{Database, TellConfig};
+use tell_obs::CollapsedTable;
+use tell_rpc::{Connection, RemoteCmClient, RemoteEndpoint, Request, Response, RpcServer};
+use tell_store::{StoreCluster, StoreConfig};
+
+fn boot(nodes: usize, cms: usize) -> (Vec<RpcServer>, String, Arc<Database<RemoteEndpoint>>) {
+    let store = StoreCluster::new(StoreConfig::new(nodes));
+    let sn = RpcServer::serve_store("127.0.0.1:0", store).unwrap();
+    let sn_addr = sn.local_addr().to_string();
+
+    let cm_cluster =
+        CmCluster::new(RemoteEndpoint::connect(sn_addr.clone(), 2), cms, CmConfig::default());
+    let cm = RpcServer::serve_commit("127.0.0.1:0", cm_cluster as Arc<dyn CommitService>).unwrap();
+    let cm_addr = cm.local_addr().to_string();
+
+    let endpoint = RemoteEndpoint::connect(sn_addr.clone(), 4);
+    let commit: Arc<dyn CommitService> = Arc::new(RemoteCmClient::connect([cm_addr]));
+    let db = Database::open(endpoint, commit, TellConfig::default());
+    (vec![sn, cm], sn_addr, db)
+}
+
+fn account(balance: u64, id: u64) -> Bytes {
+    let mut b = balance.to_be_bytes().to_vec();
+    b.extend_from_slice(&id.to_be_bytes());
+    Bytes::from(b)
+}
+
+fn call(conn: &Connection, req: &Request) -> Response {
+    conn.call(req).expect("rpc call").0
+}
+
+#[test]
+fn remote_profile_scrape_sees_txn_and_dispatch_frames() {
+    let (_servers, sn_addr, db) = boot(2, 1);
+    let table = db
+        .create_table(
+            "prof_accounts",
+            vec![IndexSpec::new("pk", true, |r: &[u8]| r.get(8..16).map(Bytes::copy_from_slice))],
+        )
+        .unwrap();
+    let rids = db.bulk_load(&table, (0..8u64).map(|i| account(100, i)).collect()).unwrap();
+
+    // Start the sampler over the wire, at a rate high enough that even a
+    // short CI-sized workload window collects a healthy sample count.
+    let conn = Connection::connect(&sn_addr).unwrap();
+    assert!(matches!(call(&conn, &Request::ProfileStart { hz: 4000.0 }), Response::Unit));
+
+    // Mixed workload: reads, read-modify-writes, and scans-by-read across
+    // two worker threads, everything crossing TCP, until the profile has
+    // had at least a sampling window's worth of wall time.
+    let deadline = Instant::now() + Duration::from_millis(600);
+    let handles: Vec<_> = (0..2)
+        .map(|worker: usize| {
+            let db = Arc::clone(&db);
+            let table = Arc::clone(&table);
+            let rids = rids.clone();
+            std::thread::spawn(move || {
+                let pn = db.processing_node();
+                let mut i = 0usize;
+                while Instant::now() < deadline {
+                    i += 1;
+                    let rid = rids[(worker + i) % rids.len()];
+                    if i % 3 == 0 {
+                        let _ = pn.run(100, |txn| txn.get(&table, rid));
+                    } else {
+                        let _ = pn.run(100, |txn| {
+                            let row = txn.get(&table, rid)?.expect("loaded row");
+                            let bal = u64::from_be_bytes(row[..8].try_into().unwrap());
+                            txn.update(&table, rid, account(bal + 1, ((worker + i) % 8) as u64))
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Fetch through the wire while still running, then stop.
+    let Response::Profile(report) = call(&conn, &Request::ProfileFetch) else {
+        panic!("expected Response::Profile");
+    };
+    assert!(matches!(call(&conn, &Request::ProfileStop), Response::Unit));
+    let Response::Profile(stopped) = call(&conn, &Request::ProfileFetch) else {
+        panic!("expected Response::Profile");
+    };
+    assert!(report.running, "sampler must report running at fetch time");
+    assert!(!stopped.running, "sampler must report stopped after ProfileStop");
+
+    assert!(report.samples > 0, "workload must produce samples: {report:?}");
+    let table = CollapsedTable::parse_folded(&report.folded, usize::MAX)
+        .expect("wire-fetched folded payload must parse");
+    assert!(!table.is_empty());
+    let has = |frame: &str| table.rows().iter().any(|(names, _)| names.iter().any(|n| *n == frame));
+    // Client side: the transaction root frame (every phase nests under it).
+    assert!(has("txn"), "profile must contain a transaction stack:\n{}", report.folded);
+    // Server side: the reactor's dispatch frame, from the same process's
+    // serving threads — the scrape covers both halves of the deployment.
+    assert!(has("rpc.dispatch"), "profile must contain a dispatch stack:\n{}", report.folded);
+    // The lock registry made it across the wire too, led by the rollout's
+    // named hot spots.
+    assert!(
+        report.locks.iter().any(|l| l.name == "cm.state"),
+        "lock table must name the commit path: {:?}",
+        report.locks
+    );
+}

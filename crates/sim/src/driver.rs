@@ -74,6 +74,11 @@ pub struct SimConfig {
     /// at once and revive them with [`FaultKind::SnRestart`] — restart
     /// from log — instead of only peer resync.
     pub durable: bool,
+    /// Sample a logical-stack profile on the virtual clock at this rate
+    /// (`None` = off). The profile is a pure function of the seeded
+    /// virtual clocks, so it is bit-identical across replays of the same
+    /// plan — see `tell_obs::prof::SimProfile`.
+    pub profile_hz: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -88,6 +93,7 @@ impl Default for SimConfig {
             replication_factor: 2,
             commit_managers: 2,
             durable: false,
+            profile_hz: None,
         }
     }
 }
@@ -167,6 +173,8 @@ pub struct SimOutcome {
     pub violation: Option<Violation>,
     /// Checker statistics when the check ran to completion.
     pub check: Option<CheckStats>,
+    /// Virtual-clock profile, when [`SimConfig::profile_hz`] was set.
+    pub profile: Option<tell_obs::ProfileReport>,
 }
 
 impl SimOutcome {
@@ -850,16 +858,28 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
     let mut next_scrape = scrape_interval;
     let mut event_idx = 0usize;
 
+    // Optional virtual-clock profile: workers attach before their first
+    // turn and every simulated-cost charge point ticks it, so the folded
+    // output is a pure function of the seeded virtual clocks.
+    let sim_prof = config.profile_hz.map(tell_obs::SimProfile::new);
+
     let (history, violation, mut stats, telemetry) = std::thread::scope(|scope| {
         for w in 0..config.workers {
             let shared = &shared;
             let db = &db;
             let table = &table;
             let rids = &rids[..];
+            let sim_prof = sim_prof.clone();
             scope.spawn(move || {
+                if let Some(prof) = &sim_prof {
+                    tell_obs::prof::sim_attach(prof, 0.0);
+                }
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     worker_main(w, shared, db, table, rids, config);
                 }));
+                if sim_prof.is_some() {
+                    tell_obs::prof::sim_detach();
+                }
                 if let Err(panic) = result {
                     let message = panic
                         .downcast_ref::<&str>()
@@ -959,7 +979,8 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
         let _ = std::fs::remove_dir_all(root);
     }
 
-    SimOutcome { plan, history, stats, telemetry, violation, check }
+    let profile = sim_prof.map(|p| p.report());
+    SimOutcome { plan, history, stats, telemetry, violation, check, profile }
 }
 
 /// Shrink a failing plan to the smallest failing prefix by bisection and
@@ -1168,6 +1189,30 @@ mod tests {
             },
         );
         assert_eq!(again.telemetry.rendered_events(), rendered);
+    }
+
+    #[test]
+    fn profiled_run_is_bit_reproducible() {
+        // The profiler acceptance bar: same seed, same plan — the folded
+        // collapsed-stack output is byte-identical across two replays, and
+        // it actually contains transaction-phase frames (the run did real
+        // work under the sampler, it didn't just idle).
+        let cfg = SimConfig { profile_hz: Some(2000.0), ..tiny(FaultMix::SnChurn, 19) };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert!(a.ok(), "violation: {:?}", a.violation);
+        let pa = a.profile.clone().expect("profile requested");
+        let pb = b.profile.clone().expect("profile requested");
+        assert!(pa.samples > 0, "sampler must credit samples: {pa:?}");
+        assert!(!pa.folded.is_empty(), "folded output must be non-empty");
+        assert_eq!(pa.folded, pb.folded, "same seed must give a bit-identical profile");
+        assert_eq!(pa.samples, pb.samples);
+        assert_eq!(pa.idle, pb.idle);
+        assert!(pa.folded.contains("txn."), "profile must contain a txn phase: {}", pa.folded);
+        // Unprofiled replay of the same seed is unperturbed by profiling.
+        let plain = run(&tiny(FaultMix::SnChurn, 19));
+        assert_eq!(digest(&a), digest(&plain));
+        assert!(plain.profile.is_none());
     }
 
     #[test]

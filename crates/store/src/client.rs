@@ -113,6 +113,7 @@ impl StoreClient {
     /// Load-link: read `key`, returning its token and value. The token is
     /// the link for a later [`StoreClient::store_conditional`].
     pub fn get(&self, key: &Key) -> Result<Option<(Token, Bytes)>> {
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::StoreRead);
         self.meter.stats().note_reads(1);
         tell_obs::incr(tell_obs::Counter::StoreReadOps);
         let res = self.cluster.srv_read(key)?;
@@ -126,6 +127,7 @@ impl StoreClient {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::StoreRead);
         self.meter.stats().note_reads(keys.len() as u64);
         tell_obs::add(tell_obs::Counter::StoreReadOps, keys.len() as u64);
         let mut out = Vec::with_capacity(keys.len());
@@ -177,6 +179,7 @@ impl StoreClient {
         };
         // Charge the exchange whether or not it conflicts: a failed SC costs
         // a round trip too.
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::StoreWrite);
         self.meter.stats().note_writes(1);
         tell_obs::incr(tell_obs::Counter::StoreWriteOps);
         self.meter.charge_request(payload, ACK_BYTES, 1);
@@ -202,6 +205,7 @@ impl StoreClient {
         } else {
             None
         };
+        let _frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::StoreWrite);
         let op_count = ops.len() as u32;
         let out_bytes: usize = ops.iter().map(|o| o.payload_len()).sum();
         self.meter.stats().note_writes(ops.len() as u64);

@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use bytes::Bytes;
-use parking_lot::RwLock;
 use tell_common::SnId;
+use tell_obs::ProfRwLock;
 
 use crate::cell::Cell;
 
@@ -84,10 +84,10 @@ impl StorageNode {
 }
 
 /// One physical copy of a partition's data on some node.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CopyStore {
     /// Ordered map so prefix/range scans are cheap.
-    pub map: RwLock<BTreeMap<Bytes, Cell>>,
+    pub map: ProfRwLock<BTreeMap<Bytes, Cell>>,
     /// Partition mutation sequence this copy has applied. A copy is *fresh*
     /// iff this equals the partition's acked-mutation sequence; only fresh
     /// copies may serve reads or source a re-sync, which is what prevents a
@@ -96,10 +96,19 @@ pub struct CopyStore {
     pub applied_seq: AtomicU64,
 }
 
+impl Default for CopyStore {
+    fn default() -> Self {
+        CopyStore::new()
+    }
+}
+
 impl CopyStore {
     /// Empty copy.
     pub fn new() -> Self {
-        CopyStore::default()
+        CopyStore {
+            map: ProfRwLock::new("store.partition.map", BTreeMap::new()),
+            applied_seq: AtomicU64::new(0),
+        }
     }
 
     /// Sum of entry footprints, used to rebuild accounting after re-sync.

@@ -1,0 +1,362 @@
+//! Flamegraph scraper for the always-on logical-stack profiler.
+//!
+//! Any tell-rpc server (`tell_sn`, `tell_cm`, or an embedded PN serving
+//! RPC) answers the `Profile{Start,Stop,Fetch}` wire ops; this example is
+//! the whole remote-profiling pipeline: start the sampler, let the
+//! workload run, fetch the collapsed stacks, and render them in a format
+//! flamegraph tooling ingests directly.
+//!
+//! ```text
+//! # one-shot: profile a running node for 5 seconds
+//! cargo run --release --example tell_flame -- --addr 127.0.0.1:7701 --duration 5 > prof.folded
+//! inferno-flamegraph < prof.folded > flame.svg   # or flamegraph.pl
+//!
+//! # manual control, multiple nodes merged into one profile
+//! cargo run --release --example tell_flame -- --addr HOST_A:7701 --addr HOST_B:7701 --start
+//! ...                                           # workload runs
+//! cargo run --release --example tell_flame -- --addr HOST_A:7701 --addr HOST_B:7701 > prof.folded
+//!
+//! # self-contained smoke: boot a loopback cluster, profile it over the
+//! # wire, print folded stacks (the check.sh profiler gate)
+//! cargo run --release --example tell_flame -- --loopback
+//! ```
+//!
+//! Output is collapsed-stack ("folded") text by default — one
+//! `frame;frame;frame count` line per distinct stack — which inferno and
+//! speedscope both accept; `--json` renders the speedscope file format
+//! instead. Either way the profile is deterministic in its ordering, so
+//! identical reports render byte-identically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use tell_core::database::IndexSpec;
+use tell_core::{Database, TellConfig};
+use tell_obs::{CollapsedTable, LockStat, ProfileReport};
+use tell_rpc::{Connection, RemoteCmClient, RemoteEndpoint, Request, Response, RpcServer};
+
+#[derive(PartialEq)]
+enum Mode {
+    /// Start the sampler on every endpoint and exit.
+    Start,
+    /// Stop the sampler on every endpoint and exit.
+    Stop,
+    /// Fetch (default): scrape every endpoint and render.
+    Fetch,
+    /// Start, wait `--duration`, fetch, stop, render.
+    Window(f64),
+}
+
+struct Args {
+    addrs: Vec<String>,
+    mode: Mode,
+    hz: Option<f64>,
+    json: bool,
+    loopback: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { addrs: Vec::new(), mode: Mode::Fetch, hz: None, json: false, loopback: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addrs.push(value("--addr")?),
+            "--start" => args.mode = Mode::Start,
+            "--stop" => args.mode = Mode::Stop,
+            "--duration" => {
+                args.mode = Mode::Window(
+                    value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--hz" => args.hz = Some(value("--hz")?.parse().map_err(|e| format!("--hz: {e}"))?),
+            "--folded" => args.json = false,
+            "--json" => args.json = true,
+            "--loopback" => args.loopback = true,
+            "--help" | "-h" => {
+                println!(
+                    "tell_flame: remote logical-stack profiler scrape + flamegraph export\n\n\
+                     options:\n  \
+                     --addr ADDR    endpoint to profile (repeatable; reports are merged)\n  \
+                     --start        start sampling on every endpoint and exit\n  \
+                     --stop         stop sampling on every endpoint and exit\n  \
+                     --duration S   one-shot: start, wait S seconds, fetch, stop\n  \
+                     --hz F         sample rate for --start/--duration (default: server's\n                 \
+                     TELL_PROF_HZ, 99 if unset)\n  \
+                     --folded       collapsed-stack text output (default; inferno/speedscope)\n  \
+                     --json         speedscope file-format JSON instead\n  \
+                     --loopback     boot an in-process loopback cluster with a workload and\n                 \
+                     profile it over the wire (self-contained smoke)\n\n\
+                     with no mode flag, fetches the current profile without disturbing the\n\
+                     sampler. folded output pipes straight into inferno-flamegraph."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.addrs.is_empty() && !args.loopback {
+        return Err("no targets: pass --addr ADDR (or --loopback)".to_string());
+    }
+    Ok(args)
+}
+
+// ---------------------------------------------------------------------------
+// Wire calls.
+
+fn call_each(addrs: &[String], req: &Request) -> Result<Vec<Response>, String> {
+    let mut out = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let conn = Connection::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let (response, _, _) = conn.call(req).map_err(|e| format!("{addr}: {e}"))?;
+        if let Response::Error(msg) = &response {
+            return Err(format!("{addr}: server error: {msg:?}"));
+        }
+        out.push(response);
+    }
+    Ok(out)
+}
+
+fn fetch_merged(addrs: &[String]) -> Result<ProfileReport, String> {
+    let mut merged: Option<ProfileReport> = None;
+    let mut table = CollapsedTable::new(usize::MAX);
+    let mut locks: Vec<LockStat> = Vec::new();
+    for response in call_each(addrs, &Request::ProfileFetch)? {
+        let Response::Profile(report) = response else {
+            return Err(format!("unexpected response: {response:?}"));
+        };
+        let part = CollapsedTable::parse_folded(&report.folded, usize::MAX)
+            .map_err(|e| format!("bad folded payload: {e}"))?;
+        table.merge(&part);
+        for lock in &report.locks {
+            match locks.iter_mut().find(|l| l.name == lock.name) {
+                Some(l) => {
+                    l.contended += lock.contended;
+                    l.wait_us += lock.wait_us;
+                }
+                None => locks.push(lock.clone()),
+            }
+        }
+        merged = Some(match merged.take() {
+            None => report,
+            Some(mut acc) => {
+                acc.running |= report.running;
+                acc.samples += report.samples;
+                acc.idle += report.idle;
+                acc.dropped += report.dropped;
+                acc.alloc.extend(report.alloc);
+                acc
+            }
+        });
+    }
+    let mut report = merged.ok_or_else(|| "no endpoints".to_string())?;
+    locks.sort_by(|a, b| b.wait_us.cmp(&a.wait_us).then(a.name.cmp(&b.name)));
+    report.locks = locks;
+    report.folded = table.to_folded();
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Speedscope file format (https://www.speedscope.app/file-format-schema.json):
+/// a shared frame table plus one sampled profile whose samples are frame-index
+/// stacks with per-stack weights. Hand-rolled like every other JSON in this
+/// workspace — no serde.
+fn speedscope_json(report: &ProfileReport) -> Result<String, String> {
+    let table = CollapsedTable::parse_folded(&report.folded, usize::MAX)
+        .map_err(|e| format!("bad folded payload: {e}"))?;
+    let rows = table.rows();
+    let mut frames: Vec<&str> = Vec::new();
+    let frame_idx =
+        |name: &'static str, frames: &mut Vec<&str>| match frames.iter().position(|f| *f == name) {
+            Some(i) => i,
+            None => {
+                frames.push(name);
+                frames.len() - 1
+            }
+        };
+    let mut samples = String::new();
+    let mut weights = String::new();
+    let mut total = 0u64;
+    for (i, (names, count)) in rows.iter().enumerate() {
+        if i > 0 {
+            samples.push(',');
+            weights.push(',');
+        }
+        samples.push('[');
+        for (j, name) in names.iter().enumerate() {
+            if j > 0 {
+                samples.push(',');
+            }
+            samples.push_str(&frame_idx(name, &mut frames).to_string());
+        }
+        samples.push(']');
+        weights.push_str(&count.to_string());
+        total += count;
+    }
+    let frames_json = frames
+        .iter()
+        .map(|f| format!("{{\"name\":\"{}\"}}", json_escape(f)))
+        .collect::<Vec<_>>()
+        .join(",");
+    Ok(format!(
+        "{{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",\
+         \"shared\":{{\"frames\":[{frames_json}]}},\
+         \"profiles\":[{{\"type\":\"sampled\",\"name\":\"tell ({:.0} Hz, {} samples)\",\
+         \"unit\":\"none\",\"startValue\":0,\"endValue\":{total},\
+         \"samples\":[{samples}],\"weights\":[{weights}]}}],\
+         \"exporter\":\"tell_flame\"}}\n",
+        report.hz, report.samples,
+    ))
+}
+
+fn render(report: &ProfileReport, json: bool) -> Result<String, String> {
+    if json {
+        return speedscope_json(report);
+    }
+    Ok(report.folded.clone())
+}
+
+fn summarize(report: &ProfileReport) {
+    eprintln!(
+        "tell_flame: running={} hz={} samples={} idle={} dropped={}",
+        report.running, report.hz, report.samples, report.idle, report.dropped
+    );
+    for lock in report.locks.iter().take(5) {
+        eprintln!(
+            "tell_flame: lock {} contended={} wait_us={}",
+            lock.name, lock.contended, lock.wait_us
+        );
+    }
+    for a in report.alloc.iter().take(5) {
+        eprintln!("tell_flame: alloc {} allocs={} bytes={}", a.frame, a.allocs, a.bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback cluster (mirrors tell_top's): SN + CM servers plus a committing
+// workload in this process, profiled through the real wire path.
+
+struct Loopback {
+    servers: Vec<RpcServer>,
+    stop: Arc<AtomicBool>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Loopback {
+    fn boot() -> Result<(Loopback, Vec<String>), String> {
+        let store = tell_store::StoreCluster::new(tell_store::StoreConfig::new(2));
+        let sn = RpcServer::serve_store("127.0.0.1:0", store).map_err(|e| e.to_string())?;
+        let sn_addr = sn.local_addr().to_string();
+        let cm_cluster = tell_commitmgr::CmCluster::new(
+            RemoteEndpoint::connect(sn_addr.clone(), 2),
+            1,
+            tell_commitmgr::manager::CmConfig::default(),
+        );
+        let cm = RpcServer::serve_commit(
+            "127.0.0.1:0",
+            cm_cluster as Arc<dyn tell_commitmgr::CommitService>,
+        )
+        .map_err(|e| e.to_string())?;
+        let cm_addr = cm.local_addr().to_string();
+
+        let endpoint = RemoteEndpoint::connect(sn_addr.clone(), 2);
+        let commit: Arc<dyn tell_commitmgr::CommitService> =
+            Arc::new(RemoteCmClient::connect([cm_addr]));
+        let db = Database::open(endpoint, commit, TellConfig::default());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || loopback_workload(&db, &stop))
+        };
+        Ok((Loopback { servers: vec![sn, cm], stop, worker: Some(worker) }, vec![sn_addr]))
+    }
+}
+
+impl Drop for Loopback {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        self.servers.clear();
+    }
+}
+
+fn loopback_workload(db: &Arc<Database<RemoteEndpoint>>, stop: &AtomicBool) {
+    let pk = IndexSpec::new("pk", true, |row: &[u8]| row.get(8..16).map(Bytes::copy_from_slice));
+    let Ok(table) = db.create_table("flame_demo", vec![pk]) else { return };
+    let row = |balance: u64, id: u64| {
+        let mut b = balance.to_be_bytes().to_vec();
+        b.extend_from_slice(&id.to_be_bytes());
+        Bytes::from(b)
+    };
+    let pn = db.processing_node();
+    let Ok(rid) = pn.run(100, |txn| txn.insert(&table, row(0, 1))) else { return };
+    while !stop.load(Ordering::Relaxed) {
+        let _ = pn.run(100, |txn| {
+            let current = txn.get(&table, rid)?.expect("row inserted above");
+            let balance = u64::from_be_bytes(current[..8].try_into().unwrap());
+            txn.update(&table, rid, row(balance + 1, 1))
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn run(args: &Args) -> Result<(), String> {
+    // Loopback implies a short profiling window against the booted node.
+    let loopback = if args.loopback { Some(Loopback::boot()?) } else { None };
+    let (addrs, mode) = match &loopback {
+        Some((_, addrs)) => (addrs.clone(), &Mode::Window(1.0)),
+        None => (args.addrs.clone(), &args.mode),
+    };
+    let start = Request::ProfileStart { hz: args.hz.unwrap_or(0.0) };
+    match mode {
+        Mode::Start => {
+            call_each(&addrs, &start)?;
+            eprintln!("tell_flame: sampling started on {} endpoint(s)", addrs.len());
+        }
+        Mode::Stop => {
+            call_each(&addrs, &Request::ProfileStop)?;
+            eprintln!("tell_flame: sampling stopped on {} endpoint(s)", addrs.len());
+        }
+        Mode::Fetch => {
+            let report = fetch_merged(&addrs)?;
+            summarize(&report);
+            print!("{}", render(&report, args.json)?);
+        }
+        Mode::Window(secs) => {
+            call_each(&addrs, &start)?;
+            std::thread::sleep(Duration::from_secs_f64(*secs));
+            let report = fetch_merged(&addrs)?;
+            call_each(&addrs, &Request::ProfileStop)?;
+            summarize(&report);
+            print!("{}", render(&report, args.json)?);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("tell_flame: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(msg) = run(&args) {
+        eprintln!("tell_flame: {msg}");
+        std::process::exit(1);
+    }
+}

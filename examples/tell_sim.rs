@@ -50,6 +50,11 @@ fn parse_args() -> Result<Args, String> {
                 args.config.keys = value("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?
             }
             "--durable" => args.config.durable = true,
+            "--profile" => args.config.profile_hz = Some(tell_obs::prof::default_hz()),
+            "--profile-hz" => {
+                args.config.profile_hz =
+                    Some(value("--profile-hz")?.parse().map_err(|e| format!("--profile-hz: {e}"))?)
+            }
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
@@ -62,6 +67,9 @@ fn parse_args() -> Result<Args, String> {
                      --keys N         keyspace size (default 32; small = contended)\n  \
                      --durable        log-structured persistence tier per SN (relaxes the\n  \
                                       SN death budget; revivals may restart from log)\n  \
+                     --profile        sample a logical-stack profile on the virtual clock\n  \
+                                      (bit-identical across replays); folded stacks on stdout\n  \
+                     --profile-hz F   like --profile at an explicit sample rate\n  \
                      --bench-json F   write a throughput snapshot to file F\n\n\
                      exit status: 0 = history satisfies SI, 1 = violation (artifacts\n\
                      are dumped and the minimal failing prefix is reported)"
@@ -187,6 +195,15 @@ fn main() {
     }
     if outcome.ok() {
         println!("{}", verdict_line(&args.config, &outcome));
+        if let Some(profile) = &outcome.profile {
+            // Folded stacks after the verdict line: deterministic for the
+            // seed, pipeable straight into inferno/flamegraph.pl.
+            eprintln!(
+                "tell_sim: profile hz={} samples={} idle={} dropped={}",
+                profile.hz, profile.samples, profile.idle, profile.dropped
+            );
+            print!("{}", profile.folded);
+        }
         return;
     }
     eprintln!("tell_sim: violation found, shrinking the fault plan...");

@@ -29,7 +29,7 @@ use tell_core::database::IndexSpec;
 use tell_core::{Database, TellConfig};
 use tell_monitor::{Collector, NodeView, Target};
 use tell_obs::registry::{Counter, Phase};
-use tell_rpc::{RemoteCmClient, RemoteEndpoint, RpcServer};
+use tell_rpc::{Connection, RemoteCmClient, RemoteEndpoint, Request, Response, RpcServer};
 
 struct Args {
     nodes: Vec<Target>,
@@ -37,11 +37,18 @@ struct Args {
     iterations: u64,
     json: bool,
     loopback: bool,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { nodes: Vec::new(), interval_ms: 1000, iterations: 0, json: false, loopback: false };
+    let mut args = Args {
+        nodes: Vec::new(),
+        interval_ms: 1000,
+        iterations: 0,
+        json: false,
+        loopback: false,
+        profile: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -63,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--loopback" => args.loopback = true,
+            "--profile" => args.profile = true,
             "--help" | "-h" => {
                 println!(
                     "tell_top: live telemetry dashboard for a tell cluster\n\n\
@@ -72,7 +80,9 @@ fn parse_args() -> Result<Args, String> {
                      --iterations N    stop after N refreshes (default: run until ^C)\n  \
                      --json            render one snapshot as JSON and exit\n  \
                      --loopback        boot an in-process loopback cluster with a\n                    \
-                     background workload and watch that"
+                     background workload and watch that\n  \
+                     --profile         one-shot profiler panel: sample every node for one\n                    \
+                     interval, show the hottest stacks and contended locks"
                 );
                 std::process::exit(0);
             }
@@ -290,6 +300,82 @@ fn render_json(collector: &Collector) -> String {
     out
 }
 
+/// One-shot profiler panel: sample every target for one interval through
+/// the `Profile{Start,Fetch,Stop}` wire ops, then show the hottest logical
+/// stacks and the most contended locks across the cluster.
+fn profile_panel(targets: &[Target], interval_ms: u64) -> Result<String, String> {
+    let call = |target: &Target, req: &Request| -> Result<Response, String> {
+        let conn =
+            Connection::connect(&target.addr).map_err(|e| format!("{}: {e}", target.name))?;
+        let (response, _, _) = conn.call(req).map_err(|e| format!("{}: {e}", target.name))?;
+        Ok(response)
+    };
+    for t in targets {
+        call(t, &Request::ProfileStart { hz: 0.0 })?;
+    }
+    std::thread::sleep(Duration::from_millis(interval_ms));
+    let mut table = tell_obs::CollapsedTable::new(usize::MAX);
+    let mut locks: Vec<tell_obs::LockStat> = Vec::new();
+    let mut samples = 0u64;
+    let mut idle = 0u64;
+    for t in targets {
+        let response = call(t, &Request::ProfileFetch)?;
+        let _ = call(t, &Request::ProfileStop);
+        let Response::Profile(report) = response else {
+            return Err(format!("{}: unexpected response {response:?}", t.name));
+        };
+        samples += report.samples;
+        idle += report.idle;
+        let part = tell_obs::CollapsedTable::parse_folded(&report.folded, usize::MAX)
+            .map_err(|e| format!("{}: bad folded payload: {e}", t.name))?;
+        table.merge(&part);
+        for lock in report.locks {
+            match locks.iter_mut().find(|l| l.name == lock.name) {
+                Some(l) => {
+                    l.contended += lock.contended;
+                    l.wait_us += lock.wait_us;
+                }
+                None => locks.push(lock),
+            }
+        }
+    }
+    let mut out = format!(
+        "tell_top — profile over {}ms, {} node(s): {} samples, {} idle\n\nHOTTEST STACKS:\n",
+        interval_ms,
+        targets.len(),
+        samples,
+        idle,
+    );
+    let mut rows = table.rows();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let total = table.total().max(1);
+    for (names, count) in rows.iter().take(10) {
+        out.push_str(&format!(
+            "  {:>5.1}% {:>8}  {}\n",
+            *count as f64 * 100.0 / total as f64,
+            count,
+            names.join(";")
+        ));
+    }
+    if rows.is_empty() {
+        out.push_str("  (no samples landed in instrumented regions)\n");
+    }
+    out.push_str("\nCONTENDED LOCKS:\n");
+    locks.sort_by(|a, b| b.wait_us.cmp(&a.wait_us).then(a.name.cmp(&b.name)));
+    let mut any = false;
+    for lock in locks.iter().filter(|l| l.contended > 0).take(10) {
+        any = true;
+        out.push_str(&format!(
+            "  {:<24} contended={:<8} wait={}us\n",
+            lock.name, lock.contended, lock.wait_us
+        ));
+    }
+    if !any {
+        out.push_str("  (no contention observed)\n");
+    }
+    Ok(out)
+}
+
 fn run(args: &Args) -> Result<(), String> {
     // Loopback handles must outlive the polling loop.
     let loopback = if args.loopback { Some(Loopback::boot()?) } else { None };
@@ -297,6 +383,15 @@ fn run(args: &Args) -> Result<(), String> {
         Some((_, targets)) => targets.clone(),
         None => args.nodes.clone(),
     };
+    if args.profile {
+        if args.loopback {
+            // Let the background workload commit a few transactions first.
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        let panel = profile_panel(&targets, args.interval_ms)?;
+        print!("{panel}");
+        return Ok(());
+    }
     let mut collector = Collector::new(targets);
 
     if args.json {

@@ -76,6 +76,27 @@ if [[ "$top_json" != *'"reachable":true'* || "$top_json" != *'"polls":1'* ]]; th
   exit 1
 fi
 
+echo "==> profiler smoke (tell_flame --loopback over the wire)"
+# Boot a loopback cluster, start/fetch/stop the profiler through the
+# Profile wire ops, and require a valid non-empty folded payload that
+# saw the transaction path. parse_folded in the example already rejects
+# malformed lines; here we also pin the content.
+flame_folded="$(cargo run -q --example tell_flame -- --loopback 2>/dev/null)"
+if [[ "$flame_folded" != *'txn'* || "$flame_folded" != *'rpc.dispatch'* ]]; then
+  echo "error: tell_flame --loopback produced no transaction/dispatch stacks:" >&2
+  echo "$flame_folded" >&2
+  exit 1
+fi
+
+echo "==> profiled sim replay (bit-identical folded output, seed 5)"
+prof_a="$(cargo run -q --example tell_sim -- --seed 5 --seconds 0.1 --profile)"
+prof_b="$(cargo run -q --example tell_sim -- --seed 5 --seconds 0.1 --profile)"
+if [[ "$prof_a" != "$prof_b" || "$prof_a" != *'txn'* ]]; then
+  echo "error: profiled sim replay diverged or sampled nothing" >&2
+  diff <(echo "$prof_a") <(echo "$prof_b") >&2 || true
+  exit 1
+fi
+
 run_sim_smoke
 
 run_durable_gate
