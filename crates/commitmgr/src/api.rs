@@ -13,12 +13,13 @@
 
 use std::sync::Arc;
 
-use tell_common::{Result, TxnId};
+use tell_common::{IsolationLevel, Result, TxnId};
 use tell_netsim::NetMeter;
 use tell_store::StoreEndpoint;
 
 use crate::cluster::CmCluster;
 use crate::manager::{CommitManager, TxnStart};
+use crate::snapshot::SnapshotDescriptor;
 
 /// The manager that issued a transaction's tid; receives its outcome.
 pub trait CommitParticipant: Send + Sync {
@@ -27,6 +28,14 @@ pub trait CommitParticipant: Send + Sync {
 
     /// Record an abort of `tid`.
     fn set_aborted(&self, tid: TxnId, meter: &NetMeter) -> Result<()>;
+
+    /// The freshest snapshot this participant can serve, used by the
+    /// read-committed per-read refresh. `None` when the transport cannot
+    /// serve one cheaply (remote participants fall back to the begin
+    /// snapshot, degrading RC reads to the snapshot they started with).
+    fn refresh_snapshot(&self, _meter: &NetMeter) -> Result<Option<SnapshotDescriptor>> {
+        Ok(None)
+    }
 }
 
 impl<E: StoreEndpoint> CommitParticipant for CommitManager<E> {
@@ -37,6 +46,10 @@ impl<E: StoreEndpoint> CommitParticipant for CommitManager<E> {
     fn set_aborted(&self, tid: TxnId, meter: &NetMeter) -> Result<()> {
         CommitManager::set_aborted(self, tid, meter)
     }
+
+    fn refresh_snapshot(&self, meter: &NetMeter) -> Result<Option<SnapshotDescriptor>> {
+        Ok(Some(CommitManager::current_snapshot(self, meter)))
+    }
 }
 
 /// The commit-manager fleet as seen by a processing node. Also the seam
@@ -44,12 +57,13 @@ impl<E: StoreEndpoint> CommitParticipant for CommitManager<E> {
 /// an `Arc<dyn CommitService>` and dispatches decoded `Cm*` requests onto
 /// it, so an in-process cluster and a remote one answer identically.
 pub trait CommitService: Send + Sync {
-    /// Begin a transaction on the manager `hint` pins the caller to,
-    /// falling over to the next one on failure. Returns the issuing
-    /// manager so the outcome can be reported to the same one.
+    /// Begin a transaction at `level` on the manager `hint` pins the
+    /// caller to, falling over to the next one on failure. Returns the
+    /// issuing manager so the outcome can be reported to the same one.
     fn start_pinned(
         &self,
         hint: usize,
+        level: IsolationLevel,
         meter: &NetMeter,
     ) -> Result<(TxnStart, Arc<dyn CommitParticipant>)>;
 
@@ -94,9 +108,10 @@ impl<E: StoreEndpoint> CommitService for CmCluster<E> {
     fn start_pinned(
         &self,
         hint: usize,
+        level: IsolationLevel,
         meter: &NetMeter,
     ) -> Result<(TxnStart, Arc<dyn CommitParticipant>)> {
-        let (ts, cm) = CmCluster::start_pinned(self, hint, meter)?;
+        let (ts, cm) = CmCluster::start_pinned_at(self, hint, level, meter)?;
         Ok((ts, cm as Arc<dyn CommitParticipant>))
     }
 

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use tell_common::{CmId, Error, Result, TxnId};
+use tell_common::{CmId, Error, IsolationLevel, Result, TxnId};
 use tell_netsim::NetMeter;
 use tell_store::{keys, StoreCluster, StoreEndpoint};
 
@@ -86,6 +86,18 @@ impl<E: StoreEndpoint> CmCluster<E> {
         hint: usize,
         meter: &NetMeter,
     ) -> Result<(TxnStart, Arc<CommitManager<E>>)> {
+        self.start_pinned_at(hint, IsolationLevel::Si, meter)
+    }
+
+    /// [`start_pinned`](Self::start_pinned) with an explicit isolation
+    /// level (see [`CommitManager::start_at`] for the per-level snapshot
+    /// semantics).
+    pub fn start_pinned_at(
+        &self,
+        hint: usize,
+        level: IsolationLevel,
+        meter: &NetMeter,
+    ) -> Result<(TxnStart, Arc<CommitManager<E>>)> {
         let managers = self.managers.read();
         if managers.is_empty() {
             return Err(Error::Unavailable("no commit manager available".into()));
@@ -94,7 +106,7 @@ impl<E: StoreEndpoint> CmCluster<E> {
         let first = hint % n;
         for i in 0..n {
             let cm = &managers[(first + i) % n];
-            match cm.start(meter) {
+            match cm.start_at(level, meter) {
                 Ok(ts) => return Ok((ts, Arc::clone(cm))),
                 Err(Error::Unavailable(_)) => continue,
                 Err(e) => return Err(e),

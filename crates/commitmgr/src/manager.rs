@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use tell_common::codec::Writer;
-use tell_common::{BitSet, CmId, Error, Result, TxnId};
+use tell_common::{BitSet, CmId, Error, IsolationLevel, Result, TxnId};
 use tell_netsim::NetMeter;
 use tell_obs::{Gauge, ProfMutex};
 use tell_store::{keys, StoreApi, StoreCluster, StoreEndpoint};
@@ -62,6 +62,11 @@ pub struct CmConfig {
     /// relative to its cluster's commit rate; in simulated time the
     /// equivalent bound is "a few tens of transactions".
     pub sync_every_ops: u64,
+    /// Non-monotonic SI only: refresh the cached start snapshot every this
+    /// many NMSI starts. Between refreshes a start is served the cached
+    /// (stale but consistent) descriptor, modeling the CM round-trip
+    /// elision NMSI buys — at the cost of non-monotonic session reads.
+    pub nmsi_refresh_every: u64,
 }
 
 impl Default for CmConfig {
@@ -72,6 +77,7 @@ impl Default for CmConfig {
             tid_range: 64,
             sync_interval: Duration::from_millis(1),
             sync_every_ops: 16,
+            nmsi_refresh_every: 4,
         }
     }
 }
@@ -103,11 +109,36 @@ struct State {
     /// `maybe_sync` is due immediately instead of waiting for the cadence,
     /// so the unpublished state is retried on the very next operation.
     publish_pending: bool,
+    /// Cached snapshot served to NMSI starts between refreshes.
+    nmsi_cache: Option<SnapshotDescriptor>,
+    /// NMSI starts served since the manager came up (drives the refresh
+    /// cadence).
+    nmsi_starts: u64,
+    /// Base held down in `active_bases` on behalf of the cache: as long as
+    /// the cached snapshot may still be served, the lav must not overtake
+    /// its base — a transaction layer eagerly GCs versions below the lav
+    /// at write time, and a *future* cached start must still find every
+    /// version its stale snapshot can see. The pin advances with each
+    /// refresh, so it lags the base by at most one refresh cadence.
+    nmsi_pin: Option<u64>,
 }
 
 impl State {
     fn local_min_active(&self) -> u64 {
         self.active_bases.keys().next().copied().unwrap_or(self.base)
+    }
+
+    fn pin_base(&mut self, base: u64) {
+        *self.active_bases.entry(base).or_insert(0) += 1;
+    }
+
+    fn unpin_base(&mut self, base: u64) {
+        if let Some(cnt) = self.active_bases.get_mut(&base) {
+            *cnt -= 1;
+            if *cnt == 0 {
+                self.active_bases.remove(&base);
+            }
+        }
     }
 
     fn mark(&mut self, tid: u64, committed: bool) {
@@ -223,6 +254,24 @@ impl<E: StoreEndpoint> CommitManager<E> {
     /// The sync's wall-clock trigger would otherwise make `begin` fail at
     /// arbitrary moments of a storage fault window.
     pub fn start(&self, meter: &NetMeter) -> Result<TxnStart> {
+        self.start_at(IsolationLevel::Si, meter)
+    }
+
+    /// [`start`](Self::start) with an explicit isolation level.
+    ///
+    /// The level only changes how the *snapshot* is produced; tid
+    /// allocation and active-set registration are identical across levels:
+    ///
+    /// * `Si` / `Serializable` / `ReadCommitted` — the freshest snapshot
+    ///   this manager can construct (Serializable strengthening and RC
+    ///   weakening both happen PN-side, in the transaction layer).
+    /// * `NonMonotonicSi` — a cached snapshot refreshed only every
+    ///   [`CmConfig::nmsi_refresh_every`] NMSI starts. The transaction is
+    ///   registered active under the *stale* base, so the cluster lav
+    ///   never overtakes a snapshot some live NMSI transaction still
+    ///   reads under — GC stays sound. Serving the cache is metered as a
+    ///   descriptor-free round trip (the elision NMSI exists to buy).
+    pub fn start_at(&self, level: IsolationLevel, meter: &NetMeter) -> Result<TxnStart> {
         if self.maybe_sync(meter).is_err() {
             tell_obs::incr(tell_obs::Counter::CmSyncDeferred);
         }
@@ -266,13 +315,33 @@ impl<E: StoreEndpoint> CommitManager<E> {
             st.watermark = st.watermark.max(t);
             TxnId(t)
         };
-        let snapshot = SnapshotDescriptor::new(st.base, {
-            // Clone of the committed window; cheap (bitset of outstanding txns).
-            let mut bits = BitSet::new();
-            bits.union_with(&st.committed);
-            bits
-        });
-        let base = st.base;
+        let (snapshot, cached) = if level == IsolationLevel::NonMonotonicSi {
+            let cadence = self.config.nmsi_refresh_every.max(1);
+            let refresh = st.nmsi_cache.is_none() || st.nmsi_starts.is_multiple_of(cadence);
+            st.nmsi_starts += 1;
+            if refresh {
+                let snap = Self::fresh_snapshot(&st);
+                // Advance the cache pin: the old cached base may release
+                // its hold on the lav, the new one takes it over (see
+                // `State::nmsi_pin` for why the hold must outlive any one
+                // transaction).
+                if let Some(old) = st.nmsi_pin.take() {
+                    st.unpin_base(old);
+                }
+                st.pin_base(snap.base());
+                st.nmsi_pin = Some(snap.base());
+                st.nmsi_cache = Some(snap.clone());
+                (snap, false)
+            } else {
+                (st.nmsi_cache.clone().expect("nmsi cache present"), true)
+            }
+        } else {
+            (Self::fresh_snapshot(&st), false)
+        };
+        // Register under the snapshot's own base (stale for a cached NMSI
+        // start): the lav must cover every snapshot a live transaction
+        // reads under, or GC could reclaim versions it still needs.
+        let base = snapshot.base();
         st.active.insert(tid.raw(), base);
         *st.active_bases.entry(base).or_insert(0) += 1;
         let lav = st
@@ -282,10 +351,36 @@ impl<E: StoreEndpoint> CommitManager<E> {
             .chain(std::iter::once(st.local_min_active()))
             .min()
             .unwrap_or(st.base);
-        // PN ↔ CM round trip carrying the snapshot descriptor.
-        meter.charge_request(32, snapshot.encoded_len() + 16, 1);
+        // PN ↔ CM round trip; a cached NMSI start elides the descriptor
+        // payload (the session reuses the one it already holds).
+        let response_bytes = if cached { 24 } else { snapshot.encoded_len() + 16 };
+        meter.charge_request(32, response_bytes, 1);
         Self::export_gauges(&st);
         Ok(TxnStart { tid, snapshot, lav })
+    }
+
+    /// The freshest snapshot this manager can serve right now, without
+    /// allocating a tid or registering anything active. This is the
+    /// read-committed refresh path: an RC transaction re-reads the
+    /// committed horizon before each data access while staying registered
+    /// (and lav-protected) under its begin snapshot.
+    pub fn current_snapshot(&self, meter: &NetMeter) -> SnapshotDescriptor {
+        let st = self.state.lock();
+        let snapshot = Self::fresh_snapshot(&st);
+        // Piggybacks on the PN's open CM session: a small request and the
+        // descriptor back.
+        meter.charge_request(16, snapshot.encoded_len() + 8, 1);
+        snapshot
+    }
+
+    /// The freshest snapshot this manager can construct: its base plus a
+    /// clone of the committed window (cheap — a bitset of outstanding txns).
+    fn fresh_snapshot(st: &State) -> SnapshotDescriptor {
+        SnapshotDescriptor::new(st.base, {
+            let mut bits = BitSet::new();
+            bits.union_with(&st.committed);
+            bits
+        })
     }
 
     /// Publish this manager's view of the global commit state as gauges.
@@ -605,6 +700,38 @@ mod tests {
         cm.set_committed(t3.tid, &m).unwrap();
         let t4 = cm.start(&m).unwrap();
         assert_eq!(t4.lav, t4.snapshot.base(), "no other actives: lav = own base");
+    }
+
+    #[test]
+    fn nmsi_cache_pins_the_lav_until_refresh() {
+        let (cm, m) = setup();
+        let t1 = cm.start_at(IsolationLevel::NonMonotonicSi, &m).unwrap();
+        let cached_base = t1.snapshot.base();
+        cm.set_committed(t1.tid, &m).unwrap();
+        // A burst of SI transactions completes; without the pin the lav
+        // would now overtake the cached base and eager GC could reclaim
+        // versions a future cached start still needs.
+        for _ in 0..3 {
+            let t = cm.start(&m).unwrap();
+            cm.set_committed(t.tid, &m).unwrap();
+        }
+        let t2 = cm.start_at(IsolationLevel::NonMonotonicSi, &m).unwrap();
+        assert_eq!(t2.snapshot.base(), cached_base, "within cadence: served from cache");
+        assert!(t2.lav <= cached_base, "pin holds the lav at the cached base");
+        cm.set_committed(t2.tid, &m).unwrap();
+        // Drive past the refresh cadence: the cache advances, the pin moves
+        // with it, and the lav stays monotone throughout.
+        let mut newest_base = cached_base;
+        let mut lavs = vec![t1.lav, t2.lav];
+        for _ in 0..2 * CmConfig::default().nmsi_refresh_every {
+            let t = cm.start_at(IsolationLevel::NonMonotonicSi, &m).unwrap();
+            assert!(t.lav <= t.snapshot.base());
+            lavs.push(t.lav);
+            newest_base = newest_base.max(t.snapshot.base());
+            cm.set_committed(t.tid, &m).unwrap();
+        }
+        assert!(lavs.windows(2).all(|w| w[0] <= w[1]), "lav never regresses: {lavs:?}");
+        assert!(newest_base > cached_base, "refresh advanced the cache");
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Transaction isolation levels.
+//!
+//! The paper fixes snapshot isolation as Tell's contract (§4.1), but the
+//! shared-data split (PN-side version resolution, CM-ordered commits) is
+//! exactly the seam where weaker and stronger levels trade coordination
+//! for speed. The four levels form a total order — every history legal at
+//! a stronger level is legal at every weaker one:
+//!
+//! * [`IsolationLevel::ReadCommitted`] — each read observes the freshest
+//!   committed state the PN knows of; no per-transaction snapshot, so
+//!   non-repeatable reads and lost updates are admitted.
+//! * [`IsolationLevel::NonMonotonicSi`] — every transaction reads from one
+//!   consistent snapshot and first-committer-wins holds, but consecutive
+//!   transactions of one session may receive *older* snapshots than their
+//!   predecessors (Saeida Ardekani et al.: dropping monotonicity cuts the
+//!   CM round-trip cost).
+//! * [`IsolationLevel::Si`] — the paper's level: consistent snapshots,
+//!   first-committer-wins, and session monotonicity on a single commit
+//!   manager.
+//! * [`IsolationLevel::Serializable`] — SI plus commit-time promotion of
+//!   the read set into the store-conditional validation ("A Critique of
+//!   Snapshot Isolation"'s write-snapshot check on our LL/SC seam), which
+//!   rejects write skew.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsolationLevel {
+    /// Read committed: per-read freshest committed state.
+    ReadCommitted,
+    /// Non-monotonic snapshot isolation: consistent but possibly stale
+    /// per-transaction snapshots.
+    NonMonotonicSi,
+    /// Snapshot isolation (the paper's default).
+    #[default]
+    Si,
+    /// SI plus read-set validation: conflict-serializable commits.
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// All levels, weakest first (the lattice order used by the
+    /// differential checker matrix).
+    pub const ALL: [IsolationLevel; 4] = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::NonMonotonicSi,
+        IsolationLevel::Si,
+        IsolationLevel::Serializable,
+    ];
+
+    /// Stable one-byte wire code (also the `--isolation` numeric form).
+    pub fn code(self) -> u8 {
+        match self {
+            IsolationLevel::ReadCommitted => 1,
+            IsolationLevel::NonMonotonicSi => 2,
+            IsolationLevel::Si => 3,
+            IsolationLevel::Serializable => 4,
+        }
+    }
+
+    /// Decode a wire code; `None` for anything [`code`](Self::code) never
+    /// produces (0 is deliberately invalid so a zeroed byte cannot alias a
+    /// level).
+    pub fn from_code(code: u8) -> Option<IsolationLevel> {
+        match code {
+            1 => Some(IsolationLevel::ReadCommitted),
+            2 => Some(IsolationLevel::NonMonotonicSi),
+            3 => Some(IsolationLevel::Si),
+            4 => Some(IsolationLevel::Serializable),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (flag value, verdict lines, JSON keys).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadCommitted => "rc",
+            IsolationLevel::NonMonotonicSi => "nmsi",
+            IsolationLevel::Si => "si",
+            IsolationLevel::Serializable => "serializable",
+        }
+    }
+}
+
+impl std::fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for IsolationLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rc" | "read-committed" | "read_committed" => Ok(IsolationLevel::ReadCommitted),
+            "nmsi" | "non-monotonic-si" | "non_monotonic_si" => Ok(IsolationLevel::NonMonotonicSi),
+            "si" | "snapshot" => Ok(IsolationLevel::Si),
+            "serializable" | "ssi" => Ok(IsolationLevel::Serializable),
+            other => Err(format!(
+                "unknown isolation level {other:?} (expected rc, nmsi, si or serializable)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_order_is_weakest_to_strongest() {
+        assert!(IsolationLevel::ReadCommitted < IsolationLevel::NonMonotonicSi);
+        assert!(IsolationLevel::NonMonotonicSi < IsolationLevel::Si);
+        assert!(IsolationLevel::Si < IsolationLevel::Serializable);
+        assert!(IsolationLevel::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn codes_round_trip_and_zero_is_invalid() {
+        for level in IsolationLevel::ALL {
+            assert_eq!(IsolationLevel::from_code(level.code()), Some(level));
+        }
+        assert_eq!(IsolationLevel::from_code(0), None);
+        assert_eq!(IsolationLevel::from_code(5), None);
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for level in IsolationLevel::ALL {
+            assert_eq!(level.as_str().parse::<IsolationLevel>().unwrap(), level);
+        }
+        assert!("strict".parse::<IsolationLevel>().is_err());
+    }
+
+    #[test]
+    fn default_is_si() {
+        assert_eq!(IsolationLevel::default(), IsolationLevel::Si);
+    }
+}

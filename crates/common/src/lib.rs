@@ -12,10 +12,12 @@ pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod isolation;
 pub mod stats;
 
 pub use bitset::BitSet;
 pub use clock::SimClock;
 pub use error::{Error, Result};
 pub use ids::{CmId, IndexId, PartitionId, PnId, Rid, SnId, TableId, TxnId};
+pub use isolation::IsolationLevel;
 pub use stats::{bucket_quantile, histogram_bucket_upper, Histogram, Summary, HISTOGRAM_BUCKETS};

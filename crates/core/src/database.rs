@@ -49,6 +49,10 @@ pub struct TellConfig {
     /// [`tell_store::durability`]). `None` keeps storage pure in-memory —
     /// the paper's base configuration, where durability is replication.
     pub store_durability: Option<Arc<dyn tell_store::DurabilityProvider>>,
+    /// Default isolation level for transactions begun via
+    /// [`crate::pn::ProcessingNode::begin`]; individual transactions can
+    /// override it with `begin_at`. The paper's contract is SI.
+    pub isolation: tell_common::IsolationLevel,
 }
 
 impl Default for TellConfig {
@@ -66,6 +70,7 @@ impl Default for TellConfig {
             btree: BTreeConfig::default(),
             batching: true,
             store_durability: None,
+            isolation: tell_common::IsolationLevel::Si,
         }
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use tell_commitmgr::SnapshotDescriptor;
-use tell_common::{IndexId, PnId, Result, SimClock, TableId};
+use tell_common::{IndexId, IsolationLevel, PnId, Result, SimClock, TableId};
 use tell_index::DistributedBTree;
 use tell_netsim::NetMeter;
 use tell_store::{StoreCluster, StoreEndpoint};
@@ -138,6 +138,15 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
     /// authority", §4.1) so its own commits are always in its snapshots;
     /// fail-over to the next manager is automatic.
     pub fn begin(&self) -> Result<Transaction<'_, E>> {
+        self.begin_at(self.db.config().isolation)
+    }
+
+    /// [`begin`](Self::begin) at an explicit isolation level, overriding
+    /// the database-wide default for this one transaction. The level
+    /// selects the snapshot the commit manager serves (stale-cached for
+    /// NMSI) and the transaction's read rule and commit-time validation
+    /// (per-read refresh at RC, read-set promotion at Serializable).
+    pub fn begin_at(&self, level: IsolationLevel) -> Result<Transaction<'_, E>> {
         tell_obs::incr(Counter::TxnBegun);
         // Pin a fresh trace id to this thread: every RPC the transaction
         // issues stamps it into the frame, and slow-op lines carry it.
@@ -158,7 +167,8 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
         // lifetime, parked gaps included, to `txn`.
         let root_frame = tell_obs::FrameGuard::enter(tell_obs::FrameKind::Txn);
         let begin = PhaseSpan::start(self.clock(), timed, spans, SpanKind::TxnBegin);
-        let started = self.db.commit_service().start_pinned(self.id.raw() as usize, &self.meter);
+        let started =
+            self.db.commit_service().start_pinned(self.id.raw() as usize, level, &self.meter);
         let (start, cm) = match started {
             Ok(v) => v,
             Err(e) => {
@@ -174,7 +184,7 @@ impl<E: StoreEndpoint> ProcessingNode<E> {
         };
         let begin_us = begin.finish(self.clock(), Phase::Begin, "txn.begin", 0, SpanStatus::Ok);
         self.group.note_started(&start.snapshot);
-        Ok(Transaction::new(self, start, cm, timed, spans, root, root_frame, begin_us))
+        Ok(Transaction::new(self, start, cm, level, timed, spans, root, root_frame, begin_us))
     }
 
     /// Run `body` inside a transaction, retrying on optimistic-concurrency

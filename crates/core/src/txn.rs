@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use tell_commitmgr::{CommitParticipant, SnapshotDescriptor};
-use tell_common::{Error, Result, Rid, TableId, TxnId};
+use tell_common::{Error, IsolationLevel, Result, Rid, TableId, TxnId};
 use tell_obs::{slowlog, Phase, SpanKind, SpanStatus, SpanTimer};
 use tell_store::cell::Token;
 use tell_store::{keys, Expect, Predicate, StoreApi, StoreCluster, StoreEndpoint, WriteOp};
@@ -75,6 +75,11 @@ pub struct Transaction<'p, E: StoreEndpoint = Arc<StoreCluster>> {
     snapshot: SnapshotDescriptor,
     lav: u64,
     cm: Arc<dyn CommitParticipant>,
+    /// The isolation level this transaction runs at. Selects the read
+    /// rule (RC refreshes the snapshot before each data access) and the
+    /// commit-time validation (Serializable promotes the read set into
+    /// the conditional-write batch).
+    level: IsolationLevel,
     state: State,
     start_us: f64,
     /// Whether this transaction runs phase timers (1 in
@@ -116,6 +121,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         pn: &'p ProcessingNode<E>,
         start: tell_commitmgr::TxnStart,
         cm: Arc<dyn CommitParticipant>,
+        level: IsolationLevel,
         timed: bool,
         spans: bool,
         root_span: Option<SpanTimer>,
@@ -138,6 +144,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             phase_us,
             lav: start.lav,
             cm,
+            level,
             state: State::Running,
             start_us: pn.clock().now_us(),
             reads: HashMap::new(),
@@ -159,6 +166,11 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     /// The snapshot the transaction reads with.
     pub fn snapshot(&self) -> &SnapshotDescriptor {
         &self.snapshot
+    }
+
+    /// The isolation level this transaction runs at.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.level
     }
 
     /// Lowest active version number received at begin (GC horizon).
@@ -212,6 +224,24 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     // Reads
     // -----------------------------------------------------------------
 
+    /// Read-committed read rule: adopt the freshest snapshot the commit
+    /// manager serves before each data access, so every read observes the
+    /// latest committed state (non-repeatable reads are admitted by
+    /// design). The snapshot only ever moves forward — a refresh that is
+    /// not a superset of the current one (possible across manager
+    /// fail-over) is ignored, so a version once visible never disappears.
+    fn refresh_rc_snapshot(&mut self) -> Result<()> {
+        if self.level != IsolationLevel::ReadCommitted {
+            return Ok(());
+        }
+        if let Some(fresh) = self.cm.refresh_snapshot(self.pn.meter())? {
+            if self.snapshot.is_subset_of(&fresh) {
+                self.snapshot = fresh;
+            }
+        }
+        Ok(())
+    }
+
     /// Read the snapshot-visible row of `rid`, observing the transaction's
     /// own buffered writes first.
     pub fn get(&mut self, table: &Arc<TableDef>, rid: Rid) -> Result<Option<Bytes>> {
@@ -220,6 +250,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         if let Some(intent) = self.writes.get(&(table.id, rid)) {
             return Ok(intent.new_row.clone());
         }
+        self.refresh_rc_snapshot()?;
         let rec = self.read_record(table.id, rid)?;
         Ok(rec.and_then(|(_, r)| r.visible_payload(&self.snapshot).cloned()))
     }
@@ -300,6 +331,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     ) -> Result<Vec<(Rid, Bytes)>> {
         self.ensure_running()?;
         self.pn.meter().charge_cpu(CPU_OP_US);
+        self.refresh_rc_snapshot()?;
         let tree = self.pn.tree(index)?;
         let ex =
             self.pn.database().extractor(index).ok_or_else(|| {
@@ -362,6 +394,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     ) -> Result<Vec<(Bytes, Rid, Bytes)>> {
         self.ensure_running()?;
         self.pn.meter().charge_cpu(CPU_OP_US);
+        self.refresh_rc_snapshot()?;
         let tree = self.pn.tree(index)?;
         let ex =
             self.pn.database().extractor(index).ok_or_else(|| {
@@ -406,6 +439,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     /// §2.1). Expensive by design; OLAP-style access.
     pub fn scan_table(&mut self, table: &Arc<TableDef>, limit: usize) -> Result<Vec<(Rid, Bytes)>> {
         self.ensure_running()?;
+        self.refresh_rc_snapshot()?;
         let prefix = keys::record_prefix(table.id);
         let rows = self.pn.client().scan_prefix(&prefix, usize::MAX)?;
         self.pn.meter().charge_cpu(rows.len() as f64 * 0.2);
@@ -425,6 +459,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         pred: impl Fn(&[u8]) -> bool,
     ) -> Result<Vec<(Rid, Bytes)>> {
         self.ensure_running()?;
+        self.refresh_rc_snapshot()?;
         let prefix = keys::record_prefix(table.id);
         let rows = self.pn.client().scan_prefix(&prefix, usize::MAX)?;
         self.pn.meter().charge_cpu(rows.len() as f64 * 0.2);
@@ -445,6 +480,7 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
         filter: &Predicate,
     ) -> Result<Vec<(Rid, Bytes)>> {
         self.ensure_running()?;
+        self.refresh_rc_snapshot()?;
         let prefix = keys::record_prefix(table.id);
         let lifted = VersionedRecord::lift_row_predicate(filter);
         let rows = self.pn.client().scan_prefix_pushdown(&prefix, usize::MAX, &lifted)?;
@@ -607,7 +643,30 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
     /// applied update is rolled back and `Err(Conflict)` is returned.
     pub fn commit(&mut self) -> Result<()> {
         self.ensure_running()?;
-        if self.writes.is_empty() {
+        // Serializable promotes the read set into the conditional-write
+        // batch (write-snapshot validation): every record read but not
+        // written is re-written *unchanged* under its observed token, so
+        // this transaction and any concurrent writer of a read record
+        // race first-committer-wins — the rw-antidependency that would
+        // admit write skew under SI becomes a ww conflict. Read-only
+        // transactions promote too: under multi-manager gossip skew a
+        // read-only snapshot can observe a fracture (seeing a later
+        // commit but not an earlier one) that closes a serialization
+        // cycle through this transaction.
+        let promoted: Vec<((TableId, Rid), Token, VersionedRecord)> =
+            if self.level == IsolationLevel::Serializable {
+                let mut promo: Vec<_> = self
+                    .reads
+                    .iter()
+                    .filter(|(key, _)| !self.writes.contains_key(key))
+                    .filter_map(|(key, v)| v.as_ref().map(|(t, r)| (*key, *t, r.clone())))
+                    .collect();
+                promo.sort_unstable_by_key(|(key, _, _)| *key);
+                promo
+            } else {
+                Vec::new()
+            };
+        if self.writes.is_empty() && promoted.is_empty() {
             self.state = State::Committed;
             let span = self.phase_start(SpanKind::TxnCmComplete);
             self.cm.set_committed(self.tid, self.pn.meter())?;
@@ -616,10 +675,36 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
             self.note_finished(SpanStatus::Ok, false);
             return Ok(());
         }
-        self.pn.meter().charge_cpu(self.writes.len() as f64 * CPU_OP_US);
+        self.pn.meter().charge_cpu((self.writes.len() + promoted.len()) as f64 * CPU_OP_US);
 
         // Try-Commit: log entry first (required for recovery, §4.4.1).
         let validate_span = self.phase_start(SpanKind::TxnValidate);
+        // Write-snapshot check over the promoted reads: a version we did
+        // not observe means a writer committed there after our snapshot
+        // was taken — first-committer-wins says we lose. Detected here
+        // (before the log append) the abort costs no store round-trip.
+        // Unlike the write-path check this accepts versions numbered
+        // above our tid that are *in* our snapshot: promotion adds no
+        // version, so record version order is not at stake.
+        if promoted
+            .iter()
+            .any(|(_, _, rec)| rec.version_numbers().any(|v| !self.snapshot.contains(v)))
+        {
+            self.phase_finish(
+                validate_span,
+                Phase::Validate,
+                "txn.validate",
+                0,
+                SpanStatus::Conflict,
+            );
+            self.state = State::Aborted;
+            let span = self.phase_start(SpanKind::TxnCmComplete);
+            self.cm.set_aborted(self.tid, self.pn.meter())?;
+            self.phase_finish(span, Phase::CmComplete, "txn.cm_complete", 0, SpanStatus::Ok);
+            self.pn.metrics().record_abort(self.pn.clock().now_us() - self.start_us, true);
+            self.note_finished(SpanStatus::Conflict, true);
+            return Err(Error::Conflict);
+        }
         let mut entry = LogEntry {
             tid: self.tid,
             pn: self.pn.id(),
@@ -660,7 +745,16 @@ impl<'p, E: StoreEndpoint> Transaction<'p, E> {
                 }
             }
         }
-        let write_count = self.writes.len() as u32;
+        // Promoted reads ride the same batch, *after* the write ops so the
+        // result/applied_records zips below stay aligned on the write-op
+        // prefix. Each is an identity re-write: same encoded record under
+        // the observed token. A success bumps the token (serializing this
+        // transaction against later writers); a failure is the write-
+        // snapshot conflict.
+        for ((table, rid), token, rec) in &promoted {
+            ops.push(WriteOp::put(keys::record(*table, *rid), Expect::Token(*token), rec.encode()));
+        }
+        let write_count = ops.len() as u32;
         self.phase_finish(
             validate_span,
             Phase::Validate,

@@ -19,6 +19,10 @@
 //! `replica_unavailable` health rule — and the connection is re-dialed on
 //! the next poll.
 
+pub mod health;
+
+pub use health::{HealthReplay, TickRecord};
+
 use std::collections::VecDeque;
 
 use tell_obs::registry::{Counter, Gauge, Phase};

@@ -41,6 +41,12 @@ pub enum RuleKind {
     ReplicationStaleness,
     /// Abort ratio over threshold at meaningful volume.
     AbortRateSpike,
+    /// Lock-wait spike: the interval's `lock_wait_us_total` delta exceeds
+    /// a fraction of the interval itself (waiting ~10% of wall time on
+    /// locks) while commit volume is above the min-volume guard — the
+    /// contended-lock signal the profiler's `ProfMutex` accounting feeds
+    /// (DESIGN.md §8.3).
+    LockWaitSpike,
 }
 
 impl RuleKind {
@@ -53,6 +59,7 @@ impl RuleKind {
             RuleKind::DurableCacheThrash => "durable_cache_thrash",
             RuleKind::ReplicationStaleness => "replication_staleness",
             RuleKind::AbortRateSpike => "abort_rate_spike",
+            RuleKind::LockWaitSpike => "lock_wait_spike",
         }
     }
 
@@ -64,6 +71,7 @@ impl RuleKind {
         RuleKind::DurableCacheThrash,
         RuleKind::ReplicationStaleness,
         RuleKind::AbortRateSpike,
+        RuleKind::LockWaitSpike,
     ];
 }
 
@@ -139,6 +147,12 @@ pub struct HealthConfig {
     /// Minimum lav-lag growth (tids) across the window to count as
     /// "trending up".
     pub saturation_lag_growth: u64,
+    /// Fraction of the interval spent waiting on locks above which the
+    /// interval is bad (0.10 = more than 100ms of lock wait per second)…
+    pub lock_wait_fraction: f64,
+    /// …given at least this many commits in the interval (idle or
+    /// draining nodes never spike).
+    pub lock_wait_min_txns: u64,
 }
 
 impl Default for HealthConfig {
@@ -153,6 +167,8 @@ impl Default for HealthConfig {
             cache_min_evictions: 32,
             saturation_window: 4,
             saturation_lag_growth: 8,
+            lock_wait_fraction: 0.10,
+            lock_wait_min_txns: 20,
         }
     }
 }
@@ -180,13 +196,22 @@ pub struct HealthEngine {
     /// Per node: (lav_lag, commits_delta) for the last `saturation_window`
     /// intervals.
     trend: BTreeMap<String, VecDeque<(u64, u64)>>,
+    /// Per node: virtual clock of its previous tick, for interval-relative
+    /// rules (lock-wait spike needs "fraction of the interval").
+    last_virt: BTreeMap<String, f64>,
     next_seq: u64,
 }
 
 impl HealthEngine {
     /// Engine with the given thresholds.
     pub fn new(cfg: HealthConfig) -> Self {
-        HealthEngine { cfg, states: BTreeMap::new(), trend: BTreeMap::new(), next_seq: 1 }
+        HealthEngine {
+            cfg,
+            states: BTreeMap::new(),
+            trend: BTreeMap::new(),
+            last_virt: BTreeMap::new(),
+            next_seq: 1,
+        }
     }
 
     /// Evaluate one telemetry interval. `ticks` must arrive in a stable
@@ -195,10 +220,13 @@ impl HealthEngine {
     pub fn observe(&mut self, virt_us: f64, wall_us: u64, ticks: &[NodeTick]) -> Vec<HealthEvent> {
         let mut events = Vec::new();
         for tick in ticks {
+            let interval_us =
+                self.last_virt.get(&tick.node).map(|prev| virt_us - prev).filter(|d| *d > 0.0);
             for &rule in RuleKind::ALL {
-                let verdict = self.judge(rule, tick);
+                let verdict = self.judge(rule, tick, interval_us);
                 self.step(rule, tick, verdict, virt_us, wall_us, &mut events);
             }
+            self.last_virt.insert(tick.node.clone(), virt_us);
         }
         events
     }
@@ -213,7 +241,7 @@ impl HealthEngine {
         self.next_seq - 1
     }
 
-    fn judge(&mut self, rule: RuleKind, tick: &NodeTick) -> Verdict {
+    fn judge(&mut self, rule: RuleKind, tick: &NodeTick, interval_us: Option<f64>) -> Verdict {
         if rule == RuleKind::ReplicaUnavailable {
             return if tick.reachable {
                 Verdict::Good
@@ -297,6 +325,27 @@ impl HealthEngine {
                     }
                 }
                 Verdict::Good
+            }
+            RuleKind::LockWaitSpike => {
+                // The first tick of a node has no interval to compare
+                // against; hold rather than guess.
+                let Some(interval) = interval_us else {
+                    return Verdict::Hold;
+                };
+                let wait = point.counter(Counter::LockWaitUs);
+                let commits = point.counter(Counter::TxnCommitted);
+                if commits < self.cfg.lock_wait_min_txns {
+                    return Verdict::Good;
+                }
+                let fraction = wait as f64 / interval;
+                if fraction > self.cfg.lock_wait_fraction {
+                    Verdict::Bad(format!(
+                        "lock wait {wait}us = {pct:.0}% of the interval over {commits} commits",
+                        pct = fraction * 100.0
+                    ))
+                } else {
+                    Verdict::Good
+                }
             }
         }
     }
@@ -455,6 +504,34 @@ mod tests {
         let ev = eng.observe(1.0, 0, &[tick("sn0", true, None)]);
         assert!(ev.is_empty());
         assert_eq!(eng.active().len(), 1);
+    }
+
+    #[test]
+    fn lock_wait_spike_needs_interval_volume_and_fraction() {
+        let cfg = HealthConfig { fire_after: 1, resolve_after: 1, ..HealthConfig::default() };
+        let mut eng = HealthEngine::new(cfg);
+        let busy_waiting =
+            point_with(&[(Counter::LockWaitUs, 200_000), (Counter::TxnCommitted, 50)], &[]);
+        // First tick: no interval yet, the rule holds regardless of values.
+        let ev = eng.observe(0.0, 0, &[tick("cm0", true, Some(busy_waiting.clone()))]);
+        assert!(ev.is_empty(), "no interval on the first tick");
+        // Second tick, 1s interval: 200ms of lock wait = 20% > 10%, fires.
+        let ev = eng.observe(1_000_000.0, 0, &[tick("cm0", true, Some(busy_waiting.clone()))]);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].rule, RuleKind::LockWaitSpike);
+        assert!(ev[0].detail.contains("20%"), "detail renders the fraction: {}", ev[0].detail);
+        // Same waits without commit volume: the min-volume guard clears it.
+        let idle_waiting =
+            point_with(&[(Counter::LockWaitUs, 200_000), (Counter::TxnCommitted, 3)], &[]);
+        let ev = eng.observe(2_000_000.0, 0, &[tick("cm0", true, Some(idle_waiting))]);
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].firing);
+        // Busy but barely waiting: stays quiet.
+        let busy_clean =
+            point_with(&[(Counter::LockWaitUs, 5_000), (Counter::TxnCommitted, 50)], &[]);
+        let ev = eng.observe(3_000_000.0, 0, &[tick("cm0", true, Some(busy_clean))]);
+        assert!(ev.is_empty());
+        assert!(eng.active().is_empty());
     }
 
     #[test]

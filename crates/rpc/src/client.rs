@@ -38,7 +38,7 @@ use std::thread;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use tell_commitmgr::{CmEndpoint, CommitParticipant, CommitService, TxnStart};
-use tell_common::{Error, Result, TxnId};
+use tell_common::{Error, IsolationLevel, Result, TxnId};
 use tell_netsim::NetMeter;
 use tell_store::{
     BatchDriver, Expect, Key, OpHandle, OpResult, Predicate, StoreApi, StoreEndpoint, StoreOp,
@@ -135,11 +135,32 @@ impl Connection {
         request: &Request,
         trace: Option<u64>,
     ) -> Result<(Response, usize, usize, Option<u64>)> {
+        self.call_encoded(request.encode(), trace)
+    }
+
+    /// [`Connection::call`] with the isolation-level suffix appended to
+    /// the message bytes, for requests beginning a transaction at a
+    /// non-default level.
+    pub fn call_with_isolation(
+        &self,
+        request: &Request,
+        level: IsolationLevel,
+    ) -> Result<(Response, usize, usize)> {
+        let mut body = request.encode();
+        crate::wire::append_isolation(&mut body, level);
+        let (response, sent, received, _) = self.call_encoded(body, tell_obs::current_trace())?;
+        Ok((response, sent, received))
+    }
+
+    fn call_encoded(
+        &self,
+        body: Vec<u8>,
+        trace: Option<u64>,
+    ) -> Result<(Response, usize, usize, Option<u64>)> {
         let shared = &self.shared;
         if shared.dead.load(Ordering::SeqCst) {
             return Err(unavailable(format!("connection to {} is closed", shared.addr)));
         }
-        let body = request.encode();
         // One span per round trip. Its id rides the frame so the server's
         // dispatch span parents onto it; the span itself parents onto
         // whatever is current on this thread (a txn phase, a batch flush).
@@ -765,10 +786,31 @@ fn call_and_charge(conn: &Connection, request: &Request, meter: &NetMeter) -> Re
     }
 }
 
+/// [`call_and_charge`] stamping the isolation-level suffix onto the frame
+/// when `level` is not the Si default. The default is sent bare so a
+/// pre-suffix server keeps decoding it.
+fn call_and_charge_iso(
+    conn: &Connection,
+    request: &Request,
+    level: IsolationLevel,
+    meter: &NetMeter,
+) -> Result<Response> {
+    if level == IsolationLevel::Si {
+        return call_and_charge(conn, request, meter);
+    }
+    let (response, sent, received) = conn.call_with_isolation(request, level)?;
+    meter.charge_real(sent, received);
+    match response {
+        Response::Error(e) => Err(e.into()),
+        other => Ok(other),
+    }
+}
+
 impl CommitService for RemoteCmClient {
     fn start_pinned(
         &self,
         hint: usize,
+        level: IsolationLevel,
         meter: &NetMeter,
     ) -> Result<(TxnStart, Arc<dyn CommitParticipant>)> {
         let n = self.targets.len();
@@ -782,7 +824,8 @@ impl CommitService for RemoteCmClient {
                     continue;
                 }
             };
-            match call_and_charge(&conn, &Request::CmStart { hint: hint as u64 }, meter) {
+            match call_and_charge_iso(&conn, &Request::CmStart { hint: hint as u64 }, level, meter)
+            {
                 Ok(Response::TxnStarted { tid, lav, snapshot }) => {
                     let participant = Arc::new(RemoteParticipant { conn });
                     return Ok((TxnStart { tid, snapshot, lav }, participant));

@@ -24,12 +24,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use tell_commitmgr::{CommitParticipant, CommitService};
-use tell_common::{Error, Result};
+use tell_common::{Error, IsolationLevel, Result};
 use tell_netsim::NetMeter;
 use tell_obs::Counter;
 use tell_store::{Expect, StoreClient, StoreCluster, WriteOp};
 
-use crate::wire::{split_context, Request, Response, TraceContext};
+use crate::wire::{decode_request_iso, split_context, Request, Response, TraceContext};
 
 /// What a server process exposes.
 #[derive(Default)]
@@ -48,6 +48,9 @@ pub struct RequestCtx {
     pub trace: Option<TraceContext>,
     /// The connection's peer address, when the transport has one.
     pub peer: Option<SocketAddr>,
+    /// Isolation level carried in the frame's trailing suffix; `None`
+    /// (the common case) means the server-side default applies.
+    pub isolation: Option<IsolationLevel>,
 }
 
 /// One-shot completion handle for a request. Consuming it (`send`) routes
@@ -162,7 +165,7 @@ impl Router {
         }
     }
 
-    fn call_one(&self, request: Request) -> Response {
+    fn call_one(&self, request: Request, isolation: Option<IsolationLevel>) -> Response {
         match request {
             Request::Ping => Response::Pong,
             // Served by every node regardless of hosted services: the
@@ -217,7 +220,7 @@ impl Router {
             | Request::CmLav
             | Request::CmSync
             | Request::CmResolve { .. } => match &self.commit {
-                Some(route) => dispatch_commit(route, request),
+                Some(route) => dispatch_commit(route, request, isolation),
                 None => Response::Error(
                     Error::Unsupported("this node does not serve commit managers".into()).into(),
                 ),
@@ -227,7 +230,7 @@ impl Router {
 }
 
 impl RpcService for Router {
-    fn call(&self, request: Request, _ctx: &RequestCtx, reply: ReplySink) {
+    fn call(&self, request: Request, ctx: &RequestCtx, reply: ReplySink) {
         match request {
             // One frame in, one frame out: each nested op dispatches
             // independently, so per-op failures travel as nested errors
@@ -235,10 +238,10 @@ impl RpcService for Router {
             Request::Batch { ops } => {
                 let sinks = reply.batch(ops.len());
                 for (op, sink) in ops.into_iter().zip(sinks) {
-                    sink.send(self.call_one(op));
+                    sink.send(self.call_one(op, ctx.isolation));
                 }
             }
-            other => reply.send(self.call_one(other)),
+            other => reply.send(self.call_one(other, ctx.isolation)),
         }
     }
 }
@@ -314,13 +317,18 @@ fn apply_write(client: &StoreClient, op: WriteOp) -> Result<Option<u64>> {
     }
 }
 
-fn dispatch_commit(route: &CmRoute, request: Request) -> Response {
+fn dispatch_commit(
+    route: &CmRoute,
+    request: Request,
+    isolation: Option<IsolationLevel>,
+) -> Response {
     // Server threads have no virtual clock; commit-side charges are free.
     let meter = NetMeter::free();
     let commit = route.commit.as_ref();
     let result = match request {
         Request::CmStart { hint } => {
-            commit.start_pinned(hint as usize, &meter).map(|(start, participant)| {
+            let level = isolation.unwrap_or_default();
+            commit.start_pinned(hint as usize, level, &meter).map(|(start, participant)| {
                 route.participants.lock().insert(start.tid.raw(), participant);
                 Response::TxnStarted { tid: start.tid, lav: start.lav, snapshot: start.snapshot }
             })
@@ -408,9 +416,10 @@ pub(crate) fn dispatch_frame(
     body: &[u8],
     reply: impl FnOnce(Option<TraceContext>, Response) + Send + 'static,
 ) {
-    let decoded = split_context(body)
-        .and_then(|(ctx, msg)| Request::decode(msg).map(|request| (ctx, request)));
-    let (ctx, request) = match decoded {
+    let decoded = split_context(body).and_then(|(ctx, msg)| {
+        decode_request_iso(msg).map(|(request, isolation)| (ctx, request, isolation))
+    });
+    let (ctx, request, isolation) = match decoded {
         Ok(decoded) => decoded,
         Err(e) => {
             reply(None, Response::Error(e.into()));
@@ -451,7 +460,7 @@ pub(crate) fn dispatch_frame(
         tell_obs::span::flush_pending_to_ring();
         reply(ctx, response);
     });
-    let rctx = RequestCtx { trace: ctx, peer };
+    let rctx = RequestCtx { trace: ctx, peer, isolation };
     if duplicate && !matches!(request, Request::CmStart { .. }) {
         service.call(request.clone(), &rctx, sink);
         service.call(request, &rctx, ReplySink::ignore());

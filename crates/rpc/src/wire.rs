@@ -36,7 +36,7 @@ use std::io::{self, Read, Write as IoWrite};
 use bytes::{Bytes, BytesMut};
 use tell_commitmgr::SnapshotDescriptor;
 use tell_common::codec::{Reader, Writer};
-use tell_common::{Error, Result, TxnId};
+use tell_common::{Error, IsolationLevel, Result, TxnId};
 use tell_obs::{AllocStat, LockStat, ProfileReport, Span, TelemetryPage};
 use tell_store::{Expect, Key, Predicate, Token, WriteOp};
 
@@ -61,6 +61,44 @@ pub const TRACE_MARKER: u8 = 0xF5;
 /// sending span's id (the parent for server-side dispatch spans). Like
 /// [`TRACE_MARKER`], outside the message-tag range.
 pub const SPAN_MARKER: u8 = 0xF6;
+
+/// Final body byte of a version-2 message carrying a per-transaction
+/// isolation level: the message bytes are followed by the two-byte suffix
+/// `[level code][ISO_MARKER]`. The suffix rides *after* the message (the
+/// trace/span prefixes stay first), so every frame generation can carry
+/// it. Decoding is unambiguous because message decoding is strict: a
+/// suffixed body fails the exact-consumption check as a plain message, and
+/// only then is the suffix stripped ([`decode_request_iso`]) — a
+/// legitimate message whose last bytes merely *look* like the suffix
+/// decodes whole and wins. Receivers that predate the suffix reject
+/// suffixed bodies as corrupt instead of misreading them; senders attach
+/// it only to requests that need a non-default level.
+pub const ISO_MARKER: u8 = 0xF4;
+
+/// Append the isolation-level suffix to an encoded message body.
+pub fn append_isolation(body: &mut Vec<u8>, level: IsolationLevel) {
+    body.push(level.code());
+    body.push(ISO_MARKER);
+}
+
+/// Decode a request body that may end with the [`ISO_MARKER`] suffix.
+/// Plain bodies decode to `(request, None)`; suffixed bodies to
+/// `(request, Some(level))`. The plain interpretation is tried first and
+/// wins when it succeeds, so the suffix can never be confused with
+/// message content.
+pub fn decode_request_iso(msg: &[u8]) -> Result<(Request, Option<IsolationLevel>)> {
+    match Request::decode(msg) {
+        Ok(req) => Ok((req, None)),
+        Err(err) => {
+            if msg.len() >= 2 && msg[msg.len() - 1] == ISO_MARKER {
+                if let Some(level) = IsolationLevel::from_code(msg[msg.len() - 2]) {
+                    return Ok((Request::decode(&msg[..msg.len() - 2])?, Some(level)));
+                }
+            }
+            Err(err)
+        }
+    }
+}
 
 /// The trace context a frame may carry ahead of its message body.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -1393,6 +1431,73 @@ mod tests {
         let (ctx, msg) = split_context(&raw).unwrap();
         assert_eq!(ctx, None);
         assert_eq!(Request::decode(msg).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn isolation_suffix_roundtrips_every_level() {
+        for level in IsolationLevel::ALL {
+            let mut body = Request::CmStart { hint: 3 }.encode();
+            append_isolation(&mut body, level);
+            let (req, got) = decode_request_iso(&body).unwrap();
+            assert_eq!(req, Request::CmStart { hint: 3 });
+            assert_eq!(got, Some(level));
+        }
+    }
+
+    #[test]
+    fn plain_bodies_decode_with_no_isolation() {
+        for req in [Request::CmStart { hint: 0 }, Request::Ping, Request::CmLav] {
+            let (back, level) = decode_request_iso(&req.encode()).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(level, None);
+        }
+    }
+
+    #[test]
+    fn suffix_lookalike_content_decodes_as_plain_message() {
+        // A key that happens to end in [valid level code][ISO_MARKER] must
+        // not be mistaken for a suffixed shorter message: the full body
+        // decodes exactly, and the plain interpretation wins.
+        let key = Bytes::copy_from_slice(&[7, 7, 3, ISO_MARKER]);
+        let req = Request::Get { key: key.clone() };
+        let (back, level) = decode_request_iso(&req.encode()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(level, None);
+    }
+
+    #[test]
+    fn bad_isolation_suffixes_are_rejected() {
+        // Invalid level code: not a suffix, and the body itself is corrupt.
+        let mut body = Request::Ping.encode();
+        body.push(0);
+        body.push(ISO_MARKER);
+        assert!(decode_request_iso(&body).is_err());
+        // Valid suffix on a corrupt message: still corrupt.
+        let mut body = vec![99u8];
+        append_isolation(&mut body, IsolationLevel::Si);
+        assert!(decode_request_iso(&body).is_err());
+        // Suffix alone is not a message.
+        let mut body = Vec::new();
+        append_isolation(&mut body, IsolationLevel::Serializable);
+        assert!(decode_request_iso(&body).is_err());
+        // Truncating a suffixed body is rejected — except at exactly the
+        // plain-message boundary, where what remains *is* the valid
+        // unsuffixed message (strictly more decodable than the original).
+        let plain_len = Request::CmStart { hint: 9 }.encode().len();
+        let mut body = Request::CmStart { hint: 9 }.encode();
+        append_isolation(&mut body, IsolationLevel::ReadCommitted);
+        for cut in 0..body.len() {
+            if cut == plain_len {
+                let (req, level) = decode_request_iso(&body[..cut]).unwrap();
+                assert_eq!(req, Request::CmStart { hint: 9 });
+                assert_eq!(level, None);
+            } else {
+                assert!(
+                    decode_request_iso(&body[..cut]).is_err(),
+                    "prefix of {cut} bytes accepted"
+                );
+            }
+        }
     }
 
     #[test]

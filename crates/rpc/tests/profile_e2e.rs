@@ -77,7 +77,7 @@ fn remote_profile_scrape_sees_txn_and_dispatch_frames() {
                 while Instant::now() < deadline {
                     i += 1;
                     let rid = rids[(worker + i) % rids.len()];
-                    if i % 3 == 0 {
+                    if i.is_multiple_of(3) {
                         let _ = pn.run(100, |txn| txn.get(&table, rid));
                     } else {
                         let _ = pn.run(100, |txn| {
@@ -109,7 +109,7 @@ fn remote_profile_scrape_sees_txn_and_dispatch_frames() {
     let table = CollapsedTable::parse_folded(&report.folded, usize::MAX)
         .expect("wire-fetched folded payload must parse");
     assert!(!table.is_empty());
-    let has = |frame: &str| table.rows().iter().any(|(names, _)| names.iter().any(|n| *n == frame));
+    let has = |frame: &str| table.rows().iter().any(|(names, _)| names.contains(&frame));
     // Client side: the transaction root frame (every phase nests under it).
     assert!(has("txn"), "profile must contain a transaction stack:\n{}", report.folded);
     // Server side: the reactor's dispatch frame, from the same process's

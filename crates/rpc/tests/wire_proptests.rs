@@ -4,11 +4,11 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use tell_commitmgr::SnapshotDescriptor;
-use tell_common::{BitSet, TxnId};
+use tell_common::{BitSet, IsolationLevel, TxnId};
 use tell_obs::{PhaseDigest, Span, SpanAttrs, SpanKind, SpanStatus, TelemetryPage, TsPoint};
 use tell_rpc::wire::{
-    read_frame, split_context, split_trace, write_frame, write_frame_ctx, write_frame_traced,
-    TraceContext, FRAME_HEADER,
+    append_isolation, decode_request_iso, read_frame, split_context, split_trace, write_frame,
+    write_frame_ctx, write_frame_traced, TraceContext, FRAME_HEADER,
 };
 use tell_rpc::{FrameDecoder, Request, Response, WireError, MAX_FRAME};
 use tell_store::{CmpOp, Expect, Predicate, WriteOp};
@@ -452,6 +452,91 @@ proptest! {
         }
         prop_assert_eq!(&got, &expected);
         prop_assert!(decoder.is_idle());
+    }
+
+    /// The isolation suffix rides every frame generation: appended after
+    /// the message it survives a v1, trace-only or span-carrying frame,
+    /// strips back to exactly the level the client pinned, and a
+    /// suffix-less body decodes to `None` (an old client at the default
+    /// level) — the backward-compatibility contract of `ISO_MARKER`.
+    #[test]
+    fn isolation_suffix_rides_every_frame_generation(
+        request in request_strategy(),
+        corr_id in any::<u64>(),
+        level_idx in 0..IsolationLevel::ALL.len(),
+        ctx in prop::option::of((1..u64::MAX, any::<u64>())),
+    ) {
+        let level = IsolationLevel::ALL[level_idx];
+        let mut body = request.encode();
+        append_isolation(&mut body, level);
+        let ctx = ctx.map(|(trace, parent_span)| TraceContext { trace, parent_span });
+        let mut framed = Vec::new();
+        write_frame_ctx(&mut framed, corr_id, ctx, &body).unwrap();
+        let (got_corr, got_body) = read_frame(&mut &framed[..]).unwrap().unwrap();
+        prop_assert_eq!(got_corr, corr_id);
+        let (got_ctx, msg) = split_context(&got_body).unwrap();
+        prop_assert_eq!(got_ctx, ctx);
+        let (got_req, got_level) = decode_request_iso(msg).unwrap();
+        prop_assert_eq!(&got_req, &request);
+        prop_assert_eq!(got_level, Some(level));
+
+        // The same body without the suffix carries no level pin.
+        let (got_req, got_level) = decode_request_iso(&request.encode()).unwrap();
+        prop_assert_eq!(&got_req, &request);
+        prop_assert_eq!(got_level, None);
+    }
+
+    /// A mixed stream of suffixed and plain requests across all frame
+    /// generations, fed to the incremental decoder one byte at a time
+    /// (every split point TCP segmentation could produce), agrees with the
+    /// blocking `read_frame`, and every body decodes back to exactly the
+    /// (request, level) pair that was framed.
+    #[test]
+    fn iso_suffixed_streams_survive_every_split_point(
+        frames in prop::collection::vec(
+            (
+                request_strategy(),
+                any::<u64>(),
+                prop::option::of(0..IsolationLevel::ALL.len()),
+                prop::option::of((1..u64::MAX, any::<u64>())),
+            ),
+            1..4,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for (request, corr_id, level_idx, ctx) in &frames {
+            let mut body = request.encode();
+            if let Some(i) = level_idx {
+                append_isolation(&mut body, IsolationLevel::ALL[*i]);
+            }
+            let ctx = ctx.map(|(trace, parent_span)| TraceContext { trace, parent_span });
+            write_frame_ctx(&mut stream, *corr_id, ctx, &body).unwrap();
+        }
+
+        let mut reader = &stream[..];
+        let mut expected = Vec::new();
+        while let Some((corr_id, body)) = read_frame(&mut reader).unwrap() {
+            expected.push((corr_id, body));
+        }
+        prop_assert_eq!(expected.len(), frames.len());
+
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &byte in &stream {
+            decoder.push(&[byte]);
+            while let Some((corr_id, body)) = decoder.next_frame().unwrap() {
+                got.push((corr_id, body.to_vec()));
+            }
+        }
+        prop_assert_eq!(&got, &expected);
+        prop_assert!(decoder.is_idle());
+
+        for ((request, _, level_idx, _), (_, body)) in frames.iter().zip(&got) {
+            let (_, msg) = split_context(body).unwrap();
+            let (req, level) = decode_request_iso(msg).unwrap();
+            prop_assert_eq!(&req, request);
+            prop_assert_eq!(level, level_idx.map(|i| IsolationLevel::ALL[i]));
+        }
     }
 }
 

@@ -1,23 +1,35 @@
-//! The SI oracle: validate a recorded [`History`] against snapshot
-//! isolation as Tell defines it (§4.1–§4.2).
+//! Per-level history oracles: validate a recorded [`History`] against the
+//! isolation level the run was executed at (§4.1–§4.2 plus the weaker and
+//! stronger levels Tell's CM can serve).
 //!
-//! Four families of invariants:
+//! [`check_at`] selects the rule set by [`IsolationLevel`]; the rules are
+//! strictly containing, so the acceptance sets form the expected lattice:
+//! every history accepted at Serializable is accepted at SI, every SI
+//! history at NMSI, every NMSI history at read-committed.
 //!
-//! 1. **Snapshot consistency** — every read must observe the *maximal
-//!    committed version visible in the reader's snapshot* ("v := max(V ∩
-//!    V')"). A read observing an invisible writer, or skipping past a newer
-//!    visible one, is a torn snapshot.
-//! 2. **No lost updates** — two committed transactions that both write the
-//!    same key must not be mutually invisible (first-committer-wins). This
-//!    is the per-history characterization from "On the Semantics of
-//!    Snapshot Isolation"; write skew is deliberately admitted, as "A
-//!    Critique of Snapshot Isolation" prescribes for SI.
-//! 3. **Identifier sanity** — tids are unique across the run (commit
-//!    managers must never double-allocate, even across restarts).
-//! 4. **Commit-manager monotonicity** — the global lav and each CM
-//!    instance's published base never move backwards between scrapes.
-//!    Recovered managers get fresh instance ids, so a restart cannot fake
-//!    monotonicity by resetting an old id.
+//! Rules by level (each level inherits everything above it in this list):
+//!
+//! - **All levels** — tid uniqueness (commit managers must never
+//!   double-allocate, even across restarts) and commit-manager
+//!   monotonicity: the global lav within a membership epoch and each CM
+//!   instance's published base never move backwards between scrapes.
+//! - **Read committed** — no dirty reads: every non-initial observation
+//!   must name a *committed* writer of that key that completed before the
+//!   reader did. (The begin snapshot is not binding — RC refreshes
+//!   mid-transaction, so this oracle checks necessary conditions only.)
+//! - **Non-monotonic SI** — per-transaction snapshot consistency: every
+//!   read observes the *maximal committed version visible in the reader's
+//!   snapshot* ("v := max(V ∩ V')"), and no lost updates
+//!   (first-committer-wins between mutually invisible committed writers).
+//!   The snapshot itself may be stale and per-worker non-monotonic.
+//! - **SI** — session order: within one worker and one CM membership
+//!   epoch, a transaction that begins after an earlier one completed must
+//!   see that transaction's commit (read-your-own-commits) and must not
+//!   regress its snapshot.
+//! - **Serializable** — the direct serialization graph over committed
+//!   transactions (ww edges in per-key commit order, wr edges from
+//!   observed reads, rw anti-dependency edges to the overwriting writer)
+//!   must be acyclic. Write skew, admitted everywhere below, dies here.
 //!
 //! Post-GC reachability is checked live by the driver (it needs access to
 //! the store), not here; a reachability failure surfaces as
@@ -26,13 +38,14 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::history::History;
+use crate::history::{History, TxnRecord};
+use tell_common::IsolationLevel;
 
-/// Why a history is not snapshot-isolated (or otherwise broken).
+/// Why a history is not valid at the requested level (or otherwise broken).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Violation {
     /// A read observed a version that is not the maximal visible committed
-    /// version for its key.
+    /// version for its key (NMSI and above).
     TornSnapshot {
         /// Reading transaction.
         tid: u64,
@@ -43,7 +56,18 @@ pub enum Violation {
         /// Writer tid the snapshot says it should have observed.
         expected: u64,
     },
-    /// Two committed writers of the same key were mutually invisible.
+    /// A read observed a writer that never committed, or committed only
+    /// after the reader completed (read-committed's one read rule).
+    DirtyRead {
+        /// Reading transaction.
+        tid: u64,
+        /// Key read.
+        key: u64,
+        /// The observed writer tid.
+        writer: u64,
+    },
+    /// Two committed writers of the same key were mutually invisible
+    /// (NMSI and above).
     LostUpdate {
         /// Key both transactions wrote.
         key: u64,
@@ -51,6 +75,33 @@ pub enum Violation {
         first: u64,
         /// Later-committing writer whose snapshot missed `first`.
         second: u64,
+    },
+    /// A worker began a transaction after its own earlier commit completed,
+    /// yet the new snapshot does not contain that commit (SI and above,
+    /// within one CM membership epoch).
+    NonMonotonicRead {
+        /// Worker whose session broke.
+        worker: usize,
+        /// The committed transaction that went missing.
+        earlier: u64,
+        /// The later transaction whose snapshot missed it.
+        later: u64,
+    },
+    /// A worker's successive snapshots moved backwards (SI and above,
+    /// within one CM membership epoch).
+    SnapshotRegression {
+        /// Worker whose session broke.
+        worker: usize,
+        /// The earlier transaction.
+        earlier: u64,
+        /// The later transaction whose snapshot is not a superset.
+        later: u64,
+    },
+    /// The direct serialization graph over committed transactions has a
+    /// cycle (Serializable only).
+    SerializationCycle {
+        /// The tids on the cycle, in dependency order.
+        tids: Vec<u64>,
     },
     /// The same tid was handed to two transactions.
     DuplicateTid {
@@ -100,11 +151,30 @@ impl fmt::Display for Violation {
                 "torn snapshot: txn {tid} read key {key} from writer {observed}, \
                  snapshot requires writer {expected}"
             ),
+            Violation::DirtyRead { tid, key, writer } => write!(
+                f,
+                "dirty read: txn {tid} read key {key} from writer {writer}, which \
+                 never committed before the reader completed"
+            ),
             Violation::LostUpdate { key, first, second } => write!(
                 f,
                 "lost update: committed writers {first} and {second} of key {key} \
                  are mutually invisible"
             ),
+            Violation::NonMonotonicRead { worker, earlier, later } => write!(
+                f,
+                "non-monotonic read: worker {worker} committed txn {earlier}, then \
+                 began txn {later} with a snapshot that misses it"
+            ),
+            Violation::SnapshotRegression { worker, earlier, later } => write!(
+                f,
+                "snapshot regression: worker {worker} ran txn {earlier}, then txn \
+                 {later} under a snapshot that is not a superset"
+            ),
+            Violation::SerializationCycle { tids } => {
+                let path: Vec<String> = tids.iter().map(|t| t.to_string()).collect();
+                write!(f, "serialization cycle: {}", path.join(" -> "))
+            }
             Violation::DuplicateTid { tid } => {
                 write!(f, "duplicate tid: {tid} allocated twice")
             }
@@ -133,23 +203,35 @@ pub struct CheckStats {
     pub committed: usize,
     /// Aborted transactions validated (their reads still count).
     pub aborted: usize,
-    /// Individual reads validated against the read rule.
+    /// Individual reads validated against the level's read rule.
     pub reads_checked: usize,
     /// Ordered writer pairs examined for lost updates.
     pub write_pairs_checked: usize,
+    /// Same-worker transaction pairs examined for session order.
+    pub session_pairs_checked: usize,
+    /// Direct-serialization-graph edges walked for cycles.
+    pub dsg_edges_checked: usize,
     /// Scrapes validated for monotonicity.
     pub scrapes_checked: usize,
 }
 
-/// Validate `history` against the SI oracle.
+/// Validate `history` against the SI oracle — shorthand for
+/// [`check_at`]`(IsolationLevel::Si, history)`, kept because SI is Tell's
+/// native level and the default everywhere.
+pub fn check(history: &History) -> Result<CheckStats, Violation> {
+    check_at(IsolationLevel::Si, history)
+}
+
+/// Validate `history` against the oracle for `level`.
 ///
 /// Returns the first violation found, in a deterministic order: tid
 /// uniqueness, then reads (history order), then lost updates (key order,
-/// then commit order), then scrape monotonicity.
-pub fn check(history: &History) -> Result<CheckStats, Violation> {
+/// then commit order), then session order (history order), then the
+/// serialization graph, then scrape monotonicity.
+pub fn check_at(level: IsolationLevel, history: &History) -> Result<CheckStats, Violation> {
     let mut stats = CheckStats::default();
 
-    // --- 3. tid uniqueness -------------------------------------------------
+    // --- tid uniqueness (all levels) ---------------------------------------
     let mut seen = HashMap::with_capacity(history.txns.len());
     for t in &history.txns {
         if let Some(_prev) = seen.insert(t.tid, t.worker) {
@@ -160,7 +242,7 @@ pub fn check(history: &History) -> Result<CheckStats, Violation> {
     // Index committed writers per key, in completion (append) order. The
     // driver's turnstile guarantees append order is the true total order of
     // completion, so within a key this is commit order.
-    let mut writers: HashMap<u64, Vec<&crate::history::TxnRecord>> = HashMap::new();
+    let mut writers: HashMap<u64, Vec<&TxnRecord>> = HashMap::new();
     for t in history.committed() {
         stats.committed += 1;
         for &k in &t.writes {
@@ -169,62 +251,219 @@ pub fn check(history: &History) -> Result<CheckStats, Violation> {
     }
     stats.aborted = history.txns.len() - stats.committed;
 
-    // --- 1. snapshot consistency ------------------------------------------
-    // For each read: the expected observation is the maximal committed
-    // writer of that key whose tid is visible in the reader's snapshot
-    // (0 = the bulk-loaded initial version, always visible).
-    //
-    // Subtlety: "committed" must be evaluated *as of the read*, but under SI
-    // a writer invisible to the snapshot contributes nothing either way, and
-    // a visible writer must have committed before the snapshot was taken —
-    // so checking against the full run's committed set is equivalent.
-    for t in &history.txns {
-        for &(key, observed) in &t.reads {
-            stats.reads_checked += 1;
-            let expected = writers
-                .get(&key)
-                .into_iter()
-                .flatten()
-                .filter(|w| t.snapshot.contains(w.tid))
-                .map(|w| w.tid)
-                .max()
-                .unwrap_or(0);
-            if observed != expected {
-                return Err(Violation::TornSnapshot { tid: t.tid, key, observed, expected });
+    // Completion index of every record, for ordering arguments below.
+    let completion: HashMap<u64, usize> =
+        history.txns.iter().enumerate().map(|(i, t)| (t.tid, i)).collect();
+
+    if level >= IsolationLevel::NonMonotonicSi {
+        // --- snapshot consistency (NMSI and above) -------------------------
+        // For each read: the expected observation is the maximal committed
+        // writer of that key whose tid is visible in the reader's snapshot
+        // (0 = the bulk-loaded initial version, always visible).
+        //
+        // Subtlety: "committed" must be evaluated *as of the read*, but a
+        // writer invisible to the snapshot contributes nothing either way,
+        // and a visible writer must have committed before the snapshot was
+        // taken — so checking against the full run's committed set is
+        // equivalent.
+        for t in &history.txns {
+            for &(key, observed) in &t.reads {
+                stats.reads_checked += 1;
+                let expected = writers
+                    .get(&key)
+                    .into_iter()
+                    .flatten()
+                    .filter(|w| t.snapshot.contains(w.tid))
+                    .map(|w| w.tid)
+                    .max()
+                    .unwrap_or(0);
+                if observed != expected {
+                    return Err(Violation::TornSnapshot { tid: t.tid, key, observed, expected });
+                }
+            }
+        }
+    } else {
+        // --- no dirty reads (read committed) -------------------------------
+        // RC refreshes its snapshot mid-transaction, so the recorded begin
+        // snapshot is not binding and the max-visible rule above would
+        // misfire. What RC still forbids: observing a writer that never
+        // committed, or whose commit completed only after the reader did.
+        // (The turnstile makes "completed before" well-defined: a writer's
+        // commit publishes within the writer's own turn, so any reader that
+        // observed it completes at a strictly later history index.)
+        for (i, t) in history.txns.iter().enumerate() {
+            for &(key, observed) in &t.reads {
+                stats.reads_checked += 1;
+                if observed == 0 {
+                    continue;
+                }
+                let ok = writers
+                    .get(&key)
+                    .into_iter()
+                    .flatten()
+                    .any(|w| w.tid == observed && completion[&w.tid] < i);
+                if !ok {
+                    return Err(Violation::DirtyRead { tid: t.tid, key, writer: observed });
+                }
             }
         }
     }
 
-    // --- 2. no lost updates -------------------------------------------------
-    // For committed writers A (earlier) and B (later) of the same key, SI
-    // requires visibility in at least one direction. Any tid ≤ B.base is
-    // automatically visible to B, so only writers in (B.base, B.tid) ∪
-    // {tids above B.base} need the explicit check — we bound the scan by
-    // skipping A with A.tid ≤ B.base.
-    let mut keys: Vec<&u64> = writers.keys().collect();
-    keys.sort();
-    for key in keys {
-        let ws = &writers[key];
-        for (j, b) in ws.iter().enumerate() {
-            for a in &ws[..j] {
-                if a.tid <= b.snapshot.base() {
-                    continue; // automatically visible to b
-                }
-                stats.write_pairs_checked += 1;
-                let a_sees_b = a.snapshot.contains(b.tid);
-                let b_sees_a = b.snapshot.contains(a.tid);
-                if !a_sees_b && !b_sees_a {
-                    return Err(Violation::LostUpdate {
-                        key: *key,
-                        first: a.tid.min(b.tid),
-                        second: a.tid.max(b.tid),
-                    });
+    if level >= IsolationLevel::NonMonotonicSi {
+        // --- no lost updates (NMSI and above) ------------------------------
+        // For committed writers A (earlier) and B (later) of the same key,
+        // visibility in at least one direction is required. Any tid ≤ B.base
+        // is automatically visible to B, so only writers above B.base need
+        // the explicit check — we bound the scan by skipping A with
+        // A.tid ≤ B.base.
+        let mut keys: Vec<&u64> = writers.keys().collect();
+        keys.sort();
+        for key in &keys {
+            let ws = &writers[key];
+            for (j, b) in ws.iter().enumerate() {
+                for a in &ws[..j] {
+                    if a.tid <= b.snapshot.base() {
+                        continue; // automatically visible to b
+                    }
+                    stats.write_pairs_checked += 1;
+                    let a_sees_b = a.snapshot.contains(b.tid);
+                    let b_sees_a = b.snapshot.contains(a.tid);
+                    if !a_sees_b && !b_sees_a {
+                        return Err(Violation::LostUpdate {
+                            key: **key,
+                            first: a.tid.min(b.tid),
+                            second: a.tid.max(b.tid),
+                        });
+                    }
                 }
             }
         }
     }
 
-    // --- 4. lav/base monotonicity -------------------------------------------
+    if level >= IsolationLevel::Si {
+        // --- session order (SI and above) ----------------------------------
+        // Per worker, in completion order, compare each record against its
+        // immediate predecessor. Workers run one transaction at a time, so
+        // adjacent pairs chain: monotone adjacent snapshots give monotone
+        // sessions, and read-your-own-commits for older transactions follows
+        // by subset transitivity. Both checks are gated on (a) the later
+        // transaction actually beginning after the earlier completed
+        // (begin_seq) and (b) an unchanged CM membership epoch — a failover
+        // may legitimately land the worker on a manager with an older view.
+        let mut prev_by_worker: HashMap<usize, usize> = HashMap::new();
+        for (i, b) in history.txns.iter().enumerate() {
+            if let Some(&ai) = prev_by_worker.get(&b.worker) {
+                let a = &history.txns[ai];
+                if a.epoch == b.epoch && b.begin_seq > ai {
+                    stats.session_pairs_checked += 1;
+                    if a.committed && !b.snapshot.contains(a.tid) {
+                        return Err(Violation::NonMonotonicRead {
+                            worker: b.worker,
+                            earlier: a.tid,
+                            later: b.tid,
+                        });
+                    }
+                    if !a.snapshot.is_subset_of(&b.snapshot) {
+                        return Err(Violation::SnapshotRegression {
+                            worker: b.worker,
+                            earlier: a.tid,
+                            later: b.tid,
+                        });
+                    }
+                }
+            }
+            prev_by_worker.insert(b.worker, i);
+        }
+    }
+
+    if level == IsolationLevel::Serializable {
+        // --- serialization graph acyclicity (Serializable only) ------------
+        // Nodes are committed transactions; edges follow Adya's DSG:
+        //   ww: per-key commit order (adjacent pairs suffice — the rest
+        //       follow by transitivity along the chain);
+        //   wr: observed writer -> reader;
+        //   rw: reader -> the writer that overwrote the version it read
+        //       (the immediate successor; later writers follow via ww).
+        // The torn-snapshot rule above already validated every observation
+        // against the committed writer set, so `observed` here is always
+        // resolvable.
+        let committed: Vec<&TxnRecord> = history.committed().collect();
+        let node: HashMap<u64, usize> =
+            committed.iter().enumerate().map(|(i, t)| (t.tid, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); committed.len()];
+        let add = |adj: &mut Vec<Vec<usize>>, from: usize, to: usize| {
+            if from != to {
+                adj[from].push(to);
+            }
+        };
+        let mut keys: Vec<&u64> = writers.keys().collect();
+        keys.sort();
+        for key in &keys {
+            for pair in writers[key].windows(2) {
+                add(&mut adj, node[&pair[0].tid], node[&pair[1].tid]);
+            }
+        }
+        for (i, t) in committed.iter().enumerate() {
+            for &(key, observed) in &t.reads {
+                let ws: &[&TxnRecord] = writers.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
+                let pos =
+                    if observed == 0 { None } else { ws.iter().position(|w| w.tid == observed) };
+                if let Some(p) = pos {
+                    add(&mut adj, node[&ws[p].tid], i);
+                }
+                let succ = match pos {
+                    None => ws.first(),
+                    Some(p) => ws.get(p + 1),
+                };
+                if let Some(w) = succ {
+                    add(&mut adj, i, node[&w.tid]);
+                }
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+            stats.dsg_edges_checked += a.len();
+        }
+
+        // Iterative DFS with an explicit stack; color 1 = on the current
+        // path, so hitting a 1-colored node recovers a concrete cycle.
+        let mut color = vec![0u8; committed.len()];
+        let mut parent = vec![usize::MAX; committed.len()];
+        for root in 0..committed.len() {
+            if color[root] != 0 {
+                continue;
+            }
+            color[root] = 1;
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(frame) = stack.last_mut() {
+                let v = frame.0;
+                if frame.1 < adj[v].len() {
+                    let u = adj[v][frame.1];
+                    frame.1 += 1;
+                    if color[u] == 0 {
+                        color[u] = 1;
+                        parent[u] = v;
+                        stack.push((u, 0));
+                    } else if color[u] == 1 {
+                        let mut tids = vec![committed[v].tid];
+                        let mut x = v;
+                        while x != u {
+                            x = parent[x];
+                            tids.push(committed[x].tid);
+                        }
+                        tids.reverse();
+                        return Err(Violation::SerializationCycle { tids });
+                    }
+                } else {
+                    color[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    // --- lav/base monotonicity (all levels) --------------------------------
     // The cluster lav is a min over live managers, so it is only comparable
     // between scrapes taken under the same CM membership (epoch). Bases are
     // per-instance and instances are never reused, so those compare across
@@ -268,7 +507,17 @@ mod tests {
     }
 
     fn txn(tid: u64, snapshot: SnapshotDescriptor) -> TxnRecord {
-        TxnRecord { worker: 0, tid, snapshot, reads: vec![], writes: vec![], committed: true }
+        TxnRecord {
+            worker: 0,
+            tid,
+            isolation: IsolationLevel::Si,
+            snapshot,
+            begin_seq: 0,
+            epoch: 0,
+            reads: vec![],
+            writes: vec![],
+            committed: true,
+        }
     }
 
     #[test]
@@ -403,5 +652,207 @@ mod tests {
         h.scrapes.push(LavScrape { at_us: 1.0, epoch: 0, lav: 1, bases: vec![(3, 8)] });
         h.scrapes.push(LavScrape { at_us: 2.0, epoch: 0, lav: 1, bases: vec![(4, 5)] });
         assert!(check(&h).is_ok());
+    }
+
+    // --- per-level matrix ---------------------------------------------------
+
+    #[test]
+    fn rc_admits_torn_and_stale_reads() {
+        // The torn-snapshot history from above: a scandal at NMSI/SI, fine
+        // at RC (observed the initial version, which always exists).
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(1, &[]));
+        t2.reads.push((7, 0));
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert!(check_at(IsolationLevel::ReadCommitted, &h).is_ok());
+        assert!(check_at(IsolationLevel::NonMonotonicSi, &h).is_err());
+    }
+
+    #[test]
+    fn rc_admits_lost_update() {
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.writes.push(7);
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert!(check_at(IsolationLevel::ReadCommitted, &h).is_ok());
+        assert!(check_at(IsolationLevel::NonMonotonicSi, &h).is_err());
+    }
+
+    #[test]
+    fn rc_rejects_dirty_read() {
+        // t1 observes writer 2 before txn 2's commit completed (txn 2
+        // completes later in the history) — dirty at every level.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.reads.push((7, 2));
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.writes.push(7);
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert_eq!(
+            check_at(IsolationLevel::ReadCommitted, &h).unwrap_err(),
+            Violation::DirtyRead { tid: 1, key: 7, writer: 2 }
+        );
+        assert!(check_at(IsolationLevel::Si, &h).is_err());
+    }
+
+    #[test]
+    fn rc_rejects_read_of_never_committed_writer() {
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        t1.committed = false;
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.reads.push((7, 1));
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert_eq!(
+            check_at(IsolationLevel::ReadCommitted, &h).unwrap_err(),
+            Violation::DirtyRead { tid: 2, key: 7, writer: 1 }
+        );
+    }
+
+    #[test]
+    fn nmsi_admits_non_monotonic_session_si_rejects() {
+        // Worker 0 commits t1, then begins t2 (after t1 completed: begin_seq
+        // 1) on a stale snapshot that misses its own commit.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.begin_seq = 1;
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert!(check_at(IsolationLevel::NonMonotonicSi, &h).is_ok());
+        assert_eq!(
+            check_at(IsolationLevel::Si, &h).unwrap_err(),
+            Violation::NonMonotonicRead { worker: 0, earlier: 1, later: 2 }
+        );
+    }
+
+    #[test]
+    fn session_checks_gate_on_epoch_and_begin_order() {
+        // Same shape, but the epoch bumped between the two transactions —
+        // a failover may land the worker on a manager with an older view.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.begin_seq = 1;
+        t2.epoch = 1;
+        h.txns.push(t1.clone());
+        h.txns.push(t2);
+        assert!(check_at(IsolationLevel::Si, &h).is_ok());
+
+        // And concurrent (begin_seq 0 = began before t1 completed): no
+        // session obligation either.
+        let mut h2 = History::default();
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.begin_seq = 0;
+        h2.txns.push(t1);
+        h2.txns.push(t2);
+        assert!(check_at(IsolationLevel::Si, &h2).is_ok());
+    }
+
+    #[test]
+    fn snapshot_regression_detected_at_si() {
+        // t1 aborted (so read-your-own-commits does not fire first); t2's
+        // snapshot has a smaller base than t1's — a backwards session.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(1, &[]));
+        t1.committed = false;
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.begin_seq = 1;
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert!(check_at(IsolationLevel::NonMonotonicSi, &h).is_ok());
+        assert_eq!(
+            check_at(IsolationLevel::Si, &h).unwrap_err(),
+            Violation::SnapshotRegression { worker: 0, earlier: 1, later: 2 }
+        );
+    }
+
+    #[test]
+    fn serializable_rejects_write_skew() {
+        // The admitted-at-SI history from write_skew_is_admitted: rw edges
+        // t1 -> t2 (t1 read key 8, t2 overwrote it) and t2 -> t1 close a
+        // cycle.
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.reads.push((8, 0));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(0, &[]));
+        t2.reads.push((7, 0));
+        t2.writes.push(8);
+        h.txns.push(t1);
+        h.txns.push(t2);
+        assert!(check_at(IsolationLevel::Si, &h).is_ok());
+        assert!(matches!(
+            check_at(IsolationLevel::Serializable, &h).unwrap_err(),
+            Violation::SerializationCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn serializable_accepts_serial_history() {
+        let mut h = History::default();
+        let mut t1 = txn(1, snap(0, &[]));
+        t1.reads.push((7, 0));
+        t1.writes.push(7);
+        let mut t2 = txn(2, snap(1, &[]));
+        t2.begin_seq = 1;
+        t2.reads.push((7, 1));
+        t2.writes.push(7);
+        h.txns.push(t1);
+        h.txns.push(t2);
+        let stats = check_at(IsolationLevel::Serializable, &h).unwrap();
+        assert!(stats.dsg_edges_checked > 0);
+    }
+
+    #[test]
+    fn acceptance_lattice_on_crafted_histories() {
+        // A history accepted at Serializable passes everywhere below; the
+        // write-skew history is the canonical SI-but-not-serializable
+        // witness; lost update separates RC from NMSI.
+        let levels = IsolationLevel::ALL;
+        let serial = {
+            let mut h = History::default();
+            let mut t1 = txn(1, snap(0, &[]));
+            t1.writes.push(7);
+            let mut t2 = txn(2, snap(1, &[]));
+            t2.begin_seq = 1;
+            t2.reads.push((7, 1));
+            h.txns.push(t1);
+            h.txns.push(t2);
+            h
+        };
+        for level in levels {
+            assert!(check_at(level, &serial).is_ok(), "serial history rejected at {level}");
+        }
+        let mut last_ok = true;
+        for level in levels {
+            let ok = check_at(level, &{
+                let mut h = History::default();
+                let mut t1 = txn(1, snap(0, &[]));
+                t1.reads.push((8, 0));
+                t1.writes.push(7);
+                let mut t2 = txn(2, snap(0, &[]));
+                t2.reads.push((7, 0));
+                t2.writes.push(8);
+                h.txns.push(t1);
+                h.txns.push(t2);
+                h
+            })
+            .is_ok();
+            // Once a level rejects, every stronger level must reject too.
+            assert!(last_ok || !ok, "lattice inversion at {level}");
+            last_ok = ok;
+        }
     }
 }

@@ -23,7 +23,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use rand::{Rng, SeedableRng, StdRng};
 use tell_commitmgr::manager::CmConfig;
 use tell_commitmgr::SnapshotDescriptor;
-use tell_common::{CmId, Error, SnId, TxnId};
+use tell_common::{CmId, Error, IsolationLevel, SnId, TxnId};
 use tell_core::database::IndexSpec;
 use tell_core::{Database, TableDef, TellConfig, VersionedRecord};
 use tell_durable::{DurableNodeConfig, FsDurability, FsyncPolicy};
@@ -79,6 +79,13 @@ pub struct SimConfig {
     /// virtual clocks, so it is bit-identical across replays of the same
     /// plan — see `tell_obs::prof::SimProfile`.
     pub profile_hz: Option<f64>,
+    /// Isolation level every worker transaction runs at. The post-run
+    /// history check uses the matching oracle ([`checker::check_at`]).
+    pub isolation: IsolationLevel,
+    /// Zipfian skew of the YCSB-style key chooser (0 = uniform). Hot keys
+    /// are the low ids; skew is what makes write-write conflicts and
+    /// level-separating anomalies reachable in short runs.
+    pub zipf_theta: f64,
 }
 
 impl Default for SimConfig {
@@ -94,6 +101,8 @@ impl Default for SimConfig {
             commit_managers: 2,
             durable: false,
             profile_hz: None,
+            isolation: IsolationLevel::Si,
+            zipf_theta: 0.8,
         }
     }
 }
@@ -202,6 +211,11 @@ enum Turn {
 
 struct LiveTxn {
     snapshot: SnapshotDescriptor,
+    /// History length at begin — filled in by [`Shared::release`] under the
+    /// turnstile lock, so it is exact.
+    begin_seq: usize,
+    /// CM membership epoch at begin.
+    epoch: u32,
 }
 
 struct TurnState {
@@ -211,6 +225,9 @@ struct TurnState {
     stop: bool,
     live: Vec<Option<LiveTxn>>,
     history: History,
+    /// CM membership epoch (bumped on kill/recover) — lives here so both
+    /// the scheduler's scrapes and begin-time stamping read one source.
+    epoch: u32,
     violation: Option<Violation>,
 }
 
@@ -244,9 +261,19 @@ impl Shared {
         st.clocks[w] += TURN_THINK_US + delta_us;
         match effect {
             Effect::None => {}
-            Effect::Began(live) => st.live[w] = Some(live),
-            Effect::Finished(rec) => {
-                st.live[w] = None;
+            Effect::Began(mut live) => {
+                // The worker held the turn since it took the snapshot, so
+                // nothing completed in between: the current history length
+                // is exactly the set of transactions done before begin.
+                live.begin_seq = st.history.txns.len();
+                live.epoch = st.epoch;
+                st.live[w] = Some(live);
+            }
+            Effect::Finished(mut rec) => {
+                if let Some(live) = st.live[w].take() {
+                    rec.begin_seq = live.begin_seq;
+                    rec.epoch = live.epoch;
+                }
                 st.history.txns.push(rec);
             }
             Effect::Broke(v) => {
@@ -284,21 +311,57 @@ struct Work {
     idle_between: u32,
 }
 
-fn plan_work(rng: &mut StdRng, keyspace: u64) -> Work {
+/// YCSB-style Zipfian key chooser: weight of key `i` is `1/(i+1)^theta`,
+/// picked by CDF inversion over precomputed cumulative weights. Theta 0 is
+/// uniform; the standard YCSB skew is ~0.99. Hot keys are the low ids —
+/// the sim's keyspace is small and anonymous, so scrambling adds nothing.
+struct KeyPicker {
+    cum: Vec<f64>,
+}
+
+impl KeyPicker {
+    fn new(keyspace: u64, theta: f64) -> Self {
+        let mut cum = Vec::with_capacity(keyspace as usize);
+        let mut total = 0.0;
+        for i in 0..keyspace {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cum.push(total);
+        }
+        KeyPicker { cum }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> u64 {
+        let total = *self.cum.last().expect("non-empty keyspace");
+        let r: f64 = rng.random::<f64>() * total;
+        self.cum.partition_point(|&c| c <= r) as u64 % self.cum.len() as u64
+    }
+}
+
+fn plan_work(rng: &mut StdRng, picker: &KeyPicker, keyspace: u64) -> Work {
     let roll: f64 = rng.random();
-    let (nkeys, write, idle_between) = if roll < 0.30 {
+    if roll >= 0.90 {
+        // Long scan: a contiguous slice of the keyspace read with idle
+        // turns in between — the snapshot stays open across fault events,
+        // GC runs and (at weak levels) many foreign commits.
+        let len = (rng.random_range(4..=8usize) as u64).min(keyspace) as usize;
+        let start = picker.pick(rng);
+        let keys: Vec<u64> = (0..len as u64).map(|i| (start + i) % keyspace).collect();
+        return Work { keys, write: false, idle_between: 2 };
+    }
+    let (nkeys, write, idle_between) = if roll < 0.25 {
         (rng.random_range(1..=3usize), false, 0) // read-only
-    } else if roll < 0.85 {
+    } else if roll < 0.80 {
         (rng.random_range(1..=2usize), true, 0) // read-modify-write
     } else {
-        // Long reader: many keys, idle turns in between, sometimes a
-        // write at the end (an old snapshot trying to commit is exactly
+        // Long reader: many skewed keys, idle turns in between, sometimes
+        // a write at the end (an old snapshot trying to commit is exactly
         // the first-committer-wins case).
         (rng.random_range(4..=8usize), rng.random_bool(0.5), 2)
     };
+    let nkeys = (nkeys as u64).min(keyspace) as usize;
     let mut keys = Vec::with_capacity(nkeys);
     while keys.len() < nkeys {
-        let k = rng.random_range(0..keyspace);
+        let k = picker.pick(rng);
         if !keys.contains(&k) {
             keys.push(k);
         }
@@ -317,6 +380,7 @@ fn worker_main(
     db: &std::sync::Arc<Database>,
     table: &std::sync::Arc<TableDef>,
     rids: &[tell_common::Rid],
+    picker: &KeyPicker,
     cfg: &SimConfig,
 ) {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ WORKER_STREAM ^ ((w as u64) << 32 | w as u64));
@@ -347,14 +411,18 @@ fn worker_main(
                 shared.finish(w);
                 return;
             }
-            None => match pn.begin() {
+            None => match pn.begin_at(cfg.isolation) {
                 Ok(t) => {
-                    work = plan_work(&mut rng, cfg.keys);
+                    work = plan_work(&mut rng, picker, cfg.keys);
                     read_pos = 0;
                     write_pos = 0;
                     idle_left = 0;
                     reads = Vec::new();
-                    effect = Effect::Began(LiveTxn { snapshot: t.snapshot().clone() });
+                    effect = Effect::Began(LiveTxn {
+                        snapshot: t.snapshot().clone(),
+                        begin_seq: 0, // stamped by release under the lock
+                        epoch: 0,
+                    });
                     txn = Some(t);
                 }
                 Err(e) if is_transient(&e) => extra_us = BACKOFF_US,
@@ -399,7 +467,10 @@ fn worker_main(
                         effect = Effect::Finished(TxnRecord {
                             worker: w,
                             tid,
+                            isolation: cfg.isolation,
                             snapshot,
+                            begin_seq: 0, // stamped by release from LiveTxn
+                            epoch: 0,
                             reads: std::mem::take(&mut reads),
                             writes: if committed && work.write {
                                 work.keys.clone()
@@ -431,7 +502,10 @@ fn worker_main(
                             effect = Effect::Finished(TxnRecord {
                                 worker: w,
                                 tid,
+                                isolation: cfg.isolation,
                                 snapshot,
+                                begin_seq: 0, // stamped by release from LiveTxn
+                                epoch: 0,
                                 reads: std::mem::take(&mut reads),
                                 writes: Vec::new(),
                                 committed: false,
@@ -475,8 +549,6 @@ struct Scheduler<'a> {
     table: &'a std::sync::Arc<TableDef>,
     rids: &'a [tell_common::Rid],
     rng: StdRng,
-    /// CM membership epoch (bumped on kill/recover) — see [`LavScrape`].
-    epoch: u32,
     /// CM instance ids handed to recovered managers (fresh, never reused).
     next_cm_id: u32,
     /// Ids of killed managers whose stale published state we keep erasing
@@ -545,7 +617,7 @@ impl Scheduler<'_> {
                     let victim = members[0].0;
                     if self.db.commit_managers().fail(victim).is_ok() {
                         self.killed_cms.push(victim.raw());
-                        self.epoch += 1;
+                        st.epoch += 1;
                     }
                 }
             }
@@ -555,7 +627,7 @@ impl Scheduler<'_> {
                     let id = CmId(self.next_cm_id);
                     self.next_cm_id += 1;
                     if cluster.spawn_recovered(id).is_ok() {
-                        self.epoch += 1;
+                        st.epoch += 1;
                     }
                 }
             }
@@ -715,7 +787,7 @@ impl Scheduler<'_> {
         let bases: Vec<(u32, u64)> =
             cluster.members().iter().map(|(id, base)| (id.raw(), *base)).collect();
         let lav = cluster.current_lav();
-        st.history.scrapes.push(LavScrape { at_us, epoch: self.epoch, lav, bases });
+        st.history.scrapes.push(LavScrape { at_us, epoch: st.epoch, lav, bases });
         self.stats.scrapes += 1;
 
         // Telemetry rollup tick: fold turnstile state into the sim-local
@@ -830,6 +902,7 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
             stop: false,
             live: (0..config.workers).map(|_| None).collect(),
             history: History::default(),
+            epoch: 0,
             violation: None,
         }),
         cv: Condvar::new(),
@@ -842,7 +915,6 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
         table: &table,
         rids: &rids,
         rng: StdRng::seed_from_u64(config.seed ^ SCHED_STREAM),
-        epoch: 0,
         next_cm_id: 100,
         killed_cms: Vec::new(),
         pending_crashes: Vec::new(),
@@ -862,6 +934,7 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
     // turn and every simulated-cost charge point ticks it, so the folded
     // output is a pure function of the seeded virtual clocks.
     let sim_prof = config.profile_hz.map(tell_obs::SimProfile::new);
+    let picker = KeyPicker::new(config.keys, config.zipf_theta);
 
     let (history, violation, mut stats, telemetry) = std::thread::scope(|scope| {
         for w in 0..config.workers {
@@ -869,13 +942,14 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
             let db = &db;
             let table = &table;
             let rids = &rids[..];
+            let picker = &picker;
             let sim_prof = sim_prof.clone();
             scope.spawn(move || {
                 if let Some(prof) = &sim_prof {
                     tell_obs::prof::sim_attach(prof, 0.0);
                 }
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    worker_main(w, shared, db, table, rids, config);
+                    worker_main(w, shared, db, table, rids, picker, config);
                 }));
                 if sim_prof.is_some() {
                     tell_obs::prof::sim_detach();
@@ -964,10 +1038,11 @@ pub fn run_with_plan(config: &SimConfig, plan: FaultPlan) -> SimOutcome {
     stats.writes = history.txns.iter().filter(|t| t.committed).map(|t| t.writes.len()).sum();
 
     // A live violation (GC reachability, unexpected error) trumps the
-    // post-hoc check; otherwise the history faces the oracle.
+    // post-hoc check; otherwise the history faces the oracle matching the
+    // level the run executed at.
     let (violation, check) = match violation {
         Some(v) => (Some(v), None),
-        None => match checker::check(&history) {
+        None => match checker::check_at(config.isolation, &history) {
             Ok(stats) => (None, Some(stats)),
             Err(v) => (Some(v), None),
         },
@@ -1028,6 +1103,16 @@ mod tests {
         assert!(outcome.ok(), "violation: {:?}", outcome.violation);
         assert!(outcome.stats.commits > 0, "no commits in {:?}", outcome.stats);
         assert!(outcome.check.unwrap().reads_checked > 0);
+    }
+
+    #[test]
+    fn every_level_passes_its_own_oracle() {
+        for level in IsolationLevel::ALL {
+            let cfg = SimConfig { isolation: level, ..tiny(FaultMix::None, 11) };
+            let outcome = run(&cfg);
+            assert!(outcome.ok(), "{level}: violation {:?}", outcome.violation);
+            assert!(outcome.stats.commits > 0, "{level}: no commits in {:?}", outcome.stats);
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! initial version".
 
 use tell_commitmgr::SnapshotDescriptor;
+use tell_common::IsolationLevel;
 
 /// Encode the row a transaction writes: `[writer_tid BE][key_id BE]`.
 pub fn row_value(writer_tid: u64, key: u64) -> Vec<u8> {
@@ -37,8 +38,21 @@ pub struct TxnRecord {
     pub worker: usize,
     /// The tid the commit manager allocated.
     pub tid: u64,
-    /// The snapshot descriptor the transaction read under.
+    /// Isolation level the transaction ran at.
+    pub isolation: IsolationLevel,
+    /// The snapshot descriptor the transaction was handed at begin. (At
+    /// read-committed the engine may refresh past it mid-transaction;
+    /// the per-level oracles account for that.)
     pub snapshot: SnapshotDescriptor,
+    /// Number of records already in the history when this transaction
+    /// began: every record with index `< begin_seq` completed strictly
+    /// before this transaction's snapshot was taken. The session-order
+    /// checks (read-your-own-commits, snapshot monotonicity) key off it.
+    pub begin_seq: usize,
+    /// Commit-manager membership epoch at begin. A worker silently lands
+    /// on a different manager only across an epoch bump, so session
+    /// checks compare records within one epoch only.
+    pub epoch: u32,
     /// `(key, observed_writer_tid)` per read, in program order. Reads of a
     /// key the transaction itself already buffered a write for are *not*
     /// recorded (they observe the private buffer, not the snapshot).
@@ -108,9 +122,12 @@ impl History {
                 v += 1;
             }
             out.push_str(&format!(
-                "    {{\"worker\":{},\"tid\":{},\"base\":{},\"newly\":[{}],\"reads\":[{}],\"writes\":[{}],\"committed\":{}}}{}\n",
+                "    {{\"worker\":{},\"tid\":{},\"level\":\"{}\",\"begin_seq\":{},\"epoch\":{},\"base\":{},\"newly\":[{}],\"reads\":[{}],\"writes\":[{}],\"committed\":{}}}{}\n",
                 t.worker,
                 t.tid,
+                t.isolation,
+                t.begin_seq,
+                t.epoch,
                 t.snapshot.base(),
                 newly.join(","),
                 reads.join(","),
@@ -154,7 +171,10 @@ mod tests {
         h.txns.push(TxnRecord {
             worker: 0,
             tid: 5,
+            isolation: IsolationLevel::Si,
             snapshot: SnapshotDescriptor::bootstrap(),
+            begin_seq: 0,
+            epoch: 0,
             reads: vec![(1, 0)],
             writes: vec![1],
             committed: true,
@@ -162,6 +182,7 @@ mod tests {
         h.scrapes.push(LavScrape { at_us: 10.0, epoch: 0, lav: 5, bases: vec![(0, 5)] });
         let json = h.to_json();
         assert!(json.contains("\"tid\":5"));
+        assert!(json.contains("\"level\":\"si\""));
         assert!(json.contains("\"lav\":5"));
         // Balanced braces/brackets as a cheap sanity proxy.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

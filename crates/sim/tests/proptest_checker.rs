@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use tell_commitmgr::SnapshotDescriptor;
-use tell_common::BitSet;
+use tell_common::{BitSet, IsolationLevel};
 use tell_sim::{check, History, TxnRecord, Violation};
 
 /// One step of the command stream, decoded from raw proptest bytes so the
@@ -43,9 +43,11 @@ fn decode(op: u8, slot: u8, key: u8) -> Cmd {
 
 /// An open transaction in the reference engine.
 struct Open {
+    slot: usize,
     tid: u64,
     base: u64,
     newly: Vec<u64>,
+    begin_seq: usize,
     reads: Vec<(u64, u64)>,
     writes: Vec<u64>,
 }
@@ -81,7 +83,7 @@ struct Engine {
 }
 
 impl Engine {
-    fn begin(&mut self) -> Open {
+    fn begin(&mut self, slot: usize) -> Open {
         self.next_tid += 1;
         let tid = self.next_tid;
         self.active.insert(tid);
@@ -96,7 +98,15 @@ impl Engine {
             .filter(|(t, committed)| **t > base && **committed)
             .map(|(t, _)| *t)
             .collect();
-        Open { tid, base, newly, reads: Vec::new(), writes: Vec::new() }
+        Open {
+            slot,
+            tid,
+            base,
+            newly,
+            begin_seq: self.history.txns.len(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
     }
 
     fn read(&self, open: &Open, key: u64) -> u64 {
@@ -127,9 +137,12 @@ impl Engine {
         self.active.remove(&open.tid);
         self.finished.insert(open.tid, committed);
         self.history.txns.push(TxnRecord {
-            worker: 0,
+            worker: open.slot,
             tid: open.tid,
+            isolation: IsolationLevel::Si,
             snapshot: open.descriptor(),
+            begin_seq: open.begin_seq,
+            epoch: 0,
             reads: open.reads,
             writes: if committed { open.writes } else { Vec::new() },
             committed,
@@ -146,7 +159,7 @@ fn execute(stream: &[(u8, u8, u8)]) -> History {
         match decode(op, slot, key) {
             Cmd::Begin(s) => {
                 if slots[s].is_none() {
-                    slots[s] = Some(engine.begin());
+                    slots[s] = Some(engine.begin(s));
                 }
             }
             Cmd::Read(s, k) => {
@@ -233,7 +246,10 @@ proptest! {
             history.txns.push(TxnRecord {
                 worker: 0,
                 tid,
+                isolation: IsolationLevel::Si,
                 snapshot: SnapshotDescriptor::new(top, BitSet::new()),
+                begin_seq: 0,
+                epoch: 0,
                 reads: vec![],
                 writes: vec![key],
                 committed: true,

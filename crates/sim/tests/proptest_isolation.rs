@@ -1,0 +1,435 @@
+//! Differential property tests for the per-level oracles in
+//! `tell_sim::checker`.
+//!
+//! Four miniature reference engines — one per [`IsolationLevel`] — execute
+//! random command streams. Each engine produces histories that are valid
+//! *by construction* at its level, so the matching oracle (and every weaker
+//! one) must accept them: that is the acceptance lattice
+//! `accept(Serializable) ⊆ accept(Si) ⊆ accept(NMSI) ⊆ accept(RC)` asserted
+//! on real generated histories, not just on paper. Then seeded anomalies —
+//! dirty read, stale (torn) read, lost update, non-monotonic session, write
+//! skew — pin each oracle from the other side: every anomaly must be
+//! rejected at exactly the levels that forbid it and admitted at every
+//! level below.
+//!
+//! The reference engines (shared skeleton, level-specific policies):
+//!
+//! - **Read committed** — every read re-fetches the freshest committed
+//!   version; commits never conflict.
+//! - **Non-monotonic SI** — two "commit managers" each serve a cached
+//!   snapshot refreshed every third begin, and begins alternate between
+//!   them, so a session can watch time go backwards; first-committer-wins
+//!   over the write set.
+//! - **SI** — a fresh snapshot at begin; first-committer-wins over the
+//!   write set.
+//! - **Serializable** — SI plus backward validation over the *read* set:
+//!   a commit fails if any committed writer invisible to the snapshot
+//!   touched a key the transaction read or wrote (OCC-style
+//!   certification, which serializes in commit order).
+
+use std::collections::{BTreeMap, HashMap};
+
+use proptest::prelude::*;
+use tell_commitmgr::SnapshotDescriptor;
+use tell_common::{BitSet, IsolationLevel};
+use tell_sim::{check_at, History, TxnRecord};
+
+const SLOTS: usize = 4;
+const KEYS: u64 = 5;
+
+#[derive(Clone, Copy, Debug)]
+enum Cmd {
+    Begin(usize),
+    Read(usize, u64),
+    Write(usize, u64),
+    Commit(usize),
+    Abort(usize),
+}
+
+fn decode(op: u8, slot: u8, key: u8) -> Cmd {
+    let slot = slot as usize % SLOTS;
+    let key = key as u64 % KEYS;
+    match op % 5 {
+        0 => Cmd::Begin(slot),
+        1 => Cmd::Read(slot, key),
+        2 => Cmd::Write(slot, key),
+        3 => Cmd::Commit(slot),
+        _ => Cmd::Abort(slot),
+    }
+}
+
+/// A snapshot in reference-engine form: base plus newly-committed tids.
+#[derive(Clone, Debug)]
+struct Snap {
+    base: u64,
+    newly: Vec<u64>,
+}
+
+impl Snap {
+    fn sees(&self, v: u64) -> bool {
+        v <= self.base || self.newly.contains(&v)
+    }
+
+    fn descriptor(&self) -> SnapshotDescriptor {
+        let mut bits = BitSet::new();
+        for &v in &self.newly {
+            bits.set((v - self.base - 1) as usize);
+        }
+        SnapshotDescriptor::new(self.base, bits)
+    }
+}
+
+struct Open {
+    slot: usize,
+    tid: u64,
+    snap: Snap,
+    begin_seq: usize,
+    reads: Vec<(u64, u64)>,
+    writes: Vec<u64>,
+}
+
+/// The level-parameterized reference engine: a sequentially-consistent
+/// implementation over the single total order of proptest commands.
+struct Engine {
+    level: IsolationLevel,
+    next_tid: u64,
+    /// `tid -> committed?` for every finished transaction.
+    finished: BTreeMap<u64, bool>,
+    /// Committed writers per key, in commit order.
+    writers: HashMap<u64, Vec<u64>>,
+    /// NMSI only: one cached snapshot per simulated manager, plus the
+    /// per-manager begin counts that drive the refresh cadence.
+    caches: [Option<Snap>; 2],
+    cache_begins: [u64; 2],
+    begins: u64,
+    history: History,
+}
+
+impl Engine {
+    fn new(level: IsolationLevel) -> Self {
+        Engine {
+            level,
+            next_tid: 0,
+            finished: BTreeMap::new(),
+            writers: HashMap::new(),
+            caches: [None, None],
+            cache_begins: [0, 0],
+            begins: 0,
+            history: History::default(),
+        }
+    }
+
+    /// Snapshot of everything finished so far: base is the highest
+    /// contiguous finished tid, `newly` the committed tids above it.
+    fn fresh_snap(&self) -> Snap {
+        let mut base = 0;
+        while self.finished.contains_key(&(base + 1)) {
+            base += 1;
+        }
+        let newly = self
+            .finished
+            .iter()
+            .filter(|(t, committed)| **t > base && **committed)
+            .map(|(t, _)| *t)
+            .collect();
+        Snap { base, newly }
+    }
+
+    fn begin(&mut self, slot: usize) -> Open {
+        self.next_tid += 1;
+        let tid = self.next_tid;
+        let m = (self.begins % 2) as usize;
+        self.begins += 1;
+        let snap = if self.level == IsolationLevel::NonMonotonicSi {
+            // Alternate between two managers whose caches refresh out of
+            // phase — successive begins in one session can regress in time.
+            let refresh = self.caches[m].is_none() || self.cache_begins[m].is_multiple_of(3);
+            self.cache_begins[m] += 1;
+            if refresh {
+                let s = self.fresh_snap();
+                self.caches[m] = Some(s.clone());
+                s
+            } else {
+                self.caches[m].clone().expect("cache present")
+            }
+        } else {
+            self.fresh_snap()
+        };
+        Open {
+            slot,
+            tid,
+            snap,
+            begin_seq: self.history.txns.len(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn read(&self, open: &Open, key: u64) -> u64 {
+        let ws = self.writers.get(&key);
+        if self.level == IsolationLevel::ReadCommitted {
+            // Freshest committed version, re-fetched at read time.
+            ws.and_then(|v| v.last()).copied().unwrap_or(0)
+        } else {
+            ws.into_iter().flatten().filter(|w| open.snap.sees(**w)).copied().max().unwrap_or(0)
+        }
+    }
+
+    fn finish(&mut self, open: Open, want_commit: bool) {
+        // Which keys must still be current at commit time for the commit to
+        // succeed: none at RC, the write set under snapshot levels
+        // (first-committer-wins), reads and writes under serializable.
+        let validated: Vec<u64> = match self.level {
+            IsolationLevel::ReadCommitted => Vec::new(),
+            IsolationLevel::Serializable => {
+                open.writes.iter().copied().chain(open.reads.iter().map(|(k, _)| *k)).collect()
+            }
+            _ => open.writes.clone(),
+        };
+        let conflicted = want_commit
+            && validated
+                .iter()
+                .any(|k| self.writers.get(k).into_iter().flatten().any(|w| !open.snap.sees(*w)));
+        let committed = want_commit && !conflicted;
+        if committed {
+            for &k in &open.writes {
+                self.writers.entry(k).or_default().push(open.tid);
+            }
+        }
+        self.finished.insert(open.tid, committed);
+        self.history.txns.push(TxnRecord {
+            worker: open.slot,
+            tid: open.tid,
+            isolation: self.level,
+            snapshot: open.snap.descriptor(),
+            begin_seq: open.begin_seq,
+            epoch: 0,
+            reads: open.reads,
+            writes: if committed { open.writes } else { Vec::new() },
+            committed,
+        });
+    }
+}
+
+fn execute(stream: &[(u8, u8, u8)], level: IsolationLevel) -> History {
+    let mut engine = Engine::new(level);
+    let mut slots: Vec<Option<Open>> = (0..SLOTS).map(|_| None).collect();
+    for &(op, slot, key) in stream {
+        match decode(op, slot, key) {
+            Cmd::Begin(s) => {
+                if slots[s].is_none() {
+                    slots[s] = Some(engine.begin(s));
+                }
+            }
+            Cmd::Read(s, k) => {
+                if let Some(open) = slots[s].as_mut() {
+                    if !open.writes.contains(&k) {
+                        let observed = engine.read(open, k);
+                        open.reads.push((k, observed));
+                    }
+                }
+            }
+            Cmd::Write(s, k) => {
+                if let Some(open) = slots[s].as_mut() {
+                    if !open.writes.contains(&k) {
+                        open.writes.push(k);
+                    }
+                }
+            }
+            Cmd::Commit(s) => {
+                if let Some(open) = slots[s].take() {
+                    engine.finish(open, true);
+                }
+            }
+            Cmd::Abort(s) => {
+                if let Some(open) = slots[s].take() {
+                    engine.finish(open, false);
+                }
+            }
+        }
+    }
+    for open in slots.into_iter().flatten() {
+        engine.finish(open, true);
+    }
+    engine.history
+}
+
+fn stream() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..160)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The acceptance lattice, from the accepting side: an engine that is
+    /// correct at level L produces histories every oracle at L *or weaker*
+    /// must accept.
+    #[test]
+    fn engine_histories_are_accepted_at_their_level_and_below(stream in stream()) {
+        for level in IsolationLevel::ALL {
+            let history = execute(&stream, level);
+            for weaker in IsolationLevel::ALL.iter().copied().filter(|l| *l <= level) {
+                if let Err(v) = check_at(weaker, &history) {
+                    prop_assert!(
+                        false,
+                        "{level} engine history rejected at {weaker}: {v}\n{}",
+                        history.to_json(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Weakening one read of an SI history to an *older committed* version
+    /// splits read committed from the snapshot levels: RC still accepts
+    /// (the old writer did commit before the reader completed), every
+    /// snapshot level rejects (the read is no longer maximal-visible).
+    #[test]
+    fn stale_reads_split_rc_from_the_snapshot_levels(stream in stream(), pick in any::<usize>()) {
+        let history = execute(&stream, IsolationLevel::Si);
+        // Commit order per key, to find each observation's predecessor.
+        let mut writers: HashMap<u64, Vec<u64>> = HashMap::new();
+        for t in history.committed() {
+            for &k in &t.writes {
+                writers.entry(k).or_default().push(t.tid);
+            }
+        }
+        // Candidate (txn, read) pairs whose observation can be made stale.
+        let mut candidates: Vec<(usize, usize, u64)> = Vec::new();
+        for (i, t) in history.txns.iter().enumerate() {
+            for (r, &(k, observed)) in t.reads.iter().enumerate() {
+                if observed == 0 {
+                    continue;
+                }
+                let ws = &writers[&k];
+                let p = ws.iter().position(|w| *w == observed).expect("observed committed");
+                let stale = if p == 0 { 0 } else { ws[p - 1] };
+                candidates.push((i, r, stale));
+            }
+        }
+        prop_assume!(!candidates.is_empty());
+        let (i, r, stale) = candidates[pick % candidates.len()];
+        let mut history = history;
+        history.txns[i].reads[r].1 = stale;
+        prop_assert!(check_at(IsolationLevel::ReadCommitted, &history).is_ok(),
+            "RC must admit the stale-but-committed read");
+        for level in [IsolationLevel::NonMonotonicSi, IsolationLevel::Si] {
+            prop_assert!(check_at(level, &history).is_err(),
+                "{level} must reject the stale read");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded anomalies: each classic anomaly must be rejected at exactly the
+// levels that forbid it. Together with the engine tests above this pins the
+// lattice from both sides.
+// ---------------------------------------------------------------------------
+
+fn snap(base: u64, newly: &[u64]) -> SnapshotDescriptor {
+    let mut bits = BitSet::new();
+    for &v in newly {
+        bits.set((v - base - 1) as usize);
+    }
+    SnapshotDescriptor::new(base, bits)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn txn(
+    worker: usize,
+    tid: u64,
+    snapshot: SnapshotDescriptor,
+    begin_seq: usize,
+    reads: Vec<(u64, u64)>,
+    writes: Vec<u64>,
+    committed: bool,
+) -> TxnRecord {
+    TxnRecord {
+        worker,
+        tid,
+        isolation: IsolationLevel::Si,
+        snapshot,
+        begin_seq,
+        epoch: 0,
+        reads,
+        writes,
+        committed,
+    }
+}
+
+/// The levels (weakest first) that accept `history`.
+fn accepted(history: &History) -> Vec<IsolationLevel> {
+    IsolationLevel::ALL.into_iter().filter(|l| check_at(*l, history).is_ok()).collect()
+}
+
+#[test]
+fn dirty_read_is_rejected_at_every_level() {
+    let mut h = History::default();
+    // Reads a writer that never existed — not even RC admits it.
+    h.txns.push(txn(0, 1, snap(0, &[]), 0, vec![(1, 9)], vec![], true));
+    assert_eq!(accepted(&h), vec![]);
+}
+
+#[test]
+fn read_of_an_uncommitted_writer_is_rejected_at_every_level() {
+    let mut h = History::default();
+    // Writer 1 aborts (its writes never land), yet the reader observed it.
+    h.txns.push(txn(0, 1, snap(0, &[]), 0, vec![], vec![], false));
+    h.txns.push(txn(1, 2, snap(1, &[]), 1, vec![(3, 1)], vec![], true));
+    assert_eq!(accepted(&h), vec![]);
+}
+
+#[test]
+fn stale_read_is_admitted_only_at_read_committed() {
+    let mut h = History::default();
+    h.txns.push(txn(0, 1, snap(0, &[]), 0, vec![], vec![7], true));
+    h.txns.push(txn(1, 2, snap(1, &[]), 1, vec![], vec![7], true));
+    // Both writers are visible to the reader, yet it observed the older
+    // one: fine at RC (writer 1 committed before the read), torn above.
+    h.txns.push(txn(2, 3, snap(2, &[]), 2, vec![(7, 1)], vec![], true));
+    assert_eq!(accepted(&h), vec![IsolationLevel::ReadCommitted]);
+}
+
+#[test]
+fn lost_update_is_admitted_only_at_read_committed() {
+    let mut h = History::default();
+    // Two committed writers of key 4, mutually invisible.
+    h.txns.push(txn(0, 1, snap(0, &[]), 0, vec![], vec![4], true));
+    h.txns.push(txn(1, 2, snap(0, &[]), 0, vec![], vec![4], true));
+    assert_eq!(accepted(&h), vec![IsolationLevel::ReadCommitted]);
+}
+
+#[test]
+fn non_monotonic_session_is_admitted_below_si() {
+    let mut h = History::default();
+    // Worker 0 commits txn 1, then begins txn 2 on a stale snapshot that
+    // misses its own commit. The reads are consistent with the stale
+    // snapshot, so NMSI shrugs; SI's session rule does not.
+    h.txns.push(txn(0, 1, snap(0, &[]), 0, vec![], vec![4], true));
+    h.txns.push(txn(0, 2, snap(0, &[]), 1, vec![(4, 0)], vec![], true));
+    assert_eq!(accepted(&h), vec![IsolationLevel::ReadCommitted, IsolationLevel::NonMonotonicSi]);
+}
+
+#[test]
+fn write_skew_is_admitted_below_serializable() {
+    let mut h = History::default();
+    h.txns.push(txn(0, 1, snap(0, &[]), 0, vec![], vec![10], true));
+    h.txns.push(txn(1, 2, snap(1, &[]), 1, vec![], vec![11], true));
+    // Txns 3 and 4 read both keys under the same snapshot and write one
+    // each: legal SI (disjoint write sets), an rw-cycle in the DSG.
+    h.txns.push(txn(2, 3, snap(2, &[]), 2, vec![(10, 1), (11, 2)], vec![10], true));
+    h.txns.push(txn(3, 4, snap(2, &[]), 2, vec![(10, 1), (11, 2)], vec![11], true));
+    assert_eq!(
+        accepted(&h),
+        vec![IsolationLevel::ReadCommitted, IsolationLevel::NonMonotonicSi, IsolationLevel::Si]
+    );
+}
+
+#[test]
+fn serial_history_is_accepted_at_every_level() {
+    let mut h = History::default();
+    h.txns.push(txn(0, 1, snap(0, &[]), 0, vec![(2, 0)], vec![2], true));
+    h.txns.push(txn(1, 2, snap(1, &[]), 1, vec![(2, 1)], vec![2], true));
+    h.txns.push(txn(0, 3, snap(2, &[]), 2, vec![(2, 2)], vec![], true));
+    assert_eq!(accepted(&h), IsolationLevel::ALL.to_vec());
+}

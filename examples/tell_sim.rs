@@ -2,13 +2,15 @@
 //!
 //! Expands `--seed` into a fault plan, drives the full PN/SN/CM stack
 //! through it turn-by-turn (see `crates/sim`), and checks the observed
-//! history against the snapshot-isolation oracle. The verdict line on
-//! stdout is bit-identical for identical flags — timings and artifact
+//! history against the oracle for the configured isolation level
+//! (`--isolation rc|nmsi|si|serializable`, default si). The verdict line
+//! on stdout is bit-identical for identical flags — timings and artifact
 //! paths go to stderr.
 //!
 //! ```text
 //! cargo run --release --example tell_sim -- --seed 42 --faults all
-//! tell_sim: seed=42 faults=all events=25 seconds=0.5 txns=7140 commits=6427 aborts=713 verdict=ok
+//! tell_sim: seed=42 faults=all isolation=si events=25 seconds=0.5 txns=7140 commits=6427 aborts=713 verdict=ok
+//! cargo run --release --example tell_sim -- --seed 42 --isolation serializable
 //! ```
 //!
 //! On a violation the runner re-executes binary-searched prefixes of the
@@ -16,6 +18,7 @@
 //! (JSON) and a Perfetto-loadable trace of the final run, prints the exact
 //! command line that replays the failure, and exits 1.
 
+use tell_common::IsolationLevel;
 use tell_obs::export::{chrome_trace_json, validate_json, SourcedSpan};
 use tell_sim::{shrink_plan, FaultMix, SimConfig, SimOutcome};
 
@@ -49,6 +52,14 @@ fn parse_args() -> Result<Args, String> {
             "--keys" => {
                 args.config.keys = value("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?
             }
+            "--isolation" => {
+                args.config.isolation =
+                    value("--isolation")?.parse::<IsolationLevel>().map_err(|e| e.to_string())?
+            }
+            "--zipf" => {
+                args.config.zipf_theta =
+                    value("--zipf")?.parse().map_err(|e| format!("--zipf: {e}"))?
+            }
             "--durable" => args.config.durable = true,
             "--profile" => args.config.profile_hz = Some(tell_obs::prof::default_hz()),
             "--profile-hz" => {
@@ -58,21 +69,26 @@ fn parse_args() -> Result<Args, String> {
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--help" | "-h" => {
                 println!(
-                    "tell_sim: seeded fault-schedule simulation with an SI history checker\n\n\
+                    "tell_sim: seeded fault-schedule simulation with per-level history oracles\n\n\
                      options:\n  \
                      --seed N         master seed (default 1); same seed = same run\n  \
                      --seconds F      virtual horizon in seconds (default 0.5)\n  \
                      --faults MIX     none | sn | cm | all (default none)\n  \
                      --workers N      concurrent transaction workers (default 4)\n  \
                      --keys N         keyspace size (default 32; small = contended)\n  \
+                     --isolation L    rc | nmsi | si | serializable (default si); every\n  \
+                                      transaction runs at L and the history is checked\n  \
+                                      against L's oracle\n  \
+                     --zipf F         Zipfian skew theta for key choice (default 0.8;\n  \
+                                      0 = uniform, higher = hotter hot keys)\n  \
                      --durable        log-structured persistence tier per SN (relaxes the\n  \
                                       SN death budget; revivals may restart from log)\n  \
                      --profile        sample a logical-stack profile on the virtual clock\n  \
                                       (bit-identical across replays); folded stacks on stdout\n  \
                      --profile-hz F   like --profile at an explicit sample rate\n  \
                      --bench-json F   write a throughput snapshot to file F\n\n\
-                     exit status: 0 = history satisfies SI, 1 = violation (artifacts\n\
-                     are dumped and the minimal failing prefix is reported)"
+                     exit status: 0 = history satisfies the level's oracle, 1 = violation\n\
+                     (artifacts are dumped and the minimal failing prefix is reported)"
                 );
                 std::process::exit(0);
             }
@@ -84,10 +100,12 @@ fn parse_args() -> Result<Args, String> {
 
 fn verdict_line(cfg: &SimConfig, outcome: &SimOutcome) -> String {
     format!(
-        "tell_sim: seed={} faults={}{} events={} seconds={} txns={} commits={} aborts={} verdict={}",
+        "tell_sim: seed={} faults={}{} isolation={} events={} seconds={} txns={} commits={} \
+         aborts={} verdict={}",
         cfg.seed,
         cfg.mix.name(),
         if cfg.durable { "+durable" } else { "" },
+        cfg.isolation,
         outcome.stats.events_fired,
         cfg.virtual_secs,
         outcome.stats.txns,
@@ -134,12 +152,13 @@ fn dump_failure(cfg: &SimConfig, outcome: &SimOutcome) {
     );
     eprintln!(
         "tell_sim: replay with: cargo run --release --example tell_sim -- \
-         --seed {} --seconds {} --faults {} --workers {} --keys {}{}",
+         --seed {} --seconds {} --faults {} --workers {} --keys {} --isolation {}{}",
         cfg.seed,
         cfg.virtual_secs,
         cfg.mix.name(),
         cfg.workers,
         cfg.keys,
+        cfg.isolation,
         if cfg.durable { " --durable" } else { "" },
     );
 }
@@ -148,12 +167,14 @@ fn write_bench_json(path: &str, cfg: &SimConfig, outcome: &SimOutcome, wall_secs
     let virtual_secs = outcome.stats.virtual_end_us / 1e6;
     let json = format!(
         "{{\n  \"bench\": \"sim_throughput\",\n  \"seed\": {},\n  \"faults\": \"{}\",\n  \
+         \"isolation\": \"{}\",\n  \
          \"workers\": {},\n  \"keys\": {},\n  \"txns\": {},\n  \"commits\": {},\n  \
          \"aborts\": {},\n  \"events_fired\": {},\n  \"virtual_secs\": {:.3},\n  \
          \"wall_secs\": {:.3},\n  \"commits_per_virtual_sec\": {:.1},\n  \
          \"commits_per_wall_sec\": {:.1},\n  \"verdict\": \"{}\"\n}}\n",
         cfg.seed,
         cfg.mix.name(),
+        cfg.isolation,
         cfg.workers,
         cfg.keys,
         outcome.stats.txns,

@@ -60,6 +60,35 @@ sim_secs=0.5
 cargo run -q --release --example tell_sim -- --seed 1 --seconds "$sim_secs" \
   --faults all --bench-json "$out_dir/BENCH_sim_throughput.json" > /dev/null
 
+# Isolation-level matrix: the same seeded fault-free workload once per
+# level, so the snapshot shows what each level costs — commits per wall
+# second and the abort rate climb together as the level strengthens
+# (serializable certifies the read set; rc never promotes a snapshot).
+# Virtual-side numbers are reproducible for the seed.
+iso_field() { sed -n "s/^ *\"$2\": \([0-9.]*\),\{0,1\}\$/\1/p" "$1"; }
+iso_out="$out_dir/BENCH_isolation_matrix.json"
+{
+  printf '{\n  "bench": "isolation_matrix",\n  "seed": 1,\n  "faults": "none",\n'
+  printf '  "virtual_secs": %s,\n  "levels": {\n' "$sim_secs"
+  sep=''
+  for level in rc nmsi si serializable; do
+    tmp="$out_dir/.bench_iso_$level.json"
+    cargo run -q --release --example tell_sim -- --seed 1 --seconds "$sim_secs" \
+      --isolation "$level" --bench-json "$tmp" > /dev/null
+    txns="$(iso_field "$tmp" txns)"
+    commits="$(iso_field "$tmp" commits)"
+    aborts="$(iso_field "$tmp" aborts)"
+    cpv="$(iso_field "$tmp" commits_per_virtual_sec)"
+    cpw="$(iso_field "$tmp" commits_per_wall_sec)"
+    rate="$(awk -v a="$aborts" -v t="$txns" 'BEGIN { printf "%.3f", t ? a / t : 0 }')"
+    printf '%s    "%s": { "txns": %s, "commits": %s, "aborts": %s, "abort_rate": %s, "commits_per_virtual_sec": %s, "commits_per_wall_sec": %s }' \
+      "$sep" "$level" "$txns" "$commits" "$aborts" "$rate" "$cpv" "$cpw"
+    sep=$',\n'
+    rm -f "$tmp"
+  done
+  printf '\n  }\n}\n'
+} > "$iso_out"
+
 shopt -s nullglob
 files=("$out_dir"/BENCH_*.json)
 if (( ${#files[@]} == 0 )); then

@@ -16,6 +16,13 @@ run_sim_smoke() {
   cargo run -q --example tell_sim -- --seed 1 --seconds 0.2 --faults none
   cargo run -q --example tell_sim -- --seed 2 --seconds 0.2 --faults sn
   cargo run -q --example tell_sim -- --seed 3 --seconds 0.2 --faults cm
+
+  # Isolation matrix: three fixed seeds x four levels, each cell checked
+  # against its own oracle plus every weaker one, and re-run to prove the
+  # history JSON and stats are bit-reproducible (crates/sim/tests/
+  # isolation_matrix.rs holds the seed list).
+  echo "==> isolation matrix (3 seeds x 4 levels, per-level oracles, bit-reproducible)"
+  cargo test -q -p tell-sim --test isolation_matrix
 }
 
 if [[ "${1:-}" == "--sim" ]]; then
